@@ -1,0 +1,43 @@
+//! E3: tokenizer throughput.
+//!
+//! The ad-hoc parser must chew through documents fast enough that "easy to
+//! use" includes being cheap to run over a whole site. Sweep document size
+//! and defect density; report MB/s.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use weblint_bench::{dirty_document, experiment_header, DOC_SIZES};
+use weblint_tokenizer::tokenize;
+
+fn bench_tokenizer(c: &mut Criterion) {
+    experiment_header(
+        "E3",
+        "tokenizer throughput vs document size and defect density",
+    );
+    let mut group = c.benchmark_group("tokenize");
+    for &(label, bytes) in DOC_SIZES {
+        let clean = dirty_document(3, bytes, 0);
+        let dirty = dirty_document(3, bytes, bytes / 1024); // ~1 defect/KiB
+        println!(
+            "  {label}: clean {} tokens, dirty {} tokens",
+            tokenize(&clean).len(),
+            tokenize(&dirty).len()
+        );
+        group.throughput(Throughput::Bytes(clean.len() as u64));
+        group.bench_with_input(BenchmarkId::new("clean", label), &clean, |b, doc| {
+            b.iter(|| black_box(tokenize(black_box(doc))))
+        });
+        group.throughput(Throughput::Bytes(dirty.len() as u64));
+        group.bench_with_input(BenchmarkId::new("dirty", label), &dirty, |b, doc| {
+            b.iter(|| black_box(tokenize(black_box(doc))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tokenizer
+}
+criterion_main!(benches);

@@ -1,0 +1,193 @@
+//! Command-line argument parsing.
+//!
+//! Weblint's switch style is 1990s single-dash (`-s`, `-e`, `-pedantic`,
+//! `-R`); this parser keeps that, with `--`-style spellings accepted as
+//! aliases.
+
+use weblint_config::Directive;
+use weblint_core::OutputFormat;
+
+/// Everything the command line asked for.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// Files or directories to check; `-` means stdin.
+    pub inputs: Vec<String>,
+    /// Output style.
+    pub format: OutputFormat,
+    /// Configuration directives from switches (override config files).
+    pub directives: Vec<Directive>,
+    /// `-R`: recurse into directories, enabling the site checks.
+    pub recurse: bool,
+    /// `-f FILE`: alternate user configuration file.
+    pub user_config: Option<String>,
+    /// `-noglobals`: ignore site and user configuration files.
+    pub no_globals: bool,
+    /// `-todo`: list the message catalog and exit.
+    pub list_checks: bool,
+    /// `-help`.
+    pub help: bool,
+    /// `-version`.
+    pub version: bool,
+}
+
+/// A bad command line, with a message for stderr.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "weblint: {}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// The help text.
+pub const USAGE: &str = "\
+usage: weblint [options] file ...
+
+Check the syntax and style of HTML pages. With no options, checks each
+file against HTML 4.0 Transitional with the default 42 messages enabled.
+
+options:
+  -s               short messages (`line N: ...' instead of `file(N): ...')
+  -t               terse machine-readable output (file:line:col:id:message)
+  -json            JSON output
+  -e ID[,ID...]    enable messages or whole categories (error|warning|style)
+  -d ID[,ID...]    disable messages or whole categories
+  -x EXTENSION     accept vendor markup: netscape, microsoft, or both
+  -v VERSION       HTML version: 3.2, 4.0, strict, frameset
+  -pedantic        enable every message (except the case-style pair)
+  -fragment        treat input as an HTML fragment (skip structure checks)
+  -R               recurse into directories; adds link, orphan, and
+                   directory-index checking over the whole tree
+  -f FILE          use FILE as the user configuration file
+  -noglobals       do not read site or user configuration files
+  -todo            list every supported message and its default
+  -help            this message
+  -version         print the version
+
+A `-' argument reads the page from standard input. Exit status is 0 when
+no messages were produced, 1 when there were messages, 2 on usage or I/O
+errors.";
+
+/// Parse the argument list (excluding the program name).
+pub fn parse_args(argv: &[String]) -> Result<Args, UsageError> {
+    let mut args = Args::default();
+    let mut it = argv.iter().peekable();
+    while let Some(arg) = it.next() {
+        let mut take_value = |name: &str| -> Result<String, UsageError> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| UsageError(format!("{name} needs an argument")))
+        };
+        match arg.as_str() {
+            "-s" | "--short" => args.format = OutputFormat::Short,
+            "-t" | "--terse" => args.format = OutputFormat::Terse,
+            "-json" | "--json" => args.format = OutputFormat::Json,
+            "-explain" | "--explain" => args.format = OutputFormat::Explain,
+            "-e" | "--enable" => {
+                for id in take_value("-e")?.split(',').filter(|s| !s.is_empty()) {
+                    args.directives.push(Directive::Enable(id.to_string()));
+                }
+            }
+            "-d" | "--disable" => {
+                for id in take_value("-d")?.split(',').filter(|s| !s.is_empty()) {
+                    args.directives.push(Directive::Disable(id.to_string()));
+                }
+            }
+            "-x" | "--extension" => {
+                let x = take_value("-x")?.to_ascii_lowercase();
+                match x.as_str() {
+                    "netscape" | "microsoft" | "both" | "none" => {
+                        args.directives.push(Directive::Extension(x));
+                    }
+                    other => {
+                        return Err(UsageError(format!("unknown extension `{other}'")));
+                    }
+                }
+            }
+            "-v" | "--html-version" => {
+                let v = take_value("-v")?;
+                let version = v.parse().map_err(|e: String| UsageError(e))?;
+                args.directives.push(Directive::Version(version));
+            }
+            "-pedantic" | "--pedantic" => args.directives.push(Directive::Pedantic),
+            "-fragment" | "--fragment" => args.directives.push(Directive::Fragment(true)),
+            "-R" | "--recurse" => args.recurse = true,
+            "-f" | "--config" => args.user_config = Some(take_value("-f")?),
+            "-noglobals" | "--noglobals" => args.no_globals = true,
+            "-todo" | "--todo" => args.list_checks = true,
+            "-help" | "--help" | "-h" => args.help = true,
+            "-version" | "--version" => args.version = true,
+            "-" => args.inputs.push("-".to_string()),
+            other if other.starts_with('-') => {
+                return Err(UsageError(format!("unknown option `{other}' (try -help)")));
+            }
+            other => args.inputs.push(other.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, UsageError> {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_args(&argv)
+    }
+
+    #[test]
+    fn plain_files() {
+        let a = parse(&["a.html", "b.html"]).unwrap();
+        assert_eq!(a.inputs, ["a.html", "b.html"]);
+        assert_eq!(a.format, OutputFormat::Lint);
+    }
+
+    #[test]
+    fn short_switch() {
+        let a = parse(&["-s", "x.html"]).unwrap();
+        assert_eq!(a.format, OutputFormat::Short);
+    }
+
+    #[test]
+    fn enable_disable_lists() {
+        let a = parse(&["-e", "here-anchor,physical-font", "-d", "img-alt", "x"]).unwrap();
+        assert_eq!(a.directives.len(), 3);
+    }
+
+    #[test]
+    fn version_and_extension() {
+        let a = parse(&["-v", "strict", "-x", "netscape", "x"]).unwrap();
+        assert_eq!(a.directives.len(), 2);
+        assert!(parse(&["-v", "9.9"]).is_err());
+        assert!(parse(&["-x", "opera"]).is_err());
+    }
+
+    #[test]
+    fn missing_values_rejected() {
+        assert!(parse(&["-e"]).is_err());
+        assert!(parse(&["-f"]).is_err());
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        let e = parse(&["-zap"]).unwrap_err();
+        assert!(e.to_string().contains("-zap"));
+    }
+
+    #[test]
+    fn stdin_dash() {
+        let a = parse(&["-"]).unwrap();
+        assert_eq!(a.inputs, ["-"]);
+    }
+
+    #[test]
+    fn mode_flags() {
+        let a = parse(&["-R", "-noglobals", "-todo", "-pedantic", "dir"]).unwrap();
+        assert!(a.recurse && a.no_globals && a.list_checks);
+        assert_eq!(a.directives, vec![weblint_config::Directive::Pedantic]);
+    }
+}

@@ -1,0 +1,132 @@
+//! `poacher` — crawl a site, lint every page, validate every link.
+//!
+//! "A robot can be used to invoke weblint on all accessible pages on a
+//! site. I have written one, called poacher, which is included with the
+//! robot module for Perl. Poacher also performs basic link validation"
+//! (§4.5). This poacher crawls a local directory tree served through the
+//! store fetcher, starting at its `index.html`.
+//!
+//! ```text
+//! usage: poacher [options] DIRECTORY
+//!   -s            short per-page messages
+//!   -max N        stop after N pages (default 1000)
+//!   -quiet        dead links and summary only, no per-page lint
+//!   -help
+//! ```
+
+use std::process::ExitCode;
+
+use weblint_core::{format_report, LintConfig, OutputFormat};
+use weblint_site::{DirStore, Robot, RobotOptions, StoreFetcher};
+
+const USAGE: &str = "\
+usage: poacher [options] DIRECTORY
+
+Crawl the site rooted at DIRECTORY (starting from its index.html), run
+weblint on every reachable page, validate every link, and report the
+site's navigational shape.
+
+options:
+  -s         short per-page messages (line N: ...)
+  -max N     stop after N pages (default 1000)
+  -quiet     only dead links and the summary
+  -help      this message";
+
+struct Options {
+    dir: Option<String>,
+    format: OutputFormat,
+    max_pages: usize,
+    quiet: bool,
+}
+
+fn parse(argv: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        dir: None,
+        format: OutputFormat::Lint,
+        max_pages: 1_000,
+        quiet: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-s" => options.format = OutputFormat::Short,
+            "-max" => {
+                let v = it.next().ok_or("-max needs a number")?;
+                options.max_pages = v.parse().map_err(|_| format!("bad -max value `{v}'"))?;
+            }
+            "-quiet" => options.quiet = true,
+            "-help" | "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}'"));
+            }
+            dir => options.dir = Some(dir.to_string()),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse(&argv) {
+        Ok(o) => o,
+        Err(message) => {
+            if message.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("poacher: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(dir) = options.dir else {
+        eprintln!("poacher: no directory given (try -help)");
+        return ExitCode::from(2);
+    };
+    let store = match DirStore::open(&dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("poacher: {dir}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let fetcher = StoreFetcher::new(&store, "local");
+    let robot = Robot::new(RobotOptions {
+        max_pages: options.max_pages,
+        check_external: false,
+        lint: LintConfig::default(),
+        ..RobotOptions::default()
+    });
+    let report = robot.crawl(&fetcher, &fetcher.start_url());
+
+    let mut messages = 0usize;
+    for page in &report.pages {
+        messages += page.diagnostics.len();
+        if !options.quiet && !page.diagnostics.is_empty() {
+            print!(
+                "{}",
+                format_report(&page.diagnostics, &page.url.to_string(), options.format)
+            );
+        }
+    }
+    for dead in &report.dead_links {
+        println!(
+            "dead link on {}: \"{}\" ({})",
+            dead.page, dead.href, dead.reason
+        );
+    }
+    println!(
+        "poacher: {} page(s) crawled, {} message(s), {} dead link(s), max depth {}",
+        report.pages.len(),
+        messages,
+        report.dead_links.len(),
+        report.max_depth()
+    );
+    if report.truncated {
+        println!("poacher: crawl truncated at {} pages", options.max_pages);
+    }
+    if messages > 0 || !report.dead_links.is_empty() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

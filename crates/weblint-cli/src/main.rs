@@ -1,0 +1,27 @@
+//! `weblint` — lint-style syntax and style checker for HTML.
+//!
+//! "The weblint script is now a wrapper around the modules … with
+//! documentation for the user who doesn't want to know about the existence
+//! of the modules" (§5.3). All the logic lives in the library crates; this
+//! binary parses switches, layers configuration, and prints reports.
+
+mod args;
+mod run;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::parse_args(&argv) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("try `weblint -help'");
+            return ExitCode::from(run::EXIT_ERROR as u8);
+        }
+    };
+    let mut out = std::io::stdout().lock();
+    let mut err = std::io::stderr().lock();
+    let code = run::run(&parsed, &mut out, &mut err);
+    ExitCode::from(code as u8)
+}

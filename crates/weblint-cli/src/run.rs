@@ -1,0 +1,382 @@
+//! Driving the checks and producing output.
+
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+use weblint_config::{apply_directive, apply_pragmas, load_config_file};
+use weblint_core::{
+    format_report, CheckDef, Diagnostic, LintConfig, OutputFormat, Summary, Weblint, CATALOG,
+};
+use weblint_site::{DirStore, SiteChecker};
+
+use crate::args::Args;
+
+/// Exit status: clean.
+pub const EXIT_CLEAN: i32 = 0;
+/// Exit status: messages were produced.
+pub const EXIT_MESSAGES: i32 = 1;
+/// Exit status: usage or I/O trouble.
+pub const EXIT_ERROR: i32 = 2;
+
+/// Run weblint per the parsed arguments; returns the exit status.
+/// Output goes to `out`, errors to `err`.
+pub fn run(args: &Args, out: &mut impl std::io::Write, err: &mut impl std::io::Write) -> i32 {
+    if args.help {
+        let _ = writeln!(out, "{}", crate::args::USAGE);
+        return EXIT_CLEAN;
+    }
+    if args.version {
+        let _ = writeln!(out, "weblint {} (rust)", env!("CARGO_PKG_VERSION"));
+        return EXIT_CLEAN;
+    }
+    if args.list_checks {
+        list_checks(out);
+        return EXIT_CLEAN;
+    }
+    if args.inputs.is_empty() {
+        let _ = writeln!(err, "weblint: no files to check (try -help)");
+        return EXIT_ERROR;
+    }
+
+    let config = match build_config(args) {
+        Ok(c) => c,
+        Err(message) => {
+            let _ = writeln!(err, "weblint: {message}");
+            return EXIT_ERROR;
+        }
+    };
+
+    let mut any_messages = false;
+    let mut any_errors = false;
+    for input in &args.inputs {
+        let status = check_one(input, args, &config, out, err);
+        match status {
+            InputStatus::Clean => {}
+            InputStatus::Messages => any_messages = true,
+            InputStatus::Failed => any_errors = true,
+        }
+    }
+    if any_errors {
+        EXIT_ERROR
+    } else if any_messages {
+        EXIT_MESSAGES
+    } else {
+        EXIT_CLEAN
+    }
+}
+
+enum InputStatus {
+    Clean,
+    Messages,
+    Failed,
+}
+
+fn check_one(
+    input: &str,
+    args: &Args,
+    config: &LintConfig,
+    out: &mut impl std::io::Write,
+    err: &mut impl std::io::Write,
+) -> InputStatus {
+    if input == "-" {
+        let mut src = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut src) {
+            let _ = writeln!(err, "weblint: stdin: {e}");
+            return InputStatus::Failed;
+        }
+        return lint_source("stdin", &src, config, args.format, out, err);
+    }
+    let path = Path::new(input);
+    if path.is_dir() {
+        if !args.recurse {
+            let _ = writeln!(
+                err,
+                "weblint: {input} is a directory (use -R to check a whole tree)"
+            );
+            return InputStatus::Failed;
+        }
+        return check_directory(path, config, args.format, out, err);
+    }
+    match std::fs::read(path) {
+        Ok(bytes) => {
+            let src = String::from_utf8_lossy(&bytes);
+            lint_source(input, &src, config, args.format, out, err)
+        }
+        Err(e) => {
+            let _ = writeln!(err, "weblint: {input}: {e}");
+            InputStatus::Failed
+        }
+    }
+}
+
+fn lint_source(
+    name: &str,
+    src: &str,
+    config: &LintConfig,
+    format: OutputFormat,
+    out: &mut impl std::io::Write,
+    err: &mut impl std::io::Write,
+) -> InputStatus {
+    // Page pragmas (`<!-- weblint: disable ... -->`) adjust this page only.
+    let mut page_config = config.clone();
+    if let Err(e) = apply_pragmas(src, &mut page_config) {
+        let _ = writeln!(err, "weblint: {name}: {e}");
+        return InputStatus::Failed;
+    }
+    let weblint = Weblint::with_config(page_config);
+    let diags = weblint.check_string(src);
+    let _ = write!(out, "{}", format_report(&diags, name, format));
+    if diags.is_empty() {
+        InputStatus::Clean
+    } else {
+        InputStatus::Messages
+    }
+}
+
+fn check_directory(
+    dir: &Path,
+    config: &LintConfig,
+    format: OutputFormat,
+    out: &mut impl std::io::Write,
+    err: &mut impl std::io::Write,
+) -> InputStatus {
+    let store = match DirStore::open(dir) {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = writeln!(err, "weblint: {}: {e}", dir.display());
+            return InputStatus::Failed;
+        }
+    };
+    let checker = SiteChecker::new(config.clone());
+    let report = checker.check(&store);
+    let mut all: Vec<(String, Vec<Diagnostic>)> = report.pages.clone();
+    for (path, diag) in &report.site_diagnostics {
+        match all.iter_mut().find(|(p, _)| p == path) {
+            Some((_, list)) => list.push(diag.clone()),
+            None => all.push((path.clone(), vec![diag.clone()])),
+        }
+    }
+    let mut total = Vec::new();
+    for (page, diags) in &all {
+        let shown = dir.join(page);
+        let _ = write!(
+            out,
+            "{}",
+            format_report(diags, &shown.to_string_lossy(), format)
+        );
+        total.extend(diags.iter().cloned());
+    }
+    let summary = Summary::of(&total);
+    if summary.is_clean() {
+        InputStatus::Clean
+    } else {
+        let _ = writeln!(out, "{} page(s) checked: {summary}", report.page_count());
+        InputStatus::Messages
+    }
+}
+
+/// Build the layered configuration: site file, user file, then switches.
+fn build_config(args: &Args) -> Result<LintConfig, String> {
+    let mut config = LintConfig::default();
+    if !args.no_globals {
+        if let Some(site) = site_config_path() {
+            load_config_file(&site, &mut config).map_err(|e| e.to_string())?;
+        }
+        let user = args
+            .user_config
+            .clone()
+            .map(PathBuf::from)
+            .or_else(user_config_path);
+        if let Some(user) = user {
+            load_config_file(&user, &mut config).map_err(|e| e.to_string())?;
+        }
+    } else if let Some(user) = &args.user_config {
+        load_config_file(Path::new(user), &mut config).map_err(|e| e.to_string())?;
+    }
+    for directive in &args.directives {
+        apply_directive(directive, &mut config).map_err(|e| e.to_string())?;
+    }
+    Ok(config)
+}
+
+/// `$WEBLINT_SITE_CONFIG`, for site-wide style guides.
+fn site_config_path() -> Option<PathBuf> {
+    std::env::var_os("WEBLINT_SITE_CONFIG").map(PathBuf::from)
+}
+
+/// `$WEBLINTRC`, else `~/.weblintrc`.
+fn user_config_path() -> Option<PathBuf> {
+    if let Some(rc) = std::env::var_os("WEBLINTRC") {
+        return Some(PathBuf::from(rc));
+    }
+    std::env::var_os("HOME").map(|home| PathBuf::from(home).join(".weblintrc"))
+}
+
+fn list_checks(out: &mut impl std::io::Write) {
+    let _ = writeln!(out, "weblint supports {} messages:\n", CATALOG.len());
+    let fmt = |c: &CheckDef| {
+        format!(
+            "  {:<24} {:<8} {:<9} {}",
+            c.id,
+            c.category.name(),
+            if c.default_enabled {
+                "enabled"
+            } else {
+                "disabled"
+            },
+            c.summary
+        )
+    };
+    for check in CATALOG {
+        let _ = writeln!(out, "{}", fmt(check));
+    }
+    let enabled = CATALOG.iter().filter(|c| c.default_enabled).count();
+    let _ = writeln!(out, "\n{enabled} enabled by default.");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn run_args(argv: &[&str]) -> (i32, String, String) {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let args = parse_args(&argv).unwrap();
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let code = run(&args, &mut out, &mut err);
+        (
+            code,
+            String::from_utf8(out).unwrap(),
+            String::from_utf8(err).unwrap(),
+        )
+    }
+
+    fn write_temp(name: &str, contents: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("weblint-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn todo_lists_catalog() {
+        let (code, out, _) = run_args(&["-todo"]);
+        assert_eq!(code, EXIT_CLEAN);
+        assert!(out.contains("here-anchor"));
+        assert!(out.contains("42 enabled by default."));
+    }
+
+    #[test]
+    fn help_and_version() {
+        let (code, out, _) = run_args(&["-help"]);
+        assert_eq!(code, EXIT_CLEAN);
+        assert!(out.contains("usage: weblint"));
+        let (code, out, _) = run_args(&["-version"]);
+        assert_eq!(code, EXIT_CLEAN);
+        assert!(out.contains("weblint"));
+    }
+
+    #[test]
+    fn no_inputs_is_usage_error() {
+        let (code, _, err) = run_args(&["-noglobals"]);
+        assert_eq!(code, EXIT_ERROR);
+        assert!(err.contains("no files"));
+    }
+
+    #[test]
+    fn messages_exit_1_clean_exit_0() {
+        let bad = write_temp("bad.html", "<H1>x</H2>");
+        let (code, out, _) = run_args(&["-noglobals", "-s", bad.to_str().unwrap()]);
+        assert_eq!(code, EXIT_MESSAGES);
+        assert!(out.contains("malformed heading"));
+
+        let good = write_temp(
+            "good.html",
+            "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0 Transitional//EN\">\n\
+             <HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><P>fine</P></BODY></HTML>\n",
+        );
+        let (code, out, _) = run_args(&["-noglobals", good.to_str().unwrap()]);
+        assert_eq!(code, EXIT_CLEAN);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn missing_file_exit_2() {
+        let (code, _, err) = run_args(&["-noglobals", "/no/such/file.html"]);
+        assert_eq!(code, EXIT_ERROR);
+        assert!(err.contains("no/such/file.html"));
+    }
+
+    #[test]
+    fn directory_without_recurse_is_error() {
+        let dir = std::env::temp_dir().join("weblint-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (code, _, err) = run_args(&["-noglobals", dir.to_str().unwrap()]);
+        assert_eq!(code, EXIT_ERROR);
+        assert!(err.contains("-R"));
+    }
+
+    #[test]
+    fn recurse_checks_site() {
+        let root = std::env::temp_dir().join("weblint-cli-site");
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        std::fs::write(
+            root.join("index.html"),
+            "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0 Transitional//EN\">\n\
+             <HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>\
+             <P><A HREF=\"gone.html\">x</A></P></BODY></HTML>\n",
+        )
+        .unwrap();
+        let (code, out, _) = run_args(&["-noglobals", "-R", "-s", root.to_str().unwrap()]);
+        assert_eq!(code, EXIT_MESSAGES);
+        assert!(out.contains("gone.html"), "{out}");
+        assert!(out.contains("page(s) checked"), "{out}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn disable_via_switch() {
+        let bad = write_temp("bad2.html", "<H1>x</H2>");
+        let (code, _, _) = run_args(&[
+            "-noglobals",
+            "-d",
+            "error,warning,style",
+            bad.to_str().unwrap(),
+        ]);
+        assert_eq!(code, EXIT_CLEAN);
+    }
+
+    #[test]
+    fn pragma_respected_per_page() {
+        let page = write_temp(
+            "pragma.html",
+            "<!-- weblint: fragment on -->\n<B>bold only</B>\n",
+        );
+        let (code, out, _) = run_args(&["-noglobals", page.to_str().unwrap()]);
+        assert_eq!(code, EXIT_CLEAN, "{out}");
+    }
+
+    #[test]
+    fn user_config_file_via_f() {
+        let rc = write_temp("user.rc", "disable error\ndisable warning\ndisable style\n");
+        let bad = write_temp("bad3.html", "<H1>x</H2>");
+        let (code, _, _) = run_args(&[
+            "-noglobals",
+            "-f",
+            rc.to_str().unwrap(),
+            bad.to_str().unwrap(),
+        ]);
+        assert_eq!(code, EXIT_CLEAN);
+    }
+
+    #[test]
+    fn json_format() {
+        let bad = write_temp("bad4.html", "<H1>x</H2>");
+        let (_, out, _) = run_args(&["-noglobals", "-json", bad.to_str().unwrap()]);
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(!parsed.as_array().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,421 @@
+//! The `.weblintrc` directive language.
+
+use std::fmt;
+
+use weblint_core::{Category, LintConfig};
+use weblint_core::{Extensions, HtmlVersion};
+
+/// One parsed configuration directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// `enable <id-or-category>, …`
+    Enable(String),
+    /// `disable <id-or-category>, …`
+    Disable(String),
+    /// `version <html-version>`
+    Version(HtmlVersion),
+    /// `extension netscape|microsoft|both|none`
+    Extension(String),
+    /// `fragment on|off`
+    Fragment(bool),
+    /// `here-anchor-text "…"` — extend the content-free anchor list.
+    HereAnchorText(String),
+    /// `max-title-length <n>`
+    MaxTitleLength(usize),
+    /// `pedantic` — enable everything except the contradictory case pair.
+    Pedantic,
+    /// `element NAME, …` — declare custom (tool-specific) elements that
+    /// should not be reported as unknown (§4.6, §6.1).
+    CustomElement(String),
+    /// `attribute ELEMENT NAME` — declare a custom attribute; `*` as the
+    /// element allows it everywhere.
+    CustomAttribute(String, String),
+}
+
+/// A parse or application error, with the 1-based line it came from
+/// (line 0 for errors not tied to a line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Line number in the configuration text.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "config line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "config: {}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: u32, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse a configuration file's text into directives.
+///
+/// Blank lines and `#` comments (full-line or trailing) are ignored.
+/// `enable`/`disable` accept multiple comma- or space-separated names and
+/// expand to one directive per name.
+pub fn parse_config(text: &str) -> Result<Vec<Directive>, ConfigError> {
+    let mut out = Vec::new();
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (keyword, rest) = match line.split_once(char::is_whitespace) {
+            Some((k, r)) => (k, r.trim()),
+            None => (line, ""),
+        };
+        match keyword.to_ascii_lowercase().as_str() {
+            "enable" | "disable" => {
+                if rest.is_empty() {
+                    return Err(err(lineno, format!("`{keyword}' needs at least one name")));
+                }
+                for name in rest.split([',', ' ', '\t']).filter(|s| !s.is_empty()) {
+                    let d = if keyword.eq_ignore_ascii_case("enable") {
+                        Directive::Enable(name.to_string())
+                    } else {
+                        Directive::Disable(name.to_string())
+                    };
+                    out.push(d);
+                }
+            }
+            "version" => {
+                let v: HtmlVersion = rest.parse().map_err(|e: String| err(lineno, e))?;
+                out.push(Directive::Version(v));
+            }
+            "extension" | "x" => {
+                let lc = rest.to_ascii_lowercase();
+                match lc.as_str() {
+                    "netscape" | "microsoft" | "both" | "none" => {
+                        out.push(Directive::Extension(lc));
+                    }
+                    other => {
+                        return Err(err(
+                            lineno,
+                            format!(
+                                "unknown extension `{other}' \
+                                 (expected netscape, microsoft, both, or none)"
+                            ),
+                        ))
+                    }
+                }
+            }
+            "fragment" => {
+                let on = parse_bool(rest).ok_or_else(|| {
+                    err(lineno, format!("`fragment' expects on/off, got `{rest}'"))
+                })?;
+                out.push(Directive::Fragment(on));
+            }
+            "here-anchor-text" => {
+                let text = rest.trim_matches('"');
+                if text.is_empty() {
+                    return Err(err(lineno, "`here-anchor-text' needs a string"));
+                }
+                out.push(Directive::HereAnchorText(text.to_string()));
+            }
+            "max-title-length" => {
+                let n: usize = rest
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad number `{rest}'")))?;
+                out.push(Directive::MaxTitleLength(n));
+            }
+            "pedantic" => out.push(Directive::Pedantic),
+            "element" => {
+                if rest.is_empty() {
+                    return Err(err(lineno, "`element' needs at least one name"));
+                }
+                for name in rest.split([',', ' ', '\t']).filter(|s| !s.is_empty()) {
+                    out.push(Directive::CustomElement(name.to_string()));
+                }
+            }
+            "attribute" => {
+                let mut parts = rest.split_whitespace();
+                match (parts.next(), parts.next(), parts.next()) {
+                    (Some(element), Some(attribute), None) => {
+                        out.push(Directive::CustomAttribute(
+                            element.to_string(),
+                            attribute.to_string(),
+                        ));
+                    }
+                    _ => {
+                        return Err(err(
+                            lineno,
+                            "`attribute' needs an element (or *) and an attribute name",
+                        ))
+                    }
+                }
+            }
+            other => {
+                return Err(err(lineno, format!("unknown directive `{other}'")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Apply one directive to a configuration.
+pub fn apply_directive(directive: &Directive, config: &mut LintConfig) -> Result<(), ConfigError> {
+    match directive {
+        Directive::Enable(name) | Directive::Disable(name) => {
+            let on = matches!(directive, Directive::Enable(_));
+            // A category name toggles every message in the category.
+            if let Some(category) = Category::parse(name) {
+                config.set_category_enabled(category, on);
+                return Ok(());
+            }
+            config
+                .set_enabled(name, on)
+                .map_err(|e| err(0, e.to_string()))
+        }
+        Directive::Version(v) => {
+            config.version = *v;
+            Ok(())
+        }
+        Directive::Extension(which) => {
+            match which.as_str() {
+                "netscape" => config.extensions.netscape = true,
+                "microsoft" => config.extensions.microsoft = true,
+                "both" => config.extensions = Extensions::all(),
+                "none" => config.extensions = Extensions::none(),
+                other => return Err(err(0, format!("unknown extension `{other}'"))),
+            }
+            Ok(())
+        }
+        Directive::Fragment(on) => {
+            config.fragment = *on;
+            Ok(())
+        }
+        Directive::HereAnchorText(text) => {
+            let lc = text.to_lowercase();
+            if !config.here_anchor_texts.contains(&lc) {
+                config.here_anchor_texts.push(lc);
+            }
+            Ok(())
+        }
+        Directive::MaxTitleLength(n) => {
+            config.max_title_length = *n;
+            Ok(())
+        }
+        Directive::Pedantic => {
+            *config = pedantic_preserving(config);
+            Ok(())
+        }
+        Directive::CustomElement(name) => {
+            config.add_custom_element(name);
+            Ok(())
+        }
+        Directive::CustomAttribute(element, attribute) => {
+            config.add_custom_attribute(element, attribute);
+            Ok(())
+        }
+    }
+}
+
+/// Parse config text and apply every directive.
+pub fn apply_config_text(text: &str, config: &mut LintConfig) -> Result<(), ConfigError> {
+    for directive in parse_config(text)? {
+        apply_directive(&directive, config)?;
+    }
+    Ok(())
+}
+
+/// A pedantic config that keeps the non-message knobs from `base`.
+fn pedantic_preserving(base: &LintConfig) -> LintConfig {
+    let mut p = LintConfig::pedantic();
+    p.version = base.version;
+    p.extensions = base.extensions;
+    p.fragment = base.fragment;
+    p.here_anchor_texts = base.here_anchor_texts.clone();
+    p.max_title_length = base.max_title_length;
+    p.heuristics = base.heuristics;
+    p.custom_elements = base.custom_elements.clone();
+    p.custom_attributes = base.custom_attributes.clone();
+    p
+}
+
+fn parse_bool(s: &str) -> Option<bool> {
+    match s.to_ascii_lowercase().as_str() {
+        "on" | "true" | "yes" | "1" => Some(true),
+        "off" | "false" | "no" | "0" => Some(false),
+        _ => None,
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_empty_and_comments() {
+        assert_eq!(parse_config("").unwrap(), vec![]);
+        assert_eq!(parse_config("# just a comment\n\n  \n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn parse_enable_disable_lists() {
+        let ds = parse_config("enable here-anchor, physical-font\ndisable img-alt\n").unwrap();
+        assert_eq!(
+            ds,
+            vec![
+                Directive::Enable("here-anchor".into()),
+                Directive::Enable("physical-font".into()),
+                Directive::Disable("img-alt".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_trailing_comment() {
+        let ds = parse_config("disable style # too noisy\n").unwrap();
+        assert_eq!(ds, vec![Directive::Disable("style".into())]);
+    }
+
+    #[test]
+    fn parse_version_and_extension() {
+        let ds = parse_config("version html-4.0-strict\nextension netscape\n").unwrap();
+        assert_eq!(
+            ds,
+            vec![
+                Directive::Version(HtmlVersion::Html40Strict),
+                Directive::Extension("netscape".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = parse_config("enable img-alt\nbogus directive\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+        let e = parse_config("extension opera\n").unwrap_err();
+        assert!(e.message.contains("opera"));
+        let e = parse_config("enable\n").unwrap_err();
+        assert!(e.message.contains("at least one"));
+        let e = parse_config("max-title-length many\n").unwrap_err();
+        assert!(e.message.contains("bad number"));
+        let e = parse_config("fragment sideways\n").unwrap_err();
+        assert!(e.message.contains("on/off"));
+    }
+
+    #[test]
+    fn apply_enable_category() {
+        let mut c = LintConfig::default();
+        apply_config_text("disable errors\n", &mut c).unwrap();
+        assert!(!c.is_enabled("unclosed-element"));
+        assert!(c.is_enabled("img-alt"));
+        apply_config_text("enable style\n", &mut c).unwrap();
+        assert!(c.is_enabled("physical-font"));
+    }
+
+    #[test]
+    fn apply_unknown_id_fails_with_suggestion() {
+        let mut c = LintConfig::default();
+        let e = apply_config_text("enable unclosed-elemnt\n", &mut c).unwrap_err();
+        assert!(e.to_string().contains("did you mean"), "{e}");
+    }
+
+    #[test]
+    fn apply_version_extension_fragment() {
+        let mut c = LintConfig::default();
+        apply_config_text(
+            "version 3.2\nextension both\nfragment on\nmax-title-length 10\n",
+            &mut c,
+        )
+        .unwrap();
+        assert_eq!(c.version, HtmlVersion::Html32);
+        assert!(c.extensions.netscape && c.extensions.microsoft);
+        assert!(c.fragment);
+        assert_eq!(c.max_title_length, 10);
+    }
+
+    #[test]
+    fn apply_here_anchor_text_dedups() {
+        let mut c = LintConfig::default();
+        let before = c.here_anchor_texts.len();
+        apply_config_text(
+            "here-anchor-text \"click me\"\nhere-anchor-text \"click me\"\n",
+            &mut c,
+        )
+        .unwrap();
+        assert_eq!(c.here_anchor_texts.len(), before + 1);
+        assert!(c.here_anchor_texts.contains(&"click me".to_string()));
+    }
+
+    #[test]
+    fn apply_pedantic_preserves_knobs() {
+        let mut c = LintConfig::default();
+        c.version = HtmlVersion::Html32;
+        c.max_title_length = 10;
+        apply_config_text("pedantic\n", &mut c).unwrap();
+        assert!(c.is_enabled("title-length"));
+        assert_eq!(c.version, HtmlVersion::Html32);
+        assert_eq!(c.max_title_length, 10);
+    }
+
+    #[test]
+    fn custom_markup_directives() {
+        let mut c = LintConfig::default();
+        apply_config_text(
+            "element WOBBLE, FROB\nattribute p wibble\nattribute * tooldata\n",
+            &mut c,
+        )
+        .unwrap();
+        assert!(c.is_custom_element("wobble"));
+        assert!(c.is_custom_element("frob"));
+        assert!(!c.is_custom_element("zap"));
+        assert!(c.is_custom_attribute("p", "wibble"));
+        assert!(!c.is_custom_attribute("b", "wibble"));
+        assert!(c.is_custom_attribute("b", "tooldata"));
+    }
+
+    #[test]
+    fn custom_markup_parse_errors() {
+        assert!(parse_config("element\n").is_err());
+        assert!(parse_config("attribute onlyone\n").is_err());
+        assert!(parse_config("attribute a b c\n").is_err());
+    }
+
+    #[test]
+    fn custom_markup_silences_engine() {
+        // The §4.6 scenario: a generator's tool-specific markup.
+        let mut c = LintConfig::default();
+        c.fragment = true;
+        apply_config_text("element GENERATOR-NOTE\nattribute * toolid\n", &mut c).unwrap();
+        let weblint = weblint_core::Weblint::with_config(c);
+        let page = "<GENERATOR-NOTE>made by tool</GENERATOR-NOTE>\
+                    <P TOOLID=\"77\">content</P>";
+        assert_eq!(weblint.check_string(page), vec![]);
+        // Without the declarations the same page is noisy.
+        let mut plain = LintConfig::default();
+        plain.fragment = true;
+        let weblint = weblint_core::Weblint::with_config(plain);
+        assert_eq!(weblint.check_string(page).len(), 2);
+    }
+
+    #[test]
+    fn extension_none_resets() {
+        let mut c = LintConfig::default();
+        apply_config_text("extension both\nextension none\n", &mut c).unwrap();
+        assert!(!c.extensions.netscape && !c.extensions.microsoft);
+    }
+}

@@ -1,0 +1,131 @@
+//! Configuration layering: site file, then user file, then overrides.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use weblint_core::LintConfig;
+
+use crate::directive::{apply_config_text, apply_directive, ConfigError, Directive};
+
+/// Where the layers come from for one weblint run.
+///
+/// "The user's file can either extend or over-ride the site configuration.
+/// Command-line switches … over-ride both configuration files" (§4.4).
+/// Layers apply in that order, later layers winning.
+#[derive(Debug, Clone, Default)]
+pub struct Layering {
+    /// Site-wide configuration file (a company or group style guide).
+    pub site_file: Option<PathBuf>,
+    /// Per-user configuration file (`~/.weblintrc`).
+    pub user_file: Option<PathBuf>,
+    /// Directives from command-line switches.
+    pub overrides: Vec<Directive>,
+}
+
+impl Layering {
+    /// Resolve the layers into a configuration, starting from defaults.
+    pub fn resolve(&self) -> Result<LintConfig, ConfigError> {
+        let mut config = LintConfig::default();
+        if let Some(site) = &self.site_file {
+            load_config_file(site, &mut config)?;
+        }
+        if let Some(user) = &self.user_file {
+            load_config_file(user, &mut config)?;
+        }
+        for directive in &self.overrides {
+            apply_directive(directive, &mut config)?;
+        }
+        Ok(config)
+    }
+}
+
+/// Read one configuration file and apply it onto `config`.
+///
+/// A missing user file is not an error — weblint runs fine without a
+/// `.weblintrc` — but an unreadable or malformed file is.
+pub fn load_config_file(path: &Path, config: &mut LintConfig) -> Result<(), ConfigError> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => {
+            return Err(ConfigError {
+                line: 0,
+                message: format!("cannot read {}: {e}", path.display()),
+            })
+        }
+    };
+    apply_config_text(&text, config).map_err(|mut e| {
+        e.message = format!("{}: {}", path.display(), e.message);
+        e
+    })
+}
+
+/// Convenience: resolve a full layered configuration in one call.
+pub fn load_layered(
+    site_file: Option<&Path>,
+    user_file: Option<&Path>,
+    overrides: &[Directive],
+) -> Result<LintConfig, ConfigError> {
+    Layering {
+        site_file: site_file.map(Path::to_path_buf),
+        user_file: user_file.map(Path::to_path_buf),
+        overrides: overrides.to_vec(),
+    }
+    .resolve()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, contents: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("weblint-config-tests");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let mut f = fs::File::create(&path).unwrap();
+        f.write_all(contents.as_bytes()).unwrap();
+        path
+    }
+
+    #[test]
+    fn missing_files_are_fine() {
+        let config = load_layered(
+            Some(Path::new("/no/such/site.rc")),
+            Some(Path::new("/no/such/user.rc")),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(config.enabled_count(), 42);
+    }
+
+    #[test]
+    fn user_overrides_site() {
+        let site = temp_file("site.rc", "disable img-alt\ndisable here-anchor\n");
+        let user = temp_file("user.rc", "enable img-alt\n");
+        let config = load_layered(Some(&site), Some(&user), &[]).unwrap();
+        assert!(config.is_enabled("img-alt"));
+        assert!(!config.is_enabled("here-anchor"));
+    }
+
+    #[test]
+    fn cli_overrides_both() {
+        let site = temp_file("site2.rc", "disable img-alt\n");
+        let user = temp_file("user2.rc", "disable here-anchor\n");
+        let overrides = vec![
+            Directive::Enable("img-alt".into()),
+            Directive::Enable("here-anchor".into()),
+        ];
+        let config = load_layered(Some(&site), Some(&user), &overrides).unwrap();
+        assert!(config.is_enabled("img-alt"));
+        assert!(config.is_enabled("here-anchor"));
+    }
+
+    #[test]
+    fn malformed_file_reports_path() {
+        let site = temp_file("bad.rc", "explode now\n");
+        let mut config = LintConfig::default();
+        let e = load_config_file(&site, &mut config).unwrap_err();
+        assert!(e.message.contains("bad.rc"), "{e}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Configuration files and switches for weblint.
+//!
+//! "There are three ways to provide configuration information for weblint:
+//! a site configuration file … a user configuration file, `.weblintrc` on
+//! Unix systems … command-line switches, which over-ride both configuration
+//! files" (§4.4). This crate parses the `.weblintrc` dialect, applies
+//! directives onto a [`weblint_core::LintConfig`], and implements the
+//! layering.
+//!
+//! It also implements the paper's §6.1 future-work item "page-specific
+//! configuration of weblint: configuration information embedded in
+//! comments" — `<!-- weblint: disable here-anchor -->` inside a page adjusts
+//! the configuration for that page.
+//!
+//! # File format
+//!
+//! ```text
+//! # weblint site configuration
+//! enable  here-anchor, physical-font
+//! disable img-alt
+//! disable style              # a whole category
+//! version html-4.0-strict
+//! extension netscape
+//! here-anchor-text "click me"
+//! max-title-length 80
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use weblint_config::apply_config_text;
+//! use weblint_core::LintConfig;
+//!
+//! let mut config = LintConfig::default();
+//! apply_config_text("enable physical-font\ndisable img-alt\n", &mut config).unwrap();
+//! assert!(config.is_enabled("physical-font"));
+//! assert!(!config.is_enabled("img-alt"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod directive;
+mod layering;
+mod pragma;
+
+pub use directive::{apply_config_text, apply_directive, parse_config, ConfigError, Directive};
+pub use layering::{load_config_file, load_layered, Layering};
+pub use pragma::{apply_pragmas, extract_pragmas};

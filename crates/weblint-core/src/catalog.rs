@@ -1,0 +1,279 @@
+//! The message catalog.
+//!
+//! "Weblint 1.020 supports 50 different output messages, 42 of which are
+//! enabled by default" (§4.3). This reconstruction defines 55 messages and
+//! keeps the default-enabled count at exactly 42. Messages that are
+//! "esoteric or overly pedantic" are disabled by default, as the paper
+//! prescribes.
+
+use crate::message::Category;
+
+/// One entry in the catalog.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckDef {
+    /// The stable identifier used by `enable`/`disable` configuration.
+    pub id: &'static str,
+    /// Error, warning, or style.
+    pub category: Category,
+    /// Enabled without any configuration?
+    pub default_enabled: bool,
+    /// One-line description, shown by `weblint -todo`-style listings.
+    pub summary: &'static str,
+}
+
+use Category::{Error, Style, Warning};
+
+macro_rules! checks {
+    ($(($id:literal, $cat:ident, $on:literal, $summary:literal),)*) => {
+        &[$(CheckDef {
+            id: $id,
+            category: $cat,
+            default_enabled: $on,
+            summary: $summary,
+        },)*]
+    };
+}
+
+/// Every message weblint can produce, sorted by identifier.
+pub static CATALOG: &[CheckDef] =
+    checks![
+    ("attribute-delimiter", Warning, true,
+     "attribute value delimited with single quotes, which not all browsers handle"),
+    ("attribute-value", Error, true,
+     "illegal value for an attribute (e.g. BGCOLOR=\"fffff\")"),
+    ("bad-link", Error, true,
+     "hyperlink target does not exist (site mode)"),
+    ("bad-text-context", Warning, false,
+     "text appears directly inside an element that should only hold structure (e.g. UL, TABLE)"),
+    ("body-no-head", Warning, true,
+     "<BODY> seen with no <HEAD> element before it"),
+    ("closing-attribute", Error, true,
+     "end tag carries attributes"),
+    ("comment-dashes", Warning, false,
+     "comment contains interior --, ill-formed under strict SGML rules"),
+    ("container-whitespace", Style, false,
+     "leading or trailing whitespace inside a container like <A>"),
+    ("deprecated-attribute", Warning, false,
+     "attribute is deprecated in the checked HTML version"),
+    ("directory-index", Warning, true,
+     "directory has no index file (site mode, -R)"),
+    ("doctype-version", Warning, false,
+     "DOCTYPE does not match the HTML version being checked against"),
+    ("duplicate-attribute", Error, true,
+     "the same attribute appears twice in one tag"),
+    ("element-overlap", Error, true,
+     "elements overlap instead of nesting (e.g. <B><A>..</B>..</A>)"),
+    ("empty-container", Warning, true,
+     "container element with no content (e.g. <TITLE></TITLE>)"),
+    ("extension-attribute", Warning, true,
+     "attribute only exists as a vendor extension which is not enabled"),
+    ("extension-markup", Warning, true,
+     "element only exists as a vendor extension which is not enabled"),
+    ("head-element", Error, true,
+     "element that belongs in <HEAD> used in the document body"),
+    ("heading-in-anchor", Style, false,
+     "heading inside an anchor; put the anchor inside the heading instead"),
+    ("heading-mismatch", Error, true,
+     "malformed heading: open tag level differs from close (e.g. <H1>..</H2>)"),
+    ("heading-order", Style, true,
+     "heading levels should not be skipped (e.g. <H3> directly after <H1>)"),
+    ("here-anchor", Style, true,
+     "content-free anchor text like \"here\" or \"click here\""),
+    ("html-outer", Warning, true,
+     "outer element of the document should be <HTML>"),
+    ("img-alt", Warning, true,
+     "IMG element without an ALT attribute"),
+    ("img-size", Warning, false,
+     "IMG element without WIDTH and HEIGHT attributes"),
+    ("leading-whitespace", Warning, true,
+     "whitespace between </ and the element name"),
+    ("literal-metacharacter", Warning, true,
+     "literal < or > in text should be &lt; or &gt;"),
+    ("lower-case", Style, false,
+     "element and attribute names should be lower case"),
+    ("mailto-link", Style, false,
+     "use of a mailto: hyperlink"),
+    ("markup-in-comment", Warning, true,
+     "markup embedded in a comment can confuse some browsers"),
+    ("missing-attribute-value", Error, true,
+     "attribute with = but no value"),
+    ("must-follow-head", Warning, true,
+     "content between </HEAD> and <BODY>"),
+    ("nested-element", Error, true,
+     "element that may not nest inside itself (e.g. <A> inside <A>)"),
+    ("obsolete-element", Warning, true,
+     "obsolete or deprecated element (e.g. <LISTING>; use <PRE>)"),
+    ("odd-quotes", Error, true,
+     "odd number of quotes in a tag"),
+    ("once-only", Error, true,
+     "element that may appear only once appears again (e.g. a second <TITLE>)"),
+    ("orphan-page", Warning, true,
+     "page not referred to by any other page (site mode, -R)"),
+    ("physical-font", Style, false,
+     "physical font markup used; logical markup conveys intent (e.g. <B> vs <STRONG>)"),
+    ("quote-attribute-value", Warning, true,
+     "attribute value should be quoted"),
+    ("require-doctype", Warning, true,
+     "first element is not a DOCTYPE specification"),
+    ("require-head", Warning, true,
+     "document has no HEAD element"),
+    ("require-title", Warning, true,
+     "document has no TITLE element"),
+    ("required-attribute", Error, true,
+     "a required attribute is missing (e.g. ROWS and COLS on TEXTAREA)"),
+    ("required-context", Error, true,
+     "element used outside its required context (e.g. <LI> outside a list)"),
+    ("title-length", Style, false,
+     "TITLE text longer than 64 characters"),
+    ("unclosed-comment", Error, true,
+     "comment never closed with -->"),
+    ("unclosed-element", Error, true,
+     "no closing tag seen for a container that requires one"),
+    ("unexpected-close", Error, true,
+     "close tag with no matching open tag"),
+    ("unknown-attribute", Error, true,
+     "attribute not defined for this element in any known HTML version"),
+    ("unknown-element", Error, true,
+     "element not defined in any known HTML version (probably a typo)"),
+    ("unknown-entity", Error, true,
+     "entity reference not defined in the checked HTML version"),
+    ("unterminated-entity", Warning, true,
+     "entity reference without the closing ;"),
+    ("unterminated-tag", Error, true,
+     "tag never closed with > before the next tag or end of file"),
+    ("upper-case", Style, false,
+     "element and attribute names should be upper case"),
+    ("version-markup", Warning, true,
+     "element defined in a different HTML version than the one being checked"),
+    ("xml-self-close", Warning, false,
+     "XML-style /> self-close is not HTML"),
+];
+
+/// Look up a catalog entry by identifier.
+pub fn check_def(id: &str) -> Option<&'static CheckDef> {
+    CATALOG.iter().find(|c| c.id == id)
+}
+
+/// Identifiers of every message in `category`.
+pub fn ids_in_category(category: Category) -> impl Iterator<Item = &'static str> {
+    CATALOG
+        .iter()
+        .filter(move |c| c.category == category)
+        .map(|c| c.id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_size_matches_design() {
+        // DESIGN.md §2: 55 messages, exactly 42 enabled by default,
+        // mirroring the paper's 50/42 as closely as a reconstruction can.
+        assert_eq!(CATALOG.len(), 55);
+        let enabled = CATALOG.iter().filter(|c| c.default_enabled).count();
+        assert_eq!(enabled, 42);
+    }
+
+    #[test]
+    fn ids_sorted_and_unique() {
+        for pair in CATALOG.windows(2) {
+            assert!(pair[0].id < pair[1].id, "{} !< {}", pair[0].id, pair[1].id);
+        }
+    }
+
+    #[test]
+    fn ids_are_kebab_case() {
+        for c in CATALOG {
+            assert!(
+                c.id.bytes().all(|b| b.is_ascii_lowercase() || b == b'-'),
+                "{}",
+                c.id
+            );
+            assert!(!c.id.starts_with('-') && !c.id.ends_with('-'), "{}", c.id);
+        }
+    }
+
+    #[test]
+    fn lookup_finds_known_ids() {
+        assert!(check_def("here-anchor").is_some());
+        assert!(check_def("odd-quotes").is_some());
+        assert!(check_def("no-such-check").is_none());
+    }
+
+    #[test]
+    fn paper_examples_have_expected_categories() {
+        // §4.3: errors include missing close tags, mis-typed element names,
+        // forgotten required attributes.
+        assert_eq!(
+            check_def("unclosed-element").unwrap().category,
+            Category::Error
+        );
+        assert_eq!(
+            check_def("unknown-element").unwrap().category,
+            Category::Error
+        );
+        assert_eq!(
+            check_def("required-attribute").unwrap().category,
+            Category::Error
+        );
+        // Warnings include single-quote delimiters, IMG sizes, comments
+        // containing markup, deprecated markup.
+        assert_eq!(
+            check_def("attribute-delimiter").unwrap().category,
+            Category::Warning
+        );
+        assert_eq!(check_def("img-size").unwrap().category, Category::Warning);
+        assert_eq!(
+            check_def("markup-in-comment").unwrap().category,
+            Category::Warning
+        );
+        assert_eq!(
+            check_def("obsolete-element").unwrap().category,
+            Category::Warning
+        );
+        // Style comments include here-anchors and physical markup.
+        assert_eq!(check_def("here-anchor").unwrap().category, Category::Style);
+        assert_eq!(
+            check_def("physical-font").unwrap().category,
+            Category::Style
+        );
+    }
+
+    #[test]
+    fn esoteric_checks_default_off() {
+        for id in [
+            "physical-font",
+            "upper-case",
+            "lower-case",
+            "mailto-link",
+            "title-length",
+            "comment-dashes",
+        ] {
+            assert!(!check_def(id).unwrap().default_enabled, "{id}");
+        }
+    }
+
+    #[test]
+    fn case_checks_are_mutually_exclusive_defaults() {
+        // Both case checks cannot be on by default — they contradict.
+        assert!(!check_def("upper-case").unwrap().default_enabled);
+        assert!(!check_def("lower-case").unwrap().default_enabled);
+    }
+
+    #[test]
+    fn category_iteration_partitions_catalog() {
+        let total: usize = [Category::Error, Category::Warning, Category::Style]
+            .iter()
+            .map(|&c| ids_in_category(c).count())
+            .sum();
+        assert_eq!(total, CATALOG.len());
+    }
+
+    #[test]
+    fn summaries_are_nonempty() {
+        for c in CATALOG {
+            assert!(!c.summary.is_empty(), "{}", c.id);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! End-tag handling: stack popping, overlap resolution via the secondary
+//! stack, and the checks that run when an element closes.
+
+use weblint_tokenizer::{Span, Tag};
+
+use super::{start::heading_level, Checker, Open};
+
+impl Checker<'_> {
+    pub(crate) fn on_end_tag(&mut self, tag: &Tag<'_>, span: Span) {
+        self.check_first_tag(tag.name, span);
+        if tag.name.is_empty() {
+            self.emit("unexpected-close", span, "empty end tag `</>'".to_string());
+            return;
+        }
+        self.check_name_case(tag.name, span, "tag");
+        if tag.space_before_name {
+            self.emit(
+                "leading-whitespace",
+                span,
+                format!(
+                    "whitespace not allowed between `</' and the tag name (</{}>)",
+                    tag.name
+                ),
+            );
+        }
+        if !tag.attrs.is_empty() {
+            self.emit(
+                "closing-attribute",
+                span,
+                format!("end tag </{}> should not have attributes", tag.name),
+            );
+        }
+
+        let name_lc = tag.name_lc();
+
+        // End tag for an empty element (</IMG>, </BR>): nothing to pop.
+        if let Some(def) = self.spec.element_any(&name_lc) {
+            if def.is_empty_element() {
+                self.emit(
+                    "unexpected-close",
+                    span,
+                    format!(
+                        "</{orig}> is not legal - {orig} is an empty element",
+                        orig = tag.name
+                    ),
+                );
+                return;
+            }
+        }
+
+        match self.stack.iter().rposition(|o| o.name == name_lc) {
+            Some(index) => self.close_matched(index, tag, span),
+            None => self.close_unmatched(&name_lc, tag, span),
+        }
+    }
+
+    /// The end tag matches an element on the stack. Anything opened above
+    /// it is either silently closed (omissible end tags, unknown elements),
+    /// reported as *overlap* (inline elements — the paper's `</B>` over
+    /// `<A>` case) and parked on the secondary stack, or reported as
+    /// *unclosed* (structural elements — the `</HEAD>` over `<TITLE>` case).
+    fn close_matched(&mut self, index: usize, tag: &Tag<'_>, span: Span) {
+        while self.stack.len() > index + 1 {
+            let open = self.stack.pop().expect("intervening element exists");
+            if self.config.heuristics && open.silently_closable() {
+                self.close_bookkeeping(&open, span);
+            } else if self.config.heuristics && open.is_inline() {
+                self.emit(
+                    "element-overlap",
+                    span,
+                    format!(
+                        "</{close}> on line {close_line} seems to overlap <{open}>, \
+                         opened on line {open_line}",
+                        close = tag.name,
+                        close_line = span.start.line,
+                        open = open.orig,
+                        open_line = open.line
+                    ),
+                );
+                // Park it: its own end tag will arrive later and must not
+                // count as unmatched.
+                self.unresolved.push(open);
+            } else {
+                self.emit(
+                    "unclosed-element",
+                    span,
+                    format!(
+                        "no closing </{orig}> seen for <{orig}> on line {line}",
+                        orig = open.orig,
+                        line = open.line
+                    ),
+                );
+                self.close_bookkeeping(&open, span);
+            }
+        }
+        let open = self.stack.pop().expect("matched element exists");
+        self.close_bookkeeping(&open, span);
+    }
+
+    /// The end tag matches nothing on the stack: resolve it against the
+    /// secondary stack, recognise the heading-mismatch idiom, or report it
+    /// as unmatched.
+    fn close_unmatched(&mut self, name_lc: &str, tag: &Tag<'_>, span: Span) {
+        if self.config.heuristics {
+            if let Some(pos) = self.unresolved.iter().rposition(|o| o.name == *name_lc) {
+                // The element was displaced by an earlier overlap and has
+                // already been reported; its close resolves silently.
+                self.unresolved.remove(pos);
+                return;
+            }
+        }
+        // The paper's <H1>..</H2> case: a heading closed with the wrong
+        // level. Treat the close as ending the open heading so a single
+        // typo yields a single message.
+        if let (Some(close_level), Some(top)) = (heading_level(name_lc), self.stack.last()) {
+            if let Some(open_level) = heading_level(&top.name) {
+                if open_level != close_level {
+                    self.emit(
+                        "heading-mismatch",
+                        span,
+                        format!(
+                            "malformed heading - open tag is <{}>, but closing is </{}>",
+                            top.orig, tag.name
+                        ),
+                    );
+                    let open = self.stack.pop().expect("heading on top");
+                    self.close_bookkeeping(&open, span);
+                    return;
+                }
+            }
+        }
+        self.emit(
+            "unexpected-close",
+            span,
+            format!("unmatched </{orig}> (no <{orig}> seen)", orig = tag.name),
+        );
+    }
+
+    /// Checks that run whenever an element actually leaves the stack,
+    /// however it was closed.
+    pub(crate) fn close_bookkeeping(&mut self, open: &Open, span: Span) {
+        let warn_if_empty = open.def.map(|d| d.warn_if_empty).unwrap_or(false);
+        if warn_if_empty && !open.has_content {
+            self.emit(
+                "empty-container",
+                span,
+                format!("empty container element <{}>", open.orig),
+            );
+        }
+        match open.name.as_str() {
+            "a" => {
+                if let Some(text) = self.anchor_text.take() {
+                    self.check_anchor_text(&text, span);
+                }
+            }
+            "title" => {
+                if let Some(text) = self.title_text.take() {
+                    let len = text.trim().chars().count();
+                    if len > self.config.max_title_length {
+                        self.emit(
+                            "title-length",
+                            span,
+                            format!(
+                                "TITLE text is {len} characters long - keep it under {}",
+                                self.config.max_title_length
+                            ),
+                        );
+                    }
+                }
+            }
+            "head" => {
+                self.after_head = true;
+            }
+            _ => {}
+        }
+    }
+
+    fn check_anchor_text(&mut self, text: &str, span: Span) {
+        let trimmed = text.trim();
+        let lc = trimmed.to_lowercase();
+        if self
+            .config
+            .here_anchor_texts
+            .iter()
+            .any(|t| t.as_str() == lc)
+        {
+            self.emit(
+                "here-anchor",
+                span,
+                format!("anchor text `{trimmed}' is content-free - describe the link target"),
+            );
+        }
+        if !trimmed.is_empty()
+            && (text.starts_with(char::is_whitespace) || text.ends_with(char::is_whitespace))
+        {
+            self.emit(
+                "container-whitespace",
+                span,
+                "whitespace at beginning or end of anchor text".to_string(),
+            );
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! The lint engine: "basically a stack machine with an ad-hoc parser, which
+//! uses various heuristics to keep things together as it goes along" (§5.1).
+//!
+//! The file being processed is tokenised into start tags, text content and
+//! end tags. Opening tags are pushed onto the main stack; closing tags pop
+//! it. A secondary stack holds unresolved tags — elements displaced by
+//! overlapping markup — so that their close tags, arriving later, do not
+//! produce spurious messages. The heuristics (implied closes, overlap
+//! resolution, silent handling of unknown elements' close tags) exist "in an
+//! effort to minimise the number of warning cascades, where a single problem
+//! generates a flurry of error messages"; they can be switched off via
+//! [`crate::LintConfig::heuristics`] to measure exactly that effect.
+
+mod end;
+mod open;
+mod start;
+mod text;
+
+pub(crate) use open::Open;
+
+use std::collections::HashMap;
+
+use weblint_html::HtmlSpec;
+use weblint_tokenizer::{Pos, Span, Token, TokenKind, Tokenizer};
+
+use crate::catalog::check_def;
+use crate::message::Diagnostic;
+use crate::options::LintConfig;
+
+/// Run every enabled check over `src` and return the diagnostics in source
+/// order.
+///
+/// This is the pure-function core: (tokens, HTML tables, config) →
+/// diagnostics. [`crate::Weblint`] provides the friendlier object API.
+pub fn check(spec: &HtmlSpec, config: &LintConfig, src: &str) -> Vec<Diagnostic> {
+    let mut checker = Checker::new(spec, config, src);
+    for token in Tokenizer::new(src) {
+        checker.on_token(&token);
+    }
+    checker.finish()
+}
+
+/// Engine state for one document.
+pub(crate) struct Checker<'a> {
+    pub(crate) spec: &'a HtmlSpec,
+    pub(crate) config: &'a LintConfig,
+    pub(crate) src: &'a str,
+    pub(crate) diags: Vec<Diagnostic>,
+    /// The main stack of open elements.
+    pub(crate) stack: Vec<Open>,
+    /// The secondary stack of unresolved (overlapped) elements.
+    pub(crate) unresolved: Vec<Open>,
+    /// First line on which each element name (lower-case) was seen.
+    pub(crate) seen: HashMap<String, u32>,
+    pub(crate) seen_doctype: bool,
+    pub(crate) first_tag_checked: bool,
+    pub(crate) head_seen: bool,
+    pub(crate) body_seen: bool,
+    /// Between `</HEAD>` and `<BODY>`: content here is misplaced.
+    pub(crate) after_head: bool,
+    pub(crate) last_heading: Option<u8>,
+    /// Accumulated visible text of the innermost open `<A>`.
+    pub(crate) anchor_text: Option<String>,
+    /// Accumulated text of an open `<TITLE>`.
+    pub(crate) title_text: Option<String>,
+    /// Position of the end of input, maintained as tokens stream past.
+    pub(crate) end_pos: Pos,
+}
+
+impl<'a> Checker<'a> {
+    pub(crate) fn new(spec: &'a HtmlSpec, config: &'a LintConfig, src: &'a str) -> Checker<'a> {
+        Checker {
+            spec,
+            config,
+            src,
+            diags: Vec::new(),
+            stack: Vec::new(),
+            unresolved: Vec::new(),
+            seen: HashMap::new(),
+            seen_doctype: false,
+            first_tag_checked: false,
+            head_seen: false,
+            body_seen: false,
+            after_head: false,
+            last_heading: None,
+            anchor_text: None,
+            title_text: None,
+            end_pos: Pos::START,
+        }
+    }
+
+    fn on_token(&mut self, token: &Token<'_>) {
+        self.end_pos = token.span.end;
+        match &token.kind {
+            TokenKind::StartTag(tag) => self.on_start_tag(tag, token.span),
+            TokenKind::EndTag(tag) => self.on_end_tag(tag, token.span),
+            TokenKind::Text(t) => self.on_text(t, token.span),
+            TokenKind::Comment(c) => self.on_comment(c, token.span),
+            TokenKind::Doctype(d) => self.on_doctype(d, token.span),
+            // Other markup declarations and PIs are passed through silently:
+            // weblint checks HTML, not SGML prologues.
+            TokenKind::Decl(_) | TokenKind::Pi(_) => {}
+        }
+    }
+
+    /// Emit a diagnostic if its check is enabled.
+    pub(crate) fn emit(&mut self, id: &'static str, span: Span, message: String) {
+        if !self.config.is_enabled(id) {
+            return;
+        }
+        let def = check_def(id).unwrap_or_else(|| {
+            // A check id not in the catalog is a programming error in this
+            // crate, caught by the catalog tests.
+            unreachable!("emit() called with unknown id {id}")
+        });
+        self.diags
+            .push(Diagnostic::at(id, def.category, span, message));
+    }
+
+    /// Whether a `<HEAD>` element is currently open.
+    pub(crate) fn in_head(&self) -> bool {
+        self.stack.iter().any(|o| o.name == "head")
+    }
+
+    /// End-of-document processing: force-close whatever is still open and
+    /// run the whole-document checks.
+    fn finish(mut self) -> Vec<Diagnostic> {
+        let eof = Span::empty(self.end_pos);
+        while let Some(open) = self.stack.pop() {
+            let silent =
+                self.config.heuristics && open.def.map(|d| d.end_tag_optional()).unwrap_or(true);
+            if !silent {
+                self.emit(
+                    "unclosed-element",
+                    eof,
+                    format!(
+                        "no closing </{orig}> seen for <{orig}> on line {line}",
+                        orig = open.orig,
+                        line = open.line
+                    ),
+                );
+            }
+            self.close_bookkeeping(&open, eof);
+        }
+        if self.first_tag_checked && !self.config.fragment {
+            if !self.head_seen {
+                self.emit(
+                    "require-head",
+                    eof,
+                    "document should contain a HEAD element".to_string(),
+                );
+            }
+            if !self.seen.contains_key("title") {
+                self.emit(
+                    "require-title",
+                    eof,
+                    "no <TITLE> in HEAD element".to_string(),
+                );
+            }
+        }
+        self.diags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let spec = HtmlSpec::default();
+        let config = LintConfig::default();
+        check(&spec, &config, src)
+    }
+
+    fn ids(src: &str) -> Vec<&'static str> {
+        lint(src).iter().map(|d| d.id).collect()
+    }
+
+    const CLEAN: &str = "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0 Transitional//EN\">\n\
+        <HTML>\n<HEAD>\n<TITLE>ok</TITLE>\n</HEAD>\n<BODY>\n\
+        <H1>Fine</H1>\n<P>Hello there.\n</BODY>\n</HTML>\n";
+
+    #[test]
+    fn clean_document_is_clean() {
+        assert_eq!(lint(CLEAN), vec![]);
+    }
+
+    #[test]
+    fn empty_input_is_clean() {
+        assert_eq!(lint(""), vec![]);
+    }
+
+    #[test]
+    fn text_only_input_is_clean() {
+        // No markup at all: the structure checks stay quiet.
+        assert_eq!(lint("just some words\n"), vec![]);
+    }
+
+    #[test]
+    fn missing_doctype_reported_at_first_tag() {
+        let diags = lint("<HTML><HEAD><TITLE>x</TITLE></HEAD><BODY>y</BODY></HTML>");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].id, "require-doctype");
+        assert_eq!(diags[0].line, 1);
+        assert_eq!(
+            diags[0].message,
+            "first element was not DOCTYPE specification"
+        );
+    }
+
+    #[test]
+    fn missing_head_and_title_reported_at_eof() {
+        let src = "<!DOCTYPE HTML PUBLIC \"x\">\n<HTML>\n<BODY>hi</BODY>\n</HTML>";
+        let found = ids(src);
+        assert!(found.contains(&"require-head"), "{found:?}");
+        assert!(found.contains(&"require-title"), "{found:?}");
+    }
+
+    #[test]
+    fn fragment_mode_skips_structure_checks() {
+        let spec = HtmlSpec::default();
+        let mut config = LintConfig::default();
+        config.fragment = true;
+        let diags = check(&spec, &config, "<B>bold</B> and <I>italic</I>");
+        assert_eq!(diags, vec![]);
+    }
+
+    #[test]
+    fn unclosed_at_eof_reported() {
+        let src = format!("{}<B>dangling", CLEAN);
+        let diags = lint(&src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].id, "unclosed-element");
+        assert!(diags[0].message.contains("</B>"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn optional_end_tags_close_silently_at_eof() {
+        // P and LI end tags are omissible: no noise.
+        let src = "<!DOCTYPE HTML PUBLIC \"x\">\n<HTML><HEAD><TITLE>t</TITLE></HEAD>\
+                   <BODY><P>one<UL><LI>two</UL></BODY></HTML>";
+        assert_eq!(lint(src), vec![]);
+    }
+}

@@ -1,0 +1,78 @@
+//! An entry on the element stack.
+
+use weblint_html::ElementDef;
+
+/// One open element, as held on the main stack (and, after an overlap, the
+/// secondary "unresolved" stack).
+#[derive(Debug, Clone)]
+pub(crate) struct Open {
+    /// Lower-case element name for table lookups and matching.
+    pub name: String,
+    /// The name exactly as written in the source, for messages.
+    pub orig: String,
+    /// Line the open tag appeared on — weblint's messages quote it
+    /// ("for <TITLE> on line 3").
+    pub line: u32,
+    /// The element's table entry, if the name is known at all.
+    pub def: Option<&'static ElementDef>,
+    /// Whether any non-whitespace content (text or child elements) has been
+    /// seen inside, for the `empty-container` check.
+    pub has_content: bool,
+}
+
+impl Open {
+    /// Whether the §5.1 heuristics may close this element silently when a
+    /// mismatched end tag or end-of-file forces it off the stack.
+    pub fn silently_closable(&self) -> bool {
+        self.def.map(|d| d.end_tag_optional()).unwrap_or(true)
+    }
+
+    /// Whether this element is inline (text-level) markup. Mismatched
+    /// closes around inline elements are reported as *overlap* (the
+    /// markup is interleaved); around structural elements as *unclosed*
+    /// (the author forgot the end tag).
+    pub fn is_inline(&self) -> bool {
+        self.def
+            .map(|d| matches!(d.category, weblint_html::ElementCategory::Inline))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weblint_html::HtmlSpec;
+
+    fn open(name: &str) -> Open {
+        let spec = HtmlSpec::default();
+        Open {
+            name: name.to_string(),
+            orig: name.to_uppercase(),
+            line: 1,
+            def: spec.element_any(name),
+            has_content: false,
+        }
+    }
+
+    #[test]
+    fn optional_end_is_silently_closable() {
+        assert!(open("p").silently_closable());
+        assert!(open("li").silently_closable());
+        assert!(!open("title").silently_closable());
+        assert!(!open("a").silently_closable());
+    }
+
+    #[test]
+    fn unknown_elements_close_silently() {
+        assert!(open("nosuchtag").silently_closable());
+    }
+
+    #[test]
+    fn inline_classification() {
+        assert!(open("a").is_inline());
+        assert!(open("b").is_inline());
+        assert!(!open("title").is_inline());
+        assert!(!open("div").is_inline());
+        assert!(!open("nosuchtag").is_inline());
+    }
+}

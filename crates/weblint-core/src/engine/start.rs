@@ -1,0 +1,652 @@
+//! Start-tag handling: element checks, attribute checks, stack pushes.
+
+use weblint_html::{AttrStatus, ElementCategory, ElementDef, ElementStatus};
+use weblint_tokenizer::{Quote, Span, Tag};
+
+use crate::options::{edit_distance, CaseStyle};
+
+use super::{Checker, Open};
+
+/// Elements that must not be nested inside themselves.
+const NON_NESTABLE: &[&str] = &["a", "form", "label", "button", "select", "style", "script"];
+
+/// Cap quoted source text in messages so one mangled tag cannot produce a
+/// kilobyte-long diagnostic.
+const MAX_QUOTED_SRC: usize = 60;
+
+impl Checker<'_> {
+    pub(crate) fn on_start_tag(&mut self, tag: &Tag<'_>, span: Span) {
+        self.check_first_tag(tag.name, span);
+        let name_lc = tag.name_lc();
+        self.check_name_case(tag.name, span, "tag");
+
+        if tag.odd_quotes {
+            self.emit(
+                "odd-quotes",
+                span,
+                format!(
+                    "odd number of quotes in element {}",
+                    clip(span.slice(self.src), MAX_QUOTED_SRC)
+                ),
+            );
+        }
+        if tag.unterminated {
+            self.emit(
+                "unterminated-tag",
+                span,
+                format!("<{}> tag is not closed with `>'", tag.name),
+            );
+        }
+
+        let def = self.classify_element(&name_lc, tag.name, span);
+
+        if let Some(d) = def {
+            if let Some(replacement) = d.deprecated {
+                self.emit(
+                    "obsolete-element",
+                    span,
+                    format!("<{}> is obsolete - use {}", tag.name, replacement),
+                );
+            }
+            if let Some(logical) = d.physical {
+                self.emit(
+                    "physical-font",
+                    span,
+                    format!(
+                        "<{}> is physical font markup - consider logical markup (e.g. {})",
+                        tag.name, logical
+                    ),
+                );
+            }
+            if self.config.heuristics {
+                self.apply_implied_closes(d, span);
+            }
+            self.check_required_context(d, tag.name, span);
+        }
+
+        self.check_nesting(&name_lc, tag.name, span);
+        self.check_once_only(&name_lc, tag.name, span);
+        self.check_structure_on_open(&name_lc, span);
+        self.check_heading_on_open(&name_lc, tag.name, span);
+
+        self.check_attrs_lexical(tag, span);
+        if let Some(d) = def {
+            self.check_attrs_semantic(tag, d, span);
+        }
+        if tag.self_closing {
+            self.emit(
+                "xml-self-close",
+                span,
+                format!("XML-style `/>' is not HTML (<{}/>)", tag.name),
+            );
+        }
+
+        // Record the element in the history.
+        self.seen.entry(name_lc.clone()).or_insert(span.start.line);
+        // A child element counts as content for `empty-container`.
+        if let Some(top) = self.stack.last_mut() {
+            top.has_content = true;
+        }
+
+        // Push containers; empty elements and XML-style self-closed tags
+        // leave the stack alone.
+        let is_container = def.map(|d| d.is_container()).unwrap_or(true);
+        if is_container && !tag.self_closing {
+            if name_lc == "a" {
+                self.anchor_text = Some(String::new());
+            } else if name_lc == "title" {
+                self.title_text = Some(String::new());
+            }
+            self.stack.push(Open {
+                name: name_lc,
+                orig: tag.name.to_string(),
+                line: span.start.line,
+                def,
+                has_content: false,
+            });
+        }
+    }
+
+    /// First markup in the document: DOCTYPE and outer-element checks.
+    pub(crate) fn check_first_tag(&mut self, name: &str, span: Span) {
+        if self.first_tag_checked {
+            return;
+        }
+        self.first_tag_checked = true;
+        if self.config.fragment {
+            return;
+        }
+        if !self.seen_doctype {
+            self.emit(
+                "require-doctype",
+                span,
+                "first element was not DOCTYPE specification".to_string(),
+            );
+        }
+        if !name.eq_ignore_ascii_case("html") {
+            self.emit(
+                "html-outer",
+                span,
+                "outer tags should be <HTML> .. </HTML>".to_string(),
+            );
+        }
+    }
+
+    /// Resolve the element against the active spec, reporting typos,
+    /// extension markup and wrong-version markup.
+    fn classify_element(
+        &mut self,
+        name_lc: &str,
+        orig: &str,
+        span: Span,
+    ) -> Option<&'static ElementDef> {
+        match self.spec.element_status(name_lc) {
+            ElementStatus::Active(d) => Some(d),
+            ElementStatus::Extension(d) => {
+                self.emit(
+                    "extension-markup",
+                    span,
+                    format!(
+                        "<{}> is {} extension markup (enable with the {} extension)",
+                        orig,
+                        vendor_name(d.mask),
+                        vendor_switch(d.mask)
+                    ),
+                );
+                Some(d)
+            }
+            ElementStatus::OtherVersion(d) => {
+                // Deprecated elements get the more useful obsolete message
+                // (emitted by the caller) instead of a version complaint.
+                if d.deprecated.is_none() {
+                    self.emit(
+                        "version-markup",
+                        span,
+                        format!(
+                            "<{}> is not defined in {}",
+                            orig,
+                            self.spec.version().name()
+                        ),
+                    );
+                }
+                Some(d)
+            }
+            ElementStatus::Unknown => {
+                // User-declared tool-specific markup is accepted silently
+                // (§4.6's noise problem; §6.1's custom elements).
+                if !self.config.is_custom_element(name_lc) {
+                    let mut msg = format!("unknown element <{orig}>");
+                    if let Some(suggestion) = self.suggest_element(name_lc) {
+                        msg.push_str(&format!(" (perhaps you meant <{}>?)", suggestion));
+                    }
+                    self.emit("unknown-element", span, msg);
+                }
+                None
+            }
+        }
+    }
+
+    /// Find an active element within edit distance 2 — catches the paper's
+    /// `<BLOCKQOUTE>` example.
+    fn suggest_element(&self, name_lc: &str) -> Option<String> {
+        if name_lc.len() < 3 {
+            return None;
+        }
+        self.spec
+            .active_elements()
+            .map(|e| (e.name, edit_distance(name_lc, e.name)))
+            .filter(|&(_, d)| d <= 2)
+            .min_by_key(|&(_, d)| d)
+            .map(|(name, _)| name.to_ascii_uppercase())
+    }
+
+    /// Silently close open elements that this element implies the end of —
+    /// `<LI>` closes an open `li`, `<TD>` closes `td`/`th`, block elements
+    /// close `p`.
+    fn apply_implied_closes(&mut self, def: &'static ElementDef, span: Span) {
+        while let Some(top) = self.stack.last() {
+            if def.implies_close_of(&top.name) && top.silently_closable() {
+                let open = self.stack.pop().expect("stack top exists");
+                self.close_bookkeeping(&open, span);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn check_required_context(&mut self, def: &'static ElementDef, orig: &str, span: Span) {
+        // HEAD-only elements get the dedicated `head-element` message.
+        if def.category == ElementCategory::Head {
+            if !self.in_head() && !self.config.fragment {
+                self.emit(
+                    "head-element",
+                    span,
+                    format!("<{}> can only appear in the HEAD element", orig),
+                );
+            }
+            return;
+        }
+        let Some(contexts) = def.contexts else {
+            return;
+        };
+        let parent_ok = self
+            .stack
+            .last()
+            .map(|top| contexts.contains(&top.name.as_str()))
+            .unwrap_or(false);
+        if !parent_ok {
+            let expected = contexts
+                .iter()
+                .map(|c| c.to_ascii_uppercase())
+                .collect::<Vec<_>>()
+                .join("|");
+            self.emit(
+                "required-context",
+                span,
+                format!(
+                    "illegal context for <{}> - must appear in {} element",
+                    orig, expected
+                ),
+            );
+        }
+    }
+
+    fn check_nesting(&mut self, name_lc: &str, orig: &str, span: Span) {
+        if !NON_NESTABLE.contains(&name_lc) {
+            return;
+        }
+        if let Some(outer) = self.stack.iter().rev().find(|o| o.name == name_lc) {
+            let line = outer.line;
+            self.emit(
+                "nested-element",
+                span,
+                format!("<{orig}> cannot be nested - <{orig}> opened on line {line}"),
+            );
+        }
+    }
+
+    fn check_once_only(&mut self, name_lc: &str, orig: &str, span: Span) {
+        let once = self
+            .spec
+            .element_any(name_lc)
+            .map(|d| d.once)
+            .unwrap_or(false);
+        if !once {
+            return;
+        }
+        if let Some(&first) = self.seen.get(name_lc) {
+            self.emit(
+                "once-only",
+                span,
+                format!(
+                    "<{orig}> may only appear once per document; it first appeared on line {first}"
+                ),
+            );
+        }
+    }
+
+    fn check_structure_on_open(&mut self, name_lc: &str, span: Span) {
+        // Markup between </HEAD> and <BODY> is as misplaced as text there.
+        if self.after_head
+            && !self.body_seen
+            && !self.config.fragment
+            && !matches!(name_lc, "body" | "html" | "frameset" | "noframes")
+        {
+            self.emit(
+                "must-follow-head",
+                span,
+                "<BODY> must immediately follow </HEAD>".to_string(),
+            );
+            self.after_head = false; // report once
+        }
+        match name_lc {
+            "head" => self.head_seen = true,
+            // In a frameset document, FRAMESET is the body-equivalent.
+            "frameset" => self.after_head = false,
+            "body" => {
+                if !self.head_seen && !self.config.fragment {
+                    self.emit(
+                        "body-no-head",
+                        span,
+                        "<BODY> seen with no <HEAD> element before it".to_string(),
+                    );
+                }
+                self.body_seen = true;
+                self.after_head = false;
+            }
+            _ => {}
+        }
+    }
+
+    fn check_heading_on_open(&mut self, name_lc: &str, orig: &str, span: Span) {
+        let Some(level) = heading_level(name_lc) else {
+            return;
+        };
+        if let Some(last) = self.last_heading {
+            if level > last + 1 {
+                self.emit(
+                    "heading-order",
+                    span,
+                    format!("bad style - <H{level}> follows <H{last}>"),
+                );
+            }
+        }
+        self.last_heading = Some(level);
+        if self.stack.iter().any(|o| o.name == "a") {
+            self.emit(
+                "heading-in-anchor",
+                span,
+                format!("heading <{orig}> inside anchor - put the <A> inside the heading"),
+            );
+        }
+    }
+
+    /// Pass 1 over attributes: purely lexical checks that need no element
+    /// table — case, duplicates, missing values, quoting style. Ordering
+    /// matters: weblint reports quote problems for a whole tag before value
+    /// problems (see the §4.2 example output).
+    fn check_attrs_lexical(&mut self, tag: &Tag<'_>, span: Span) {
+        let mut seen: Vec<String> = Vec::new();
+        for attr in &tag.attrs {
+            self.check_name_case(attr.name, attr.span, "attribute");
+            let lc = attr.name_lc();
+            if seen.contains(&lc) {
+                self.emit(
+                    "duplicate-attribute",
+                    attr.span,
+                    format!(
+                        "attribute {} appears more than once in <{}>",
+                        attr.name, tag.name
+                    ),
+                );
+            }
+            seen.push(lc);
+            match &attr.value {
+                None if attr.has_eq => {
+                    self.emit(
+                        "missing-attribute-value",
+                        attr.span,
+                        format!(
+                            "attribute {} of <{}> has `=' but no value",
+                            attr.name, tag.name
+                        ),
+                    );
+                }
+                None => {}
+                Some(v) => match v.quote {
+                    Quote::Single => {
+                        self.emit(
+                            "attribute-delimiter",
+                            attr.span,
+                            format!(
+                                "use of ' as delimiter for value of attribute {} of element {} \
+                                 is not supported by all browsers",
+                                attr.name, tag.name
+                            ),
+                        );
+                    }
+                    Quote::None if value_needs_quotes(v.raw) => {
+                        self.emit(
+                            "quote-attribute-value",
+                            attr.span,
+                            format!(
+                                "value for attribute {name} ({value}) of element {el} should be \
+                                 quoted (i.e. {name}=\"{value}\")",
+                                name = attr.name,
+                                value = clip(v.raw, MAX_QUOTED_SRC),
+                                el = tag.name
+                            ),
+                        );
+                    }
+                    _ => {}
+                },
+            }
+        }
+        let _ = span;
+    }
+
+    /// Pass 2 over attributes: table-driven checks — unknown/extension
+    /// attributes, value validation, required attributes, IMG advice.
+    fn check_attrs_semantic(&mut self, tag: &Tag<'_>, def: &'static ElementDef, span: Span) {
+        let element_lc = def.name;
+        for attr in &tag.attrs {
+            let lc = attr.name_lc();
+            // User-declared attributes are accepted on their element (or
+            // everywhere, for a `*` declaration) before any table check.
+            if self.config.is_custom_attribute(element_lc, &lc) {
+                continue;
+            }
+            match self.spec.attr_status(def, &lc) {
+                AttrStatus::Active(adef) => {
+                    if adef.deprecated {
+                        self.emit(
+                            "deprecated-attribute",
+                            attr.span,
+                            format!("attribute {} of <{}> is deprecated", attr.name, tag.name),
+                        );
+                    }
+                    if let Some(v) = &attr.value {
+                        if !v.raw.is_empty() && !self.spec.validate_attr_value(adef, v.raw) {
+                            self.emit(
+                                "attribute-value",
+                                attr.span,
+                                format!(
+                                    "illegal value for {} attribute of {} ({})",
+                                    attr.name,
+                                    tag.name,
+                                    clip(v.raw, MAX_QUOTED_SRC)
+                                ),
+                            );
+                        }
+                    }
+                }
+                AttrStatus::Inactive(adef) => {
+                    if adef.mask & weblint_html::mask::ANYSTD == 0 {
+                        self.emit(
+                            "extension-attribute",
+                            attr.span,
+                            format!(
+                                "attribute {} of <{}> is {} extension markup",
+                                attr.name,
+                                tag.name,
+                                vendor_name(adef.mask)
+                            ),
+                        );
+                    } else {
+                        self.emit(
+                            "version-markup",
+                            attr.span,
+                            format!(
+                                "attribute {} of <{}> is not defined in {}",
+                                attr.name,
+                                tag.name,
+                                self.spec.version().name()
+                            ),
+                        );
+                    }
+                }
+                AttrStatus::Unknown => {
+                    self.emit(
+                        "unknown-attribute",
+                        attr.span,
+                        format!("unknown attribute {} for element <{}>", attr.name, tag.name),
+                    );
+                }
+            }
+        }
+        for required in def.required_attrs {
+            if !tag.has_attr(required) {
+                self.emit(
+                    "required-attribute",
+                    span,
+                    format!(
+                        "<{}> requires the {} attribute",
+                        tag.name,
+                        required.to_ascii_uppercase()
+                    ),
+                );
+            }
+        }
+        if def.name == "img" {
+            if !tag.has_attr("alt") {
+                self.emit(
+                    "img-alt",
+                    span,
+                    "IMG element has no ALT attribute - ALT text helps non-graphical browsing"
+                        .to_string(),
+                );
+            }
+            if !tag.has_attr("width") || !tag.has_attr("height") {
+                self.emit(
+                    "img-size",
+                    span,
+                    "IMG element lacks WIDTH and HEIGHT attributes, which help browsers \
+                     lay out the page sooner"
+                        .to_string(),
+                );
+            }
+        }
+        if def.name == "a" {
+            if let Some(href) = tag.attr("href") {
+                if href.value_raw().to_ascii_lowercase().starts_with("mailto:") {
+                    self.emit(
+                        "mailto-link",
+                        span,
+                        "A HREF uses a mailto: link".to_string(),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Style check for tag/attribute name case (`upper-case`/`lower-case`).
+    pub(crate) fn check_name_case(&mut self, name: &str, span: Span, what: &str) {
+        match self.config.case_style() {
+            CaseStyle::Any => {}
+            CaseStyle::Upper => {
+                if name.bytes().any(|b| b.is_ascii_lowercase()) {
+                    self.emit(
+                        "upper-case",
+                        span,
+                        format!(
+                            "{what} name {name} should be in upper case ({})",
+                            name.to_ascii_uppercase()
+                        ),
+                    );
+                }
+            }
+            CaseStyle::Lower => {
+                if name.bytes().any(|b| b.is_ascii_uppercase()) {
+                    self.emit(
+                        "lower-case",
+                        span,
+                        format!(
+                            "{what} name {name} should be in lower case ({})",
+                            name.to_ascii_lowercase()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Heading level of `h1`..`h6` names.
+pub(crate) fn heading_level(name_lc: &str) -> Option<u8> {
+    let rest = name_lc.strip_prefix('h')?;
+    match rest {
+        "1" => Some(1),
+        "2" => Some(2),
+        "3" => Some(3),
+        "4" => Some(4),
+        "5" => Some(5),
+        "6" => Some(6),
+        _ => None,
+    }
+}
+
+/// SGML allows unquoted attribute values containing only name characters;
+/// anything else should be quoted.
+fn value_needs_quotes(value: &str) -> bool {
+    !value.is_empty()
+        && !value
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'.')
+}
+
+/// Truncate long source excerpts for messages.
+fn clip(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        return s.to_string();
+    }
+    let mut end = max;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}...", &s[..end])
+}
+
+/// Human name for the vendor(s) in an extension mask.
+fn vendor_name(mask: u16) -> &'static str {
+    let ns = mask & weblint_html::mask::NS != 0;
+    let ie = mask & weblint_html::mask::IE != 0;
+    match (ns, ie) {
+        (true, true) => "Netscape/Microsoft",
+        (true, false) => "Netscape",
+        (false, true) => "Microsoft",
+        (false, false) => "vendor",
+    }
+}
+
+/// The `-x` switch name that would enable the vendor's markup.
+fn vendor_switch(mask: u16) -> &'static str {
+    if mask & weblint_html::mask::NS != 0 {
+        "netscape"
+    } else {
+        "microsoft"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heading_levels_parse() {
+        assert_eq!(heading_level("h1"), Some(1));
+        assert_eq!(heading_level("h6"), Some(6));
+        assert_eq!(heading_level("h7"), None);
+        assert_eq!(heading_level("hr"), None);
+        assert_eq!(heading_level("p"), None);
+    }
+
+    #[test]
+    fn quote_requirements() {
+        assert!(!value_needs_quotes("100"));
+        assert!(!value_needs_quotes("a.html"));
+        assert!(!value_needs_quotes("top-left"));
+        assert!(value_needs_quotes("#00ff00"));
+        assert!(value_needs_quotes("a b"));
+        assert!(value_needs_quotes("x/y"));
+        assert!(!value_needs_quotes(""));
+    }
+
+    #[test]
+    fn clip_truncates_at_char_boundary() {
+        assert_eq!(clip("short", 60), "short");
+        let long = "é".repeat(40);
+        let clipped = clip(&long, 61);
+        assert!(clipped.ends_with("..."));
+        assert!(clipped.len() <= 64);
+    }
+
+    #[test]
+    fn vendor_names() {
+        use weblint_html::mask;
+        assert_eq!(vendor_name(mask::NS), "Netscape");
+        assert_eq!(vendor_name(mask::IE), "Microsoft");
+        assert_eq!(vendor_name(mask::NS | mask::IE), "Netscape/Microsoft");
+        assert_eq!(vendor_switch(mask::NS), "netscape");
+        assert_eq!(vendor_switch(mask::IE), "microsoft");
+    }
+}

@@ -1,0 +1,190 @@
+//! Text, comment and DOCTYPE handling.
+
+use weblint_tokenizer::{scan_entities, scan_metachars, Comment, Decl, MetaCharKind, Span, Text};
+
+use super::Checker;
+
+impl Checker<'_> {
+    pub(crate) fn on_text(&mut self, text: &Text<'_>, span: Span) {
+        if text.is_raw {
+            // SCRIPT/STYLE content: not HTML, nothing to check, but it does
+            // count as content.
+            if let Some(top) = self.stack.last_mut() {
+                top.has_content = true;
+            }
+            return;
+        }
+        let significant = !text.raw.trim().is_empty();
+        if significant {
+            if let Some(top) = self.stack.last_mut() {
+                top.has_content = true;
+            }
+            self.check_text_context(span);
+            if self.after_head && !self.body_seen && !self.config.fragment {
+                self.emit(
+                    "must-follow-head",
+                    span,
+                    "<BODY> must immediately follow </HEAD>".to_string(),
+                );
+                self.after_head = false; // report once
+            }
+        }
+        if let Some(buf) = self.anchor_text.as_mut() {
+            buf.push_str(text.raw);
+        }
+        if let Some(buf) = self.title_text.as_mut() {
+            buf.push_str(text.raw);
+        }
+        self.check_entities(text.raw, span);
+        self.check_metachars(text.raw, span);
+    }
+
+    fn check_text_context(&mut self, span: Span) {
+        let Some(top) = self.stack.last() else {
+            return;
+        };
+        let no_text = top.def.map(|d| d.no_direct_text).unwrap_or(false);
+        if no_text {
+            let orig = top.orig.clone();
+            self.emit(
+                "bad-text-context",
+                span,
+                format!("text appears directly in <{orig}> - it belongs inside a child element"),
+            );
+        }
+    }
+
+    fn check_entities(&mut self, raw: &str, span: Span) {
+        for entity in scan_entities(raw, span.start) {
+            if entity.numeric {
+                if entity.code_point().is_none() {
+                    self.emit(
+                        "unknown-entity",
+                        entity.span,
+                        format!(
+                            "numeric character reference &{}; is out of range",
+                            entity.name
+                        ),
+                    );
+                } else if !entity.terminated {
+                    self.emit(
+                        "unterminated-entity",
+                        entity.span,
+                        format!(
+                            "entity reference &{} is missing the trailing `;'",
+                            entity.name
+                        ),
+                    );
+                }
+                continue;
+            }
+            if self.spec.entity(entity.name).is_some() {
+                if !entity.terminated {
+                    self.emit(
+                        "unterminated-entity",
+                        entity.span,
+                        format!(
+                            "entity reference &{} is missing the trailing `;'",
+                            entity.name
+                        ),
+                    );
+                }
+            } else if entity.terminated {
+                // An unterminated unknown name ("AT&T x") is almost always a
+                // literal ampersand, which the metachar scan cannot see (the
+                // name *looks* like an entity). Only a terminated unknown
+                // reference is confidently a mistake.
+                let mut msg = format!("unknown entity reference &{};", entity.name);
+                if let Some(suggestion) = self.suggest_entity(entity.name) {
+                    msg.push_str(&format!(" (perhaps you meant &{suggestion};?)"));
+                }
+                self.emit("unknown-entity", entity.span, msg);
+            } else {
+                self.emit(
+                    "literal-metacharacter",
+                    entity.span,
+                    "literal `&' should be written as &amp;".to_string(),
+                );
+            }
+        }
+    }
+
+    /// Suggest the correctly-cased form of a mistyped entity (`&EACUTE;` →
+    /// `&Eacute;`/`&eacute;`).
+    fn suggest_entity(&self, name: &str) -> Option<String> {
+        [name.to_ascii_lowercase(), capitalise(name)]
+            .into_iter()
+            .find(|candidate| candidate != name && self.spec.entity(candidate).is_some())
+    }
+
+    fn check_metachars(&mut self, raw: &str, span: Span) {
+        for hit in scan_metachars(raw, span.start) {
+            let message = match hit.kind {
+                MetaCharKind::Lt => "literal `<' should be written as &lt;",
+                MetaCharKind::Gt => "literal `>' should be written as &gt;",
+                MetaCharKind::Amp => "literal `&' should be written as &amp;",
+            };
+            self.emit("literal-metacharacter", hit.span, message.to_string());
+        }
+    }
+
+    pub(crate) fn on_comment(&mut self, comment: &Comment<'_>, span: Span) {
+        if comment.unterminated {
+            self.emit(
+                "unclosed-comment",
+                span,
+                "comment is never closed (no `-->' seen)".to_string(),
+            );
+        }
+        if comment.contains_markup {
+            self.emit(
+                "markup-in-comment",
+                span,
+                "markup embedded in a comment can confuse some browsers".to_string(),
+            );
+        }
+        if comment.interior_dashes {
+            self.emit(
+                "comment-dashes",
+                span,
+                "comment contains `--', which is not legal inside an SGML comment".to_string(),
+            );
+        }
+    }
+
+    pub(crate) fn on_doctype(&mut self, decl: &Decl<'_>, span: Span) {
+        self.seen_doctype = true;
+        let expected = self.spec.version().public_id();
+        if !decl.text.contains(expected) {
+            self.emit(
+                "doctype-version",
+                span,
+                format!(
+                    "DOCTYPE does not declare {} (expected \"{expected}\")",
+                    self.spec.version().name()
+                ),
+            );
+        }
+    }
+}
+
+/// First letter upper-cased, rest unchanged (`eacute` → `Eacute`).
+fn capitalise(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_ascii_uppercase().to_string() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::capitalise;
+
+    #[test]
+    fn capitalise_first_letter() {
+        assert_eq!(capitalise("eacute"), "Eacute");
+        assert_eq!(capitalise("E"), "E");
+        assert_eq!(capitalise(""), "");
+    }
+}

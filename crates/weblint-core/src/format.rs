@@ -1,0 +1,213 @@
+//! Output formatters.
+//!
+//! Weblint's default output is traditional lint style — `file(line): message`
+//! — and `-s` requests the short `line N: message` form (§4.2). A terse
+//! machine-readable form and JSON are provided for tooling, and the gateway
+//! crate renders its own HTML.
+
+use crate::message::{Category, Diagnostic};
+
+/// Available output styles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Traditional lint style: `test.html(1): blah blah blah`.
+    #[default]
+    Lint,
+    /// The `-s` switch: `line 1: blah blah blah`.
+    Short,
+    /// Machine-readable: `file:line:col:id:message`.
+    Terse,
+    /// Lint style followed by an indented explanation line naming the
+    /// message identifier and its catalog summary — the "verbose warnings"
+    /// idea the paper attributes to subclassing the warnings module (§5.6).
+    Explain,
+    /// A JSON array of diagnostic objects.
+    Json,
+}
+
+/// Render one diagnostic in the given style (not meaningful for
+/// [`OutputFormat::Json`], which is a whole-report format — one diagnostic
+/// renders as one JSON object).
+pub fn format_diagnostic(d: &Diagnostic, filename: &str, format: OutputFormat) -> String {
+    match format {
+        OutputFormat::Lint => format!("{}({}): {}", filename, d.line, d.message),
+        OutputFormat::Short => format!("line {}: {}", d.line, d.message),
+        OutputFormat::Terse => format!("{}:{}:{}:{}:{}", filename, d.line, d.col, d.id, d.message),
+        OutputFormat::Explain => {
+            let summary = crate::catalog::check_def(d.id)
+                .map(|c| c.summary)
+                .unwrap_or("");
+            format!(
+                "{}({}): {}\n    [{}] {}",
+                filename, d.line, d.message, d.id, summary
+            )
+        }
+        OutputFormat::Json => serde_json::to_string(d).expect("diagnostics serialize"),
+    }
+}
+
+/// Render a whole report, one line per diagnostic (or a JSON array).
+///
+/// # Examples
+///
+/// ```
+/// use weblint_core::{Diagnostic, Category, format_report, OutputFormat};
+///
+/// let diags = vec![Diagnostic {
+///     id: "img-alt",
+///     category: Category::Warning,
+///     line: 3,
+///     col: 1,
+///     message: "IMG element has no ALT attribute".into(),
+/// }];
+/// let out = format_report(&diags, "page.html", OutputFormat::Lint);
+/// assert_eq!(out, "page.html(3): IMG element has no ALT attribute\n");
+/// ```
+pub fn format_report(diags: &[Diagnostic], filename: &str, format: OutputFormat) -> String {
+    if format == OutputFormat::Json {
+        let mut s = serde_json::to_string_pretty(diags).expect("diagnostics serialize");
+        s.push('\n');
+        return s;
+    }
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format_diagnostic(d, filename, format));
+        out.push('\n');
+    }
+    out
+}
+
+/// Message counts by category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Summary {
+    /// Number of error messages.
+    pub errors: usize,
+    /// Number of warning messages.
+    pub warnings: usize,
+    /// Number of style comments.
+    pub styles: usize,
+}
+
+impl Summary {
+    /// Tally a set of diagnostics.
+    pub fn of(diags: &[Diagnostic]) -> Summary {
+        let mut s = Summary::default();
+        for d in diags {
+            match d.category {
+                Category::Error => s.errors += 1,
+                Category::Warning => s.warnings += 1,
+                Category::Style => s.styles += 1,
+            }
+        }
+        s
+    }
+
+    /// Total message count.
+    pub fn total(&self) -> usize {
+        self.errors + self.warnings + self.styles
+    }
+
+    /// Whether the document produced no messages at all.
+    pub fn is_clean(&self) -> bool {
+        self.total() == 0
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} error(s), {} warning(s), {} style comment(s)",
+            self.errors, self.warnings, self.styles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(category: Category) -> Diagnostic {
+        Diagnostic {
+            id: "unclosed-element",
+            category,
+            line: 4,
+            col: 2,
+            message: "no closing </TITLE> seen for <TITLE> on line 3".into(),
+        }
+    }
+
+    #[test]
+    fn lint_style_matches_paper() {
+        // §4.2: "test.html(1): blah blah blah".
+        let d = diag(Category::Error);
+        assert_eq!(
+            format_diagnostic(&d, "test.html", OutputFormat::Lint),
+            "test.html(4): no closing </TITLE> seen for <TITLE> on line 3"
+        );
+    }
+
+    #[test]
+    fn short_style_matches_paper() {
+        let d = diag(Category::Error);
+        assert_eq!(
+            format_diagnostic(&d, "test.html", OutputFormat::Short),
+            "line 4: no closing </TITLE> seen for <TITLE> on line 3"
+        );
+    }
+
+    #[test]
+    fn terse_style_has_five_fields() {
+        let d = diag(Category::Error);
+        let line = format_diagnostic(&d, "f.html", OutputFormat::Terse);
+        assert_eq!(line.splitn(5, ':').count(), 5);
+        assert!(line.starts_with("f.html:4:2:unclosed-element:"));
+    }
+
+    #[test]
+    fn explain_style_names_the_check() {
+        let d = diag(Category::Error);
+        let text = format_diagnostic(&d, "f.html", OutputFormat::Explain);
+        let mut lines = text.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "f.html(4): no closing </TITLE> seen for <TITLE> on line 3"
+        );
+        let explain = lines.next().unwrap();
+        assert!(explain.contains("[unclosed-element]"), "{explain}");
+        assert!(explain.contains("container"), "{explain}");
+    }
+
+    #[test]
+    fn json_report_is_an_array() {
+        let report = format_report(&[diag(Category::Error)], "f.html", OutputFormat::Json);
+        let parsed: serde_json::Value = serde_json::from_str(&report).unwrap();
+        assert_eq!(parsed.as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_report_is_empty() {
+        assert_eq!(format_report(&[], "f.html", OutputFormat::Lint), "");
+    }
+
+    #[test]
+    fn summary_counts() {
+        let diags = vec![
+            diag(Category::Error),
+            diag(Category::Warning),
+            diag(Category::Warning),
+            diag(Category::Style),
+        ];
+        let s = Summary::of(&diags);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.warnings, 2);
+        assert_eq!(s.styles, 1);
+        assert_eq!(s.total(), 4);
+        assert!(!s.is_clean());
+        assert!(Summary::of(&[]).is_clean());
+        assert_eq!(
+            s.to_string(),
+            "1 error(s), 2 warning(s), 1 style comment(s)"
+        );
+    }
+}

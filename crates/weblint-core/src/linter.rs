@@ -1,0 +1,157 @@
+//! The embeddable `Weblint` object — the paper's `Weblint` Perl class.
+//!
+//! "The weblint module is a Perl class which encapsulates the HTML checking
+//! functionality. This makes it easy to embed weblint functionality into any
+//! application" (§5.4). The simplest use translates directly:
+//!
+//! ```text
+//! use Weblint;                     let weblint = Weblint::new();
+//! $weblint = Weblint->new();   →   let diags = weblint.check_file(path)?;
+//! $weblint->check_file($filename);
+//! ```
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use weblint_html::HtmlSpec;
+
+use crate::engine;
+use crate::message::Diagnostic;
+use crate::options::LintConfig;
+
+/// An HTML checker with a fixed configuration.
+///
+/// Building a `Weblint` assembles the HTML version tables once; individual
+/// checks then borrow them, so checking many documents against one
+/// configuration is cheap.
+///
+/// # Examples
+///
+/// ```
+/// use weblint_core::Weblint;
+///
+/// let weblint = Weblint::new();
+/// let diags = weblint.check_string("<B>unclosed");
+/// assert!(diags.iter().any(|d| d.id == "unclosed-element"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Weblint {
+    config: LintConfig,
+    spec: HtmlSpec,
+}
+
+impl Weblint {
+    /// A checker with the default configuration: HTML 4.0 Transitional, no
+    /// extensions, the 42 default messages enabled.
+    pub fn new() -> Weblint {
+        Weblint::with_config(LintConfig::default())
+    }
+
+    /// A checker with an explicit configuration.
+    pub fn with_config(config: LintConfig) -> Weblint {
+        let spec = HtmlSpec::new(config.version, config.extensions);
+        Weblint { config, spec }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LintConfig {
+        &self.config
+    }
+
+    /// Replace the configuration (rebuilding the language tables if the
+    /// version or extensions changed).
+    pub fn set_config(&mut self, config: LintConfig) {
+        if config.version != self.config.version || config.extensions != self.config.extensions {
+            self.spec = HtmlSpec::new(config.version, config.extensions);
+        }
+        self.config = config;
+    }
+
+    /// The assembled HTML language tables this checker consults.
+    pub fn spec(&self) -> &HtmlSpec {
+        &self.spec
+    }
+
+    /// Check a document held in memory. Never fails; returns diagnostics in
+    /// source order.
+    pub fn check_string(&self, src: &str) -> Vec<Diagnostic> {
+        engine::check(&self.spec, &self.config, src)
+    }
+
+    /// Check a file on disk.
+    ///
+    /// Non-UTF-8 bytes are replaced rather than rejected — 1990s HTML is
+    /// frequently Latin-1, and weblint checks what it can.
+    pub fn check_file(&self, path: impl AsRef<Path>) -> io::Result<Vec<Diagnostic>> {
+        let bytes = fs::read(path)?;
+        let src = String::from_utf8_lossy(&bytes);
+        Ok(self.check_string(&src))
+    }
+}
+
+impl Default for Weblint {
+    fn default() -> Weblint {
+        Weblint::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weblint_html::{Extensions, HtmlVersion};
+
+    #[test]
+    fn new_uses_defaults() {
+        let w = Weblint::new();
+        assert_eq!(w.config().version, HtmlVersion::Html40Transitional);
+        assert_eq!(w.config().enabled_count(), 42);
+    }
+
+    #[test]
+    fn check_string_reports() {
+        let w = Weblint::new();
+        let diags = w.check_string("<HTML><BLOCKQOUTE>x</BLOCKQOUTE></HTML>");
+        assert!(diags.iter().any(|d| d.id == "unknown-element"));
+    }
+
+    #[test]
+    fn check_file_round_trip() {
+        let dir = std::env::temp_dir().join("weblint-core-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.html");
+        std::fs::write(&path, "<B>x").unwrap();
+        let w = Weblint::new();
+        let diags = w.check_file(&path).unwrap();
+        assert!(!diags.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_file_missing_is_io_error() {
+        let w = Weblint::new();
+        assert!(w.check_file("/no/such/file.html").is_err());
+    }
+
+    #[test]
+    fn check_file_tolerates_latin1() {
+        let dir = std::env::temp_dir().join("weblint-core-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("latin1.html");
+        std::fs::write(&path, b"<P>caf\xe9</P>").unwrap();
+        let w = Weblint::new();
+        assert!(w.check_file(&path).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn set_config_rebuilds_spec() {
+        let mut w = Weblint::new();
+        let mut config = LintConfig::default();
+        config.extensions = Extensions::netscape();
+        w.set_config(config);
+        assert!(w.spec().element("blink").is_some());
+        let diags = w.check_string("<BLINK>hi</BLINK>");
+        assert!(!diags.iter().any(|d| d.id == "extension-markup"));
+    }
+}

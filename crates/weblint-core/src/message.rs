@@ -1,0 +1,140 @@
+//! Diagnostics: what weblint tells the user.
+
+use serde::Serialize;
+use std::fmt;
+use weblint_tokenizer::Span;
+
+/// The three categories of output message (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+#[serde(rename_all = "lowercase")]
+pub enum Category {
+    /// "Errors, which identify things you should fix."
+    Error,
+    /// "Warnings, which identify things you should think about fixing."
+    Warning,
+    /// "Style comments, which can be configured to match your own
+    /// guidelines."
+    Style,
+}
+
+impl Category {
+    /// Short name as used in configuration (`enable error`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Error => "error",
+            Category::Warning => "warning",
+            Category::Style => "style",
+        }
+    }
+
+    /// Parse a category name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Category> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" | "errors" => Some(Category::Error),
+            "warning" | "warnings" => Some(Category::Warning),
+            "style" => Some(Category::Style),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One output message.
+///
+/// "All output messages have an identifier, which is used when enabling or
+/// disabling it" (§4.3). The identifier doubles as the stable, machine-
+/// readable name in JSON output.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Diagnostic {
+    /// The message identifier from the catalog (e.g. `unclosed-element`).
+    pub id: &'static str,
+    /// Error, warning, or style comment.
+    pub category: Category,
+    /// 1-based line the message refers to.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// The human-readable message text.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic at the start of `span`.
+    pub fn at(id: &'static str, category: Category, span: Span, message: String) -> Diagnostic {
+        Diagnostic {
+            id,
+            category,
+            line: span.start.line,
+            col: span.start.col,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weblint_tokenizer::{Pos, Span};
+
+    #[test]
+    fn category_names_round_trip() {
+        for c in [Category::Error, Category::Warning, Category::Style] {
+            assert_eq!(Category::parse(c.name()), Some(c));
+        }
+        assert_eq!(Category::parse("ERRORS"), Some(Category::Error));
+        assert_eq!(Category::parse("nope"), None);
+    }
+
+    #[test]
+    fn display_uses_short_form() {
+        let d = Diagnostic {
+            id: "unclosed-element",
+            category: Category::Error,
+            line: 4,
+            col: 1,
+            message: "no closing </TITLE> seen for <TITLE> on line 3".to_string(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "line 4: no closing </TITLE> seen for <TITLE> on line 3"
+        );
+    }
+
+    #[test]
+    fn at_takes_span_start() {
+        let span = Span::new(Pos::new(3, 7, 20), Pos::new(3, 12, 25));
+        let d = Diagnostic::at("odd-quotes", Category::Error, span, "x".into());
+        assert_eq!((d.line, d.col), (3, 7));
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let d = Diagnostic {
+            id: "img-alt",
+            category: Category::Warning,
+            line: 1,
+            col: 2,
+            message: "m".into(),
+        };
+        let json = serde_json::to_string(&d).unwrap();
+        assert!(json.contains("\"id\":\"img-alt\""));
+        assert!(json.contains("\"category\":\"warning\""));
+    }
+
+    #[test]
+    fn categories_order_by_severity() {
+        assert!(Category::Error < Category::Warning);
+        assert!(Category::Warning < Category::Style);
+    }
+}

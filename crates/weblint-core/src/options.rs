@@ -1,0 +1,341 @@
+//! Runtime lint configuration.
+//!
+//! "Weblint should not impose any specific definition of style … As a
+//! result, everything in weblint can be turned off" (§4.1). A [`LintConfig`]
+//! records which messages are enabled, the HTML version and extensions to
+//! check against, and a few knobs the checks consult. The `weblint-config`
+//! crate layers site files, user files and command-line switches on top of
+//! this type.
+
+use std::collections::HashMap;
+
+use weblint_html::{Extensions, HtmlVersion};
+
+use crate::catalog::{check_def, CATALOG};
+use crate::message::Category;
+
+/// Error from referring to a message identifier that does not exist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownCheck {
+    /// The identifier that was not found.
+    pub id: String,
+    /// A catalog identifier with small edit distance, if one exists.
+    pub suggestion: Option<&'static str>,
+}
+
+impl std::fmt::Display for UnknownCheck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown warning identifier `{}`", self.id)?;
+        if let Some(s) = self.suggestion {
+            write!(f, " (did you mean `{s}`?)")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for UnknownCheck {}
+
+/// Which letter case tag and attribute names are expected to use, driven by
+/// the `upper-case` / `lower-case` style checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CaseStyle {
+    /// No preference (both case checks disabled).
+    #[default]
+    Any,
+    /// Expect `<UPPER>` names.
+    Upper,
+    /// Expect `<lower>` names.
+    Lower,
+}
+
+/// The set of knobs that drive one lint run.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// HTML version to check against.
+    pub version: HtmlVersion,
+    /// Vendor extension overlays to accept.
+    pub extensions: Extensions,
+    /// Treat the input as a fragment: skip whole-document structure checks
+    /// (`require-doctype`, `html-outer`, `require-head`, `require-title`,
+    /// `body-no-head`). Used by gateways checking pasted snippets.
+    pub fragment: bool,
+    /// Anchor texts considered content-free by `here-anchor`, lower-case.
+    pub here_anchor_texts: Vec<String>,
+    /// Maximum length of TITLE text before `title-length` fires.
+    pub max_title_length: usize,
+    /// Apply the §5.1 cascade-suppression heuristics (implied closes,
+    /// overlap resolution via the secondary stack, silent handling of
+    /// unknown elements). Disabling this reproduces a naive stack checker
+    /// and exists for the cascade ablation experiment (DESIGN.md E5).
+    pub heuristics: bool,
+    /// User-declared elements (lower-case) accepted without complaint.
+    ///
+    /// §4.6: "many editing and generation tools insert tool-specific
+    /// markup (elements and attributes) in the generated HTML. These
+    /// result in noise" — declaring the tool's elements silences it.
+    /// §6.1 lists "custom elements and attributes" as planned
+    /// configurability.
+    pub custom_elements: Vec<String>,
+    /// User-declared `(element, attribute)` pairs (lower-case) accepted
+    /// without complaint. An element of `"*"` allows the attribute on any
+    /// element.
+    pub custom_attributes: Vec<(String, String)>,
+    enabled: HashMap<&'static str, bool>,
+}
+
+impl Default for LintConfig {
+    fn default() -> LintConfig {
+        LintConfig {
+            version: HtmlVersion::default(),
+            extensions: Extensions::none(),
+            fragment: false,
+            here_anchor_texts: [
+                "here",
+                "click here",
+                "click",
+                "this",
+                "there",
+                "link",
+                "click this",
+                "go",
+                "more",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            max_title_length: 64,
+            heuristics: true,
+            custom_elements: Vec::new(),
+            custom_attributes: Vec::new(),
+            enabled: CATALOG.iter().map(|c| (c.id, c.default_enabled)).collect(),
+        }
+    }
+}
+
+impl LintConfig {
+    /// A configuration with the catalog defaults (42 messages enabled).
+    pub fn new() -> LintConfig {
+        LintConfig::default()
+    }
+
+    /// A configuration with *every* message enabled — weblint's
+    /// `-pedantic`, minus the contradictory case checks, which stay off
+    /// unless enabled individually.
+    pub fn pedantic() -> LintConfig {
+        let mut config = LintConfig::default();
+        for c in CATALOG {
+            config.enabled.insert(c.id, true);
+        }
+        config.enabled.insert("upper-case", false);
+        config.enabled.insert("lower-case", false);
+        config
+    }
+
+    /// Whether the message `id` is enabled. Unknown identifiers are
+    /// disabled (they cannot be emitted anyway).
+    pub fn is_enabled(&self, id: &str) -> bool {
+        self.enabled.get(id).copied().unwrap_or(false)
+    }
+
+    /// Enable one message by identifier.
+    pub fn enable(&mut self, id: &str) -> Result<(), UnknownCheck> {
+        self.set_enabled(id, true)
+    }
+
+    /// Disable one message by identifier.
+    pub fn disable(&mut self, id: &str) -> Result<(), UnknownCheck> {
+        self.set_enabled(id, false)
+    }
+
+    /// Enable or disable one message by identifier.
+    ///
+    /// Enabling `upper-case` disables `lower-case` and vice versa — the two
+    /// expectations contradict.
+    pub fn set_enabled(&mut self, id: &str, on: bool) -> Result<(), UnknownCheck> {
+        let def = check_def(id).ok_or_else(|| UnknownCheck {
+            id: id.to_string(),
+            suggestion: suggest(id),
+        })?;
+        self.enabled.insert(def.id, on);
+        if on && def.id == "upper-case" {
+            self.enabled.insert("lower-case", false);
+        } else if on && def.id == "lower-case" {
+            self.enabled.insert("upper-case", false);
+        }
+        Ok(())
+    }
+
+    /// Enable or disable every message in a category — weblint 2 "will let
+    /// users enable and disable all messages of a given category" (§4.3).
+    pub fn set_category_enabled(&mut self, category: Category, on: bool) {
+        for c in CATALOG.iter().filter(|c| c.category == category) {
+            // The contradictory case pair stays off on bulk enables.
+            if on && matches!(c.id, "upper-case" | "lower-case") {
+                continue;
+            }
+            self.enabled.insert(c.id, on);
+        }
+    }
+
+    /// The case expectation derived from the `upper-case` / `lower-case`
+    /// style checks.
+    pub fn case_style(&self) -> CaseStyle {
+        if self.is_enabled("upper-case") {
+            CaseStyle::Upper
+        } else if self.is_enabled("lower-case") {
+            CaseStyle::Lower
+        } else {
+            CaseStyle::Any
+        }
+    }
+
+    /// Identifiers currently enabled, sorted.
+    pub fn enabled_ids(&self) -> Vec<&'static str> {
+        let mut ids: Vec<_> = CATALOG
+            .iter()
+            .filter(|c| self.is_enabled(c.id))
+            .map(|c| c.id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Count of enabled messages.
+    pub fn enabled_count(&self) -> usize {
+        CATALOG.iter().filter(|c| self.is_enabled(c.id)).count()
+    }
+
+    /// Declare a custom element (case-insensitive).
+    pub fn add_custom_element(&mut self, name: &str) {
+        let lc = name.to_ascii_lowercase();
+        if !self.custom_elements.contains(&lc) {
+            self.custom_elements.push(lc);
+        }
+    }
+
+    /// Declare a custom attribute on an element (`"*"` for any element).
+    pub fn add_custom_attribute(&mut self, element: &str, attribute: &str) {
+        let pair = (element.to_ascii_lowercase(), attribute.to_ascii_lowercase());
+        if !self.custom_attributes.contains(&pair) {
+            self.custom_attributes.push(pair);
+        }
+    }
+
+    /// Whether `name` (lower-case) was declared as a custom element.
+    pub fn is_custom_element(&self, name_lc: &str) -> bool {
+        self.custom_elements.iter().any(|e| e == name_lc)
+    }
+
+    /// Whether `attribute` (lower-case) was declared for `element`
+    /// (lower-case), directly or via a `*` declaration.
+    pub fn is_custom_attribute(&self, element_lc: &str, attribute_lc: &str) -> bool {
+        self.custom_attributes
+            .iter()
+            .any(|(e, a)| a == attribute_lc && (e == element_lc || e == "*"))
+    }
+}
+
+/// Suggest a catalog identifier within edit distance 2 of `id`.
+fn suggest(id: &str) -> Option<&'static str> {
+    CATALOG
+        .iter()
+        .map(|c| (c.id, edit_distance(id, c.id)))
+        .filter(|&(_, d)| d <= 2)
+        .min_by_key(|&(_, d)| d)
+        .map(|(name, _)| name)
+}
+
+/// Levenshtein distance, small-string implementation.
+pub(crate) fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_42() {
+        let c = LintConfig::default();
+        assert_eq!(c.enabled_count(), 42);
+        assert!(c.is_enabled("unclosed-element"));
+        assert!(!c.is_enabled("physical-font"));
+    }
+
+    #[test]
+    fn enable_disable_round_trip() {
+        let mut c = LintConfig::default();
+        c.enable("physical-font").unwrap();
+        assert!(c.is_enabled("physical-font"));
+        c.disable("physical-font").unwrap();
+        assert!(!c.is_enabled("physical-font"));
+    }
+
+    #[test]
+    fn unknown_id_is_rejected_with_suggestion() {
+        let mut c = LintConfig::default();
+        let err = c.enable("unclosed-elemnt").unwrap_err();
+        assert_eq!(err.suggestion, Some("unclosed-element"));
+        assert!(err.to_string().contains("did you mean"));
+        let err = c.enable("zzzzzz").unwrap_err();
+        assert_eq!(err.suggestion, None);
+    }
+
+    #[test]
+    fn case_checks_are_exclusive() {
+        let mut c = LintConfig::default();
+        assert_eq!(c.case_style(), CaseStyle::Any);
+        c.enable("upper-case").unwrap();
+        assert_eq!(c.case_style(), CaseStyle::Upper);
+        c.enable("lower-case").unwrap();
+        assert_eq!(c.case_style(), CaseStyle::Lower);
+        assert!(!c.is_enabled("upper-case"));
+    }
+
+    #[test]
+    fn category_toggle() {
+        let mut c = LintConfig::default();
+        c.set_category_enabled(Category::Error, false);
+        assert!(!c.is_enabled("unclosed-element"));
+        assert!(c.is_enabled("img-alt")); // warnings untouched
+        c.set_category_enabled(Category::Style, true);
+        assert!(c.is_enabled("physical-font"));
+        assert!(!c.is_enabled("upper-case")); // contradictory pair skipped
+    }
+
+    #[test]
+    fn pedantic_enables_everything_but_case() {
+        let c = LintConfig::pedantic();
+        assert_eq!(c.enabled_count(), crate::catalog::CATALOG.len() - 2);
+        assert!(c.is_enabled("title-length"));
+        assert!(!c.is_enabled("upper-case"));
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", "abd"), 1);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("blockqoute", "blockquote"), 2);
+    }
+
+    #[test]
+    fn enabled_ids_sorted() {
+        let c = LintConfig::default();
+        let ids = c.enabled_ids();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(ids.len(), 42);
+    }
+}

@@ -1,0 +1,222 @@
+//! Valid-by-construction document generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{sentence, word, words};
+
+/// Knobs for document generation.
+#[derive(Debug, Clone)]
+pub struct GenOptions {
+    /// Grow the body until the document is at least this many bytes.
+    pub target_bytes: usize,
+    /// Emit a DOCTYPE line (on by default; the `MissingDoctype` defect
+    /// class switches it off).
+    pub doctype: bool,
+    /// Proportion (0–100) of blocks that are "rich" (tables, lists,
+    /// anchors, images) rather than plain paragraphs.
+    pub rich_percent: u8,
+    /// Generate free-standing `<A HREF="…">` paragraphs. Site generation
+    /// turns this off: its pages get a real navigation block instead, and
+    /// random anchors would read as dead links.
+    pub anchors: bool,
+}
+
+impl Default for GenOptions {
+    fn default() -> GenOptions {
+        GenOptions {
+            target_bytes: 4 * 1024,
+            doctype: true,
+            rich_percent: 40,
+            anchors: true,
+        }
+    }
+}
+
+/// Generate a valid HTML 4.0 Transitional document of roughly
+/// `target_bytes` bytes, deterministically from `seed`.
+pub fn generate_document(seed: u64, target_bytes: usize) -> String {
+    generate_document_with(
+        seed,
+        &GenOptions {
+            target_bytes,
+            ..GenOptions::default()
+        },
+    )
+}
+
+/// Generate a document with explicit options.
+pub fn generate_document_with(seed: u64, options: &GenOptions) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut doc = String::with_capacity(options.target_bytes + 512);
+    if options.doctype {
+        doc.push_str("<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0 Transitional//EN\">\n");
+    }
+    doc.push_str("<HTML>\n<HEAD>\n");
+    doc.push_str(&format!("<TITLE>{}</TITLE>\n", words(&mut rng, 4)));
+    doc.push_str(&format!(
+        "<META NAME=\"description\" CONTENT=\"{}\">\n",
+        words(&mut rng, 6)
+    ));
+    doc.push_str(&format!(
+        "<META NAME=\"keywords\" CONTENT=\"{}\">\n",
+        words(&mut rng, 5)
+    ));
+    doc.push_str("</HEAD>\n<BODY>\n");
+    doc.push_str(&format!("<H1>{}</H1>\n", words(&mut rng, 3)));
+    let mut heading = 1u8;
+    while doc.len() < options.target_bytes {
+        let rich = rng.random_range(0..100) < options.rich_percent;
+        if rich {
+            match rng.random_range(0..5) {
+                0 => push_list(&mut doc, &mut rng),
+                1 => push_table(&mut doc, &mut rng),
+                2 if options.anchors => push_anchor_para(&mut doc, &mut rng),
+                2 => push_paragraph(&mut doc, &mut rng),
+                3 => push_image(&mut doc, &mut rng),
+                _ => push_pre(&mut doc, &mut rng),
+            }
+        } else if rng.random_range(0..8) == 0 {
+            // Headings descend at most one level at a time so the
+            // heading-order check stays quiet.
+            heading = if heading < 4 && rng.random_bool(0.5) {
+                heading + 1
+            } else {
+                1
+            };
+            doc.push_str(&format!(
+                "<H{h}>{}</H{h}>\n",
+                words(&mut rng, 3),
+                h = heading
+            ));
+        } else {
+            push_paragraph(&mut doc, &mut rng);
+        }
+    }
+    doc.push_str("</BODY>\n</HTML>\n");
+    doc
+}
+
+fn push_paragraph(doc: &mut String, rng: &mut StdRng) {
+    doc.push_str("<P>");
+    let sentences = rng.random_range(1..=4);
+    for _ in 0..sentences {
+        doc.push_str(&sentence(rng));
+        doc.push(' ');
+    }
+    // Sprinkle valid entities so the entity checks get exercised.
+    if rng.random_bool(0.3) {
+        doc.push_str("Caf&eacute; &amp; co. ");
+    }
+    doc.push_str("</P>\n");
+}
+
+fn push_list(doc: &mut String, rng: &mut StdRng) {
+    let ordered = rng.random_bool(0.5);
+    let tag = if ordered { "OL" } else { "UL" };
+    doc.push_str(&format!("<{tag}>\n"));
+    for _ in 0..rng.random_range(2..=5) {
+        doc.push_str(&format!("<LI>{}\n", sentence(rng)));
+    }
+    doc.push_str(&format!("</{tag}>\n"));
+}
+
+fn push_table(doc: &mut String, rng: &mut StdRng) {
+    let rows = rng.random_range(1..=3);
+    let cols = rng.random_range(2..=4);
+    doc.push_str("<TABLE BORDER=\"1\" WIDTH=\"100%\">\n");
+    for _ in 0..rows {
+        doc.push_str("<TR>");
+        for _ in 0..cols {
+            doc.push_str(&format!("<TD>{}</TD>", words(rng, 2)));
+        }
+        doc.push_str("</TR>\n");
+    }
+    doc.push_str("</TABLE>\n");
+}
+
+fn push_anchor_para(doc: &mut String, rng: &mut StdRng) {
+    doc.push_str(&format!(
+        "<P>See <A HREF=\"{}.html\">the {} {}</A> for details.</P>\n",
+        word(rng),
+        word(rng),
+        word(rng)
+    ));
+}
+
+fn push_image(doc: &mut String, rng: &mut StdRng) {
+    doc.push_str(&format!(
+        "<P><IMG SRC=\"{}.gif\" ALT=\"{}\" WIDTH=\"{}\" HEIGHT=\"{}\"></P>\n",
+        word(rng),
+        words(rng, 2),
+        rng.random_range(10..640),
+        rng.random_range(10..480)
+    ));
+}
+
+fn push_pre(doc: &mut String, rng: &mut StdRng) {
+    doc.push_str(&format!(
+        "<PRE>\n  {}\n  {}\n</PRE>\n",
+        words(rng, 4),
+        words(rng, 4)
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate_document(9, 2048), generate_document(9, 2048));
+        assert_ne!(generate_document(9, 2048), generate_document(10, 2048));
+    }
+
+    #[test]
+    fn respects_target_size() {
+        for target in [512, 4 * 1024, 64 * 1024] {
+            let doc = generate_document(1, target);
+            assert!(doc.len() >= target, "{} < {target}", doc.len());
+            // Within a block of slack.
+            assert!(doc.len() < target + 2048, "{} too big", doc.len());
+        }
+    }
+
+    #[test]
+    fn has_document_structure() {
+        let doc = generate_document(3, 1024);
+        for marker in [
+            "<!DOCTYPE",
+            "<HTML>",
+            "<HEAD>",
+            "<TITLE>",
+            "<BODY>",
+            "</HTML>",
+        ] {
+            assert!(doc.contains(marker), "missing {marker}");
+        }
+    }
+
+    #[test]
+    fn doctype_can_be_suppressed() {
+        let options = GenOptions {
+            doctype: false,
+            ..GenOptions::default()
+        };
+        let doc = generate_document_with(5, &options);
+        assert!(!doc.contains("<!DOCTYPE"));
+        assert!(doc.starts_with("<HTML>"));
+    }
+
+    #[test]
+    fn rich_percent_zero_means_paragraphs_only() {
+        let options = GenOptions {
+            target_bytes: 4096,
+            rich_percent: 0,
+            ..GenOptions::default()
+        };
+        let doc = generate_document_with(6, &options);
+        assert!(!doc.contains("<TABLE"));
+        assert!(!doc.contains("<UL>"));
+    }
+}

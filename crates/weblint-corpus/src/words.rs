@@ -1,0 +1,125 @@
+//! A small vocabulary for generated text content.
+
+use rand::Rng;
+
+/// The 1998-flavoured word list used for generated prose.
+static WORDS: &[&str] = &[
+    "the",
+    "web",
+    "site",
+    "page",
+    "browser",
+    "server",
+    "perl",
+    "script",
+    "check",
+    "syntax",
+    "style",
+    "markup",
+    "element",
+    "attribute",
+    "value",
+    "anchor",
+    "image",
+    "table",
+    "form",
+    "list",
+    "heading",
+    "comment",
+    "robot",
+    "gateway",
+    "victim",
+    "release",
+    "platform",
+    "module",
+    "class",
+    "stack",
+    "parser",
+    "token",
+    "warning",
+    "error",
+    "message",
+    "catalogue",
+    "quality",
+    "assurance",
+    "validator",
+    "search",
+    "engine",
+    "index",
+    "hyperlink",
+    "document",
+    "content",
+    "human",
+    "mistake",
+    "tool",
+    "lint",
+    "bazaar",
+    "cathedral",
+    "community",
+    "config",
+    "user",
+    "test",
+    "suite",
+];
+
+/// A deterministic word from the vocabulary.
+pub(crate) fn word(rng: &mut impl Rng) -> &'static str {
+    WORDS[rng.random_range(0..WORDS.len())]
+}
+
+/// `n` space-separated words.
+pub(crate) fn words(rng: &mut impl Rng, n: usize) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(word(rng));
+    }
+    out
+}
+
+/// A capitalised sentence of 4–12 words ending with a full stop.
+pub(crate) fn sentence(rng: &mut impl Rng) -> String {
+    let n = rng.random_range(4..=12);
+    let mut s = words(rng, n);
+    if let Some(first) = s.get_mut(0..1) {
+        first.make_ascii_uppercase();
+    }
+    s.push('.');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = sentence(&mut StdRng::seed_from_u64(1));
+        let b = sentence(&mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sentence_shape() {
+        let s = sentence(&mut StdRng::seed_from_u64(2));
+        assert!(s.ends_with('.'));
+        assert!(s.chars().next().unwrap().is_ascii_uppercase());
+    }
+
+    #[test]
+    fn words_counts() {
+        let w = words(&mut StdRng::seed_from_u64(3), 5);
+        assert_eq!(w.split(' ').count(), 5);
+    }
+
+    #[test]
+    fn vocabulary_is_html_safe() {
+        for w in WORDS {
+            assert!(w.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+}

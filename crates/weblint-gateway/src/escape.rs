@@ -1,0 +1,53 @@
+//! HTML escaping for gateway output.
+
+/// Escape text for safe inclusion in HTML content or a double-quoted
+/// attribute value.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(
+///     weblint_gateway::escape_html("<B> & \"quotes\""),
+///     "&lt;B&gt; &amp; &quot;quotes&quot;"
+/// );
+/// ```
+pub fn escape_html(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_for_plain_text() {
+        assert_eq!(escape_html("plain text"), "plain text");
+        assert_eq!(escape_html(""), "");
+    }
+
+    #[test]
+    fn all_metacharacters_escaped() {
+        assert_eq!(escape_html("<>&\""), "&lt;&gt;&amp;&quot;");
+    }
+
+    #[test]
+    fn multibyte_preserved() {
+        assert_eq!(escape_html("café <b>"), "café &lt;b&gt;");
+    }
+
+    #[test]
+    fn idempotent_on_escaped_output_is_not_expected() {
+        // Escaping twice escapes the ampersands again — callers escape once.
+        assert_eq!(escape_html("&lt;"), "&amp;lt;");
+    }
+}

@@ -1,0 +1,177 @@
+//! The gateway driver: paste-in and URL flows.
+
+use std::fmt;
+
+use weblint_core::{LintConfig, Weblint};
+use weblint_site::{Fetcher, Status, Url};
+
+use crate::render::{render_report, ReportOptions};
+
+/// Errors from the URL flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GatewayError {
+    /// The submitted URL did not parse.
+    BadUrl(String),
+    /// The target returned 404.
+    NotFound(String),
+    /// The target returned a server error.
+    ServerError(String),
+    /// The target is not HTML.
+    NotHtml(String),
+    /// Too many redirect hops.
+    TooManyRedirects(String),
+}
+
+impl fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GatewayError::BadUrl(u) => write!(f, "cannot parse URL {u}"),
+            GatewayError::NotFound(u) => write!(f, "{u}: 404 Not Found"),
+            GatewayError::ServerError(u) => write!(f, "{u}: server error"),
+            GatewayError::NotHtml(u) => write!(f, "{u} is not an HTML page"),
+            GatewayError::TooManyRedirects(u) => write!(f, "{u}: too many redirects"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+/// The gateway: a weblint plus report rendering.
+///
+/// Mirrors the paper's `check_string` and `check_url` module methods
+/// (§5.4) at gateway level: both return a complete HTML report page.
+#[derive(Debug, Clone)]
+pub struct Gateway {
+    weblint: Weblint,
+    options: ReportOptions,
+    max_redirects: usize,
+}
+
+impl Gateway {
+    /// A gateway with explicit configuration.
+    pub fn new(config: LintConfig, options: ReportOptions) -> Gateway {
+        Gateway {
+            weblint: Weblint::with_config(config),
+            options,
+            max_redirects: 5,
+        }
+    }
+
+    /// The paste-in flow: check a snippet and render the report.
+    pub fn check_and_render(&self, input_name: &str, src: &str) -> String {
+        let diags = self.weblint.check_string(src);
+        render_report(input_name, src, &diags, &self.options)
+    }
+
+    /// The URL flow: fetch (following redirects), check, render.
+    ///
+    /// "If a URL is given, the gateway script retrieves the page, usually
+    /// using a dedicated retrieval program" (§4.5) — here, any
+    /// [`Fetcher`], in practice the simulated web.
+    pub fn check_url(&self, fetcher: &dyn Fetcher, url: &str) -> Result<String, GatewayError> {
+        let parsed = Url::parse(url).ok_or_else(|| GatewayError::BadUrl(url.to_string()))?;
+        let mut current = parsed;
+        for _ in 0..=self.max_redirects {
+            match fetcher.get(&current) {
+                (Status::Ok, ct, body) if ct.starts_with("text/html") => {
+                    return Ok(self.check_and_render(&current.to_string(), &body));
+                }
+                (Status::Ok, _, _) => {
+                    return Err(GatewayError::NotHtml(current.to_string()));
+                }
+                (Status::Redirect(location), _, _) => {
+                    current = current.join(&location);
+                }
+                (Status::NotFound, _, _) => {
+                    return Err(GatewayError::NotFound(current.to_string()));
+                }
+                (Status::ServerError, _, _) => {
+                    return Err(GatewayError::ServerError(current.to_string()));
+                }
+            }
+        }
+        Err(GatewayError::TooManyRedirects(current.to_string()))
+    }
+}
+
+impl Default for Gateway {
+    fn default() -> Gateway {
+        Gateway::new(LintConfig::default(), ReportOptions::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weblint_site::{SimulatedWeb, WebFetcher};
+
+    #[test]
+    fn paste_flow_renders_report() {
+        let gateway = Gateway::default();
+        let page = gateway.check_and_render("snippet", "<H1>x</H2>");
+        assert!(page.contains("malformed heading"));
+    }
+
+    #[test]
+    fn url_flow_fetches_and_checks() {
+        let mut web = SimulatedWeb::new();
+        web.add_page("http://h/p.html", "<H1>x</H2>");
+        let gateway = Gateway::default();
+        let page = gateway
+            .check_url(&WebFetcher::new(&web), "http://h/p.html")
+            .unwrap();
+        assert!(page.contains("malformed heading"));
+        assert!(page.contains("http://h/p.html"));
+    }
+
+    #[test]
+    fn url_flow_follows_redirects() {
+        let mut web = SimulatedWeb::new();
+        web.add_redirect("http://h/old.html", "/new.html");
+        web.add_page("http://h/new.html", "<P>fine");
+        let gateway = Gateway::default();
+        let page = gateway
+            .check_url(&WebFetcher::new(&web), "http://h/old.html")
+            .unwrap();
+        assert!(page.contains("http://h/new.html"));
+    }
+
+    #[test]
+    fn url_flow_errors() {
+        let mut web = SimulatedWeb::new();
+        web.add(
+            "http://h/pic.gif",
+            weblint_site::Resource::asset("image/gif"),
+        );
+        web.add_redirect("http://h/loop.html", "http://h/loop.html");
+        let gateway = Gateway::default();
+        let f = WebFetcher::new(&web);
+        assert_eq!(
+            gateway.check_url(&f, "not a url"),
+            Err(GatewayError::BadUrl("not a url".to_string()))
+        );
+        assert!(matches!(
+            gateway.check_url(&f, "http://h/gone.html"),
+            Err(GatewayError::NotFound(_))
+        ));
+        assert!(matches!(
+            gateway.check_url(&f, "http://h/pic.gif"),
+            Err(GatewayError::NotHtml(_))
+        ));
+        assert!(matches!(
+            gateway.check_url(&f, "http://h/loop.html"),
+            Err(GatewayError::TooManyRedirects(_))
+        ));
+        let err = gateway.check_url(&f, "http://h/gone.html").unwrap_err();
+        assert!(err.to_string().contains("404"));
+    }
+
+    #[test]
+    fn custom_config_respected() {
+        let mut config = LintConfig::default();
+        config.fragment = true;
+        let gateway = Gateway::new(config, ReportOptions::default());
+        let page = gateway.check_and_render("snippet", "<B>just bold</B>");
+        assert!(page.contains("No problems found"));
+    }
+}

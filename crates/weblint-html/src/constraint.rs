@@ -1,0 +1,225 @@
+//! Attribute value constraints.
+//!
+//! The paper (§5.5) lists "valid attributes, and legal values for attributes
+//! (expressed as regular expressions)" among the information in an HTML
+//! module. Rather than regular expressions, this implementation uses a small
+//! closed set of constraint kinds, which is both faster and easier to test.
+
+/// The legal value shape for an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrConstraint {
+    /// Any CDATA value.
+    Any,
+    /// One of a fixed set of tokens, compared case-insensitively
+    /// (e.g. `ALIGN` on `P`: `left`, `center`, `right`, `justify`).
+    Enum(&'static [&'static str]),
+    /// A color: `#RRGGBB` or a known color name. Name lookup is delegated
+    /// to the active spec (Netscape adds many names).
+    Color,
+    /// A length: digits, optionally followed by `%` (e.g. `WIDTH="50%"`).
+    Length,
+    /// A multi-length: digits, `digits%`, `digits*`, or `*` (frame and
+    /// column sizes).
+    MultiLength,
+    /// Digits only (e.g. `ROWS` on `TEXTAREA`, `BORDER`).
+    Pixels,
+    /// A number, possibly signed (e.g. `TABINDEX`).
+    Number,
+    /// An SGML NAME: letter followed by letters, digits, `-`, `_`, `:`, `.`.
+    Name,
+    /// An SGML ID (same shape as NAME; uniqueness is checked elsewhere).
+    Id,
+    /// A URI. Almost anything goes, but embedded whitespace and a lone `#`
+    /// are rejected.
+    Uri,
+    /// A single character (e.g. `ACCESSKEY`).
+    Char,
+}
+
+impl AttrConstraint {
+    /// Whether `value` satisfies this constraint.
+    ///
+    /// `color_lookup` resolves color *names*; it is provided by the active
+    /// [`crate::HtmlSpec`] since the set of known names depends on the
+    /// enabled extensions.
+    pub fn validate(&self, value: &str, color_lookup: &dyn Fn(&str) -> bool) -> bool {
+        let v = value.trim();
+        match self {
+            AttrConstraint::Any => true,
+            AttrConstraint::Enum(options) => options.iter().any(|o| o.eq_ignore_ascii_case(v)),
+            AttrConstraint::Color => is_hash_color(v) || color_lookup(v),
+            AttrConstraint::Length => {
+                let core = v.strip_suffix('%').unwrap_or(v);
+                !core.is_empty() && core.bytes().all(|b| b.is_ascii_digit())
+            }
+            AttrConstraint::MultiLength => {
+                if v == "*" {
+                    return true;
+                }
+                let core = v
+                    .strip_suffix('%')
+                    .or_else(|| v.strip_suffix('*'))
+                    .unwrap_or(v);
+                !core.is_empty() && core.bytes().all(|b| b.is_ascii_digit())
+            }
+            AttrConstraint::Pixels => !v.is_empty() && v.bytes().all(|b| b.is_ascii_digit()),
+            AttrConstraint::Number => {
+                let core = v.strip_prefix(['+', '-']).unwrap_or(v);
+                !core.is_empty() && core.bytes().all(|b| b.is_ascii_digit())
+            }
+            AttrConstraint::Name | AttrConstraint::Id => is_sgml_name(v),
+            AttrConstraint::Uri => !v.is_empty() && !v.contains(char::is_whitespace) && v != "#",
+            AttrConstraint::Char => v.chars().count() == 1,
+        }
+    }
+
+    /// A short human-readable description of the expected shape, used in
+    /// diagnostics ("expected a color, e.g. #00FF00 or a color name").
+    pub fn describe(&self) -> String {
+        match self {
+            AttrConstraint::Any => "any value".to_string(),
+            AttrConstraint::Enum(options) => format!("one of {}", options.join("|")),
+            AttrConstraint::Color => "a color (#RRGGBB or a color name)".to_string(),
+            AttrConstraint::Length => "a length (pixels or percentage)".to_string(),
+            AttrConstraint::MultiLength => {
+                "a length (pixels, percentage, or relative `*`)".to_string()
+            }
+            AttrConstraint::Pixels => "a number of pixels".to_string(),
+            AttrConstraint::Number => "a number".to_string(),
+            AttrConstraint::Name => "a name (letter first)".to_string(),
+            AttrConstraint::Id => "an identifier (letter first)".to_string(),
+            AttrConstraint::Uri => "a URI".to_string(),
+            AttrConstraint::Char => "a single character".to_string(),
+        }
+    }
+}
+
+/// `#` followed by exactly six hex digits.
+fn is_hash_color(v: &str) -> bool {
+    match v.strip_prefix('#') {
+        Some(hex) => hex.len() == 6 && hex.bytes().all(|b| b.is_ascii_hexdigit()),
+        None => false,
+    }
+}
+
+fn is_sgml_name(v: &str) -> bool {
+    let mut chars = v.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | ':' | '.'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_colors(_: &str) -> bool {
+        false
+    }
+
+    fn check(c: AttrConstraint, v: &str) -> bool {
+        c.validate(v, &no_colors)
+    }
+
+    #[test]
+    fn any_accepts_everything() {
+        assert!(check(AttrConstraint::Any, ""));
+        assert!(check(AttrConstraint::Any, "x y z"));
+    }
+
+    #[test]
+    fn enum_is_case_insensitive() {
+        let c = AttrConstraint::Enum(&["left", "right"]);
+        assert!(check(c, "LEFT"));
+        assert!(check(c, "right"));
+        assert!(!check(c, "middle"));
+    }
+
+    #[test]
+    fn color_hex_form() {
+        assert!(check(AttrConstraint::Color, "#00ff00"));
+        assert!(check(AttrConstraint::Color, "#ABCDEF"));
+        // The paper's §4.2 example: BGCOLOR="fffff" is illegal — five
+        // digits and no '#'.
+        assert!(!check(AttrConstraint::Color, "fffff"));
+        assert!(!check(AttrConstraint::Color, "#fffff"));
+        assert!(!check(AttrConstraint::Color, "#00ffgg"));
+        assert!(!check(AttrConstraint::Color, "#00ff0000"));
+    }
+
+    #[test]
+    fn color_name_uses_lookup() {
+        let lookup = |name: &str| name.eq_ignore_ascii_case("red");
+        assert!(AttrConstraint::Color.validate("red", &lookup));
+        assert!(AttrConstraint::Color.validate("RED", &lookup));
+        assert!(!AttrConstraint::Color.validate("blurple", &lookup));
+    }
+
+    #[test]
+    fn length_accepts_pixels_and_percent() {
+        assert!(check(AttrConstraint::Length, "100"));
+        assert!(check(AttrConstraint::Length, "50%"));
+        assert!(!check(AttrConstraint::Length, "%"));
+        assert!(!check(AttrConstraint::Length, "50px"));
+        assert!(!check(AttrConstraint::Length, ""));
+    }
+
+    #[test]
+    fn multilength_accepts_star() {
+        assert!(check(AttrConstraint::MultiLength, "*"));
+        assert!(check(AttrConstraint::MultiLength, "2*"));
+        assert!(check(AttrConstraint::MultiLength, "30%"));
+        assert!(check(AttrConstraint::MultiLength, "120"));
+        assert!(!check(AttrConstraint::MultiLength, "x*"));
+    }
+
+    #[test]
+    fn pixels_rejects_sign_and_percent() {
+        assert!(check(AttrConstraint::Pixels, "7"));
+        assert!(!check(AttrConstraint::Pixels, "-7"));
+        assert!(!check(AttrConstraint::Pixels, "7%"));
+    }
+
+    #[test]
+    fn number_accepts_sign() {
+        assert!(check(AttrConstraint::Number, "-3"));
+        assert!(check(AttrConstraint::Number, "+3"));
+        assert!(check(AttrConstraint::Number, "3"));
+        assert!(!check(AttrConstraint::Number, "-"));
+        assert!(!check(AttrConstraint::Number, "3.5"));
+    }
+
+    #[test]
+    fn name_requires_leading_letter() {
+        assert!(check(AttrConstraint::Name, "top"));
+        assert!(check(AttrConstraint::Name, "s1-b_2:c.d"));
+        assert!(!check(AttrConstraint::Name, "1st"));
+        assert!(!check(AttrConstraint::Name, ""));
+        assert!(!check(AttrConstraint::Name, "has space"));
+    }
+
+    #[test]
+    fn uri_rejects_whitespace_and_bare_hash() {
+        assert!(check(AttrConstraint::Uri, "a.html"));
+        assert!(check(AttrConstraint::Uri, "http://example.org/x?y=1#z"));
+        assert!(check(AttrConstraint::Uri, "#top"));
+        assert!(!check(AttrConstraint::Uri, "#"));
+        assert!(!check(AttrConstraint::Uri, "a b.html"));
+        assert!(!check(AttrConstraint::Uri, ""));
+    }
+
+    #[test]
+    fn char_wants_exactly_one() {
+        assert!(check(AttrConstraint::Char, "x"));
+        assert!(!check(AttrConstraint::Char, "xy"));
+        assert!(!check(AttrConstraint::Char, ""));
+    }
+
+    #[test]
+    fn describe_mentions_shape() {
+        assert!(AttrConstraint::Color.describe().contains("#RRGGBB"));
+        assert!(AttrConstraint::Enum(&["a", "b"]).describe().contains("a|b"));
+    }
+}

@@ -1,0 +1,687 @@
+//! A small SGML DTD reader — the paper's §6.1 plan, implemented.
+//!
+//! "Driving weblint with a DTD: generating the HTML modules used by
+//! weblint, and test-cases for the test-suite. … At the moment the tables
+//! are not generated from DTDs, though this is something I plan to
+//! investigate further" (§5.5, §6.1).
+//!
+//! This module reads the subset of SGML used by the published HTML DTDs —
+//! parameter entities, `<!ELEMENT>` declarations with omission flags and
+//! inclusion/exclusion exceptions, `<!ATTLIST>` declarations, and
+//! INCLUDE/IGNORE marked sections — and turns them into element
+//! definitions comparable with the hand-built tables in
+//! [`crate::tables::elements`]. A conformance test checks the two agree on
+//! the properties weblint relies on (end-tag style, empty elements,
+//! required attributes, enumerated values).
+//!
+//! # Examples
+//!
+//! ```
+//! use weblint_html::dtd::parse_dtd;
+//!
+//! let dtd = parse_dtd(r#"
+//!     <!ENTITY % shape "(rect|circle|poly|default)">
+//!     <!ELEMENT BR - O EMPTY>
+//!     <!ATTLIST BR clear (left|all|right|none) none>
+//!     <!ELEMENT AREA - O EMPTY>
+//!     <!ATTLIST AREA
+//!         shape %shape; rect
+//!         alt CDATA #REQUIRED>
+//! "#).unwrap();
+//! let br = dtd.element("br").unwrap();
+//! assert!(br.empty);
+//! let area = dtd.element("area").unwrap();
+//! assert_eq!(dtd.required_attrs("area"), vec!["alt"]);
+//! assert!(!area.end_required);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed element declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DtdElement {
+    /// Lower-case element name.
+    pub name: String,
+    /// `-` start-tag flag: the start tag is required. (Always true in
+    /// HTML except for HTML/HEAD/BODY/TBODY.)
+    pub start_required: bool,
+    /// `-` end-tag flag: the end tag is required; `O` means omissible.
+    pub end_required: bool,
+    /// Declared `EMPTY`.
+    pub empty: bool,
+    /// The raw content model text (entities expanded), e.g.
+    /// `(%inline;)*` after expansion.
+    pub content_model: String,
+    /// `-(X|Y)` exclusion exceptions, lower-case.
+    pub exclusions: Vec<String>,
+    /// `+(X|Y)` inclusion exceptions, lower-case.
+    pub inclusions: Vec<String>,
+}
+
+/// One attribute in an `<!ATTLIST>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DtdAttr {
+    /// Lower-case attribute name.
+    pub name: String,
+    /// The declared value: `CDATA`, `ID`, `NAME`, `NUMBER`, or an
+    /// enumeration of lower-case tokens.
+    pub decl: AttrDecl,
+    /// `#REQUIRED`?
+    pub required: bool,
+}
+
+/// Declared-value categories the HTML DTDs use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrDecl {
+    /// `CDATA`.
+    Cdata,
+    /// `ID`.
+    Id,
+    /// `IDREF` / `IDREFS`.
+    IdRef,
+    /// `NAME` / `NMTOKEN`.
+    Name,
+    /// `NUMBER`.
+    Number,
+    /// `(a|b|c)` enumerated tokens, lower-case.
+    Enum(Vec<String>),
+}
+
+/// A parsed DTD.
+#[derive(Debug, Clone, Default)]
+pub struct Dtd {
+    elements: HashMap<String, DtdElement>,
+    attlists: HashMap<String, Vec<DtdAttr>>,
+}
+
+impl Dtd {
+    /// Look up an element by (case-insensitive) name.
+    pub fn element(&self, name: &str) -> Option<&DtdElement> {
+        self.elements.get(&name.to_ascii_lowercase())
+    }
+
+    /// The attributes declared for an element.
+    pub fn attrs(&self, name: &str) -> &[DtdAttr] {
+        self.attlists
+            .get(&name.to_ascii_lowercase())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Names of `#REQUIRED` attributes for an element, sorted.
+    pub fn required_attrs(&self, name: &str) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .attrs(name)
+            .iter()
+            .filter(|a| a.required)
+            .map(|a| a.name.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Every declared element name, sorted.
+    pub fn element_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.elements.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// A DTD syntax problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DtdError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for DtdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DTD error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DtdError {}
+
+fn err(message: impl Into<String>) -> DtdError {
+    DtdError {
+        message: message.into(),
+    }
+}
+
+/// Parse a DTD (or the subset of one the HTML DTDs use).
+pub fn parse_dtd(text: &str) -> Result<Dtd, DtdError> {
+    // Phase 1: collect parameter entities, resolve marked sections, strip
+    // comments, and expand references.
+    let expanded = Preprocessor::run(text)?;
+    // Phase 2: walk the <!...> declarations.
+    let mut dtd = Dtd::default();
+    let mut rest = expanded.as_str();
+    while let Some(start) = rest.find("<!") {
+        let decl_start = &rest[start + 2..];
+        let end =
+            find_decl_end(decl_start).ok_or_else(|| err("declaration not closed with `>'"))?;
+        let body = &decl_start[..end];
+        rest = &decl_start[end + 1..];
+        let mut words = body.split_whitespace();
+        match words.next() {
+            Some("ELEMENT") => parse_element(body, &mut dtd)?,
+            Some("ATTLIST") => parse_attlist(body, &mut dtd)?,
+            // ENTITY declarations were consumed by the preprocessor;
+            // NOTATION and others are ignored.
+            _ => {}
+        }
+    }
+    Ok(dtd)
+}
+
+/// Find the end of a declaration body, honouring `--…--` comments.
+fn find_decl_end(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'>' {
+            return Some(i);
+        }
+        if bytes[i] == b'-' && bytes.get(i + 1) == Some(&b'-') {
+            // Skip to the closing --.
+            let close = s[i + 2..].find("--")?;
+            i += 2 + close + 2;
+            continue;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Phase-1 preprocessor: parameter entities, marked sections, comments.
+struct Preprocessor {
+    entities: HashMap<String, String>,
+}
+
+impl Preprocessor {
+    fn run(text: &str) -> Result<String, DtdError> {
+        let mut p = Preprocessor {
+            entities: HashMap::new(),
+        };
+        // Iterate until a pass makes no change (entities can reference
+        // earlier entities), with a depth cap against cycles.
+        let mut current = text.to_string();
+        for _ in 0..16 {
+            let next = p.pass(&current)?;
+            if next == current {
+                return Ok(next);
+            }
+            current = next;
+        }
+        Err(err("parameter entity expansion did not converge"))
+    }
+
+    /// One pass: strip comments, resolve marked sections, record and
+    /// expand entities.
+    fn pass(&mut self, text: &str) -> Result<String, DtdError> {
+        // Pre-scan for parameter entity declarations so a marked-section
+        // keyword like `%HTML.Frameset;` resolves even on the first pass.
+        let mut scan = text;
+        while let Some(idx) = scan.find("<!ENTITY") {
+            let decl = &scan[idx + 8..];
+            match find_decl_end(decl) {
+                Some(end) => {
+                    self.record_entity(&decl[..end])?;
+                    scan = &decl[end + 1..];
+                }
+                None => break,
+            }
+        }
+        let mut out = String::with_capacity(text.len());
+        let mut rest = text;
+        loop {
+            // Marked section?
+            if let Some(idx) = rest.find("<![") {
+                let (before, after) = rest.split_at(idx);
+                out.push_str(before);
+                let section = &after[3..];
+                let open = section
+                    .find('[')
+                    .ok_or_else(|| err("marked section without `['"))?;
+                let keyword = self.expand(&section[..open])?.trim().to_string();
+                let body_start = open + 1;
+                let close = find_section_end(&section[body_start..])
+                    .ok_or_else(|| err("marked section without `]]>'"))?;
+                let body = &section[body_start..body_start + close];
+                match keyword.as_str() {
+                    "INCLUDE" => {
+                        let expanded = self.pass(body)?;
+                        out.push_str(&expanded);
+                    }
+                    "IGNORE" => {}
+                    other => return Err(err(format!("unsupported marked section `{other}'"))),
+                }
+                rest = &section[body_start + close + 3..];
+                continue;
+            }
+            break;
+        }
+        out.push_str(rest);
+
+        // Strip free-standing comments.
+        let mut no_comments = String::with_capacity(out.len());
+        let mut rest = out.as_str();
+        while let Some(idx) = rest.find("<!--") {
+            no_comments.push_str(&rest[..idx]);
+            match rest[idx + 4..].find("-->") {
+                Some(end) => rest = &rest[idx + 4 + end + 3..],
+                None => {
+                    rest = "";
+                    break;
+                }
+            }
+        }
+        no_comments.push_str(rest);
+
+        // Record entity declarations and drop them from the text.
+        let mut no_entities = String::with_capacity(no_comments.len());
+        let mut rest = no_comments.as_str();
+        while let Some(idx) = rest.find("<!ENTITY") {
+            no_entities.push_str(&rest[..idx]);
+            let decl = &rest[idx + 8..];
+            let end = find_decl_end(decl).ok_or_else(|| err("ENTITY not closed"))?;
+            self.record_entity(&decl[..end])?;
+            rest = &decl[end + 1..];
+        }
+        no_entities.push_str(rest);
+
+        // Expand %references;.
+        self.expand(&no_entities)
+    }
+
+    fn record_entity(&mut self, body: &str) -> Result<(), DtdError> {
+        let body = body.trim();
+        let Some(rest) = body.strip_prefix('%') else {
+            return Ok(()); // general entities are not used by the tables
+        };
+        let rest = rest.trim_start();
+        let (name, rest) = rest
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| err("ENTITY without a value"))?;
+        let rest = rest.trim();
+        let value = if let Some(stripped) = rest.strip_prefix('"') {
+            stripped
+                .strip_suffix('"')
+                .ok_or_else(|| err("unterminated entity literal"))?
+        } else if let Some(stripped) = rest.strip_prefix('\'') {
+            stripped
+                .strip_suffix('\'')
+                .ok_or_else(|| err("unterminated entity literal"))?
+        } else {
+            rest
+        };
+        self.entities
+            .entry(name.to_string())
+            .or_insert_with(|| value.to_string());
+        Ok(())
+    }
+
+    /// Expand `%name;` references (also accepts `%name ` as the DTDs do).
+    fn expand(&self, text: &str) -> Result<String, DtdError> {
+        let mut out = String::with_capacity(text.len());
+        let mut chars = text.char_indices();
+        while let Some((i, c)) = chars.next() {
+            if c != '%' {
+                out.push(c);
+                continue;
+            }
+            // Collect the entity name.
+            let rest = &text[i + 1..];
+            let name_end = rest
+                .find(|ch: char| !(ch.is_ascii_alphanumeric() || ch == '.' || ch == '-'))
+                .unwrap_or(rest.len());
+            if name_end == 0 {
+                out.push('%');
+                continue;
+            }
+            let name = &rest[..name_end];
+            match self.entities.get(name) {
+                Some(value) => out.push_str(value),
+                None => {
+                    // Leave unknown references; a later pass may know them.
+                    out.push('%');
+                    out.push_str(name);
+                }
+            }
+            // Step past the name and an optional ';'.
+            let skip = name_end + usize::from(rest[name_end..].starts_with(';'));
+            for _ in 0..skip {
+                chars.next();
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Find `]]>` at nesting depth zero (marked sections can nest).
+fn find_section_end(s: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if s[i..].starts_with("<![") {
+            depth += 1;
+            i += 3;
+        } else if s[i..].starts_with("]]>") {
+            if depth == 0 {
+                return Some(i);
+            }
+            depth -= 1;
+            i += 3;
+        } else {
+            i += 1;
+        }
+    }
+    None
+}
+
+/// Parse `ELEMENT names flags content [exceptions]`.
+fn parse_element(body: &str, dtd: &mut Dtd) -> Result<(), DtdError> {
+    let rest = body
+        .strip_prefix("ELEMENT")
+        .ok_or_else(|| err("not an ELEMENT"))?
+        .trim();
+    let (names, rest) = parse_name_group(rest)?;
+    let rest = rest.trim_start();
+
+    // Omission flags: `- -`, `- O`, `O O`.
+    let mut flags = rest.split_whitespace();
+    let start_flag = flags.next().ok_or_else(|| err("missing start-tag flag"))?;
+    let end_flag = flags.next().ok_or_else(|| err("missing end-tag flag"))?;
+    let start_required = match start_flag {
+        "-" => true,
+        "O" | "o" => false,
+        other => return Err(err(format!("bad start-tag flag `{other}'"))),
+    };
+    let end_required = match end_flag {
+        "-" => true,
+        "O" | "o" => false,
+        other => return Err(err(format!("bad end-tag flag `{other}'"))),
+    };
+
+    // The remainder: content model plus optional +(...)/-(...).
+    let after_flags = rest
+        .split_whitespace()
+        .skip(2)
+        .collect::<Vec<_>>()
+        .join(" ");
+    let (content_model, inclusions, exclusions) = split_exceptions(&after_flags);
+    let empty = content_model.eq_ignore_ascii_case("EMPTY");
+
+    for name in names {
+        dtd.elements.insert(
+            name.clone(),
+            DtdElement {
+                name,
+                start_required,
+                end_required,
+                empty,
+                content_model: content_model.clone(),
+                exclusions: exclusions.clone(),
+                inclusions: inclusions.clone(),
+            },
+        );
+    }
+    Ok(())
+}
+
+/// Split trailing `+(…)` and `-(…)` exceptions off a content model.
+fn split_exceptions(model: &str) -> (String, Vec<String>, Vec<String>) {
+    let mut content = model.trim().to_string();
+    let mut inclusions = Vec::new();
+    let mut exclusions = Vec::new();
+    loop {
+        let trimmed = content.trim_end().to_string();
+        if let Some(idx) = trimmed.rfind("+(") {
+            if trimmed.ends_with(')') && idx > 0 {
+                inclusions = split_names(&trimmed[idx + 2..trimmed.len() - 1]);
+                content = trimmed[..idx].to_string();
+                continue;
+            }
+        }
+        if let Some(idx) = trimmed.rfind("-(") {
+            // `-(X)` must follow whitespace or ')': inside a model a '-'
+            // can only be part of an exception in the HTML DTDs.
+            if trimmed.ends_with(')') && idx > 0 {
+                let before = trimmed.as_bytes()[idx - 1];
+                if before == b' ' || before == b')' {
+                    exclusions = split_names(&trimmed[idx + 2..trimmed.len() - 1]);
+                    content = trimmed[..idx].to_string();
+                    continue;
+                }
+            }
+        }
+        break;
+    }
+    (content.trim().to_string(), inclusions, exclusions)
+}
+
+fn split_names(group: &str) -> Vec<String> {
+    group
+        .split(['|', ',', '&'])
+        .map(|s| s.trim().to_ascii_lowercase())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Parse a name or `(A|B|C)` name group; returns the names and the rest.
+fn parse_name_group(s: &str) -> Result<(Vec<String>, &str), DtdError> {
+    let s = s.trim_start();
+    if let Some(rest) = s.strip_prefix('(') {
+        let close = rest.find(')').ok_or_else(|| err("name group not closed"))?;
+        Ok((split_names(&rest[..close]), &rest[close + 1..]))
+    } else {
+        let end = s
+            .find(char::is_whitespace)
+            .ok_or_else(|| err("declaration ends after name"))?;
+        Ok((vec![s[..end].to_ascii_lowercase()], &s[end..]))
+    }
+}
+
+/// Parse `ATTLIST names (name decl default)*`.
+fn parse_attlist(body: &str, dtd: &mut Dtd) -> Result<(), DtdError> {
+    let rest = body
+        .strip_prefix("ATTLIST")
+        .ok_or_else(|| err("not an ATTLIST"))?
+        .trim();
+    let (names, rest) = parse_name_group(rest)?;
+    let mut tokens = AttlistTokens::new(rest);
+    let mut attrs = Vec::new();
+    while let Some(attr_name) = tokens.next() {
+        let decl_token = tokens
+            .next()
+            .ok_or_else(|| err(format!("attribute {attr_name} has no declared value")))?;
+        let decl = if let Some(group) = decl_token.strip_prefix('(') {
+            let group = group.strip_suffix(')').unwrap_or(group);
+            AttrDecl::Enum(split_names(group))
+        } else {
+            match decl_token.to_ascii_uppercase().as_str() {
+                "CDATA" => AttrDecl::Cdata,
+                "ID" => AttrDecl::Id,
+                "IDREF" | "IDREFS" => AttrDecl::IdRef,
+                "NAME" | "NMTOKEN" | "NMTOKENS" | "NAMES" => AttrDecl::Name,
+                "NUMBER" => AttrDecl::Number,
+                other => return Err(err(format!("unsupported declared value `{other}'"))),
+            }
+        };
+        let default = tokens
+            .next()
+            .ok_or_else(|| err(format!("attribute {attr_name} has no default")))?;
+        attrs.push(DtdAttr {
+            name: attr_name.to_ascii_lowercase(),
+            decl,
+            required: default.eq_ignore_ascii_case("#REQUIRED"),
+        });
+    }
+    for name in names {
+        dtd.attlists.entry(name).or_default().extend(attrs.clone());
+    }
+    Ok(())
+}
+
+/// Whitespace tokenizer that keeps `(...)` groups and `"..."` literals
+/// as single tokens.
+struct AttlistTokens<'a> {
+    rest: &'a str,
+}
+
+impl<'a> AttlistTokens<'a> {
+    fn new(s: &'a str) -> AttlistTokens<'a> {
+        AttlistTokens { rest: s }
+    }
+}
+
+impl<'a> Iterator for AttlistTokens<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        let s = self.rest.trim_start();
+        if s.is_empty() {
+            self.rest = s;
+            return None;
+        }
+        let end = match s.chars().next() {
+            Some('(') => s.find(')').map(|i| i + 1).unwrap_or(s.len()),
+            Some(q @ ('"' | '\'')) => s[1..].find(q).map(|i| i + 2).unwrap_or(s.len()),
+            _ => s.find(char::is_whitespace).unwrap_or(s.len()),
+        };
+        let (token, rest) = s.split_at(end);
+        self.rest = rest;
+        Some(token)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_elements() {
+        let dtd = parse_dtd(
+            "<!ELEMENT P - O (#PCDATA)>\n\
+             <!ELEMENT BR - O EMPTY>\n\
+             <!ELEMENT TITLE - - (#PCDATA)>",
+        )
+        .unwrap();
+        let p = dtd.element("P").unwrap();
+        assert!(p.start_required && !p.end_required && !p.empty);
+        let br = dtd.element("br").unwrap();
+        assert!(br.empty && !br.end_required);
+        let title = dtd.element("title").unwrap();
+        assert!(title.end_required);
+        assert_eq!(dtd.element_names(), ["br", "p", "title"]);
+    }
+
+    #[test]
+    fn parse_name_groups() {
+        let dtd = parse_dtd("<!ELEMENT (H1|H2|H3) - - (#PCDATA)>").unwrap();
+        assert!(dtd.element("h1").is_some());
+        assert!(dtd.element("h2").is_some());
+        assert!(dtd.element("h3").is_some());
+    }
+
+    #[test]
+    fn parse_exceptions() {
+        let dtd = parse_dtd("<!ELEMENT A - - (#PCDATA)* -(A) +(BDO)>").unwrap();
+        let a = dtd.element("a").unwrap();
+        assert_eq!(a.exclusions, ["a"]);
+        assert_eq!(a.inclusions, ["bdo"]);
+    }
+
+    #[test]
+    fn parse_attlist() {
+        let dtd = parse_dtd(
+            "<!ELEMENT TEXTAREA - - (#PCDATA)>\n\
+             <!ATTLIST TEXTAREA\n\
+                 name CDATA #IMPLIED\n\
+                 rows NUMBER #REQUIRED\n\
+                 cols NUMBER #REQUIRED\n\
+                 wrap (off|hard|soft) off>",
+        )
+        .unwrap();
+        assert_eq!(dtd.required_attrs("textarea"), ["cols", "rows"]);
+        let attrs = dtd.attrs("TEXTAREA");
+        assert_eq!(attrs.len(), 4);
+        assert_eq!(
+            attrs[3].decl,
+            AttrDecl::Enum(vec!["off".into(), "hard".into(), "soft".into()])
+        );
+    }
+
+    #[test]
+    fn parameter_entities_expand() {
+        let dtd = parse_dtd(
+            "<!ENTITY % align \"(left|center|right)\">\n\
+             <!ELEMENT P - O (#PCDATA)>\n\
+             <!ATTLIST P align %align; #IMPLIED>",
+        )
+        .unwrap();
+        assert_eq!(
+            dtd.attrs("p")[0].decl,
+            AttrDecl::Enum(vec!["left".into(), "center".into(), "right".into()])
+        );
+    }
+
+    #[test]
+    fn nested_entities_expand() {
+        let dtd = parse_dtd(
+            "<!ENTITY % fontstyle \"TT | I | B\">\n\
+             <!ENTITY % inline \"#PCDATA | %fontstyle;\">\n\
+             <!ELEMENT P - O (%inline;)*>",
+        )
+        .unwrap();
+        assert!(dtd.element("p").unwrap().content_model.contains("B"));
+    }
+
+    #[test]
+    fn include_and_ignore_sections() {
+        let dtd = parse_dtd(
+            "<!ENTITY % HTML.Frameset \"IGNORE\">\n\
+             <![ %HTML.Frameset; [ <!ELEMENT FRAMESET - - (FRAME)+> ]]>\n\
+             <![ INCLUDE [ <!ELEMENT BODY O O (#PCDATA)> ]]>",
+        )
+        .unwrap();
+        assert!(dtd.element("frameset").is_none());
+        assert!(dtd.element("body").is_some());
+        assert!(!dtd.element("body").unwrap().start_required);
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let dtd = parse_dtd(
+            "<!-- a comment with <!ELEMENT FAKE - - ANY> inside -->\n\
+             <!ELEMENT REAL - - (#PCDATA) -- trailing comment -->",
+        )
+        .unwrap();
+        assert!(dtd.element("fake").is_none());
+        assert!(dtd.element("real").is_some());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_dtd("<!ELEMENT X - -").is_err()); // no '>'
+        assert!(parse_dtd("<!ELEMENT X ? ? ANY>").is_err()); // bad flags
+        assert!(parse_dtd("<![ BOGUS [ x ]]>").is_err());
+        assert!(parse_dtd("<!ELEMENT X - - ANY><!ATTLIST X a>").is_err());
+        let e = parse_dtd("<!ELEMENT X - - ANY><!ATTLIST X a WIBBLE x>").unwrap_err();
+        assert!(e.to_string().contains("WIBBLE"));
+    }
+
+    #[test]
+    fn attlist_shared_across_group() {
+        let dtd = parse_dtd(
+            "<!ELEMENT (TD|TH) - O (#PCDATA)>\n\
+             <!ATTLIST (TD|TH) colspan NUMBER 1>",
+        )
+        .unwrap();
+        assert_eq!(dtd.attrs("td").len(), 1);
+        assert_eq!(dtd.attrs("th").len(), 1);
+    }
+}

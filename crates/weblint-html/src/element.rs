@@ -1,0 +1,160 @@
+//! Element and attribute definitions as assembled into an active spec.
+
+use crate::constraint::AttrConstraint;
+
+/// Whether an element takes an end tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndTag {
+    /// Container whose end tag is required (`A`, `TITLE`, `TEXTAREA`, …).
+    Required,
+    /// Container whose end tag may be omitted (`P`, `LI`, `TD`, …).
+    Optional,
+    /// Empty element — an end tag is forbidden (`BR`, `IMG`, `HR`, …).
+    Forbidden,
+}
+
+/// A coarse element category, used for context checks and pretty output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElementCategory {
+    /// Document structure: `HTML`, `HEAD`, `BODY`, `FRAMESET`.
+    Structure,
+    /// Elements that belong in the document head.
+    Head,
+    /// Block-level content.
+    Block,
+    /// Inline (text-level) content.
+    Inline,
+    /// Table machinery (`TR`, `TD`, `COLGROUP`, …).
+    Table,
+    /// List machinery (`LI`, `DT`, `DD`).
+    List,
+    /// Form controls.
+    Form,
+    /// Frame machinery.
+    Frame,
+}
+
+/// One attribute an element accepts.
+#[derive(Debug, Clone, Copy)]
+pub struct AttrDef {
+    /// Lower-case attribute name.
+    pub name: &'static str,
+    /// The shape legal values must take.
+    pub constraint: AttrConstraint,
+    /// Version/extension mask (see [`crate::mask`]) in which this attribute
+    /// exists on this element.
+    pub mask: u16,
+    /// The attribute is deprecated in HTML 4.0 (e.g. `ALIGN` on many
+    /// elements, `BGCOLOR` on `BODY`).
+    pub deprecated: bool,
+}
+
+/// One element definition, as stored in the static tables.
+///
+/// `mask` says which versions define the element; the per-spec view filters
+/// on it. The remaining fields encode exactly the §5.5 list: content model
+/// ("are they containers?"), legal attributes and values, and legal context.
+#[derive(Debug, Clone)]
+pub struct ElementDef {
+    /// Lower-case element name.
+    pub name: &'static str,
+    /// Versions and extensions defining this element.
+    pub mask: u16,
+    /// End-tag behaviour (container vs empty element).
+    pub end_tag: EndTag,
+    /// Coarse category.
+    pub category: ElementCategory,
+    /// The element may appear only once per document
+    /// (`HTML`, `HEAD`, `BODY`, `TITLE`).
+    pub once: bool,
+    /// Legal direct parents. `None` means no context restriction. For
+    /// example `LI` requires one of `ul`, `ol`, `dir`, `menu`.
+    pub contexts: Option<&'static [&'static str]>,
+    /// Open elements that a new occurrence of this element implicitly
+    /// closes — `<LI>` closes an open `li`, `<TD>` closes `td`/`th`.
+    pub closes: &'static [&'static str],
+    /// Attributes that must be present (`src` on `IMG`, `rows`/`cols` on
+    /// `TEXTAREA`, `alt` on `AREA`, …).
+    pub required_attrs: &'static [&'static str],
+    /// Accepted attributes (specific to this element; common core/i18n/event
+    /// attributes are tracked via [`ElementDef::common_attrs`]).
+    pub attrs: &'static [AttrDef],
+    /// Which common attribute groups apply (bit set of
+    /// [`crate::tables::attrs::COMMON_CORE`] etc.).
+    pub common_attrs: u8,
+    /// The element is deprecated; the replacement to suggest
+    /// (`LISTING` → "PRE", `CENTER` → "DIV ALIGN=CENTER").
+    pub deprecated: Option<&'static str>,
+    /// The element is physical-style markup; the logical alternative to
+    /// suggest (`B` → "STRONG", `I` → "EM").
+    pub physical: Option<&'static str>,
+    /// The element's content must not directly contain text (e.g. `UL`
+    /// directly containing text instead of `LI` is questionable).
+    pub no_direct_text: bool,
+    /// Empty content is questionable (weblint's `empty-container`):
+    /// a `<TITLE></TITLE>` or `<A NAME=x></A>` with nothing inside.
+    pub warn_if_empty: bool,
+}
+
+impl ElementDef {
+    /// True for empty elements (`BR`, `IMG`, …).
+    pub fn is_empty_element(&self) -> bool {
+        self.end_tag == EndTag::Forbidden
+    }
+
+    /// True when the element is a container (end tag required or optional).
+    pub fn is_container(&self) -> bool {
+        !self.is_empty_element()
+    }
+
+    /// Whether this element's end tag may be omitted.
+    pub fn end_tag_optional(&self) -> bool {
+        self.end_tag == EndTag::Optional
+    }
+
+    /// Whether a new occurrence of this element implicitly closes an open
+    /// `other` (both lower-case).
+    pub fn implies_close_of(&self, other: &str) -> bool {
+        self.closes.contains(&other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn def(end_tag: EndTag) -> ElementDef {
+        ElementDef {
+            name: "x",
+            mask: crate::mask::ALL,
+            end_tag,
+            category: ElementCategory::Inline,
+            once: false,
+            contexts: None,
+            closes: &["p", "li"],
+            required_attrs: &[],
+            attrs: &[],
+            common_attrs: 0,
+            deprecated: None,
+            physical: None,
+            no_direct_text: false,
+            warn_if_empty: false,
+        }
+    }
+
+    #[test]
+    fn empty_vs_container() {
+        assert!(def(EndTag::Forbidden).is_empty_element());
+        assert!(!def(EndTag::Forbidden).is_container());
+        assert!(def(EndTag::Required).is_container());
+        assert!(def(EndTag::Optional).end_tag_optional());
+        assert!(!def(EndTag::Required).end_tag_optional());
+    }
+
+    #[test]
+    fn implied_closes() {
+        let d = def(EndTag::Optional);
+        assert!(d.implies_close_of("p"));
+        assert!(!d.implies_close_of("td"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Table-driven HTML language modules, after weblint's `Weblint::HTML40`.
+//!
+//! The paper (§5.5): "These modules encapsulate the information which is
+//! needed by weblint when checking against a specific version of HTML. …
+//! The HTML modules are basically sets of tables which are used to drive the
+//! operation of the Weblint module." The information includes valid elements
+//! and their content model (are they containers?), valid attributes and legal
+//! values for attributes, and legal context for elements.
+//!
+//! This crate holds those tables for HTML 3.2 and the three HTML 4.0 DTDs,
+//! plus the Netscape Navigator and Microsoft Internet Explorer extension
+//! overlays the paper mentions. An [`HtmlSpec`] assembles the tables for one
+//! (version, extensions) choice and answers the queries the lint engine and
+//! the strict validator need.
+//!
+//! # Examples
+//!
+//! ```
+//! use weblint_html::{HtmlSpec, HtmlVersion, Extensions};
+//!
+//! let spec = HtmlSpec::new(HtmlVersion::Html40Transitional, Extensions::none());
+//! let img = spec.element("img").unwrap();
+//! assert!(img.is_empty_element());
+//! assert_eq!(img.required_attrs, &["src"]);
+//! assert!(spec.entity("eacute").is_some());
+//! assert!(spec.element("blink").is_none()); // Netscape-only
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod constraint;
+pub mod dtd;
+mod element;
+mod spec;
+pub mod tables;
+mod version;
+
+pub use constraint::AttrConstraint;
+pub use element::{AttrDef, ElementCategory, ElementDef, EndTag};
+pub use spec::{AttrStatus, ElementStatus, HtmlSpec};
+pub use version::{mask, Extensions, HtmlVersion};

@@ -1,0 +1,379 @@
+//! The active language specification: one (version, extensions) view over
+//! the static tables.
+
+use std::collections::HashMap;
+
+use crate::element::{AttrDef, ElementDef};
+use crate::tables::{attrs as attr_tables, colors, elements, entities};
+use crate::version::{mask, Extensions, HtmlVersion};
+
+/// Result of looking up an element name.
+#[derive(Debug, Clone, Copy)]
+pub enum ElementStatus {
+    /// Defined in the active version (or an enabled extension).
+    Active(&'static ElementDef),
+    /// Defined only by a vendor extension that is not enabled.
+    Extension(&'static ElementDef),
+    /// Defined by a different standard HTML version than the active one.
+    OtherVersion(&'static ElementDef),
+    /// Not defined anywhere — probably a typo (`BLOCKQOUTE`).
+    Unknown,
+}
+
+/// Result of looking up an attribute on an element.
+#[derive(Debug, Clone, Copy)]
+pub enum AttrStatus {
+    /// Defined for this element in the active version.
+    Active(&'static AttrDef),
+    /// Defined for this element, but only in another version or a disabled
+    /// extension.
+    Inactive(&'static AttrDef),
+    /// Not defined for this element at all.
+    Unknown,
+}
+
+/// A complete, queryable HTML language definition for one version plus
+/// extension overlays — weblint's "HTML module" (§5.5).
+///
+/// # Examples
+///
+/// ```
+/// use weblint_html::{HtmlSpec, HtmlVersion, Extensions};
+///
+/// let spec = HtmlSpec::default();
+/// assert_eq!(spec.version(), HtmlVersion::Html40Transitional);
+/// assert!(spec.element("table").is_some());
+/// assert!(spec.color_value("red").is_some());
+///
+/// let ns = HtmlSpec::new(HtmlVersion::Html40Transitional, Extensions::netscape());
+/// assert!(ns.element("blink").is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HtmlSpec {
+    version: HtmlVersion,
+    extensions: Extensions,
+    active_mask: u16,
+    elements: HashMap<&'static str, &'static ElementDef>,
+    entities: HashMap<&'static str, (u16, u32)>,
+    colors: HashMap<&'static str, (u16, u32)>,
+}
+
+impl HtmlSpec {
+    /// Assemble the spec for `version` with `extensions` enabled.
+    pub fn new(version: HtmlVersion, extensions: Extensions) -> HtmlSpec {
+        let elements = elements::ELEMENTS.iter().map(|e| (e.name, e)).collect();
+        let entities = entities::ENTITIES
+            .iter()
+            .map(|&(name, m, cp)| (name, (m, cp)))
+            .collect();
+        let colors = colors::COLORS
+            .iter()
+            .map(|&(name, m, v)| (name, (m, v)))
+            .collect();
+        HtmlSpec {
+            version,
+            extensions,
+            active_mask: version.bit() | extensions.bits(),
+            elements,
+            entities,
+            colors,
+        }
+    }
+
+    /// The active HTML version.
+    pub fn version(&self) -> HtmlVersion {
+        self.version
+    }
+
+    /// The enabled extension overlays.
+    pub fn extensions(&self) -> Extensions {
+        self.extensions
+    }
+
+    /// The combined version/extension bit mask entries are filtered by.
+    pub fn active_mask(&self) -> u16 {
+        self.active_mask
+    }
+
+    /// Look up an element (lower-case name), returning it only if it is
+    /// active in this spec.
+    pub fn element(&self, name_lc: &str) -> Option<&'static ElementDef> {
+        match self.element_status(name_lc) {
+            ElementStatus::Active(def) => Some(def),
+            _ => None,
+        }
+    }
+
+    /// Look up an element in the full table, regardless of version.
+    pub fn element_any(&self, name_lc: &str) -> Option<&'static ElementDef> {
+        self.elements.get(name_lc).copied()
+    }
+
+    /// Classify an element name against this spec.
+    pub fn element_status(&self, name_lc: &str) -> ElementStatus {
+        match self.elements.get(name_lc) {
+            None => ElementStatus::Unknown,
+            Some(def) if def.mask & self.active_mask != 0 => ElementStatus::Active(def),
+            Some(def) if def.mask & mask::ANYSTD == 0 => ElementStatus::Extension(def),
+            Some(def) => ElementStatus::OtherVersion(def),
+        }
+    }
+
+    /// Classify an attribute (lower-case) on an element.
+    ///
+    /// Searches the element's own attribute list, then the common groups
+    /// (`%coreattrs`, `%i18n`, `%events`) the element participates in.
+    pub fn attr_status(&self, element: &ElementDef, attr_lc: &str) -> AttrStatus {
+        let mut inactive: Option<&'static AttrDef> = None;
+        let own = element.attrs.iter();
+        let common = attr_tables::groups(element.common_attrs);
+        for def in own.chain(common) {
+            if def.name == attr_lc {
+                if def.mask & self.active_mask != 0 {
+                    return AttrStatus::Active(def);
+                }
+                inactive.get_or_insert(def);
+            }
+        }
+        match inactive {
+            Some(def) => AttrStatus::Inactive(def),
+            None => AttrStatus::Unknown,
+        }
+    }
+
+    /// The code point of an active entity (case-sensitive name).
+    pub fn entity(&self, name: &str) -> Option<char> {
+        let &(m, cp) = self.entities.get(name)?;
+        if m & self.active_mask != 0 {
+            char::from_u32(cp)
+        } else {
+            None
+        }
+    }
+
+    /// The code point of an entity defined in *any* version.
+    pub fn entity_any(&self, name: &str) -> Option<char> {
+        let &(_, cp) = self.entities.get(name)?;
+        char::from_u32(cp)
+    }
+
+    /// Whether `name` is an active color name (case-insensitive).
+    pub fn is_color_name(&self, name: &str) -> bool {
+        self.color_value(name).is_some()
+    }
+
+    /// The `0xRRGGBB` value of an active color name (case-insensitive).
+    pub fn color_value(&self, name: &str) -> Option<u32> {
+        let lc = name.to_ascii_lowercase();
+        let &(m, v) = self.colors.get(lc.as_str())?;
+        if m & self.active_mask != 0 {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// The `0xRRGGBB` value of a color name in *any* version.
+    pub fn color_value_any(&self, name: &str) -> Option<u32> {
+        let lc = name.to_ascii_lowercase();
+        self.colors.get(lc.as_str()).map(|&(_, v)| v)
+    }
+
+    /// Iterate over the elements active in this spec, in table order.
+    pub fn active_elements(&self) -> impl Iterator<Item = &'static ElementDef> + '_ {
+        elements::ELEMENTS
+            .iter()
+            .filter(move |e| e.mask & self.active_mask != 0)
+    }
+
+    /// Validate an attribute value against its definition, resolving color
+    /// names through this spec.
+    pub fn validate_attr_value(&self, def: &AttrDef, value: &str) -> bool {
+        def.constraint
+            .validate(value, &|name| self.is_color_name(name))
+    }
+}
+
+impl Default for HtmlSpec {
+    /// The paper's default: HTML 4.0 (Transitional), no extensions.
+    fn default() -> HtmlSpec {
+        HtmlSpec::new(HtmlVersion::default(), Extensions::none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(v: HtmlVersion, e: Extensions) -> HtmlSpec {
+        HtmlSpec::new(v, e)
+    }
+
+    #[test]
+    fn default_spec_knows_html40() {
+        let s = HtmlSpec::default();
+        for name in ["html", "head", "body", "table", "span", "q", "object"] {
+            assert!(s.element(name).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn html32_lacks_40_only_elements() {
+        let s = spec(HtmlVersion::Html32, Extensions::none());
+        for name in ["span", "q", "abbr", "object", "fieldset", "tbody"] {
+            assert!(s.element(name).is_none(), "{name}");
+            assert!(matches!(
+                s.element_status(name),
+                ElementStatus::OtherVersion(_)
+            ));
+        }
+        assert!(s.element("center").is_some());
+        assert!(s.element("xmp").is_some());
+    }
+
+    #[test]
+    fn strict_excludes_deprecated_presentation() {
+        let s = spec(HtmlVersion::Html40Strict, Extensions::none());
+        for name in ["center", "font", "u", "strike", "menu", "dir", "iframe"] {
+            assert!(s.element(name).is_none(), "{name}");
+        }
+        assert!(s.element("b").is_some()); // B is *not* deprecated in 4.0
+    }
+
+    #[test]
+    fn frameset_has_frames() {
+        let s = spec(HtmlVersion::Html40Frameset, Extensions::none());
+        assert!(s.element("frameset").is_some());
+        assert!(s.element("frame").is_some());
+        let t = spec(HtmlVersion::Html40Transitional, Extensions::none());
+        assert!(t.element("frame").is_none());
+        assert!(t.element("noframes").is_some());
+    }
+
+    #[test]
+    fn extension_elements_classified() {
+        let s = HtmlSpec::default();
+        assert!(matches!(
+            s.element_status("blink"),
+            ElementStatus::Extension(_)
+        ));
+        assert!(matches!(
+            s.element_status("marquee"),
+            ElementStatus::Extension(_)
+        ));
+        assert!(matches!(
+            s.element_status("blockqoute"),
+            ElementStatus::Unknown
+        ));
+
+        let ns = spec(HtmlVersion::Html40Transitional, Extensions::netscape());
+        assert!(ns.element("blink").is_some());
+        assert!(ns.element("marquee").is_none()); // IE-only
+        let ie = spec(HtmlVersion::Html40Transitional, Extensions::microsoft());
+        assert!(ie.element("marquee").is_some());
+    }
+
+    #[test]
+    fn attr_status_finds_specific_and_common() {
+        let s = HtmlSpec::default();
+        let body = s.element("body").unwrap();
+        assert!(matches!(
+            s.attr_status(body, "bgcolor"),
+            AttrStatus::Active(_)
+        ));
+        assert!(matches!(
+            s.attr_status(body, "class"),
+            AttrStatus::Active(_)
+        ));
+        assert!(matches!(s.attr_status(body, "href"), AttrStatus::Unknown));
+        // IE-only attribute, extension disabled:
+        assert!(matches!(
+            s.attr_status(body, "leftmargin"),
+            AttrStatus::Inactive(_)
+        ));
+        let ie = spec(HtmlVersion::Html40Transitional, Extensions::microsoft());
+        let body = ie.element("body").unwrap();
+        assert!(matches!(
+            ie.attr_status(body, "leftmargin"),
+            AttrStatus::Active(_)
+        ));
+    }
+
+    #[test]
+    fn strict_marks_bgcolor_inactive() {
+        let s = spec(HtmlVersion::Html40Strict, Extensions::none());
+        let body = s.element("body").unwrap();
+        assert!(matches!(
+            s.attr_status(body, "bgcolor"),
+            AttrStatus::Inactive(_)
+        ));
+        assert!(matches!(
+            s.attr_status(body, "onload"),
+            AttrStatus::Active(_)
+        ));
+    }
+
+    #[test]
+    fn html32_has_no_class_attr() {
+        let s = spec(HtmlVersion::Html32, Extensions::none());
+        let p = s.element("p").unwrap();
+        assert!(matches!(s.attr_status(p, "class"), AttrStatus::Inactive(_)));
+        assert!(matches!(s.attr_status(p, "align"), AttrStatus::Active(_)));
+    }
+
+    #[test]
+    fn entities_respect_version() {
+        let s32 = spec(HtmlVersion::Html32, Extensions::none());
+        let s40 = HtmlSpec::default();
+        assert_eq!(s32.entity("eacute"), Some('é'));
+        assert_eq!(s32.entity("euro"), None);
+        assert_eq!(s40.entity("euro"), Some('€'));
+        assert_eq!(s40.entity("nosuch"), None);
+        assert_eq!(s32.entity_any("euro"), Some('€'));
+    }
+
+    #[test]
+    fn entity_names_are_case_sensitive() {
+        let s = HtmlSpec::default();
+        assert_eq!(s.entity("Prime"), Some('″'));
+        assert_eq!(s.entity("prime"), Some('′'));
+        assert_eq!(s.entity("AMP"), None);
+    }
+
+    #[test]
+    fn colors_respect_extensions() {
+        let s = HtmlSpec::default();
+        assert!(s.is_color_name("red"));
+        assert!(s.is_color_name("RED"));
+        assert!(!s.is_color_name("tomato"));
+        let ns = spec(HtmlVersion::Html40Transitional, Extensions::netscape());
+        assert!(ns.is_color_name("tomato"));
+        assert_eq!(ns.color_value("tomato"), Some(0xFF6347));
+        assert_eq!(s.color_value_any("tomato"), Some(0xFF6347));
+    }
+
+    #[test]
+    fn validate_attr_value_resolves_colors() {
+        let s = HtmlSpec::default();
+        let body = s.element("body").unwrap();
+        let bgcolor = match s.attr_status(body, "bgcolor") {
+            AttrStatus::Active(d) => d,
+            other => panic!("{other:?}"),
+        };
+        assert!(s.validate_attr_value(bgcolor, "#00ff00"));
+        assert!(s.validate_attr_value(bgcolor, "red"));
+        assert!(!s.validate_attr_value(bgcolor, "fffff"));
+    }
+
+    #[test]
+    fn active_elements_iterates_filtered() {
+        let s32 = spec(HtmlVersion::Html32, Extensions::none());
+        let s40 = HtmlSpec::default();
+        let n32 = s32.active_elements().count();
+        let n40 = s40.active_elements().count();
+        assert!(n32 < n40, "{n32} vs {n40}");
+        assert!(s40
+            .active_elements()
+            .all(|e| e.mask & s40.active_mask() != 0));
+    }
+}

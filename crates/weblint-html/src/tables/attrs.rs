@@ -1,0 +1,93 @@
+//! Common attribute groups shared by most HTML 4.0 elements.
+//!
+//! The HTML 4.0 DTDs factor `%coreattrs`, `%i18n` and `%events` out of the
+//! per-element attribute lists; the same factoring is used here. An element
+//! opts into groups through [`crate::ElementDef::common_attrs`].
+
+use crate::constraint::AttrConstraint::{Any, Enum, Id, Name};
+use crate::element::AttrDef;
+use crate::version::mask::{EXT, H40, IE, NS};
+
+/// Bit: the element takes `%coreattrs` (`id`, `class`, `style`, `title`).
+pub const COMMON_CORE: u8 = 1 << 0;
+/// Bit: the element takes `%i18n` (`lang`, `dir`).
+pub const COMMON_I18N: u8 = 1 << 1;
+/// Bit: the element takes `%events` (the `on*` intrinsic event handlers).
+pub const COMMON_EVENTS: u8 = 1 << 2;
+/// All three groups — the DTD's `%attrs`.
+pub const COMMON_ALL: u8 = COMMON_CORE | COMMON_I18N | COMMON_EVENTS;
+
+/// `%coreattrs`. New in HTML 4.0 (3.2 had no `class` or `style`).
+pub static CORE_ATTRS: &[AttrDef] = &[
+    a!("id", Id, H40 | EXT),
+    a!("class", Any, H40 | EXT),
+    a!("style", Any, H40 | EXT),
+    a!("title", Any, H40 | EXT),
+];
+
+/// `%i18n`.
+pub static I18N_ATTRS: &[AttrDef] = &[
+    a!("lang", Name, H40 | EXT),
+    a!("dir", Enum(&["ltr", "rtl"]), H40 | EXT),
+];
+
+/// `%events` — the ten intrinsic event handlers of HTML 4.0, plus the
+/// vendor-specific handlers that only exist under an extension overlay.
+pub static EVENT_ATTRS: &[AttrDef] = &[
+    a!("onclick", Any, H40 | EXT),
+    a!("ondblclick", Any, H40 | EXT),
+    a!("onmousedown", Any, H40 | EXT),
+    a!("onmouseup", Any, H40 | EXT),
+    a!("onmouseover", Any, H40 | EXT),
+    a!("onmousemove", Any, H40 | EXT),
+    a!("onmouseout", Any, H40 | EXT),
+    a!("onkeypress", Any, H40 | EXT),
+    a!("onkeydown", Any, H40 | EXT),
+    a!("onkeyup", Any, H40 | EXT),
+    a!("onmouseenter", Any, IE),
+    a!("onmouseleave", Any, IE),
+    a!("ondragstart", Any, NS | IE),
+];
+
+/// Iterate the attribute groups selected by a `common_attrs` bit set.
+pub fn groups(bits: u8) -> impl Iterator<Item = &'static AttrDef> {
+    let core = if bits & COMMON_CORE != 0 {
+        CORE_ATTRS
+    } else {
+        &[]
+    };
+    let i18n = if bits & COMMON_I18N != 0 {
+        I18N_ATTRS
+    } else {
+        &[]
+    };
+    let events = if bits & COMMON_EVENTS != 0 {
+        EVENT_ATTRS
+    } else {
+        &[]
+    };
+    core.iter().chain(i18n.iter()).chain(events.iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_bits_select_members() {
+        let names: Vec<_> = groups(COMMON_CORE).map(|a| a.name).collect();
+        assert_eq!(names, ["id", "class", "style", "title"]);
+        assert_eq!(groups(0).count(), 0);
+        assert_eq!(
+            groups(COMMON_ALL).count(),
+            CORE_ATTRS.len() + I18N_ATTRS.len() + EVENT_ATTRS.len()
+        );
+    }
+
+    #[test]
+    fn event_handlers_all_start_with_on() {
+        for attr in EVENT_ATTRS {
+            assert!(attr.name.starts_with("on"), "{}", attr.name);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Named color tables.
+//!
+//! HTML 3.2/4.0 define sixteen color names for use in `BGCOLOR`, `TEXT` and
+//! friends. Netscape popularised the much larger X11-derived set, which
+//! Internet Explorer also adopted — so the extended names carry the
+//! extension mask and only validate when an extension overlay is enabled.
+
+use crate::version::mask::{ALL, EXT};
+
+/// One color definition: lower-case name, version mask, `0xRRGGBB` value.
+pub type ColorDef = (&'static str, u16, u32);
+
+/// Every known color name.
+pub static COLORS: &[ColorDef] = &[
+    // The sixteen standard HTML color names.
+    ("aqua", ALL, 0x00FFFF),
+    ("black", ALL, 0x000000),
+    ("blue", ALL, 0x0000FF),
+    ("fuchsia", ALL, 0xFF00FF),
+    ("gray", ALL, 0x808080),
+    ("green", ALL, 0x008000),
+    ("lime", ALL, 0x00FF00),
+    ("maroon", ALL, 0x800000),
+    ("navy", ALL, 0x000080),
+    ("olive", ALL, 0x808000),
+    ("purple", ALL, 0x800080),
+    ("red", ALL, 0xFF0000),
+    ("silver", ALL, 0xC0C0C0),
+    ("teal", ALL, 0x008080),
+    ("white", ALL, 0xFFFFFF),
+    ("yellow", ALL, 0xFFFF00),
+    // Netscape / IE extended (X11) names.
+    ("aliceblue", EXT, 0xF0F8FF),
+    ("antiquewhite", EXT, 0xFAEBD7),
+    ("aquamarine", EXT, 0x7FFFD4),
+    ("azure", EXT, 0xF0FFFF),
+    ("beige", EXT, 0xF5F5DC),
+    ("bisque", EXT, 0xFFE4C4),
+    ("blanchedalmond", EXT, 0xFFEBCD),
+    ("blueviolet", EXT, 0x8A2BE2),
+    ("brown", EXT, 0xA52A2A),
+    ("burlywood", EXT, 0xDEB887),
+    ("cadetblue", EXT, 0x5F9EA0),
+    ("chartreuse", EXT, 0x7FFF00),
+    ("chocolate", EXT, 0xD2691E),
+    ("coral", EXT, 0xFF7F50),
+    ("cornflowerblue", EXT, 0x6495ED),
+    ("cornsilk", EXT, 0xFFF8DC),
+    ("crimson", EXT, 0xDC143C),
+    ("cyan", EXT, 0x00FFFF),
+    ("darkblue", EXT, 0x00008B),
+    ("darkcyan", EXT, 0x008B8B),
+    ("darkgoldenrod", EXT, 0xB8860B),
+    ("darkgray", EXT, 0xA9A9A9),
+    ("darkgreen", EXT, 0x006400),
+    ("darkkhaki", EXT, 0xBDB76B),
+    ("darkmagenta", EXT, 0x8B008B),
+    ("darkolivegreen", EXT, 0x556B2F),
+    ("darkorange", EXT, 0xFF8C00),
+    ("darkorchid", EXT, 0x9932CC),
+    ("darkred", EXT, 0x8B0000),
+    ("darksalmon", EXT, 0xE9967A),
+    ("darkseagreen", EXT, 0x8FBC8F),
+    ("darkslateblue", EXT, 0x483D8B),
+    ("darkslategray", EXT, 0x2F4F4F),
+    ("darkturquoise", EXT, 0x00CED1),
+    ("darkviolet", EXT, 0x9400D3),
+    ("deeppink", EXT, 0xFF1493),
+    ("deepskyblue", EXT, 0x00BFFF),
+    ("dimgray", EXT, 0x696969),
+    ("dodgerblue", EXT, 0x1E90FF),
+    ("firebrick", EXT, 0xB22222),
+    ("floralwhite", EXT, 0xFFFAF0),
+    ("forestgreen", EXT, 0x228B22),
+    ("gainsboro", EXT, 0xDCDCDC),
+    ("ghostwhite", EXT, 0xF8F8FF),
+    ("gold", EXT, 0xFFD700),
+    ("goldenrod", EXT, 0xDAA520),
+    ("greenyellow", EXT, 0xADFF2F),
+    ("honeydew", EXT, 0xF0FFF0),
+    ("hotpink", EXT, 0xFF69B4),
+    ("indianred", EXT, 0xCD5C5C),
+    ("indigo", EXT, 0x4B0082),
+    ("ivory", EXT, 0xFFFFF0),
+    ("khaki", EXT, 0xF0E68C),
+    ("lavender", EXT, 0xE6E6FA),
+    ("lavenderblush", EXT, 0xFFF0F5),
+    ("lawngreen", EXT, 0x7CFC00),
+    ("lemonchiffon", EXT, 0xFFFACD),
+    ("lightblue", EXT, 0xADD8E6),
+    ("lightcoral", EXT, 0xF08080),
+    ("lightcyan", EXT, 0xE0FFFF),
+    ("lightgoldenrodyellow", EXT, 0xFAFAD2),
+    ("lightgreen", EXT, 0x90EE90),
+    ("lightgrey", EXT, 0xD3D3D3),
+    ("lightpink", EXT, 0xFFB6C1),
+    ("lightsalmon", EXT, 0xFFA07A),
+    ("lightseagreen", EXT, 0x20B2AA),
+    ("lightskyblue", EXT, 0x87CEFA),
+    ("lightslategray", EXT, 0x778899),
+    ("lightsteelblue", EXT, 0xB0C4DE),
+    ("lightyellow", EXT, 0xFFFFE0),
+    ("limegreen", EXT, 0x32CD32),
+    ("linen", EXT, 0xFAF0E6),
+    ("magenta", EXT, 0xFF00FF),
+    ("mediumaquamarine", EXT, 0x66CDAA),
+    ("mediumblue", EXT, 0x0000CD),
+    ("mediumorchid", EXT, 0xBA55D3),
+    ("mediumpurple", EXT, 0x9370DB),
+    ("mediumseagreen", EXT, 0x3CB371),
+    ("mediumslateblue", EXT, 0x7B68EE),
+    ("mediumspringgreen", EXT, 0x00FA9A),
+    ("mediumturquoise", EXT, 0x48D1CC),
+    ("mediumvioletred", EXT, 0xC71585),
+    ("midnightblue", EXT, 0x191970),
+    ("mintcream", EXT, 0xF5FFFA),
+    ("mistyrose", EXT, 0xFFE4E1),
+    ("moccasin", EXT, 0xFFE4B5),
+    ("navajowhite", EXT, 0xFFDEAD),
+    ("oldlace", EXT, 0xFDF5E6),
+    ("olivedrab", EXT, 0x6B8E23),
+    ("orange", EXT, 0xFFA500),
+    ("orangered", EXT, 0xFF4500),
+    ("orchid", EXT, 0xDA70D6),
+    ("palegoldenrod", EXT, 0xEEE8AA),
+    ("palegreen", EXT, 0x98FB98),
+    ("paleturquoise", EXT, 0xAFEEEE),
+    ("palevioletred", EXT, 0xDB7093),
+    ("papayawhip", EXT, 0xFFEFD5),
+    ("peachpuff", EXT, 0xFFDAB9),
+    ("peru", EXT, 0xCD853F),
+    ("pink", EXT, 0xFFC0CB),
+    ("plum", EXT, 0xDDA0DD),
+    ("powderblue", EXT, 0xB0E0E6),
+    ("rosybrown", EXT, 0xBC8F8F),
+    ("royalblue", EXT, 0x4169E1),
+    ("saddlebrown", EXT, 0x8B4513),
+    ("salmon", EXT, 0xFA8072),
+    ("sandybrown", EXT, 0xF4A460),
+    ("seagreen", EXT, 0x2E8B57),
+    ("seashell", EXT, 0xFFF5EE),
+    ("sienna", EXT, 0xA0522D),
+    ("skyblue", EXT, 0x87CEEB),
+    ("slateblue", EXT, 0x6A5ACD),
+    ("slategray", EXT, 0x708090),
+    ("snow", EXT, 0xFFFAFA),
+    ("springgreen", EXT, 0x00FF7F),
+    ("steelblue", EXT, 0x4682B4),
+    ("tan", EXT, 0xD2B48C),
+    ("thistle", EXT, 0xD8BFD8),
+    ("tomato", EXT, 0xFF6347),
+    ("turquoise", EXT, 0x40E0D0),
+    ("violet", EXT, 0xEE82EE),
+    ("wheat", EXT, 0xF5DEB3),
+    ("whitesmoke", EXT, 0xF5F5F5),
+    ("yellowgreen", EXT, 0x9ACD32),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::version::mask;
+    use std::collections::HashSet;
+
+    #[test]
+    fn names_unique_and_lowercase() {
+        let mut seen = HashSet::new();
+        for (name, _, _) in COLORS {
+            assert_eq!(*name, name.to_ascii_lowercase());
+            assert!(seen.insert(*name), "duplicate color {name}");
+        }
+    }
+
+    #[test]
+    fn sixteen_standard_names() {
+        let std_count = COLORS.iter().filter(|(_, m, _)| m & mask::H40 != 0).count();
+        assert_eq!(std_count, 16);
+    }
+
+    #[test]
+    fn values_fit_rgb() {
+        for (name, _, v) in COLORS {
+            assert!(*v <= 0xFFFFFF, "{name}");
+        }
+    }
+
+    #[test]
+    fn extended_set_is_substantial() {
+        assert!(COLORS.len() > 120);
+    }
+}

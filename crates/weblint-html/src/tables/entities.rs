@@ -1,0 +1,319 @@
+//! Character entity tables.
+//!
+//! HTML 3.2 defines the Latin-1 set plus the four markup-significant
+//! entities; HTML 4.0 adds the symbol, Greek and internationalization sets.
+//! Each entry is `(name, mask, code point)`.
+
+use crate::version::mask::{ALL, H40};
+
+/// One entity definition: name (case-sensitive, as entity names are in
+/// SGML), the versions defining it, and the referenced code point.
+pub type EntityDef = (&'static str, u16, u32);
+
+/// Every known character entity.
+pub static ENTITIES: &[EntityDef] = &[
+    // Markup-significant and internationalization (HTML 2.0/3.2 base).
+    ("quot", ALL, 0x0022),
+    ("amp", ALL, 0x0026),
+    ("lt", ALL, 0x003C),
+    ("gt", ALL, 0x003E),
+    // Latin-1 (ISO 8859-1) set, defined since HTML 3.2.
+    ("nbsp", ALL, 0x00A0),
+    ("iexcl", ALL, 0x00A1),
+    ("cent", ALL, 0x00A2),
+    ("pound", ALL, 0x00A3),
+    ("curren", ALL, 0x00A4),
+    ("yen", ALL, 0x00A5),
+    ("brvbar", ALL, 0x00A6),
+    ("sect", ALL, 0x00A7),
+    ("uml", ALL, 0x00A8),
+    ("copy", ALL, 0x00A9),
+    ("ordf", ALL, 0x00AA),
+    ("laquo", ALL, 0x00AB),
+    ("not", ALL, 0x00AC),
+    ("shy", ALL, 0x00AD),
+    ("reg", ALL, 0x00AE),
+    ("macr", ALL, 0x00AF),
+    ("deg", ALL, 0x00B0),
+    ("plusmn", ALL, 0x00B1),
+    ("sup2", ALL, 0x00B2),
+    ("sup3", ALL, 0x00B3),
+    ("acute", ALL, 0x00B4),
+    ("micro", ALL, 0x00B5),
+    ("para", ALL, 0x00B6),
+    ("middot", ALL, 0x00B7),
+    ("cedil", ALL, 0x00B8),
+    ("sup1", ALL, 0x00B9),
+    ("ordm", ALL, 0x00BA),
+    ("raquo", ALL, 0x00BB),
+    ("frac14", ALL, 0x00BC),
+    ("frac12", ALL, 0x00BD),
+    ("frac34", ALL, 0x00BE),
+    ("iquest", ALL, 0x00BF),
+    ("Agrave", ALL, 0x00C0),
+    ("Aacute", ALL, 0x00C1),
+    ("Acirc", ALL, 0x00C2),
+    ("Atilde", ALL, 0x00C3),
+    ("Auml", ALL, 0x00C4),
+    ("Aring", ALL, 0x00C5),
+    ("AElig", ALL, 0x00C6),
+    ("Ccedil", ALL, 0x00C7),
+    ("Egrave", ALL, 0x00C8),
+    ("Eacute", ALL, 0x00C9),
+    ("Ecirc", ALL, 0x00CA),
+    ("Euml", ALL, 0x00CB),
+    ("Igrave", ALL, 0x00CC),
+    ("Iacute", ALL, 0x00CD),
+    ("Icirc", ALL, 0x00CE),
+    ("Iuml", ALL, 0x00CF),
+    ("ETH", ALL, 0x00D0),
+    ("Ntilde", ALL, 0x00D1),
+    ("Ograve", ALL, 0x00D2),
+    ("Oacute", ALL, 0x00D3),
+    ("Ocirc", ALL, 0x00D4),
+    ("Otilde", ALL, 0x00D5),
+    ("Ouml", ALL, 0x00D6),
+    ("times", ALL, 0x00D7),
+    ("Oslash", ALL, 0x00D8),
+    ("Ugrave", ALL, 0x00D9),
+    ("Uacute", ALL, 0x00DA),
+    ("Ucirc", ALL, 0x00DB),
+    ("Uuml", ALL, 0x00DC),
+    ("Yacute", ALL, 0x00DD),
+    ("THORN", ALL, 0x00DE),
+    ("szlig", ALL, 0x00DF),
+    ("agrave", ALL, 0x00E0),
+    ("aacute", ALL, 0x00E1),
+    ("acirc", ALL, 0x00E2),
+    ("atilde", ALL, 0x00E3),
+    ("auml", ALL, 0x00E4),
+    ("aring", ALL, 0x00E5),
+    ("aelig", ALL, 0x00E6),
+    ("ccedil", ALL, 0x00E7),
+    ("egrave", ALL, 0x00E8),
+    ("eacute", ALL, 0x00E9),
+    ("ecirc", ALL, 0x00EA),
+    ("euml", ALL, 0x00EB),
+    ("igrave", ALL, 0x00EC),
+    ("iacute", ALL, 0x00ED),
+    ("icirc", ALL, 0x00EE),
+    ("iuml", ALL, 0x00EF),
+    ("eth", ALL, 0x00F0),
+    ("ntilde", ALL, 0x00F1),
+    ("ograve", ALL, 0x00F2),
+    ("oacute", ALL, 0x00F3),
+    ("ocirc", ALL, 0x00F4),
+    ("otilde", ALL, 0x00F5),
+    ("ouml", ALL, 0x00F6),
+    ("divide", ALL, 0x00F7),
+    ("oslash", ALL, 0x00F8),
+    ("ugrave", ALL, 0x00F9),
+    ("uacute", ALL, 0x00FA),
+    ("ucirc", ALL, 0x00FB),
+    ("uuml", ALL, 0x00FC),
+    ("yacute", ALL, 0x00FD),
+    ("thorn", ALL, 0x00FE),
+    ("yuml", ALL, 0x00FF),
+    // Latin Extended and punctuation (HTML 4.0 "special" set).
+    ("OElig", H40, 0x0152),
+    ("oelig", H40, 0x0153),
+    ("Scaron", H40, 0x0160),
+    ("scaron", H40, 0x0161),
+    ("Yuml", H40, 0x0178),
+    ("circ", H40, 0x02C6),
+    ("tilde", H40, 0x02DC),
+    ("ensp", H40, 0x2002),
+    ("emsp", H40, 0x2003),
+    ("thinsp", H40, 0x2009),
+    ("zwnj", H40, 0x200C),
+    ("zwj", H40, 0x200D),
+    ("lrm", H40, 0x200E),
+    ("rlm", H40, 0x200F),
+    ("ndash", H40, 0x2013),
+    ("mdash", H40, 0x2014),
+    ("lsquo", H40, 0x2018),
+    ("rsquo", H40, 0x2019),
+    ("sbquo", H40, 0x201A),
+    ("ldquo", H40, 0x201C),
+    ("rdquo", H40, 0x201D),
+    ("bdquo", H40, 0x201E),
+    ("dagger", H40, 0x2020),
+    ("Dagger", H40, 0x2021),
+    ("permil", H40, 0x2030),
+    ("lsaquo", H40, 0x2039),
+    ("rsaquo", H40, 0x203A),
+    ("euro", H40, 0x20AC),
+    // Symbol set (HTML 4.0).
+    ("fnof", H40, 0x0192),
+    ("Alpha", H40, 0x0391),
+    ("Beta", H40, 0x0392),
+    ("Gamma", H40, 0x0393),
+    ("Delta", H40, 0x0394),
+    ("Epsilon", H40, 0x0395),
+    ("Zeta", H40, 0x0396),
+    ("Eta", H40, 0x0397),
+    ("Theta", H40, 0x0398),
+    ("Iota", H40, 0x0399),
+    ("Kappa", H40, 0x039A),
+    ("Lambda", H40, 0x039B),
+    ("Mu", H40, 0x039C),
+    ("Nu", H40, 0x039D),
+    ("Xi", H40, 0x039E),
+    ("Omicron", H40, 0x039F),
+    ("Pi", H40, 0x03A0),
+    ("Rho", H40, 0x03A1),
+    ("Sigma", H40, 0x03A3),
+    ("Tau", H40, 0x03A4),
+    ("Upsilon", H40, 0x03A5),
+    ("Phi", H40, 0x03A6),
+    ("Chi", H40, 0x03A7),
+    ("Psi", H40, 0x03A8),
+    ("Omega", H40, 0x03A9),
+    ("alpha", H40, 0x03B1),
+    ("beta", H40, 0x03B2),
+    ("gamma", H40, 0x03B3),
+    ("delta", H40, 0x03B4),
+    ("epsilon", H40, 0x03B5),
+    ("zeta", H40, 0x03B6),
+    ("eta", H40, 0x03B7),
+    ("theta", H40, 0x03B8),
+    ("iota", H40, 0x03B9),
+    ("kappa", H40, 0x03BA),
+    ("lambda", H40, 0x03BB),
+    ("mu", H40, 0x03BC),
+    ("nu", H40, 0x03BD),
+    ("xi", H40, 0x03BE),
+    ("omicron", H40, 0x03BF),
+    ("pi", H40, 0x03C0),
+    ("rho", H40, 0x03C1),
+    ("sigmaf", H40, 0x03C2),
+    ("sigma", H40, 0x03C3),
+    ("tau", H40, 0x03C4),
+    ("upsilon", H40, 0x03C5),
+    ("phi", H40, 0x03C6),
+    ("chi", H40, 0x03C7),
+    ("psi", H40, 0x03C8),
+    ("omega", H40, 0x03C9),
+    ("thetasym", H40, 0x03D1),
+    ("upsih", H40, 0x03D2),
+    ("piv", H40, 0x03D6),
+    ("bull", H40, 0x2022),
+    ("hellip", H40, 0x2026),
+    ("prime", H40, 0x2032),
+    ("Prime", H40, 0x2033),
+    ("oline", H40, 0x203E),
+    ("frasl", H40, 0x2044),
+    ("weierp", H40, 0x2118),
+    ("image", H40, 0x2111),
+    ("real", H40, 0x211C),
+    ("trade", H40, 0x2122),
+    ("alefsym", H40, 0x2135),
+    ("larr", H40, 0x2190),
+    ("uarr", H40, 0x2191),
+    ("rarr", H40, 0x2192),
+    ("darr", H40, 0x2193),
+    ("harr", H40, 0x2194),
+    ("crarr", H40, 0x21B5),
+    ("lArr", H40, 0x21D0),
+    ("uArr", H40, 0x21D1),
+    ("rArr", H40, 0x21D2),
+    ("dArr", H40, 0x21D3),
+    ("hArr", H40, 0x21D4),
+    ("forall", H40, 0x2200),
+    ("part", H40, 0x2202),
+    ("exist", H40, 0x2203),
+    ("empty", H40, 0x2205),
+    ("nabla", H40, 0x2207),
+    ("isin", H40, 0x2208),
+    ("notin", H40, 0x2209),
+    ("ni", H40, 0x220B),
+    ("prod", H40, 0x220F),
+    ("sum", H40, 0x2211),
+    ("minus", H40, 0x2212),
+    ("lowast", H40, 0x2217),
+    ("radic", H40, 0x221A),
+    ("prop", H40, 0x221D),
+    ("infin", H40, 0x221E),
+    ("ang", H40, 0x2220),
+    ("and", H40, 0x2227),
+    ("or", H40, 0x2228),
+    ("cap", H40, 0x2229),
+    ("cup", H40, 0x222A),
+    ("int", H40, 0x222B),
+    ("there4", H40, 0x2234),
+    ("sim", H40, 0x223C),
+    ("cong", H40, 0x2245),
+    ("asymp", H40, 0x2248),
+    ("ne", H40, 0x2260),
+    ("equiv", H40, 0x2261),
+    ("le", H40, 0x2264),
+    ("ge", H40, 0x2265),
+    ("sub", H40, 0x2282),
+    ("sup", H40, 0x2283),
+    ("nsub", H40, 0x2284),
+    ("sube", H40, 0x2286),
+    ("supe", H40, 0x2287),
+    ("oplus", H40, 0x2295),
+    ("otimes", H40, 0x2297),
+    ("perp", H40, 0x22A5),
+    ("sdot", H40, 0x22C5),
+    ("lceil", H40, 0x2308),
+    ("rceil", H40, 0x2309),
+    ("lfloor", H40, 0x230A),
+    ("rfloor", H40, 0x230B),
+    ("lang", H40, 0x2329),
+    ("rang", H40, 0x232A),
+    ("loz", H40, 0x25CA),
+    ("spades", H40, 0x2660),
+    ("clubs", H40, 0x2663),
+    ("hearts", H40, 0x2665),
+    ("diams", H40, 0x2666),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = HashSet::new();
+        for (name, _, _) in ENTITIES {
+            assert!(seen.insert(*name), "duplicate entity {name}");
+        }
+    }
+
+    #[test]
+    fn full_html40_set_present() {
+        // HTML 4.0 defines 252 character entities.
+        assert_eq!(ENTITIES.len(), 252);
+    }
+
+    #[test]
+    fn code_points_are_valid_chars() {
+        for (name, _, cp) in ENTITIES {
+            assert!(char::from_u32(*cp).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn case_matters() {
+        // &Prime; and &prime; are distinct entities.
+        let prime: Vec<_> = ENTITIES
+            .iter()
+            .filter(|(n, _, _)| n.eq_ignore_ascii_case("prime"))
+            .collect();
+        assert_eq!(prime.len(), 2);
+    }
+
+    #[test]
+    fn latin1_block_complete() {
+        // Every code point from U+00A0 to U+00FF has a named entity.
+        let latin1: HashSet<u32> = ENTITIES
+            .iter()
+            .filter(|(_, _, cp)| (0xA0..=0xFF).contains(cp))
+            .map(|(_, _, cp)| *cp)
+            .collect();
+        assert_eq!(latin1.len(), 96);
+    }
+}

@@ -1,0 +1,58 @@
+//! The static tables that drive weblint.
+//!
+//! The paper (§5.5): "The HTML modules are basically sets of tables which
+//! are used to drive the operation of the Weblint module." Each entry
+//! carries a [`crate::mask`] bitmask saying which HTML versions and vendor
+//! extensions define it; [`crate::HtmlSpec`] filters on that mask.
+
+/// Shorthand for an [`crate::AttrDef`].
+///
+/// `a!(name, constraint)` defines the attribute in every version;
+/// `a!(name, constraint, mask)` restricts it; append `, dep` to mark it
+/// deprecated.
+macro_rules! a {
+    ($name:literal, $c:expr) => {
+        $crate::element::AttrDef {
+            name: $name,
+            constraint: $c,
+            mask: $crate::version::mask::ALL,
+            deprecated: false,
+        }
+    };
+    ($name:literal, $c:expr, $mask:expr) => {
+        $crate::element::AttrDef {
+            name: $name,
+            constraint: $c,
+            mask: $mask,
+            deprecated: false,
+        }
+    };
+    ($name:literal, $c:expr, $mask:expr, dep) => {
+        $crate::element::AttrDef {
+            name: $name,
+            constraint: $c,
+            mask: $mask,
+            deprecated: true,
+        }
+    };
+}
+
+/// Shorthand for an [`crate::ElementDef`]: positional name, mask, end-tag
+/// style and category, then named field overrides.
+macro_rules! el {
+    ($name:literal, $mask:expr, $end:ident, $cat:ident $(, $field:ident : $value:expr)* $(,)?) => {
+        $crate::element::ElementDef {
+            name: $name,
+            mask: $mask,
+            end_tag: $crate::element::EndTag::$end,
+            category: $crate::element::ElementCategory::$cat,
+            $($field: $value,)*
+            ..DEFAULT_ELEMENT
+        }
+    };
+}
+
+pub mod attrs;
+pub mod colors;
+pub mod elements;
+pub mod entities;

@@ -1,0 +1,266 @@
+//! HTML versions, vendor extensions, and the version bitmask used by the
+//! static tables.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Bit constants describing which language variants define a table entry.
+///
+/// Each element, attribute, entity and color in [`crate::tables`] carries a
+/// mask saying which HTML versions and vendor extensions define it. A
+/// [`crate::HtmlSpec`] filters the tables through the mask for its
+/// (version, extensions) choice.
+pub mod mask {
+    /// HTML 2.0 (RFC 1866, November 1995).
+    pub const H20: u16 = 1 << 6;
+    /// HTML 3.2 (W3C Recommendation, January 1997).
+    pub const H32: u16 = 1 << 0;
+    /// HTML 4.0 Strict DTD.
+    pub const H40S: u16 = 1 << 1;
+    /// HTML 4.0 Transitional (loose) DTD.
+    pub const H40T: u16 = 1 << 2;
+    /// HTML 4.0 Frameset DTD.
+    pub const H40F: u16 = 1 << 3;
+    /// Netscape Navigator extensions.
+    pub const NS: u16 = 1 << 4;
+    /// Microsoft Internet Explorer extensions.
+    pub const IE: u16 = 1 << 5;
+
+    /// All three HTML 4.0 DTDs.
+    pub const H40: u16 = H40S | H40T | H40F;
+    /// Transitional and Frameset (items deprecated out of Strict).
+    pub const LOOSE: u16 = H40T | H40F;
+    /// HTML 3.2 and all of 4.0 (the versions most tables share).
+    pub const STD: u16 = H32 | H40;
+    /// Every standard version including HTML 2.0.
+    pub const ANYSTD: u16 = H20 | STD;
+    /// Every standard version plus both vendor extensions.
+    ///
+    /// This is the default attribute mask, so it includes HTML 2.0: an
+    /// attribute defined "everywhere" was almost always in 2.0 too, and
+    /// the exceptions carry explicit masks.
+    pub const ALL: u16 = ANYSTD | NS | IE;
+    /// Both vendor extensions.
+    pub const EXT: u16 = NS | IE;
+}
+
+/// A published HTML version that weblint can check against.
+///
+/// The paper (§5.5): "By default Weblint will check against HTML 4.0".
+/// Weblint's "HTML 4.0" is the forgiving, everyday variant, so the default
+/// here is the Transitional DTD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HtmlVersion {
+    /// HTML 2.0.
+    Html20,
+    /// HTML 3.2.
+    Html32,
+    /// HTML 4.0 Strict.
+    Html40Strict,
+    /// HTML 4.0 Transitional — the default.
+    #[default]
+    Html40Transitional,
+    /// HTML 4.0 Frameset.
+    Html40Frameset,
+}
+
+impl HtmlVersion {
+    /// The version's bit in the table [`mask`].
+    pub fn bit(self) -> u16 {
+        match self {
+            HtmlVersion::Html20 => mask::H20,
+            HtmlVersion::Html32 => mask::H32,
+            HtmlVersion::Html40Strict => mask::H40S,
+            HtmlVersion::Html40Transitional => mask::H40T,
+            HtmlVersion::Html40Frameset => mask::H40F,
+        }
+    }
+
+    /// Human-readable name, as used in diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            HtmlVersion::Html20 => "HTML 2.0",
+            HtmlVersion::Html32 => "HTML 3.2",
+            HtmlVersion::Html40Strict => "HTML 4.0 Strict",
+            HtmlVersion::Html40Transitional => "HTML 4.0 Transitional",
+            HtmlVersion::Html40Frameset => "HTML 4.0 Frameset",
+        }
+    }
+
+    /// The FPI (formal public identifier) expected in this version's
+    /// DOCTYPE declaration.
+    pub fn public_id(self) -> &'static str {
+        match self {
+            HtmlVersion::Html20 => "-//IETF//DTD HTML 2.0//EN",
+            HtmlVersion::Html32 => "-//W3C//DTD HTML 3.2 Final//EN",
+            HtmlVersion::Html40Strict => "-//W3C//DTD HTML 4.0//EN",
+            HtmlVersion::Html40Transitional => "-//W3C//DTD HTML 4.0 Transitional//EN",
+            HtmlVersion::Html40Frameset => "-//W3C//DTD HTML 4.0 Frameset//EN",
+        }
+    }
+
+    /// Every version, newest last.
+    pub fn all() -> [HtmlVersion; 5] {
+        [
+            HtmlVersion::Html20,
+            HtmlVersion::Html32,
+            HtmlVersion::Html40Strict,
+            HtmlVersion::Html40Transitional,
+            HtmlVersion::Html40Frameset,
+        ]
+    }
+}
+
+impl fmt::Display for HtmlVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for HtmlVersion {
+    type Err = String;
+
+    /// Parse the names accepted by weblint's configuration:
+    /// `3.2`, `4.0`, `4.0-strict`, `4.0-transitional`, `4.0-frameset`
+    /// (case-insensitive, `html` prefix optional).
+    fn from_str(s: &str) -> Result<HtmlVersion, String> {
+        let s = s.trim().to_ascii_lowercase();
+        let s = s
+            .strip_prefix("html")
+            .unwrap_or(&s)
+            .trim_start_matches([' ', '-']);
+        match s {
+            "2.0" | "20" => Ok(HtmlVersion::Html20),
+            "3.2" | "32" => Ok(HtmlVersion::Html32),
+            "4.0-strict" | "4.0strict" | "strict" => Ok(HtmlVersion::Html40Strict),
+            "4.0" | "40" | "4.0-transitional" | "transitional" | "loose" => {
+                Ok(HtmlVersion::Html40Transitional)
+            }
+            "4.0-frameset" | "frameset" => Ok(HtmlVersion::Html40Frameset),
+            other => Err(format!("unknown HTML version `{other}`")),
+        }
+    }
+}
+
+/// Which vendor extension overlays are enabled.
+///
+/// Weblint shipped "modules \[which\] define the non-standard extensions
+/// supported by Microsoft (Internet Explorer) and Netscape (Navigator)"
+/// (§5.5); users enabled them with `-x netscape` / `-x microsoft`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Extensions {
+    /// Accept Netscape Navigator extension markup.
+    pub netscape: bool,
+    /// Accept Microsoft Internet Explorer extension markup.
+    pub microsoft: bool,
+}
+
+impl Extensions {
+    /// No extensions — standard HTML only.
+    pub fn none() -> Extensions {
+        Extensions::default()
+    }
+
+    /// Both vendor extensions enabled.
+    pub fn all() -> Extensions {
+        Extensions {
+            netscape: true,
+            microsoft: true,
+        }
+    }
+
+    /// Just the Netscape overlay.
+    pub fn netscape() -> Extensions {
+        Extensions {
+            netscape: true,
+            microsoft: false,
+        }
+    }
+
+    /// Just the Microsoft overlay.
+    pub fn microsoft() -> Extensions {
+        Extensions {
+            netscape: false,
+            microsoft: true,
+        }
+    }
+
+    /// The extension bits contributed to the active mask.
+    pub fn bits(self) -> u16 {
+        let mut m = 0;
+        if self.netscape {
+            m |= mask::NS;
+        }
+        if self.microsoft {
+            m |= mask::IE;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_40_transitional() {
+        assert_eq!(HtmlVersion::default(), HtmlVersion::Html40Transitional);
+    }
+
+    #[test]
+    fn bits_are_distinct() {
+        let mut seen = 0u16;
+        for v in HtmlVersion::all() {
+            assert_eq!(seen & v.bit(), 0);
+            seen |= v.bit();
+        }
+    }
+
+    #[test]
+    fn parse_version_names() {
+        assert_eq!("3.2".parse::<HtmlVersion>().unwrap(), HtmlVersion::Html32);
+        assert_eq!(
+            "HTML 4.0".parse::<HtmlVersion>().unwrap(),
+            HtmlVersion::Html40Transitional
+        );
+        assert_eq!(
+            "strict".parse::<HtmlVersion>().unwrap(),
+            HtmlVersion::Html40Strict
+        );
+        assert_eq!(
+            "html-4.0-frameset".parse::<HtmlVersion>().unwrap(),
+            HtmlVersion::Html40Frameset
+        );
+        assert!("5.0".parse::<HtmlVersion>().is_err());
+    }
+
+    #[test]
+    fn extension_bits() {
+        assert_eq!(Extensions::none().bits(), 0);
+        assert_eq!(Extensions::netscape().bits(), mask::NS);
+        assert_eq!(Extensions::microsoft().bits(), mask::IE);
+        assert_eq!(Extensions::all().bits(), mask::NS | mask::IE);
+    }
+
+    #[test]
+    fn public_ids_are_fpis() {
+        for v in HtmlVersion::all() {
+            assert!(v.public_id().starts_with("-//"), "{v}");
+            assert!(v.public_id().contains("DTD HTML"), "{v}");
+        }
+    }
+
+    #[test]
+    fn parse_20() {
+        assert_eq!("2.0".parse::<HtmlVersion>().unwrap(), HtmlVersion::Html20);
+        assert_eq!(
+            "HTML 2.0".parse::<HtmlVersion>().unwrap(),
+            HtmlVersion::Html20
+        );
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(HtmlVersion::Html32.to_string(), "HTML 3.2");
+    }
+}

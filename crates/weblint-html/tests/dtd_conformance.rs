@@ -1,0 +1,228 @@
+//! DTD-vs-tables conformance.
+//!
+//! §6.1 plans "generating the HTML modules used by weblint" from a DTD.
+//! This test parses an excerpt of the HTML 4.0 Transitional DTD (written
+//! in the DTD's own idiom — parameter entities, name groups, omission
+//! flags, exceptions, marked sections) and checks that what the parser
+//! extracts agrees with the hand-built tables on every property weblint
+//! consults: end-tag style, empty elements, required attributes,
+//! enumerated attribute values, and SGML exclusions.
+
+use weblint_html::dtd::{parse_dtd, AttrDecl};
+use weblint_html::{EndTag, Extensions, HtmlSpec, HtmlVersion};
+
+/// An excerpt of the HTML 4.0 Transitional DTD, transcribed in its own
+/// style (entity factoring, groups, exceptions, a frameset marked section).
+const HTML40_EXCERPT: &str = r##"
+<!-- Excerpt of -//W3C//DTD HTML 4.0 Transitional//EN -->
+<!ENTITY % HTML.Frameset "IGNORE">
+
+<!ENTITY % fontstyle "TT | I | B | U | S | STRIKE | BIG | SMALL">
+<!ENTITY % phrase "EM | STRONG | DFN | CODE | SAMP | KBD | VAR | CITE">
+<!ENTITY % special "A | IMG | BR">
+<!ENTITY % inline "#PCDATA | %fontstyle; | %phrase; | %special;">
+<!ENTITY % heading "H1|H2|H3|H4|H5|H6">
+<!ENTITY % list "UL | OL | DIR | MENU">
+<!ENTITY % block "P | %heading; | %list; | PRE | DL | DIV | CENTER |
+    BLOCKQUOTE | FORM | HR | TABLE | ADDRESS">
+<!ENTITY % flow "%block; | %inline;">
+
+<!ENTITY % TAlign "(left|center|right)">
+<!ENTITY % CAlign "(top|bottom|left|right)">
+<!ENTITY % IAlign "(top|middle|bottom|left|right)">
+<!ENTITY % Shape "(rect|circle|poly|default)">
+
+<!ELEMENT HTML O O (HEAD, BODY)>
+<!ELEMENT HEAD O O (TITLE)>
+<!ELEMENT TITLE - - (#PCDATA)>
+<!ELEMENT BODY O O (%flow;)*>
+<!ELEMENT (%fontstyle;|%phrase;) - - (%inline;)*>
+<!ELEMENT A - - (%inline;)* -(A)>
+<!ELEMENT BR - O EMPTY>
+<!ELEMENT IMG - O EMPTY>
+<!ELEMENT HR - O EMPTY>
+<!ELEMENT P - O (%inline;)*>
+<!ELEMENT (%heading;) - - (%inline;)*>
+<!ELEMENT PRE - - (%inline;)* -(IMG|BIG|SMALL)>
+<!ELEMENT (%list;) - - (LI)+>
+<!ELEMENT LI - O (%flow;)*>
+<!ELEMENT DL - - (DT|DD)+>
+<!ELEMENT DT - O (%inline;)*>
+<!ELEMENT DD - O (%flow;)*>
+<!ELEMENT FORM - - (%flow;)* -(FORM)>
+<!ELEMENT TEXTAREA - - (#PCDATA)>
+<!ELEMENT SELECT - - (OPTION+)>
+<!ELEMENT OPTION - O (#PCDATA)>
+<!ELEMENT TABLE - - (CAPTION?, (COL*|COLGROUP*), THEAD?, TFOOT?, TBODY+)>
+<!ELEMENT CAPTION - - (%inline;)*>
+<!ELEMENT (THEAD|TFOOT|TBODY) O O (TR)+>
+<!ELEMENT TR O O (TH|TD)+>
+<!ELEMENT (TH|TD) O O (%flow;)*>
+<!ELEMENT AREA - O EMPTY>
+<!ELEMENT MAP - - (AREA)+>
+<!ELEMENT BASE - O EMPTY>
+<!ELEMENT META - O EMPTY>
+
+<![ %HTML.Frameset; [
+<!ELEMENT FRAMESET - - ((FRAMESET|FRAME|NOFRAMES)+)>
+<!ELEMENT FRAME - O EMPTY>
+]]>
+
+<!ATTLIST TITLE lang NAME #IMPLIED>
+<!ATTLIST A
+    href    CDATA   #IMPLIED
+    name    CDATA   #IMPLIED
+    shape   %Shape; rect
+    tabindex NUMBER #IMPLIED>
+<!ATTLIST IMG
+    src     CDATA   #REQUIRED
+    alt     CDATA   #IMPLIED
+    align   %IAlign; #IMPLIED
+    width   CDATA   #IMPLIED
+    height  CDATA   #IMPLIED>
+<!ATTLIST TEXTAREA
+    name    CDATA   #IMPLIED
+    rows    NUMBER  #REQUIRED
+    cols    NUMBER  #REQUIRED>
+<!ATTLIST TABLE
+    align   %TAlign; #IMPLIED
+    width   CDATA   #IMPLIED
+    border  CDATA   #IMPLIED>
+<!ATTLIST CAPTION align %CAlign; #IMPLIED>
+<!ATTLIST AREA
+    shape   %Shape; rect
+    coords  CDATA   #IMPLIED
+    href    CDATA   #IMPLIED
+    alt     CDATA   #REQUIRED>
+<!ATTLIST FORM
+    action  CDATA   #REQUIRED
+    method  (get|post) get
+    enctype CDATA   #IMPLIED>
+<!ATTLIST MAP name CDATA #REQUIRED>
+<!ATTLIST BASE href CDATA #REQUIRED>
+<!ATTLIST META
+    http-equiv NAME #IMPLIED
+    name       NAME #IMPLIED
+    content    CDATA #REQUIRED>
+"##;
+
+#[test]
+fn end_tag_styles_agree_with_tables() {
+    let dtd = parse_dtd(HTML40_EXCERPT).unwrap();
+    let spec = HtmlSpec::new(HtmlVersion::Html40Transitional, Extensions::none());
+    for name in dtd.element_names() {
+        let parsed = dtd.element(&name).unwrap();
+        let table = spec
+            .element_any(&name)
+            .unwrap_or_else(|| panic!("{name} missing from tables"));
+        let expected = if parsed.empty {
+            EndTag::Forbidden
+        } else if parsed.end_required {
+            EndTag::Required
+        } else {
+            EndTag::Optional
+        };
+        assert_eq!(
+            table.end_tag, expected,
+            "{name}: DTD says {expected:?}, table says {:?}",
+            table.end_tag
+        );
+    }
+}
+
+#[test]
+fn required_attrs_agree_with_tables() {
+    // Where weblint deliberately demands more than the DTD, the
+    // difference is declared here — this is exactly the §5.5 caveat:
+    // "Some of the information in the HTML modules cannot be
+    // automatically inferred from DTDs, given the sorts of checks which
+    // weblint performs."
+    const STRICTER_THAN_DTD: &[(&str, &[&str])] = &[
+        // A SELECT without a NAME can never submit anything.
+        ("select", &["name"]),
+    ];
+    let dtd = parse_dtd(HTML40_EXCERPT).unwrap();
+    let spec = HtmlSpec::new(HtmlVersion::Html40Transitional, Extensions::none());
+    for name in dtd.element_names() {
+        let table = spec.element_any(&name).unwrap();
+        let mut table_required: Vec<String> =
+            table.required_attrs.iter().map(|s| s.to_string()).collect();
+        table_required.sort();
+        let mut expected = dtd.required_attrs(&name);
+        if let Some((_, extra)) = STRICTER_THAN_DTD.iter().find(|(n, _)| *n == name) {
+            expected.extend(extra.iter().map(|s| s.to_string()));
+            expected.sort();
+        }
+        assert_eq!(
+            expected, table_required,
+            "required attributes differ for {name}"
+        );
+    }
+}
+
+#[test]
+fn enumerated_values_agree_with_tables() {
+    let dtd = parse_dtd(HTML40_EXCERPT).unwrap();
+    let spec = HtmlSpec::new(HtmlVersion::Html40Transitional, Extensions::none());
+    // Every DTD enum must match the table's constraint token set.
+    let mut checked = 0;
+    for name in dtd.element_names() {
+        let table = spec.element_any(&name).unwrap();
+        for attr in dtd.attrs(&name) {
+            let AttrDecl::Enum(dtd_tokens) = &attr.decl else {
+                continue;
+            };
+            let table_attr = table
+                .attrs
+                .iter()
+                .find(|a| a.name == attr.name)
+                .unwrap_or_else(|| panic!("{name} {} missing from tables", attr.name));
+            let weblint_html::AttrConstraint::Enum(table_tokens) = table_attr.constraint else {
+                panic!("{name} {} is not an Enum in the tables", attr.name);
+            };
+            let mut a: Vec<&str> = dtd_tokens.iter().map(|s| s.as_str()).collect();
+            let mut b: Vec<&str> = table_tokens.to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{name} {} token sets differ", attr.name);
+            checked += 1;
+        }
+    }
+    assert!(checked >= 4, "only {checked} enums checked");
+}
+
+#[test]
+fn exclusions_agree_with_validator_tables() {
+    let dtd = parse_dtd(HTML40_EXCERPT).unwrap();
+    // The DTD's -(A) on A and -(FORM) on FORM are the exclusions the
+    // strict validator hard-codes.
+    assert_eq!(dtd.element("a").unwrap().exclusions, ["a"]);
+    assert_eq!(dtd.element("form").unwrap().exclusions, ["form"]);
+    let pre = dtd.element("pre").unwrap();
+    assert!(pre.exclusions.contains(&"img".to_string()));
+}
+
+#[test]
+fn frameset_section_respects_the_switch() {
+    // With the default IGNORE, FRAMESET is absent…
+    let dtd = parse_dtd(HTML40_EXCERPT).unwrap();
+    assert!(dtd.element("frameset").is_none());
+    // …flipping the switch (as the Frameset DTD does) brings it in.
+    let frameset_dtd = HTML40_EXCERPT.replace(
+        "<!ENTITY % HTML.Frameset \"IGNORE\">",
+        "<!ENTITY % HTML.Frameset \"INCLUDE\">",
+    );
+    let dtd = parse_dtd(&frameset_dtd).unwrap();
+    assert!(dtd.element("frameset").is_some());
+    assert!(dtd.element("frame").unwrap().empty);
+}
+
+#[test]
+fn generated_count_is_substantial() {
+    let dtd = parse_dtd(HTML40_EXCERPT).unwrap();
+    assert!(
+        dtd.element_names().len() >= 45,
+        "{} elements parsed",
+        dtd.element_names().len()
+    );
+}

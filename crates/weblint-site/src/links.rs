@@ -1,0 +1,291 @@
+//! Hyperlink extraction and local-path resolution.
+
+use weblint_tokenizer::{TokenKind, Tokenizer};
+
+use crate::url::normalize_path;
+
+/// Where a link points, coarsely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkKind {
+    /// A relative or site-rooted reference to this site.
+    Local,
+    /// An absolute URL with a scheme and host (`http://…`).
+    External,
+    /// A `mailto:` reference.
+    Mailto,
+    /// A same-page fragment (`#section`).
+    Fragment,
+}
+
+/// One extracted link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Link {
+    /// The reference exactly as written.
+    pub href: String,
+    /// Classification.
+    pub kind: LinkKind,
+    /// 1-based line of the tag carrying it.
+    pub line: u32,
+    /// Which element/attribute produced it (`A HREF`, `IMG SRC`, …).
+    pub source: &'static str,
+}
+
+/// The (element, attribute) pairs that carry links, and their label.
+const LINK_ATTRS: &[(&str, &str, &str)] = &[
+    ("a", "href", "A HREF"),
+    ("img", "src", "IMG SRC"),
+    ("area", "href", "AREA HREF"),
+    ("link", "href", "LINK HREF"),
+    ("form", "action", "FORM ACTION"),
+    ("frame", "src", "FRAME SRC"),
+    ("iframe", "src", "IFRAME SRC"),
+    ("body", "background", "BODY BACKGROUND"),
+    ("script", "src", "SCRIPT SRC"),
+    ("embed", "src", "EMBED SRC"),
+];
+
+/// Extract every link from a page.
+///
+/// # Examples
+///
+/// ```
+/// use weblint_site::{extract_links, LinkKind};
+///
+/// let links = extract_links("<A HREF=\"a.html\">x</A> <IMG SRC=\"http://h/i.gif\">");
+/// assert_eq!(links.len(), 2);
+/// assert_eq!(links[0].kind, LinkKind::Local);
+/// assert_eq!(links[1].kind, LinkKind::External);
+/// ```
+pub fn extract_links(src: &str) -> Vec<Link> {
+    let mut out = Vec::new();
+    for token in Tokenizer::new(src) {
+        let TokenKind::StartTag(tag) = &token.kind else {
+            continue;
+        };
+        let name_lc = tag.name_lc();
+        for (element, attr_name, label) in LINK_ATTRS {
+            if name_lc != *element {
+                continue;
+            }
+            let Some(attr) = tag.attr(attr_name) else {
+                continue;
+            };
+            let href = attr.value_raw().trim();
+            if href.is_empty() {
+                continue;
+            }
+            out.push(Link {
+                href: href.to_string(),
+                kind: classify(href),
+                line: token.span.start.line,
+                source: label,
+            });
+        }
+    }
+    out
+}
+
+/// The named anchors a page defines — `<A NAME="x">` and (HTML 4.0)
+/// any element's `ID` attribute. Used to validate fragment links.
+pub fn anchor_names(src: &str) -> std::collections::HashSet<String> {
+    let mut names = std::collections::HashSet::new();
+    for token in Tokenizer::new(src) {
+        let TokenKind::StartTag(tag) = &token.kind else {
+            continue;
+        };
+        if tag.name_lc() == "a" {
+            if let Some(attr) = tag.attr("name") {
+                let v = attr.value_raw().trim();
+                if !v.is_empty() {
+                    names.insert(v.to_string());
+                }
+            }
+        }
+        if let Some(attr) = tag.attr("id") {
+            let v = attr.value_raw().trim();
+            if !v.is_empty() {
+                names.insert(v.to_string());
+            }
+        }
+    }
+    names
+}
+
+/// The `#fragment` part of a reference, if any (and non-empty).
+pub fn fragment_of(href: &str) -> Option<&str> {
+    let (_, fragment) = href.split_once('#')?;
+    let end = fragment.find('?').unwrap_or(fragment.len());
+    let fragment = &fragment[..end];
+    if fragment.is_empty() {
+        None
+    } else {
+        Some(fragment)
+    }
+}
+
+/// Classify one reference.
+pub fn classify(href: &str) -> LinkKind {
+    if href.starts_with('#') {
+        return LinkKind::Fragment;
+    }
+    match crate::url::Url::parse(href) {
+        Some(url) if url.scheme == "mailto" => LinkKind::Mailto,
+        Some(_) => LinkKind::External,
+        None => LinkKind::Local,
+    }
+}
+
+/// Resolve a local reference found on `page` (a site-relative path like
+/// `dir/page.html`) to a site-relative target path.
+///
+/// Query and fragment are stripped; a trailing `/` resolves to the
+/// directory's `index.html`; `..` that escapes the site root yields `None`.
+pub fn resolve_local(page: &str, href: &str) -> Option<String> {
+    let end = href.find(['?', '#']).unwrap_or(href.len());
+    let href = &href[..end];
+    if href.is_empty() {
+        return Some(page.to_string());
+    }
+    let joined = if let Some(rooted) = href.strip_prefix('/') {
+        format!("/{rooted}")
+    } else {
+        let dir = match page.rfind('/') {
+            Some(i) => &page[..=i],
+            None => "",
+        };
+        format!("/{dir}{href}")
+    };
+    // Count how far `..` would climb: normalize clamps, so detect escape by
+    // rebuilding and comparing depth.
+    if escapes_root(&joined) {
+        return None;
+    }
+    let mut normalized = normalize_path(&joined);
+    if normalized.ends_with('/') {
+        normalized.push_str("index.html");
+    }
+    Some(normalized.trim_start_matches('/').to_string())
+}
+
+/// Whether a rooted path's `..` segments climb above `/`.
+fn escapes_root(path: &str) -> bool {
+    let mut depth: i32 = 0;
+    for seg in path.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                depth -= 1;
+                if depth < 0 {
+                    return true;
+                }
+            }
+            _ => depth += 1,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_from_all_carriers() {
+        let page = r#"
+            <A HREF="a.html">a</A>
+            <IMG SRC="i.gif" ALT="x">
+            <FORM ACTION="/cgi-bin/go"><INPUT TYPE="submit"></FORM>
+            <LINK HREF="style.css" REL="stylesheet">
+            <BODY BACKGROUND="bg.gif">
+        "#;
+        let sources: Vec<_> = extract_links(page).iter().map(|l| l.source).collect();
+        assert_eq!(
+            sources,
+            [
+                "A HREF",
+                "IMG SRC",
+                "FORM ACTION",
+                "LINK HREF",
+                "BODY BACKGROUND"
+            ]
+        );
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify("a.html"), LinkKind::Local);
+        assert_eq!(classify("/rooted/x.html"), LinkKind::Local);
+        assert_eq!(classify("http://example.org/"), LinkKind::External);
+        assert_eq!(classify("mailto:x@y"), LinkKind::Mailto);
+        assert_eq!(classify("#top"), LinkKind::Fragment);
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let links = extract_links("<P>x</P>\n<A HREF=\"a.html\">a</A>");
+        assert_eq!(links[0].line, 2);
+    }
+
+    #[test]
+    fn resolve_relative() {
+        assert_eq!(resolve_local("index.html", "a.html"), Some("a.html".into()));
+        assert_eq!(
+            resolve_local("dir/page.html", "other.html"),
+            Some("dir/other.html".into())
+        );
+        assert_eq!(
+            resolve_local("dir/page.html", "../top.html"),
+            Some("top.html".into())
+        );
+        assert_eq!(
+            resolve_local("dir/page.html", "/rooted.html"),
+            Some("rooted.html".into())
+        );
+    }
+
+    #[test]
+    fn resolve_directory_links_get_index() {
+        assert_eq!(
+            resolve_local("index.html", "docs/"),
+            Some("docs/index.html".into())
+        );
+    }
+
+    #[test]
+    fn resolve_strips_query_and_fragment() {
+        assert_eq!(
+            resolve_local("index.html", "a.html#sec?x=1"),
+            Some("a.html".into())
+        );
+        assert_eq!(resolve_local("a/b.html", ""), Some("a/b.html".into()));
+    }
+
+    #[test]
+    fn resolve_escaping_root_is_none() {
+        assert_eq!(resolve_local("index.html", "../outside.html"), None);
+        assert_eq!(resolve_local("d/p.html", "../../../x.html"), None);
+    }
+
+    #[test]
+    fn anchor_names_collects_name_and_id() {
+        let names =
+            anchor_names("<A NAME=\"top\">x</A> <H2 ID=\"sec2\">s</H2> <A HREF=\"x\">no name</A>");
+        assert!(names.contains("top"));
+        assert!(names.contains("sec2"));
+        assert_eq!(names.len(), 2);
+    }
+
+    #[test]
+    fn fragment_extraction() {
+        assert_eq!(fragment_of("a.html#sec"), Some("sec"));
+        assert_eq!(fragment_of("#top"), Some("top"));
+        assert_eq!(fragment_of("a.html"), None);
+        assert_eq!(fragment_of("a.html#"), None);
+    }
+
+    #[test]
+    fn empty_hrefs_skipped() {
+        assert!(extract_links("<A HREF=\"\">x</A>").is_empty());
+        assert!(extract_links("<A NAME=\"anchor\">x</A>").is_empty());
+    }
+}

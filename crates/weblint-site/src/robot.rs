@@ -1,0 +1,670 @@
+//! The *poacher* robot: crawl a site, lint every page, validate links.
+//!
+//! "A robot can be used to invoke weblint on all accessible pages on a
+//! site. I have written one, called poacher … Poacher also performs basic
+//! link validation. … At its simplest, this merely consists of sending a
+//! HEAD request, and reporting all URLs which result in a 404 response
+//! code. Smarter robots will handle redirects" (§4.5, §3.5). This robot
+//! does both: it follows redirects (bounded), GETs and lints same-site HTML
+//! pages breadth-first, and HEAD-validates everything else.
+
+use std::collections::{HashSet, VecDeque};
+
+use weblint_core::{Diagnostic, LintConfig, Weblint};
+
+use crate::links::{extract_links, LinkKind};
+use crate::url::Url;
+use crate::web::{SimulatedWeb, Status};
+
+/// Transport abstraction so the robot can crawl the simulated web today
+/// and a real HTTP client if one is ever wired in.
+pub trait Fetcher {
+    /// HEAD: status and content type.
+    fn head(&self, url: &Url) -> (Status, String);
+    /// GET: status, content type, body.
+    fn get(&self, url: &Url) -> (Status, String, String);
+}
+
+/// [`SimulatedWeb`] as a [`Fetcher`].
+pub struct WebFetcher<'a> {
+    web: &'a SimulatedWeb,
+}
+
+impl<'a> WebFetcher<'a> {
+    /// Wrap a simulated web.
+    pub fn new(web: &'a SimulatedWeb) -> WebFetcher<'a> {
+        WebFetcher { web }
+    }
+}
+
+impl Fetcher for WebFetcher<'_> {
+    fn head(&self, url: &Url) -> (Status, String) {
+        self.web.head(url)
+    }
+
+    fn get(&self, url: &Url) -> (Status, String, String) {
+        self.web.get(url)
+    }
+}
+
+/// A [`crate::PageStore`] served as a website: `http://{host}/{path}` maps
+/// to the store's `path`. This is how *poacher* crawls a local directory
+/// tree — the same traversal code, with the filesystem as the transport.
+pub struct StoreFetcher<'a> {
+    store: &'a dyn crate::PageStore,
+    host: String,
+}
+
+impl<'a> StoreFetcher<'a> {
+    /// Serve `store` as `http://{host}/`.
+    pub fn new(store: &'a dyn crate::PageStore, host: &str) -> StoreFetcher<'a> {
+        StoreFetcher {
+            store,
+            host: host.to_ascii_lowercase(),
+        }
+    }
+
+    /// The URL of the store's root index page.
+    pub fn start_url(&self) -> Url {
+        Url::parse(&format!("http://{}/index.html", self.host)).expect("valid URL")
+    }
+
+    fn path_of<'u>(&self, url: &'u Url) -> Option<&'u str> {
+        if url.host != self.host {
+            return None;
+        }
+        Some(url.path.trim_start_matches('/'))
+    }
+}
+
+impl Fetcher for StoreFetcher<'_> {
+    fn head(&self, url: &Url) -> (Status, String) {
+        match self.path_of(url) {
+            Some(path) if self.store.exists(path) => (Status::Ok, content_type_of(path)),
+            _ => (Status::NotFound, String::new()),
+        }
+    }
+
+    fn get(&self, url: &Url) -> (Status, String, String) {
+        match self
+            .path_of(url)
+            .and_then(|p| self.store.read(p).map(|body| (content_type_of(p), body)))
+        {
+            Some((ct, body)) => (Status::Ok, ct, body),
+            None => (Status::NotFound, String::new(), String::new()),
+        }
+    }
+}
+
+/// MIME type by file extension, 1998 edition.
+fn content_type_of(path: &str) -> String {
+    let lower = path.to_ascii_lowercase();
+    let ct = if lower.ends_with(".html") || lower.ends_with(".htm") || lower.ends_with(".shtml") {
+        "text/html"
+    } else if lower.ends_with(".gif") {
+        "image/gif"
+    } else if lower.ends_with(".jpg") || lower.ends_with(".jpeg") {
+        "image/jpeg"
+    } else if lower.ends_with(".css") {
+        "text/css"
+    } else if lower.ends_with(".txt") {
+        "text/plain"
+    } else {
+        "application/octet-stream"
+    };
+    ct.to_string()
+}
+
+/// Robot knobs.
+#[derive(Debug, Clone)]
+pub struct RobotOptions {
+    /// Stop after this many pages have been fetched and linted.
+    pub max_pages: usize,
+    /// Give up on a redirect chain after this many hops.
+    pub max_redirects: usize,
+    /// HEAD-validate links that leave the start host.
+    pub check_external: bool,
+    /// Lint configuration applied to each fetched page.
+    pub lint: LintConfig,
+}
+
+impl Default for RobotOptions {
+    fn default() -> RobotOptions {
+        RobotOptions {
+            max_pages: 1_000,
+            max_redirects: 5,
+            check_external: true,
+            lint: LintConfig::default(),
+        }
+    }
+}
+
+/// One crawled page.
+#[derive(Debug, Clone)]
+pub struct CrawledPage {
+    /// Final URL (after redirects).
+    pub url: Url,
+    /// Lint results for the page.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Links found on the page.
+    pub link_count: usize,
+    /// Click depth from the start page (the start page is depth 0).
+    ///
+    /// §2 asks "How easy is your site to navigate?" and §3.5 notes that
+    /// "smarter robots … generate navigational analysis of your site" —
+    /// this is that analysis: BFS depth is the minimum number of clicks a
+    /// visitor needs.
+    pub depth: usize,
+}
+
+/// A dead or broken link discovered during the crawl.
+#[derive(Debug, Clone)]
+pub struct DeadLink {
+    /// Page the link appeared on.
+    pub page: Url,
+    /// The reference as written.
+    pub href: String,
+    /// Why it is considered dead.
+    pub reason: String,
+}
+
+/// What the robot found.
+#[derive(Debug, Clone, Default)]
+pub struct RobotReport {
+    /// Every page fetched and linted.
+    pub pages: Vec<CrawledPage>,
+    /// Every broken link.
+    pub dead_links: Vec<DeadLink>,
+    /// Redirect hops followed.
+    pub redirects_followed: usize,
+    /// Crawl stopped early because `max_pages` was reached.
+    pub truncated: bool,
+}
+
+impl RobotReport {
+    /// Total diagnostics across all pages.
+    pub fn total_diagnostics(&self) -> usize {
+        self.pages.iter().map(|p| p.diagnostics.len()).sum()
+    }
+
+    /// The deepest click depth reached.
+    pub fn max_depth(&self) -> usize {
+        self.pages.iter().map(|p| p.depth).max().unwrap_or(0)
+    }
+
+    /// Page count per click depth: index `d` holds how many pages sit `d`
+    /// clicks from the start.
+    pub fn depth_histogram(&self) -> Vec<usize> {
+        let mut histogram = vec![0; self.max_depth() + 1];
+        for page in &self.pages {
+            histogram[page.depth] += 1;
+        }
+        if self.pages.is_empty() {
+            histogram.clear();
+        }
+        histogram
+    }
+}
+
+/// The poacher analog.
+#[derive(Debug, Clone)]
+pub struct Robot {
+    options: RobotOptions,
+    weblint: Weblint,
+}
+
+impl Robot {
+    /// A robot with the given options.
+    pub fn new(options: RobotOptions) -> Robot {
+        Robot {
+            weblint: Weblint::with_config(options.lint.clone()),
+            options,
+        }
+    }
+
+    /// Crawl breadth-first from `start`, staying on `start`'s host.
+    pub fn crawl(&self, fetcher: &dyn Fetcher, start: &Url) -> RobotReport {
+        let mut report = RobotReport::default();
+        let mut queue: VecDeque<(Url, usize)> = VecDeque::new();
+        let mut enqueued: HashSet<String> = HashSet::new();
+        let mut head_checked: HashSet<String> = HashSet::new();
+        queue.push_back((start.clone(), 0));
+        enqueued.insert(start.to_string());
+
+        while let Some((url, depth)) = queue.pop_front() {
+            if report.pages.len() >= self.options.max_pages {
+                report.truncated = true;
+                break;
+            }
+            let Some((final_url, body)) =
+                self.fetch_following_redirects(fetcher, &url, &mut report)
+            else {
+                continue;
+            };
+            let diagnostics = self.weblint.check_string(&body);
+            let links = extract_links(&body);
+            report.pages.push(CrawledPage {
+                url: final_url.clone(),
+                diagnostics,
+                link_count: links.len(),
+                depth,
+            });
+            for link in links {
+                match link.kind {
+                    LinkKind::Fragment | LinkKind::Mailto => continue,
+                    LinkKind::Local | LinkKind::External => {}
+                }
+                let target = final_url.join(&link.href);
+                if target.same_site(start) {
+                    if enqueued.insert(target.to_string()) {
+                        // Cheap HEAD before committing to a GET: dead links
+                        // are reported here, non-HTML is HEAD-only.
+                        match fetcher.head(&target) {
+                            (Status::Ok, ct) if ct.starts_with("text/html") => {
+                                queue.push_back((target, depth + 1));
+                            }
+                            (Status::Ok, _) => {}
+                            (Status::Redirect(_), _) => queue.push_back((target, depth + 1)),
+                            (Status::NotFound, _) => report.dead_links.push(DeadLink {
+                                page: final_url.clone(),
+                                href: link.href.clone(),
+                                reason: "404 Not Found".to_string(),
+                            }),
+                            (Status::ServerError, _) => report.dead_links.push(DeadLink {
+                                page: final_url.clone(),
+                                href: link.href.clone(),
+                                reason: "server error".to_string(),
+                            }),
+                        }
+                    }
+                } else if self.options.check_external && head_checked.insert(target.to_string()) {
+                    match fetcher.head(&target) {
+                        (Status::NotFound, _) => report.dead_links.push(DeadLink {
+                            page: final_url.clone(),
+                            href: link.href.clone(),
+                            reason: "404 Not Found (external)".to_string(),
+                        }),
+                        (Status::ServerError, _) => report.dead_links.push(DeadLink {
+                            page: final_url.clone(),
+                            href: link.href.clone(),
+                            reason: "server error (external)".to_string(),
+                        }),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// GET `url`, following redirects up to the limit. Returns the final
+    /// URL and HTML body, or `None` when the target is missing, non-HTML,
+    /// or loops.
+    fn fetch_following_redirects(
+        &self,
+        fetcher: &dyn Fetcher,
+        url: &Url,
+        report: &mut RobotReport,
+    ) -> Option<(Url, String)> {
+        let mut current = url.clone();
+        for _ in 0..=self.options.max_redirects {
+            match fetcher.get(&current) {
+                (Status::Ok, ct, body) if ct.starts_with("text/html") => {
+                    return Some((current, body));
+                }
+                (Status::Ok, _, _) => return None,
+                (Status::Redirect(location), _, _) => {
+                    report.redirects_followed += 1;
+                    current = current.join(&location);
+                }
+                (Status::NotFound, _, _) => {
+                    report.dead_links.push(DeadLink {
+                        page: url.clone(),
+                        href: current.to_string(),
+                        reason: "404 Not Found".to_string(),
+                    });
+                    return None;
+                }
+                (Status::ServerError, _, _) => {
+                    report.dead_links.push(DeadLink {
+                        page: url.clone(),
+                        href: current.to_string(),
+                        reason: "server error".to_string(),
+                    });
+                    return None;
+                }
+            }
+        }
+        report.dead_links.push(DeadLink {
+            page: url.clone(),
+            href: current.to_string(),
+            reason: "too many redirects".to_string(),
+        });
+        None
+    }
+}
+
+impl Default for Robot {
+    fn default() -> Robot {
+        Robot::new(RobotOptions::default())
+    }
+}
+
+/// Why a URL could not be checked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchError {
+    /// The URL did not parse.
+    BadUrl(String),
+    /// 404.
+    NotFound(String),
+    /// 5xx.
+    ServerError(String),
+    /// Content type is not HTML.
+    NotHtml(String),
+    /// Redirect chain exceeded the hop limit.
+    TooManyRedirects(String),
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchError::BadUrl(u) => write!(f, "cannot parse URL {u}"),
+            FetchError::NotFound(u) => write!(f, "{u}: 404 Not Found"),
+            FetchError::ServerError(u) => write!(f, "{u}: server error"),
+            FetchError::NotHtml(u) => write!(f, "{u} is not an HTML page"),
+            FetchError::TooManyRedirects(u) => write!(f, "{u}: too many redirects"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+/// Fetch one URL (following up to five redirects) and lint it — the
+/// paper's `check_url` method (§5.4): "The latter requires the LWP
+/// modules… If you don't have LWP installed, you can still use weblint,
+/// but the check_url method won't be available." Here the transport is a
+/// [`Fetcher`] rather than LWP.
+///
+/// # Examples
+///
+/// ```
+/// use weblint_site::{check_url, SimulatedWeb, WebFetcher};
+/// use weblint_core::LintConfig;
+///
+/// let mut web = SimulatedWeb::new();
+/// web.add_page("http://h/p.html", "<H1>x</H2>");
+/// let diags = check_url(
+///     &WebFetcher::new(&web),
+///     "http://h/p.html",
+///     &LintConfig::default(),
+/// ).unwrap();
+/// assert!(diags.iter().any(|d| d.id == "heading-mismatch"));
+/// ```
+pub fn check_url(
+    fetcher: &dyn Fetcher,
+    url: &str,
+    config: &LintConfig,
+) -> Result<Vec<Diagnostic>, FetchError> {
+    let parsed = Url::parse(url).ok_or_else(|| FetchError::BadUrl(url.to_string()))?;
+    let mut current = parsed;
+    for _ in 0..=5 {
+        match fetcher.get(&current) {
+            (Status::Ok, ct, body) if ct.starts_with("text/html") => {
+                let weblint = Weblint::with_config(config.clone());
+                return Ok(weblint.check_string(&body));
+            }
+            (Status::Ok, _, _) => return Err(FetchError::NotHtml(current.to_string())),
+            (Status::Redirect(location), _, _) => current = current.join(&location),
+            (Status::NotFound, _, _) => return Err(FetchError::NotFound(current.to_string())),
+            (Status::ServerError, _, _) => {
+                return Err(FetchError::ServerError(current.to_string()))
+            }
+        }
+    }
+    Err(FetchError::TooManyRedirects(current.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(body: &str) -> String {
+        format!(
+            "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0 Transitional//EN\">\n\
+             <HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>{body}</BODY></HTML>\n"
+        )
+    }
+
+    fn start() -> Url {
+        Url::parse("http://site/index.html").unwrap()
+    }
+
+    #[test]
+    fn crawls_reachable_pages() {
+        let mut web = SimulatedWeb::new();
+        web.add_page(
+            "http://site/index.html",
+            page("<P><A HREF=\"a.html\">a</A> <A HREF=\"d/b.html\">b</A></P>"),
+        );
+        web.add_page("http://site/a.html", page("<P>leaf</P>"));
+        web.add_page(
+            "http://site/d/b.html",
+            page("<P><A HREF=\"../a.html\">back</A></P>"),
+        );
+        let report = Robot::default().crawl(&WebFetcher::new(&web), &start());
+        assert_eq!(report.pages.len(), 3);
+        assert!(report.dead_links.is_empty());
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn reports_dead_links_via_head() {
+        let mut web = SimulatedWeb::new();
+        web.add_page(
+            "http://site/index.html",
+            page("<P><A HREF=\"gone.html\">x</A></P>"),
+        );
+        let report = Robot::default().crawl(&WebFetcher::new(&web), &start());
+        assert_eq!(report.dead_links.len(), 1);
+        assert_eq!(report.dead_links[0].href, "gone.html");
+        assert!(report.dead_links[0].reason.contains("404"));
+    }
+
+    #[test]
+    fn follows_redirects() {
+        let mut web = SimulatedWeb::new();
+        web.add_page(
+            "http://site/index.html",
+            page("<P><A HREF=\"moved.html\">x</A></P>"),
+        );
+        web.add_redirect("http://site/moved.html", "http://site/new.html");
+        web.add_page("http://site/new.html", page("<P>landed</P>"));
+        let report = Robot::default().crawl(&WebFetcher::new(&web), &start());
+        assert_eq!(report.pages.len(), 2);
+        assert_eq!(report.redirects_followed, 1);
+        assert!(report.dead_links.is_empty());
+    }
+
+    #[test]
+    fn redirect_loops_bounded() {
+        let mut web = SimulatedWeb::new();
+        web.add_redirect("http://site/index.html", "http://site/index.html");
+        let report = Robot::default().crawl(&WebFetcher::new(&web), &start());
+        assert!(report
+            .dead_links
+            .iter()
+            .any(|d| d.reason.contains("too many redirects")));
+    }
+
+    #[test]
+    fn stays_on_site_but_head_checks_external() {
+        let mut web = SimulatedWeb::new();
+        web.add_page(
+            "http://site/index.html",
+            page(
+                "<P><A HREF=\"http://other/ok.html\">a</A>\
+                  <A HREF=\"http://other/gone.html\">b</A></P>",
+            ),
+        );
+        web.add_page("http://other/ok.html", page("<P>elsewhere</P>"));
+        let report = Robot::default().crawl(&WebFetcher::new(&web), &start());
+        // Only the start page is fetched; the external 404 is reported.
+        assert_eq!(report.pages.len(), 1);
+        assert_eq!(report.dead_links.len(), 1);
+        assert!(report.dead_links[0].reason.contains("external"));
+    }
+
+    #[test]
+    fn external_checking_can_be_disabled() {
+        let mut web = SimulatedWeb::new();
+        web.add_page(
+            "http://site/index.html",
+            page("<P><A HREF=\"http://other/gone.html\">b</A></P>"),
+        );
+        let robot = Robot::new(RobotOptions {
+            check_external: false,
+            ..RobotOptions::default()
+        });
+        let report = robot.crawl(&WebFetcher::new(&web), &start());
+        assert!(report.dead_links.is_empty());
+    }
+
+    #[test]
+    fn max_pages_truncates() {
+        let mut web = SimulatedWeb::new();
+        // A chain of pages, each linking to the next.
+        for i in 0..10 {
+            let body = page(&format!("<P><A HREF=\"p{}.html\">next</A></P>", i + 1));
+            let path = if i == 0 {
+                "http://site/index.html".to_string()
+            } else {
+                format!("http://site/p{i}.html")
+            };
+            web.add_page(&path, body);
+        }
+        let robot = Robot::new(RobotOptions {
+            max_pages: 3,
+            ..RobotOptions::default()
+        });
+        let report = robot.crawl(&WebFetcher::new(&web), &start());
+        assert_eq!(report.pages.len(), 3);
+        assert!(report.truncated);
+    }
+
+    #[test]
+    fn lints_every_fetched_page() {
+        let mut web = SimulatedWeb::new();
+        web.add_page(
+            "http://site/index.html",
+            page("<P><A HREF=\"bad.html\">x</A></P>"),
+        );
+        web.add_page("http://site/bad.html", page("<H1>oops</H2>"));
+        let report = Robot::default().crawl(&WebFetcher::new(&web), &start());
+        assert_eq!(report.total_diagnostics(), 1);
+        let bad = report
+            .pages
+            .iter()
+            .find(|p| p.url.path == "/bad.html")
+            .unwrap();
+        assert_eq!(bad.diagnostics[0].id, "heading-mismatch");
+    }
+
+    #[test]
+    fn depth_tracks_click_distance() {
+        let mut web = SimulatedWeb::new();
+        web.add_page(
+            "http://site/index.html",
+            page("<P><A HREF=\"a.html\">a</A> <A HREF=\"b.html\">b</A></P>"),
+        );
+        web.add_page(
+            "http://site/a.html",
+            page("<P><A HREF=\"deep.html\">x</A></P>"),
+        );
+        web.add_page("http://site/b.html", page("<P>leaf</P>"));
+        web.add_page("http://site/deep.html", page("<P>deep</P>"));
+        let report = Robot::default().crawl(&WebFetcher::new(&web), &start());
+        assert_eq!(report.max_depth(), 2);
+        assert_eq!(report.depth_histogram(), vec![1, 2, 1]);
+        let deep = report
+            .pages
+            .iter()
+            .find(|p| p.url.path == "/deep.html")
+            .unwrap();
+        assert_eq!(deep.depth, 2);
+    }
+
+    #[test]
+    fn empty_crawl_has_empty_histogram() {
+        let web = SimulatedWeb::new();
+        let report = Robot::default().crawl(&WebFetcher::new(&web), &start());
+        assert!(report.depth_histogram().is_empty());
+        assert_eq!(report.max_depth(), 0);
+    }
+
+    #[test]
+    fn store_fetcher_serves_a_memstore() {
+        use crate::store::MemStore;
+        let mut store = MemStore::new();
+        store.insert("index.html", page("<P><A HREF=\"sub/a.html\">a</A></P>"));
+        store.insert(
+            "sub/a.html",
+            page(
+                "<P><IMG SRC=\"pic.gif\" ALT=\"p\" \
+                                         WIDTH=\"1\" HEIGHT=\"1\"></P>",
+            ),
+        );
+        store.insert("sub/pic.gif", "GIF89a");
+        let fetcher = StoreFetcher::new(&store, "local");
+        let report = Robot::default().crawl(&fetcher, &fetcher.start_url());
+        assert_eq!(report.pages.len(), 2);
+        assert!(report.dead_links.is_empty());
+        // Content types derived from extension:
+        let (status, ct) = fetcher.head(&Url::parse("http://local/sub/pic.gif").unwrap());
+        assert_eq!(status, Status::Ok);
+        assert_eq!(ct, "image/gif");
+        // Other hosts 404:
+        let (status, _) = fetcher.head(&Url::parse("http://elsewhere/x.html").unwrap());
+        assert_eq!(status, Status::NotFound);
+    }
+
+    #[test]
+    fn check_url_follows_redirects_and_errors() {
+        let mut web = SimulatedWeb::new();
+        web.add_redirect("http://h/old.html", "/new.html");
+        web.add_page("http://h/new.html", page("<H2>wrong</H3>"));
+        web.add("http://h/pic.gif", crate::web::Resource::asset("image/gif"));
+        let f = WebFetcher::new(&web);
+        let config = LintConfig::default();
+        let diags = check_url(&f, "http://h/old.html", &config).unwrap();
+        assert!(diags.iter().any(|d| d.id == "heading-mismatch"));
+        assert!(matches!(
+            check_url(&f, "http://h/gone.html", &config),
+            Err(FetchError::NotFound(_))
+        ));
+        assert!(matches!(
+            check_url(&f, "http://h/pic.gif", &config),
+            Err(FetchError::NotHtml(_))
+        ));
+        assert!(matches!(
+            check_url(&f, "::", &config),
+            Err(FetchError::BadUrl(_))
+        ));
+    }
+
+    #[test]
+    fn non_html_targets_head_only() {
+        let mut web = SimulatedWeb::new();
+        web.add_page(
+            "http://site/index.html",
+            page("<P><IMG SRC=\"logo.gif\" ALT=\"l\" WIDTH=\"1\" HEIGHT=\"1\"></P>"),
+        );
+        web.add(
+            "http://site/logo.gif",
+            crate::web::Resource::asset("image/gif"),
+        );
+        let report = Robot::default().crawl(&WebFetcher::new(&web), &start());
+        assert_eq!(report.pages.len(), 1);
+        assert!(report.dead_links.is_empty());
+        assert_eq!(web.stats().heads, 1);
+    }
+}

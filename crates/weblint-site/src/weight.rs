@@ -1,0 +1,164 @@
+//! Page-weight analysis.
+//!
+//! §3.6: the WebTechs meta service "can also generate a weight for your
+//! web page, including estimated download times for different modem
+//! speeds", and §2 asks "How usable is your site by people accessing it
+//! via a modem?". This module computes the weight of a page — HTML plus
+//! the assets it pulls in — and the period-correct modem estimates.
+
+use crate::links::{extract_links, resolve_local};
+use crate::store::PageStore;
+
+/// The modem speeds a 1998 audience cared about, as (label, bits/second).
+pub const MODEM_SPEEDS: &[(&str, u64)] = &[
+    ("14.4k", 14_400),
+    ("28.8k", 28_800),
+    ("33.6k", 33_600),
+    ("56k", 56_000),
+    ("ISDN 128k", 128_000),
+];
+
+/// The weight of one page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageWeight {
+    /// Bytes of HTML.
+    pub html_bytes: usize,
+    /// Bytes of referenced same-site assets that exist in the store
+    /// (images, stylesheets); each asset is counted once.
+    pub asset_bytes: usize,
+    /// Number of distinct assets counted.
+    pub asset_count: usize,
+}
+
+impl PageWeight {
+    /// Total payload a first-time visitor downloads.
+    pub fn total_bytes(&self) -> usize {
+        self.html_bytes + self.asset_bytes
+    }
+
+    /// Estimated seconds to download at `bits_per_second`, assuming the
+    /// usual 10 bits on the wire per payload byte (8 data + overhead).
+    pub fn seconds_at(&self, bits_per_second: u64) -> f64 {
+        (self.total_bytes() as f64 * 10.0) / bits_per_second as f64
+    }
+
+    /// The full modem table, as (label, seconds) rows.
+    pub fn modem_table(&self) -> Vec<(&'static str, f64)> {
+        MODEM_SPEEDS
+            .iter()
+            .map(|&(label, bps)| (label, self.seconds_at(bps)))
+            .collect()
+    }
+}
+
+/// Weigh a page held in a store: its HTML plus every distinct same-site
+/// asset it references (by `IMG SRC`, `BODY BACKGROUND`, …).
+pub fn weigh_page(store: &dyn PageStore, path: &str, html: &str) -> PageWeight {
+    let mut seen = std::collections::HashSet::new();
+    let mut asset_bytes = 0usize;
+    for link in extract_links(html) {
+        if link.kind != crate::links::LinkKind::Local {
+            continue;
+        }
+        // Only embedded resources add to the page weight, not hyperlinks.
+        if !matches!(
+            link.source,
+            "IMG SRC" | "BODY BACKGROUND" | "SCRIPT SRC" | "EMBED SRC"
+        ) {
+            continue;
+        }
+        if let Some(target) = resolve_local(path, &link.href) {
+            if seen.insert(target.clone()) {
+                if let Some(content) = store.read(&target) {
+                    asset_bytes += content.len();
+                }
+            }
+        }
+    }
+    PageWeight {
+        html_bytes: html.len(),
+        asset_bytes,
+        asset_count: seen.len(),
+    }
+}
+
+/// Weigh bare HTML with no asset store (assets count zero bytes but are
+/// still tallied) — what a gateway checking pasted text can do.
+pub fn weigh_html(html: &str) -> PageWeight {
+    struct Empty;
+    impl PageStore for Empty {
+        fn pages(&self) -> Vec<String> {
+            Vec::new()
+        }
+        fn read(&self, _: &str) -> Option<String> {
+            None
+        }
+        fn exists(&self, _: &str) -> bool {
+            false
+        }
+    }
+    weigh_page(&Empty, "page.html", html)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    #[test]
+    fn html_only_weight() {
+        let w = weigh_html("<P>hello</P>");
+        assert_eq!(w.html_bytes, 12);
+        assert_eq!(w.asset_bytes, 0);
+        assert_eq!(w.total_bytes(), 12);
+    }
+
+    #[test]
+    fn assets_counted_once() {
+        let mut store = MemStore::new();
+        let html = "<P><IMG SRC=\"logo.gif\" ALT=\"l\">\
+                    <IMG SRC=\"logo.gif\" ALT=\"l\">\
+                    <IMG SRC=\"photo.gif\" ALT=\"p\"></P>";
+        store.insert("index.html", html);
+        store.insert("logo.gif", "x".repeat(1000));
+        store.insert("photo.gif", "y".repeat(500));
+        let w = weigh_page(&store, "index.html", html);
+        assert_eq!(w.asset_count, 2);
+        assert_eq!(w.asset_bytes, 1500);
+    }
+
+    #[test]
+    fn hyperlinks_do_not_weigh() {
+        let mut store = MemStore::new();
+        store.insert("big.html", "z".repeat(100_000));
+        let html = "<P><A HREF=\"big.html\">big</A></P>";
+        let w = weigh_page(&store, "index.html", html);
+        assert_eq!(w.asset_bytes, 0);
+    }
+
+    #[test]
+    fn modem_math() {
+        let w = PageWeight {
+            html_bytes: 14_400,
+            asset_bytes: 0,
+            asset_count: 0,
+        };
+        // 14,400 bytes * 10 bits / 14,400 bps = 10 seconds.
+        assert!((w.seconds_at(14_400) - 10.0).abs() < 1e-9);
+        let table = w.modem_table();
+        assert_eq!(table.len(), MODEM_SPEEDS.len());
+        assert!(
+            table[0].1 > table.last().unwrap().1,
+            "faster modem, less time"
+        );
+    }
+
+    #[test]
+    fn relative_asset_paths_resolve() {
+        let mut store = MemStore::new();
+        store.insert("img/pic.gif", "g".repeat(64));
+        let html = "<P><IMG SRC=\"../img/pic.gif\" ALT=\"p\"></P>";
+        let w = weigh_page(&store, "docs/page.html", html);
+        assert_eq!(w.asset_bytes, 64);
+    }
+}

@@ -1,0 +1,220 @@
+//! A character cursor over the source with position tracking.
+
+use crate::pos::Pos;
+
+/// A forward-only cursor over `src` that tracks line/column/offset.
+#[derive(Debug, Clone)]
+pub(crate) struct Cursor<'a> {
+    src: &'a str,
+    pos: Pos,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(src: &'a str) -> Cursor<'a> {
+        Cursor {
+            src,
+            pos: Pos::START,
+        }
+    }
+
+    /// Current position.
+    pub(crate) fn pos(&self) -> Pos {
+        self.pos
+    }
+
+    /// Whole source string.
+    pub(crate) fn src(&self) -> &'a str {
+        self.src
+    }
+
+    /// Remaining unconsumed input.
+    pub(crate) fn rest(&self) -> &'a str {
+        &self.src[self.pos.offset..]
+    }
+
+    /// True when all input has been consumed.
+    pub(crate) fn is_eof(&self) -> bool {
+        self.pos.offset >= self.src.len()
+    }
+
+    /// Peek at the next character without consuming it.
+    pub(crate) fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    /// Peek at the character `n` characters ahead (0 == `peek`).
+    pub(crate) fn peek_nth(&self, n: usize) -> Option<char> {
+        self.rest().chars().nth(n)
+    }
+
+    /// Consume and return the next character.
+    pub(crate) fn bump(&mut self) -> Option<char> {
+        let ch = self.peek()?;
+        self.pos.advance(ch);
+        Some(ch)
+    }
+
+    /// Whether the remaining input starts with `s` (case-sensitive).
+    pub(crate) fn starts_with(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    /// Whether the remaining input starts with `s`, ignoring ASCII case.
+    pub(crate) fn starts_with_ci(&self, s: &str) -> bool {
+        // Compare as bytes: slicing the str at `s.len()` could split a
+        // multibyte character and panic.
+        let rest = self.rest().as_bytes();
+        let pat = s.as_bytes();
+        rest.len() >= pat.len() && rest[..pat.len()].eq_ignore_ascii_case(pat)
+    }
+
+    /// Consume `n` bytes, which must fall on a character boundary.
+    pub(crate) fn bump_bytes(&mut self, n: usize) {
+        let taken = &self.rest()[..n];
+        self.pos.advance_str(taken);
+    }
+
+    /// Consume characters while `f` holds; return the consumed slice.
+    pub(crate) fn eat_while(&mut self, mut f: impl FnMut(char) -> bool) -> &'a str {
+        let start = self.pos.offset;
+        while let Some(ch) = self.peek() {
+            if !f(ch) {
+                break;
+            }
+            self.pos.advance(ch);
+        }
+        &self.src[start..self.pos.offset]
+    }
+
+    /// Consume ASCII whitespace; return true if any was consumed.
+    pub(crate) fn eat_ws(&mut self) -> bool {
+        !self.eat_while(|c| c.is_ascii_whitespace()).is_empty()
+    }
+
+    /// Consume up to and including the next occurrence of `needle`;
+    /// return the slice *before* the needle, or `None` (consuming nothing)
+    /// if the needle does not occur.
+    pub(crate) fn eat_until_and_past(&mut self, needle: &str) -> Option<&'a str> {
+        let rest = self.rest();
+        let idx = rest.find(needle)?;
+        let content = &rest[..idx];
+        self.pos.advance_str(content);
+        self.pos.advance_str(needle);
+        Some(content)
+    }
+
+    /// Find the next occurrence of `needle` case-insensitively in the
+    /// remaining input; returns byte index relative to [`Cursor::rest`].
+    pub(crate) fn find_ci(&self, needle: &str) -> Option<usize> {
+        find_ci(self.rest(), needle)
+    }
+
+    /// Consume everything to end-of-file; return it.
+    pub(crate) fn eat_to_eof(&mut self) -> &'a str {
+        let rest = self.rest();
+        self.pos.advance_str(rest);
+        rest
+    }
+}
+
+/// Case-insensitive substring search (ASCII case only).
+pub(crate) fn find_ci(haystack: &str, needle: &str) -> Option<usize> {
+    if needle.is_empty() {
+        return Some(0);
+    }
+    let n = needle.len();
+    if haystack.len() < n {
+        return None;
+    }
+    let first_lo = needle.as_bytes()[0].to_ascii_lowercase();
+    let hay = haystack.as_bytes();
+    let pat = needle.as_bytes();
+    for i in 0..=hay.len() - n {
+        // Compare as bytes: `i` may fall inside a multibyte character, and
+        // `&str` slicing there would panic. The needles are always ASCII
+        // (`</script` etc.), so a byte match is also a char-boundary match.
+        if hay[i].to_ascii_lowercase() == first_lo && hay[i..i + n].eq_ignore_ascii_case(pat) {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_tracks_position() {
+        let mut c = Cursor::new("a\nb");
+        assert_eq!(c.bump(), Some('a'));
+        assert_eq!(c.bump(), Some('\n'));
+        assert_eq!(c.pos().line, 2);
+        assert_eq!(c.bump(), Some('b'));
+        assert!(c.is_eof());
+        assert_eq!(c.bump(), None);
+    }
+
+    #[test]
+    fn eat_while_returns_slice() {
+        let mut c = Cursor::new("abc123");
+        assert_eq!(c.eat_while(|ch| ch.is_ascii_alphabetic()), "abc");
+        assert_eq!(c.rest(), "123");
+    }
+
+    #[test]
+    fn eat_until_and_past_consumes_needle() {
+        let mut c = Cursor::new("foo-->bar");
+        assert_eq!(c.eat_until_and_past("-->"), Some("foo"));
+        assert_eq!(c.rest(), "bar");
+    }
+
+    #[test]
+    fn eat_until_missing_needle_consumes_nothing() {
+        let mut c = Cursor::new("foobar");
+        assert_eq!(c.eat_until_and_past("-->"), None);
+        assert_eq!(c.rest(), "foobar");
+    }
+
+    #[test]
+    fn starts_with_ci_matches_any_case() {
+        let c = Cursor::new("DocType html");
+        assert!(c.starts_with_ci("doctype"));
+        assert!(!c.starts_with("doctype"));
+    }
+
+    #[test]
+    fn starts_with_ci_survives_multibyte_input() {
+        // Regression: the pattern length may fall inside a multibyte
+        // character; byte-wise comparison must not panic.
+        let c = Cursor::new("<! '-eIn\u{feff} x");
+        assert!(!c.starts_with_ci("<!doctype"));
+        let c = Cursor::new("é");
+        assert!(!c.starts_with_ci("ab"));
+    }
+
+    #[test]
+    fn find_ci_finds_mixed_case() {
+        assert_eq!(find_ci("xx</ScRiPt>", "</script"), Some(2));
+        assert_eq!(find_ci("nothing here", "</script"), None);
+        assert_eq!(find_ci("abc", ""), Some(0));
+        assert_eq!(find_ci("ab", "abc"), None);
+    }
+
+    #[test]
+    fn find_ci_survives_multibyte_haystack() {
+        // Regression: candidate offsets can fall inside multibyte
+        // characters; the comparison must stay byte-wise.
+        let hay = "鄨Q\u{202e}x</script>";
+        assert_eq!(find_ci(hay, "</script"), Some("鄨Q\u{202e}x".len()));
+        assert_eq!(find_ci("é鄨\u{202e}", "</script"), None);
+    }
+
+    #[test]
+    fn peek_nth() {
+        let c = Cursor::new("xyz");
+        assert_eq!(c.peek_nth(0), Some('x'));
+        assert_eq!(c.peek_nth(2), Some('z'));
+        assert_eq!(c.peek_nth(3), None);
+    }
+}

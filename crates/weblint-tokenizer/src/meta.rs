@@ -1,0 +1,166 @@
+//! Scanner for literal metacharacters in text content.
+//!
+//! HTML text content should escape `<`, `>` and `&` as `&lt;`, `&gt;` and
+//! `&amp;`. The tokenizer only produces a bare `<` inside a [`crate::Text`]
+//! token when the `<` could not begin markup, so every `<` found here is by
+//! construction a literal metacharacter; `>` in text is always literal; `&`
+//! is literal when it does not begin an entity reference.
+
+use crate::pos::{Pos, Span};
+
+/// Which metacharacter appeared literally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetaCharKind {
+    /// A bare `<`.
+    Lt,
+    /// A bare `>`.
+    Gt,
+    /// A bare `&` that does not begin an entity reference.
+    Amp,
+}
+
+impl MetaCharKind {
+    /// The literal character.
+    pub fn ch(self) -> char {
+        match self {
+            MetaCharKind::Lt => '<',
+            MetaCharKind::Gt => '>',
+            MetaCharKind::Amp => '&',
+        }
+    }
+
+    /// The entity reference that should be used instead.
+    pub fn escape(self) -> &'static str {
+        match self {
+            MetaCharKind::Lt => "&lt;",
+            MetaCharKind::Gt => "&gt;",
+            MetaCharKind::Amp => "&amp;",
+        }
+    }
+}
+
+/// A literal metacharacter occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaChar {
+    /// Which character.
+    pub kind: MetaCharKind,
+    /// Where it appeared.
+    pub span: Span,
+}
+
+/// Scan a text run (starting at `base` in the source) for literal `<`, `>`
+/// and `&` characters.
+///
+/// # Examples
+///
+/// ```
+/// use weblint_tokenizer::{scan_metachars, MetaCharKind, Pos};
+///
+/// let hits = scan_metachars("1 < 2 > 0 & true", Pos::START);
+/// let kinds: Vec<_> = hits.iter().map(|m| m.kind).collect();
+/// assert_eq!(
+///     kinds,
+///     [MetaCharKind::Lt, MetaCharKind::Gt, MetaCharKind::Amp]
+/// );
+/// ```
+pub fn scan_metachars(text: &str, base: Pos) -> Vec<MetaChar> {
+    let mut out = Vec::new();
+    let mut pos = base;
+    let bytes = text.as_bytes();
+    for (i, ch) in text.char_indices() {
+        let kind = match ch {
+            '<' => Some(MetaCharKind::Lt),
+            '>' => Some(MetaCharKind::Gt),
+            '&' => {
+                // '&' followed by a letter or '#'+digit scans as an entity
+                // reference; the entity checks own that case.
+                let next = bytes.get(i + 1).copied();
+                let starts_entity = match next {
+                    Some(b) if b.is_ascii_alphabetic() => true,
+                    Some(b'#') => {
+                        let after = bytes.get(i + 2).copied();
+                        matches!(after, Some(b) if b.is_ascii_digit())
+                            || (matches!(after, Some(b'x') | Some(b'X'))
+                                && matches!(bytes.get(i + 3), Some(b) if b.is_ascii_hexdigit()))
+                    }
+                    _ => false,
+                };
+                if starts_entity {
+                    None
+                } else {
+                    Some(MetaCharKind::Amp)
+                }
+            }
+            _ => None,
+        };
+        if let Some(kind) = kind {
+            let start = pos;
+            let mut end = pos;
+            end.advance(ch);
+            out.push(MetaChar {
+                kind,
+                span: Span::new(start, end),
+            });
+        }
+        pos.advance(ch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<MetaCharKind> {
+        scan_metachars(text, Pos::START)
+            .iter()
+            .map(|m| m.kind)
+            .collect()
+    }
+
+    #[test]
+    fn clean_text_has_no_hits() {
+        assert!(kinds("perfectly ordinary text").is_empty());
+    }
+
+    #[test]
+    fn bare_lt_and_gt() {
+        assert_eq!(kinds("a < b"), [MetaCharKind::Lt]);
+        assert_eq!(kinds("a > b"), [MetaCharKind::Gt]);
+    }
+
+    #[test]
+    fn amp_starting_entity_is_ignored() {
+        assert!(kinds("&amp; &#65; &#x41;").is_empty());
+    }
+
+    #[test]
+    fn bare_amp_detected() {
+        assert_eq!(kinds("R & D"), [MetaCharKind::Amp]);
+        assert_eq!(kinds("trailing &"), [MetaCharKind::Amp]);
+        assert_eq!(kinds("&# x"), [MetaCharKind::Amp]);
+        assert_eq!(kinds("&#x zz"), [MetaCharKind::Amp]);
+    }
+
+    #[test]
+    fn amp_before_letter_is_left_to_entity_checks() {
+        // "&T" could be a (mistyped) entity; the entity table decides.
+        assert!(kinds("AT&T").is_empty());
+    }
+
+    #[test]
+    fn positions_are_exact() {
+        let hits = scan_metachars("ab\nc > d", Pos::START);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].span.start.line, 2);
+        assert_eq!(hits[0].span.start.col, 3);
+    }
+
+    #[test]
+    fn escape_suggestions() {
+        assert_eq!(MetaCharKind::Lt.escape(), "&lt;");
+        assert_eq!(MetaCharKind::Gt.escape(), "&gt;");
+        assert_eq!(MetaCharKind::Amp.escape(), "&amp;");
+        assert_eq!(MetaCharKind::Amp.ch(), '&');
+    }
+}

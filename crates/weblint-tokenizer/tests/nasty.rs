@@ -1,0 +1,212 @@
+//! Torture tests: the kinds of mangled HTML a 1998 checker actually met.
+//!
+//! The tokenizer's contract: never panic, never lose bytes, always produce
+//! a token stream whose spans tile the input exactly.
+
+use weblint_tokenizer::{tokenize, Quote, TokenKind, Tokenizer};
+
+/// Assert the token spans tile `src` with no gaps or overlap.
+fn assert_covers(src: &str) {
+    let mut offset = 0;
+    for t in Tokenizer::new(src) {
+        assert_eq!(t.span.start.offset, offset, "gap in {src:?}");
+        offset = t.span.end.offset;
+    }
+    assert_eq!(offset, src.len(), "lost tail of {src:?}");
+}
+
+#[test]
+fn empty_and_whitespace() {
+    for src in ["", " ", "\n\n\n", "\t \r\n"] {
+        assert_covers(src);
+    }
+}
+
+#[test]
+fn lone_delimiters() {
+    for src in [
+        "<", ">", "&", "<>", "< >", "<<<", ">>>", "&&&", "</", "<!", "<?",
+    ] {
+        assert_covers(src);
+    }
+}
+
+#[test]
+fn unterminated_everything() {
+    for src in [
+        "<A",
+        "<A HREF",
+        "<A HREF=",
+        "<A HREF=\"",
+        "<A HREF=\"x",
+        "<A HREF='x",
+        "</A",
+        "<!--",
+        "<!-- almost -->extra<!--",
+        "<!DOCTYPE",
+        "<?php",
+        "<![CDATA[ never closed",
+        "<SCRIPT>while(1){}",
+        "<STYLE>b{",
+    ] {
+        assert_covers(src);
+    }
+}
+
+#[test]
+fn pathological_quotes() {
+    for src in [
+        "<A HREF=\"a.html>x</A>",
+        "<A HREF='a.html>x</A>",
+        "<P X=\"a\" Y=\"b>z\">",
+        "<P X='\"'>",
+        "<P X=\"'\">",
+        "<P \"\">",
+        "<P ''=''>",
+        "<P X=\"a\"Y=\"b\">",
+    ] {
+        assert_covers(src);
+    }
+}
+
+#[test]
+fn interleaved_and_nested_gibberish() {
+    for src in [
+        "<B><I></B></I>",
+        "<P <B <I>>>",
+        "<TABLE><TR><TD><TABLE><TR><TD></TD></TR></TABLE>",
+        "<A HREF=a<b>c</a>",
+        "<!-- <!-- nested --> -->",
+        "<<B>>double<<)/B>>",
+    ] {
+        assert_covers(src);
+    }
+}
+
+#[test]
+fn real_world_1998_idioms() {
+    // Attribute soup from actual period tooling.
+    let front_page = r#"<html><head>
+<meta http-equiv=Content-Type content="text/html; charset=iso-8859-1">
+<meta name=GENERATOR content="Microsoft FrontPage 3.0">
+<title>Welcome !!!</title></head>
+<body bgcolor=#FFFFFF text=#000000 link=#0000EE vlink=#551A8B alink=#FF0000
+ topmargin="0" leftmargin="0">
+<table border=0 cellpadding=0 cellspacing=0 width="100%">
+<tr><td><img src="spacer.gif" width=1 height=1></td></tr>
+</table>
+<font face="Arial, Helvetica" size=2>Hello&nbsp;world&nbsp;&copy;1998</font>
+<script language=JavaScript>
+<!--
+document.write("<b>generated</b>");
+// -->
+</script>
+</body></html>"#;
+    assert_covers(front_page);
+    let tokens = tokenize(front_page);
+    // The script content (including the comment-wrapped document.write)
+    // must be a single raw text token, not parsed as markup.
+    let raw: Vec<_> = tokens
+        .iter()
+        .filter_map(|t| match &t.kind {
+            TokenKind::Text(text) if text.is_raw => Some(text.raw),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(raw.len(), 1);
+    assert!(raw[0].contains("document.write"));
+}
+
+#[test]
+fn unquoted_attribute_values_parse() {
+    let tokens = tokenize("<body bgcolor=#FFFFFF text=#000000>");
+    let TokenKind::StartTag(tag) = &tokens[0].kind else {
+        panic!("expected start tag");
+    };
+    assert_eq!(tag.attr("bgcolor").unwrap().value_raw(), "#FFFFFF");
+    assert_eq!(
+        tag.attr("bgcolor").unwrap().value.as_ref().unwrap().quote,
+        Quote::None
+    );
+}
+
+#[test]
+fn crlf_line_endings_count_lines_correctly() {
+    let src = "line one\r\n<B>two</B>\r\n<I>three</I>\r\n";
+    let tokens = tokenize(src);
+    let b = tokens
+        .iter()
+        .find(|t| matches!(&t.kind, TokenKind::StartTag(tag) if tag.name == "B"))
+        .unwrap();
+    assert_eq!(b.span.start.line, 2);
+    let i = tokens
+        .iter()
+        .find(|t| matches!(&t.kind, TokenKind::StartTag(tag) if tag.name == "I"))
+        .unwrap();
+    assert_eq!(i.span.start.line, 3);
+    assert_covers(src);
+}
+
+#[test]
+fn eight_bit_latin1_as_utf8() {
+    let src = "<P>caf\u{e9} na\u{ef}ve \u{a9} 1998</P>";
+    assert_covers(src);
+    let tokens = tokenize(src);
+    assert_eq!(tokens.len(), 3);
+}
+
+#[test]
+fn huge_single_tag() {
+    // A tag with 1000 attributes must not blow up or quadratically stall.
+    let mut src = String::from("<P");
+    for i in 0..1000 {
+        src.push_str(&format!(" a{i}=\"v{i}\""));
+    }
+    src.push('>');
+    let tokens = tokenize(&src);
+    assert_eq!(tokens.len(), 1);
+    let TokenKind::StartTag(tag) = &tokens[0].kind else {
+        panic!("expected start tag");
+    };
+    assert_eq!(tag.attrs.len(), 1000);
+    assert_covers(&src);
+}
+
+#[test]
+fn deeply_nested_tags() {
+    let mut src = String::new();
+    for _ in 0..2000 {
+        src.push_str("<B>");
+    }
+    for _ in 0..2000 {
+        src.push_str("</B>");
+    }
+    assert_eq!(tokenize(&src).len(), 4000);
+    assert_covers(&src);
+}
+
+#[test]
+fn comment_like_decls() {
+    for src in [
+        "<!>",
+        "<!->",
+        "<!--->",
+        "<!---->",
+        "<!ENTITY % x \"y\">",
+        "<!DOCTYPE HTML SYSTEM \"html.dtd\" [ <!ENTITY a \"b\"> ]>",
+    ] {
+        assert_covers(src);
+    }
+}
+
+#[test]
+fn plaintext_eats_everything_after() {
+    let src = "<PLAINTEXT>all of <this> is </just> text & stuff";
+    let tokens = tokenize(src);
+    assert_eq!(tokens.len(), 2);
+    let TokenKind::Text(text) = &tokens[1].kind else {
+        panic!("expected text");
+    };
+    assert!(text.is_raw);
+    assert!(text.raw.contains("</just>"));
+}

@@ -1,0 +1,188 @@
+//! Simplified HTML content models for the strict validator.
+//!
+//! Real SP reads the DTD; this comparator encodes the HTML 4.0 content
+//! models directly, at the granularity the comparison needs: which elements
+//! a container may hold, whether character data is allowed, and the SGML
+//! *exclusions* (`-(A)` on `A`, `-(FORM)` on `FORM`, …).
+
+use weblint_html::{ElementCategory, ElementDef};
+
+/// Whether `parent` may directly contain `child` under the (simplified)
+/// HTML 4.0 content models.
+pub fn may_contain(parent: &ElementDef, child: &ElementDef) -> bool {
+    use ElementCategory::{Block, Form, Frame, Head, Inline, List, Structure, Table};
+    let inline_ok = matches!(child.category, Inline | Form);
+    let flow_ok = inline_ok || matches!(child.category, Block | Table) || child.name == "script";
+    match parent.name {
+        "html" => matches!(child.name, "head" | "body" | "frameset" | "noframes"),
+        "head" => {
+            child.category == Head
+                || matches!(child.name, "script" | "style" | "object" | "isindex")
+        }
+        "body" | "noframes" | "noscript" | "blockquote" | "center" | "form" | "fieldset" | "li"
+        | "dd" | "td" | "th" | "div" | "object" | "iframe" | "layer" | "ilayer" | "nolayer"
+        | "multicol" | "marquee" | "comment" | "noembed" | "ins" | "del" => flow_ok,
+        "p" | "address" | "legend" | "caption" | "dt" | "label" | "h1" | "h2" | "h3" | "h4"
+        | "h5" | "h6" => inline_ok,
+        "pre" => {
+            inline_ok
+                && !matches!(
+                    child.name,
+                    "img"
+                        | "object"
+                        | "applet"
+                        | "big"
+                        | "small"
+                        | "sub"
+                        | "sup"
+                        | "font"
+                        | "basefont"
+                )
+        }
+        "ul" | "ol" | "dir" | "menu" => child.name == "li",
+        "dl" => matches!(child.name, "dt" | "dd"),
+        "table" => matches!(
+            child.name,
+            "caption" | "colgroup" | "col" | "thead" | "tbody" | "tfoot" | "tr"
+        ),
+        "thead" | "tbody" | "tfoot" => child.name == "tr",
+        "colgroup" => child.name == "col",
+        "tr" => matches!(child.name, "td" | "th"),
+        "select" => matches!(child.name, "option" | "optgroup"),
+        "optgroup" => child.name == "option",
+        "map" => child.name == "area" || matches!(child.category, Block),
+        "frameset" => matches!(child.name, "frameset" | "frame" | "noframes"),
+        "button" => flow_ok, // exclusions handle the forbidden descendants
+        "applet" => flow_ok || child.name == "param",
+        "style" | "script" | "title" | "textarea" | "option" | "xmp" | "listing" | "plaintext" => {
+            false
+        } // raw or PCDATA-only content
+        _ => match parent.category {
+            Inline => inline_ok,
+            Block => flow_ok,
+            Structure | Head | Table | List | Form | Frame => flow_ok,
+        },
+    }
+}
+
+/// Whether `parent` may directly contain character data.
+pub fn pcdata_allowed(parent: &ElementDef) -> bool {
+    if matches!(
+        parent.name,
+        "title" | "option" | "textarea" | "script" | "style" | "xmp" | "listing" | "pre"
+    ) {
+        return true;
+    }
+    if matches!(
+        parent.name,
+        "html"
+            | "head"
+            | "ul"
+            | "ol"
+            | "dl"
+            | "dir"
+            | "menu"
+            | "table"
+            | "thead"
+            | "tbody"
+            | "tfoot"
+            | "tr"
+            | "colgroup"
+            | "select"
+            | "optgroup"
+            | "frameset"
+            | "map"
+    ) {
+        return false;
+    }
+    true
+}
+
+/// SGML exclusions: descendants forbidden anywhere inside the element.
+pub fn exclusions_for(name: &str) -> &'static [&'static str] {
+    match name {
+        "a" => &["a"],
+        "form" => &["form"],
+        "label" => &["label"],
+        "button" => &[
+            "a", "input", "select", "textarea", "label", "button", "form", "fieldset", "iframe",
+            "isindex",
+        ],
+        "pre" => &[
+            "img", "object", "applet", "big", "small", "sub", "sup", "font", "basefont",
+        ],
+        _ => &[],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weblint_html::HtmlSpec;
+
+    fn el(name: &str) -> &'static ElementDef {
+        HtmlSpec::default()
+            .element_any(name)
+            .unwrap_or_else(|| panic!("{name} missing"))
+    }
+
+    #[test]
+    fn document_structure() {
+        assert!(may_contain(el("html"), el("head")));
+        assert!(may_contain(el("html"), el("body")));
+        assert!(!may_contain(el("html"), el("p")));
+        assert!(may_contain(el("head"), el("title")));
+        assert!(may_contain(el("head"), el("script")));
+        assert!(!may_contain(el("head"), el("h1")));
+    }
+
+    #[test]
+    fn paragraphs_hold_inline_only() {
+        assert!(may_contain(el("p"), el("b")));
+        assert!(may_contain(el("p"), el("input")));
+        assert!(!may_contain(el("p"), el("div")));
+        assert!(!may_contain(el("p"), el("table")));
+    }
+
+    #[test]
+    fn lists_and_tables_are_structured() {
+        assert!(may_contain(el("ul"), el("li")));
+        assert!(!may_contain(el("ul"), el("p")));
+        assert!(may_contain(el("table"), el("tr")));
+        assert!(!may_contain(el("table"), el("td")));
+        assert!(may_contain(el("tr"), el("td")));
+        assert!(may_contain(el("dl"), el("dt")));
+        assert!(!may_contain(el("dl"), el("li")));
+    }
+
+    #[test]
+    fn flow_containers_hold_blocks() {
+        assert!(may_contain(el("body"), el("h1")));
+        assert!(may_contain(el("td"), el("table")));
+        assert!(may_contain(el("li"), el("ul")));
+    }
+
+    #[test]
+    fn pre_excludes_images() {
+        assert!(may_contain(el("pre"), el("b")));
+        assert!(!may_contain(el("pre"), el("img")));
+    }
+
+    #[test]
+    fn pcdata_rules() {
+        assert!(pcdata_allowed(el("p")));
+        assert!(pcdata_allowed(el("title")));
+        assert!(pcdata_allowed(el("body")));
+        assert!(!pcdata_allowed(el("ul")));
+        assert!(!pcdata_allowed(el("table")));
+        assert!(!pcdata_allowed(el("html")));
+        assert!(!pcdata_allowed(el("select")));
+    }
+
+    #[test]
+    fn exclusion_sets() {
+        assert_eq!(exclusions_for("a"), &["a"]);
+        assert!(exclusions_for("button").contains(&"input"));
+        assert!(exclusions_for("p").is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! Baseline checkers weblint is compared against.
+//!
+//! The paper positions weblint between two alternatives:
+//!
+//! * **Strict SGML validators** (§3.2), "based on one of James Clark's
+//!   parsers": they check against the DTD, but "the warning and error
+//!   messages are usually straight from the parser, and require a grounding
+//!   in SGML to understand". [`StrictValidator`] is that comparator — a
+//!   content-model validator with SP/nsgmls-flavoured messages and classic
+//!   parser-style cascade behaviour.
+//!
+//! * **htmlchek** (§3.3), "a perl script (also available in awk) which
+//!   performs syntax checking similar to weblint" but line-oriented.
+//!   [`RegexChecker`] is that comparator — tag-local and count-based
+//!   checks with no element stack, so nesting-class mistakes (overlap,
+//!   heading mismatch, misplaced context) are invisible to it.
+//!
+//! All three checkers (including weblint itself, via [`WeblintChecker`])
+//! implement [`HtmlChecker`], so the comparison experiments can drive them
+//! interchangeably.
+//!
+//! # Examples
+//!
+//! ```
+//! use weblint_validator::{HtmlChecker, StrictValidator, RegexChecker, WeblintChecker};
+//!
+//! let page = "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><P><B><I>x</B></I></P></BODY></HTML>";
+//! let strict = StrictValidator::default();
+//! let regex = RegexChecker::new();
+//! let weblint = WeblintChecker::default();
+//! // The overlap is invisible to the line checker: tags all balance.
+//! assert!(regex.check(page).is_empty());
+//! assert!(weblint.check(page).iter().any(|f| f.code == "element-overlap"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod content;
+mod finding;
+mod regexchek;
+mod strict;
+
+pub use content::{exclusions_for, may_contain, pcdata_allowed};
+pub use finding::{Finding, HtmlChecker, WeblintChecker};
+pub use regexchek::RegexChecker;
+pub use strict::StrictValidator;

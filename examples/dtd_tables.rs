@@ -1,0 +1,119 @@
+//! DTD tables: derive weblint's element tables from an SGML DTD.
+//!
+//! §6.1 lists "Driving weblint with a DTD: generating the HTML modules
+//! used by weblint" as a future plan. This example parses an HTML 2.0 DTD
+//! excerpt with `weblint_html::dtd` and prints the element table it would
+//! generate — end-tag style, empty elements, required attributes,
+//! enumerated values — alongside what the built-in tables say.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example dtd_tables
+//! ```
+
+use weblint::html::dtd::{parse_dtd, AttrDecl};
+use weblint::html::{Extensions, HtmlSpec, HtmlVersion};
+
+/// An HTML 2.0 (RFC 1866) DTD excerpt, in the DTD's own idiom.
+const HTML20_EXCERPT: &str = r##"
+<!-- Excerpt of -//IETF//DTD HTML 2.0//EN -->
+<!ENTITY % font "EM | STRONG | B | I | TT | CODE | SAMP | KBD | VAR | CITE">
+<!ENTITY % text "#PCDATA | A | IMG | BR | %font;">
+
+<!ELEMENT HTML O O (HEAD, BODY)>
+<!ELEMENT HEAD O O (TITLE & ISINDEX? & BASE?)>
+<!ELEMENT TITLE - - (#PCDATA)>
+<!ELEMENT BODY O O (%text;)*>
+<!ELEMENT (%font;) - - (%text;)*>
+<!ELEMENT A - - (%text;)* -(A)>
+<!ELEMENT BR - O EMPTY>
+<!ELEMENT IMG - O EMPTY>
+<!ELEMENT ISINDEX - O EMPTY>
+<!ELEMENT BASE - O EMPTY>
+<!ELEMENT NEXTID - O EMPTY>
+<!ELEMENT P - O (%text;)*>
+<!ELEMENT HR - O EMPTY>
+<!ELEMENT (UL|OL|DIR|MENU) - - (LI)+>
+<!ELEMENT LI - O (%text;)*>
+<!ELEMENT PRE - - (%text;)*>
+<!ELEMENT TEXTAREA - - (#PCDATA)>
+
+<!ATTLIST A
+    href CDATA #IMPLIED
+    name CDATA #IMPLIED
+    urn  CDATA #IMPLIED
+    methods CDATA #IMPLIED>
+<!ATTLIST IMG
+    src   CDATA #REQUIRED
+    alt   CDATA #IMPLIED
+    align (top|middle|bottom) #IMPLIED
+    ismap (ismap) #IMPLIED>
+<!ATTLIST BASE href CDATA #REQUIRED>
+<!ATTLIST NEXTID n NAME #REQUIRED>
+<!ATTLIST TEXTAREA
+    name CDATA #IMPLIED
+    rows NUMBER #REQUIRED
+    cols NUMBER #REQUIRED>
+<!ATTLIST (UL|OL|DIR|MENU) compact (compact) #IMPLIED>
+"##;
+
+fn main() {
+    let dtd = parse_dtd(HTML20_EXCERPT).expect("the excerpt parses");
+    let spec = HtmlSpec::new(HtmlVersion::Html20, Extensions::none());
+
+    println!(
+        "{:<10} {:>6} {:>9} {:<18} {:<12}",
+        "element", "empty", "end tag", "required attrs", "tables agree?"
+    );
+    for name in dtd.element_names() {
+        let el = dtd.element(&name).expect("listed element exists");
+        let required = dtd.required_attrs(&name).join(",");
+        let table = spec.element_any(&name);
+        let agrees = match table {
+            Some(t) => {
+                let end_matches = if el.empty {
+                    t.is_empty_element()
+                } else if el.end_required {
+                    t.end_tag == weblint::html::EndTag::Required
+                } else {
+                    t.end_tag == weblint::html::EndTag::Optional
+                };
+                if end_matches {
+                    "yes"
+                } else {
+                    "NO"
+                }
+            }
+            None => "missing!",
+        };
+        println!(
+            "{:<10} {:>6} {:>9} {:<18} {:<12}",
+            name,
+            if el.empty { "yes" } else { "-" },
+            if el.empty {
+                "none"
+            } else if el.end_required {
+                "required"
+            } else {
+                "omissible"
+            },
+            if required.is_empty() { "-" } else { &required },
+            agrees
+        );
+    }
+
+    println!("\nenumerated attribute values from the DTD:");
+    for name in dtd.element_names() {
+        for attr in dtd.attrs(&name) {
+            if let AttrDecl::Enum(tokens) = &attr.decl {
+                println!("  {name} {} = ({})", attr.name, tokens.join("|"));
+            }
+        }
+    }
+
+    println!(
+        "\nexclusions: A excludes {:?}",
+        dtd.element("a").unwrap().exclusions
+    );
+}

@@ -1,0 +1,44 @@
+//! # weblint
+//!
+//! A Rust reproduction of **Weblint** (Neil Bowers, *Weblint: Just Another
+//! Perl Hack*, USENIX 1998): a lint-style syntax and style checker for
+//! HTML. "Weblint does not aspire to be a strict SGML validator, but to
+//! provide helpful comments for humans."
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`core`] — the `Weblint` checker, message catalog, formatters
+//! * [`tokenizer`] — the error-tolerant ad-hoc HTML tokenizer
+//! * [`html`] — table-driven HTML version modules (3.2, 4.0, extensions)
+//! * [`config`] — `.weblintrc` files, layering, page pragmas
+//! * [`site`] — `-R` site mode, simulated web, the poacher robot
+//! * [`gateway`] — CGI-gateway-style HTML report rendering
+//! * [`validator`] — the strict-validator and htmlchek-style baselines
+//! * [`corpus`] — deterministic document/site/defect generation
+//!
+//! # Examples
+//!
+//! ```
+//! use weblint::core::Weblint;
+//!
+//! let weblint = Weblint::new();
+//! let diags = weblint.check_string("<H1>My Example</H2>");
+//! assert!(diags.iter().any(|d| d.id == "heading-mismatch"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use weblint_config as config;
+pub use weblint_core as core;
+pub use weblint_corpus as corpus;
+pub use weblint_gateway as gateway;
+pub use weblint_html as html;
+pub use weblint_site as site;
+pub use weblint_tokenizer as tokenizer;
+pub use weblint_validator as validator;
+
+// The most-used types, at the top level.
+pub use weblint_core::{
+    format_report, Category, Diagnostic, LintConfig, OutputFormat, Summary, Weblint,
+};

@@ -1,0 +1,168 @@
+//! Experiment E6 (correctness side): weblint vs the strict validator vs
+//! the htmlchek-style regex checker.
+//!
+//! The paper's qualitative claims (§3.2, §3.3, §5.1):
+//!
+//! * weblint detects every mistake class with ≈1 message per defect;
+//! * the strict validator detects most classes but cascades on nesting
+//!   mistakes and speaks SGML;
+//! * the stack-less line checker misses the nesting classes entirely.
+//!
+//! Detection is measured differentially: a checker detects a defect when
+//! checking the mutated document yields findings (by code) beyond those on
+//! the clean document.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use weblint::corpus::{all_defect_classes, generate_document, DefectClass};
+use weblint::validator::{HtmlChecker, RegexChecker, StrictValidator, WeblintChecker};
+
+/// New findings in `mutated` relative to `clean`, counted by code.
+fn new_findings(checker: &dyn HtmlChecker, clean: &str, mutated: &str) -> usize {
+    let mut base: HashMap<String, i64> = HashMap::new();
+    for f in checker.check(clean) {
+        *base.entry(f.code).or_insert(0) += 1;
+    }
+    let mut extra = 0usize;
+    let mut seen: HashMap<String, i64> = HashMap::new();
+    for f in checker.check(mutated) {
+        *seen.entry(f.code).or_insert(0) += 1;
+    }
+    for (code, n) in seen {
+        let before = base.get(&code).copied().unwrap_or(0);
+        extra += (n - before).max(0) as usize;
+    }
+    extra
+}
+
+fn detection_row(class: DefectClass, seed: u64) -> (usize, usize, usize) {
+    let clean = generate_document(seed, 4 * 1024);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37);
+    let mutated = class.inject(&clean, &mut rng);
+    let weblint = WeblintChecker::default();
+    let strict = StrictValidator::default();
+    let regex = RegexChecker::new();
+    (
+        new_findings(&weblint, &clean, &mutated),
+        new_findings(&strict, &clean, &mutated),
+        new_findings(&regex, &clean, &mutated),
+    )
+}
+
+#[test]
+fn weblint_detects_every_class() {
+    for (i, class) in all_defect_classes().iter().enumerate() {
+        let (w, _, _) = detection_row(*class, 100 + i as u64);
+        assert!(w > 0, "weblint missed {}", class.name());
+    }
+}
+
+#[test]
+fn regex_checker_misses_nesting_classes() {
+    // The classes that depend on nesting *order* are invisible to a
+    // stack-less checker. Count-based checking does catch imbalances (a
+    // tag opened or closed without its partner — unclosed-element,
+    // unexpected-close, unclosed-comment, and heading-mismatch, which
+    // imbalances two heading levels at once), so those are excluded: what
+    // remains is perfectly balanced but wrongly *ordered* markup.
+    for (i, class) in all_defect_classes()
+        .iter()
+        .filter(|c| c.is_nesting_defect())
+        .filter(|c| {
+            !matches!(
+                c,
+                DefectClass::UnclosedElement
+                    | DefectClass::UnexpectedClose
+                    | DefectClass::UnclosedComment
+                    | DefectClass::HeadingMismatch
+            )
+        })
+        .enumerate()
+    {
+        let (_, _, r) = detection_row(*class, 200 + i as u64);
+        assert_eq!(
+            r,
+            0,
+            "{} should be invisible to the regex checker",
+            class.name()
+        );
+    }
+}
+
+#[test]
+fn regex_checker_sees_token_local_classes() {
+    for (i, class) in [
+        DefectClass::UnknownElement,
+        DefectClass::UnknownAttribute,
+        DefectClass::MissingAlt,
+        DefectClass::MissingRequiredAttr,
+        DefectClass::LiteralMetachar,
+        DefectClass::UnknownEntity,
+        DefectClass::OddQuotes,
+    ]
+    .iter()
+    .enumerate()
+    {
+        let (_, _, r) = detection_row(*class, 300 + i as u64);
+        assert!(r > 0, "regex checker missed {}", class.name());
+    }
+}
+
+#[test]
+fn strict_validator_cascades_on_overlap() {
+    // One overlap: weblint says one thing, the parser says at least two.
+    let (w, s, _) = detection_row(DefectClass::ElementOverlap, 400);
+    assert_eq!(w, 1, "weblint should report the overlap once");
+    assert!(s >= 2, "strict validator should cascade, got {s}");
+}
+
+#[test]
+fn strict_validator_is_blind_to_style() {
+    // "here" anchors and missing ALT are fine by the DTD.
+    for (i, class) in [DefectClass::HereAnchor, DefectClass::MissingAlt]
+        .iter()
+        .enumerate()
+    {
+        let (w, s, _) = detection_row(*class, 500 + i as u64);
+        assert!(w > 0);
+        assert_eq!(s, 0, "{} should pass strict validation", class.name());
+    }
+}
+
+#[test]
+fn message_volume_weblint_stays_lowest_on_nesting() {
+    // Across the nesting classes, weblint's per-defect message count must
+    // not exceed the strict validator's (the §5.1 cascade claim).
+    let mut weblint_total = 0usize;
+    let mut strict_total = 0usize;
+    for (i, class) in all_defect_classes()
+        .iter()
+        .filter(|c| c.is_nesting_defect())
+        .enumerate()
+    {
+        let (w, s, _) = detection_row(*class, 600 + i as u64);
+        weblint_total += w;
+        strict_total += s;
+    }
+    assert!(
+        weblint_total <= strict_total,
+        "weblint {weblint_total} vs strict {strict_total}"
+    );
+}
+
+#[test]
+fn strict_messages_speak_sgml() {
+    // The paper: validator messages "require a grounding in SGML to
+    // understand". Spot-check the idiom.
+    let clean = generate_document(700, 2048);
+    let mut rng = StdRng::seed_from_u64(700);
+    let mutated = DefectClass::UnquotedValue.inject(&clean, &mut rng);
+    let findings = StrictValidator::default().check(&mutated);
+    assert!(
+        findings.iter().any(|f| f.message.contains("VI delimiter")),
+        "{findings:?}"
+    );
+}

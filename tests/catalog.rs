@@ -1,0 +1,86 @@
+//! Experiment E2: the §4.3 catalog statistics.
+//!
+//! "Weblint 1.020 supports 50 different output messages, 42 of which are
+//! enabled by default." This reconstruction carries 55 messages with
+//! exactly 42 enabled by default (DESIGN.md §2), in three categories.
+
+use weblint::core::{catalog, Category, LintConfig, CATALOG};
+
+#[test]
+fn fifty_five_messages_forty_two_default() {
+    assert_eq!(CATALOG.len(), 55);
+    let enabled = CATALOG.iter().filter(|c| c.default_enabled).count();
+    assert_eq!(enabled, 42);
+    assert_eq!(LintConfig::default().enabled_count(), 42);
+}
+
+#[test]
+fn three_categories_all_populated() {
+    for category in [Category::Error, Category::Warning, Category::Style] {
+        let n = catalog::ids_in_category(category).count();
+        assert!(n > 0, "{category} is empty");
+    }
+}
+
+#[test]
+fn every_message_can_be_disabled() {
+    // §4.1: "everything in weblint can be turned off".
+    let mut config = LintConfig::default();
+    for check in CATALOG {
+        config.disable(check.id).unwrap();
+    }
+    assert_eq!(config.enabled_count(), 0);
+}
+
+#[test]
+fn every_message_can_be_enabled() {
+    let mut config = LintConfig::default();
+    for check in CATALOG {
+        config.enable(check.id).unwrap();
+    }
+    // The case pair is contradictory: enabling one disables the other, so
+    // the maximum reachable is the full catalog minus one.
+    assert_eq!(config.enabled_count(), CATALOG.len() - 1);
+}
+
+#[test]
+fn paper_named_messages_exist() {
+    // Every message the paper names or exemplifies, by our identifier.
+    for id in [
+        "require-doctype",       // "first element was not DOCTYPE"
+        "unclosed-element",      // "no closing </TITLE> seen"
+        "quote-attribute-value", // "should be quoted"
+        "attribute-value",       // "illegal value for BGCOLOR"
+        "heading-mismatch",      // "malformed heading"
+        "odd-quotes",            // "odd number of quotes"
+        "element-overlap",       // "</B> ... seems to overlap <A>"
+        "unknown-element",       // "mis-typed element names" (BLOCKQOUTE)
+        "required-attribute",    // "ROWS and COLS, for the TEXTAREA"
+        "attribute-delimiter",   // "single quotes"
+        "img-size",              // "WIDTH or HEIGHT attributes"
+        "markup-in-comment",     // "comment-out markup"
+        "obsolete-element",      // "<LISTING> ... use the <PRE>"
+        "here-anchor",           // "click here"
+        "physical-font",         // "<B> rather than <STRONG>"
+        "directory-index",       // -R: "directories have index files"
+        "orphan-page",           // -R: "orphan pages"
+        "bad-link",              // "broken links"
+    ] {
+        assert!(catalog::check_def(id).is_some(), "{id} missing");
+    }
+}
+
+#[test]
+fn category_bulk_toggle_counts() {
+    // Weblint 2 "will let users enable and disable all messages of a given
+    // category" (§4.3).
+    let mut config = LintConfig::default();
+    config.set_category_enabled(Category::Error, false);
+    config.set_category_enabled(Category::Warning, false);
+    config.set_category_enabled(Category::Style, false);
+    assert_eq!(config.enabled_count(), 0);
+    config.set_category_enabled(Category::Style, true);
+    let styles = catalog::ids_in_category(Category::Style).count();
+    // The contradictory case pair stays off on bulk enable.
+    assert_eq!(config.enabled_count(), styles - 2);
+}
