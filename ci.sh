@@ -1,0 +1,9 @@
+#!/bin/sh
+# CI gate for weblint-rs: build, test, format, lint.
+# Everything runs offline — external crates are vendored under vendor/.
+set -eux
+
+cargo build --workspace --release
+cargo test -q --workspace
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings

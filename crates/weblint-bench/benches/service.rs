@@ -1,0 +1,126 @@
+//! E11: the concurrent lint service.
+//!
+//! Two claims to pin down: (1) batch throughput scales with worker count —
+//! the engine is a pure function, so N workers should approach N× on a
+//! CPU-bound batch; (2) the result cache turns repeated pages (the common
+//! case for site crawls and public gateways) into near-free lookups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+use weblint_bench::{dirty_document, experiment_header};
+use weblint_core::LintConfig;
+use weblint_service::{LintService, ServiceConfig, SubmitPolicy};
+
+const WORKER_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+/// A batch of distinct mid-size documents, each with a few defects.
+fn batch(docs: usize, bytes: usize) -> Vec<String> {
+    (0..docs)
+        .map(|i| dirty_document(1000 + i as u64, bytes, 4))
+        .collect()
+}
+
+fn service_with(workers: usize, cache_capacity: usize) -> LintService {
+    LintService::new(ServiceConfig {
+        workers,
+        queue_capacity: 256,
+        cache_capacity,
+        policy: SubmitPolicy::Block,
+        lint: LintConfig::default(),
+    })
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    experiment_header("E11a", "batch throughput scaling from 1 to N workers");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("  available parallelism: {cores} core(s)");
+    if cores == 1 {
+        println!("  (single-core host: expect flat scaling; workers only help on multi-core)");
+    }
+    let docs = batch(64, 16 << 10);
+    let total_bytes: u64 = docs.iter().map(|d| d.len() as u64).sum();
+
+    // Shape table first: one timed pass per worker count, no cache so
+    // every job really lints.
+    let mut base = None;
+    for &workers in WORKER_COUNTS {
+        let service = service_with(workers, 0);
+        let start = Instant::now();
+        let results = service.lint_batch(docs.iter().map(String::as_str));
+        let elapsed = start.elapsed();
+        assert_eq!(results.len(), docs.len());
+        let speedup = match base {
+            None => {
+                base = Some(elapsed);
+                1.0
+            }
+            Some(b) => b.as_secs_f64() / elapsed.as_secs_f64(),
+        };
+        println!(
+            "  {workers} worker(s): {:>7.1?} for {} docs ({speedup:.2}x)",
+            elapsed,
+            docs.len()
+        );
+    }
+
+    let mut group = c.benchmark_group("service_scaling");
+    group.throughput(Throughput::Bytes(total_bytes));
+    for &workers in WORKER_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                // Cache off: measure raw pool throughput, not memoization.
+                let service = service_with(workers, 0);
+                b.iter(|| black_box(service.lint_batch(docs.iter().map(String::as_str))))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cache_hits(c: &mut Criterion) {
+    experiment_header("E11b", "cache-hit speedup on a duplicate-heavy batch");
+    // A crawl-like workload: 8 distinct pages, each requested 16 times.
+    let distinct = batch(8, 16 << 10);
+    let requests: Vec<&str> = (0..128)
+        .map(|i| distinct[i % distinct.len()].as_str())
+        .collect();
+    let total_bytes: u64 = requests.iter().map(|d| d.len() as u64).sum();
+
+    for (label, cache_capacity) in [("cold (no cache)", 0), ("warm (cached)", 1024)] {
+        let service = service_with(4, cache_capacity);
+        // Prime: the warm service sees every distinct page once.
+        service.lint_batch(distinct.iter().map(String::as_str));
+        let start = Instant::now();
+        service.lint_batch(requests.iter().copied());
+        let elapsed = start.elapsed();
+        let m = service.metrics();
+        println!(
+            "  {label}: {elapsed:>7.1?} for {} requests ({} cache hit(s))",
+            requests.len(),
+            m.cache.hits
+        );
+    }
+
+    let mut group = c.benchmark_group("service_cache");
+    group.throughput(Throughput::Bytes(total_bytes));
+    group.bench_function("no_cache", |b| {
+        let service = service_with(4, 0);
+        b.iter(|| black_box(service.lint_batch(requests.iter().copied())))
+    });
+    group.bench_function("cached", |b| {
+        let service = service_with(4, 1024);
+        service.lint_batch(distinct.iter().map(String::as_str));
+        b.iter(|| black_box(service.lint_batch(requests.iter().copied())))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_worker_scaling, bench_cache_hits
+}
+criterion_main!(benches);

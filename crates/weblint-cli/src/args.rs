@@ -18,6 +18,10 @@ pub struct Args {
     pub directives: Vec<Directive>,
     /// `-R`: recurse into directories, enabling the site checks.
     pub recurse: bool,
+    /// `-jobs N`: lint with N worker threads (0 or absent = sequential).
+    pub jobs: usize,
+    /// `-stats`: print lint-service statistics to stderr when done.
+    pub stats: bool,
     /// `-f FILE`: alternate user configuration file.
     pub user_config: Option<String>,
     /// `-noglobals`: ignore site and user configuration files.
@@ -61,6 +65,8 @@ options:
   -fragment        treat input as an HTML fragment (skip structure checks)
   -R               recurse into directories; adds link, orphan, and
                    directory-index checking over the whole tree
+  -jobs N          lint with N worker threads; output order is unchanged
+  -stats           print lint-service statistics to stderr when done
   -f FILE          use FILE as the user configuration file
   -noglobals       do not read site or user configuration files
   -todo            list every supported message and its default
@@ -115,6 +121,13 @@ pub fn parse_args(argv: &[String]) -> Result<Args, UsageError> {
             "-pedantic" | "--pedantic" => args.directives.push(Directive::Pedantic),
             "-fragment" | "--fragment" => args.directives.push(Directive::Fragment(true)),
             "-R" | "--recurse" => args.recurse = true,
+            "-jobs" | "--jobs" | "-j" => {
+                let n = take_value("-jobs")?;
+                args.jobs = n.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    UsageError(format!("-jobs needs a positive number, got `{n}'"))
+                })?;
+            }
+            "-stats" | "--stats" => args.stats = true,
             "-f" | "--config" => args.user_config = Some(take_value("-f")?),
             "-noglobals" | "--noglobals" => args.no_globals = true,
             "-todo" | "--todo" => args.list_checks = true,
@@ -176,6 +189,17 @@ mod tests {
     fn unknown_option_rejected() {
         let e = parse(&["-zap"]).unwrap_err();
         assert!(e.to_string().contains("-zap"));
+    }
+
+    #[test]
+    fn jobs_and_stats() {
+        let a = parse(&["-jobs", "4", "-stats", "x.html"]).unwrap();
+        assert_eq!(a.jobs, 4);
+        assert!(a.stats);
+        assert!(parse(&["-jobs", "0"]).is_err());
+        assert!(parse(&["-jobs", "four"]).is_err());
+        assert!(parse(&["-jobs"]).is_err());
+        assert_eq!(parse(&["x.html"]).unwrap().jobs, 0);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use std::process::ExitCode;
 
 use weblint_core::{format_report, LintConfig, OutputFormat};
+use weblint_service::{LintService, ServiceConfig};
 use weblint_site::{DirStore, Robot, RobotOptions, StoreFetcher};
 
 const USAGE: &str = "\
@@ -29,6 +30,7 @@ site's navigational shape.
 options:
   -s         short per-page messages (line N: ...)
   -max N     stop after N pages (default 1000)
+  -jobs N    lint crawled pages on N worker threads
   -quiet     only dead links and the summary
   -help      this message";
 
@@ -36,6 +38,7 @@ struct Options {
     dir: Option<String>,
     format: OutputFormat,
     max_pages: usize,
+    jobs: usize,
     quiet: bool,
 }
 
@@ -44,6 +47,7 @@ fn parse(argv: &[String]) -> Result<Options, String> {
         dir: None,
         format: OutputFormat::Lint,
         max_pages: 1_000,
+        jobs: 0,
         quiet: false,
     };
     let mut it = argv.iter();
@@ -53,6 +57,10 @@ fn parse(argv: &[String]) -> Result<Options, String> {
             "-max" => {
                 let v = it.next().ok_or("-max needs a number")?;
                 options.max_pages = v.parse().map_err(|_| format!("bad -max value `{v}'"))?;
+            }
+            "-jobs" => {
+                let v = it.next().ok_or("-jobs needs a number")?;
+                options.jobs = v.parse().map_err(|_| format!("bad -jobs value `{v}'"))?;
             }
             "-quiet" => options.quiet = true,
             "-help" | "--help" | "-h" => return Err(String::new()),
@@ -96,7 +104,16 @@ fn main() -> ExitCode {
         lint: LintConfig::default(),
         ..RobotOptions::default()
     });
-    let report = robot.crawl(&fetcher, &fetcher.start_url());
+    let report = if options.jobs > 1 {
+        let service = LintService::new(ServiceConfig {
+            workers: options.jobs,
+            lint: LintConfig::default(),
+            ..ServiceConfig::default()
+        });
+        robot.crawl_with(&fetcher, &fetcher.start_url(), &service)
+    } else {
+        robot.crawl(&fetcher, &fetcher.start_url())
+    };
 
     let mut messages = 0usize;
     for page in &report.pages {

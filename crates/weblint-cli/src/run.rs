@@ -7,6 +7,7 @@ use weblint_config::{apply_directive, apply_pragmas, load_config_file};
 use weblint_core::{
     format_report, CheckDef, Diagnostic, LintConfig, OutputFormat, Summary, Weblint, CATALOG,
 };
+use weblint_service::{JobHandle, LintService, ServiceConfig};
 use weblint_site::{DirStore, SiteChecker};
 
 use crate::args::Args;
@@ -46,23 +47,128 @@ pub fn run(args: &Args, out: &mut impl std::io::Write, err: &mut impl std::io::W
         }
     };
 
-    let mut any_messages = false;
-    let mut any_errors = false;
-    for input in &args.inputs {
-        let status = check_one(input, args, &config, out, err);
-        match status {
-            InputStatus::Clean => {}
-            InputStatus::Messages => any_messages = true,
-            InputStatus::Failed => any_errors = true,
+    // `-jobs N` (or `-stats`) routes the run through the lint service;
+    // otherwise everything happens inline on this thread, as it always
+    // did. Output is byte-identical either way.
+    let service = (args.jobs > 1 || args.stats).then(|| {
+        LintService::new(ServiceConfig {
+            workers: args.jobs.max(1),
+            lint: config.clone(),
+            ..ServiceConfig::default()
+        })
+    });
+
+    let statuses: Vec<InputStatus> = match &service {
+        Some(service) => run_parallel(args, &config, service, out, err),
+        None => args
+            .inputs
+            .iter()
+            .map(|input| check_one(input, args, &config, None, out, err))
+            .collect(),
+    };
+
+    if args.stats {
+        if let Some(service) = &service {
+            let _ = writeln!(err, "{}", service.metrics());
         }
     }
-    if any_errors {
-        EXIT_ERROR
-    } else if any_messages {
-        EXIT_MESSAGES
-    } else {
-        EXIT_CLEAN
+
+    // Worst severity across the whole batch wins: one unreadable file
+    // doesn't mask diagnostics from the rest, and vice versa.
+    let mut code = EXIT_CLEAN;
+    for status in statuses {
+        code = code.max(match status {
+            InputStatus::Clean => EXIT_CLEAN,
+            InputStatus::Messages => EXIT_MESSAGES,
+            InputStatus::Failed => EXIT_ERROR,
+        });
     }
+    code
+}
+
+/// Fan the inputs out over the service: phase one reads and submits every
+/// file (workers start linting immediately), phase two walks the inputs in
+/// order, waiting on each handle — so stdout and stderr are byte-identical
+/// to the sequential run no matter which worker finished first.
+fn run_parallel(
+    args: &Args,
+    config: &LintConfig,
+    service: &LintService,
+    out: &mut impl std::io::Write,
+    err: &mut impl std::io::Write,
+) -> Vec<InputStatus> {
+    enum Prepared {
+        Job(String, JobHandle),
+        Dir(PathBuf),
+        Failed(String),
+    }
+
+    let mut prepared: Vec<Prepared> = Vec::with_capacity(args.inputs.len());
+    for input in &args.inputs {
+        let source = if input == "-" {
+            let mut src = String::new();
+            match std::io::stdin().read_to_string(&mut src) {
+                Ok(_) => Ok(("stdin".to_string(), src)),
+                Err(e) => Err(format!("weblint: stdin: {e}")),
+            }
+        } else {
+            let path = Path::new(input);
+            if path.is_dir() {
+                if args.recurse {
+                    prepared.push(Prepared::Dir(path.to_path_buf()));
+                    continue;
+                }
+                Err(format!(
+                    "weblint: {input} is a directory (use -R to check a whole tree)"
+                ))
+            } else {
+                match std::fs::read(path) {
+                    Ok(bytes) => Ok((input.clone(), String::from_utf8_lossy(&bytes).into_owned())),
+                    Err(e) => Err(format!("weblint: {input}: {e}")),
+                }
+            }
+        };
+        prepared.push(match source {
+            Ok((name, src)) => {
+                let mut page_config = config.clone();
+                match apply_pragmas(&src, &mut page_config) {
+                    Ok(_) => match service.submit_with(src, Some(page_config)) {
+                        Ok(handle) => Prepared::Job(name, handle),
+                        Err(e) => Prepared::Failed(format!("weblint: {name}: {e}")),
+                    },
+                    Err(e) => Prepared::Failed(format!("weblint: {name}: {e}")),
+                }
+            }
+            Err(message) => Prepared::Failed(message),
+        });
+    }
+
+    prepared
+        .into_iter()
+        .map(|entry| match entry {
+            Prepared::Job(name, handle) => match handle.wait() {
+                Ok(diags) => {
+                    let _ = write!(out, "{}", format_report(&diags, &name, args.format));
+                    if diags.is_empty() {
+                        InputStatus::Clean
+                    } else {
+                        InputStatus::Messages
+                    }
+                }
+                Err(e) => {
+                    let _ = writeln!(err, "weblint: {name}: {e}");
+                    InputStatus::Failed
+                }
+            },
+            Prepared::Dir(path) => {
+                check_directory(&path, config, args.format, Some(service), out, err)
+            }
+            Prepared::Failed(message) => {
+                let _ = writeln!(err, "{message}");
+                InputStatus::Failed
+            }
+        })
+        .collect()
 }
 
 enum InputStatus {
@@ -75,6 +181,7 @@ fn check_one(
     input: &str,
     args: &Args,
     config: &LintConfig,
+    service: Option<&LintService>,
     out: &mut impl std::io::Write,
     err: &mut impl std::io::Write,
 ) -> InputStatus {
@@ -95,7 +202,7 @@ fn check_one(
             );
             return InputStatus::Failed;
         }
-        return check_directory(path, config, args.format, out, err);
+        return check_directory(path, config, args.format, service, out, err);
     }
     match std::fs::read(path) {
         Ok(bytes) => {
@@ -137,6 +244,7 @@ fn check_directory(
     dir: &Path,
     config: &LintConfig,
     format: OutputFormat,
+    service: Option<&LintService>,
     out: &mut impl std::io::Write,
     err: &mut impl std::io::Write,
 ) -> InputStatus {
@@ -148,7 +256,10 @@ fn check_directory(
         }
     };
     let checker = SiteChecker::new(config.clone());
-    let report = checker.check(&store);
+    let report = match service {
+        Some(service) => checker.check_with(&store, service),
+        None => checker.check(&store),
+    };
     let mut all: Vec<(String, Vec<Diagnostic>)> = report.pages.clone();
     for (path, diag) in &report.site_diagnostics {
         match all.iter_mut().find(|(p, _)| p == path) {
@@ -370,6 +481,90 @@ mod tests {
             bad.to_str().unwrap(),
         ]);
         assert_eq!(code, EXIT_CLEAN);
+    }
+
+    #[test]
+    fn jobs_output_is_byte_identical() {
+        // The acceptance bar for the service integration: fanned-out runs
+        // must not reorder or alter a single byte of output.
+        let root = std::env::temp_dir().join("weblint-cli-jobs-site");
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("sub")).unwrap();
+        std::fs::write(
+            root.join("index.html"),
+            "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>\
+             <P><A HREF=\"a.html\">a</A> <A HREF=\"sub/b.html\">b</A> \
+             <A HREF=\"gone.html\">dead</A></P></BODY></HTML>\n",
+        )
+        .unwrap();
+        std::fs::write(root.join("a.html"), "<H1>bad</H2>").unwrap();
+        std::fs::write(root.join("sub").join("b.html"), "<IMG SRC=x>").unwrap();
+        let dir = root.to_str().unwrap();
+
+        let sequential = run_args(&["-noglobals", "-R", dir]);
+        for jobs in ["1", "2", "4"] {
+            let fanned = run_args(&["-noglobals", "-R", "-jobs", jobs, dir]);
+            assert_eq!(fanned, sequential, "-jobs {jobs} diverged");
+        }
+
+        // Multi-file (non -R) runs too.
+        let a = root.join("a.html");
+        let b = root.join("sub").join("b.html");
+        let files = [a.to_str().unwrap(), b.to_str().unwrap()];
+        let sequential = run_args(&["-noglobals", files[0], files[1]]);
+        let fanned = run_args(&["-noglobals", "-jobs", "4", files[0], files[1]]);
+        assert_eq!(fanned, sequential);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn batch_exit_code_is_worst_severity() {
+        // One unreadable file must not mask diagnostics from the rest,
+        // and the batch exits with the worst severity seen.
+        let bad = write_temp("worst1.html", "<H1>x</H2>");
+        let good = write_temp(
+            "worst2.html",
+            "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0 Transitional//EN\">\n\
+             <HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><P>fine</P></BODY></HTML>\n",
+        );
+        for jobs in [&["-noglobals"][..], &["-noglobals", "-jobs", "2"][..]] {
+            let mut argv = jobs.to_vec();
+            argv.extend(["/no/such/file.html", bad.to_str().unwrap()]);
+            let (code, out, err) = run_args(&argv);
+            assert_eq!(code, EXIT_ERROR, "I/O failure is the worst severity");
+            assert!(
+                out.contains("malformed heading"),
+                "diagnostics not masked: {out}"
+            );
+            assert!(err.contains("no/such/file.html"));
+
+            let mut argv = jobs.to_vec();
+            argv.extend([bad.to_str().unwrap(), good.to_str().unwrap()]);
+            let (code, _, _) = run_args(&argv);
+            assert_eq!(code, EXIT_MESSAGES);
+        }
+    }
+
+    #[test]
+    fn stats_prints_service_metrics_to_stderr() {
+        let bad = write_temp("stats.html", "<H1>x</H2>");
+        let (code, out, err) = run_args(&[
+            "-noglobals",
+            "-stats",
+            "-jobs",
+            "2",
+            bad.to_str().unwrap(),
+            bad.to_str().unwrap(),
+        ]);
+        assert_eq!(code, EXIT_MESSAGES);
+        assert!(err.contains("lint service statistics"), "{err}");
+        assert!(err.contains("2 worker(s)"), "{err}");
+        assert!(err.contains("hit(s)"), "{err}");
+        assert!(err.contains("2 submitted"), "{err}");
+        assert!(
+            !out.contains("lint service statistics"),
+            "stats stay off stdout"
+        );
     }
 
     #[test]

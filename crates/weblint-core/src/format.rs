@@ -42,7 +42,7 @@ pub fn format_diagnostic(d: &Diagnostic, filename: &str, format: OutputFormat) -
                 filename, d.line, d.message, d.id, summary
             )
         }
-        OutputFormat::Json => serde_json::to_string(d).expect("diagnostics serialize"),
+        OutputFormat::Json => d.to_json(),
     }
 }
 
@@ -65,15 +65,41 @@ pub fn format_diagnostic(d: &Diagnostic, filename: &str, format: OutputFormat) -
 /// ```
 pub fn format_report(diags: &[Diagnostic], filename: &str, format: OutputFormat) -> String {
     if format == OutputFormat::Json {
-        let mut s = serde_json::to_string_pretty(diags).expect("diagnostics serialize");
-        s.push('\n');
-        return s;
+        return json_report(diags);
     }
     let mut out = String::new();
     for d in diags {
         out.push_str(&format_diagnostic(d, filename, format));
         out.push('\n');
     }
+    out
+}
+
+/// The whole report as a pretty-printed JSON array (2-space indent, one
+/// object per diagnostic, stable field order).
+fn json_report(diags: &[Diagnostic]) -> String {
+    if diags.is_empty() {
+        return "[]\n".to_string();
+    }
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        use crate::message::json_string;
+        out.push_str("  {\n");
+        out.push_str(&format!("    \"id\": {},\n", json_string(d.id)));
+        out.push_str(&format!(
+            "    \"category\": {},\n",
+            json_string(d.category.name())
+        ));
+        out.push_str(&format!("    \"line\": {},\n", d.line));
+        out.push_str(&format!("    \"col\": {},\n", d.col));
+        out.push_str(&format!("    \"message\": {}\n", json_string(&d.message)));
+        out.push_str(if i + 1 == diags.len() {
+            "  }\n"
+        } else {
+            "  },\n"
+        });
+    }
+    out.push_str("]\n");
     out
 }
 

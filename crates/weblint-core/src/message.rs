@@ -1,12 +1,10 @@
 //! Diagnostics: what weblint tells the user.
 
-use serde::Serialize;
 use std::fmt;
 use weblint_tokenizer::Span;
 
 /// The three categories of output message (§4.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
-#[serde(rename_all = "lowercase")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Category {
     /// "Errors, which identify things you should fix."
     Error,
@@ -49,7 +47,7 @@ impl fmt::Display for Category {
 /// "All output messages have an identifier, which is used when enabling or
 /// disabling it" (§4.3). The identifier doubles as the stable, machine-
 /// readable name in JSON output.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// The message identifier from the catalog (e.g. `unclosed-element`).
     pub id: &'static str,
@@ -74,6 +72,42 @@ impl Diagnostic {
             message,
         }
     }
+
+    /// Render as a compact JSON object with the stable field order
+    /// `id, category, line, col, message`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":{},\"category\":{},\"line\":{},\"col\":{},\"message\":{}}}",
+            json_string(self.id),
+            json_string(self.category.name()),
+            self.line,
+            self.col,
+            json_string(&self.message)
+        )
+    }
+}
+
+/// Quote and escape `s` as a JSON string literal.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 impl fmt::Display for Diagnostic {
@@ -127,9 +161,27 @@ mod tests {
             col: 2,
             message: "m".into(),
         };
-        let json = serde_json::to_string(&d).unwrap();
+        let json = d.to_json();
         assert!(json.contains("\"id\":\"img-alt\""));
         assert!(json.contains("\"category\":\"warning\""));
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.get("line").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn json_strings_escaped() {
+        let d = Diagnostic {
+            id: "img-alt",
+            category: Category::Warning,
+            line: 1,
+            col: 2,
+            message: "quote \" backslash \\ newline \n control \u{1}".into(),
+        };
+        let parsed: serde_json::Value = serde_json::from_str(&d.to_json()).unwrap();
+        assert_eq!(
+            parsed.get("message").unwrap().as_str(),
+            Some("quote \" backslash \\ newline \n control \u{1}")
+        );
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub fn generate_document_with(seed: u64, options: &GenOptions) -> String {
     doc.push_str(&format!("<H1>{}</H1>\n", words(&mut rng, 3)));
     let mut heading = 1u8;
     while doc.len() < options.target_bytes {
-        let rich = rng.random_range(0..100) < options.rich_percent;
+        let rich = rng.random_range(0..100u8) < options.rich_percent;
         if rich {
             match rng.random_range(0..5) {
                 0 => push_list(&mut doc, &mut rng),

@@ -98,7 +98,7 @@ pub fn generate_site(seed: u64, options: &SiteOptions) -> SiteSpec {
     }
 
     let orphan: Vec<bool> = (0..count)
-        .map(|i| i != 0 && rng.random_range(0..100) < options.orphan_percent)
+        .map(|i| i != 0 && rng.random_range(0..100u8) < options.orphan_percent)
         .collect();
 
     // Decide each page's outbound links.
@@ -124,7 +124,7 @@ pub fn generate_site(seed: u64, options: &SiteOptions) -> SiteSpec {
                 page_links.push(paths[to].clone());
             }
         }
-        if rng.random_range(0..100) < options.dead_link_percent {
+        if rng.random_range(0..100u8) < options.dead_link_percent {
             let dead = format!("missing{}.html", rng.random_range(0..1000));
             page_links.push(dead.clone());
             dead_links.push(dead);

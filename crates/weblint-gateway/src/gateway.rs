@@ -3,6 +3,7 @@
 use std::fmt;
 
 use weblint_core::{LintConfig, Weblint};
+use weblint_service::LintService;
 use weblint_site::{Fetcher, Status, Url};
 
 use crate::render::{render_report, ReportOptions};
@@ -61,6 +62,50 @@ impl Gateway {
     pub fn check_and_render(&self, input_name: &str, src: &str) -> String {
         let diags = self.weblint.check_string(src);
         render_report(input_name, src, &diags, &self.options)
+    }
+
+    /// [`Gateway::check_and_render`] through a shared [`LintService`], so
+    /// a busy gateway's repeated submissions hit the service's result
+    /// cache instead of re-linting. Falls back to inline checking if the
+    /// service refuses the job (full queue, shut down).
+    pub fn check_and_render_with(
+        &self,
+        service: &LintService,
+        input_name: &str,
+        src: &str,
+    ) -> String {
+        let diags = self.lint_via(service, src);
+        render_report(input_name, src, &diags, &self.options)
+    }
+
+    /// Render a report for every `(name, source)` page in the batch,
+    /// fanned out over `service`. Reports come back in input order.
+    pub fn render_batch(&self, service: &LintService, pages: &[(&str, &str)]) -> Vec<String> {
+        let handles: Vec<_> = pages
+            .iter()
+            .map(|(_, src)| {
+                service.submit_with(src.to_string(), Some(self.weblint.config().clone()))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .zip(pages)
+            .map(|(handle, (name, src))| {
+                let diags = match handle {
+                    Ok(h) => h.wait().unwrap_or_else(|_| self.weblint.check_string(src)),
+                    Err(_) => self.weblint.check_string(src),
+                };
+                render_report(name, src, &diags, &self.options)
+            })
+            .collect()
+    }
+
+    fn lint_via(&self, service: &LintService, src: &str) -> Vec<weblint_core::Diagnostic> {
+        service
+            .submit_with(src.to_string(), Some(self.weblint.config().clone()))
+            .ok()
+            .and_then(|handle| handle.wait().ok())
+            .unwrap_or_else(|| self.weblint.check_string(src))
     }
 
     /// The URL flow: fetch (following redirects), check, render.
@@ -164,6 +209,28 @@ mod tests {
         ));
         let err = gateway.check_url(&f, "http://h/gone.html").unwrap_err();
         assert!(err.to_string().contains("404"));
+    }
+
+    #[test]
+    fn service_backed_flows_match_inline() {
+        let gateway = Gateway::default();
+        let service = LintService::with_config(LintConfig::default());
+        let inline = gateway.check_and_render("snippet", "<H1>x</H2>");
+        let via = gateway.check_and_render_with(&service, "snippet", "<H1>x</H2>");
+        assert_eq!(inline, via);
+
+        let pages = [
+            ("one", "<H1>x</H2>"),
+            ("two", "<H1>x</H2>"),
+            ("three", "<P>ok"),
+        ];
+        let batch = gateway.render_batch(&service, &pages);
+        assert_eq!(batch.len(), 3);
+        for ((name, src), report) in pages.iter().zip(&batch) {
+            assert_eq!(report, &gateway.check_and_render(name, src));
+        }
+        // Identical sources in the batch share the service's cache.
+        assert!(service.metrics().cache.hits >= 1, "{:?}", service.metrics());
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! FNV-1a hashing.
+//!
+//! The cache keys documents by content hash. FNV-1a is small, fast on the
+//! short-to-medium strings HTML pages tend to be, and — unlike
+//! `DefaultHasher` — stable across processes and Rust releases, so hashes
+//! are safe to surface in logs and metrics.
+
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hash a byte slice with 64-bit FNV-1a.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Incremental 64-bit FNV-1a hasher for multi-field keys (the config
+/// fingerprint feeds each field separately).
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    /// Start a new hash at the FNV offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a {
+            state: FNV_OFFSET_BASIS,
+        }
+    }
+
+    /// Feed raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feed a string field, terminated so that adjacent fields cannot
+    /// alias (`"ab" + "c"` hashes differently from `"a" + "bc"`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        self.write(&[0xff]);
+    }
+
+    /// Feed an integer field as fixed-width little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feed a boolean field.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write(&[u8::from(v)]);
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Fnv1a {
+        Fnv1a::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn field_boundaries_do_not_alias() {
+        let mut a = Fnv1a::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv1a::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut h = Fnv1a::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+}

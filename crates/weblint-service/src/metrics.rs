@@ -1,0 +1,133 @@
+//! Service observability.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::cache::CacheStats;
+
+/// Internal atomic counters shared by submitters and workers.
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) cache_served: AtomicU64,
+    pub(crate) queue_wait_nanos: AtomicU64,
+    pub(crate) lint_nanos: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn add_queue_wait(&self, d: Duration) {
+        self.queue_wait_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_lint_time(&self, d: Duration) {
+        self.lint_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of everything the service counts.
+///
+/// Obtained from [`LintService::metrics`](crate::LintService::metrics);
+/// printed by the CLI under `--stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ServiceMetrics {
+    /// Number of worker threads in the pool.
+    pub workers: usize,
+    /// Jobs accepted by `submit` (including ones answered from cache).
+    pub jobs_submitted: u64,
+    /// Jobs that produced diagnostics (worker-linted or cache-served).
+    pub jobs_completed: u64,
+    /// Jobs whose lint panicked.
+    pub jobs_failed: u64,
+    /// Submissions refused because the queue was full or the service shut.
+    pub jobs_rejected: u64,
+    /// Completed jobs answered from the result cache without linting.
+    pub cache_served: u64,
+    /// Jobs currently sitting in the queue.
+    pub queue_depth: usize,
+    /// Deepest the queue has ever been.
+    pub queue_high_water: usize,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+    /// Total wall time jobs spent waiting in the queue, summed over jobs.
+    pub queue_wait: Duration,
+    /// Total wall time workers spent linting, summed over jobs.
+    pub lint_time: Duration,
+}
+
+impl ServiceMetrics {
+    /// Jobs submitted but not yet completed, failed, or rejected.
+    pub fn jobs_in_flight(&self) -> u64 {
+        self.jobs_submitted
+            .saturating_sub(self.jobs_completed + self.jobs_failed + self.jobs_rejected)
+    }
+}
+
+impl std::fmt::Display for ServiceMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "lint service statistics:")?;
+        writeln!(
+            f,
+            "  jobs:  {} submitted, {} completed, {} failed, {} rejected",
+            self.jobs_submitted, self.jobs_completed, self.jobs_failed, self.jobs_rejected
+        )?;
+        writeln!(
+            f,
+            "  pool:  {} worker(s), queue high water {} (depth now {})",
+            self.workers, self.queue_high_water, self.queue_depth
+        )?;
+        writeln!(
+            f,
+            "  cache: {} hit(s), {} miss(es), {} eviction(s), {}/{} entries ({:.0}% hit rate)",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.entries,
+            self.cache.capacity,
+            self.cache.hit_rate() * 100.0
+        )?;
+        write!(
+            f,
+            "  time:  {:.1}ms queued, {:.1}ms linting",
+            self.queue_wait.as_secs_f64() * 1000.0,
+            self.lint_time.as_secs_f64() * 1000.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_every_section() {
+        let m = ServiceMetrics {
+            workers: 4,
+            jobs_submitted: 10,
+            jobs_completed: 9,
+            jobs_failed: 0,
+            jobs_rejected: 1,
+            cache_served: 3,
+            queue_depth: 0,
+            queue_high_water: 6,
+            cache: CacheStats {
+                hits: 3,
+                misses: 7,
+                evictions: 0,
+                entries: 7,
+                capacity: 1024,
+            },
+            queue_wait: Duration::from_millis(12),
+            lint_time: Duration::from_millis(48),
+        };
+        let text = m.to_string();
+        for needle in ["10 submitted", "4 worker(s)", "3 hit(s)", "30% hit rate"] {
+            assert!(text.contains(needle), "missing {needle:?} in {text}");
+        }
+        assert_eq!(m.jobs_in_flight(), 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Bounded multi-producer multi-consumer job queue.
+//!
+//! `std::sync::mpsc` channels are unbounded and single-consumer; the
+//! service needs the opposite — a fixed-capacity queue that many workers
+//! pop from and that pushes back on producers when full. This is the
+//! classic two-condvar bounded buffer.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// What `submit` does when the job queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SubmitPolicy {
+    /// Block the submitting thread until a worker frees a slot.
+    #[default]
+    Block,
+    /// Fail fast with [`SubmitError::QueueFull`].
+    Reject,
+}
+
+/// Why a job could not be submitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity and the policy is [`SubmitPolicy::Reject`].
+    QueueFull,
+    /// The service has been shut down.
+    ShutDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => f.write_str("lint job queue is full"),
+            SubmitError::ShutDown => f.write_str("lint service has been shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    high_water: usize,
+}
+
+/// The bounded MPMC queue. Closing it wakes everyone: pending pops drain
+/// the remaining items and then observe end-of-stream, pending and future
+/// pushes fail with [`SubmitError::ShutDown`].
+pub(crate) struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub(crate) fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+                high_water: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Push one item under `policy`. On `Reject` a full queue returns the
+    /// item back to the caller alongside the error.
+    pub(crate) fn push(&self, item: T, policy: SubmitPolicy) -> Result<(), (T, SubmitError)> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.closed {
+                return Err((item, SubmitError::ShutDown));
+            }
+            if inner.items.len() < self.capacity {
+                break;
+            }
+            match policy {
+                SubmitPolicy::Reject => return Err((item, SubmitError::QueueFull)),
+                SubmitPolicy::Block => inner = self.not_full.wait(inner).unwrap(),
+            }
+        }
+        inner.items.push_back(item);
+        inner.high_water = inner.high_water.max(inner.items.len());
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Pop one item, blocking while the queue is empty but open. Returns
+    /// `None` only once the queue is closed *and* drained, so no accepted
+    /// job is ever dropped.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Close the queue: wake all waiters, refuse further pushes.
+    pub(crate) fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    pub(crate) fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// The deepest the queue has ever been.
+    pub(crate) fn high_water(&self) -> usize {
+        self.inner.lock().unwrap().high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn reject_policy_fails_when_full() {
+        let q = BoundedQueue::new(2);
+        q.push(1, SubmitPolicy::Reject).unwrap();
+        q.push(2, SubmitPolicy::Reject).unwrap();
+        let (item, err) = q.push(3, SubmitPolicy::Reject).unwrap_err();
+        assert_eq!((item, err), (3, SubmitError::QueueFull));
+        assert_eq!(q.high_water(), 2);
+    }
+
+    #[test]
+    fn block_policy_waits_for_space() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(1, SubmitPolicy::Block).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push(2, SubmitPolicy::Block).is_ok())
+        };
+        // The producer is blocked until this pop frees the slot.
+        assert_eq!(q.pop(), Some(1));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.push(1, SubmitPolicy::Block).unwrap();
+        q.push(2, SubmitPolicy::Block).unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        let (_, err) = q.push(3, SubmitPolicy::Block).unwrap_err();
+        assert_eq!(err, SubmitError::ShutDown);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.pop())
+        };
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,525 @@
+//! The lint service: a worker pool in front of the engine.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use weblint_core::{Diagnostic, LintConfig, Weblint};
+
+use crate::cache::{config_fingerprint, CacheKey, ResultCache};
+use crate::fnv::fnv1a;
+use crate::metrics::{Counters, ServiceMetrics};
+use crate::queue::{BoundedQueue, SubmitError, SubmitPolicy};
+
+/// How a worker pool is sized and behaves.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads. Defaults to the machine's available parallelism,
+    /// capped at 8 — linting is CPU-bound, more threads just thrash.
+    pub workers: usize,
+    /// Bounded job-queue capacity; `submit` applies `policy` when full.
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+    /// What `submit` does when the queue is full.
+    pub policy: SubmitPolicy,
+    /// Base lint configuration jobs run under (unless overridden per-job).
+    pub lint: LintConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        let workers = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .min(8);
+        ServiceConfig {
+            workers,
+            queue_capacity: 256,
+            cache_capacity: 1024,
+            policy: SubmitPolicy::Block,
+            lint: LintConfig::default(),
+        }
+    }
+}
+
+/// Why a submitted job produced no diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobError {
+    /// The lint panicked (a bug in the engine) or the worker died before
+    /// replying.
+    WorkerPanicked,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::WorkerPanicked => f.write_str("lint worker panicked"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// The outcome of one lint job.
+pub type JobResult = Result<Vec<Diagnostic>, JobError>;
+
+/// A ticket for one submitted job; redeem it with [`JobHandle::wait`].
+///
+/// Handles are how callers preserve ordering under concurrency: submit a
+/// batch, keep the handles in submit order, wait on them in that order —
+/// the output sequence is then independent of which worker finished first.
+#[derive(Debug)]
+pub struct JobHandle {
+    rx: mpsc::Receiver<JobResult>,
+}
+
+impl JobHandle {
+    /// Block until the job finishes and take its result.
+    pub fn wait(self) -> JobResult {
+        self.rx.recv().unwrap_or(Err(JobError::WorkerPanicked))
+    }
+
+    fn immediate(result: JobResult) -> JobHandle {
+        let (tx, rx) = mpsc::channel();
+        let _ = tx.send(result);
+        JobHandle { rx }
+    }
+}
+
+struct Job {
+    source: String,
+    /// Per-job configuration override (pages with pragmas); `None` means
+    /// the service's base configuration.
+    config: Option<Arc<LintConfig>>,
+    /// Fingerprint of the effective configuration.
+    fingerprint: u64,
+    content_hash: u64,
+    enqueued: Instant,
+    reply: mpsc::Sender<JobResult>,
+}
+
+struct Shared {
+    queue: BoundedQueue<Job>,
+    cache: Option<ResultCache>,
+    base: Arc<LintConfig>,
+    base_fingerprint: u64,
+    counters: Counters,
+}
+
+/// A concurrent lint service: N worker threads pull jobs off a bounded
+/// queue, lint them, and reply through per-job channels; results are
+/// memoized in a sharded LRU cache keyed by content hash and configuration
+/// fingerprint.
+///
+/// Built on `std` threads and channels only — no async runtime.
+///
+/// # Examples
+///
+/// ```
+/// use weblint_service::{LintService, ServiceConfig};
+///
+/// let service = LintService::new(ServiceConfig {
+///     workers: 2,
+///     ..ServiceConfig::default()
+/// });
+/// let handle = service.submit("<H1>hello</H2>").unwrap();
+/// let diags = handle.wait().unwrap();
+/// assert!(diags.iter().any(|d| d.id == "heading-mismatch"));
+/// assert_eq!(service.metrics().jobs_completed, 1);
+/// ```
+pub struct LintService {
+    shared: Arc<Shared>,
+    policy: SubmitPolicy,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl LintService {
+    /// Start the worker pool described by `config`.
+    pub fn new(config: ServiceConfig) -> LintService {
+        let ServiceConfig {
+            workers,
+            queue_capacity,
+            cache_capacity,
+            policy,
+            lint,
+        } = config;
+        let workers = workers.max(1);
+        let base = Arc::new(lint);
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(queue_capacity),
+            cache: (cache_capacity > 0).then(|| ResultCache::new(cache_capacity)),
+            base_fingerprint: config_fingerprint(&base),
+            base,
+            counters: Counters::default(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("weblint-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn lint worker")
+            })
+            .collect();
+        LintService {
+            shared,
+            policy,
+            workers: handles,
+        }
+    }
+
+    /// A service with default sizing over `config`.
+    pub fn with_config(config: LintConfig) -> LintService {
+        LintService::new(ServiceConfig {
+            lint: config,
+            ..ServiceConfig::default()
+        })
+    }
+
+    /// Submit one document under the service's base configuration.
+    pub fn submit(&self, source: impl Into<String>) -> Result<JobHandle, SubmitError> {
+        self.submit_with(source.into(), None)
+    }
+
+    /// Submit one document, optionally overriding the configuration (the
+    /// CLI and site checker use this for pages carrying pragmas).
+    pub fn submit_with(
+        &self,
+        source: String,
+        config: Option<LintConfig>,
+    ) -> Result<JobHandle, SubmitError> {
+        self.submit_inner(source, config, self.policy)
+    }
+
+    fn submit_inner(
+        &self,
+        source: String,
+        config: Option<LintConfig>,
+        policy: SubmitPolicy,
+    ) -> Result<JobHandle, SubmitError> {
+        if self.shared.queue.is_closed() {
+            self.shared
+                .counters
+                .rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::ShutDown);
+        }
+        let (config, fingerprint) = match config {
+            Some(c) => {
+                let fp = config_fingerprint(&c);
+                (Some(Arc::new(c)), fp)
+            }
+            None => (None, self.shared.base_fingerprint),
+        };
+        let content_hash = fnv1a(source.as_bytes());
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+
+        // Serve from cache without ever touching the queue.
+        if let Some(cache) = &self.shared.cache {
+            let key = CacheKey {
+                content: content_hash,
+                config: fingerprint,
+            };
+            if let Some(diags) = cache.get(&key) {
+                self.shared
+                    .counters
+                    .cache_served
+                    .fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .counters
+                    .completed
+                    .fetch_add(1, Ordering::Relaxed);
+                return Ok(JobHandle::immediate(Ok(diags.as_ref().clone())));
+            }
+        }
+
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            source,
+            config,
+            fingerprint,
+            content_hash,
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        match self.shared.queue.push(job, policy) {
+            Ok(()) => Ok(JobHandle { rx }),
+            Err((_, err)) => {
+                self.shared
+                    .counters
+                    .rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                // The submission never became a job.
+                self.shared
+                    .counters
+                    .submitted
+                    .fetch_sub(1, Ordering::Relaxed);
+                Err(err)
+            }
+        }
+    }
+
+    /// Lint a batch of documents, blocking until all are done. Results come
+    /// back in submit order regardless of which worker finished first.
+    ///
+    /// The batch always uses [`SubmitPolicy::Block`] internally so it
+    /// cannot lose members to a full queue.
+    pub fn lint_batch<I>(&self, sources: I) -> Vec<JobResult>
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        let handles: Vec<Result<JobHandle, SubmitError>> = sources
+            .into_iter()
+            .map(|s| self.submit_inner(s.into(), None, SubmitPolicy::Block))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h {
+                Ok(handle) => handle.wait(),
+                Err(_) => Err(JobError::WorkerPanicked),
+            })
+            .collect()
+    }
+
+    /// The base configuration jobs run under.
+    pub fn config(&self) -> &LintConfig {
+        &self.shared.base
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Snapshot all counters.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let c = &self.shared.counters;
+        ServiceMetrics {
+            workers: self.workers.len(),
+            jobs_submitted: c.submitted.load(Ordering::Relaxed),
+            jobs_completed: c.completed.load(Ordering::Relaxed),
+            jobs_failed: c.failed.load(Ordering::Relaxed),
+            jobs_rejected: c.rejected.load(Ordering::Relaxed),
+            cache_served: c.cache_served.load(Ordering::Relaxed),
+            queue_depth: self.shared.queue.len(),
+            queue_high_water: self.shared.queue.high_water(),
+            cache: self
+                .shared
+                .cache
+                .as_ref()
+                .map(|c| c.stats())
+                .unwrap_or_default(),
+            queue_wait: std::time::Duration::from_nanos(c.queue_wait_nanos.load(Ordering::Relaxed)),
+            lint_time: std::time::Duration::from_nanos(c.lint_nanos.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Stop accepting new jobs. Jobs already queued still run; workers
+    /// exit once the queue drains. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.queue.close();
+    }
+}
+
+impl Drop for LintService {
+    /// Closes the queue and joins every worker. Queued jobs are drained,
+    /// not dropped — any outstanding [`JobHandle`] can still be waited on.
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for LintService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LintService")
+            .field("workers", &self.workers.len())
+            .field("metrics", &self.metrics())
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // Each worker keeps one checker built from the base configuration and
+    // a tiny cache of checkers for pragma-override configurations.
+    let base_checker = Weblint::with_config(shared.base.as_ref().clone());
+    let mut override_checkers: Vec<(u64, Weblint)> = Vec::new();
+    const OVERRIDE_CHECKERS: usize = 4;
+
+    while let Some(job) = shared.queue.pop() {
+        shared.counters.add_queue_wait(job.enqueued.elapsed());
+
+        let started = Instant::now();
+        let result = if job.fingerprint == shared.base_fingerprint {
+            lint_with(&base_checker, &job.source)
+        } else {
+            let checker = match override_checkers
+                .iter()
+                .position(|(fp, _)| *fp == job.fingerprint)
+            {
+                Some(i) => &override_checkers[i].1,
+                None => {
+                    let config = job
+                        .config
+                        .as_deref()
+                        .cloned()
+                        .unwrap_or_else(|| shared.base.as_ref().clone());
+                    if override_checkers.len() >= OVERRIDE_CHECKERS {
+                        override_checkers.remove(0);
+                    }
+                    override_checkers.push((job.fingerprint, Weblint::with_config(config)));
+                    &override_checkers.last().unwrap().1
+                }
+            };
+            lint_with(checker, &job.source)
+        };
+        shared.counters.add_lint_time(started.elapsed());
+
+        match result {
+            Ok(diags) => {
+                if let Some(cache) = &shared.cache {
+                    let key = CacheKey {
+                        content: job.content_hash,
+                        config: job.fingerprint,
+                    };
+                    cache.insert(key, Arc::new(diags.clone()));
+                }
+                shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(Ok(diags));
+            }
+            Err(err) => {
+                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(Err(err));
+            }
+        }
+    }
+}
+
+fn lint_with(checker: &Weblint, source: &str) -> JobResult {
+    // The engine is a pure function of its input; a panic is an engine bug
+    // and must not take the worker (and every queued job behind it) down.
+    catch_unwind(AssertUnwindSafe(|| checker.check_string(source)))
+        .map_err(|_| JobError::WorkerPanicked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_service(workers: usize) -> LintService {
+        LintService::new(ServiceConfig {
+            workers,
+            queue_capacity: 8,
+            cache_capacity: 32,
+            policy: SubmitPolicy::Block,
+            lint: LintConfig::default(),
+        })
+    }
+
+    #[test]
+    fn single_job_round_trips() {
+        let service = small_service(2);
+        let diags = service.submit("<H1>x</H2>").unwrap().wait().unwrap();
+        assert!(diags.iter().any(|d| d.id == "heading-mismatch"));
+        let m = service.metrics();
+        assert_eq!(m.jobs_submitted, 1);
+        assert_eq!(m.jobs_completed, 1);
+        assert_eq!(m.jobs_failed, 0);
+    }
+
+    #[test]
+    fn batch_results_are_in_submit_order() {
+        let service = small_service(4);
+        let docs: Vec<String> = (0..40)
+            .map(|i| {
+                format!(
+                    "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><H{h}>x</H{h}></BODY></HTML>",
+                    h = i % 3 + 1
+                )
+            })
+            .collect();
+        let sequential: Vec<Vec<Diagnostic>> = {
+            let checker = Weblint::with_config(LintConfig::default());
+            docs.iter().map(|d| checker.check_string(d)).collect()
+        };
+        let batch = service.lint_batch(docs.iter().map(String::as_str));
+        let batch: Vec<Vec<Diagnostic>> = batch.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(batch, sequential);
+    }
+
+    #[test]
+    fn identical_documents_hit_the_cache() {
+        let service = small_service(2);
+        let doc = "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><P>hi</BODY></HTML>";
+        let first = service.submit(doc).unwrap().wait().unwrap();
+        // Let the worker finish and populate the cache before resubmitting.
+        let second = service.submit(doc).unwrap().wait().unwrap();
+        assert_eq!(first, second);
+        let m = service.metrics();
+        assert_eq!(m.cache.hits, 1, "{m:?}");
+        assert_eq!(m.cache_served, 1);
+    }
+
+    #[test]
+    fn config_override_changes_results_not_cache_collisions() {
+        let service = small_service(2);
+        let doc = "<IMG SRC=x>"; // img-alt fires under the default config
+        let with_default = service.submit(doc).unwrap().wait().unwrap();
+        assert!(with_default.iter().any(|d| d.id == "img-alt"));
+
+        let mut quiet = LintConfig::default();
+        quiet.disable("img-alt").unwrap();
+        let with_override = service
+            .submit_with(doc.to_string(), Some(quiet))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(!with_override.iter().any(|d| d.id == "img-alt"));
+    }
+
+    #[test]
+    fn submit_after_shutdown_errors() {
+        let service = small_service(1);
+        service.shutdown();
+        assert_eq!(service.submit("<P>").unwrap_err(), SubmitError::ShutDown);
+        let m = service.metrics();
+        assert_eq!(m.jobs_rejected, 1);
+        assert_eq!(m.jobs_submitted, 0);
+    }
+
+    #[test]
+    fn reject_policy_surfaces_queue_full() {
+        // One worker, tiny queue, slow drain: flood it and expect at least
+        // one rejection once capacity + in-flight are exceeded.
+        let service = LintService::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            cache_capacity: 0,
+            policy: SubmitPolicy::Reject,
+            lint: LintConfig::default(),
+        });
+        let doc = "<HTML>".repeat(200);
+        let mut handles = Vec::new();
+        let mut saw_full = false;
+        for _ in 0..64 {
+            match service.submit(doc.as_str()) {
+                Ok(h) => handles.push(h),
+                Err(SubmitError::QueueFull) => saw_full = true,
+                Err(e) => panic!("unexpected error {e:?}"),
+            }
+        }
+        assert!(saw_full, "64 instant submits never filled a 1-slot queue");
+        for h in handles {
+            h.wait().unwrap();
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Shutdown and concurrency stress tests for the lint service.
+//!
+//! The container has no loom, so these are seeded brute-force runs: many
+//! iterations of the racy interleavings we care about — drop while jobs are
+//! in flight, submit racing shutdown, many producers on a tiny queue — each
+//! asserting the invariants that must hold on every schedule: workers are
+//! joined, no accepted job is lost, and post-shutdown submits error cleanly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use weblint_core::LintConfig;
+use weblint_service::{
+    JobHandle, LintService, ServiceConfig, ServiceMetrics, SubmitError, SubmitPolicy,
+};
+
+fn service(workers: usize, queue_capacity: usize, cache_capacity: usize) -> LintService {
+    LintService::new(ServiceConfig {
+        workers,
+        queue_capacity,
+        cache_capacity,
+        policy: SubmitPolicy::Block,
+        lint: LintConfig::default(),
+    })
+}
+
+/// A tiny xorshift so each iteration sees a different (but reproducible)
+/// document mix and thread interleaving.
+struct Seeded(u64);
+
+impl Seeded {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+fn doc(n: u64) -> String {
+    match n % 4 {
+        0 => format!("<HTML><HEAD><TITLE>{n}</TITLE></HEAD><BODY><P>ok</P></BODY></HTML>"),
+        1 => format!("<H1>doc {n}</H2>"),
+        2 => format!("<IMG SRC=\"{n}.gif\">"),
+        _ => format!("<A HREF=\"#{n}\">here</A>"),
+    }
+}
+
+#[test]
+fn drop_joins_workers_and_loses_no_accepted_job() {
+    let mut rng = Seeded(0x5EED_0001);
+    for round in 0..50 {
+        let workers = 1 + (rng.next() as usize % 4);
+        let queue = 1 + (rng.next() as usize % 8);
+        let svc = service(workers, queue, 0);
+        let jobs = 1 + (rng.next() as usize % 32);
+        let handles: Vec<JobHandle> = (0..jobs)
+            .map(|i| {
+                svc.submit(doc(rng.next() + i as u64))
+                    .expect("live service accepts")
+            })
+            .collect();
+        // Drop the service with jobs still queued: Drop must close the
+        // queue, let the workers drain it, and join them all.
+        drop(svc);
+        for (i, handle) in handles.into_iter().enumerate() {
+            // A lost reply surfaces as Err(WorkerPanicked): the sender was
+            // dropped without an answer.
+            assert!(
+                handle.wait().is_ok(),
+                "round {round}: job {i} of {jobs} lost its reply"
+            );
+        }
+    }
+}
+
+#[test]
+fn submit_racing_shutdown_either_completes_or_errors() {
+    let mut rng = Seeded(0xFACE_0002);
+    for _round in 0..50 {
+        let svc = Arc::new(service(2, 2, 0));
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let refused = Arc::new(AtomicUsize::new(0));
+        let producers: Vec<_> = (0..3)
+            .map(|p| {
+                let svc = Arc::clone(&svc);
+                let accepted = Arc::clone(&accepted);
+                let refused = Arc::clone(&refused);
+                let seed = rng.next();
+                thread::spawn(move || {
+                    let mut rng = Seeded(seed | 1);
+                    let mut handles = Vec::new();
+                    for i in 0..16 {
+                        match svc.submit(doc(rng.next() + p * 1000 + i)) {
+                            Ok(h) => {
+                                accepted.fetch_add(1, Ordering::Relaxed);
+                                handles.push(h);
+                            }
+                            Err(SubmitError::ShutDown) => {
+                                refused.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => panic!("Block policy never sees {e}"),
+                        }
+                    }
+                    handles
+                })
+            })
+            .collect();
+        // Shut down somewhere in the middle of the producers' runs.
+        thread::yield_now();
+        svc.shutdown();
+        let mut all = Vec::new();
+        for producer in producers {
+            all.extend(producer.join().expect("producer thread panicked"));
+        }
+        // Every accepted job still gets an answer — shutdown drains the
+        // queue rather than discarding it.
+        assert_eq!(all.len(), accepted.load(Ordering::Relaxed));
+        for handle in all {
+            assert!(handle.wait().is_ok(), "accepted job answered");
+        }
+        assert_eq!(
+            accepted.load(Ordering::Relaxed) + refused.load(Ordering::Relaxed),
+            3 * 16
+        );
+        // And submits after the fact are refused, repeatably.
+        for _ in 0..4 {
+            assert!(matches!(svc.submit("<P>late"), Err(SubmitError::ShutDown)));
+        }
+    }
+}
+
+#[test]
+fn shutdown_is_idempotent_and_metrics_balance() {
+    let svc = service(3, 4, 64);
+    let handles: Vec<JobHandle> = (0..24).map(|i| svc.submit(doc(i)).unwrap()).collect();
+    for handle in handles {
+        assert!(handle.wait().is_ok());
+    }
+    svc.shutdown();
+    svc.shutdown(); // second call is a no-op, not a double-join panic
+    let m: ServiceMetrics = svc.metrics();
+    assert_eq!(m.jobs_submitted, 24);
+    assert_eq!(m.jobs_completed, 24);
+    assert_eq!(m.jobs_failed, 0);
+    assert_eq!(m.jobs_in_flight(), 0);
+    assert_eq!(m.queue_depth, 0);
+}
+
+#[test]
+fn many_producers_tiny_queue_under_reject_policy() {
+    // Reject policy on a single-slot queue: heavy contention, but the
+    // counters must still balance and no reply may be dropped.
+    for round in 0..20 {
+        let svc = Arc::new(LintService::new(ServiceConfig {
+            workers: 2,
+            queue_capacity: 1,
+            cache_capacity: 0,
+            policy: SubmitPolicy::Reject,
+            lint: LintConfig::default(),
+        }));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let svc = Arc::clone(&svc);
+                thread::spawn(move || {
+                    let mut ok = 0u64;
+                    let mut full = 0u64;
+                    let mut rng = Seeded((round as u64) << 8 | p as u64 | 1);
+                    for i in 0..32 {
+                        match svc.submit(doc(rng.next() + i)) {
+                            Ok(h) => {
+                                assert!(h.wait().is_ok(), "reply arrives");
+                                ok += 1;
+                            }
+                            Err(SubmitError::QueueFull) => full += 1,
+                            Err(e) => panic!("unexpected {e}"),
+                        }
+                    }
+                    (ok, full)
+                })
+            })
+            .collect();
+        let (mut ok, mut full) = (0, 0);
+        for producer in producers {
+            let (o, f) = producer.join().expect("producer thread panicked");
+            ok += o;
+            full += f;
+        }
+        assert_eq!(ok + full, 4 * 32);
+        let m = svc.metrics();
+        assert_eq!(m.jobs_submitted, ok);
+        assert_eq!(m.jobs_completed, ok);
+        assert_eq!(m.jobs_rejected, full);
+    }
+}

@@ -3,6 +3,7 @@
 use std::collections::{HashMap, HashSet};
 
 use weblint_core::{Category, Diagnostic, LintConfig, Summary, Weblint};
+use weblint_service::{JobHandle, LintService};
 
 use crate::links::{anchor_names, extract_links, fragment_of, resolve_local, LinkKind};
 use crate::store::PageStore;
@@ -53,9 +54,55 @@ impl SiteChecker {
 
     /// Check every page plus the site-level properties.
     pub fn check(&self, store: &dyn PageStore) -> SiteReport {
+        self.check_impl(store, None)
+    }
+
+    /// [`SiteChecker::check`], but with per-page linting fanned out over a
+    /// [`LintService`]. Pages are submitted up front so the workers lint
+    /// while this thread walks links, anchors, and directories; results
+    /// are collected in page order, so the report is identical to the
+    /// sequential one.
+    pub fn check_with(&self, store: &dyn PageStore, service: &LintService) -> SiteReport {
+        self.check_impl(store, Some(service))
+    }
+
+    /// The per-page configuration after applying in-page pragmas, exactly
+    /// as in single-file mode. Falls back to the checker's configuration
+    /// when a pragma fails to apply.
+    fn page_config(&self, html: &str) -> Option<LintConfig> {
+        match weblint_config::extract_pragmas(html) {
+            Ok(directives) if !directives.is_empty() => {
+                let mut page_config = self.config.clone();
+                let ok = directives
+                    .iter()
+                    .all(|d| weblint_config::apply_directive(d, &mut page_config).is_ok());
+                ok.then_some(page_config)
+            }
+            _ => None,
+        }
+    }
+
+    fn check_impl(&self, store: &dyn PageStore, service: Option<&LintService>) -> SiteReport {
         let pages = store.pages();
+        // Read every page first; with a service attached, submit each one
+        // immediately so linting overlaps the link analysis below.
+        let mut docs: Vec<(String, String)> = Vec::with_capacity(pages.len());
+        let mut handles: Vec<Option<JobHandle>> = Vec::with_capacity(pages.len());
+        for page in &pages {
+            let Some(html) = store.read(page) else {
+                continue;
+            };
+            if let Some(service) = service {
+                let config = self
+                    .page_config(&html)
+                    .unwrap_or_else(|| self.config.clone());
+                handles.push(service.submit_with(html.clone(), Some(config)).ok());
+            }
+            docs.push((page.clone(), html));
+        }
+
         let mut report = SiteReport {
-            pages: Vec::with_capacity(pages.len()),
+            pages: Vec::with_capacity(docs.len()),
             site_diagnostics: Vec::new(),
         };
         let mut inbound: HashSet<String> = HashSet::new();
@@ -76,35 +123,15 @@ impl SiteChecker {
             computed
         };
 
-        for page in &pages {
-            let Some(html) = store.read(page) else {
-                continue;
-            };
-            // In-page pragmas configure that page, exactly as in
-            // single-file mode. The shared checker serves pragma-free
-            // pages so the HTML tables are only rebuilt when needed.
-            let diags = match weblint_config::extract_pragmas(&html) {
-                Ok(directives) if !directives.is_empty() => {
-                    let mut page_config = self.config.clone();
-                    let ok = directives
-                        .iter()
-                        .all(|d| weblint_config::apply_directive(d, &mut page_config).is_ok());
-                    if ok {
-                        Weblint::with_config(page_config).check_string(&html)
-                    } else {
-                        self.weblint.check_string(&html)
-                    }
-                }
-                _ => self.weblint.check_string(&html),
-            };
+        for (page, html) in &docs {
             // Link validation: every local link must resolve to something
             // that exists in the store.
-            for link in extract_links(&html) {
+            for link in extract_links(html) {
                 // Same-page fragments must name an anchor on this page.
                 if link.kind == LinkKind::Fragment {
                     if let Some(fragment) = fragment_of(&link.href) {
                         if self.config.is_enabled("bad-link")
-                            && !anchors_of(page, Some(&html)).contains(fragment)
+                            && !anchors_of(page, Some(html)).contains(fragment)
                         {
                             report.site_diagnostics.push((
                                 page.clone(),
@@ -189,6 +216,21 @@ impl SiteChecker {
                     }
                 }
             }
+        }
+
+        // Per-page lint results, in page order: collected from the service
+        // handles when fanned out, computed inline otherwise. The shared
+        // checker serves pragma-free pages so the HTML tables are only
+        // rebuilt when needed.
+        let mut handles = handles.into_iter();
+        for (page, html) in &docs {
+            let diags = match handles.next().flatten() {
+                Some(handle) => handle.wait().unwrap_or_default(),
+                None => match self.page_config(html) {
+                    Some(config) => Weblint::with_config(config).check_string(html),
+                    None => self.weblint.check_string(html),
+                },
+            };
             report.pages.push((page.clone(), diags));
         }
 
@@ -422,6 +464,30 @@ mod tests {
         let report = checker().check(&store);
         let (_, diags) = &report.pages[0];
         assert_eq!(diags, &vec![]);
+    }
+
+    #[test]
+    fn check_with_service_matches_sequential() {
+        let mut store = MemStore::new();
+        store.insert(
+            "index.html",
+            page("<P><A HREF=\"a.html\">a</A> <A HREF=\"gone.html\">x</A></P>"),
+        );
+        store.insert(
+            "a.html",
+            format!(
+                "<!-- weblint: disable heading-mismatch -->\n{}",
+                page("<H1>x</H2>")
+            ),
+        );
+        store.insert("lonely.html", page("<H2>bad</H3>"));
+        let checker = checker();
+        let sequential = checker.check(&store);
+        let service = LintService::with_config(LintConfig::default());
+        let fanned = checker.check_with(&store, &service);
+        assert_eq!(fanned.pages, sequential.pages);
+        assert_eq!(fanned.site_diagnostics, sequential.site_diagnostics);
+        assert!(service.metrics().jobs_completed >= 3);
     }
 
     #[test]

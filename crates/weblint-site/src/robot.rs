@@ -11,6 +11,7 @@
 use std::collections::{HashSet, VecDeque};
 
 use weblint_core::{Diagnostic, LintConfig, Weblint};
+use weblint_service::{JobHandle, LintService};
 
 use crate::links::{extract_links, LinkKind};
 use crate::url::Url;
@@ -224,7 +225,31 @@ impl Robot {
 
     /// Crawl breadth-first from `start`, staying on `start`'s host.
     pub fn crawl(&self, fetcher: &dyn Fetcher, start: &Url) -> RobotReport {
+        self.crawl_impl(fetcher, start, None)
+    }
+
+    /// [`Robot::crawl`], with page linting handed to a [`LintService`] so
+    /// the crawl (fetching, link extraction, HEAD validation) overlaps
+    /// with linting. The report is identical to the sequential one: pages
+    /// stay in crawl order and each page's diagnostics are collected from
+    /// its service handle at the end.
+    pub fn crawl_with(
+        &self,
+        fetcher: &dyn Fetcher,
+        start: &Url,
+        service: &LintService,
+    ) -> RobotReport {
+        self.crawl_impl(fetcher, start, Some(service))
+    }
+
+    fn crawl_impl(
+        &self,
+        fetcher: &dyn Fetcher,
+        start: &Url,
+        service: Option<&LintService>,
+    ) -> RobotReport {
         let mut report = RobotReport::default();
+        let mut pending: Vec<(usize, JobHandle)> = Vec::new();
         let mut queue: VecDeque<(Url, usize)> = VecDeque::new();
         let mut enqueued: HashSet<String> = HashSet::new();
         let mut head_checked: HashSet<String> = HashSet::new();
@@ -241,7 +266,20 @@ impl Robot {
             else {
                 continue;
             };
-            let diagnostics = self.weblint.check_string(&body);
+            // With a service attached, hand the body to a worker and keep
+            // crawling; the diagnostics slot is filled in afterwards.
+            let diagnostics = match service {
+                Some(service) => {
+                    match service.submit_with(body.clone(), Some(self.options.lint.clone())) {
+                        Ok(handle) => {
+                            pending.push((report.pages.len(), handle));
+                            Vec::new()
+                        }
+                        Err(_) => self.weblint.check_string(&body),
+                    }
+                }
+                None => self.weblint.check_string(&body),
+            };
             let links = extract_links(&body);
             report.pages.push(CrawledPage {
                 url: final_url.clone(),
@@ -293,6 +331,9 @@ impl Robot {
                     }
                 }
             }
+        }
+        for (index, handle) in pending {
+            report.pages[index].diagnostics = handle.wait().unwrap_or_default();
         }
         report
     }
@@ -567,6 +608,28 @@ mod tests {
             .find(|p| p.url.path == "/bad.html")
             .unwrap();
         assert_eq!(bad.diagnostics[0].id, "heading-mismatch");
+    }
+
+    #[test]
+    fn crawl_with_service_matches_sequential() {
+        let mut web = SimulatedWeb::new();
+        web.add_page(
+            "http://site/index.html",
+            page("<P><A HREF=\"a.html\">a</A> <A HREF=\"gone.html\">x</A></P>"),
+        );
+        web.add_page("http://site/a.html", page("<H1>oops</H2>"));
+        let robot = Robot::default();
+        let sequential = robot.crawl(&WebFetcher::new(&web), &start());
+        let service = LintService::with_config(LintConfig::default());
+        let fanned = robot.crawl_with(&WebFetcher::new(&web), &start(), &service);
+        assert_eq!(fanned.pages.len(), sequential.pages.len());
+        for (a, b) in fanned.pages.iter().zip(&sequential.pages) {
+            assert_eq!(a.url, b.url);
+            assert_eq!(a.diagnostics, b.diagnostics);
+            assert_eq!((a.link_count, a.depth), (b.link_count, b.depth));
+        }
+        assert_eq!(fanned.dead_links.len(), sequential.dead_links.len());
+        assert_eq!(service.metrics().jobs_completed, 2);
     }
 
     #[test]

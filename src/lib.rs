@@ -12,6 +12,7 @@
 //! * [`html`] — table-driven HTML version modules (3.2, 4.0, extensions)
 //! * [`config`] — `.weblintrc` files, layering, page pragmas
 //! * [`site`] — `-R` site mode, simulated web, the poacher robot
+//! * [`service`] — concurrent lint service: worker pool + result cache
 //! * [`gateway`] — CGI-gateway-style HTML report rendering
 //! * [`validator`] — the strict-validator and htmlchek-style baselines
 //! * [`corpus`] — deterministic document/site/defect generation
@@ -34,6 +35,7 @@ pub use weblint_core as core;
 pub use weblint_corpus as corpus;
 pub use weblint_gateway as gateway;
 pub use weblint_html as html;
+pub use weblint_service as service;
 pub use weblint_site as site;
 pub use weblint_tokenizer as tokenizer;
 pub use weblint_validator as validator;
@@ -42,3 +44,4 @@ pub use weblint_validator as validator;
 pub use weblint_core::{
     format_report, Category, Diagnostic, LintConfig, OutputFormat, Summary, Weblint,
 };
+pub use weblint_service::{LintService, ServiceConfig, ServiceMetrics};

@@ -154,4 +154,31 @@ proptest! {
             prop_assert!(resolved.split('/').all(|seg| seg != ".."));
         }
     }
+
+    #[test]
+    fn service_cache_is_transparent(src in htmlish(), dup in 1usize..4) {
+        // Linting through the service — cold, and again once the result
+        // cache is warm — must be indistinguishable from calling the
+        // checker directly. The cache may change *when* work happens,
+        // never *what* comes back.
+        use weblint::service::{ServiceConfig, SubmitPolicy};
+        use weblint::LintService;
+
+        let expected = Weblint::new().check_string(&src);
+        let service = LintService::new(ServiceConfig {
+            workers: 2,
+            queue_capacity: 16,
+            cache_capacity: 64,
+            policy: SubmitPolicy::Block,
+            lint: LintConfig::default(),
+        });
+        // First request misses the cache; the duplicates hit it.
+        for round in 0..=dup {
+            let got = service.submit(&src).unwrap().wait().unwrap();
+            prop_assert_eq!(&got, &expected, "round {} diverged", round);
+        }
+        let m = service.metrics();
+        prop_assert_eq!(m.jobs_completed, dup as u64 + 1);
+        prop_assert!(m.cache.hits >= dup as u64, "duplicates served from cache");
+    }
 }

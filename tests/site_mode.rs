@@ -42,18 +42,22 @@ fn r_mode_finds_exactly_the_planted_dead_links() {
 fn r_mode_finds_exactly_the_planted_orphans() {
     let spec = generate_site(8, &options(40));
     let report = SiteChecker::new(LintConfig::default()).check(&store_for(&spec));
-    let reported: Vec<_> = report
+    let mut reported: Vec<_> = report
         .site_diagnostics
         .iter()
         .filter(|(_, d)| d.id == "orphan-page")
         .map(|(p, _)| p.clone())
         .collect();
-    let planted: Vec<_> = spec
+    let mut planted: Vec<_> = spec
         .pages
         .iter()
         .filter(|p| p.orphan)
         .map(|p| p.path.clone())
         .collect();
+    // The checker reports in store (path-sorted) order, the generator
+    // plants in page-index order; compare as sets.
+    reported.sort();
+    planted.sort();
     assert_eq!(reported, planted);
 }
 

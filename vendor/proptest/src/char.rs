@@ -1,0 +1,53 @@
+//! Character strategies, mirroring `proptest::char`.
+
+use crate::{Strategy, TestRng};
+
+/// Uniform characters in the inclusive range `lo..=hi`.
+pub fn range(lo: char, hi: char) -> CharRange {
+    assert!(lo <= hi, "empty char range");
+    CharRange { lo, hi }
+}
+
+/// The strategy returned by [`range`].
+#[derive(Debug, Clone, Copy)]
+pub struct CharRange {
+    lo: char,
+    hi: char,
+}
+
+impl Strategy for CharRange {
+    type Value = char;
+
+    fn generate(&self, rng: &mut TestRng) -> char {
+        let (lo, hi) = (self.lo as u32, self.hi as u32);
+        loop {
+            let pick = lo + rng.below(u64::from(hi - lo + 1)) as u32;
+            // Reject the surrogate gap, present only in ranges that span it.
+            if let Some(c) = std::char::from_u32(pick) {
+                return c;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TestRng;
+
+    #[test]
+    fn stays_in_range() {
+        let mut rng = TestRng::for_test("char-range");
+        let s = range('a', 'z');
+        for _ in 0..500 {
+            let c = s.generate(&mut rng);
+            assert!(c.is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn single_char_range() {
+        let mut rng = TestRng::for_test("char-one");
+        assert_eq!(range('x', 'x').generate(&mut rng), 'x');
+    }
+}

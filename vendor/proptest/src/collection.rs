@@ -1,0 +1,27 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+
+/// Vectors of values from `element`, with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.end.saturating_sub(self.size.start).max(1);
+        let len = self.size.start + rng.below(span as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,455 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds without network access, so the real `proptest`
+//! cannot be downloaded. This crate implements the API subset the test
+//! suite uses: the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! [`Strategy`] with `prop_map`, [`Just`], `any::<T>()`, integer-range
+//! strategies, [`collection::vec`], [`char::range`], regex-string
+//! strategies (a generative subset: literals, classes, groups,
+//! repetition), weighted [`prop_oneof!`], and the `prop_assert*` macros.
+//!
+//! No shrinking and no persistence: a failing case panics with the seed,
+//! case number and generated inputs, which is enough to reproduce — the
+//! generator is deterministic per test name.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The `proptest!` doctest necessarily shows `#[test]` items inside the
+// macro invocation — that is the macro's real grammar, not a mistake.
+#![allow(clippy::test_attr_in_doctest)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod char;
+pub mod collection;
+mod regex;
+
+/// Runtime configuration for one `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// The deterministic generator threaded through every strategy.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// A generator seeded from a test name (FNV-1a) so every test gets an
+    /// independent, reproducible stream.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(hash),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform draw from `0..bound` (`bound` > 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.inner.random_range(0..bound.max(1))
+    }
+}
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Derive a strategy applying `f` to every generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase, for use inside [`prop_oneof!`].
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.inner.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.inner.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A string strategy described by a regex-like pattern (generative subset:
+/// literals, `\x` escapes, `[a-z./]` classes, `(...)` groups, `{m,n}`,
+/// `{n}`, `?`, `*`, `+` with a bounded tail).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex::generate(self, rng)
+    }
+}
+
+/// Values of any type that knows how to generate itself, proptest's
+/// `any::<T>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types with a default "any value" generator.
+pub trait Arbitrary {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Bias toward ASCII half the time so string tests exercise the
+        // common case, with full Unicode coverage the rest of the time.
+        if rng.below(2) == 0 {
+            std::char::from_u32(rng.below(0x80) as u32).unwrap()
+        } else {
+            loop {
+                if let Some(c) = std::char::from_u32(rng.below(0x11_0000) as u32) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> String {
+        let len = rng.below(48) as usize;
+        (0..len).map(|_| char::arbitrary(rng)).collect()
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A weighted choice between type-erased strategies — what
+/// [`prop_oneof!`] builds.
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// A union of `(weight, strategy)` options.
+    pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        let total_weight = options.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+        Union {
+            options,
+            total_weight,
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, strategy) in &self.options {
+            if pick < u64::from(*weight) {
+                return strategy.generate(rng);
+            }
+            pick -= u64::from(*weight);
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+/// What the `proptest!`-generated test bodies return internally.
+pub type TestCaseResult = Result<(), String>;
+
+/// Everything a test file needs: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Build a [`Union`] from weighted (`3 => strategy`) or unweighted
+/// options.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Assert inside a proptest body (fails the case, not the process —
+/// the harness adds input context before panicking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed at {}:{}: {}",
+                file!(), line!(), stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed at {}:{}: {}",
+                file!(), line!(), format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with a diff-style message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err(format!(
+                "assertion failed at {}:{}: {:?} != {:?}",
+                file!(), line!(), left, right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err(format!(
+                "assertion failed at {}:{}: {:?} != {:?}: {}",
+                file!(), line!(), left, right, format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// `prop_assert!(a != b)`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return Err(format!(
+                "assertion failed at {}:{}: {:?} == {:?}",
+                file!(),
+                line!(),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Declare property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $config; $($rest)*);
+    };
+    (@impl $config:expr; $(
+        #[test]
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome: $crate::TestCaseResult = (|| { $body; Ok(()) })();
+                if let Err(message) = outcome {
+                    panic!(
+                        "proptest {} failed on case {case}: {message}\n inputs:{}",
+                        stringify!($name),
+                        String::new() $(+ &format!("\n  {} = {:?}", stringify!($arg), &$arg))+
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let strategy = prop_oneof![
+            9 => Just(1u8),
+            1 => Just(2u8),
+        ];
+        let mut rng = TestRng::for_test("weights");
+        let ones = (0..1000)
+            .filter(|_| strategy.generate(&mut rng) == 1)
+            .count();
+        assert!(ones > 800, "{ones}");
+    }
+
+    #[test]
+    fn ranges_and_maps() {
+        let mut rng = TestRng::for_test("ranges");
+        let s = (0u64..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v < 20 && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn collection_vec_lengths() {
+        let mut rng = TestRng::for_test("vec");
+        let s = crate::collection::vec(Just(7u8), 2..5);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x == 7));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(a in 0u32..100, s in "[a-z]{1,4}") {
+            prop_assert!(a < 100);
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Generation of strings from a regex-like pattern.
+//!
+//! Proptest treats `&str` strategies as regular expressions to generate
+//! from. This module implements the generative subset the workspace's
+//! tests use: literal characters, `\x` escapes, character classes
+//! (`[a-z./]`, with ranges and literals), groups `(...)`, and the
+//! repetition operators `{n}`, `{m,n}`, `?`, `*`, `+` (the unbounded ones
+//! capped at a small tail).
+
+use crate::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// One literal character.
+    Literal(char),
+    /// A character class: inclusive ranges (single chars are `(c, c)`).
+    Class(Vec<(char, char)>),
+    /// A parenthesized sequence.
+    Group(Vec<(Node, Repeat)>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Repeat {
+    min: u32,
+    max: u32, // inclusive
+}
+
+const ONCE: Repeat = Repeat { min: 1, max: 1 };
+
+/// Generate one string matching `pattern`.
+///
+/// Panics on syntax this subset does not support — a test-authoring
+/// error, not an input error.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let seq = parse_sequence(&mut chars, pattern);
+    assert!(
+        chars.next().is_none(),
+        "unbalanced `)` in pattern {pattern:?}"
+    );
+    let mut out = String::new();
+    emit_sequence(&seq, rng, &mut out);
+    out
+}
+
+type CharStream<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn parse_sequence(chars: &mut CharStream, pattern: &str) -> Vec<(Node, Repeat)> {
+    let mut seq = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c == ')' {
+            break;
+        }
+        chars.next();
+        let node = match c {
+            '[' => parse_class(chars, pattern),
+            '(' => {
+                let inner = parse_sequence(chars, pattern);
+                assert_eq!(chars.next(), Some(')'), "unclosed `(` in {pattern:?}");
+                Node::Group(inner)
+            }
+            '\\' => Node::Literal(chars.next().unwrap_or_else(|| {
+                panic!("dangling `\\` in {pattern:?}");
+            })),
+            '.' => Node::Class(vec![(' ', '~')]), // any printable ASCII
+            _ => Node::Literal(c),
+        };
+        let repeat = parse_repeat(chars, pattern);
+        seq.push((node, repeat));
+    }
+    seq
+}
+
+fn parse_class(chars: &mut CharStream, pattern: &str) -> Node {
+    let mut ranges = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unclosed `[` in {pattern:?}"));
+        match c {
+            ']' => break,
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling `\\` in {pattern:?}"));
+                ranges.push((escaped, escaped));
+            }
+            _ => {
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    match chars.next() {
+                        Some(']') => {
+                            // Trailing `-` is a literal.
+                            ranges.push((c, c));
+                            ranges.push(('-', '-'));
+                            break;
+                        }
+                        Some(hi) => {
+                            assert!(c <= hi, "inverted class range in {pattern:?}");
+                            ranges.push((c, hi));
+                        }
+                        None => panic!("unclosed `[` in {pattern:?}"),
+                    }
+                } else {
+                    ranges.push((c, c));
+                }
+            }
+        }
+    }
+    assert!(!ranges.is_empty(), "empty class in {pattern:?}");
+    Node::Class(ranges)
+}
+
+fn parse_repeat(chars: &mut CharStream, pattern: &str) -> Repeat {
+    match chars.peek() {
+        Some('?') => {
+            chars.next();
+            Repeat { min: 0, max: 1 }
+        }
+        Some('*') => {
+            chars.next();
+            Repeat {
+                min: 0,
+                max: UNBOUNDED_CAP,
+            }
+        }
+        Some('+') => {
+            chars.next();
+            Repeat {
+                min: 1,
+                max: UNBOUNDED_CAP,
+            }
+        }
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => panic!("unclosed `{{` in {pattern:?}"),
+                }
+            }
+            let parse = |s: &str| -> u32 {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad repetition `{{{spec}}}` in {pattern:?}"))
+            };
+            match spec.split_once(',') {
+                None => {
+                    let n = parse(&spec);
+                    Repeat { min: n, max: n }
+                }
+                Some((min, max)) => Repeat {
+                    min: parse(min),
+                    max: parse(max),
+                },
+            }
+        }
+        _ => ONCE,
+    }
+}
+
+fn emit_sequence(seq: &[(Node, Repeat)], rng: &mut TestRng, out: &mut String) {
+    for (node, repeat) in seq {
+        let count = repeat.min + rng.below(u64::from(repeat.max - repeat.min) + 1) as u32;
+        for _ in 0..count {
+            emit_node(node, rng, out);
+        }
+    }
+}
+
+fn emit_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+            let pick = lo as u32 + rng.below(u64::from(hi as u32 - lo as u32 + 1)) as u32;
+            out.push(std::char::from_u32(pick).unwrap_or(lo));
+        }
+        Node::Group(inner) => emit_sequence(inner, rng, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::TestRng;
+
+    #[test]
+    fn page_pattern_from_the_test_suite() {
+        let mut rng = TestRng::for_test("regex-page");
+        for _ in 0..200 {
+            let s = generate("[a-z]{1,8}(/[a-z]{1,8}){0,2}\\.html", &mut rng);
+            assert!(s.ends_with(".html"), "{s}");
+            let stem = &s[..s.len() - 5];
+            assert!(stem.split('/').count() <= 3, "{s}");
+            for seg in stem.split('/') {
+                assert!(
+                    (1..=8).contains(&seg.len()) && seg.chars().all(|c| c.is_ascii_lowercase()),
+                    "{s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn class_with_punctuation() {
+        let mut rng = TestRng::for_test("regex-class");
+        for _ in 0..200 {
+            let s = generate("[a-z./]{0,24}", &mut rng);
+            assert!(s.len() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '.' || c == '/'));
+        }
+    }
+
+    #[test]
+    fn repeats_and_optionals() {
+        let mut rng = TestRng::for_test("regex-rep");
+        for _ in 0..100 {
+            let s = generate("a{3}b?c*", &mut rng);
+            assert!(s.starts_with("aaa"), "{s}");
+        }
+    }
+}
