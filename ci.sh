@@ -7,3 +7,9 @@ cargo build --workspace --release
 cargo test -q --workspace
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
+
+# HTTP front-end smoke: bind an ephemeral port, drive every route over a
+# real socket (POST fixture, duplicate for a cache hit, url= flow,
+# /metrics), and require a clean graceful shutdown. Exits non-zero on any
+# wrong answer.
+cargo run --release -p weblint-cli --bin weblint-serve -- -smoke -jobs 2

@@ -1,0 +1,144 @@
+//! E12: the HTTP front end over real sockets.
+//!
+//! Two questions: (1) what does connection-per-request cost against
+//! keep-alive — the CGI-era tax this server exists to remove; (2) does
+//! HTTP throughput still scale with lint workers, i.e. is the socket
+//! layer thin enough not to become the bottleneck.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Instant;
+use weblint_bench::{dirty_document, experiment_header};
+use weblint_core::LintConfig;
+use weblint_httpd::{client, HttpServer, ServerConfig, ServerHandle};
+use weblint_service::{ServiceConfig, SubmitPolicy};
+
+const WORKER_COUNTS: &[usize] = &[1, 2, 4, 8];
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 8;
+
+/// Cache off so every request pays for a real lint — the comparison is
+/// about transport and scheduling, not memoization.
+fn start_server(workers: usize) -> ServerHandle {
+    HttpServer::bind(ServerConfig {
+        service: ServiceConfig {
+            workers,
+            queue_capacity: 256,
+            cache_capacity: 0,
+            policy: SubmitPolicy::Block,
+            lint: LintConfig::default(),
+        },
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port")
+    .start()
+}
+
+/// One distinct mid-size document per request.
+fn request_docs() -> Vec<String> {
+    (0..CLIENTS * REQUESTS_PER_CLIENT)
+        .map(|i| dirty_document(4000 + i as u64, 4 << 10, 3))
+        .collect()
+}
+
+/// Fan the batch out over [`CLIENTS`] concurrent client threads, each
+/// posting its share either down one persistent connection or over a
+/// fresh connection per request.
+fn run_clients(addr: SocketAddr, docs: &[String], keep_alive: bool) {
+    thread::scope(|scope| {
+        for chunk in docs.chunks(REQUESTS_PER_CLIENT) {
+            scope.spawn(move || {
+                if keep_alive {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    stream.set_nodelay(true).expect("nodelay");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    for doc in chunk {
+                        client::write_request(&mut stream, "POST", "/lint", &[], doc.as_bytes())
+                            .expect("send");
+                        let response = client::read_response(&mut reader).expect("response");
+                        assert_eq!(response.status, 200);
+                    }
+                } else {
+                    for doc in chunk {
+                        let mut stream = TcpStream::connect(addr).expect("connect");
+                        stream.set_nodelay(true).expect("nodelay");
+                        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                        client::write_request(
+                            &mut stream,
+                            "POST",
+                            "/lint",
+                            &[("Connection", "close")],
+                            doc.as_bytes(),
+                        )
+                        .expect("send");
+                        let response = client::read_response(&mut reader).expect("response");
+                        assert_eq!(response.status, 200);
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn bench_httpd(c: &mut Criterion) {
+    experiment_header(
+        "E12",
+        "HTTP front end: keep-alive vs connection-per-request, 1..8 workers",
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("  available parallelism: {cores} core(s)");
+    if cores == 1 {
+        println!("  (single-core host: expect flat worker scaling)");
+    }
+    let docs = request_docs();
+    let total_bytes: u64 = docs.iter().map(|d| d.len() as u64).sum();
+    println!(
+        "  batch: {} requests x {} clients, {} KiB total",
+        docs.len(),
+        CLIENTS,
+        total_bytes >> 10
+    );
+
+    // Shape table: one timed pass per (workers, transport) cell.
+    for &workers in WORKER_COUNTS {
+        let handle = start_server(workers);
+        let addr = handle.addr();
+        let mut cells = Vec::new();
+        for (label, keep_alive) in [("keep-alive", true), ("reconnect", false)] {
+            let start = Instant::now();
+            run_clients(addr, &docs, keep_alive);
+            let elapsed = start.elapsed();
+            let rps = docs.len() as f64 / elapsed.as_secs_f64();
+            cells.push(format!("{label} {elapsed:>7.1?} ({rps:>6.0} req/s)"));
+        }
+        let (http, _) = handle.shutdown();
+        println!(
+            "  {workers} worker(s): {}  [{} conn(s) accepted]",
+            cells.join("  "),
+            http.connections_accepted
+        );
+    }
+
+    for (mode, keep_alive) in [("keep_alive", true), ("reconnect", false)] {
+        let mut group = c.benchmark_group(format!("httpd_{mode}"));
+        group.throughput(Throughput::Bytes(total_bytes));
+        for &workers in WORKER_COUNTS {
+            let handle = start_server(workers);
+            let addr = handle.addr();
+            group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, _| {
+                b.iter(|| run_clients(addr, &docs, keep_alive))
+            });
+            handle.shutdown();
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_httpd
+}
+criterion_main!(benches);

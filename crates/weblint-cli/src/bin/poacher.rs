@@ -34,6 +34,7 @@ options:
   -quiet     only dead links and the summary
   -help      this message";
 
+#[derive(Debug)]
 struct Options {
     dir: Option<String>,
     format: OutputFormat,
@@ -60,7 +61,11 @@ fn parse(argv: &[String]) -> Result<Options, String> {
             }
             "-jobs" => {
                 let v = it.next().ok_or("-jobs needs a number")?;
-                options.jobs = v.parse().map_err(|_| format!("bad -jobs value `{v}'"))?;
+                options.jobs = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("-jobs needs a positive number, got `{v}'"))?;
             }
             "-quiet" => options.quiet = true,
             "-help" | "--help" | "-h" => return Err(String::new()),
@@ -145,5 +150,35 @@ fn main() -> ExitCode {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn jobs_must_be_a_positive_number() {
+        assert_eq!(parse(&args(&["-jobs", "4", "site"])).unwrap().jobs, 4);
+        for bad in [&["-jobs", "0"][..], &["-jobs", "four"], &["-jobs"]] {
+            let err = parse(&args(bad)).unwrap_err();
+            assert!(err.contains("-jobs"), "{err}");
+        }
+        // No -jobs at all means the sequential crawl.
+        assert_eq!(parse(&args(&["site"])).unwrap().jobs, 0);
+    }
+
+    #[test]
+    fn options_parse() {
+        let options = parse(&args(&["-s", "-max", "7", "-quiet", "site"])).unwrap();
+        assert_eq!(options.format, OutputFormat::Short);
+        assert_eq!(options.max_pages, 7);
+        assert!(options.quiet);
+        assert_eq!(options.dir.as_deref(), Some("site"));
+        assert!(parse(&args(&["-wat"])).is_err());
     }
 }

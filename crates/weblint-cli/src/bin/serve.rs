@@ -1,0 +1,288 @@
+//! `weblint-serve` — the lint engine as a long-lived HTTP service.
+//!
+//! The paper's gateways forked a Perl interpreter per CGI submission
+//! (§4.5); this binary is the same front door as one resident process: a
+//! std-only HTTP/1.1 server over the `weblint-service` worker pool.
+//!
+//! ```text
+//! usage: weblint-serve [options]
+//!   -port N       listen port (default 8018, 0 picks an ephemeral port)
+//!   -jobs N       lint worker threads (default: one per CPU, capped at 8)
+//!   -max-body N   largest accepted POST body in bytes (default 1048576)
+//!   -keep-alive on|off   persistent connections (default on)
+//!   -smoke        bind an ephemeral port, self-check every route, exit
+//!   -help
+//! ```
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+use weblint_gateway::Gateway;
+use weblint_httpd::{client, HttpServer, ServerConfig};
+use weblint_service::ServiceConfig;
+use weblint_site::{SharedWeb, SimulatedWeb};
+
+const USAGE: &str = "\
+usage: weblint-serve [options]
+
+Serve weblint over HTTP. POST a document to /lint (pick the output with
+?format=lint|short|terse|explain|json|html or an Accept header), or GET
+/lint?url=... to lint a page of the built-in demo site. /health answers
+liveness probes and /metrics reports pool and server counters.
+
+options:
+  -port N       listen port (default 8018, 0 picks an ephemeral port)
+  -jobs N       lint worker threads (default: one per CPU, capped at 8)
+  -max-body N   largest accepted POST body in bytes (default 1048576)
+  -keep-alive on|off   persistent connections (default on)
+  -smoke        bind an ephemeral port, self-check every route, exit
+  -help         this message";
+
+struct Options {
+    port: u16,
+    jobs: usize,
+    max_body: usize,
+    keep_alive: bool,
+    smoke: bool,
+}
+
+fn parse(argv: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        port: 8018,
+        jobs: 0,
+        max_body: 1 << 20,
+        keep_alive: true,
+        smoke: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-port" => {
+                let v = it.next().ok_or("-port needs a number")?;
+                options.port = v
+                    .parse()
+                    .map_err(|_| format!("-port needs a port number, got `{v}'"))?;
+            }
+            "-jobs" => {
+                let v = it.next().ok_or("-jobs needs a number")?;
+                options.jobs = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("-jobs needs a positive number, got `{v}'"))?;
+            }
+            "-max-body" => {
+                let v = it.next().ok_or("-max-body needs a number")?;
+                options.max_body = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("-max-body needs a positive number, got `{v}'"))?;
+            }
+            "-keep-alive" => {
+                let v = it.next().ok_or("-keep-alive needs on or off")?;
+                options.keep_alive = match v.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => return Err(format!("-keep-alive needs on or off, got `{v}'")),
+                };
+            }
+            "-smoke" => options.smoke = true,
+            "-help" | "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option `{other}'")),
+        }
+    }
+    Ok(options)
+}
+
+/// The demo site behind `GET /lint?url=…` — pages with and without
+/// problems, plus a redirect, so the URL flow is explorable out of the box.
+fn demo_web() -> SharedWeb {
+    let mut web = SimulatedWeb::new();
+    web.add_page(
+        "http://demo/index.html",
+        "<HTML><HEAD><TITLE>Demo</TITLE></HEAD>\n\
+         <BODY><H1>Welcome</H2><IMG SRC=\"logo.gif\"></BODY></HTML>\n",
+    );
+    web.add_page(
+        "http://demo/clean.html",
+        "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0//EN\">\n\
+         <HTML><HEAD><TITLE>Clean</TITLE></HEAD>\n\
+         <BODY><P>Nothing to report.</P></BODY></HTML>\n",
+    );
+    web.add_redirect("http://demo/old.html", "/clean.html");
+    SharedWeb::new(web)
+}
+
+fn server_config(options: &Options) -> ServerConfig {
+    let mut service = ServiceConfig::default();
+    if options.jobs >= 1 {
+        service.workers = options.jobs;
+    }
+    ServerConfig {
+        addr: format!("127.0.0.1:{}", options.port),
+        service,
+        max_body: options.max_body,
+        keep_alive: options.keep_alive,
+        ..ServerConfig::default()
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse(&argv) {
+        Ok(o) => o,
+        Err(message) => {
+            if message.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("weblint-serve: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    if options.smoke {
+        return match smoke(&options) {
+            Ok(summary) => {
+                println!("weblint-serve: smoke ok ({summary})");
+                ExitCode::SUCCESS
+            }
+            Err(message) => {
+                eprintln!("weblint-serve: smoke FAILED: {message}");
+                ExitCode::from(1)
+            }
+        };
+    }
+    let config = server_config(&options);
+    let server = match HttpServer::bind_with(config, Gateway::default(), demo_web()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("weblint-serve: cannot bind port {}: {e}", options.port);
+            return ExitCode::from(2);
+        }
+    };
+    let addr = server.local_addr();
+    println!("weblint-serve: listening on http://{addr}/ (POST /lint, GET /lint?url=..., /health, /metrics)");
+    server.start().join();
+    ExitCode::SUCCESS
+}
+
+/// The `-smoke` self-check: bind an ephemeral port, drive every route
+/// over a real socket, verify the answers, shut down gracefully.
+fn smoke(options: &Options) -> Result<String, String> {
+    let mut config = server_config(options);
+    config.addr = "127.0.0.1:0".to_string();
+    let server = HttpServer::bind_with(config, Gateway::default(), demo_web())
+        .map_err(|e| format!("bind: {e}"))?;
+    let handle = server.start();
+    let addr = handle.addr();
+
+    let fixture = "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><H1>x</H2></BODY></HTML>";
+    let run = || -> Result<String, String> {
+        let io = |e: std::io::Error| format!("io: {e}");
+        let mut stream = TcpStream::connect(addr).map_err(io)?;
+        let mut reader = BufReader::new(stream.try_clone().map_err(io)?);
+        let mut ask = |method: &str, target: &str, body: &[u8]| {
+            client::write_request(&mut stream, method, target, &[], body).map_err(io)?;
+            client::read_response(&mut reader).map_err(io)
+        };
+
+        let health = ask("GET", "/health", b"")?;
+        if health.status != 200 || health.body_text() != "ok\n" {
+            return Err(format!("/health answered {}", health.status));
+        }
+        // Lint the fixture twice: same diagnostics, and the repeat must be
+        // answered from the service's result cache.
+        let first = ask("POST", "/lint?name=smoke.html", fixture.as_bytes())?;
+        if first.status != 200 || !first.body_text().contains("malformed heading") {
+            return Err(format!(
+                "POST /lint missed the malformed heading: {}",
+                first.body_text().trim()
+            ));
+        }
+        let second = ask("POST", "/lint?name=smoke.html", fixture.as_bytes())?;
+        if second.body != first.body {
+            return Err("repeated POST /lint was not byte-identical".to_string());
+        }
+        let demo = ask("GET", "/lint?url=http://demo/index.html", b"")?;
+        if demo.status != 200 || !demo.body_text().contains("malformed heading") {
+            return Err("GET /lint?url= missed the demo page's problems".to_string());
+        }
+        let metrics = ask("GET", "/metrics", b"")?;
+        if !metrics.body_text().contains("cache:") {
+            return Err("GET /metrics lacks cache counters".to_string());
+        }
+        Ok(format!("{} request(s) on one connection", 5))
+    };
+    let outcome = run();
+
+    let (http, service) = handle.shutdown();
+    let summary = outcome?;
+    if service.cache.hits < 1 {
+        return Err(format!(
+            "expected a cache hit from the duplicate POST, saw {}",
+            service.cache.hits
+        ));
+    }
+    if http.requests_served < 5 {
+        return Err(format!(
+            "expected 5 requests served, counted {}",
+            http.requests_served
+        ));
+    }
+    Ok(format!(
+        "{summary}, {} job(s) linted, {} cache hit(s)",
+        service.jobs_completed, service.cache.hits
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse() {
+        let options = parse(&args(&[
+            "-port",
+            "0",
+            "-jobs",
+            "2",
+            "-max-body",
+            "4096",
+            "-keep-alive",
+            "off",
+        ]))
+        .unwrap();
+        assert_eq!(options.port, 0);
+        assert_eq!(options.jobs, 2);
+        assert_eq!(options.max_body, 4096);
+        assert!(!options.keep_alive);
+        assert!(parse(&args(&["-smoke"])).unwrap().smoke);
+    }
+
+    #[test]
+    fn bad_flags_error() {
+        for bad in [
+            &["-port", "pony"][..],
+            &["-jobs", "0"],
+            &["-jobs", "four"],
+            &["-max-body", "0"],
+            &["-keep-alive", "maybe"],
+            &["-wat"],
+        ] {
+            assert!(parse(&args(bad)).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn smoke_passes_end_to_end() {
+        let options = parse(&args(&["-smoke", "-jobs", "2"])).unwrap();
+        let summary = smoke(&options).unwrap();
+        assert!(summary.contains("cache hit"), "{summary}");
+    }
+}

@@ -114,12 +114,32 @@ impl Gateway {
     /// using a dedicated retrieval program" (§4.5) — here, any
     /// [`Fetcher`], in practice the simulated web.
     pub fn check_url(&self, fetcher: &dyn Fetcher, url: &str) -> Result<String, GatewayError> {
+        let (resolved, body) = self.resolve(fetcher, url)?;
+        Ok(self.check_and_render(&resolved.to_string(), &body))
+    }
+
+    /// [`Gateway::check_url`] with the lint routed through a shared
+    /// [`LintService`], so repeated fetches of an unchanged page are
+    /// answered from the service's result cache.
+    pub fn check_url_with(
+        &self,
+        service: &LintService,
+        fetcher: &dyn Fetcher,
+        url: &str,
+    ) -> Result<String, GatewayError> {
+        let (resolved, body) = self.resolve(fetcher, url)?;
+        Ok(self.check_and_render_with(service, &resolved.to_string(), &body))
+    }
+
+    /// Fetch a URL, following up to `max_redirects` redirects, down to the
+    /// final HTML body. Shared by both URL flows.
+    pub fn resolve(&self, fetcher: &dyn Fetcher, url: &str) -> Result<(Url, String), GatewayError> {
         let parsed = Url::parse(url).ok_or_else(|| GatewayError::BadUrl(url.to_string()))?;
         let mut current = parsed;
         for _ in 0..=self.max_redirects {
             match fetcher.get(&current) {
                 (Status::Ok, ct, body) if ct.starts_with("text/html") => {
-                    return Ok(self.check_and_render(&current.to_string(), &body));
+                    return Ok((current, body));
                 }
                 (Status::Ok, _, _) => {
                     return Err(GatewayError::NotHtml(current.to_string()));

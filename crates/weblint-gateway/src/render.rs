@@ -42,9 +42,23 @@ pub fn render_report(
     diags: &[Diagnostic],
     options: &ReportOptions,
 ) -> String {
-    let summary = Summary::of(diags);
     let mut page = String::with_capacity(2048 + src.len());
-    push_header(&mut page, &options.title);
+    render_report_into(&mut page, input_name, src, diags, options);
+    page
+}
+
+/// [`render_report`], appended to a caller-owned buffer — servers building
+/// a response body render straight into it instead of copying a page-sized
+/// string. Byte-for-byte identical to [`render_report`].
+pub fn render_report_into(
+    page: &mut String,
+    input_name: &str,
+    src: &str,
+    diags: &[Diagnostic],
+    options: &ReportOptions,
+) {
+    let summary = Summary::of(diags);
+    push_header(page, &options.title);
     page.push_str(&format!(
         "<H1>{}</H1>\n<P>Checked: <STRONG>{}</STRONG></P>\n",
         escape_html(&options.title),
@@ -74,13 +88,12 @@ pub fn render_report(
         page.push_str("</TABLE>\n");
     }
     if options.show_weight {
-        push_weight_table(&mut page, src);
+        push_weight_table(page, src);
     }
     if options.show_source {
-        push_source_listing(&mut page, src, diags, options.max_source_lines);
+        push_source_listing(page, src, diags, options.max_source_lines);
     }
-    push_footer(&mut page);
-    page
+    push_footer(page);
 }
 
 fn push_weight_table(page: &mut String, src: &str) {

@@ -1,0 +1,144 @@
+//! A minimal blocking HTTP/1.1 client — just enough to talk to this
+//! server from tests, benches, and the `weblint-serve -smoke` self-check.
+
+use std::io::{self, BufRead, Write};
+
+/// One response as read off the wire.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == &name.to_ascii_lowercase())
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (panics on non-UTF-8 — fine for a test client
+    /// talking to a server that only emits UTF-8).
+    pub fn body_text(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("response body is UTF-8")
+    }
+}
+
+/// Write one HTTP/1.1 request. A `Content-Length` header is always sent
+/// so empty-bodied POSTs stay unambiguous. Head and body go out in one
+/// `write` — two small writes on a keep-alive connection trip the
+/// Nagle/delayed-ACK interaction and cost ~40ms per request.
+pub fn write_request(
+    out: &mut impl Write,
+    method: &str,
+    target: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: weblint\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let mut wire = head.into_bytes();
+    wire.extend_from_slice(body);
+    out.write_all(&wire)?;
+    out.flush()
+}
+
+/// Read one response: status line, headers, `Content-Length` body.
+pub fn read_response(reader: &mut impl BufRead) -> io::Result<ClientResponse> {
+    let status_line = read_crlf_line(reader)?;
+    let status = status_line
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.split(' ').next())
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| bad_data("malformed status line"))?;
+    let mut headers = Vec::new();
+    loop {
+        let line = read_crlf_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad_data("malformed response header"))?;
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .ok_or_else(|| bad_data("response without content-length"))?;
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn read_crlf_line(reader: &mut impl BufRead) -> io::Result<String> {
+    let mut line = Vec::new();
+    let n = reader.read_until(b'\n', &mut line)?;
+    if n == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response",
+        ));
+    }
+    while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| bad_data("non-UTF-8 response line"))
+}
+
+fn bad_data(reason: &'static str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, reason)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trips_a_response() {
+        let mut wire = Vec::new();
+        crate::http::write_response(
+            &mut wire,
+            &crate::http::Response::text(200, "hello"),
+            true,
+            false,
+        )
+        .unwrap();
+        let response = read_response(&mut Cursor::new(wire)).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.header("connection"), Some("keep-alive"));
+        assert_eq!(response.body_text(), "hello");
+    }
+
+    #[test]
+    fn request_always_has_content_length() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "GET", "/health", &[("Accept", "text/html")], b"").unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("GET /health HTTP/1.1\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 0\r\n"), "{text}");
+        assert!(text.contains("Accept: text/html\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n"), "{text}");
+    }
+}

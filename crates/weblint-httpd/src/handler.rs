@@ -1,0 +1,332 @@
+//! Route dispatch: requests in, responses out.
+//!
+//! The handler is deliberately transport-free — it maps a parsed
+//! [`Request`] to a [`Response`] given the shared application state, so
+//! tests can drive every route without a socket.
+
+use std::sync::Arc;
+
+use weblint_core::{format_report, OutputFormat, Weblint};
+use weblint_gateway::{render_form, Gateway, GatewayError};
+use weblint_service::LintService;
+use weblint_site::SharedWeb;
+
+use crate::http::{Request, Response};
+use crate::metrics::HttpCounters;
+
+/// Shared state behind every connection thread.
+pub(crate) struct App {
+    pub(crate) service: LintService,
+    pub(crate) gateway: Gateway,
+    pub(crate) web: SharedWeb,
+    pub(crate) counters: Arc<HttpCounters>,
+    /// Inline fallback when the service refuses a job.
+    fallback: Weblint,
+}
+
+impl App {
+    pub(crate) fn new(
+        service: LintService,
+        gateway: Gateway,
+        web: SharedWeb,
+        counters: Arc<HttpCounters>,
+    ) -> App {
+        let fallback = Weblint::with_config(service.config().clone());
+        App {
+            service,
+            gateway,
+            web,
+            counters,
+            fallback,
+        }
+    }
+
+    fn lint(&self, src: &str) -> Vec<weblint_core::Diagnostic> {
+        self.service
+            .submit(src.to_string())
+            .ok()
+            .and_then(|handle| handle.wait().ok())
+            .unwrap_or_else(|| self.fallback.check_string(src))
+    }
+}
+
+/// How the client wants the report rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReportStyle {
+    /// One of the CLI text formats.
+    Text(OutputFormat),
+    /// The full gateway HTML report page.
+    Html,
+}
+
+/// Resolve the response style: an explicit `format` query parameter wins,
+/// then the `Accept` header, then the route's default.
+fn negotiate(req: &Request, default: ReportStyle) -> Result<ReportStyle, Response> {
+    if let Some(name) = req.query_param("format") {
+        return match name {
+            "lint" => Ok(ReportStyle::Text(OutputFormat::Lint)),
+            "short" => Ok(ReportStyle::Text(OutputFormat::Short)),
+            "terse" => Ok(ReportStyle::Text(OutputFormat::Terse)),
+            "explain" => Ok(ReportStyle::Text(OutputFormat::Explain)),
+            "json" => Ok(ReportStyle::Text(OutputFormat::Json)),
+            "html" => Ok(ReportStyle::Html),
+            _ => Err(Response::text(
+                400,
+                format!("unknown format {name:?}: expected lint, short, terse, explain, json, or html\n"),
+            )),
+        };
+    }
+    if let Some(accept) = req.header("accept") {
+        if accept.contains("application/json") {
+            return Ok(ReportStyle::Text(OutputFormat::Json));
+        }
+        if accept.contains("text/html") {
+            return Ok(ReportStyle::Html);
+        }
+    }
+    Ok(default)
+}
+
+/// Dispatch one request. HEAD routes like GET; the server omits the body
+/// when writing the response.
+pub(crate) fn handle(app: &App, req: &Request) -> Response {
+    let method = if req.method == "HEAD" {
+        "GET"
+    } else {
+        req.method.as_str()
+    };
+    match (method, req.path.as_str()) {
+        ("GET", "/") => Response::html(200, render_form("/lint")),
+        ("GET", "/health") => Response::text(200, "ok\n"),
+        ("GET", "/metrics") => {
+            let service = app.service.metrics();
+            let http = app.counters.snapshot();
+            Response::text(200, format!("{service}\n\n{http}\n"))
+        }
+        ("POST", "/lint") => handle_post_lint(app, req),
+        ("GET", "/lint") => handle_get_lint(app, req),
+        (_, "/" | "/health" | "/metrics") => method_not_allowed("GET, HEAD"),
+        (_, "/lint") => method_not_allowed("GET, HEAD, POST"),
+        _ => Response::text(404, format!("no such route: {}\n", req.path)),
+    }
+}
+
+fn method_not_allowed(allow: &'static str) -> Response {
+    let mut response = Response::text(405, format!("method not allowed; try {allow}\n"));
+    response.extra_headers.push(("Allow", allow.to_string()));
+    response
+}
+
+/// `POST /lint`: the body is the document. Defaults to traditional lint
+/// output, like the command line.
+fn handle_post_lint(app: &App, req: &Request) -> Response {
+    let src = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return Response::text(400, "document body must be UTF-8\n"),
+    };
+    let name = req.query_param("name").unwrap_or("posted");
+    let style = match negotiate(req, ReportStyle::Text(OutputFormat::Lint)) {
+        Ok(style) => style,
+        Err(response) => return response,
+    };
+    render_lint(app, name, src, style)
+}
+
+/// `GET /lint?url=…`: fetch through the simulated web, then lint.
+/// Defaults to the gateway's HTML report, like the CGI flow.
+fn handle_get_lint(app: &App, req: &Request) -> Response {
+    let Some(url) = req.query_param("url") else {
+        return Response::text(
+            400,
+            "missing url parameter: POST a document body, or GET /lint?url=...\n",
+        );
+    };
+    let style = match negotiate(req, ReportStyle::Html) {
+        Ok(style) => style,
+        Err(response) => return response,
+    };
+    let (resolved, body) = match app.gateway.resolve(&app.web, url) {
+        Ok(hit) => hit,
+        Err(err) => {
+            let status = match err {
+                GatewayError::BadUrl(_) => 400,
+                GatewayError::NotFound(_) => 404,
+                GatewayError::NotHtml(_) => 415,
+                GatewayError::ServerError(_) | GatewayError::TooManyRedirects(_) => 502,
+            };
+            return Response::text(status, format!("{err}\n"));
+        }
+    };
+    render_lint(app, &resolved.to_string(), &body, style)
+}
+
+/// Lint through the service pool and render in the requested style.
+fn render_lint(app: &App, name: &str, src: &str, style: ReportStyle) -> Response {
+    match style {
+        ReportStyle::Html => Response::html(
+            200,
+            app.gateway.check_and_render_with(&app.service, name, src),
+        ),
+        ReportStyle::Text(format) => {
+            let report = format_report(&app.lint(src), name, format);
+            let mut response = Response::text(200, report);
+            if format == OutputFormat::Json {
+                response.content_type = "application/json";
+            }
+            response
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weblint_core::LintConfig;
+    use weblint_gateway::ReportOptions;
+    use weblint_service::ServiceConfig;
+    use weblint_site::SimulatedWeb;
+
+    fn app() -> App {
+        let mut web = SimulatedWeb::new();
+        web.add_page("http://h/p.html", "<H1>x</H2>");
+        App::new(
+            LintService::new(ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            }),
+            Gateway::new(LintConfig::default(), ReportOptions::default()),
+            SharedWeb::new(web),
+            Arc::new(HttpCounters::default()),
+        )
+    }
+
+    fn request(method: &str, path: &str, query: &[(&str, &str)], body: &[u8]) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            query: query
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            http10: false,
+            headers: Vec::new(),
+            body: body.to_vec(),
+        }
+    }
+
+    #[test]
+    fn health_and_form_and_metrics() {
+        let app = app();
+        assert_eq!(
+            handle(&app, &request("GET", "/health", &[], b"")).body,
+            b"ok\n"
+        );
+        let form = handle(&app, &request("GET", "/", &[], b""));
+        assert!(String::from_utf8(form.body).unwrap().contains("/lint"));
+        let metrics = handle(&app, &request("GET", "/metrics", &[], b""));
+        let text = String::from_utf8(metrics.body).unwrap();
+        assert!(text.contains("service statistics:"), "{text}");
+        assert!(text.contains("httpd statistics:"), "{text}");
+    }
+
+    #[test]
+    fn post_lint_default_is_lint_style() {
+        let app = app();
+        let response = handle(&app, &request("POST", "/lint", &[], b"<H1>x</H2>"));
+        assert_eq!(response.status, 200);
+        let text = String::from_utf8(response.body).unwrap();
+        assert!(text.starts_with("posted("), "{text}");
+        assert!(text.contains("malformed heading"), "{text}");
+    }
+
+    #[test]
+    fn post_lint_formats() {
+        let app = app();
+        let json = handle(
+            &app,
+            &request("POST", "/lint", &[("format", "json")], b"<H1>x</H2>"),
+        );
+        assert_eq!(json.content_type, "application/json");
+        serde_json::from_str::<serde_json::Value>(std::str::from_utf8(&json.body).unwrap())
+            .unwrap();
+
+        let html = handle(
+            &app,
+            &request(
+                "POST",
+                "/lint",
+                &[("format", "html"), ("name", "mine")],
+                b"<H1>x</H2>",
+            ),
+        );
+        assert!(html.content_type.starts_with("text/html"));
+        let page = String::from_utf8(html.body).unwrap();
+        assert!(page.contains("mine"), "{page}");
+
+        let bad = handle(&app, &request("POST", "/lint", &[("format", "yaml")], b"x"));
+        assert_eq!(bad.status, 400);
+    }
+
+    #[test]
+    fn accept_header_negotiates() {
+        let app = app();
+        let mut req = request("POST", "/lint", &[], b"<H1>x</H2>");
+        req.headers
+            .push(("accept".to_string(), "application/json".to_string()));
+        assert_eq!(handle(&app, &req).content_type, "application/json");
+        req.headers[0].1 = "text/html".to_string();
+        assert!(handle(&app, &req).content_type.starts_with("text/html"));
+        // An explicit format parameter beats the Accept header.
+        req.query = vec![("format".to_string(), "terse".to_string())];
+        assert!(handle(&app, &req).content_type.starts_with("text/plain"));
+    }
+
+    #[test]
+    fn url_flow_and_error_mapping() {
+        let app = app();
+        let ok = handle(
+            &app,
+            &request("GET", "/lint", &[("url", "http://h/p.html")], b""),
+        );
+        assert_eq!(ok.status, 200);
+        let page = String::from_utf8(ok.body).unwrap();
+        assert!(page.contains("malformed heading"), "{page}");
+
+        for (url, status) in [("not a url", 400), ("http://h/gone.html", 404)] {
+            let response = handle(&app, &request("GET", "/lint", &[("url", url)], b""));
+            assert_eq!(response.status, status, "{url}");
+        }
+        let missing = handle(&app, &request("GET", "/lint", &[], b""));
+        assert_eq!(missing.status, 400);
+    }
+
+    #[test]
+    fn unknown_routes_and_methods() {
+        let app = app();
+        assert_eq!(handle(&app, &request("GET", "/nope", &[], b"")).status, 404);
+        let response = handle(&app, &request("DELETE", "/lint", &[], b""));
+        assert_eq!(response.status, 405);
+        assert!(response
+            .extra_headers
+            .iter()
+            .any(|(n, v)| *n == "Allow" && v.contains("POST")));
+        assert_eq!(
+            handle(&app, &request("POST", "/health", &[], b"")).status,
+            405
+        );
+    }
+
+    #[test]
+    fn head_routes_like_get() {
+        let app = app();
+        let response = handle(&app, &request("HEAD", "/health", &[], b""));
+        assert_eq!(response.status, 200);
+    }
+
+    #[test]
+    fn non_utf8_body_is_400() {
+        let app = app();
+        let response = handle(&app, &request("POST", "/lint", &[], &[0xff, 0xfe]));
+        assert_eq!(response.status, 400);
+    }
+}

@@ -1,0 +1,471 @@
+//! Hand-rolled HTTP/1.1 request parsing and response writing.
+//!
+//! The server speaks just enough HTTP/1.1 for its four routes: request
+//! line, headers, `Content-Length` bodies, persistent connections. There
+//! is no chunked transfer coding, no TLS, no multipart — a malformed or
+//! unsupported request gets a `400`, an over-limit body a `413`, exactly
+//! like the 1998 CGI stack would have refused oversized POSTs.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Longest accepted request line or single header line, in bytes.
+pub const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted on one request.
+pub const MAX_HEADERS: usize = 100;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, `HEAD`, … uppercased as received.
+    pub method: String,
+    /// Decoded path portion of the request target (`/lint`).
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// `true` for `HTTP/1.0`, which defaults to one request per connection.
+    pub http10: bool,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == &name.to_ascii_lowercase())
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter with this name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to drop the connection after this request.
+    pub fn wants_close(&self) -> bool {
+        match self.header("connection") {
+            Some(v) => v.eq_ignore_ascii_case("close"),
+            // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
+            None => self.http10,
+        }
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Malformed input; the reason lands in the 400 body.
+    BadRequest(&'static str),
+    /// `Content-Length` exceeded the server's body limit → 413.
+    BodyTooLarge {
+        /// What the client declared.
+        declared: usize,
+        /// What the server accepts.
+        limit: usize,
+    },
+    /// Clean end of stream before the first byte of a request — the
+    /// client closed an idle keep-alive connection. Not an error.
+    Eof,
+    /// The socket timed out mid-read (idle keep-alive or stalled client).
+    TimedOut,
+    /// Any other transport failure.
+    Io(io::ErrorKind),
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> ParseError {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ParseError::TimedOut,
+            kind => ParseError::Io(kind),
+        }
+    }
+}
+
+/// Read one line up to CRLF (or bare LF), without the terminator.
+/// Enforces [`MAX_LINE`]; returns the number of raw bytes consumed.
+fn read_line(reader: &mut impl BufRead, line: &mut Vec<u8>) -> Result<usize, ParseError> {
+    line.clear();
+    let mut taken = reader.by_ref().take(MAX_LINE as u64 + 1);
+    let n = taken.read_until(b'\n', line)?;
+    if n == 0 {
+        return Err(ParseError::Eof);
+    }
+    if n > MAX_LINE {
+        return Err(ParseError::BadRequest("header line too long"));
+    }
+    if line.last() == Some(&b'\n') {
+        line.pop();
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+    } else {
+        // EOF mid-line: the request was cut off.
+        return Err(ParseError::BadRequest("truncated request"));
+    }
+    Ok(n)
+}
+
+/// Parse one request off the wire. `max_body` bounds `Content-Length`.
+/// On success also returns the total bytes consumed (the `bytes in`
+/// counter's contribution).
+pub fn parse_request(
+    reader: &mut impl BufRead,
+    max_body: usize,
+) -> Result<(Request, u64), ParseError> {
+    let mut line = Vec::with_capacity(256);
+    let mut consumed = read_line(reader, &mut line)? as u64;
+    let request_line = String::from_utf8(line.clone())
+        .map_err(|_| ParseError::BadRequest("non-UTF-8 request line"))?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(ParseError::BadRequest("malformed request line")),
+    };
+    let http10 = match version {
+        "HTTP/1.1" => false,
+        "HTTP/1.0" => true,
+        _ => return Err(ParseError::BadRequest("unsupported HTTP version")),
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(ParseError::BadRequest("malformed method"));
+    }
+
+    let (path, query) = parse_target(target)?;
+
+    let mut headers = Vec::new();
+    loop {
+        consumed += read_line(reader, &mut line).map_err(|e| match e {
+            // EOF inside the header block is malformed, not a clean close.
+            ParseError::Eof => ParseError::BadRequest("truncated request"),
+            other => other,
+        })? as u64;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseError::BadRequest("too many headers"));
+        }
+        let text =
+            std::str::from_utf8(&line).map_err(|_| ParseError::BadRequest("non-UTF-8 header"))?;
+        let (name, value) = text
+            .split_once(':')
+            .ok_or(ParseError::BadRequest("header without colon"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::BadRequest("malformed header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(ParseError::BadRequest("transfer-encoding not supported"));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| ParseError::BadRequest("malformed content-length"))?,
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(ParseError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ParseError::BadRequest("body shorter than content-length")
+        } else {
+            ParseError::from(e)
+        }
+    })?;
+    consumed += content_length as u64;
+
+    Ok((
+        Request {
+            method: method.to_string(),
+            path,
+            query,
+            http10,
+            headers,
+            body,
+        },
+        consumed,
+    ))
+}
+
+/// Split a request target into decoded path and query pairs.
+fn parse_target(target: &str) -> Result<(String, Vec<(String, String)>), ParseError> {
+    if !target.starts_with('/') {
+        return Err(ParseError::BadRequest("request target must be absolute"));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path).ok_or(ParseError::BadRequest("malformed path escape"))?;
+    let mut query = Vec::new();
+    if let Some(raw_query) = raw_query {
+        for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            let k = percent_decode(k).ok_or(ParseError::BadRequest("malformed query escape"))?;
+            let v = percent_decode(v).ok_or(ParseError::BadRequest("malformed query escape"))?;
+            query.push((k, v));
+        }
+    }
+    Ok((path, query))
+}
+
+/// `%XX` and `+` decoding. Returns `None` on a truncated or non-hex escape
+/// or non-UTF-8 result.
+pub fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = hex_val(*bytes.get(i + 1)?)?;
+                let lo = hex_val(*bytes.get(i + 2)?)?;
+                out.push(hi * 16 + lo);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// One response to write back.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// MIME type of the body.
+    pub content_type: &'static str,
+    /// Extra `(name, value)` headers.
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with a plain-text body.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A response with an HTML body.
+    pub fn html(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/html; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+}
+
+/// The standard reason phrase for the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        415 => "Unsupported Media Type",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialize `response` to `out`. `head_only` omits the body (HEAD);
+/// `keep_alive` selects the `Connection` header. Returns bytes written.
+pub fn write_response(
+    out: &mut impl Write,
+    response: &Response,
+    keep_alive: bool,
+    head_only: bool,
+) -> io::Result<u64> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nServer: weblint-httpd/{}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        response.status,
+        reason(response.status),
+        env!("CARGO_PKG_VERSION"),
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in &response.extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    out.write_all(head.as_bytes())?;
+    let mut written = head.len() as u64;
+    if !head_only {
+        out.write_all(&response.body)?;
+        written += response.body.len() as u64;
+    }
+    out.flush()?;
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<(Request, u64), ParseError> {
+        parse_request(&mut Cursor::new(raw.as_bytes().to_vec()), 1 << 20)
+    }
+
+    #[test]
+    fn minimal_get() {
+        let (req, consumed) = parse("GET /health HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/health");
+        assert!(req.query.is_empty());
+        assert!(!req.http10);
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(!req.wants_close());
+        assert_eq!(consumed, 33);
+    }
+
+    #[test]
+    fn post_with_body_and_query() {
+        let (req, _) = parse(
+            "POST /lint?format=json&name=my+page%2ehtml HTTP/1.1\r\nContent-Length: 9\r\n\r\n<H1>x</H2",
+        )
+        .unwrap();
+        assert_eq!(req.query_param("format"), Some("json"));
+        assert_eq!(req.query_param("name"), Some("my page.html"));
+        assert_eq!(req.body, b"<H1>x</H2");
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let (req, _) = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(req.http10);
+        assert!(req.wants_close());
+        let (req, _) = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn malformed_requests_are_400() {
+        for raw in [
+            "GET\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            "GET /x HTTP/2.0\r\n\r\n",
+            "get /x HTTP/1.1\r\n\r\n",
+            "GET x HTTP/1.1\r\n\r\n",
+            "GET /x HTTP/1.1\r\nbad header\r\n\r\n",
+            "GET /x HTTP/1.1\r\nContent-Length: pony\r\n\r\n",
+            "GET /%zz HTTP/1.1\r\n\r\n",
+            "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(ParseError::BadRequest(_))),
+                "{raw:?} should be a 400"
+            );
+        }
+    }
+
+    #[test]
+    fn over_limit_body_is_413_without_reading_it() {
+        let raw = "POST /lint HTTP/1.1\r\nContent-Length: 64\r\n\r\n";
+        let err = parse_request(&mut Cursor::new(raw.as_bytes().to_vec()), 16).unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::BodyTooLarge {
+                declared: 64,
+                limit: 16
+            }
+        );
+    }
+
+    #[test]
+    fn eof_before_request_is_clean() {
+        assert_eq!(parse("").unwrap_err(), ParseError::Eof);
+        // …but EOF mid-request is not.
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\n"),
+            Err(ParseError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn overlong_line_rejected() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE));
+        assert!(matches!(parse(&raw), Err(ParseError::BadRequest(_))));
+    }
+
+    #[test]
+    fn bare_lf_is_tolerated() {
+        let (req, _) = parse("GET /health HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(req.path, "/health");
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c").as_deref(), Some("a b c"));
+        assert_eq!(percent_decode("%48%65y").as_deref(), Some("Hey"));
+        assert_eq!(percent_decode("%4"), None);
+        assert_eq!(percent_decode("%zz"), None);
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_connection() {
+        let mut out = Vec::new();
+        let written = write_response(&mut out, &Response::text(200, "hi"), true, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi"));
+        assert_eq!(written, text.len() as u64);
+
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::text(404, "gone"), false, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Content-Length: 4\r\n"));
+        assert!(text.ends_with("\r\n\r\n"), "HEAD omits the body");
+    }
+}

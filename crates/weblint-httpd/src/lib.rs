@@ -1,0 +1,60 @@
+//! A std-only HTTP/1.1 front end serving the lint engine over real
+//! sockets.
+//!
+//! The paper's gateways were CGI scripts: a web server forked Perl per
+//! submission (§4.5). This crate is the next step the closing section
+//! gestures at — weblint as a long-lived network service. It speaks just
+//! enough HTTP/1.1 (hand-rolled parser, `Content-Length` bodies,
+//! persistent connections) to put the [`weblint_service`] worker pool and
+//! result cache behind four routes:
+//!
+//! * `POST /lint` — the body is the document; `?format=` or the `Accept`
+//!   header picks traditional lint, short, terse, explain, JSON, or the
+//!   full gateway HTML report.
+//! * `GET /lint?url=…` — resolve through the simulated web
+//!   ([`weblint_site`]) and lint the fetched page.
+//! * `GET /health` — liveness.
+//! * `GET /metrics` — the pool's [`ServiceMetrics`] plus the server's
+//!   own [`HttpMetrics`]: connections, requests, parse errors, timeouts,
+//!   bytes in/out.
+//!
+//! No TLS, no chunked encoding, no external dependencies: `TcpListener`,
+//! threads, and the existing service crate. Shutdown is graceful — the
+//! accept loop stops, every in-flight request completes and is answered,
+//! all threads are joined.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::io::BufReader;
+//! use std::net::TcpStream;
+//! use weblint_httpd::{client, HttpServer, ServerConfig};
+//!
+//! let handle = HttpServer::bind(ServerConfig::default()).unwrap().start();
+//! let mut stream = TcpStream::connect(handle.addr()).unwrap();
+//! let mut reader = BufReader::new(stream.try_clone().unwrap());
+//! client::write_request(&mut stream, "POST", "/lint", &[], b"<H1>x</H2>").unwrap();
+//! let response = client::read_response(&mut reader).unwrap();
+//! assert_eq!(response.status, 200);
+//! assert!(response.body_text().contains("malformed heading"));
+//! handle.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+mod handler;
+mod http;
+mod metrics;
+mod server;
+
+pub use http::{
+    parse_request, percent_decode, write_response, ParseError, Request, Response, MAX_HEADERS,
+    MAX_LINE,
+};
+pub use metrics::HttpMetrics;
+pub use server::{HttpServer, ServerConfig, ServerHandle};
+
+// Re-exported so callers configuring a server see one coherent surface.
+pub use weblint_service::ServiceMetrics;

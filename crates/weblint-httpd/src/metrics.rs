@@ -1,0 +1,107 @@
+//! Server-side observability, alongside the lint service's own metrics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters shared by the accept loop and every
+/// connection thread.
+#[derive(Default)]
+pub(crate) struct HttpCounters {
+    pub(crate) connections: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    pub(crate) parse_errors: AtomicU64,
+    pub(crate) body_rejections: AtomicU64,
+    pub(crate) timeouts: AtomicU64,
+    pub(crate) bytes_in: AtomicU64,
+    pub(crate) bytes_out: AtomicU64,
+}
+
+impl HttpCounters {
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        HttpCounters::add(counter, 1);
+    }
+
+    pub(crate) fn snapshot(&self) -> HttpMetrics {
+        HttpMetrics {
+            connections_accepted: self.connections.load(Ordering::Relaxed),
+            requests_served: self.requests.load(Ordering::Relaxed),
+            parse_errors: self.parse_errors.load(Ordering::Relaxed),
+            body_rejections: self.body_rejections.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the server-side counters, rendered (along
+/// with the lint service's [`ServiceMetrics`](weblint_service::ServiceMetrics))
+/// by `GET /metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HttpMetrics {
+    /// TCP connections accepted.
+    pub connections_accepted: u64,
+    /// Requests answered with a response (any status).
+    pub requests_served: u64,
+    /// Connections dropped over malformed input (400s).
+    pub parse_errors: u64,
+    /// Requests refused for an over-limit body (413s).
+    pub body_rejections: u64,
+    /// Connections closed by read timeout (idle keep-alive or stalled
+    /// client).
+    pub timeouts: u64,
+    /// Request bytes read off the wire.
+    pub bytes_in: u64,
+    /// Response bytes written to the wire.
+    pub bytes_out: u64,
+}
+
+impl std::fmt::Display for HttpMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "httpd statistics:")?;
+        writeln!(
+            f,
+            "  conns: {} accepted, {} timed out",
+            self.connections_accepted, self.timeouts
+        )?;
+        writeln!(
+            f,
+            "  reqs:  {} served, {} parse error(s), {} body rejection(s)",
+            self.requests_served, self.parse_errors, self.body_rejections
+        )?;
+        write!(
+            f,
+            "  wire:  {} byte(s) in, {} byte(s) out",
+            self.bytes_in, self.bytes_out
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_display() {
+        let counters = HttpCounters::default();
+        HttpCounters::bump(&counters.connections);
+        HttpCounters::add(&counters.requests, 3);
+        HttpCounters::add(&counters.bytes_in, 120);
+        HttpCounters::add(&counters.bytes_out, 4096);
+        let m = counters.snapshot();
+        assert_eq!(m.connections_accepted, 1);
+        assert_eq!(m.requests_served, 3);
+        let text = m.to_string();
+        for needle in [
+            "1 accepted",
+            "3 served",
+            "120 byte(s) in",
+            "4096 byte(s) out",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in {text}");
+        }
+    }
+}

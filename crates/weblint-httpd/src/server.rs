@@ -1,0 +1,396 @@
+//! The TCP front end: accept loop, connection lifecycle, graceful
+//! shutdown.
+//!
+//! One OS thread per live connection, a polling accept loop, and a stop
+//! flag checked between requests — in-flight requests always finish and
+//! get their response before the connection closes.
+
+use std::io::{self, BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use weblint_gateway::Gateway;
+use weblint_service::{LintService, ServiceConfig, ServiceMetrics};
+use weblint_site::SharedWeb;
+
+use crate::handler::{handle, App};
+use crate::http::{parse_request, write_response, ParseError, Response};
+use crate::metrics::{HttpCounters, HttpMetrics};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Lint pool configuration.
+    pub service: ServiceConfig,
+    /// Largest accepted request body, in bytes; larger POSTs get a 413.
+    pub max_body: usize,
+    /// Whether to honour persistent connections at all.
+    pub keep_alive: bool,
+    /// Most requests served over one connection before it is closed.
+    pub max_requests_per_connection: usize,
+    /// Socket read timeout: idle keep-alive and stalled clients are
+    /// dropped after this long.
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            service: ServiceConfig::default(),
+            max_body: 1 << 20,
+            keep_alive: true,
+            max_requests_per_connection: 100,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The per-connection subset of [`ServerConfig`].
+#[derive(Debug, Clone)]
+struct ConnLimits {
+    max_body: usize,
+    keep_alive: bool,
+    max_requests: usize,
+    read_timeout: Duration,
+    write_timeout: Duration,
+}
+
+/// A bound-but-not-yet-serving server. [`HttpServer::start`] begins
+/// accepting and hands back the [`ServerHandle`] that controls shutdown.
+pub struct HttpServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+    app: Arc<App>,
+    limits: ConnLimits,
+}
+
+impl HttpServer {
+    /// Bind with a default gateway and an empty simulated web.
+    pub fn bind(config: ServerConfig) -> io::Result<HttpServer> {
+        HttpServer::bind_with(config, Gateway::default(), SharedWeb::default())
+    }
+
+    /// Bind with an explicit gateway and simulated web (the `url=` flow
+    /// resolves against `web`).
+    pub fn bind_with(
+        config: ServerConfig,
+        gateway: Gateway,
+        web: SharedWeb,
+    ) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        // Nonblocking accept lets the loop poll the stop flag.
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let service = LintService::new(config.service.clone());
+        let app = Arc::new(App::new(
+            service,
+            gateway,
+            web,
+            Arc::new(HttpCounters::default()),
+        ));
+        Ok(HttpServer {
+            listener,
+            addr,
+            app,
+            limits: ConnLimits {
+                max_body: config.max_body,
+                keep_alive: config.keep_alive,
+                max_requests: config.max_requests_per_connection.max(1),
+                read_timeout: config.read_timeout,
+                write_timeout: config.write_timeout,
+            },
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Start accepting connections on a background thread.
+    pub fn start(self) -> ServerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let app = Arc::clone(&self.app);
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name("httpd-accept".to_string())
+                .spawn(move || accept_loop(self.listener, app, self.limits, stop))
+                .expect("spawn accept thread")
+        };
+        ServerHandle {
+            addr: self.addr,
+            app: self.app,
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+/// Controls a running server: address, metrics, graceful shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    app: Arc<App>,
+    stop: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the server-side counters.
+    pub fn http_metrics(&self) -> HttpMetrics {
+        self.app.counters.snapshot()
+    }
+
+    /// Snapshot of the lint pool's metrics.
+    pub fn service_metrics(&self) -> ServiceMetrics {
+        self.app.service.metrics()
+    }
+
+    /// Graceful shutdown: stop accepting, let every in-flight request
+    /// finish and its connection close, join all threads. Returns the
+    /// final metrics.
+    pub fn shutdown(mut self) -> (HttpMetrics, ServiceMetrics) {
+        self.stop_and_join();
+        (self.http_metrics(), self.service_metrics())
+    }
+
+    /// Block until the server exits (it only does on shutdown, so this
+    /// parks the caller — the `weblint-serve` binary's foreground mode).
+    pub fn join(mut self) {
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, app: Arc<App>, limits: ConnLimits, stop: Arc<AtomicBool>) {
+    let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                HttpCounters::bump(&app.counters.connections);
+                let app = Arc::clone(&app);
+                let stop = Arc::clone(&stop);
+                let limits = limits.clone();
+                let conn = thread::Builder::new()
+                    .name("httpd-conn".to_string())
+                    .spawn(move || serve_connection(&app, &limits, stream, &stop))
+                    .expect("spawn connection thread");
+                conns.push(conn);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // Finished threads need no join; drop the handles.
+                conns.retain(|conn| !conn.is_finished());
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    // Drain: every live connection finishes its current request.
+    for conn in conns {
+        let _ = conn.join();
+    }
+}
+
+/// How often an idle connection wakes to poll the stop flag.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+fn serve_connection(app: &App, limits: &ConnLimits, stream: TcpStream, stop: &AtomicBool) {
+    // Accepted sockets can inherit the listener's nonblocking flag on
+    // some platforms; insist on blocking reads with timeouts.
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_read_timeout(Some(limits.read_timeout)).is_err()
+        || stream
+            .set_write_timeout(Some(limits.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut served = 0usize;
+    loop {
+        // Between requests the connection is idle, not in-flight: wait for
+        // the first byte in short slices so shutdown need not sit out the
+        // whole read timeout, and so an idle connection notices stop at
+        // all. `writer` shares the fd, so the timeout applies to reads.
+        let _ = writer.set_read_timeout(Some(IDLE_POLL.min(limits.read_timeout)));
+        let idle_since = std::time::Instant::now();
+        loop {
+            match reader.fill_buf() {
+                // Clean EOF: the client closed between requests.
+                Ok([]) => return,
+                Ok(_) => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if idle_since.elapsed() >= limits.read_timeout {
+                        HttpCounters::bump(&app.counters.timeouts);
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+        // A request has begun; give its reads the full timeout.
+        let _ = writer.set_read_timeout(Some(limits.read_timeout));
+        let (response, head_only, mut keep) = match parse_request(&mut reader, limits.max_body) {
+            Ok((req, bytes_in)) => {
+                HttpCounters::add(&app.counters.bytes_in, bytes_in);
+                let keep = limits.keep_alive && !req.wants_close();
+                (handle(app, &req), req.method == "HEAD", keep)
+            }
+            // The client closed an idle connection — nothing to answer.
+            Err(ParseError::Eof) => return,
+            Err(ParseError::TimedOut) => {
+                HttpCounters::bump(&app.counters.timeouts);
+                return;
+            }
+            Err(ParseError::Io(_)) => return,
+            Err(ParseError::BodyTooLarge { declared, limit }) => {
+                HttpCounters::bump(&app.counters.body_rejections);
+                // The body was never read, so the connection cannot be
+                // reused for a next request.
+                let body =
+                    format!("document of {declared} byte(s) exceeds the {limit} byte limit\n");
+                (Response::text(413, body), false, false)
+            }
+            Err(ParseError::BadRequest(reason)) => {
+                HttpCounters::bump(&app.counters.parse_errors);
+                (
+                    Response::text(400, format!("bad request: {reason}\n")),
+                    false,
+                    false,
+                )
+            }
+        };
+        served += 1;
+        if served >= limits.max_requests || stop.load(Ordering::Acquire) {
+            keep = false;
+        }
+        match write_response(&mut writer, &response, keep, head_only) {
+            Ok(bytes_out) => {
+                HttpCounters::add(&app.counters.bytes_out, bytes_out);
+                HttpCounters::bump(&app.counters.requests);
+            }
+            Err(_) => return,
+        }
+        if !keep {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn serves_health_over_tcp_and_shuts_down() {
+        let server = HttpServer::bind(ServerConfig::default()).unwrap();
+        let handle = server.start();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .write_all(b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.ends_with("\r\n\r\nok\n"), "{response}");
+        let (http, _service) = handle.shutdown();
+        assert_eq!(http.connections_accepted, 1);
+        assert_eq!(http.requests_served, 1);
+        assert!(http.bytes_out > 0);
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_up_to_cap() {
+        let config = ServerConfig {
+            max_requests_per_connection: 3,
+            ..ServerConfig::default()
+        };
+        let handle = HttpServer::bind(config).unwrap().start();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        for i in 0..3 {
+            crate::client::write_request(&mut stream, "GET", "/health", &[], b"").unwrap();
+            let response = crate::client::read_response(&mut reader).unwrap();
+            assert_eq!(response.status, 200);
+            let expected = if i < 2 { "keep-alive" } else { "close" };
+            assert_eq!(response.header("connection"), Some(expected), "request {i}");
+            assert_eq!(response.body_text(), "ok\n");
+        }
+        // The cap closed the connection after the third response.
+        assert_eq!(reader.read(&mut [0u8; 1]).unwrap(), 0);
+        let (http, _) = handle.shutdown();
+        assert_eq!(http.connections_accepted, 1);
+        assert_eq!(http.requests_served, 3);
+    }
+
+    #[test]
+    fn keep_alive_disabled_closes_after_one_request() {
+        let config = ServerConfig {
+            keep_alive: false,
+            ..ServerConfig::default()
+        };
+        let handle = HttpServer::bind(config).unwrap().start();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .write_all(b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.contains("Connection: close\r\n"), "{response}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_is_answered_then_closed() {
+        let handle = HttpServer::bind(ServerConfig::default()).unwrap().start();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.write_all(b"NOT-EVEN-HTTP\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400 "), "{response}");
+        let (http, _) = handle.shutdown();
+        assert_eq!(http.parse_errors, 1);
+    }
+}

@@ -1,0 +1,203 @@
+//! End-to-end tests over real TCP sockets: concurrent clients, duplicate
+//! coalescing through the service cache, and graceful shutdown with a
+//! request in flight.
+
+use std::collections::HashMap;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+use weblint_core::{format_report, OutputFormat, Weblint};
+use weblint_httpd::{client, HttpServer, ServerConfig};
+use weblint_service::ServiceConfig;
+
+/// A document whose diagnostics depend on `i` (the blank lines shift the
+/// line numbers), so each distinct document has a distinct report.
+fn doc(i: usize) -> String {
+    format!(
+        "<HTML><HEAD><TITLE>doc {i}</TITLE></HEAD><BODY>{}<H1>x</H2><IMG SRC=\"x.gif\"></BODY></HTML>",
+        "\n".repeat(i)
+    )
+}
+
+fn server(workers: usize) -> weblint_httpd::ServerHandle {
+    let config = ServerConfig {
+        service: ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    HttpServer::bind(config)
+        .expect("bind ephemeral port")
+        .start()
+}
+
+#[test]
+fn concurrent_clients_get_deterministic_responses_and_share_the_cache() {
+    const CLIENTS: usize = 12;
+    const DOCS: usize = 4;
+    let handle = server(4);
+    let addr = handle.addr();
+
+    // 12 concurrent clients over 4 distinct documents: every document is
+    // posted by 3 different clients, and every client posts its document
+    // twice on one keep-alive connection — so the server sees both
+    // concurrent duplicates (coalesced) and repeats (cache hits).
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let barrier = Arc::clone(&barrier);
+            let body = doc(c % DOCS);
+            thread::spawn(move || -> (usize, Vec<Vec<u8>>) {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                barrier.wait();
+                let mut responses = Vec::new();
+                for _ in 0..2 {
+                    client::write_request(
+                        &mut stream,
+                        "POST",
+                        "/lint?name=doc",
+                        &[],
+                        body.as_bytes(),
+                    )
+                    .expect("send");
+                    let response = client::read_response(&mut reader).expect("response");
+                    assert_eq!(response.status, 200);
+                    responses.push(response.body);
+                }
+                (c % DOCS, responses)
+            })
+        })
+        .collect();
+
+    let mut by_doc: HashMap<usize, Vec<Vec<u8>>> = HashMap::new();
+    for client in clients {
+        let (doc_index, responses) = client.join().expect("client thread");
+        by_doc.entry(doc_index).or_default().extend(responses);
+    }
+
+    // Byte-determinism: all 6 responses for one document are identical
+    // and match what the engine says inline.
+    for (i, responses) in &by_doc {
+        let expected = format_report(
+            &Weblint::new().check_string(&doc(*i)),
+            "doc",
+            OutputFormat::Lint,
+        );
+        for response in responses {
+            assert_eq!(
+                std::str::from_utf8(response).unwrap(),
+                expected,
+                "document {i} response diverged"
+            );
+        }
+    }
+    // Distinct documents produced distinct reports (the test is not
+    // vacuously comparing one constant).
+    assert_eq!(by_doc.len(), DOCS);
+    let first = &by_doc[&0][0];
+    assert!(by_doc.iter().any(|(_, r)| &r[0] != first));
+
+    // The duplicate traffic was answered without re-linting: 24 requests,
+    // at most one lint per distinct document.
+    let service = handle.service_metrics();
+    assert_eq!(service.jobs_submitted, 2 * CLIENTS as u64);
+    let linted: u64 = service.per_worker_completed.iter().sum();
+    assert_eq!(linted, DOCS as u64, "{service:?}");
+    assert!(service.cache.hits > 0, "{service:?}");
+
+    // `/metrics` over the wire reflects those cache hits.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    client::write_request(&mut stream, "GET", "/metrics", &[], b"").unwrap();
+    let metrics = client::read_response(&mut reader).unwrap();
+    let text = metrics.body_text();
+    assert!(text.contains("cache:"), "{text}");
+    assert!(!text.contains("cache: 0 hit(s)"), "{text}");
+    assert!(text.contains("httpd statistics:"), "{text}");
+
+    let (http, _) = handle.shutdown();
+    assert_eq!(http.connections_accepted, CLIENTS as u64 + 1);
+    assert_eq!(http.requests_served, 2 * CLIENTS as u64 + 1);
+    assert_eq!(http.parse_errors, 0);
+}
+
+#[test]
+fn graceful_shutdown_answers_the_in_flight_request() {
+    let handle = server(2);
+    let addr: SocketAddr = handle.addr();
+
+    // The client sends the headers and half the body, then stalls — the
+    // request is mid-parse when shutdown begins. The server must finish
+    // reading it, lint it, and write the response before closing.
+    let body = doc(1);
+    let expected = format_report(
+        &Weblint::new().check_string(&body),
+        "doc",
+        OutputFormat::Lint,
+    );
+    let started = Arc::new(Barrier::new(2));
+    let client_thread = {
+        let started = Arc::clone(&started);
+        let body = body.clone();
+        thread::spawn(move || -> (u16, String) {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let (half, rest) = body.as_bytes().split_at(body.len() / 2);
+            let head = format!(
+                "POST /lint?name=doc HTTP/1.1\r\nHost: weblint\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            );
+            stream.write_all(head.as_bytes()).expect("head");
+            stream.write_all(half).expect("first half");
+            stream.flush().expect("flush");
+            started.wait();
+            thread::sleep(Duration::from_millis(150));
+            stream.write_all(rest).expect("second half");
+            stream.flush().expect("flush");
+            let response = client::read_response(&mut reader).expect("response");
+            (
+                response.status,
+                String::from_utf8(response.body).expect("utf-8"),
+            )
+        })
+    };
+
+    started.wait();
+    // Let the server pick the request up, then shut down while the body
+    // is still being dribbled in.
+    thread::sleep(Duration::from_millis(30));
+    let (http, service) = handle.shutdown();
+
+    let (status, text) = client_thread.join().expect("client thread");
+    assert_eq!(status, 200, "in-flight request was dropped");
+    assert_eq!(text, expected);
+    assert_eq!(http.requests_served, 1);
+    assert_eq!(service.jobs_completed, 1);
+}
+
+#[test]
+fn oversized_body_is_refused_over_the_wire() {
+    let config = ServerConfig {
+        max_body: 64,
+        ..ServerConfig::default()
+    };
+    let handle = HttpServer::bind(config).unwrap().start();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    client::write_request(&mut stream, "POST", "/lint", &[], &vec![b'x'; 1024]).unwrap();
+    let response = client::read_response(&mut reader).unwrap();
+    assert_eq!(response.status, 413);
+    assert_eq!(response.header("connection"), Some("close"));
+    assert!(
+        response.body_text().contains("64 byte limit"),
+        "{}",
+        response.body_text()
+    );
+    let (http, _) = handle.shutdown();
+    assert_eq!(http.body_rejections, 1);
+}

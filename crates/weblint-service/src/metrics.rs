@@ -6,18 +6,34 @@ use std::time::Duration;
 use crate::cache::CacheStats;
 
 /// Internal atomic counters shared by submitters and workers.
-#[derive(Default)]
 pub(crate) struct Counters {
     pub(crate) submitted: AtomicU64,
     pub(crate) completed: AtomicU64,
     pub(crate) failed: AtomicU64,
     pub(crate) rejected: AtomicU64,
     pub(crate) cache_served: AtomicU64,
+    pub(crate) coalesced: AtomicU64,
     pub(crate) queue_wait_nanos: AtomicU64,
     pub(crate) lint_nanos: AtomicU64,
+    /// One slot per worker thread: jobs that worker actually linted.
+    pub(crate) per_worker: Vec<AtomicU64>,
 }
 
 impl Counters {
+    pub(crate) fn new(workers: usize) -> Counters {
+        Counters {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            cache_served: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            queue_wait_nanos: AtomicU64::new(0),
+            lint_nanos: AtomicU64::new(0),
+            per_worker: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
     pub(crate) fn add_queue_wait(&self, d: Duration) {
         self.queue_wait_nanos
             .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
@@ -33,7 +49,7 @@ impl Counters {
 ///
 /// Obtained from [`LintService::metrics`](crate::LintService::metrics);
 /// printed by the CLI under `--stats`.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ServiceMetrics {
     /// Number of worker threads in the pool.
     pub workers: usize,
@@ -47,6 +63,12 @@ pub struct ServiceMetrics {
     pub jobs_rejected: u64,
     /// Completed jobs answered from the result cache without linting.
     pub cache_served: u64,
+    /// Submissions that attached to an identical in-flight job instead of
+    /// linting again (the body was already queued or being linted).
+    pub jobs_coalesced: u64,
+    /// Jobs each worker thread actually linted, indexed by worker.
+    /// Cache-served and coalesced submissions appear in no worker's count.
+    pub per_worker_completed: Vec<u64>,
     /// Jobs currently sitting in the queue.
     pub queue_depth: usize,
     /// Deepest the queue has ever been.
@@ -80,6 +102,17 @@ impl std::fmt::Display for ServiceMetrics {
             "  pool:  {} worker(s), queue high water {} (depth now {})",
             self.workers, self.queue_high_water, self.queue_depth
         )?;
+        let per_worker = self
+            .per_worker_completed
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        writeln!(
+            f,
+            "  load:  per-worker jobs [{}], {} coalesced duplicate(s)",
+            per_worker, self.jobs_coalesced
+        )?;
         writeln!(
             f,
             "  cache: {} hit(s), {} miss(es), {} eviction(s), {}/{} entries ({:.0}% hit rate)",
@@ -112,6 +145,8 @@ mod tests {
             jobs_failed: 0,
             jobs_rejected: 1,
             cache_served: 3,
+            jobs_coalesced: 2,
+            per_worker_completed: vec![3, 2, 1, 0],
             queue_depth: 0,
             queue_high_water: 6,
             cache: CacheStats {
@@ -125,7 +160,14 @@ mod tests {
             lint_time: Duration::from_millis(48),
         };
         let text = m.to_string();
-        for needle in ["10 submitted", "4 worker(s)", "3 hit(s)", "30% hit rate"] {
+        for needle in [
+            "10 submitted",
+            "4 worker(s)",
+            "3 hit(s)",
+            "30% hit rate",
+            "per-worker jobs [3 2 1 0]",
+            "2 coalesced",
+        ] {
             assert!(text.contains(needle), "missing {needle:?} in {text}");
         }
         assert_eq!(m.jobs_in_flight(), 0);

@@ -1,8 +1,9 @@
 //! The lint service: a worker pool in front of the engine.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
@@ -104,6 +105,12 @@ struct Job {
 struct Shared {
     queue: BoundedQueue<Job>,
     cache: Option<ResultCache>,
+    /// In-flight duplicate coalescing: while a job for a key is queued or
+    /// being linted, identical submissions attach a reply sender here
+    /// instead of linting the same bytes again (single lint, many hits).
+    /// Only maintained when the cache is enabled — it shares the cache's
+    /// notion of "identical" (content hash + config fingerprint).
+    pending: Mutex<HashMap<CacheKey, Vec<mpsc::Sender<JobResult>>>>,
     base: Arc<LintConfig>,
     base_fingerprint: u64,
     counters: Counters,
@@ -151,16 +158,17 @@ impl LintService {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(queue_capacity),
             cache: (cache_capacity > 0).then(|| ResultCache::new(cache_capacity)),
+            pending: Mutex::new(HashMap::new()),
             base_fingerprint: config_fingerprint(&base),
             base,
-            counters: Counters::default(),
+            counters: Counters::new(workers),
         });
         let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 thread::Builder::new()
                     .name(format!("weblint-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn lint worker")
             })
             .collect();
@@ -220,13 +228,17 @@ impl LintService {
             .submitted
             .fetch_add(1, Ordering::Relaxed);
 
-        // Serve from cache without ever touching the queue.
+        let key = CacheKey {
+            content: content_hash,
+            config: fingerprint,
+        };
+        // Serve from cache, or attach to an identical in-flight job. The
+        // pending lock is held across the cache probe so a worker cannot
+        // publish a result between our miss and our attach.
         if let Some(cache) = &self.shared.cache {
-            let key = CacheKey {
-                content: content_hash,
-                config: fingerprint,
-            };
+            let mut pending = self.shared.pending.lock().unwrap();
             if let Some(diags) = cache.get(&key) {
+                drop(pending);
                 self.shared
                     .counters
                     .cache_served
@@ -237,6 +249,20 @@ impl LintService {
                     .fetch_add(1, Ordering::Relaxed);
                 return Ok(JobHandle::immediate(Ok(diags.as_ref().clone())));
             }
+            if let Some(waiters) = pending.get_mut(&key) {
+                let (tx, rx) = mpsc::channel();
+                waiters.push(tx);
+                self.shared
+                    .counters
+                    .coalesced
+                    .fetch_add(1, Ordering::Relaxed);
+                return Ok(JobHandle { rx });
+            }
+            // This submission is the leader for the key: announce the
+            // in-flight job before enqueueing it. (Not across the push —
+            // a Block push can wait on workers, and workers take this
+            // lock to publish.)
+            pending.insert(key, Vec::new());
         }
 
         let (tx, rx) = mpsc::channel();
@@ -250,7 +276,30 @@ impl LintService {
         };
         match self.shared.queue.push(job, policy) {
             Ok(()) => Ok(JobHandle { rx }),
-            Err((_, err)) => {
+            Err((job, err)) => {
+                // The job never reached the queue. Any identical
+                // submission that attached to it in the meantime was
+                // already promised a result, so lint inline on its behalf
+                // (rare: a full queue under Reject, or a shutdown race).
+                if self.shared.cache.is_some() {
+                    let waiters = self
+                        .shared
+                        .pending
+                        .lock()
+                        .unwrap()
+                        .remove(&key)
+                        .unwrap_or_default();
+                    if !waiters.is_empty() {
+                        let config = job
+                            .config
+                            .as_deref()
+                            .cloned()
+                            .unwrap_or_else(|| self.shared.base.as_ref().clone());
+                        let checker = Weblint::with_config(config);
+                        let result = lint_with(&checker, &job.source);
+                        self.shared.answer_waiters(key, waiters, &result);
+                    }
+                }
                 self.shared
                     .counters
                     .rejected
@@ -308,6 +357,12 @@ impl LintService {
             jobs_failed: c.failed.load(Ordering::Relaxed),
             jobs_rejected: c.rejected.load(Ordering::Relaxed),
             cache_served: c.cache_served.load(Ordering::Relaxed),
+            jobs_coalesced: c.coalesced.load(Ordering::Relaxed),
+            per_worker_completed: c
+                .per_worker
+                .iter()
+                .map(|n| n.load(Ordering::Relaxed))
+                .collect(),
             queue_depth: self.shared.queue.len(),
             queue_high_water: self.shared.queue.high_water(),
             cache: self
@@ -348,7 +403,62 @@ impl std::fmt::Debug for LintService {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+impl Shared {
+    /// Publish a finished job for `key`: memoize the result, detach every
+    /// coalesced waiter, and answer them all. The cache insert happens
+    /// *before* the pending entry is removed so a racing prober always
+    /// finds one or the other — never the gap between them.
+    fn publish(&self, key: CacheKey, result: &JobResult) {
+        self.memoize(key, result);
+        let waiters = if self.cache.is_some() {
+            self.pending
+                .lock()
+                .unwrap()
+                .remove(&key)
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        self.send_to_waiters(waiters, result);
+    }
+
+    /// The submit-failure path: the waiters are already detached, so just
+    /// memoize and answer them.
+    fn answer_waiters(
+        &self,
+        key: CacheKey,
+        waiters: Vec<mpsc::Sender<JobResult>>,
+        result: &JobResult,
+    ) {
+        self.memoize(key, result);
+        self.send_to_waiters(waiters, result);
+    }
+
+    fn memoize(&self, key: CacheKey, result: &JobResult) {
+        if let (Ok(diags), Some(cache)) = (result, &self.cache) {
+            cache.insert(key, Arc::new(diags.clone()));
+        }
+    }
+
+    fn send_to_waiters(&self, waiters: Vec<mpsc::Sender<JobResult>>, result: &JobResult) {
+        if waiters.is_empty() {
+            return;
+        }
+        let n = waiters.len() as u64;
+        match result {
+            Ok(_) => self.counters.completed.fetch_add(n, Ordering::Relaxed),
+            Err(_) => self.counters.failed.fetch_add(n, Ordering::Relaxed),
+        };
+        for tx in waiters {
+            let _ = tx.send(match result {
+                Ok(diags) => Ok(diags.clone()),
+                Err(e) => Err(*e),
+            });
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
     // Each worker keeps one checker built from the base configuration and
     // a tiny cache of checkers for pragma-override configurations.
     let base_checker = Weblint::with_config(shared.base.as_ref().clone());
@@ -383,16 +493,15 @@ fn worker_loop(shared: &Shared) {
             lint_with(checker, &job.source)
         };
         shared.counters.add_lint_time(started.elapsed());
+        shared.counters.per_worker[index].fetch_add(1, Ordering::Relaxed);
 
+        let key = CacheKey {
+            content: job.content_hash,
+            config: job.fingerprint,
+        };
+        shared.publish(key, &result);
         match result {
             Ok(diags) => {
-                if let Some(cache) = &shared.cache {
-                    let key = CacheKey {
-                        content: job.content_hash,
-                        config: job.fingerprint,
-                    };
-                    cache.insert(key, Arc::new(diags.clone()));
-                }
                 shared.counters.completed.fetch_add(1, Ordering::Relaxed);
                 let _ = job.reply.send(Ok(diags));
             }

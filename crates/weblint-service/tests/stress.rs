@@ -151,6 +151,97 @@ fn shutdown_is_idempotent_and_metrics_balance() {
 }
 
 #[test]
+fn identical_bodies_racing_lint_once() {
+    // Two identical bodies submitted while the first may still be in
+    // flight. Whatever the schedule, the twin must be served without a
+    // second lint: either it coalesces onto the in-flight job or it hits
+    // the freshly cached result — single lint, two hits.
+    for round in 0..50u64 {
+        let svc = service(1, 8, 64);
+        // Occupy the single worker so the pair overlaps more often.
+        let blocker = svc
+            .submit(format!("<H1>blocker {round}</H2>").repeat(40))
+            .unwrap();
+        let body = format!("<H1>round {round}</H2>");
+        let a = svc.submit(body.as_str()).unwrap();
+        let b = svc.submit(body.as_str()).unwrap();
+        let (ra, rb) = (a.wait().unwrap(), b.wait().unwrap());
+        assert_eq!(ra, rb, "round {round}: twins diverged");
+        assert!(blocker.wait().is_ok());
+        let m = svc.metrics();
+        assert_eq!(m.jobs_submitted, 3);
+        assert_eq!(m.jobs_completed, 3);
+        let linted: u64 = m.per_worker_completed.iter().sum();
+        assert_eq!(linted, 2, "round {round}: body linted twice: {m:?}");
+        assert_eq!(
+            m.jobs_coalesced + m.cache.hits,
+            1,
+            "round {round}: twin neither coalesced nor hit the cache: {m:?}"
+        );
+    }
+}
+
+#[test]
+fn duplicate_flood_under_reject_policy_answers_every_acceptance() {
+    // Reject policy, tiny queue, four producers hammering the *same* body:
+    // exercises the coalescing fast path, the queue-full fallback that
+    // answers attached waiters inline, and the counters' balance.
+    use weblint_core::Weblint;
+    for round in 0..20u64 {
+        let body = format!("<H1>contended {round}</H2>");
+        let expected = Weblint::new().check_string(&body);
+        let svc = Arc::new(LintService::new(ServiceConfig {
+            workers: 2,
+            queue_capacity: 1,
+            cache_capacity: 64,
+            policy: SubmitPolicy::Reject,
+            lint: LintConfig::default(),
+        }));
+        let producers: Vec<_> = (0..4)
+            .map(|_| {
+                let svc = Arc::clone(&svc);
+                let body = body.clone();
+                let expected = expected.clone();
+                thread::spawn(move || {
+                    let (mut ok, mut full) = (0u64, 0u64);
+                    for _ in 0..32 {
+                        match svc.submit(body.as_str()) {
+                            Ok(h) => {
+                                let diags = h.wait().expect("accepted body answered");
+                                assert_eq!(diags, expected, "coalesced result diverged");
+                                ok += 1;
+                            }
+                            Err(SubmitError::QueueFull) => full += 1,
+                            Err(e) => panic!("unexpected {e}"),
+                        }
+                    }
+                    (ok, full)
+                })
+            })
+            .collect();
+        let (mut ok, mut full) = (0, 0);
+        for producer in producers {
+            let (o, f) = producer.join().expect("producer thread panicked");
+            ok += o;
+            full += f;
+        }
+        assert_eq!(ok + full, 4 * 32);
+        let m = svc.metrics();
+        assert_eq!(m.jobs_submitted, ok, "{m:?}");
+        assert_eq!(m.jobs_completed, ok, "{m:?}");
+        assert_eq!(m.jobs_rejected, full, "{m:?}");
+        // Duplicates were deduplicated somewhere: at most a handful of
+        // real lints for 128 identical submissions.
+        let linted: u64 = m.per_worker_completed.iter().sum();
+        assert!(
+            linted + m.jobs_rejected + m.cache_served + m.jobs_coalesced >= 4 * 32,
+            "{m:?}"
+        );
+        assert!(linted <= ok, "{m:?}");
+    }
+}
+
+#[test]
 fn many_producers_tiny_queue_under_reject_policy() {
     // Reject policy on a single-slot queue: heavy contention, but the
     // counters must still balance and no reply may be dropped.

@@ -54,5 +54,5 @@ pub use robot::{
 };
 pub use store::{DirStore, MemStore, PageStore};
 pub use url::Url;
-pub use web::{Resource, SimulatedWeb, Status, WebStats};
+pub use web::{Resource, SharedWeb, SimulatedWeb, Status, WebStats};
 pub use weight::{weigh_html, weigh_page, PageWeight, MODEM_SPEEDS};

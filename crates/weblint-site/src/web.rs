@@ -10,6 +10,7 @@
 
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use crate::url::Url;
 
@@ -192,6 +193,47 @@ impl SimulatedWeb {
         Url::parse(url)
             .map(|u| u.to_string())
             .unwrap_or_else(|| url.to_string())
+    }
+}
+
+/// A thread-safe handle to a [`SimulatedWeb`].
+///
+/// [`SimulatedWeb`] keeps its transfer counters in `Cell`s and so cannot be
+/// shared across threads directly; servers whose connection threads resolve
+/// URLs concurrently (the httpd front end) wrap it here. Cloning the handle
+/// shares the same web.
+#[derive(Debug, Clone, Default)]
+pub struct SharedWeb {
+    inner: Arc<Mutex<SimulatedWeb>>,
+}
+
+impl SharedWeb {
+    /// Wrap a populated web for sharing.
+    pub fn new(web: SimulatedWeb) -> SharedWeb {
+        SharedWeb {
+            inner: Arc::new(Mutex::new(web)),
+        }
+    }
+
+    /// Run `f` with exclusive access to the underlying web (to add or
+    /// remove resources after the handle has been shared).
+    pub fn with<R>(&self, f: impl FnOnce(&mut SimulatedWeb) -> R) -> R {
+        f(&mut self.inner.lock().unwrap())
+    }
+
+    /// Transfer statistics so far.
+    pub fn stats(&self) -> WebStats {
+        self.inner.lock().unwrap().stats()
+    }
+}
+
+impl crate::robot::Fetcher for SharedWeb {
+    fn head(&self, url: &Url) -> (Status, String) {
+        self.inner.lock().unwrap().head(url)
+    }
+
+    fn get(&self, url: &Url) -> (Status, String, String) {
+        self.inner.lock().unwrap().get(url)
     }
 }
 

@@ -14,6 +14,7 @@
 //! * [`site`] — `-R` site mode, simulated web, the poacher robot
 //! * [`service`] — concurrent lint service: worker pool + result cache
 //! * [`gateway`] — CGI-gateway-style HTML report rendering
+//! * [`httpd`] — std-only HTTP/1.1 server putting the service on a socket
 //! * [`validator`] — the strict-validator and htmlchek-style baselines
 //! * [`corpus`] — deterministic document/site/defect generation
 //!
@@ -35,6 +36,7 @@ pub use weblint_core as core;
 pub use weblint_corpus as corpus;
 pub use weblint_gateway as gateway;
 pub use weblint_html as html;
+pub use weblint_httpd as httpd;
 pub use weblint_service as service;
 pub use weblint_site as site;
 pub use weblint_tokenizer as tokenizer;
