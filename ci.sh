@@ -13,3 +13,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 # /metrics), and require a clean graceful shutdown. Exits non-zero on any
 # wrong answer.
 cargo run --release -p weblint-cli --bin weblint-serve -- -smoke -jobs 2
+
+# Chaos gate: the end-to-end fault-injection suite (determinism, per-host
+# fault accounting, panic recovery) plus the smoke test with a 20% fault
+# schedule. Both run under a hard wall-clock cap so a wedged retry loop or
+# a hung worker fails CI instead of stalling it.
+timeout 120 cargo test -q --release --test chaos
+timeout 60 cargo run --release -p weblint-cli --bin weblint-serve -- \
+    -smoke -jobs 2 -faults 20% -fault-seed 7

@@ -29,6 +29,7 @@ fn start_server(workers: usize) -> ServerHandle {
             cache_capacity: 0,
             policy: SubmitPolicy::Block,
             lint: LintConfig::default(),
+            enable_panic_marker: false,
         },
         ..ServerConfig::default()
     })

@@ -28,6 +28,7 @@ fn service_with(workers: usize, cache_capacity: usize) -> LintService {
         cache_capacity,
         policy: SubmitPolicy::Block,
         lint: LintConfig::default(),
+        enable_panic_marker: false,
     })
 }
 

@@ -18,7 +18,9 @@ use std::process::ExitCode;
 
 use weblint_core::{format_report, LintConfig, OutputFormat};
 use weblint_service::{LintService, ServiceConfig};
-use weblint_site::{DirStore, Robot, RobotOptions, StoreFetcher};
+use weblint_site::{
+    DirStore, FaultSpec, FaultyWeb, ResilientFetcher, Robot, RobotOptions, StoreFetcher,
+};
 
 const USAGE: &str = "\
 usage: poacher [options] DIRECTORY
@@ -28,11 +30,15 @@ weblint on every reachable page, validate every link, and report the
 site's navigational shape.
 
 options:
-  -s         short per-page messages (line N: ...)
-  -max N     stop after N pages (default 1000)
-  -jobs N    lint crawled pages on N worker threads
-  -quiet     only dead links and the summary
-  -help      this message";
+  -s            short per-page messages (line N: ...)
+  -max N        stop after N pages (default 1000)
+  -jobs N       lint crawled pages on N worker threads
+  -quiet        only dead links and the summary
+  -faults SPEC  inject deterministic fetch faults and crawl through the
+                retrying fetcher; SPEC is RATE% or RATE%:KIND+KIND
+                (kinds: latency, timeout, 5xx, reset, truncate)
+  -fault-seed N seed for fault injection and retry jitter (default 0)
+  -help         this message";
 
 #[derive(Debug)]
 struct Options {
@@ -41,6 +47,8 @@ struct Options {
     max_pages: usize,
     jobs: usize,
     quiet: bool,
+    faults: Option<FaultSpec>,
+    fault_seed: u64,
 }
 
 fn parse(argv: &[String]) -> Result<Options, String> {
@@ -50,6 +58,8 @@ fn parse(argv: &[String]) -> Result<Options, String> {
         max_pages: 1_000,
         jobs: 0,
         quiet: false,
+        faults: None,
+        fault_seed: 0,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -68,6 +78,18 @@ fn parse(argv: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| format!("-jobs needs a positive number, got `{v}'"))?;
             }
             "-quiet" => options.quiet = true,
+            "-faults" => {
+                let v = it
+                    .next()
+                    .ok_or("-faults needs a spec, e.g. 20% or 5%:timeout+5xx")?;
+                options.faults = Some(FaultSpec::parse(v).map_err(|e| format!("-faults: {e}"))?);
+            }
+            "-fault-seed" => {
+                let v = it.next().ok_or("-fault-seed needs a number")?;
+                options.fault_seed = v
+                    .parse()
+                    .map_err(|_| format!("-fault-seed needs a number, got `{v}'"))?;
+            }
             "-help" | "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}'"));
@@ -103,21 +125,43 @@ fn main() -> ExitCode {
         }
     };
     let fetcher = StoreFetcher::new(&store, "local");
+    let start = fetcher.start_url();
     let robot = Robot::new(RobotOptions {
         max_pages: options.max_pages,
         check_external: false,
         lint: LintConfig::default(),
         ..RobotOptions::default()
     });
-    let report = if options.jobs > 1 {
-        let service = LintService::new(ServiceConfig {
+    let service = (options.jobs > 1).then(|| {
+        LintService::new(ServiceConfig {
             workers: options.jobs,
             lint: LintConfig::default(),
             ..ServiceConfig::default()
-        });
-        robot.crawl_with(&fetcher, &fetcher.start_url(), &service)
-    } else {
-        robot.crawl(&fetcher, &fetcher.start_url())
+        })
+    });
+    let mut chaos_stats = None;
+    let report = match options.faults.clone() {
+        // Chaos mode: every fetch passes through seeded fault injection,
+        // and the crawl survives it behind retries and per-host breakers.
+        Some(spec) => {
+            let chaotic = ResilientFetcher::with_defaults(
+                FaultyWeb::new(fetcher, spec, options.fault_seed),
+                options.fault_seed,
+            );
+            let report = match &service {
+                Some(service) => robot.crawl_with(&chaotic, &start, service),
+                None => robot.crawl(&chaotic, &start),
+            };
+            chaos_stats = Some((
+                chaotic.inner().stats().to_string(),
+                chaotic.stats().to_string(),
+            ));
+            report
+        }
+        None => match &service {
+            Some(service) => robot.crawl_with(&fetcher, &start, service),
+            None => robot.crawl(&fetcher, &start),
+        },
     };
 
     let mut messages = 0usize;
@@ -145,6 +189,10 @@ fn main() -> ExitCode {
     );
     if report.truncated {
         println!("poacher: crawl truncated at {} pages", options.max_pages);
+    }
+    if let Some((faults, resilience)) = chaos_stats {
+        println!("{faults}");
+        println!("{resilience}");
     }
     if messages > 0 || !report.dead_links.is_empty() {
         ExitCode::from(1)
@@ -180,5 +228,31 @@ mod tests {
         assert!(options.quiet);
         assert_eq!(options.dir.as_deref(), Some("site"));
         assert!(parse(&args(&["-wat"])).is_err());
+    }
+
+    #[test]
+    fn fault_flags_parse() {
+        let options = parse(&args(&[
+            "-faults",
+            "20%:timeout+5xx",
+            "-fault-seed",
+            "42",
+            "site",
+        ]))
+        .unwrap();
+        let spec = options.faults.unwrap();
+        assert_eq!(spec.rate_percent, 20);
+        assert_eq!(spec.kinds.len(), 2);
+        assert_eq!(options.fault_seed, 42);
+        // No flag means no injection at all, not a 0% spec.
+        assert!(parse(&args(&["site"])).unwrap().faults.is_none());
+        for bad in [
+            &["-faults"][..],
+            &["-faults", "150%"],
+            &["-faults", "20%:gremlins"],
+            &["-fault-seed", "soon"],
+        ] {
+            assert!(parse(&args(bad)).is_err(), "{bad:?}");
+        }
     }
 }

@@ -21,6 +21,9 @@ pub enum GatewayError {
     NotHtml(String),
     /// Too many redirect hops.
     TooManyRedirects(String),
+    /// The target timed out or reset the connection (transient transport
+    /// failure, possibly after retries).
+    Unreachable(String),
 }
 
 impl fmt::Display for GatewayError {
@@ -31,6 +34,7 @@ impl fmt::Display for GatewayError {
             GatewayError::ServerError(u) => write!(f, "{u}: server error"),
             GatewayError::NotHtml(u) => write!(f, "{u} is not an HTML page"),
             GatewayError::TooManyRedirects(u) => write!(f, "{u}: too many redirects"),
+            GatewayError::Unreachable(u) => write!(f, "{u}: host unreachable"),
         }
     }
 }
@@ -131,6 +135,25 @@ impl Gateway {
         Ok(self.check_and_render_with(service, &resolved.to_string(), &body))
     }
 
+    /// Render a report page for diagnostics produced elsewhere (e.g. by a
+    /// shared service whose errors the caller wants to surface rather than
+    /// silently re-lint inline). Uses this gateway's report options.
+    /// The lint configuration jobs submitted through this gateway carry.
+    pub fn lint_config(&self) -> &LintConfig {
+        self.weblint.config()
+    }
+
+    /// Render an already-produced diagnostic list as the HTML report
+    /// page (for callers that lint through the service themselves).
+    pub fn render(
+        &self,
+        input_name: &str,
+        src: &str,
+        diags: &[weblint_core::Diagnostic],
+    ) -> String {
+        render_report(input_name, src, diags, &self.options)
+    }
+
     /// Fetch a URL, following up to `max_redirects` redirects, down to the
     /// final HTML body. Shared by both URL flows.
     pub fn resolve(&self, fetcher: &dyn Fetcher, url: &str) -> Result<(Url, String), GatewayError> {
@@ -152,6 +175,9 @@ impl Gateway {
                 }
                 (Status::ServerError, _, _) => {
                     return Err(GatewayError::ServerError(current.to_string()));
+                }
+                (Status::TimedOut, _, _) | (Status::Reset, _, _) => {
+                    return Err(GatewayError::Unreachable(current.to_string()));
                 }
             }
         }

@@ -6,22 +6,37 @@
 
 use std::sync::Arc;
 
-use weblint_core::{format_report, OutputFormat, Weblint};
+use weblint_core::{format_report, Diagnostic, OutputFormat};
 use weblint_gateway::{render_form, Gateway, GatewayError};
-use weblint_service::LintService;
-use weblint_site::SharedWeb;
+use weblint_service::{JobError, LintService, SubmitError};
+use weblint_site::{FaultSpec, FaultyWeb, Fetcher, ResilientFetcher, SharedWeb};
 
 use crate::http::{Request, Response};
 use crate::metrics::HttpCounters;
+
+/// How `GET /lint?url=` reaches the simulated web: directly, or through
+/// the chaos stack (fault injection under the resilient fetcher) when the
+/// server was started with `-faults`.
+pub(crate) enum UrlFetch {
+    Plain(SharedWeb),
+    Chaos(Box<ResilientFetcher<FaultyWeb<SharedWeb>>>),
+}
+
+impl UrlFetch {
+    fn fetcher(&self) -> &dyn Fetcher {
+        match self {
+            UrlFetch::Plain(web) => web,
+            UrlFetch::Chaos(fetcher) => fetcher.as_ref(),
+        }
+    }
+}
 
 /// Shared state behind every connection thread.
 pub(crate) struct App {
     pub(crate) service: LintService,
     pub(crate) gateway: Gateway,
-    pub(crate) web: SharedWeb,
+    pub(crate) fetch: UrlFetch,
     pub(crate) counters: Arc<HttpCounters>,
-    /// Inline fallback when the service refuses a job.
-    fallback: Weblint,
 }
 
 impl App {
@@ -31,22 +46,66 @@ impl App {
         web: SharedWeb,
         counters: Arc<HttpCounters>,
     ) -> App {
-        let fallback = Weblint::with_config(service.config().clone());
         App {
             service,
             gateway,
-            web,
+            fetch: UrlFetch::Plain(web),
             counters,
-            fallback,
         }
     }
 
-    fn lint(&self, src: &str) -> Vec<weblint_core::Diagnostic> {
-        self.service
-            .submit(src.to_string())
-            .ok()
-            .and_then(|handle| handle.wait().ok())
-            .unwrap_or_else(|| self.fallback.check_string(src))
+    /// [`App::new`], with URL fetches routed through seeded fault
+    /// injection and the retrying, breaker-guarded fetcher.
+    pub(crate) fn with_chaos(
+        service: LintService,
+        gateway: Gateway,
+        web: SharedWeb,
+        counters: Arc<HttpCounters>,
+        spec: FaultSpec,
+        seed: u64,
+    ) -> App {
+        let fetch = UrlFetch::Chaos(Box::new(ResilientFetcher::with_defaults(
+            FaultyWeb::new(web, spec, seed),
+            seed,
+        )));
+        App {
+            service,
+            gateway,
+            fetch,
+            counters,
+        }
+    }
+
+    /// Lint through the pool, mapping refusals to client-visible errors:
+    /// a full (or shut) queue sheds the request with a 503 + `Retry-After`
+    /// instead of silently linting inline — under overload the server's
+    /// job is to stay honest about capacity, not to absorb unbounded work
+    /// on connection threads — and a panicked job surfaces as a 500.
+    fn lint(
+        &self,
+        src: &str,
+        config: Option<weblint_core::LintConfig>,
+    ) -> Result<Vec<Diagnostic>, Response> {
+        match self.service.submit_with(src.to_string(), config) {
+            Ok(handle) => match handle.wait() {
+                Ok(diags) => Ok(diags),
+                Err(JobError::WorkerPanicked) => {
+                    HttpCounters::bump(&self.counters.worker_errors);
+                    Err(Response::text(
+                        500,
+                        "lint failed: the job crashed its worker (the pool has recovered)\n",
+                    ))
+                }
+            },
+            Err(SubmitError::QueueFull | SubmitError::ShutDown) => {
+                HttpCounters::bump(&self.counters.shed);
+                let mut response = Response::text(503, "lint queue is full; retry in a moment\n");
+                response
+                    .extra_headers
+                    .push(("Retry-After", "1".to_string()));
+                Err(response)
+            }
+        }
     }
 }
 
@@ -101,7 +160,13 @@ pub(crate) fn handle(app: &App, req: &Request) -> Response {
         ("GET", "/metrics") => {
             let service = app.service.metrics();
             let http = app.counters.snapshot();
-            Response::text(200, format!("{service}\n\n{http}\n"))
+            let mut text = format!("{service}\n\n{http}\n");
+            if let UrlFetch::Chaos(fetcher) = &app.fetch {
+                let faults = fetcher.inner().stats();
+                let resilience = fetcher.stats();
+                text.push_str(&format!("\n{faults}\n\n{resilience}\n"));
+            }
+            Response::text(200, text)
         }
         ("POST", "/lint") => handle_post_lint(app, req),
         ("GET", "/lint") => handle_get_lint(app, req),
@@ -145,14 +210,16 @@ fn handle_get_lint(app: &App, req: &Request) -> Response {
         Ok(style) => style,
         Err(response) => return response,
     };
-    let (resolved, body) = match app.gateway.resolve(&app.web, url) {
+    let (resolved, body) = match app.gateway.resolve(app.fetch.fetcher(), url) {
         Ok(hit) => hit,
         Err(err) => {
             let status = match err {
                 GatewayError::BadUrl(_) => 400,
                 GatewayError::NotFound(_) => 404,
                 GatewayError::NotHtml(_) => 415,
-                GatewayError::ServerError(_) | GatewayError::TooManyRedirects(_) => 502,
+                GatewayError::ServerError(_)
+                | GatewayError::TooManyRedirects(_)
+                | GatewayError::Unreachable(_) => 502,
             };
             return Response::text(status, format!("{err}\n"));
         }
@@ -160,15 +227,22 @@ fn handle_get_lint(app: &App, req: &Request) -> Response {
     render_lint(app, &resolved.to_string(), &body, style)
 }
 
-/// Lint through the service pool and render in the requested style.
+/// Lint through the service pool and render in the requested style. The
+/// HTML path keeps carrying the gateway's lint configuration, like the
+/// CGI flow always has.
 fn render_lint(app: &App, name: &str, src: &str, style: ReportStyle) -> Response {
+    let config = match style {
+        ReportStyle::Html => Some(app.gateway.lint_config().clone()),
+        ReportStyle::Text(_) => None,
+    };
+    let diags = match app.lint(src, config) {
+        Ok(diags) => diags,
+        Err(refusal) => return refusal,
+    };
     match style {
-        ReportStyle::Html => Response::html(
-            200,
-            app.gateway.check_and_render_with(&app.service, name, src),
-        ),
+        ReportStyle::Html => Response::html(200, app.gateway.render(name, src, &diags)),
         ReportStyle::Text(format) => {
-            let report = format_report(&app.lint(src), name, format);
+            let report = format_report(&diags, name, format);
             let mut response = Response::text(200, report);
             if format == OutputFormat::Json {
                 response.content_type = "application/json";
@@ -328,5 +402,58 @@ mod tests {
         let app = app();
         let response = handle(&app, &request("POST", "/lint", &[], &[0xff, 0xfe]));
         assert_eq!(response.status, 400);
+    }
+
+    #[test]
+    fn refused_jobs_are_shed_with_503_and_retry_after() {
+        let app = app();
+        // A closed queue refuses every submission, exactly like a full
+        // one under Reject — the deterministic way to provoke shedding.
+        app.service.shutdown();
+        let response = handle(&app, &request("POST", "/lint", &[], b"<H1>x</H2>"));
+        assert_eq!(response.status, 503);
+        assert!(
+            response
+                .extra_headers
+                .iter()
+                .any(|(n, v)| *n == "Retry-After" && v == "1"),
+            "{:?}",
+            response.extra_headers
+        );
+        // The HTML path sheds the same way.
+        let html = handle(
+            &app,
+            &request("POST", "/lint", &[("format", "html")], b"<H1>x</H2>"),
+        );
+        assert_eq!(html.status, 503);
+        assert_eq!(app.counters.snapshot().requests_shed, 2);
+    }
+
+    #[test]
+    fn chaos_metrics_expose_fault_and_resilience_stats() {
+        let mut web = SimulatedWeb::new();
+        web.add_page("http://h/p.html", "<H1>x</H2>");
+        let app = App::with_chaos(
+            LintService::new(ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            }),
+            Gateway::new(LintConfig::default(), ReportOptions::default()),
+            SharedWeb::new(web),
+            Arc::new(HttpCounters::default()),
+            weblint_site::FaultSpec::parse("100:5xx").unwrap(),
+            7,
+        );
+        // Under 100% server errors with retries exhausted, the fetch
+        // fails as a bad gateway rather than hanging or panicking.
+        let response = handle(
+            &app,
+            &request("GET", "/lint", &[("url", "http://h/p.html")], b""),
+        );
+        assert_eq!(response.status, 502);
+        let metrics = handle(&app, &request("GET", "/metrics", &[], b""));
+        let text = String::from_utf8(metrics.body).unwrap();
+        assert!(text.contains("fault injection:"), "{text}");
+        assert!(text.contains("resilience:"), "{text}");
     }
 }

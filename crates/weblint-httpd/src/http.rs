@@ -118,6 +118,26 @@ pub fn parse_request(
     reader: &mut impl BufRead,
     max_body: usize,
 ) -> Result<(Request, u64), ParseError> {
+    let (mut request, content_length, mut consumed) = parse_head(reader, max_body)?;
+    request.body = read_body(reader, content_length)?;
+    consumed += content_length as u64;
+    Ok((request, consumed))
+}
+
+/// Parse the request head — request line and headers — and validate
+/// `Content-Length` against `max_body`, without reading the body.
+///
+/// Split from [`read_body`] so the server can run the two phases under
+/// different deadlines (the slowloris defense: a client may take a while
+/// to upload a large body, but has no business dribbling headers), and so
+/// over-limit bodies are refused before a byte of body is read.
+///
+/// Returns the body-less request, the declared body length, and the bytes
+/// consumed so far.
+pub fn parse_head(
+    reader: &mut impl BufRead,
+    max_body: usize,
+) -> Result<(Request, usize, u64), ParseError> {
     let mut line = Vec::with_capacity(256);
     let mut consumed = read_line(reader, &mut line)? as u64;
     let request_line = String::from_utf8(line.clone())
@@ -166,27 +186,30 @@ pub fn parse_request(
         return Err(ParseError::BadRequest("transfer-encoding not supported"));
     }
 
-    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
-        Some((_, v)) => v
+    // Strict Content-Length: digits only (`+10`, `0x0a`, and friends are
+    // request-smuggling vectors, not numbers), and at most one value —
+    // duplicate or conflicting lengths desynchronize keep-alive framing,
+    // so they are refused outright rather than first-one-wins.
+    let mut content_length = None;
+    for (_, value) in headers.iter().filter(|(n, _)| n == "content-length") {
+        if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseError::BadRequest("malformed content-length"));
+        }
+        let parsed = value
             .parse::<usize>()
-            .map_err(|_| ParseError::BadRequest("malformed content-length"))?,
-        None => 0,
-    };
+            .map_err(|_| ParseError::BadRequest("malformed content-length"))?;
+        if content_length.is_some_and(|seen| seen != parsed) {
+            return Err(ParseError::BadRequest("conflicting content-length"));
+        }
+        content_length = Some(parsed);
+    }
+    let content_length = content_length.unwrap_or(0);
     if content_length > max_body {
         return Err(ParseError::BodyTooLarge {
             declared: content_length,
             limit: max_body,
         });
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|e| {
-        if e.kind() == io::ErrorKind::UnexpectedEof {
-            ParseError::BadRequest("body shorter than content-length")
-        } else {
-            ParseError::from(e)
-        }
-    })?;
-    consumed += content_length as u64;
 
     Ok((
         Request {
@@ -195,10 +218,25 @@ pub fn parse_request(
             query,
             http10,
             headers,
-            body,
+            body: Vec::new(),
         },
+        content_length,
         consumed,
     ))
+}
+
+/// Read exactly `content_length` body bytes (the second phase after
+/// [`parse_head`]).
+pub fn read_body(reader: &mut impl BufRead, content_length: usize) -> Result<Vec<u8>, ParseError> {
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ParseError::BadRequest("body shorter than content-length")
+        } else {
+            ParseError::from(e)
+        }
+    })?;
+    Ok(body)
 }
 
 /// Split a request target into decoded path and query pairs.
@@ -399,6 +437,13 @@ mod tests {
             "GET /%zz HTTP/1.1\r\n\r\n",
             "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
             "POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+            // Signs, whitespace padding inside the digits, hex, empty, and
+            // conflicting duplicates are all smuggling vectors, not lengths.
+            "POST /x HTTP/1.1\r\nContent-Length: +5\r\n\r\nhello",
+            "POST /x HTTP/1.1\r\nContent-Length: -5\r\n\r\nhello",
+            "POST /x HTTP/1.1\r\nContent-Length: 0x05\r\n\r\nhello",
+            "POST /x HTTP/1.1\r\nContent-Length:\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 3\r\n\r\nhello",
         ] {
             assert!(
                 matches!(parse(raw), Err(ParseError::BadRequest(_))),
@@ -418,6 +463,39 @@ mod tests {
                 limit: 16
             }
         );
+    }
+
+    #[test]
+    fn duplicate_but_agreeing_content_lengths_are_accepted() {
+        // RFC 7230 §3.3.2 allows folding identical repeated values.
+        let (req, _) =
+            parse("POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello")
+                .unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn head_and_body_phases_compose_like_parse_request() {
+        let raw = "POST /lint HTTP/1.1\r\nContent-Length: 9\r\n\r\n<H1>x</H2";
+        let mut cursor = Cursor::new(raw.as_bytes().to_vec());
+        let (mut req, content_length, consumed) = parse_head(&mut cursor, 1 << 20).unwrap();
+        assert!(req.body.is_empty(), "head phase must not touch the body");
+        assert_eq!(content_length, 9);
+        req.body = read_body(&mut cursor, content_length).unwrap();
+        assert_eq!(req.body, b"<H1>x</H2");
+        let (whole, total) = parse(raw).unwrap();
+        assert_eq!(whole.body, req.body);
+        assert_eq!(total, consumed + 9);
+    }
+
+    #[test]
+    fn over_limit_body_is_rejected_in_the_head_phase() {
+        // 413 must be decided before a single body byte is read.
+        let raw = "POST /lint HTTP/1.1\r\nContent-Length: 64\r\n\r\n";
+        let mut cursor = Cursor::new(raw.as_bytes().to_vec());
+        let err = parse_head(&mut cursor, 16).unwrap_err();
+        assert!(matches!(err, ParseError::BodyTooLarge { .. }));
+        assert_eq!(cursor.position() as usize, raw.len());
     }
 
     #[test]

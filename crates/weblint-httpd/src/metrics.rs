@@ -11,6 +11,9 @@ pub(crate) struct HttpCounters {
     pub(crate) parse_errors: AtomicU64,
     pub(crate) body_rejections: AtomicU64,
     pub(crate) timeouts: AtomicU64,
+    pub(crate) header_timeouts: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) worker_errors: AtomicU64,
     pub(crate) bytes_in: AtomicU64,
     pub(crate) bytes_out: AtomicU64,
 }
@@ -31,6 +34,9 @@ impl HttpCounters {
             parse_errors: self.parse_errors.load(Ordering::Relaxed),
             body_rejections: self.body_rejections.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
+            header_timeouts: self.header_timeouts.load(Ordering::Relaxed),
+            requests_shed: self.shed.load(Ordering::Relaxed),
+            worker_errors: self.worker_errors.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
         }
@@ -53,6 +59,13 @@ pub struct HttpMetrics {
     /// Connections closed by read timeout (idle keep-alive or stalled
     /// client).
     pub timeouts: u64,
+    /// Connections dropped because the request head dribbled in past the
+    /// header deadline (the slowloris defense).
+    pub header_timeouts: u64,
+    /// Requests answered 503 because the lint queue refused the job.
+    pub requests_shed: u64,
+    /// Requests answered 500 because the lint job panicked its worker.
+    pub worker_errors: u64,
     /// Request bytes read off the wire.
     pub bytes_in: u64,
     /// Response bytes written to the wire.
@@ -64,13 +77,18 @@ impl std::fmt::Display for HttpMetrics {
         writeln!(f, "httpd statistics:")?;
         writeln!(
             f,
-            "  conns: {} accepted, {} timed out",
-            self.connections_accepted, self.timeouts
+            "  conns: {} accepted, {} timed out, {} header timeout(s)",
+            self.connections_accepted, self.timeouts, self.header_timeouts
         )?;
         writeln!(
             f,
             "  reqs:  {} served, {} parse error(s), {} body rejection(s)",
             self.requests_served, self.parse_errors, self.body_rejections
+        )?;
+        writeln!(
+            f,
+            "  load:  {} shed (503), {} worker error(s) (500)",
+            self.requests_shed, self.worker_errors
         )?;
         write!(
             f,
@@ -91,15 +109,21 @@ mod tests {
         HttpCounters::add(&counters.requests, 3);
         HttpCounters::add(&counters.bytes_in, 120);
         HttpCounters::add(&counters.bytes_out, 4096);
+        HttpCounters::bump(&counters.shed);
+        HttpCounters::bump(&counters.header_timeouts);
         let m = counters.snapshot();
         assert_eq!(m.connections_accepted, 1);
         assert_eq!(m.requests_served, 3);
+        assert_eq!(m.requests_shed, 1);
+        assert_eq!(m.header_timeouts, 1);
         let text = m.to_string();
         for needle in [
             "1 accepted",
             "3 served",
             "120 byte(s) in",
             "4096 byte(s) out",
+            "1 shed (503)",
+            "1 header timeout(s)",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in {text}");
         }

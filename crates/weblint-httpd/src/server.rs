@@ -5,19 +5,19 @@
 //! flag checked between requests — in-flight requests always finish and
 //! get their response before the connection closes.
 
-use std::io::{self, BufRead, BufReader};
+use std::io::{self, BufRead, BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use weblint_gateway::Gateway;
 use weblint_service::{LintService, ServiceConfig, ServiceMetrics};
-use weblint_site::SharedWeb;
+use weblint_site::{FaultSpec, SharedWeb};
 
 use crate::handler::{handle, App};
-use crate::http::{parse_request, write_response, ParseError, Response};
+use crate::http::{parse_head, read_body, write_response, ParseError, Response};
 use crate::metrics::{HttpCounters, HttpMetrics};
 
 /// Server tuning knobs.
@@ -33,11 +33,22 @@ pub struct ServerConfig {
     pub keep_alive: bool,
     /// Most requests served over one connection before it is closed.
     pub max_requests_per_connection: usize,
-    /// Socket read timeout: idle keep-alive and stalled clients are
-    /// dropped after this long.
+    /// Deadline for reading a complete request head once its first byte
+    /// has arrived. Much shorter than [`read_timeout`](Self::read_timeout)
+    /// and enforced across the whole head, not per read, so a client
+    /// dribbling one header byte at a time cannot hold the connection
+    /// open (the slowloris defense).
+    pub header_timeout: Duration,
+    /// Socket read timeout: idle keep-alive, and stalled clients sending
+    /// a request body, are dropped after this long.
     pub read_timeout: Duration,
     /// Socket write timeout.
     pub write_timeout: Duration,
+    /// Inject deterministic faults into the `url=` fetch path (the chaos
+    /// harness; `None` in normal operation).
+    pub faults: Option<FaultSpec>,
+    /// Seed for fault injection and retry jitter.
+    pub fault_seed: u64,
 }
 
 impl Default for ServerConfig {
@@ -48,8 +59,11 @@ impl Default for ServerConfig {
             max_body: 1 << 20,
             keep_alive: true,
             max_requests_per_connection: 100,
+            header_timeout: Duration::from_secs(2),
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            faults: None,
+            fault_seed: 0,
         }
     }
 }
@@ -60,6 +74,7 @@ struct ConnLimits {
     max_body: usize,
     keep_alive: bool,
     max_requests: usize,
+    header_timeout: Duration,
     read_timeout: Duration,
     write_timeout: Duration,
 }
@@ -91,12 +106,11 @@ impl HttpServer {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let service = LintService::new(config.service.clone());
-        let app = Arc::new(App::new(
-            service,
-            gateway,
-            web,
-            Arc::new(HttpCounters::default()),
-        ));
+        let counters = Arc::new(HttpCounters::default());
+        let app = Arc::new(match config.faults.clone() {
+            None => App::new(service, gateway, web, counters),
+            Some(spec) => App::with_chaos(service, gateway, web, counters, spec, config.fault_seed),
+        });
         Ok(HttpServer {
             listener,
             addr,
@@ -105,6 +119,7 @@ impl HttpServer {
                 max_body: config.max_body,
                 keep_alive: config.keep_alive,
                 max_requests: config.max_requests_per_connection.max(1),
+                header_timeout: config.header_timeout,
                 read_timeout: config.read_timeout,
                 write_timeout: config.write_timeout,
             },
@@ -222,6 +237,48 @@ fn accept_loop(listener: TcpListener, app: Arc<App>, limits: ConnLimits, stop: A
 /// How often an idle connection wakes to poll the stop flag.
 const IDLE_POLL: Duration = Duration::from_millis(50);
 
+/// The read half of a connection, with an optional absolute deadline.
+///
+/// A plain socket read timeout restarts on every byte, so a client
+/// trickling one header byte per interval never trips it. With a
+/// deadline armed, each read narrows the socket timeout to the time
+/// *remaining*, bounding a whole parse phase no matter how the bytes
+/// dribble in. With no deadline armed, reads pass straight through and
+/// whatever timeout the connection loop set on the shared socket
+/// applies (the idle keep-alive poll relies on this).
+struct DeadlineStream {
+    stream: TcpStream,
+    deadline: Option<Instant>,
+}
+
+impl DeadlineStream {
+    fn arm(&mut self, phase_budget: Duration) {
+        self.deadline = Some(Instant::now() + phase_budget);
+    }
+
+    fn disarm(&mut self) {
+        self.deadline = None;
+    }
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(deadline) = self.deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "phase deadline elapsed",
+                ));
+            }
+            // A zero timeout means "blocking" to the OS; keep a floor.
+            self.stream
+                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
+        }
+        self.stream.read(buf)
+    }
+}
+
 fn serve_connection(app: &App, limits: &ConnLimits, stream: TcpStream, stop: &AtomicBool) {
     // Accepted sockets can inherit the listener's nonblocking flag on
     // some platforms; insist on blocking reads with timeouts.
@@ -237,7 +294,10 @@ fn serve_connection(app: &App, limits: &ConnLimits, stream: TcpStream, stop: &At
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
+    let mut reader = BufReader::new(DeadlineStream {
+        stream: read_half,
+        deadline: None,
+    });
     let mut writer = stream;
     let mut served = 0usize;
     loop {
@@ -246,7 +306,7 @@ fn serve_connection(app: &App, limits: &ConnLimits, stream: TcpStream, stop: &At
         // whole read timeout, and so an idle connection notices stop at
         // all. `writer` shares the fd, so the timeout applies to reads.
         let _ = writer.set_read_timeout(Some(IDLE_POLL.min(limits.read_timeout)));
-        let idle_since = std::time::Instant::now();
+        let idle_since = Instant::now();
         loop {
             match reader.fill_buf() {
                 // Clean EOF: the client closed between requests.
@@ -269,9 +329,26 @@ fn serve_connection(app: &App, limits: &ConnLimits, stream: TcpStream, stop: &At
                 Err(_) => return,
             }
         }
-        // A request has begun; give its reads the full timeout.
-        let _ = writer.set_read_timeout(Some(limits.read_timeout));
-        let (response, head_only, mut keep) = match parse_request(&mut reader, limits.max_body) {
+        // A request has begun. The head must arrive whole within the
+        // header budget; only then does the body get the (longer) read
+        // timeout.
+        reader.get_mut().arm(limits.header_timeout);
+        let head = match parse_head(&mut reader, limits.max_body) {
+            Ok(head) => Ok(head),
+            Err(ParseError::TimedOut) => {
+                // A dribbling request head earns no response at all.
+                HttpCounters::bump(&app.counters.header_timeouts);
+                return;
+            }
+            Err(other) => Err(other),
+        };
+        let parsed = head.and_then(|(mut req, content_length, head_bytes)| {
+            reader.get_mut().arm(limits.read_timeout);
+            req.body = read_body(&mut reader, content_length)?;
+            Ok((req, head_bytes + content_length as u64))
+        });
+        reader.get_mut().disarm();
+        let (response, head_only, mut keep) = match parsed {
             Ok((req, bytes_in)) => {
                 HttpCounters::add(&app.counters.bytes_in, bytes_in);
                 let keep = limits.keep_alive && !req.wants_close();
@@ -294,6 +371,8 @@ fn serve_connection(app: &App, limits: &ConnLimits, stream: TcpStream, stop: &At
             }
             Err(ParseError::BadRequest(reason)) => {
                 HttpCounters::bump(&app.counters.parse_errors);
+                // A malformed request (bad framing included) can leave
+                // the stream position ambiguous; never reuse it.
                 (
                     Response::text(400, format!("bad request: {reason}\n")),
                     false,

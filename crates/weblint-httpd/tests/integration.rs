@@ -201,3 +201,279 @@ fn oversized_body_is_refused_over_the_wire() {
     let (http, _) = handle.shutdown();
     assert_eq!(http.body_rejections, 1);
 }
+
+#[test]
+fn oversized_body_is_refused_before_it_is_read() {
+    let config = ServerConfig {
+        max_body: 64,
+        ..ServerConfig::default()
+    };
+    let handle = HttpServer::bind(config).unwrap().start();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    // Declare a huge body but never send a byte of it: the 413 must
+    // arrive anyway, because the limit is enforced from the head alone.
+    stream
+        .write_all(b"POST /lint HTTP/1.1\r\nHost: x\r\nContent-Length: 1048576\r\n\r\n")
+        .unwrap();
+    let response = client::read_response(&mut reader).unwrap();
+    assert_eq!(response.status, 413);
+    assert_eq!(response.header("connection"), Some("close"));
+    let (http, _) = handle.shutdown();
+    assert_eq!(http.body_rejections, 1);
+}
+
+#[test]
+fn slowloris_header_dribble_is_cut_off_at_the_header_deadline() {
+    let config = ServerConfig {
+        header_timeout: Duration::from_millis(250),
+        read_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    };
+    let handle = HttpServer::bind(config).unwrap().start();
+    let addr = handle.addr();
+
+    // Trickle header bytes fast enough that a per-read timeout would
+    // keep resetting, but slow enough that the head never completes
+    // inside the header budget. The server must cut the connection.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"GET /health HTTP/1.1\r\n").unwrap();
+    let filler = b"X-Dribble: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa";
+    let mut cut_off = false;
+    for chunk in filler.chunks(2).cycle().take(60) {
+        if stream
+            .write_all(chunk)
+            .and_then(|()| stream.flush())
+            .is_err()
+        {
+            cut_off = true;
+            break;
+        }
+        thread::sleep(Duration::from_millis(25));
+    }
+    // Writes into a dead socket can succeed locally until the RST lands;
+    // the read is the authoritative check. No response, just EOF (or a
+    // reset), well before the 5s read timeout.
+    let mut buf = Vec::new();
+    use std::io::Read as _;
+    let got = stream.read_to_end(&mut buf);
+    cut_off = cut_off || matches!(got, Ok(0)) || got.is_err();
+    assert!(
+        cut_off,
+        "server kept the dribbling connection open: {buf:?}"
+    );
+    assert!(buf.is_empty(), "unexpected response to a dribbled head");
+
+    // The server is still healthy for well-behaved clients.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    client::write_request(&mut stream, "GET", "/health", &[], b"").unwrap();
+    assert_eq!(client::read_response(&mut reader).unwrap().status, 200);
+
+    let (http, _) = handle.shutdown();
+    assert_eq!(http.header_timeouts, 1, "{http:?}");
+    assert_eq!(http.timeouts, 0, "{http:?}");
+}
+
+#[test]
+fn stalled_body_hits_the_read_timeout_not_the_header_deadline() {
+    let config = ServerConfig {
+        header_timeout: Duration::from_millis(150),
+        read_timeout: Duration::from_millis(400),
+        ..ServerConfig::default()
+    };
+    let handle = HttpServer::bind(config).unwrap().start();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    // A complete head inside the header budget, then a body that stalls
+    // forever: the (longer) body timeout applies, and the connection is
+    // dropped without a response.
+    stream
+        .write_all(b"POST /lint HTTP/1.1\r\nHost: x\r\nContent-Length: 10\r\n\r\nabc")
+        .unwrap();
+    let mut buf = Vec::new();
+    use std::io::Read as _;
+    let _ = stream.read_to_end(&mut buf);
+    assert!(buf.is_empty(), "unexpected response to a stalled body");
+    let (http, _) = handle.shutdown();
+    assert_eq!(http.timeouts, 1, "{http:?}");
+    assert_eq!(http.header_timeouts, 0, "{http:?}");
+}
+
+#[test]
+fn unread_response_hits_the_write_timeout() {
+    let config = ServerConfig {
+        max_body: 32 << 20,
+        write_timeout: Duration::from_millis(100),
+        ..ServerConfig::default()
+    };
+    let handle = HttpServer::bind(config).unwrap().start();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    // An HTML report echoes the whole source, so a many-megabyte document
+    // yields a response far larger than the socket buffers can absorb.
+    // The client never reads: the server's blocked write must give up at
+    // the write timeout instead of wedging the connection thread.
+    let body = "<P>padding</P>".repeat(1 << 20);
+    client::write_request(
+        &mut stream,
+        "POST",
+        "/lint?format=html",
+        &[],
+        body.as_bytes(),
+    )
+    .unwrap();
+    thread::sleep(Duration::from_millis(50));
+    // Shutdown joins every connection thread; it only returns because the
+    // write timed out and the thread exited.
+    let (http, _) = handle.shutdown();
+    assert_eq!(http.requests_served, 0, "{http:?}");
+    assert!(http.bytes_in > 0, "{http:?}");
+}
+
+#[test]
+fn malformed_content_length_mid_keep_alive_closes_the_connection() {
+    let handle = server(1);
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    // A healthy request first, to establish the keep-alive session.
+    client::write_request(&mut stream, "GET", "/health", &[], b"").unwrap();
+    let ok = client::read_response(&mut reader).unwrap();
+    assert_eq!(ok.status, 200);
+    assert_eq!(ok.header("connection"), Some("keep-alive"));
+
+    // Then a request whose framing cannot be trusted. Were the server to
+    // guess a length and keep the connection, the bytes it guessed wrong
+    // would desync every later request on this connection — so it must
+    // answer 400 and close.
+    stream
+        .write_all(b"POST /lint HTTP/1.1\r\nHost: x\r\nContent-Length: +5\r\n\r\nAAAAA")
+        .unwrap();
+    let bad = client::read_response(&mut reader).unwrap();
+    assert_eq!(bad.status, 400);
+    assert_eq!(bad.header("connection"), Some("close"));
+    assert!(
+        bad.body_text().contains("content-length"),
+        "{}",
+        bad.body_text()
+    );
+    // The socket really is closed: EOF, not a next response.
+    use std::io::Read as _;
+    assert_eq!(reader.read(&mut [0u8; 1]).unwrap(), 0);
+
+    // Conflicting duplicate lengths get the same treatment.
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    stream
+        .write_all(
+            b"POST /lint HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\nAAAAA",
+        )
+        .unwrap();
+    let bad = client::read_response(&mut reader).unwrap();
+    assert_eq!(bad.status, 400);
+    assert_eq!(bad.header("connection"), Some("close"));
+    assert_eq!(reader.read(&mut [0u8; 1]).unwrap(), 0);
+
+    let (http, _) = handle.shutdown();
+    assert_eq!(http.parse_errors, 2);
+}
+
+#[test]
+fn overload_sheds_with_503_and_retry_after() {
+    const CLIENTS: usize = 8;
+    let config = ServerConfig {
+        service: ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            cache_capacity: 0,
+            policy: weblint_service::SubmitPolicy::Reject,
+            ..ServiceConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let handle = HttpServer::bind(config).unwrap().start();
+    let addr = handle.addr();
+
+    // One worker, a one-slot queue, and eight simultaneous slow lints:
+    // most submissions must be refused, and each refusal must come back
+    // as a 503 with a Retry-After hint rather than a hang or a drop.
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let body = format!("<P>doc {c}</P>{}", "<P>x</P>".repeat(50_000));
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                barrier.wait();
+                client::write_request(&mut stream, "POST", "/lint", &[], body.as_bytes())
+                    .expect("send");
+                let response = client::read_response(&mut reader).expect("response");
+                let retry_after = response.header("retry-after").map(str::to_string);
+                (response.status, retry_after)
+            })
+        })
+        .collect();
+
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    for client in clients {
+        let (status, retry_after) = client.join().expect("client thread");
+        match status {
+            200 => ok += 1,
+            503 => {
+                shed += 1;
+                assert_eq!(retry_after.as_deref(), Some("1"), "503 without Retry-After");
+            }
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert!(ok >= 1, "no request got through at all");
+    assert!(shed >= 1, "an 8-way flood of a 1-slot queue shed nothing");
+
+    // Shedding is load management, not failure: the server still answers.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    client::write_request(&mut stream, "POST", "/lint", &[], b"<H1>x</H2>").unwrap();
+    assert_eq!(client::read_response(&mut reader).unwrap().status, 200);
+
+    let (http, _) = handle.shutdown();
+    assert_eq!(http.requests_shed, shed, "{http:?}");
+    assert_eq!(http.requests_served, CLIENTS as u64 + 1);
+}
+
+#[test]
+fn panicking_job_returns_500_and_the_pool_recovers() {
+    let config = ServerConfig {
+        service: ServiceConfig {
+            workers: 1,
+            enable_panic_marker: true,
+            ..ServiceConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let handle = HttpServer::bind(config).unwrap().start();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    let body = format!("<P>x</P>{}", weblint_service::PANIC_MARKER);
+    client::write_request(&mut stream, "POST", "/lint", &[], body.as_bytes()).unwrap();
+    let crashed = client::read_response(&mut reader).unwrap();
+    assert_eq!(crashed.status, 500);
+    assert!(
+        crashed.body_text().contains("crashed"),
+        "{}",
+        crashed.body_text()
+    );
+
+    // Same pool, same (sole) worker slot: the respawned worker serves the
+    // next request normally, over the same keep-alive connection.
+    client::write_request(&mut stream, "POST", "/lint", &[], b"<H1>x</H2>").unwrap();
+    let healthy = client::read_response(&mut reader).unwrap();
+    assert_eq!(healthy.status, 200);
+    assert!(healthy.body_text().contains("malformed heading"));
+
+    let (http, service) = handle.shutdown();
+    assert_eq!(http.worker_errors, 1, "{http:?}");
+    assert_eq!(service.worker_panics, 1, "{service:?}");
+    assert_eq!(service.worker_respawns, 1, "{service:?}");
+}

@@ -44,4 +44,4 @@ pub use cache::{config_fingerprint, CacheKey, CacheStats, ResultCache};
 pub use fnv::{fnv1a, Fnv1a};
 pub use metrics::ServiceMetrics;
 pub use queue::{SubmitError, SubmitPolicy};
-pub use service::{JobError, JobHandle, JobResult, LintService, ServiceConfig};
+pub use service::{JobError, JobHandle, JobResult, LintService, ServiceConfig, PANIC_MARKER};

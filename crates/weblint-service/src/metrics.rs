@@ -13,6 +13,8 @@ pub(crate) struct Counters {
     pub(crate) rejected: AtomicU64,
     pub(crate) cache_served: AtomicU64,
     pub(crate) coalesced: AtomicU64,
+    pub(crate) panicked: AtomicU64,
+    pub(crate) respawned: AtomicU64,
     pub(crate) queue_wait_nanos: AtomicU64,
     pub(crate) lint_nanos: AtomicU64,
     /// One slot per worker thread: jobs that worker actually linted.
@@ -28,6 +30,8 @@ impl Counters {
             rejected: AtomicU64::new(0),
             cache_served: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            respawned: AtomicU64::new(0),
             queue_wait_nanos: AtomicU64::new(0),
             lint_nanos: AtomicU64::new(0),
             per_worker: (0..workers).map(|_| AtomicU64::new(0)).collect(),
@@ -66,6 +70,10 @@ pub struct ServiceMetrics {
     /// Submissions that attached to an identical in-flight job instead of
     /// linting again (the body was already queued or being linted).
     pub jobs_coalesced: u64,
+    /// Jobs whose lint panicked and unwound a worker.
+    pub worker_panics: u64,
+    /// Times a worker respawned after a panic took it down.
+    pub worker_respawns: u64,
     /// Jobs each worker thread actually linted, indexed by worker.
     /// Cache-served and coalesced submissions appear in no worker's count.
     pub per_worker_completed: Vec<u64>,
@@ -115,6 +123,11 @@ impl std::fmt::Display for ServiceMetrics {
         )?;
         writeln!(
             f,
+            "  panic: {} worker panic(s), {} respawn(s)",
+            self.worker_panics, self.worker_respawns
+        )?;
+        writeln!(
+            f,
             "  cache: {} hit(s), {} miss(es), {} eviction(s), {}/{} entries ({:.0}% hit rate)",
             self.cache.hits,
             self.cache.misses,
@@ -146,6 +159,8 @@ mod tests {
             jobs_rejected: 1,
             cache_served: 3,
             jobs_coalesced: 2,
+            worker_panics: 1,
+            worker_respawns: 1,
             per_worker_completed: vec![3, 2, 1, 0],
             queue_depth: 0,
             queue_high_water: 6,
@@ -167,6 +182,8 @@ mod tests {
             "30% hit rate",
             "per-worker jobs [3 2 1 0]",
             "2 coalesced",
+            "1 worker panic(s)",
+            "1 respawn(s)",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in {text}");
         }

@@ -28,6 +28,9 @@ pub struct ServiceConfig {
     pub policy: SubmitPolicy,
     /// Base lint configuration jobs run under (unless overridden per-job).
     pub lint: LintConfig,
+    /// Deliberately panic any job whose source contains [`PANIC_MARKER`].
+    /// A chaos hook for tests and the `-smoke` harness; off by default.
+    pub enable_panic_marker: bool,
 }
 
 impl Default for ServiceConfig {
@@ -42,9 +45,15 @@ impl Default for ServiceConfig {
             cache_capacity: 1024,
             policy: SubmitPolicy::Block,
             lint: LintConfig::default(),
+            enable_panic_marker: false,
         }
     }
 }
+
+/// Sources containing this marker panic their worker when
+/// [`ServiceConfig::enable_panic_marker`] is set — the chaos suite's way
+/// of exercising panic isolation end to end without a buggy engine.
+pub const PANIC_MARKER: &str = "<!--weblint:chaos:panic-->";
 
 /// Why a submitted job produced no diagnostics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,6 +122,7 @@ struct Shared {
     pending: Mutex<HashMap<CacheKey, Vec<mpsc::Sender<JobResult>>>>,
     base: Arc<LintConfig>,
     base_fingerprint: u64,
+    panic_marker: bool,
     counters: Counters,
 }
 
@@ -152,6 +162,7 @@ impl LintService {
             cache_capacity,
             policy,
             lint,
+            enable_panic_marker,
         } = config;
         let workers = workers.max(1);
         let base = Arc::new(lint);
@@ -161,6 +172,7 @@ impl LintService {
             pending: Mutex::new(HashMap::new()),
             base_fingerprint: config_fingerprint(&base),
             base,
+            panic_marker: enable_panic_marker,
             counters: Counters::new(workers),
         });
         let handles = (0..workers)
@@ -168,7 +180,15 @@ impl LintService {
                 let shared = Arc::clone(&shared);
                 thread::Builder::new()
                     .name(format!("weblint-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, i))
+                    .spawn(move || {
+                        // A clean return means the queue closed. A panic
+                        // means a job unwound the worker: its JobGuard has
+                        // already answered the caller and any coalesced
+                        // waiters, so just count the respawn and re-enter.
+                        while catch_unwind(AssertUnwindSafe(|| worker_loop(&shared, i))).is_err() {
+                            shared.counters.respawned.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
                     .expect("spawn lint worker")
             })
             .collect();
@@ -358,6 +378,8 @@ impl LintService {
             jobs_rejected: c.rejected.load(Ordering::Relaxed),
             cache_served: c.cache_served.load(Ordering::Relaxed),
             jobs_coalesced: c.coalesced.load(Ordering::Relaxed),
+            worker_panics: c.panicked.load(Ordering::Relaxed),
+            worker_respawns: c.respawned.load(Ordering::Relaxed),
             per_worker_completed: c
                 .per_worker
                 .iter()
@@ -458,6 +480,53 @@ impl Shared {
     }
 }
 
+/// Answers a job's caller — and every coalesced waiter — if the lint
+/// unwinds the worker. Without it a panicking job would leave the primary
+/// caller covered (its channel closes, `wait` maps that to an error) but
+/// coalesced waiters attached to the pending entry would hang forever:
+/// nothing ever publishes for the key.
+struct JobGuard<'a> {
+    shared: &'a Shared,
+    key: CacheKey,
+    reply: Option<mpsc::Sender<JobResult>>,
+}
+
+impl JobGuard<'_> {
+    /// The happy path: the lint returned, take the reply sender back and
+    /// defuse the drop behavior.
+    fn disarm(mut self) -> mpsc::Sender<JobResult> {
+        self.reply.take().expect("guard disarmed twice")
+    }
+}
+
+impl Drop for JobGuard<'_> {
+    fn drop(&mut self) {
+        let Some(reply) = self.reply.take() else {
+            return;
+        };
+        // Only reached while unwinding out of a panicking lint. The
+        // pending mutex may have been poisoned by this same panic; take
+        // the data regardless — consistency here is answering waiters.
+        let result: JobResult = Err(JobError::WorkerPanicked);
+        self.shared
+            .counters
+            .panicked
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+        let _ = reply.send(Err(JobError::WorkerPanicked));
+        if self.shared.cache.is_some() {
+            let waiters = self
+                .shared
+                .pending
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .remove(&self.key)
+                .unwrap_or_default();
+            self.shared.send_to_waiters(waiters, &result);
+        }
+    }
+}
+
 fn worker_loop(shared: &Shared, index: usize) {
     // Each worker keeps one checker built from the base configuration and
     // a tiny cache of checkers for pragma-override configurations.
@@ -468,9 +537,24 @@ fn worker_loop(shared: &Shared, index: usize) {
     while let Some(job) = shared.queue.pop() {
         shared.counters.add_queue_wait(job.enqueued.elapsed());
 
+        let key = CacheKey {
+            content: job.content_hash,
+            config: job.fingerprint,
+        };
+        // Armed before the lint runs: a panicking job must answer its
+        // caller and waiters on the way out of the unwind.
+        let guard = JobGuard {
+            shared,
+            key,
+            reply: Some(job.reply),
+        };
+        if shared.panic_marker && job.source.contains(PANIC_MARKER) {
+            panic!("lint job carries {PANIC_MARKER}");
+        }
+
         let started = Instant::now();
-        let result = if job.fingerprint == shared.base_fingerprint {
-            lint_with(&base_checker, &job.source)
+        let diags = if job.fingerprint == shared.base_fingerprint {
+            base_checker.check_string(&job.source)
         } else {
             let checker = match override_checkers
                 .iter()
@@ -490,32 +574,22 @@ fn worker_loop(shared: &Shared, index: usize) {
                     &override_checkers.last().unwrap().1
                 }
             };
-            lint_with(checker, &job.source)
+            checker.check_string(&job.source)
         };
         shared.counters.add_lint_time(started.elapsed());
         shared.counters.per_worker[index].fetch_add(1, Ordering::Relaxed);
 
-        let key = CacheKey {
-            content: job.content_hash,
-            config: job.fingerprint,
-        };
+        let reply = guard.disarm();
+        let result = Ok(diags);
         shared.publish(key, &result);
-        match result {
-            Ok(diags) => {
-                shared.counters.completed.fetch_add(1, Ordering::Relaxed);
-                let _ = job.reply.send(Ok(diags));
-            }
-            Err(err) => {
-                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
-                let _ = job.reply.send(Err(err));
-            }
-        }
+        shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+        let _ = reply.send(result);
     }
 }
 
 fn lint_with(checker: &Weblint, source: &str) -> JobResult {
-    // The engine is a pure function of its input; a panic is an engine bug
-    // and must not take the worker (and every queued job behind it) down.
+    // The inline fallback path runs on the *caller's* thread, where an
+    // engine panic has no respawning guard — contain it here.
     catch_unwind(AssertUnwindSafe(|| checker.check_string(source)))
         .map_err(|_| JobError::WorkerPanicked)
 }
@@ -531,6 +605,7 @@ mod tests {
             cache_capacity: 32,
             policy: SubmitPolicy::Block,
             lint: LintConfig::default(),
+            enable_panic_marker: false,
         })
     }
 
@@ -615,6 +690,7 @@ mod tests {
             cache_capacity: 0,
             policy: SubmitPolicy::Reject,
             lint: LintConfig::default(),
+            enable_panic_marker: false,
         });
         let doc = "<HTML>".repeat(200);
         let mut handles = Vec::new();
@@ -630,5 +706,69 @@ mod tests {
         for h in handles {
             h.wait().unwrap();
         }
+    }
+
+    fn chaos_service(workers: usize) -> LintService {
+        LintService::new(ServiceConfig {
+            workers,
+            queue_capacity: 8,
+            cache_capacity: 32,
+            policy: SubmitPolicy::Block,
+            lint: LintConfig::default(),
+            enable_panic_marker: true,
+        })
+    }
+
+    #[test]
+    fn panicking_job_errors_and_the_worker_respawns() {
+        let service = chaos_service(1);
+        let poison = format!("<P>{PANIC_MARKER}</P>");
+        let err = service.submit(poison.as_str()).unwrap().wait().unwrap_err();
+        assert_eq!(err, JobError::WorkerPanicked);
+        // The pool survives: the single worker must have respawned for the
+        // next job to complete at all.
+        let diags = service.submit("<H1>x</H2>").unwrap().wait().unwrap();
+        assert!(diags.iter().any(|d| d.id == "heading-mismatch"));
+        let m = service.metrics();
+        assert_eq!(m.worker_panics, 1, "{m:?}");
+        assert_eq!(m.worker_respawns, 1, "{m:?}");
+        assert_eq!(m.jobs_failed, 1, "{m:?}");
+        assert_eq!(m.jobs_completed, 1, "{m:?}");
+    }
+
+    #[test]
+    fn coalesced_waiters_observe_the_panic_instead_of_hanging() {
+        // One worker, occupied by a deliberately large document, so the
+        // poisoned leader sits in the queue while its duplicate attaches
+        // to the pending entry. When the leader's lint panics, both the
+        // leader and the coalesced duplicate must see an error — before
+        // this guard existed, the duplicate's channel was simply never
+        // answered and its wait() hung forever.
+        let service = chaos_service(1);
+        let blocker = "<P>blocker</P>".repeat(20_000);
+        let slow = service.submit(blocker.as_str()).unwrap();
+        let poison = format!("<P>{PANIC_MARKER}</P>");
+        let leader = service.submit(poison.as_str()).unwrap();
+        let duplicate = service.submit(poison.as_str()).unwrap();
+
+        assert!(slow.wait().is_ok());
+        assert_eq!(leader.wait().unwrap_err(), JobError::WorkerPanicked);
+        assert_eq!(duplicate.wait().unwrap_err(), JobError::WorkerPanicked);
+
+        // The pool still lints afterwards.
+        assert!(service.submit("<P>fine</P>").unwrap().wait().is_ok());
+        let m = service.metrics();
+        assert_eq!(m.jobs_coalesced, 1, "duplicate did not coalesce: {m:?}");
+        assert_eq!(m.worker_panics, 1, "{m:?}");
+        assert_eq!(m.jobs_failed, 2, "leader and duplicate: {m:?}");
+    }
+
+    #[test]
+    fn marker_is_inert_unless_enabled() {
+        let service = small_service(1);
+        let poison = format!("<P>{PANIC_MARKER}</P>");
+        let diags = service.submit(poison.as_str()).unwrap().wait();
+        assert!(diags.is_ok(), "{diags:?}");
+        assert_eq!(service.metrics().worker_panics, 0);
     }
 }

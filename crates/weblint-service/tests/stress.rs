@@ -22,6 +22,7 @@ fn service(workers: usize, queue_capacity: usize, cache_capacity: usize) -> Lint
         cache_capacity,
         policy: SubmitPolicy::Block,
         lint: LintConfig::default(),
+        enable_panic_marker: false,
     })
 }
 
@@ -196,6 +197,7 @@ fn duplicate_flood_under_reject_policy_answers_every_acceptance() {
             cache_capacity: 64,
             policy: SubmitPolicy::Reject,
             lint: LintConfig::default(),
+            enable_panic_marker: false,
         }));
         let producers: Vec<_> = (0..4)
             .map(|_| {
@@ -252,6 +254,7 @@ fn many_producers_tiny_queue_under_reject_policy() {
             cache_capacity: 0,
             policy: SubmitPolicy::Reject,
             lint: LintConfig::default(),
+            enable_panic_marker: false,
         }));
         let producers: Vec<_> = (0..4)
             .map(|p| {

@@ -1,0 +1,982 @@
+//! Fault injection and resilience over any [`Fetcher`].
+//!
+//! The paper's poacher and `-R` mode exist because the real web fails:
+//! hosts stall, connections drop, pages arrive truncated (§3.5 wants
+//! robots that "handle redirects" and survive dead links). The simulated
+//! web is a perfect oracle, so this module makes it imperfect on demand —
+//! and teaches the crawl to cope:
+//!
+//! * [`FaultyWeb`] — a decorator that injects *deterministic, seeded*
+//!   faults into any transport: added latency, timeouts, transient 5xx,
+//!   connection resets, and truncated bodies. Same seed, same spec, same
+//!   request sequence → byte-identical fault schedule.
+//! * [`ResilientFetcher`] — bounded retries with exponential backoff and
+//!   deterministic jitter, plus a per-host circuit breaker
+//!   (closed → open → half-open) so a dying host degrades to fast
+//!   failures instead of hammering it on every link.
+//!
+//! Both keep per-host statistics so every injected fault is accounted
+//! for: a transient fault either burns a retry or becomes a final
+//! failure, and the chaos suite asserts exactly that balance.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+
+use weblint_service::fnv1a;
+
+use crate::robot::Fetcher;
+use crate::url::Url;
+use crate::web::Status;
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The request succeeds but the (simulated) wire is slow.
+    Latency,
+    /// The request times out: [`Status::TimedOut`].
+    Timeout,
+    /// The host answers a transient 5xx: [`Status::ServerError`].
+    ServerError,
+    /// The connection is reset mid-request: [`Status::Reset`].
+    Reset,
+    /// A GET succeeds but the body arrives cut off halfway.
+    Truncate,
+}
+
+impl FaultKind {
+    /// Every kind, in spec order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Latency,
+        FaultKind::Timeout,
+        FaultKind::ServerError,
+        FaultKind::Reset,
+        FaultKind::Truncate,
+    ];
+
+    /// The spec-string name (`latency`, `timeout`, `5xx`, `reset`,
+    /// `truncate`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Latency => "latency",
+            FaultKind::Timeout => "timeout",
+            FaultKind::ServerError => "5xx",
+            FaultKind::Reset => "reset",
+            FaultKind::Truncate => "truncate",
+        }
+    }
+}
+
+/// What to inject and how often.
+///
+/// Parsed from the CLI's `-faults` spec: `RATE%` or
+/// `RATE%:KIND+KIND+…`, e.g. `20%` (every kind at 20%) or
+/// `5%:timeout+5xx`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Percent of requests that receive a fault (0–100).
+    pub rate_percent: u8,
+    /// Kinds to draw from when a request is faulted.
+    pub kinds: Vec<FaultKind>,
+    /// Simulated microseconds a [`FaultKind::Latency`] fault adds.
+    pub added_latency_us: u64,
+}
+
+impl FaultSpec {
+    /// Every fault kind at the given rate.
+    pub fn all(rate_percent: u8) -> FaultSpec {
+        FaultSpec {
+            rate_percent: rate_percent.min(100),
+            kinds: FaultKind::ALL.to_vec(),
+            added_latency_us: 250_000,
+        }
+    }
+
+    /// Parse a CLI spec: `20%`, `20`, or `20%:timeout+reset`.
+    pub fn parse(spec: &str) -> Result<FaultSpec, String> {
+        let (rate_part, kinds_part) = match spec.split_once(':') {
+            Some((r, k)) => (r, Some(k)),
+            None => (spec, None),
+        };
+        let rate = rate_part.trim().trim_end_matches('%');
+        let rate_percent: u8 = rate
+            .parse()
+            .ok()
+            .filter(|&r| r <= 100)
+            .ok_or_else(|| format!("bad fault rate `{rate_part}' (want 0-100, e.g. 20%)"))?;
+        let mut out = FaultSpec::all(rate_percent);
+        if let Some(kinds_part) = kinds_part {
+            let mut kinds = Vec::new();
+            for name in kinds_part.split('+') {
+                let kind = FaultKind::ALL
+                    .into_iter()
+                    .find(|k| k.name() == name.trim())
+                    .ok_or_else(|| {
+                        format!(
+                            "unknown fault kind `{}' (want {})",
+                            name.trim(),
+                            FaultKind::ALL.map(FaultKind::name).join(", ")
+                        )
+                    })?;
+                if !kinds.contains(&kind) {
+                    kinds.push(kind);
+                }
+            }
+            if kinds.is_empty() {
+                return Err("fault spec names no kinds".to_string());
+            }
+            out.kinds = kinds;
+        }
+        Ok(out)
+    }
+}
+
+/// SplitMix64: the fault schedule's deterministic hash-to-random step.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-host injection counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HostFaults {
+    /// Requests (GET + HEAD) that reached this host through the decorator.
+    pub requests: u64,
+    /// Latency faults injected.
+    pub latency: u64,
+    /// Timeouts injected.
+    pub timeouts: u64,
+    /// Transient 5xx injected.
+    pub server_errors: u64,
+    /// Connection resets injected.
+    pub resets: u64,
+    /// Bodies truncated.
+    pub truncated: u64,
+    /// Simulated microseconds of added latency.
+    pub added_latency_us: u64,
+}
+
+impl HostFaults {
+    /// Faults of every kind injected at this host.
+    pub fn injected(&self) -> u64 {
+        self.latency + self.timeouts + self.server_errors + self.resets + self.truncated
+    }
+
+    /// Injected faults that present as request failures (a success-path
+    /// fault — latency, truncation — is not one).
+    pub fn transient_failures(&self) -> u64 {
+        self.timeouts + self.server_errors + self.resets
+    }
+}
+
+/// Per-host fault accounting, sorted by host for deterministic output.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// `(host, counters)` pairs in host order.
+    pub hosts: Vec<(String, HostFaults)>,
+}
+
+impl FaultStats {
+    /// Total faults injected across all hosts.
+    pub fn injected_total(&self) -> u64 {
+        self.hosts.iter().map(|(_, h)| h.injected()).sum()
+    }
+
+    /// Total requests seen across all hosts.
+    pub fn requests_total(&self) -> u64 {
+        self.hosts.iter().map(|(_, h)| h.requests).sum()
+    }
+}
+
+impl fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fault injection: {} fault(s) over {} request(s)",
+            self.injected_total(),
+            self.requests_total()
+        )?;
+        for (host, h) in &self.hosts {
+            write!(
+                f,
+                "\n  {host}: {} of {} request(s) faulted \
+                 ({} latency, {} timeout, {} 5xx, {} reset, {} truncated)",
+                h.injected(),
+                h.requests,
+                h.latency,
+                h.timeouts,
+                h.server_errors,
+                h.resets,
+                h.truncated
+            )?;
+        }
+        Ok(())
+    }
+}
+
+struct FaultState {
+    /// Per-URL request counter: the "attempt" axis of the schedule, so a
+    /// retry of the same URL rolls fresh dice while the overall schedule
+    /// stays independent of cross-URL ordering.
+    attempts: HashMap<String, u64>,
+    hosts: HashMap<String, HostFaults>,
+}
+
+/// A [`Fetcher`] decorator that injects deterministic, seeded faults.
+///
+/// The fault decision for a request is a pure function of
+/// `(seed, url, per-url attempt number)` — it does not depend on the
+/// order in which *other* URLs are fetched, so a crawl's fault schedule
+/// is reproducible even when fetch order changes elsewhere.
+///
+/// # Examples
+///
+/// ```
+/// use weblint_site::{FaultSpec, FaultyWeb, Fetcher, SimulatedWeb, Url, WebFetcher};
+///
+/// let mut web = SimulatedWeb::new();
+/// web.add_page("http://h/p.html", "<P>hi</P>");
+/// let faulty = FaultyWeb::new(WebFetcher::new(&web), FaultSpec::all(100), 7);
+/// let (status, _, _) = faulty.get(&Url::parse("http://h/p.html").unwrap());
+/// // Every request is faulted at 100%; the kind depends on the seed.
+/// assert_eq!(faulty.stats().injected_total(), 1);
+/// # let _ = status;
+/// ```
+pub struct FaultyWeb<F> {
+    inner: F,
+    spec: FaultSpec,
+    seed: u64,
+    state: Mutex<FaultState>,
+}
+
+impl<F> FaultyWeb<F> {
+    /// Decorate `inner` with the given spec and seed.
+    pub fn new(inner: F, spec: FaultSpec, seed: u64) -> FaultyWeb<F> {
+        FaultyWeb {
+            inner,
+            spec,
+            seed,
+            state: Mutex::new(FaultState {
+                attempts: HashMap::new(),
+                hosts: HashMap::new(),
+            }),
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+
+    /// Per-host injection counters so far.
+    pub fn stats(&self) -> FaultStats {
+        let state = self.state.lock().unwrap();
+        let mut hosts: Vec<(String, HostFaults)> =
+            state.hosts.iter().map(|(h, c)| (h.clone(), *c)).collect();
+        hosts.sort_by(|a, b| a.0.cmp(&b.0));
+        FaultStats { hosts }
+    }
+
+    /// Roll the dice for one request. Counts the request; counts the
+    /// fault too unless it is [`FaultKind::Truncate`], which only counts
+    /// once actually applied to a non-empty GET body (see `get`).
+    fn decide(&self, url: &Url, head: bool) -> Option<FaultKind> {
+        let mut state = self.state.lock().unwrap();
+        let key = url.to_string();
+        let attempt = {
+            let n = state.attempts.entry(key.clone()).or_insert(0);
+            *n += 1;
+            *n
+        };
+        let host = state.hosts.entry(url.host.clone()).or_default();
+        host.requests += 1;
+        if self.spec.rate_percent == 0 || self.spec.kinds.is_empty() {
+            return None;
+        }
+        let roll = splitmix64(
+            self.seed ^ fnv1a(key.as_bytes()) ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        if roll % 100 >= u64::from(self.spec.rate_percent) {
+            return None;
+        }
+        let kind = self.spec.kinds[((roll >> 32) as usize) % self.spec.kinds.len()];
+        match kind {
+            // Truncation cannot apply to a HEAD; the request passes clean.
+            FaultKind::Truncate if head => return None,
+            FaultKind::Truncate => {}
+            FaultKind::Latency => {
+                host.latency += 1;
+                host.added_latency_us += self.spec.added_latency_us;
+            }
+            FaultKind::Timeout => host.timeouts += 1,
+            FaultKind::ServerError => host.server_errors += 1,
+            FaultKind::Reset => host.resets += 1,
+        }
+        Some(kind)
+    }
+
+    fn count_truncated(&self, host: &str) {
+        let mut state = self.state.lock().unwrap();
+        state.hosts.entry(host.to_string()).or_default().truncated += 1;
+    }
+}
+
+/// Cut `body` roughly in half on a character boundary.
+fn truncate_body(body: &str) -> String {
+    let mut cut = body.len() / 2;
+    while !body.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    body[..cut].to_string()
+}
+
+impl<F: Fetcher> Fetcher for FaultyWeb<F> {
+    fn head(&self, url: &Url) -> (Status, String) {
+        match self.decide(url, true) {
+            Some(FaultKind::Timeout) => (Status::TimedOut, String::new()),
+            Some(FaultKind::Reset) => (Status::Reset, String::new()),
+            Some(FaultKind::ServerError) => (Status::ServerError, String::new()),
+            // Latency only slows the wire; the answer is the real one.
+            Some(FaultKind::Latency) | Some(FaultKind::Truncate) | None => self.inner.head(url),
+        }
+    }
+
+    fn get(&self, url: &Url) -> (Status, String, String) {
+        match self.decide(url, false) {
+            Some(FaultKind::Timeout) => (Status::TimedOut, String::new(), String::new()),
+            Some(FaultKind::Reset) => (Status::Reset, String::new(), String::new()),
+            Some(FaultKind::ServerError) => (Status::ServerError, String::new(), String::new()),
+            Some(FaultKind::Truncate) => {
+                let (status, ct, body) = self.inner.get(url);
+                if status == Status::Ok && !body.is_empty() {
+                    self.count_truncated(&url.host);
+                    (status, ct, truncate_body(&body))
+                } else {
+                    (status, ct, body)
+                }
+            }
+            Some(FaultKind::Latency) | None => self.inner.get(url),
+        }
+    }
+}
+
+/// Retry knobs for [`ResilientFetcher`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (so `max_retries + 1` attempts).
+    pub max_retries: u32,
+    /// First backoff, in simulated microseconds; doubles per retry.
+    pub base_backoff_us: u64,
+    /// Backoff ceiling.
+    pub max_backoff_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff_us: 10_000,
+            max_backoff_us: 160_000,
+        }
+    }
+}
+
+/// Circuit-breaker knobs for [`ResilientFetcher`].
+#[derive(Debug, Clone)]
+pub struct BreakerPolicy {
+    /// Consecutive request failures (retries exhausted) that open the
+    /// breaker for a host.
+    pub failure_threshold: u32,
+    /// Requests failed fast while open before one probe is let through
+    /// (the request-count analog of a cooldown timer — the simulated web
+    /// has no wall clock).
+    pub cooldown_requests: u32,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> BreakerPolicy {
+        BreakerPolicy {
+            failure_threshold: 5,
+            cooldown_requests: 8,
+        }
+    }
+}
+
+/// Breaker state machine, per host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Breaker {
+    Closed { failures: u32 },
+    Open { remaining: u32 },
+    HalfOpen,
+}
+
+/// Per-host resilience counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HostResilience {
+    /// Requests attempted against this host (fast failures included).
+    pub requests: u64,
+    /// Requests that ended in a definitive answer (2xx/3xx/404).
+    pub successes: u64,
+    /// Requests that stayed transiently failed after every retry.
+    pub failures: u64,
+    /// Individual retries performed.
+    pub retries: u64,
+    /// Simulated microseconds spent backing off (with jitter).
+    pub backoff_us: u64,
+    /// Times the breaker tripped open.
+    pub breaker_opens: u64,
+    /// Requests failed fast while the breaker was open.
+    pub fast_failures: u64,
+    /// Half-open probe requests let through.
+    pub probes: u64,
+}
+
+/// Per-host resilience accounting, sorted by host.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ResilienceStats {
+    /// `(host, counters)` pairs in host order.
+    pub hosts: Vec<(String, HostResilience)>,
+}
+
+impl ResilienceStats {
+    /// Total retries across all hosts.
+    pub fn retries_total(&self) -> u64 {
+        self.hosts.iter().map(|(_, h)| h.retries).sum()
+    }
+
+    /// Total requests that failed after every retry.
+    pub fn failures_total(&self) -> u64 {
+        self.hosts.iter().map(|(_, h)| h.failures).sum()
+    }
+}
+
+impl fmt::Display for ResilienceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "resilience: {} retrie(s), {} request(s) failed after retries",
+            self.retries_total(),
+            self.failures_total()
+        )?;
+        for (host, h) in &self.hosts {
+            write!(
+                f,
+                "\n  {host}: {} ok / {} failed of {} request(s), {} retrie(s) \
+                 ({:.1}ms backoff), breaker opened {} time(s) \
+                 ({} fast-fail(s), {} probe(s))",
+                h.successes,
+                h.failures,
+                h.requests,
+                h.retries,
+                h.backoff_us as f64 / 1000.0,
+                h.breaker_opens,
+                h.fast_failures,
+                h.probes
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct HostState {
+    breaker: Option<Breaker>,
+    stats: HostResilience,
+}
+
+/// Whether a status is worth retrying: the host itself misbehaved, as
+/// opposed to answering definitively (2xx/3xx/404 are answers).
+fn transient(status: &Status) -> bool {
+    matches!(
+        status,
+        Status::ServerError | Status::TimedOut | Status::Reset
+    )
+}
+
+/// A [`Fetcher`] wrapper adding bounded retries (exponential backoff with
+/// deterministic jitter) and a per-host circuit breaker.
+///
+/// Backoff is *virtual*: the simulated web has no wall clock, so waits
+/// accumulate into [`HostResilience::backoff_us`] instead of sleeping,
+/// keeping crawls fast and byte-deterministic.
+///
+/// While a host's breaker is open, requests fail fast with
+/// [`Status::ServerError`] (no transport call) until
+/// [`BreakerPolicy::cooldown_requests`] have been shed; the next request
+/// is a half-open probe — success closes the breaker, failure reopens it.
+///
+/// # Examples
+///
+/// ```
+/// use weblint_site::{Fetcher, ResilientFetcher, SimulatedWeb, Url, WebFetcher};
+///
+/// let mut web = SimulatedWeb::new();
+/// web.add_page("http://h/p.html", "<P>hi</P>");
+/// let fetcher = ResilientFetcher::with_defaults(WebFetcher::new(&web), 7);
+/// let (status, _, body) = fetcher.get(&Url::parse("http://h/p.html").unwrap());
+/// assert_eq!(status, weblint_site::Status::Ok);
+/// assert!(body.contains("hi"));
+/// ```
+pub struct ResilientFetcher<F> {
+    inner: F,
+    retry: RetryPolicy,
+    breaker: BreakerPolicy,
+    seed: u64,
+    hosts: Mutex<HashMap<String, HostState>>,
+}
+
+impl<F> ResilientFetcher<F> {
+    /// Wrap `inner` with explicit policies.
+    pub fn new(inner: F, retry: RetryPolicy, breaker: BreakerPolicy, seed: u64) -> Self {
+        ResilientFetcher {
+            inner,
+            retry,
+            breaker,
+            seed,
+            hosts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Wrap `inner` with default retry and breaker policies.
+    pub fn with_defaults(inner: F, seed: u64) -> Self {
+        ResilientFetcher::new(
+            inner,
+            RetryPolicy::default(),
+            BreakerPolicy::default(),
+            seed,
+        )
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+
+    /// Per-host resilience counters so far.
+    pub fn stats(&self) -> ResilienceStats {
+        let hosts = self.hosts.lock().unwrap();
+        let mut out: Vec<(String, HostResilience)> =
+            hosts.iter().map(|(h, s)| (h.clone(), s.stats)).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        ResilienceStats { hosts: out }
+    }
+
+    /// Admission check: count the request and, if the breaker is open,
+    /// shed it. Returns `true` when the request may proceed.
+    fn admit(&self, host: &str) -> bool {
+        let mut hosts = self.hosts.lock().unwrap();
+        let state = hosts.entry(host.to_string()).or_default();
+        state.stats.requests += 1;
+        match state.breaker.get_or_insert(Breaker::Closed { failures: 0 }) {
+            Breaker::Closed { .. } | Breaker::HalfOpen => true,
+            Breaker::Open { remaining } => {
+                if *remaining > 0 {
+                    *remaining -= 1;
+                    state.stats.fast_failures += 1;
+                    false
+                } else {
+                    state.breaker = Some(Breaker::HalfOpen);
+                    state.stats.probes += 1;
+                    true
+                }
+            }
+        }
+    }
+
+    fn record_success(&self, host: &str, retries_used: u32) {
+        let mut hosts = self.hosts.lock().unwrap();
+        let state = hosts.entry(host.to_string()).or_default();
+        state.stats.successes += 1;
+        state.stats.retries += u64::from(retries_used);
+        state.breaker = Some(Breaker::Closed { failures: 0 });
+    }
+
+    fn record_failure(&self, host: &str, retries_used: u32) {
+        let mut hosts = self.hosts.lock().unwrap();
+        let state = hosts.entry(host.to_string()).or_default();
+        state.stats.failures += 1;
+        state.stats.retries += u64::from(retries_used);
+        let next = match state.breaker.unwrap_or(Breaker::Closed { failures: 0 }) {
+            Breaker::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.breaker.failure_threshold {
+                    state.stats.breaker_opens += 1;
+                    Breaker::Open {
+                        remaining: self.breaker.cooldown_requests,
+                    }
+                } else {
+                    Breaker::Closed { failures }
+                }
+            }
+            // A failed probe reopens the breaker for another cooldown.
+            Breaker::HalfOpen | Breaker::Open { .. } => {
+                state.stats.breaker_opens += 1;
+                Breaker::Open {
+                    remaining: self.breaker.cooldown_requests,
+                }
+            }
+        };
+        state.breaker = Some(next);
+    }
+
+    /// Virtual backoff before retry `attempt` (0-based), with jitter
+    /// derived from the seed so the schedule is reproducible.
+    fn backoff(&self, host: &str, attempt: u32) -> u64 {
+        let base = self
+            .retry
+            .base_backoff_us
+            .saturating_mul(1 << attempt.min(16))
+            .min(self.retry.max_backoff_us);
+        let jitter = splitmix64(
+            self.seed ^ fnv1a(host.as_bytes()) ^ u64::from(attempt).wrapping_mul(0x6A09_E667),
+        ) % (base / 2 + 1);
+        base + jitter
+    }
+
+    fn add_backoff(&self, host: &str, us: u64) {
+        let mut hosts = self.hosts.lock().unwrap();
+        hosts.entry(host.to_string()).or_default().stats.backoff_us += us;
+    }
+
+    /// Drive one request through admission, retries, and bookkeeping.
+    /// `op` performs an attempt, `failed` inspects its result.
+    fn drive<R>(
+        &self,
+        url: &Url,
+        shed: impl FnOnce() -> R,
+        op: impl Fn(&F, &Url) -> R,
+        failed: impl Fn(&R) -> bool,
+    ) -> R {
+        let host = url.host.clone();
+        if !self.admit(&host) {
+            return shed();
+        }
+        let mut attempt = 0u32;
+        loop {
+            let result = op(&self.inner, url);
+            if !failed(&result) {
+                self.record_success(&host, attempt);
+                return result;
+            }
+            if attempt >= self.retry.max_retries {
+                self.record_failure(&host, attempt);
+                return result;
+            }
+            self.add_backoff(&host, self.backoff(&host, attempt));
+            attempt += 1;
+        }
+    }
+}
+
+impl<F: Fetcher> Fetcher for ResilientFetcher<F> {
+    fn head(&self, url: &Url) -> (Status, String) {
+        self.drive(
+            url,
+            || (Status::ServerError, String::new()),
+            |inner, url| inner.head(url),
+            |(status, _)| transient(status),
+        )
+    }
+
+    fn get(&self, url: &Url) -> (Status, String, String) {
+        self.drive(
+            url,
+            || (Status::ServerError, String::new(), String::new()),
+            |inner, url| inner.get(url),
+            |(status, _, _)| transient(status),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::web::{Resource, SimulatedWeb};
+    use crate::WebFetcher;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn page_web() -> SimulatedWeb {
+        let mut web = SimulatedWeb::new();
+        for i in 0..20 {
+            web.add_page(&format!("http://h/p{i}.html"), format!("<P>page {i}</P>"));
+        }
+        web
+    }
+
+    #[test]
+    fn spec_parses() {
+        assert_eq!(FaultSpec::parse("20%").unwrap(), FaultSpec::all(20));
+        assert_eq!(FaultSpec::parse("20").unwrap(), FaultSpec::all(20));
+        let spec = FaultSpec::parse("5%:timeout+5xx").unwrap();
+        assert_eq!(spec.rate_percent, 5);
+        assert_eq!(spec.kinds, vec![FaultKind::Timeout, FaultKind::ServerError]);
+        assert_eq!(FaultSpec::parse("0%").unwrap().rate_percent, 0);
+        for bad in ["pony", "101%", "20%:gremlins", "20%:"] {
+            assert!(FaultSpec::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let web = page_web();
+        let faulty = FaultyWeb::new(WebFetcher::new(&web), FaultSpec::all(0), 1);
+        for i in 0..20 {
+            let (status, _, _) = faulty.get(&url(&format!("http://h/p{i}.html")));
+            assert_eq!(status, Status::Ok);
+        }
+        let stats = faulty.stats();
+        assert_eq!(stats.injected_total(), 0);
+        assert_eq!(stats.requests_total(), 20);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<(Status, usize)> {
+            let web = page_web();
+            let faulty = FaultyWeb::new(WebFetcher::new(&web), FaultSpec::all(40), seed);
+            (0..20)
+                .map(|i| {
+                    let (status, _, body) = faulty.get(&url(&format!("http://h/p{i}.html")));
+                    (status, body.len())
+                })
+                .collect()
+        };
+        assert_eq!(run(7), run(7), "same seed must replay the same faults");
+        assert_ne!(run(7), run(8), "different seeds should differ at 40%");
+    }
+
+    #[test]
+    fn schedule_is_per_url_not_per_order() {
+        // Fetching URLs in a different order must not change which URLs
+        // fault: the roll depends on (seed, url, attempt), not sequence.
+        let collect = |order: &[usize]| -> Vec<(String, Status)> {
+            let web = page_web();
+            let faulty = FaultyWeb::new(WebFetcher::new(&web), FaultSpec::all(40), 3);
+            let mut out: Vec<(String, Status)> = order
+                .iter()
+                .map(|i| {
+                    let u = format!("http://h/p{i}.html");
+                    let (status, _, _) = faulty.get(&url(&u));
+                    (u, status)
+                })
+                .collect();
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+            out
+        };
+        let forward: Vec<usize> = (0..20).collect();
+        let backward: Vec<usize> = (0..20).rev().collect();
+        assert_eq!(collect(&forward), collect(&backward));
+    }
+
+    #[test]
+    fn every_kind_eventually_fires_at_full_rate() {
+        let web = page_web();
+        let faulty = FaultyWeb::new(WebFetcher::new(&web), FaultSpec::all(100), 11);
+        for round in 0..10 {
+            for i in 0..20 {
+                let _ = faulty.get(&url(&format!("http://h/p{i}.html")));
+                let _ = round;
+            }
+        }
+        let stats = faulty.stats();
+        let (_, h) = &stats.hosts[0];
+        assert!(h.latency > 0, "{h:?}");
+        assert!(h.timeouts > 0, "{h:?}");
+        assert!(h.server_errors > 0, "{h:?}");
+        assert!(h.resets > 0, "{h:?}");
+        assert!(h.truncated > 0, "{h:?}");
+        assert_eq!(h.injected(), h.requests, "100% rate faults every GET");
+    }
+
+    #[test]
+    fn truncation_halves_the_body() {
+        let mut web = SimulatedWeb::new();
+        web.add_page("http://h/p.html", "<P>0123456789</P>");
+        let spec = FaultSpec {
+            kinds: vec![FaultKind::Truncate],
+            ..FaultSpec::all(100)
+        };
+        let faulty = FaultyWeb::new(WebFetcher::new(&web), spec, 1);
+        let (status, _, body) = faulty.get(&url("http://h/p.html"));
+        assert_eq!(status, Status::Ok);
+        assert_eq!(body.len(), "<P>0123456789</P>".len() / 2);
+        assert_eq!(faulty.stats().hosts[0].1.truncated, 1);
+        // A HEAD cannot be truncated: it passes clean and counts nothing.
+        let (status, _) = faulty.head(&url("http://h/p.html"));
+        assert_eq!(status, Status::Ok);
+        assert_eq!(faulty.stats().injected_total(), 1);
+    }
+
+    #[test]
+    fn resilient_fetcher_retries_through_transient_faults() {
+        // Timeout-only faults at 50%: with 3 retries the chance all four
+        // attempts fault is 6.25% per request; seed 5 is checked below to
+        // recover every one of the 20 pages.
+        let web = page_web();
+        let spec = FaultSpec {
+            kinds: vec![FaultKind::Timeout],
+            ..FaultSpec::all(50)
+        };
+        let faulty = FaultyWeb::new(WebFetcher::new(&web), spec, 5);
+        let fetcher = ResilientFetcher::with_defaults(faulty, 5);
+        for i in 0..20 {
+            let (status, _, _) = fetcher.get(&url(&format!("http://h/p{i}.html")));
+            assert_eq!(status, Status::Ok, "p{i} not recovered");
+        }
+        let res = fetcher.stats();
+        let faults = fetcher.inner().stats();
+        assert!(res.retries_total() > 0, "50% faults must cost retries");
+        assert_eq!(res.failures_total(), 0);
+        // Accounting closes: every transient fault burned exactly one
+        // retry (none were final failures here).
+        assert_eq!(
+            faults.hosts[0].1.transient_failures(),
+            res.retries_total(),
+            "{faults} / {res}"
+        );
+    }
+
+    #[test]
+    fn breaker_opens_fast_fails_and_recovers_via_probe() {
+        let mut web = SimulatedWeb::new();
+        web.add(
+            "http://down/x.html",
+            Resource {
+                status: Status::ServerError,
+                content_type: "text/html".to_string(),
+                body: String::new(),
+            },
+        );
+        let fetcher = ResilientFetcher::new(
+            WebFetcher::new(&web),
+            RetryPolicy {
+                max_retries: 0,
+                ..RetryPolicy::default()
+            },
+            BreakerPolicy {
+                failure_threshold: 3,
+                cooldown_requests: 4,
+            },
+            1,
+        );
+        let target = url("http://down/x.html");
+        // 3 real failures open the breaker; 4 shed; then a probe fails
+        // and reopens it.
+        for _ in 0..8 {
+            let (status, _) = fetcher.head(&target);
+            assert_eq!(status, Status::ServerError);
+        }
+        let stats = fetcher.stats();
+        let h = &stats.hosts[0].1;
+        assert_eq!(h.failures, 4, "{h:?}"); // 3 initial + 1 failed probe
+        assert_eq!(h.fast_failures, 4, "{h:?}");
+        assert_eq!(h.breaker_opens, 2, "{h:?}");
+        assert_eq!(h.probes, 1, "{h:?}");
+
+        // Host comes back: shed through the new cooldown, then the next
+        // probe succeeds and closes the breaker for good.
+        drop(stats);
+        let mut healthy = SimulatedWeb::new();
+        healthy.add_page("http://down/x.html", "<P>back</P>");
+        let fetcher2 = ResilientFetcher::new(
+            WebFetcher::new(&healthy),
+            RetryPolicy::default(),
+            BreakerPolicy {
+                failure_threshold: 1,
+                cooldown_requests: 1,
+            },
+            1,
+        );
+        // Prime a failure by asking for a missing... ServerError needed;
+        // instead verify closed-path success resets the failure streak.
+        for _ in 0..3 {
+            let (status, _, _) = fetcher2.get(&url("http://down/x.html"));
+            assert_eq!(status, Status::Ok);
+        }
+        assert_eq!(fetcher2.stats().hosts[0].1.successes, 3);
+    }
+
+    #[test]
+    fn probe_success_closes_the_breaker() {
+        // A host that fails exactly long enough to open the breaker, then
+        // recovers: the half-open probe must close it and stop shedding.
+        let web = SimulatedWeb::new(); // empty: every URL 404s (definitive)
+        let mut down = SimulatedWeb::new();
+        down.add(
+            "http://flaky/x.html",
+            Resource {
+                status: Status::ServerError,
+                content_type: "text/html".to_string(),
+                body: String::new(),
+            },
+        );
+        let _ = web;
+        let shared = crate::web::SharedWeb::new(down);
+        let fetcher = ResilientFetcher::new(
+            shared.clone(),
+            RetryPolicy {
+                max_retries: 0,
+                ..RetryPolicy::default()
+            },
+            BreakerPolicy {
+                failure_threshold: 2,
+                cooldown_requests: 2,
+            },
+            9,
+        );
+        let target = url("http://flaky/x.html");
+        for _ in 0..2 {
+            assert_eq!(fetcher.head(&target).0, Status::ServerError); // opens
+        }
+        for _ in 0..2 {
+            assert_eq!(fetcher.head(&target).0, Status::ServerError); // shed
+        }
+        // Host recovers before the probe.
+        shared.with(|w| w.add_page("http://flaky/x.html", "<P>ok</P>"));
+        assert_eq!(fetcher.head(&target).0, Status::Ok); // probe closes it
+        assert_eq!(fetcher.head(&target).0, Status::Ok); // normal again
+        let stats = fetcher.stats();
+        let h = &stats.hosts[0].1;
+        assert_eq!(h.breaker_opens, 1, "{h:?}");
+        assert_eq!(h.fast_failures, 2, "{h:?}");
+        assert_eq!(h.probes, 1, "{h:?}");
+        assert_eq!(h.successes, 2, "{h:?}");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let web = SimulatedWeb::new();
+        let fetcher = ResilientFetcher::with_defaults(WebFetcher::new(&web), 3);
+        let a: Vec<u64> = (0..6).map(|i| fetcher.backoff("h", i)).collect();
+        let b: Vec<u64> = (0..6).map(|i| fetcher.backoff("h", i)).collect();
+        assert_eq!(a, b);
+        for (i, &us) in a.iter().enumerate() {
+            let cap = RetryPolicy::default().max_backoff_us;
+            assert!(us <= cap + cap / 2, "attempt {i} backoff {us} over cap");
+        }
+        // Exponential shape: attempt 1's floor is above attempt 0's base.
+        assert!(a[1] >= 20_000, "{a:?}");
+    }
+
+    #[test]
+    fn stats_render_per_host() {
+        let web = page_web();
+        let faulty = FaultyWeb::new(WebFetcher::new(&web), FaultSpec::all(100), 2);
+        let fetcher = ResilientFetcher::with_defaults(faulty, 2);
+        for i in 0..5 {
+            let _ = fetcher.get(&url(&format!("http://h/p{i}.html")));
+        }
+        let faults = fetcher.inner().stats().to_string();
+        assert!(faults.contains("fault injection:"), "{faults}");
+        assert!(faults.contains("  h: "), "{faults}");
+        let res = fetcher.stats().to_string();
+        assert!(res.contains("resilience:"), "{res}");
+        assert!(res.contains("breaker opened"), "{res}");
+    }
+}

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod checker;
+mod fault;
 mod links;
 mod robot;
 mod store;
@@ -47,6 +48,10 @@ mod web;
 mod weight;
 
 pub use checker::{SiteChecker, SiteReport};
+pub use fault::{
+    BreakerPolicy, FaultKind, FaultSpec, FaultStats, FaultyWeb, HostFaults, HostResilience,
+    ResilienceStats, ResilientFetcher, RetryPolicy,
+};
 pub use links::{extract_links, resolve_local, Link, LinkKind};
 pub use robot::{
     check_url, CrawledPage, DeadLink, FetchError, Fetcher, Robot, RobotOptions, RobotReport,

@@ -313,6 +313,16 @@ impl Robot {
                                 href: link.href.clone(),
                                 reason: "server error".to_string(),
                             }),
+                            (Status::TimedOut, _) => report.dead_links.push(DeadLink {
+                                page: final_url.clone(),
+                                href: link.href.clone(),
+                                reason: "timed out".to_string(),
+                            }),
+                            (Status::Reset, _) => report.dead_links.push(DeadLink {
+                                page: final_url.clone(),
+                                href: link.href.clone(),
+                                reason: "connection reset".to_string(),
+                            }),
                         }
                     }
                 } else if self.options.check_external && head_checked.insert(target.to_string()) {
@@ -326,6 +336,16 @@ impl Robot {
                             page: final_url.clone(),
                             href: link.href.clone(),
                             reason: "server error (external)".to_string(),
+                        }),
+                        (Status::TimedOut, _) => report.dead_links.push(DeadLink {
+                            page: final_url.clone(),
+                            href: link.href.clone(),
+                            reason: "timed out (external)".to_string(),
+                        }),
+                        (Status::Reset, _) => report.dead_links.push(DeadLink {
+                            page: final_url.clone(),
+                            href: link.href.clone(),
+                            reason: "connection reset (external)".to_string(),
                         }),
                         _ => {}
                     }
@@ -374,6 +394,22 @@ impl Robot {
                     });
                     return None;
                 }
+                (Status::TimedOut, _, _) => {
+                    report.dead_links.push(DeadLink {
+                        page: url.clone(),
+                        href: current.to_string(),
+                        reason: "timed out".to_string(),
+                    });
+                    return None;
+                }
+                (Status::Reset, _, _) => {
+                    report.dead_links.push(DeadLink {
+                        page: url.clone(),
+                        href: current.to_string(),
+                        reason: "connection reset".to_string(),
+                    });
+                    return None;
+                }
             }
         }
         report.dead_links.push(DeadLink {
@@ -404,6 +440,9 @@ pub enum FetchError {
     NotHtml(String),
     /// Redirect chain exceeded the hop limit.
     TooManyRedirects(String),
+    /// The host timed out or reset the connection (transient transport
+    /// failure, possibly after retries).
+    Unreachable(String),
 }
 
 impl std::fmt::Display for FetchError {
@@ -414,6 +453,7 @@ impl std::fmt::Display for FetchError {
             FetchError::ServerError(u) => write!(f, "{u}: server error"),
             FetchError::NotHtml(u) => write!(f, "{u} is not an HTML page"),
             FetchError::TooManyRedirects(u) => write!(f, "{u}: too many redirects"),
+            FetchError::Unreachable(u) => write!(f, "{u}: host unreachable"),
         }
     }
 }
@@ -459,6 +499,9 @@ pub fn check_url(
             (Status::NotFound, _, _) => return Err(FetchError::NotFound(current.to_string())),
             (Status::ServerError, _, _) => {
                 return Err(FetchError::ServerError(current.to_string()))
+            }
+            (Status::TimedOut, _, _) | (Status::Reset, _, _) => {
+                return Err(FetchError::Unreachable(current.to_string()))
             }
         }
     }

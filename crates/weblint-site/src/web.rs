@@ -25,6 +25,11 @@ pub enum Status {
     NotFound,
     /// 5xx.
     ServerError,
+    /// No response before the deadline (injected by fault decorators; the
+    /// simulated web itself never stalls).
+    TimedOut,
+    /// Connection reset mid-request (likewise injected).
+    Reset,
 }
 
 /// One hosted resource.

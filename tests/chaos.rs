@@ -1,0 +1,210 @@
+//! The chaos harness: deterministic fault injection driven through every
+//! resilience layer at once — the robot crawl behind the retrying,
+//! breaker-guarded fetcher, and the HTTP server's chaos-wired `url=`
+//! path over real sockets.
+//!
+//! The contract under test is threefold: a fixed seed reproduces the
+//! exact same fault schedule (so chaos failures are debuggable), every
+//! injected fault is accounted for in the per-host statistics (so the
+//! harness cannot silently drop evidence), and nothing wedges — every
+//! request gets a definite answer inside a hard deadline.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use weblint_gateway::Gateway;
+use weblint_httpd::{client, HttpServer, ServerConfig};
+use weblint_service::{ServiceConfig, PANIC_MARKER};
+use weblint_site::{
+    FaultSpec, FaultyWeb, Fetcher, ResilientFetcher, Robot, RobotOptions, SharedWeb, SimulatedWeb,
+    Url,
+};
+
+const PAGES: usize = 24;
+
+/// A fully-linked demo site: an index fanning out to [`PAGES`] pages,
+/// each linking onward, so a crawl touches every page and revisits links.
+fn site() -> SharedWeb {
+    let mut web = SimulatedWeb::new();
+    let mut index = String::from("<HTML><HEAD><TITLE>chaos</TITLE></HEAD><BODY>");
+    for i in 0..PAGES {
+        index.push_str(&format!("<A HREF=\"/p{i}.html\">p{i}</A>\n"));
+    }
+    index.push_str("</BODY></HTML>");
+    web.add_page("http://chaos/index.html", index);
+    for i in 0..PAGES {
+        web.add_page(
+            &format!("http://chaos/p{i}.html"),
+            format!(
+                "<HTML><HEAD><TITLE>p{i}</TITLE></HEAD><BODY>\
+                 <H1>x</H2><A HREF=\"/p{}.html\">next</A></BODY></HTML>",
+                (i + 1) % PAGES
+            ),
+        );
+    }
+    SharedWeb::new(web)
+}
+
+/// One chaotic crawl, reduced to a comparable fingerprint: both stats
+/// blocks verbatim (they include retry counts and virtual backoff, so
+/// two equal fingerprints mean the entire retry/backoff/breaker history
+/// matched) plus the crawl's shape.
+fn chaotic_crawl(seed: u64, rate: u8) -> (String, String, usize, usize) {
+    let fetcher =
+        ResilientFetcher::with_defaults(FaultyWeb::new(site(), FaultSpec::all(rate), seed), seed);
+    let robot = Robot::new(RobotOptions {
+        max_pages: 100,
+        check_external: false,
+        ..RobotOptions::default()
+    });
+    let report = robot.crawl(&fetcher, &Url::parse("http://chaos/index.html").unwrap());
+    (
+        fetcher.inner().stats().to_string(),
+        fetcher.stats().to_string(),
+        report.pages.len(),
+        report.dead_links.len(),
+    )
+}
+
+#[test]
+fn chaotic_crawls_are_deterministic_for_a_fixed_seed() {
+    let first = chaotic_crawl(42, 20);
+    // Three runs, byte-identical stats: the schedule depends only on
+    // (seed, url, attempt), never on timing or allocation order.
+    for run in 0..2 {
+        assert_eq!(chaotic_crawl(42, 20), first, "run {run} diverged");
+    }
+    // The seed is actually load-bearing: a different seed reshuffles the
+    // schedule, and a zero rate injects nothing at all.
+    assert_ne!(chaotic_crawl(43, 20).0, first.0);
+    let clean = chaotic_crawl(42, 0);
+    assert_eq!(clean.2, PAGES + 1, "clean crawl missed pages");
+    assert_eq!(clean.3, 0, "clean crawl invented dead links");
+    assert!(clean.0.contains("0 fault(s)"), "{}", clean.0);
+}
+
+#[test]
+fn every_injected_fault_is_accounted_in_per_host_stats() {
+    let fetcher = ResilientFetcher::with_defaults(FaultyWeb::new(site(), FaultSpec::all(20), 7), 7);
+    for i in 0..PAGES {
+        let url = Url::parse(&format!("http://chaos/p{i}.html")).unwrap();
+        let _ = fetcher.get(&url);
+        let _ = fetcher.head(&url);
+    }
+    let faults = fetcher.inner().stats();
+    let resilience = fetcher.stats();
+    assert!(
+        faults.injected_total() > 0,
+        "20% over {} attempts injected nothing",
+        faults.requests_total()
+    );
+    // Per host, the kind counters decompose the injected total exactly —
+    // no fault can be injected without leaving a classified trace.
+    for (host, h) in &faults.hosts {
+        assert_eq!(
+            h.injected(),
+            h.latency + h.timeouts + h.server_errors + h.resets + h.truncated,
+            "{host}"
+        );
+        assert!(h.injected() <= h.requests, "{host}");
+        assert_eq!(
+            h.transient_failures(),
+            h.timeouts + h.server_errors + h.resets,
+            "{host}"
+        );
+    }
+    // And the two layers reconcile: the transport saw exactly the
+    // admitted requests plus the retries, minus the breaker's fast-fails.
+    let (_, f) = faults.hosts.iter().find(|(h, _)| h == "chaos").unwrap();
+    let (_, r) = resilience.hosts.iter().find(|(h, _)| h == "chaos").unwrap();
+    assert_eq!(f.requests, r.requests - r.fast_failures + r.retries);
+    assert_eq!(r.successes + r.failures + r.fast_failures, r.requests);
+}
+
+#[test]
+fn chaotic_crawl_finishes_within_a_hard_deadline() {
+    // The crawl runs on a scout thread so a wedge (deadlock, unbounded
+    // retry loop) fails the test instead of hanging the suite.
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        let _ = tx.send(chaotic_crawl(7, 20));
+    });
+    let (_, resilience, pages, _) = rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("chaotic crawl wedged");
+    assert!(pages >= 1, "crawl found no pages at all");
+    assert!(resilience.starts_with("resilience:"), "{resilience}");
+}
+
+/// Drive one chaos-configured server through a fixed request script and
+/// fingerprint what came back: every status, then the fault-injection
+/// section of `/metrics`.
+fn chaotic_server_run(seed: u64) -> (Vec<u16>, String) {
+    let config = ServerConfig {
+        service: ServiceConfig {
+            workers: 2,
+            enable_panic_marker: true,
+            ..ServiceConfig::default()
+        },
+        faults: Some(FaultSpec::all(20)),
+        fault_seed: seed,
+        ..ServerConfig::default()
+    };
+    let handle = HttpServer::bind_with(config, Gateway::default(), site())
+        .expect("bind")
+        .start();
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut ask = |method: &str, target: &str, body: &[u8]| {
+        client::write_request(&mut stream, method, target, &[], body).expect("send");
+        client::read_response(&mut reader).expect("response")
+    };
+
+    let mut statuses = Vec::new();
+    for i in 0..PAGES {
+        let response = ask("GET", &format!("/lint?url=http://chaos/p{i}.html"), b"");
+        assert!(
+            response.status == 200 || response.status == 502,
+            "url fetch {i} answered {} — not a definite lint or a definite failure",
+            response.status
+        );
+        statuses.push(response.status);
+    }
+    // Mid-script, a job crashes its worker: the caller gets a 500, and
+    // the very next request is served by the respawned pool.
+    let crashed = ask(
+        "POST",
+        "/lint",
+        format!("<P>x</P>{PANIC_MARKER}").as_bytes(),
+    );
+    assert_eq!(crashed.status, 500);
+    let healthy = ask("POST", "/lint", b"<H1>x</H2>");
+    assert_eq!(healthy.status, 200);
+    statuses.extend([crashed.status, healthy.status]);
+
+    let metrics_response = ask("GET", "/metrics", b"");
+    let metrics = metrics_response.body_text();
+    let fault_section = metrics
+        .find("fault injection:")
+        .map(|at| metrics[at..].to_string())
+        .expect("chaotic /metrics lacks the fault section");
+    // (The respawn may still be in flight at this instant; its counter is
+    // asserted post-shutdown in the httpd integration suite.)
+    assert!(metrics.contains("1 worker panic(s),"), "{metrics}");
+
+    handle.shutdown();
+    (statuses, fault_section)
+}
+
+#[test]
+fn chaotic_httpd_is_deterministic_and_survives_a_panicking_job() {
+    let first = chaotic_server_run(9);
+    let second = chaotic_server_run(9);
+    assert_eq!(first, second, "same seed, same script, different history");
+    // At 20% over 24 sequential fetches (each retried up to 3 times),
+    // both outcomes occur: some lints survive retries, some don't.
+    assert!(first.0.contains(&200), "{:?}", first.0);
+}

@@ -171,6 +171,7 @@ proptest! {
             cache_capacity: 64,
             policy: SubmitPolicy::Block,
             lint: LintConfig::default(),
+            enable_panic_marker: false,
         });
         // First request misses the cache; the duplicates hit it.
         for round in 0..=dup {
