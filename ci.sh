@@ -21,3 +21,11 @@ cargo run --release -p weblint-cli --bin weblint-serve -- -smoke -jobs 2
 timeout 120 cargo test -q --release --test chaos
 timeout 60 cargo run --release -p weblint-cli --bin weblint-serve -- \
     -smoke -jobs 2 -faults 20% -fault-seed 7
+
+# Perf gates for the zero-allocation hot path (E14):
+#  - golden byte-identity of lint output over the whole corpus,
+#  - the interner-fallback canary (no name in clean HTML may allocate),
+#  - release-mode throughput floors on big.html and the generated corpus,
+#    under timeout so a wedged engine fails fast.
+cargo test -q --release --test golden_corpus --test atom_canary
+timeout 90 cargo test -q --release --test perf_smoke

@@ -3,7 +3,8 @@
 
 use weblint_tokenizer::{Span, Tag};
 
-use super::{start::heading_level, Checker, Open};
+use super::names::{heading_level, known, NameId};
+use super::{Checker, Open};
 
 impl Checker<'_> {
     pub(crate) fn on_end_tag(&mut self, tag: &Tag<'_>, span: Span) {
@@ -31,10 +32,10 @@ impl Checker<'_> {
             );
         }
 
-        let name_lc = tag.name_lc();
+        let id = self.scratch.names.id(tag.name);
 
         // End tag for an empty element (</IMG>, </BR>): nothing to pop.
-        if let Some(def) = self.spec.element_any(&name_lc) {
+        if let Some(def) = id.atom().and_then(|atom| self.spec.element_any_atom(atom)) {
             if def.is_empty_element() {
                 self.emit(
                     "unexpected-close",
@@ -48,9 +49,9 @@ impl Checker<'_> {
             }
         }
 
-        match self.stack.iter().rposition(|o| o.name == name_lc) {
+        match self.scratch.stack.iter().rposition(|o| o.id == id) {
             Some(index) => self.close_matched(index, tag, span),
-            None => self.close_unmatched(&name_lc, tag, span),
+            None => self.close_unmatched(id, tag, span),
         }
     }
 
@@ -60,8 +61,12 @@ impl Checker<'_> {
     /// `<A>` case) and parked on the secondary stack, or reported as
     /// *unclosed* (structural elements — the `</HEAD>` over `<TITLE>` case).
     fn close_matched(&mut self, index: usize, tag: &Tag<'_>, span: Span) {
-        while self.stack.len() > index + 1 {
-            let open = self.stack.pop().expect("intervening element exists");
+        while self.scratch.stack.len() > index + 1 {
+            let open = self
+                .scratch
+                .stack
+                .pop()
+                .expect("intervening element exists");
             if self.config.heuristics && open.silently_closable() {
                 self.close_bookkeeping(&open, span);
             } else if self.config.heuristics && open.is_inline() {
@@ -73,57 +78,60 @@ impl Checker<'_> {
                          opened on line {open_line}",
                         close = tag.name,
                         close_line = span.start.line,
-                        open = open.orig,
+                        open = open.orig(self.src),
                         open_line = open.line
                     ),
                 );
                 // Park it: its own end tag will arrive later and must not
                 // count as unmatched.
-                self.unresolved.push(open);
+                self.scratch.unresolved.push(open);
             } else {
                 self.emit(
                     "unclosed-element",
                     span,
                     format!(
                         "no closing </{orig}> seen for <{orig}> on line {line}",
-                        orig = open.orig,
+                        orig = open.orig(self.src),
                         line = open.line
                     ),
                 );
                 self.close_bookkeeping(&open, span);
             }
         }
-        let open = self.stack.pop().expect("matched element exists");
+        let open = self.scratch.stack.pop().expect("matched element exists");
         self.close_bookkeeping(&open, span);
     }
 
     /// The end tag matches nothing on the stack: resolve it against the
     /// secondary stack, recognise the heading-mismatch idiom, or report it
     /// as unmatched.
-    fn close_unmatched(&mut self, name_lc: &str, tag: &Tag<'_>, span: Span) {
+    fn close_unmatched(&mut self, id: NameId, tag: &Tag<'_>, span: Span) {
         if self.config.heuristics {
-            if let Some(pos) = self.unresolved.iter().rposition(|o| o.name == *name_lc) {
+            if let Some(pos) = self.scratch.unresolved.iter().rposition(|o| o.id == id) {
                 // The element was displaced by an earlier overlap and has
                 // already been reported; its close resolves silently.
-                self.unresolved.remove(pos);
+                self.scratch.unresolved.remove(pos);
                 return;
             }
         }
         // The paper's <H1>..</H2> case: a heading closed with the wrong
         // level. Treat the close as ending the open heading so a single
         // typo yields a single message.
-        if let (Some(close_level), Some(top)) = (heading_level(name_lc), self.stack.last()) {
-            if let Some(open_level) = heading_level(&top.name) {
+        if let (Some(close_level), Some(top)) =
+            (heading_level(id), self.scratch.stack.last().copied())
+        {
+            if let Some(open_level) = heading_level(top.id) {
                 if open_level != close_level {
                     self.emit(
                         "heading-mismatch",
                         span,
                         format!(
                             "malformed heading - open tag is <{}>, but closing is </{}>",
-                            top.orig, tag.name
+                            top.orig(self.src),
+                            tag.name
                         ),
                     );
-                    let open = self.stack.pop().expect("heading on top");
+                    let open = self.scratch.stack.pop().expect("heading on top");
                     self.close_bookkeeping(&open, span);
                     return;
                 }
@@ -144,34 +152,38 @@ impl Checker<'_> {
             self.emit(
                 "empty-container",
                 span,
-                format!("empty container element <{}>", open.orig),
+                format!("empty container element <{}>", open.orig(self.src)),
             );
         }
-        match open.name.as_str() {
-            "a" => {
-                if let Some(text) = self.anchor_text.take() {
-                    self.check_anchor_text(&text, span);
+        let k = known();
+        if open.id == k.a {
+            if self.scratch.anchor_active {
+                self.scratch.anchor_active = false;
+                // Take the buffer out to check it, then put it back so its
+                // capacity carries over to the next anchor and document.
+                let text = std::mem::take(&mut self.scratch.anchor_buf);
+                self.check_anchor_text(&text, span);
+                self.scratch.anchor_buf = text;
+                self.scratch.anchor_buf.clear();
+            }
+        } else if open.id == k.title {
+            if self.scratch.title_active {
+                self.scratch.title_active = false;
+                let len = self.scratch.title_buf.trim().chars().count();
+                if len > self.config.max_title_length {
+                    self.emit(
+                        "title-length",
+                        span,
+                        format!(
+                            "TITLE text is {len} characters long - keep it under {}",
+                            self.config.max_title_length
+                        ),
+                    );
                 }
+                self.scratch.title_buf.clear();
             }
-            "title" => {
-                if let Some(text) = self.title_text.take() {
-                    let len = text.trim().chars().count();
-                    if len > self.config.max_title_length {
-                        self.emit(
-                            "title-length",
-                            span,
-                            format!(
-                                "TITLE text is {len} characters long - keep it under {}",
-                                self.config.max_title_length
-                            ),
-                        );
-                    }
-                }
-            }
-            "head" => {
-                self.after_head = true;
-            }
-            _ => {}
+        } else if open.id == k.head {
+            self.after_head = true;
         }
     }
 

@@ -10,15 +10,20 @@
 //! effort to minimise the number of warning cascades, where a single problem
 //! generates a flurry of error messages"; they can be switched off via
 //! [`crate::LintConfig::heuristics`] to measure exactly that effect.
+//!
+//! All engine state is keyed by interned [`names::NameId`]s and lives in a
+//! reusable [`Scratch`], so a [`crate::LintSession`] can lint many
+//! documents with amortized-zero allocation churn.
 
 mod end;
+pub(crate) mod names;
 mod open;
+mod scratch;
 mod start;
 mod text;
 
 pub(crate) use open::Open;
-
-use std::collections::HashMap;
+pub(crate) use scratch::Scratch;
 
 use weblint_html::HtmlSpec;
 use weblint_tokenizer::{Pos, Span, Token, TokenKind, Tokenizer};
@@ -27,13 +32,29 @@ use crate::catalog::check_def;
 use crate::message::Diagnostic;
 use crate::options::LintConfig;
 
+use names::known;
+
 /// Run every enabled check over `src` and return the diagnostics in source
 /// order.
 ///
 /// This is the pure-function core: (tokens, HTML tables, config) →
-/// diagnostics. [`crate::Weblint`] provides the friendlier object API.
+/// diagnostics. [`crate::Weblint`] provides the friendlier object API, and
+/// [`crate::LintSession`] the amortized-allocation one.
 pub fn check(spec: &HtmlSpec, config: &LintConfig, src: &str) -> Vec<Diagnostic> {
-    let mut checker = Checker::new(spec, config, src);
+    let mut scratch = Scratch::default();
+    check_with(spec, config, src, &mut scratch)
+}
+
+/// [`check`] against caller-provided scratch buffers. The scratch is reset
+/// first, so any prior contents are irrelevant.
+pub(crate) fn check_with(
+    spec: &HtmlSpec,
+    config: &LintConfig,
+    src: &str,
+    scratch: &mut Scratch,
+) -> Vec<Diagnostic> {
+    scratch.reset();
+    let mut checker = Checker::new(spec, config, src, scratch);
     for token in Tokenizer::new(src) {
         checker.on_token(&token);
     }
@@ -45,13 +66,9 @@ pub(crate) struct Checker<'a> {
     pub(crate) spec: &'a HtmlSpec,
     pub(crate) config: &'a LintConfig,
     pub(crate) src: &'a str,
+    /// Reusable stacks, buffers and name tables.
+    pub(crate) scratch: &'a mut Scratch,
     pub(crate) diags: Vec<Diagnostic>,
-    /// The main stack of open elements.
-    pub(crate) stack: Vec<Open>,
-    /// The secondary stack of unresolved (overlapped) elements.
-    pub(crate) unresolved: Vec<Open>,
-    /// First line on which each element name (lower-case) was seen.
-    pub(crate) seen: HashMap<String, u32>,
     pub(crate) seen_doctype: bool,
     pub(crate) first_tag_checked: bool,
     pub(crate) head_seen: bool,
@@ -59,32 +76,29 @@ pub(crate) struct Checker<'a> {
     /// Between `</HEAD>` and `<BODY>`: content here is misplaced.
     pub(crate) after_head: bool,
     pub(crate) last_heading: Option<u8>,
-    /// Accumulated visible text of the innermost open `<A>`.
-    pub(crate) anchor_text: Option<String>,
-    /// Accumulated text of an open `<TITLE>`.
-    pub(crate) title_text: Option<String>,
     /// Position of the end of input, maintained as tokens stream past.
     pub(crate) end_pos: Pos,
 }
 
 impl<'a> Checker<'a> {
-    pub(crate) fn new(spec: &'a HtmlSpec, config: &'a LintConfig, src: &'a str) -> Checker<'a> {
+    pub(crate) fn new(
+        spec: &'a HtmlSpec,
+        config: &'a LintConfig,
+        src: &'a str,
+        scratch: &'a mut Scratch,
+    ) -> Checker<'a> {
         Checker {
             spec,
             config,
             src,
+            scratch,
             diags: Vec::new(),
-            stack: Vec::new(),
-            unresolved: Vec::new(),
-            seen: HashMap::new(),
             seen_doctype: false,
             first_tag_checked: false,
             head_seen: false,
             body_seen: false,
             after_head: false,
             last_heading: None,
-            anchor_text: None,
-            title_text: None,
             end_pos: Pos::START,
         }
     }
@@ -119,14 +133,15 @@ impl<'a> Checker<'a> {
 
     /// Whether a `<HEAD>` element is currently open.
     pub(crate) fn in_head(&self) -> bool {
-        self.stack.iter().any(|o| o.name == "head")
+        let head = known().head;
+        self.scratch.stack.iter().any(|o| o.id == head)
     }
 
     /// End-of-document processing: force-close whatever is still open and
     /// run the whole-document checks.
     fn finish(mut self) -> Vec<Diagnostic> {
         let eof = Span::empty(self.end_pos);
-        while let Some(open) = self.stack.pop() {
+        while let Some(open) = self.scratch.stack.pop() {
             let silent =
                 self.config.heuristics && open.def.map(|d| d.end_tag_optional()).unwrap_or(true);
             if !silent {
@@ -135,7 +150,7 @@ impl<'a> Checker<'a> {
                     eof,
                     format!(
                         "no closing </{orig}> seen for <{orig}> on line {line}",
-                        orig = open.orig,
+                        orig = open.orig(self.src),
                         line = open.line
                     ),
                 );
@@ -150,7 +165,7 @@ impl<'a> Checker<'a> {
                     "document should contain a HEAD element".to_string(),
                 );
             }
-            if !self.seen.contains_key("title") {
+            if self.scratch.seen_line(known().title) == 0 {
                 self.emit(
                     "require-title",
                     eof,
@@ -240,5 +255,27 @@ mod tests {
         let src = "<!DOCTYPE HTML PUBLIC \"x\">\n<HTML><HEAD><TITLE>t</TITLE></HEAD>\
                    <BODY><P>one<UL><LI>two</UL></BODY></HTML>";
         assert_eq!(lint(src), vec![]);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_checks() {
+        // Reusing one Scratch across documents — including ones that leave
+        // elements open, unknown names interned, and buffers dirty — must
+        // give exactly the diagnostics a fresh check gives.
+        let spec = HtmlSpec::default();
+        let config = LintConfig::default();
+        let docs = [
+            CLEAN,
+            "<HTML><HEAD><TITLE>t</TITLE><BODY><A HREF=x>here</A>",
+            "<NOSUCHTAG><B>dangling",
+            "",
+            CLEAN,
+        ];
+        let mut scratch = Scratch::default();
+        for doc in docs {
+            let reused = check_with(&spec, &config, doc, &mut scratch);
+            let fresh = check(&spec, &config, doc);
+            assert_eq!(reused, fresh, "{doc:?}");
+        }
     }
 }

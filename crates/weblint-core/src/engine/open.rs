@@ -2,14 +2,22 @@
 
 use weblint_html::ElementDef;
 
+use super::names::NameId;
+
 /// One open element, as held on the main stack (and, after an overlap, the
 /// secondary "unresolved" stack).
-#[derive(Debug, Clone)]
+///
+/// Holds no strings: the name is a [`NameId`] and the as-written spelling
+/// is a byte range into the source, so pushing an element never allocates
+/// and the stacks can live in reusable session scratch.
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct Open {
-    /// Lower-case element name for table lookups and matching.
-    pub name: String,
-    /// The name exactly as written in the source, for messages.
-    pub orig: String,
+    /// Interned lower-case element name, for table lookups and matching.
+    pub id: NameId,
+    /// Byte offset in the source of the name exactly as written.
+    pub orig_start: u32,
+    /// Byte length of the as-written name.
+    pub orig_len: u32,
     /// Line the open tag appeared on — weblint's messages quote it
     /// ("for <TITLE> on line 3").
     pub line: u32,
@@ -21,6 +29,12 @@ pub(crate) struct Open {
 }
 
 impl Open {
+    /// The element name exactly as written in `src`, for messages.
+    pub fn orig<'s>(&self, src: &'s str) -> &'s str {
+        src.get(self.orig_start as usize..(self.orig_start + self.orig_len) as usize)
+            .unwrap_or("")
+    }
+
     /// Whether the §5.1 heuristics may close this element silently when a
     /// mismatched end tag or end-of-file forces it off the stack.
     pub fn silently_closable(&self) -> bool {
@@ -38,16 +52,32 @@ impl Open {
     }
 }
 
+/// Byte range of `part` within `src`, for storing an as-written name
+/// without its string. `part` must be a subslice of `src` (tokenizer tag
+/// names always are); a non-subslice yields a range `Open::orig` resolves
+/// to `""`, never a panic.
+pub(crate) fn src_range(src: &str, part: &str) -> (u32, u32) {
+    let start = (part.as_ptr() as usize).wrapping_sub(src.as_ptr() as usize);
+    debug_assert_eq!(
+        src.get(start..start.wrapping_add(part.len())),
+        Some(part),
+        "name is not a subslice of the source"
+    );
+    (start as u32, part.len() as u32)
+}
+
 #[cfg(test)]
 mod tests {
+    use super::super::names::NameTable;
     use super::*;
     use weblint_html::HtmlSpec;
 
-    fn open(name: &str) -> Open {
+    fn open(names: &mut NameTable, name: &str) -> Open {
         let spec = HtmlSpec::default();
         Open {
-            name: name.to_string(),
-            orig: name.to_uppercase(),
+            id: names.id(name),
+            orig_start: 0,
+            orig_len: 0,
             line: 1,
             def: spec.element_any(name),
             has_content: false,
@@ -56,23 +86,43 @@ mod tests {
 
     #[test]
     fn optional_end_is_silently_closable() {
-        assert!(open("p").silently_closable());
-        assert!(open("li").silently_closable());
-        assert!(!open("title").silently_closable());
-        assert!(!open("a").silently_closable());
+        let mut n = NameTable::default();
+        assert!(open(&mut n, "p").silently_closable());
+        assert!(open(&mut n, "li").silently_closable());
+        assert!(!open(&mut n, "title").silently_closable());
+        assert!(!open(&mut n, "a").silently_closable());
     }
 
     #[test]
     fn unknown_elements_close_silently() {
-        assert!(open("nosuchtag").silently_closable());
+        let mut n = NameTable::default();
+        assert!(open(&mut n, "nosuchtag").silently_closable());
     }
 
     #[test]
     fn inline_classification() {
-        assert!(open("a").is_inline());
-        assert!(open("b").is_inline());
-        assert!(!open("title").is_inline());
-        assert!(!open("div").is_inline());
-        assert!(!open("nosuchtag").is_inline());
+        let mut n = NameTable::default();
+        assert!(open(&mut n, "a").is_inline());
+        assert!(open(&mut n, "b").is_inline());
+        assert!(!open(&mut n, "title").is_inline());
+        assert!(!open(&mut n, "div").is_inline());
+        assert!(!open(&mut n, "nosuchtag").is_inline());
+    }
+
+    #[test]
+    fn src_range_round_trips() {
+        let src = "<TITLE>x</TITLE>";
+        let name = &src[1..6];
+        let (start, len) = src_range(src, name);
+        let o = Open {
+            id: NameTable::default().id("title"),
+            orig_start: start,
+            orig_len: len,
+            line: 1,
+            def: None,
+            has_content: false,
+        };
+        assert_eq!(o.orig(src), "TITLE");
+        assert_eq!(o.orig("short"), "");
     }
 }

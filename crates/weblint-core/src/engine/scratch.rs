@@ -1,0 +1,124 @@
+//! Reusable engine working memory.
+//!
+//! Everything the checker allocates per document — the two element stacks,
+//! the seen-line history, the side name intern, the anchor/title text
+//! accumulators, the attribute-dedup list — lives here so a
+//! [`crate::LintSession`] can lint document after document without
+//! re-allocating any of it. [`Scratch::reset`] erases the contents but
+//! keeps every buffer's capacity.
+
+use weblint_html::Atom;
+
+use super::names::{NameId, NameTable};
+use super::open::Open;
+
+/// The per-session working memory of the lint engine.
+#[derive(Debug, Clone)]
+pub(crate) struct Scratch {
+    /// The main stack of open elements.
+    pub(crate) stack: Vec<Open>,
+    /// The secondary stack of unresolved (overlapped) elements.
+    pub(crate) unresolved: Vec<Open>,
+    /// First line each name was seen on, indexed by [`NameId::index`];
+    /// 0 means "not seen" (real lines are 1-based).
+    pub(crate) seen: Vec<u32>,
+    /// Name identities for this document.
+    pub(crate) names: NameTable,
+    /// Accumulated visible text of the innermost open `<A>`.
+    pub(crate) anchor_buf: String,
+    /// Whether an `<A>` is open and accumulating into `anchor_buf`.
+    pub(crate) anchor_active: bool,
+    /// Accumulated text of an open `<TITLE>`.
+    pub(crate) title_buf: String,
+    /// Whether a `<TITLE>` is open and accumulating into `title_buf`.
+    pub(crate) title_active: bool,
+    /// Attribute names seen so far in the current tag, for duplicates.
+    pub(crate) attr_seen: Vec<NameId>,
+}
+
+impl Default for Scratch {
+    fn default() -> Scratch {
+        Scratch {
+            stack: Vec::new(),
+            unresolved: Vec::new(),
+            seen: vec![0; Atom::count()],
+            names: NameTable::default(),
+            anchor_buf: String::new(),
+            anchor_active: false,
+            title_buf: String::new(),
+            title_active: false,
+            attr_seen: Vec::new(),
+        }
+    }
+}
+
+impl Scratch {
+    /// Erase per-document state, keeping capacity. Cumulative metrics
+    /// (the intern fallback counter) survive.
+    pub(crate) fn reset(&mut self) {
+        self.stack.clear();
+        self.unresolved.clear();
+        self.seen.clear();
+        self.seen.resize(Atom::count(), 0);
+        self.names.clear();
+        self.anchor_buf.clear();
+        self.anchor_active = false;
+        self.title_buf.clear();
+        self.title_active = false;
+        self.attr_seen.clear();
+    }
+
+    /// First line `id` was seen on, or 0 if unseen.
+    pub(crate) fn seen_line(&self, id: NameId) -> u32 {
+        self.seen.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// Record that `id` appeared on `line`, keeping the first occurrence.
+    pub(crate) fn record_seen(&mut self, id: NameId, line: u32) {
+        let index = id.index();
+        if index >= self.seen.len() {
+            self.seen.resize(index + 1, 0);
+        }
+        if self.seen[index] == 0 {
+            self.seen[index] = line;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seen_lines_keep_first_occurrence() {
+        let mut s = Scratch::default();
+        let id = s.names.id("title");
+        assert_eq!(s.seen_line(id), 0);
+        s.record_seen(id, 4);
+        s.record_seen(id, 9);
+        assert_eq!(s.seen_line(id), 4);
+    }
+
+    #[test]
+    fn side_interned_ids_grow_the_table() {
+        let mut s = Scratch::default();
+        let id = s.names.id("nosuchtag");
+        assert_eq!(s.seen_line(id), 0);
+        s.record_seen(id, 2);
+        assert_eq!(s.seen_line(id), 2);
+    }
+
+    #[test]
+    fn reset_clears_document_state() {
+        let mut s = Scratch::default();
+        let id = s.names.id("nosuchtag");
+        s.record_seen(id, 2);
+        s.anchor_active = true;
+        s.anchor_buf.push_str("text");
+        s.reset();
+        assert_eq!(s.seen_line(id), 0);
+        assert!(!s.anchor_active);
+        assert!(s.anchor_buf.is_empty());
+        assert_eq!(s.names.fallbacks(), 1, "counter survives reset");
+    }
+}

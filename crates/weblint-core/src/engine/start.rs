@@ -5,10 +5,9 @@ use weblint_tokenizer::{Quote, Span, Tag};
 
 use crate::options::{edit_distance, CaseStyle};
 
+use super::names::{heading_level, known, NameId};
+use super::open::src_range;
 use super::{Checker, Open};
-
-/// Elements that must not be nested inside themselves.
-const NON_NESTABLE: &[&str] = &["a", "form", "label", "button", "select", "style", "script"];
 
 /// Cap quoted source text in messages so one mangled tag cannot produce a
 /// kilobyte-long diagnostic.
@@ -17,7 +16,7 @@ const MAX_QUOTED_SRC: usize = 60;
 impl Checker<'_> {
     pub(crate) fn on_start_tag(&mut self, tag: &Tag<'_>, span: Span) {
         self.check_first_tag(tag.name, span);
-        let name_lc = tag.name_lc();
+        let id = self.scratch.names.id(tag.name);
         self.check_name_case(tag.name, span, "tag");
 
         if tag.odd_quotes {
@@ -38,7 +37,7 @@ impl Checker<'_> {
             );
         }
 
-        let def = self.classify_element(&name_lc, tag.name, span);
+        let def = self.classify_element(id, tag.name, span);
 
         if let Some(d) = def {
             if let Some(replacement) = d.deprecated {
@@ -64,10 +63,10 @@ impl Checker<'_> {
             self.check_required_context(d, tag.name, span);
         }
 
-        self.check_nesting(&name_lc, tag.name, span);
-        self.check_once_only(&name_lc, tag.name, span);
-        self.check_structure_on_open(&name_lc, span);
-        self.check_heading_on_open(&name_lc, tag.name, span);
+        self.check_nesting(id, tag.name, span);
+        self.check_once_only(id, tag.name, span);
+        self.check_structure_on_open(id, span);
+        self.check_heading_on_open(id, tag.name, span);
 
         self.check_attrs_lexical(tag, span);
         if let Some(d) = def {
@@ -82,9 +81,9 @@ impl Checker<'_> {
         }
 
         // Record the element in the history.
-        self.seen.entry(name_lc.clone()).or_insert(span.start.line);
+        self.scratch.record_seen(id, span.start.line);
         // A child element counts as content for `empty-container`.
-        if let Some(top) = self.stack.last_mut() {
+        if let Some(top) = self.scratch.stack.last_mut() {
             top.has_content = true;
         }
 
@@ -92,14 +91,19 @@ impl Checker<'_> {
         // leave the stack alone.
         let is_container = def.map(|d| d.is_container()).unwrap_or(true);
         if is_container && !tag.self_closing {
-            if name_lc == "a" {
-                self.anchor_text = Some(String::new());
-            } else if name_lc == "title" {
-                self.title_text = Some(String::new());
+            let k = known();
+            if id == k.a {
+                self.scratch.anchor_buf.clear();
+                self.scratch.anchor_active = true;
+            } else if id == k.title {
+                self.scratch.title_buf.clear();
+                self.scratch.title_active = true;
             }
-            self.stack.push(Open {
-                name: name_lc,
-                orig: tag.name.to_string(),
+            let (orig_start, orig_len) = src_range(self.src, tag.name);
+            self.scratch.stack.push(Open {
+                id,
+                orig_start,
+                orig_len,
                 line: span.start.line,
                 def,
                 has_content: false,
@@ -136,11 +140,15 @@ impl Checker<'_> {
     /// extension markup and wrong-version markup.
     fn classify_element(
         &mut self,
-        name_lc: &str,
+        id: NameId,
         orig: &str,
         span: Span,
     ) -> Option<&'static ElementDef> {
-        match self.spec.element_status(name_lc) {
+        let status = match id.atom() {
+            Some(atom) => self.spec.element_status_atom(atom),
+            None => ElementStatus::Unknown,
+        };
+        match status {
             ElementStatus::Active(d) => Some(d),
             ElementStatus::Extension(d) => {
                 self.emit(
@@ -174,11 +182,19 @@ impl Checker<'_> {
             ElementStatus::Unknown => {
                 // User-declared tool-specific markup is accepted silently
                 // (§4.6's noise problem; §6.1's custom elements).
-                if !self.config.is_custom_element(name_lc) {
-                    let mut msg = format!("unknown element <{orig}>");
-                    if let Some(suggestion) = self.suggest_element(name_lc) {
-                        msg.push_str(&format!(" (perhaps you meant <{}>?)", suggestion));
+                let msg = {
+                    let name_lc = self.scratch.names.resolve(id);
+                    if self.config.is_custom_element(name_lc) {
+                        None
+                    } else {
+                        let mut msg = format!("unknown element <{orig}>");
+                        if let Some(suggestion) = self.suggest_element(name_lc) {
+                            msg.push_str(&format!(" (perhaps you meant <{}>?)", suggestion));
+                        }
+                        Some(msg)
                     }
+                };
+                if let Some(msg) = msg {
                     self.emit("unknown-element", span, msg);
                 }
                 None
@@ -204,13 +220,19 @@ impl Checker<'_> {
     /// `<LI>` closes an open `li`, `<TD>` closes `td`/`th`, block elements
     /// close `p`.
     fn apply_implied_closes(&mut self, def: &'static ElementDef, span: Span) {
-        while let Some(top) = self.stack.last() {
-            if def.implies_close_of(&top.name) && top.silently_closable() {
-                let open = self.stack.pop().expect("stack top exists");
-                self.close_bookkeeping(&open, span);
-            } else {
+        loop {
+            let closable = match self.scratch.stack.last() {
+                Some(top) => {
+                    def.implies_close_of(self.scratch.names.resolve(top.id))
+                        && top.silently_closable()
+                }
+                None => false,
+            };
+            if !closable {
                 break;
             }
+            let open = self.scratch.stack.pop().expect("stack top exists");
+            self.close_bookkeeping(&open, span);
         }
     }
 
@@ -229,11 +251,10 @@ impl Checker<'_> {
         let Some(contexts) = def.contexts else {
             return;
         };
-        let parent_ok = self
-            .stack
-            .last()
-            .map(|top| contexts.contains(&top.name.as_str()))
-            .unwrap_or(false);
+        let parent_ok = match self.scratch.stack.last() {
+            Some(top) => contexts.contains(&self.scratch.names.resolve(top.id)),
+            None => false,
+        };
         if !parent_ok {
             let expected = contexts
                 .iter()
@@ -251,30 +272,32 @@ impl Checker<'_> {
         }
     }
 
-    fn check_nesting(&mut self, name_lc: &str, orig: &str, span: Span) {
-        if !NON_NESTABLE.contains(&name_lc) {
+    fn check_nesting(&mut self, id: NameId, orig: &str, span: Span) {
+        if !known().non_nestable.contains(&id) {
             return;
         }
-        if let Some(outer) = self.stack.iter().rev().find(|o| o.name == name_lc) {
-            let line = outer.line;
-            self.emit(
-                "nested-element",
-                span,
-                format!("<{orig}> cannot be nested - <{orig}> opened on line {line}"),
-            );
-        }
+        let line = match self.scratch.stack.iter().rev().find(|o| o.id == id) {
+            Some(outer) => outer.line,
+            None => return,
+        };
+        self.emit(
+            "nested-element",
+            span,
+            format!("<{orig}> cannot be nested - <{orig}> opened on line {line}"),
+        );
     }
 
-    fn check_once_only(&mut self, name_lc: &str, orig: &str, span: Span) {
-        let once = self
-            .spec
-            .element_any(name_lc)
+    fn check_once_only(&mut self, id: NameId, orig: &str, span: Span) {
+        let once = id
+            .atom()
+            .and_then(|atom| self.spec.element_any_atom(atom))
             .map(|d| d.once)
             .unwrap_or(false);
         if !once {
             return;
         }
-        if let Some(&first) = self.seen.get(name_lc) {
+        let first = self.scratch.seen_line(id);
+        if first != 0 {
             self.emit(
                 "once-only",
                 span,
@@ -285,12 +308,16 @@ impl Checker<'_> {
         }
     }
 
-    fn check_structure_on_open(&mut self, name_lc: &str, span: Span) {
+    fn check_structure_on_open(&mut self, id: NameId, span: Span) {
+        let k = known();
         // Markup between </HEAD> and <BODY> is as misplaced as text there.
         if self.after_head
             && !self.body_seen
             && !self.config.fragment
-            && !matches!(name_lc, "body" | "html" | "frameset" | "noframes")
+            && id != k.body
+            && id != k.html
+            && id != k.frameset
+            && id != k.noframes
         {
             self.emit(
                 "must-follow-head",
@@ -299,27 +326,26 @@ impl Checker<'_> {
             );
             self.after_head = false; // report once
         }
-        match name_lc {
-            "head" => self.head_seen = true,
+        if id == k.head {
+            self.head_seen = true;
+        } else if id == k.frameset {
             // In a frameset document, FRAMESET is the body-equivalent.
-            "frameset" => self.after_head = false,
-            "body" => {
-                if !self.head_seen && !self.config.fragment {
-                    self.emit(
-                        "body-no-head",
-                        span,
-                        "<BODY> seen with no <HEAD> element before it".to_string(),
-                    );
-                }
-                self.body_seen = true;
-                self.after_head = false;
+            self.after_head = false;
+        } else if id == k.body {
+            if !self.head_seen && !self.config.fragment {
+                self.emit(
+                    "body-no-head",
+                    span,
+                    "<BODY> seen with no <HEAD> element before it".to_string(),
+                );
             }
-            _ => {}
+            self.body_seen = true;
+            self.after_head = false;
         }
     }
 
-    fn check_heading_on_open(&mut self, name_lc: &str, orig: &str, span: Span) {
-        let Some(level) = heading_level(name_lc) else {
+    fn check_heading_on_open(&mut self, id: NameId, orig: &str, span: Span) {
+        let Some(level) = heading_level(id) else {
             return;
         };
         if let Some(last) = self.last_heading {
@@ -332,7 +358,8 @@ impl Checker<'_> {
             }
         }
         self.last_heading = Some(level);
-        if self.stack.iter().any(|o| o.name == "a") {
+        let a = known().a;
+        if self.scratch.stack.iter().any(|o| o.id == a) {
             self.emit(
                 "heading-in-anchor",
                 span,
@@ -346,11 +373,11 @@ impl Checker<'_> {
     /// matters: weblint reports quote problems for a whole tag before value
     /// problems (see the §4.2 example output).
     fn check_attrs_lexical(&mut self, tag: &Tag<'_>, span: Span) {
-        let mut seen: Vec<String> = Vec::new();
+        self.scratch.attr_seen.clear();
         for attr in &tag.attrs {
             self.check_name_case(attr.name, attr.span, "attribute");
-            let lc = attr.name_lc();
-            if seen.contains(&lc) {
+            let aid = self.scratch.names.id(attr.name);
+            if self.scratch.attr_seen.contains(&aid) {
                 self.emit(
                     "duplicate-attribute",
                     attr.span,
@@ -360,7 +387,7 @@ impl Checker<'_> {
                     ),
                 );
             }
-            seen.push(lc);
+            self.scratch.attr_seen.push(aid);
             match &attr.value {
                 None if attr.has_eq => {
                     self.emit(
@@ -410,13 +437,16 @@ impl Checker<'_> {
     fn check_attrs_semantic(&mut self, tag: &Tag<'_>, def: &'static ElementDef, span: Span) {
         let element_lc = def.name;
         for attr in &tag.attrs {
-            let lc = attr.name_lc();
             // User-declared attributes are accepted on their element (or
             // everywhere, for a `*` declaration) before any table check.
-            if self.config.is_custom_attribute(element_lc, &lc) {
+            // The lookup is case-insensitive, so the original-case name can
+            // be passed straight through without interning it.
+            if !self.config.custom_attributes.is_empty()
+                && self.config.is_custom_attribute(element_lc, attr.name)
+            {
                 continue;
             }
-            match self.spec.attr_status(def, &lc) {
+            match self.spec.attr_status(def, attr.name) {
                 AttrStatus::Active(adef) => {
                     if adef.deprecated {
                         self.emit(
@@ -508,7 +538,8 @@ impl Checker<'_> {
         }
         if def.name == "a" {
             if let Some(href) = tag.attr("href") {
-                if href.value_raw().to_ascii_lowercase().starts_with("mailto:") {
+                let value = href.value_raw().as_bytes();
+                if value.len() >= 7 && value[..7].eq_ignore_ascii_case(b"mailto:") {
                     self.emit(
                         "mailto-link",
                         span,
@@ -548,20 +579,6 @@ impl Checker<'_> {
                 }
             }
         }
-    }
-}
-
-/// Heading level of `h1`..`h6` names.
-pub(crate) fn heading_level(name_lc: &str) -> Option<u8> {
-    let rest = name_lc.strip_prefix('h')?;
-    match rest {
-        "1" => Some(1),
-        "2" => Some(2),
-        "3" => Some(3),
-        "4" => Some(4),
-        "5" => Some(5),
-        "6" => Some(6),
-        _ => None,
     }
 }
 
@@ -610,15 +627,6 @@ fn vendor_switch(mask: u16) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn heading_levels_parse() {
-        assert_eq!(heading_level("h1"), Some(1));
-        assert_eq!(heading_level("h6"), Some(6));
-        assert_eq!(heading_level("h7"), None);
-        assert_eq!(heading_level("hr"), None);
-        assert_eq!(heading_level("p"), None);
-    }
 
     #[test]
     fn quote_requirements() {

@@ -9,14 +9,14 @@ impl Checker<'_> {
         if text.is_raw {
             // SCRIPT/STYLE content: not HTML, nothing to check, but it does
             // count as content.
-            if let Some(top) = self.stack.last_mut() {
+            if let Some(top) = self.scratch.stack.last_mut() {
                 top.has_content = true;
             }
             return;
         }
         let significant = !text.raw.trim().is_empty();
         if significant {
-            if let Some(top) = self.stack.last_mut() {
+            if let Some(top) = self.scratch.stack.last_mut() {
                 top.has_content = true;
             }
             self.check_text_context(span);
@@ -29,23 +29,23 @@ impl Checker<'_> {
                 self.after_head = false; // report once
             }
         }
-        if let Some(buf) = self.anchor_text.as_mut() {
-            buf.push_str(text.raw);
+        if self.scratch.anchor_active {
+            self.scratch.anchor_buf.push_str(text.raw);
         }
-        if let Some(buf) = self.title_text.as_mut() {
-            buf.push_str(text.raw);
+        if self.scratch.title_active {
+            self.scratch.title_buf.push_str(text.raw);
         }
         self.check_entities(text.raw, span);
         self.check_metachars(text.raw, span);
     }
 
     fn check_text_context(&mut self, span: Span) {
-        let Some(top) = self.stack.last() else {
+        let Some(top) = self.scratch.stack.last().copied() else {
             return;
         };
         let no_text = top.def.map(|d| d.no_direct_text).unwrap_or(false);
         if no_text {
-            let orig = top.orig.clone();
+            let orig = top.orig(self.src);
             self.emit(
                 "bad-text-context",
                 span,

@@ -36,6 +36,7 @@ mod format;
 mod linter;
 mod message;
 mod options;
+mod session;
 
 pub use catalog::{check_def, ids_in_category, CheckDef, CATALOG};
 pub use engine::check;
@@ -43,6 +44,7 @@ pub use format::{format_diagnostic, format_report, OutputFormat, Summary};
 pub use linter::Weblint;
 pub use message::{Category, Diagnostic};
 pub use options::{CaseStyle, LintConfig, UnknownCheck};
+pub use session::LintSession;
 
 // Re-export the types callers need to configure a checker.
 pub use weblint_html::{Extensions, HtmlSpec, HtmlVersion};

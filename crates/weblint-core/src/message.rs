@@ -25,13 +25,17 @@ impl Category {
         }
     }
 
-    /// Parse a category name (case-insensitive).
+    /// Parse a category name (case-insensitive, without allocating).
     pub fn parse(s: &str) -> Option<Category> {
-        match s.to_ascii_lowercase().as_str() {
-            "error" | "errors" => Some(Category::Error),
-            "warning" | "warnings" => Some(Category::Warning),
-            "style" => Some(Category::Style),
-            _ => None,
+        let eq = |name: &str| s.eq_ignore_ascii_case(name);
+        if eq("error") || eq("errors") {
+            Some(Category::Error)
+        } else if eq("warning") || eq("warnings") {
+            Some(Category::Warning)
+        } else if eq("style") {
+            Some(Category::Style)
+        } else {
+            None
         }
     }
 }

@@ -221,17 +221,21 @@ impl LintConfig {
         }
     }
 
-    /// Whether `name` (lower-case) was declared as a custom element.
-    pub fn is_custom_element(&self, name_lc: &str) -> bool {
-        self.custom_elements.iter().any(|e| e == name_lc)
+    /// Whether `name` was declared as a custom element. Case-insensitive;
+    /// accepts the name in any case without allocating.
+    pub fn is_custom_element(&self, name: &str) -> bool {
+        self.custom_elements
+            .iter()
+            .any(|e| e.eq_ignore_ascii_case(name))
     }
 
-    /// Whether `attribute` (lower-case) was declared for `element`
-    /// (lower-case), directly or via a `*` declaration.
-    pub fn is_custom_attribute(&self, element_lc: &str, attribute_lc: &str) -> bool {
-        self.custom_attributes
-            .iter()
-            .any(|(e, a)| a == attribute_lc && (e == element_lc || e == "*"))
+    /// Whether `attribute` was declared for `element`, directly or via a
+    /// `*` declaration. Case-insensitive; accepts either name in any case
+    /// without allocating.
+    pub fn is_custom_attribute(&self, element: &str, attribute: &str) -> bool {
+        self.custom_attributes.iter().any(|(e, a)| {
+            a.eq_ignore_ascii_case(attribute) && (e == "*" || e.eq_ignore_ascii_case(element))
+        })
     }
 }
 

@@ -1,0 +1,194 @@
+//! Reusable lint sessions: check many documents with amortized-zero
+//! allocation churn.
+//!
+//! [`crate::Weblint`] builds fresh engine state per document; a
+//! [`LintSession`] owns that state — the element stacks, the seen-line
+//! table, the side name intern, and the text accumulators — and reuses it
+//! across [`LintSession::check_string`] calls. After the first few
+//! documents the hot path performs no per-document allocations beyond the
+//! returned diagnostics themselves, which is what a long-lived service
+//! worker wants.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use weblint_html::HtmlSpec;
+
+use crate::engine::{self, Scratch};
+use crate::message::Diagnostic;
+use crate::options::LintConfig;
+
+/// An HTML checker that owns reusable working memory.
+///
+/// Behaves exactly like [`crate::Weblint`] — same configuration surface,
+/// byte-identical diagnostics — but `check_string` takes `&mut self` so the
+/// engine's scratch buffers can be recycled between documents.
+///
+/// # Examples
+///
+/// ```
+/// use weblint_core::LintSession;
+///
+/// let mut session = LintSession::new();
+/// for doc in ["<B>unclosed", "<I>also unclosed"] {
+///     let diags = session.check_string(doc);
+///     assert!(diags.iter().any(|d| d.id == "unclosed-element"));
+/// }
+/// assert_eq!(session.fallback_interns(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LintSession {
+    config: LintConfig,
+    spec: HtmlSpec,
+    scratch: Scratch,
+    documents: u64,
+}
+
+impl LintSession {
+    /// A session with the default configuration: HTML 4.0 Transitional, no
+    /// extensions, the 42 default messages enabled.
+    pub fn new() -> LintSession {
+        LintSession::with_config(LintConfig::default())
+    }
+
+    /// A session with an explicit configuration.
+    pub fn with_config(config: LintConfig) -> LintSession {
+        let spec = HtmlSpec::new(config.version, config.extensions);
+        LintSession {
+            config,
+            spec,
+            scratch: Scratch::default(),
+            documents: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LintConfig {
+        &self.config
+    }
+
+    /// Replace the configuration (rebuilding the language tables if the
+    /// version or extensions changed). The scratch buffers are kept.
+    pub fn set_config(&mut self, config: LintConfig) {
+        if config.version != self.config.version || config.extensions != self.config.extensions {
+            self.spec = HtmlSpec::new(config.version, config.extensions);
+        }
+        self.config = config;
+    }
+
+    /// The assembled HTML language tables this session consults.
+    pub fn spec(&self) -> &HtmlSpec {
+        &self.spec
+    }
+
+    /// Check a document held in memory, reusing this session's buffers.
+    /// Never fails; returns diagnostics in source order.
+    pub fn check_string(&mut self, src: &str) -> Vec<Diagnostic> {
+        self.documents += 1;
+        engine::check_with(&self.spec, &self.config, src, &mut self.scratch)
+    }
+
+    /// Check a file on disk.
+    ///
+    /// Non-UTF-8 bytes are replaced rather than rejected — 1990s HTML is
+    /// frequently Latin-1, and weblint checks what it can.
+    pub fn check_file(&mut self, path: impl AsRef<Path>) -> io::Result<Vec<Diagnostic>> {
+        let bytes = fs::read(path)?;
+        let src = String::from_utf8_lossy(&bytes);
+        Ok(self.check_string(&src))
+    }
+
+    /// Number of documents checked by this session.
+    pub fn documents_checked(&self) -> u64 {
+        self.documents
+    }
+
+    /// Cumulative count of names that missed the static atom table and fell
+    /// back to the per-document side intern — the allocation canary. Stays
+    /// at zero while every element and attribute name the session sees is
+    /// in the generated tables.
+    pub fn fallback_interns(&self) -> u64 {
+        self.scratch.names.fallbacks()
+    }
+}
+
+impl Default for LintSession {
+    fn default() -> LintSession {
+        LintSession::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linter::Weblint;
+    use weblint_html::{Extensions, HtmlVersion};
+
+    #[test]
+    fn matches_weblint_across_documents() {
+        let weblint = Weblint::new();
+        let mut session = LintSession::new();
+        let docs = [
+            "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><P>hi</BODY></HTML>",
+            "<H1>My Example</H2>",
+            "<NOSUCHTAG attr=1 attr=2><B>dangling",
+            "",
+            "<A HREF=\"mailto:x@y\">here</A>",
+        ];
+        for doc in docs {
+            assert_eq!(
+                session.check_string(doc),
+                weblint.check_string(doc),
+                "{doc:?}"
+            );
+        }
+        assert_eq!(session.documents_checked(), docs.len() as u64);
+    }
+
+    #[test]
+    fn fallback_counter_tracks_unknown_names() {
+        let mut session = LintSession::new();
+        session.check_string("<HTML><BODY><P>fine</BODY></HTML>");
+        assert_eq!(session.fallback_interns(), 0);
+        session.check_string("<BLOCKQOUTE>x</BLOCKQOUTE>");
+        // Open and close of the same unknown name intern it once per
+        // document.
+        assert_eq!(session.fallback_interns(), 1);
+        session.check_string("<BLOCKQOUTE>x</BLOCKQOUTE>");
+        assert_eq!(session.fallback_interns(), 2);
+    }
+
+    #[test]
+    fn set_config_rebuilds_spec() {
+        let mut session = LintSession::new();
+        let mut config = LintConfig::default();
+        config.extensions = Extensions::netscape();
+        session.set_config(config);
+        assert!(session.spec().element("blink").is_some());
+        let diags = session.check_string("<BLINK>hi</BLINK>");
+        assert!(!diags.iter().any(|d| d.id == "extension-markup"));
+    }
+
+    #[test]
+    fn config_versions_match_weblint() {
+        let mut config = LintConfig::default();
+        config.version = HtmlVersion::Html32;
+        let weblint = Weblint::with_config(config.clone());
+        let mut session = LintSession::with_config(config);
+        let doc = "<HTML><BODY><ACRONYM>HTML</ACRONYM></BODY></HTML>";
+        assert_eq!(session.check_string(doc), weblint.check_string(doc));
+    }
+
+    #[test]
+    fn check_file_round_trip() {
+        let dir = std::env::temp_dir().join("weblint-session-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.html");
+        std::fs::write(&path, "<B>x").unwrap();
+        let mut session = LintSession::new();
+        let diags = session.check_file(&path).unwrap();
+        assert!(!diags.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

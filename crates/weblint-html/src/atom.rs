@@ -1,0 +1,239 @@
+//! Interned names for the static tables.
+//!
+//! Every element, attribute, and color name weblint knows is assigned a
+//! compile-time `u16` id — an [`Atom`] — by position in the generated
+//! sorted table [`crate::tables::atoms::ATOMS`]. Lookup is allocation-free
+//! and case-insensitive: a first-byte bucket narrows the range, then a
+//! binary search compares the query against the canonical lower-case
+//! spelling byte by byte. Entity names are deliberately *not* atoms: HTML
+//! entities are case-sensitive (`&Prime;` ≠ `&prime;`), so they keep their
+//! own case-sensitive table in [`crate::HtmlSpec`].
+//!
+//! The table is generated source, checked in for zero startup cost and
+//! verified complete by a unit test. After adding a name to the element,
+//! attribute, or color tables, regenerate with:
+//!
+//! ```sh
+//! cargo test -p weblint-html --lib regen_atoms -- --ignored
+//! ```
+
+use crate::tables::atoms::{ATOMS, BUCKETS};
+
+/// An interned table name: element, attribute, or color.
+///
+/// # Examples
+///
+/// ```
+/// use weblint_html::Atom;
+///
+/// let table = Atom::from_ascii(b"TABLE").unwrap();
+/// assert_eq!(table.as_str(), "table");
+/// assert_eq!(Atom::from_ascii(b"table"), Some(table));
+/// assert_eq!(Atom::from_ascii(b"blockqoute"), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Atom(u16);
+
+impl Atom {
+    /// Number of interned names; valid atom indexes are `0..count()`.
+    pub fn count() -> usize {
+        ATOMS.len()
+    }
+
+    /// Look up a name in any ASCII case. Returns `None` for names absent
+    /// from every table — the caller's cue to fall back to a side intern.
+    pub fn from_ascii(name: &[u8]) -> Option<Atom> {
+        let first = name.first()?.to_ascii_lowercase();
+        if !first.is_ascii_lowercase() {
+            return None;
+        }
+        let letter = (first - b'a') as usize;
+        let mut lo = BUCKETS[letter] as usize;
+        let mut hi = BUCKETS[letter + 1] as usize;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match cmp_ci(ATOMS[mid].as_bytes(), name) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(Atom(mid as u16)),
+            }
+        }
+        None
+    }
+
+    /// Canonical lower-case spelling.
+    pub fn as_str(self) -> &'static str {
+        ATOMS[self.0 as usize]
+    }
+
+    /// Position in the atom table; always `< Atom::count()`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The atom at `index`. Panics if out of range (test/debug helper).
+    pub fn from_index(index: usize) -> Atom {
+        assert!(index < ATOMS.len());
+        Atom(index as u16)
+    }
+}
+
+impl std::fmt::Display for Atom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Compare a canonical lower-case name against a query of arbitrary ASCII
+/// case, ordering as if the query were lower-cased.
+fn cmp_ci(canon: &[u8], query: &[u8]) -> std::cmp::Ordering {
+    let mut i = 0;
+    loop {
+        match (canon.get(i), query.get(i)) {
+            (None, None) => return std::cmp::Ordering::Equal,
+            (None, Some(_)) => return std::cmp::Ordering::Less,
+            (Some(_), None) => return std::cmp::Ordering::Greater,
+            (Some(&c), Some(&q)) => {
+                let q = q.to_ascii_lowercase();
+                match c.cmp(&q) {
+                    std::cmp::Ordering::Equal => i += 1,
+                    other => return other,
+                }
+            }
+        }
+    }
+}
+
+/// The sorted, deduplicated union of every element, attribute, and color
+/// name in the static tables — the source of truth `ATOMS` is generated
+/// from.
+#[cfg(test)]
+fn computed_table() -> Vec<&'static str> {
+    use crate::tables::{attrs, colors, elements};
+    let mut names: Vec<&'static str> = Vec::new();
+    for e in elements::ELEMENTS {
+        names.push(e.name);
+        names.extend(e.required_attrs.iter().copied());
+        names.extend(e.attrs.iter().map(|a| a.name));
+    }
+    names.extend(attrs::groups(attrs::COMMON_ALL).map(|a| a.name));
+    names.extend(colors::COLORS.iter().map(|&(name, _, _)| name));
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checked_in_table_matches_computed() {
+        let expected = computed_table();
+        assert_eq!(
+            ATOMS.to_vec(),
+            expected,
+            "tables/atoms.rs is stale — regenerate with \
+             `cargo test -p weblint-html --lib regen_atoms -- --ignored`"
+        );
+    }
+
+    #[test]
+    fn table_is_sorted_lowercase_letter_initial() {
+        for pair in ATOMS.windows(2) {
+            assert!(pair[0] < pair[1], "{:?} out of order", pair);
+        }
+        for name in ATOMS {
+            assert!(!name.is_empty());
+            assert!(
+                name.bytes().all(|b| !b.is_ascii_uppercase()),
+                "{name} not lower-case"
+            );
+            assert!(
+                name.as_bytes()[0].is_ascii_lowercase(),
+                "{name} not letter-initial"
+            );
+        }
+        assert!(ATOMS.len() < u16::MAX as usize);
+    }
+
+    #[test]
+    fn buckets_partition_by_first_letter() {
+        assert_eq!(BUCKETS[0], 0);
+        assert_eq!(BUCKETS[26] as usize, ATOMS.len());
+        for letter in 0..26 {
+            let (lo, hi) = (BUCKETS[letter] as usize, BUCKETS[letter + 1] as usize);
+            assert!(lo <= hi);
+            for name in &ATOMS[lo..hi] {
+                assert_eq!(name.as_bytes()[0], b'a' + letter as u8, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_name_round_trips_in_any_case() {
+        for (i, name) in ATOMS.iter().enumerate() {
+            let atom = Atom::from_ascii(name.as_bytes()).unwrap_or_else(|| panic!("{name}"));
+            assert_eq!(atom.index(), i);
+            assert_eq!(atom.as_str(), *name);
+            let upper = name.to_ascii_uppercase();
+            assert_eq!(Atom::from_ascii(upper.as_bytes()), Some(atom), "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_names_miss() {
+        for name in ["", "blockqoute", "zzzz", "1strong", "-x", "tablex", "tabl"] {
+            assert_eq!(Atom::from_ascii(name.as_bytes()), None, "{name}");
+        }
+    }
+
+    #[test]
+    fn known_names_hit() {
+        for name in ["html", "img", "alt", "href", "bgcolor", "red", "tomato"] {
+            assert!(Atom::from_ascii(name.as_bytes()).is_some(), "{name}");
+        }
+        // Entities are case-sensitive and must NOT be atoms unless the
+        // name coincides with an element/attr/color ("sub", "sup", ...).
+        assert_eq!(Atom::from_ascii(b"eacute"), None);
+    }
+
+    /// Regenerates `src/tables/atoms.rs` in place. Ignored by default so a
+    /// normal test run never rewrites source; run explicitly after editing
+    /// the element, attribute, or color tables.
+    #[test]
+    #[ignore = "rewrites src/tables/atoms.rs; run on demand"]
+    fn regen_atoms() {
+        let names = computed_table();
+        let mut buckets = [0u16; 27];
+        for letter in 0..26u8 {
+            buckets[letter as usize] = names
+                .iter()
+                .position(|n| n.as_bytes()[0] >= b'a' + letter)
+                .unwrap_or(names.len()) as u16;
+        }
+        buckets[26] = names.len() as u16;
+
+        let mut out = String::new();
+        out.push_str(
+            "//! GENERATED by `cargo test -p weblint-html --lib regen_atoms -- --ignored`.\n\
+             //! Do not edit by hand: the sorted union of every element, attribute,\n\
+             //! and color name, interned by position (see [`crate::Atom`]).\n\n",
+        );
+        out.push_str(&format!(
+            "/// Canonical lower-case names, sorted; `Atom(i)` names `ATOMS[i]`.\n\
+             pub static ATOMS: [&str; {}] = [\n",
+            names.len()
+        ));
+        for name in &names {
+            out.push_str(&format!("    {name:?},\n"));
+        }
+        out.push_str("];\n\n");
+        out.push_str(&format!(
+            "/// `BUCKETS[c - b'a']..BUCKETS[c - b'a' + 1]` spans names starting with `c`.\n\
+             pub static BUCKETS: [u16; 27] = {buckets:?};\n"
+        ));
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/src/tables/atoms.rs");
+        std::fs::write(path, out).unwrap();
+    }
+}

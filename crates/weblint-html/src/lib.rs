@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod atom;
 mod constraint;
 pub mod dtd;
 mod element;
@@ -36,6 +37,7 @@ mod spec;
 pub mod tables;
 mod version;
 
+pub use atom::Atom;
 pub use constraint::AttrConstraint;
 pub use element::{AttrDef, ElementCategory, ElementDef, EndTag};
 pub use spec::{AttrStatus, ElementStatus, HtmlSpec};

@@ -1,11 +1,75 @@
 //! The active language specification: one (version, extensions) view over
 //! the static tables.
+//!
+//! Lookup is static dispatch, not hashing: element and color names resolve
+//! to an [`Atom`] id and index process-wide tables built once from the
+//! static definitions; entity names (case-sensitive, so not atoms) binary
+//! search a sorted table. A spec itself is three words — constructing one
+//! per configuration is free.
 
-use std::collections::HashMap;
+use std::sync::OnceLock;
 
+use crate::atom::Atom;
 use crate::element::{AttrDef, ElementDef};
 use crate::tables::{attrs as attr_tables, colors, elements, entities};
 use crate::version::{mask, Extensions, HtmlVersion};
+
+/// Element definitions indexed by atom id; `None` for atoms that name only
+/// attributes or colors. Later table entries win on duplicate names, like
+/// the `HashMap` collect this replaces.
+fn element_index() -> &'static [Option<&'static ElementDef>] {
+    static INDEX: OnceLock<Vec<Option<&'static ElementDef>>> = OnceLock::new();
+    INDEX.get_or_init(|| {
+        let mut index = vec![None; Atom::count()];
+        for def in elements::ELEMENTS {
+            let atom = Atom::from_ascii(def.name.as_bytes())
+                .unwrap_or_else(|| panic!("element {} missing from atom table", def.name));
+            index[atom.index()] = Some(def);
+        }
+        index
+    })
+}
+
+/// `(mask, 0xRRGGBB)` per atom id; `None` for non-color atoms.
+fn color_index() -> &'static [Option<(u16, u32)>] {
+    static INDEX: OnceLock<Vec<Option<(u16, u32)>>> = OnceLock::new();
+    INDEX.get_or_init(|| {
+        let mut index = vec![None; Atom::count()];
+        for &(name, m, v) in colors::COLORS {
+            let atom = Atom::from_ascii(name.as_bytes())
+                .unwrap_or_else(|| panic!("color {name} missing from atom table"));
+            index[atom.index()] = Some((m, v));
+        }
+        index
+    })
+}
+
+/// Entity names sorted for binary search, duplicates resolved last-wins.
+fn entity_index() -> &'static [(&'static str, u16, u32)] {
+    static INDEX: OnceLock<Vec<(&'static str, u16, u32)>> = OnceLock::new();
+    INDEX.get_or_init(|| {
+        let mut index = entities::ENTITIES.to_vec();
+        index.sort_by_key(|&(name, _, _)| name);
+        index.dedup_by(|later, kept| {
+            if later.0 == kept.0 {
+                *kept = *later;
+                true
+            } else {
+                false
+            }
+        });
+        index
+    })
+}
+
+fn entity_lookup(name: &str) -> Option<(u16, u32)> {
+    let index = entity_index();
+    let i = index
+        .binary_search_by(|&(probe, _, _)| probe.cmp(name))
+        .ok()?;
+    let (_, m, cp) = index[i];
+    Some((m, cp))
+}
 
 /// Result of looking up an element name.
 #[derive(Debug, Clone, Copy)]
@@ -48,35 +112,20 @@ pub enum AttrStatus {
 /// let ns = HtmlSpec::new(HtmlVersion::Html40Transitional, Extensions::netscape());
 /// assert!(ns.element("blink").is_some());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct HtmlSpec {
     version: HtmlVersion,
     extensions: Extensions,
     active_mask: u16,
-    elements: HashMap<&'static str, &'static ElementDef>,
-    entities: HashMap<&'static str, (u16, u32)>,
-    colors: HashMap<&'static str, (u16, u32)>,
 }
 
 impl HtmlSpec {
     /// Assemble the spec for `version` with `extensions` enabled.
     pub fn new(version: HtmlVersion, extensions: Extensions) -> HtmlSpec {
-        let elements = elements::ELEMENTS.iter().map(|e| (e.name, e)).collect();
-        let entities = entities::ENTITIES
-            .iter()
-            .map(|&(name, m, cp)| (name, (m, cp)))
-            .collect();
-        let colors = colors::COLORS
-            .iter()
-            .map(|&(name, m, v)| (name, (m, v)))
-            .collect();
         HtmlSpec {
             version,
             extensions,
             active_mask: version.bit() | extensions.bits(),
-            elements,
-            entities,
-            colors,
         }
     }
 
@@ -95,23 +144,36 @@ impl HtmlSpec {
         self.active_mask
     }
 
-    /// Look up an element (lower-case name), returning it only if it is
+    /// Look up an element (any ASCII case), returning it only if it is
     /// active in this spec.
-    pub fn element(&self, name_lc: &str) -> Option<&'static ElementDef> {
-        match self.element_status(name_lc) {
+    pub fn element(&self, name: &str) -> Option<&'static ElementDef> {
+        match self.element_status(name) {
             ElementStatus::Active(def) => Some(def),
             _ => None,
         }
     }
 
     /// Look up an element in the full table, regardless of version.
-    pub fn element_any(&self, name_lc: &str) -> Option<&'static ElementDef> {
-        self.elements.get(name_lc).copied()
+    pub fn element_any(&self, name: &str) -> Option<&'static ElementDef> {
+        Atom::from_ascii(name.as_bytes()).and_then(|atom| self.element_any_atom(atom))
+    }
+
+    /// [`HtmlSpec::element_any`] for an already-interned name.
+    pub fn element_any_atom(&self, atom: Atom) -> Option<&'static ElementDef> {
+        element_index()[atom.index()]
     }
 
     /// Classify an element name against this spec.
-    pub fn element_status(&self, name_lc: &str) -> ElementStatus {
-        match self.elements.get(name_lc) {
+    pub fn element_status(&self, name: &str) -> ElementStatus {
+        match Atom::from_ascii(name.as_bytes()) {
+            Some(atom) => self.element_status_atom(atom),
+            None => ElementStatus::Unknown,
+        }
+    }
+
+    /// [`HtmlSpec::element_status`] for an already-interned name.
+    pub fn element_status_atom(&self, atom: Atom) -> ElementStatus {
+        match self.element_any_atom(atom) {
             None => ElementStatus::Unknown,
             Some(def) if def.mask & self.active_mask != 0 => ElementStatus::Active(def),
             Some(def) if def.mask & mask::ANYSTD == 0 => ElementStatus::Extension(def),
@@ -119,16 +181,16 @@ impl HtmlSpec {
         }
     }
 
-    /// Classify an attribute (lower-case) on an element.
+    /// Classify an attribute (any ASCII case) on an element.
     ///
     /// Searches the element's own attribute list, then the common groups
     /// (`%coreattrs`, `%i18n`, `%events`) the element participates in.
-    pub fn attr_status(&self, element: &ElementDef, attr_lc: &str) -> AttrStatus {
+    pub fn attr_status(&self, element: &ElementDef, attr: &str) -> AttrStatus {
         let mut inactive: Option<&'static AttrDef> = None;
         let own = element.attrs.iter();
         let common = attr_tables::groups(element.common_attrs);
         for def in own.chain(common) {
-            if def.name == attr_lc {
+            if def.name.eq_ignore_ascii_case(attr) {
                 if def.mask & self.active_mask != 0 {
                     return AttrStatus::Active(def);
                 }
@@ -143,7 +205,7 @@ impl HtmlSpec {
 
     /// The code point of an active entity (case-sensitive name).
     pub fn entity(&self, name: &str) -> Option<char> {
-        let &(m, cp) = self.entities.get(name)?;
+        let (m, cp) = entity_lookup(name)?;
         if m & self.active_mask != 0 {
             char::from_u32(cp)
         } else {
@@ -153,7 +215,7 @@ impl HtmlSpec {
 
     /// The code point of an entity defined in *any* version.
     pub fn entity_any(&self, name: &str) -> Option<char> {
-        let &(_, cp) = self.entities.get(name)?;
+        let (_, cp) = entity_lookup(name)?;
         char::from_u32(cp)
     }
 
@@ -164,8 +226,8 @@ impl HtmlSpec {
 
     /// The `0xRRGGBB` value of an active color name (case-insensitive).
     pub fn color_value(&self, name: &str) -> Option<u32> {
-        let lc = name.to_ascii_lowercase();
-        let &(m, v) = self.colors.get(lc.as_str())?;
+        let atom = Atom::from_ascii(name.as_bytes())?;
+        let (m, v) = color_index()[atom.index()]?;
         if m & self.active_mask != 0 {
             Some(v)
         } else {
@@ -175,8 +237,8 @@ impl HtmlSpec {
 
     /// The `0xRRGGBB` value of a color name in *any* version.
     pub fn color_value_any(&self, name: &str) -> Option<u32> {
-        let lc = name.to_ascii_lowercase();
-        self.colors.get(lc.as_str()).map(|&(_, v)| v)
+        let atom = Atom::from_ascii(name.as_bytes())?;
+        color_index()[atom.index()].map(|(_, v)| v)
     }
 
     /// Iterate over the elements active in this spec, in table order.

@@ -52,6 +52,7 @@ macro_rules! el {
     };
 }
 
+pub mod atoms;
 pub mod attrs;
 pub mod colors;
 pub mod elements;

@@ -124,20 +124,30 @@ impl FromStr for HtmlVersion {
     /// `3.2`, `4.0`, `4.0-strict`, `4.0-transitional`, `4.0-frameset`
     /// (case-insensitive, `html` prefix optional).
     fn from_str(s: &str) -> Result<HtmlVersion, String> {
-        let s = s.trim().to_ascii_lowercase();
-        let s = s
-            .strip_prefix("html")
-            .unwrap_or(&s)
-            .trim_start_matches([' ', '-']);
-        match s {
-            "2.0" | "20" => Ok(HtmlVersion::Html20),
-            "3.2" | "32" => Ok(HtmlVersion::Html32),
-            "4.0-strict" | "4.0strict" | "strict" => Ok(HtmlVersion::Html40Strict),
-            "4.0" | "40" | "4.0-transitional" | "transitional" | "loose" => {
-                Ok(HtmlVersion::Html40Transitional)
-            }
-            "4.0-frameset" | "frameset" => Ok(HtmlVersion::Html40Frameset),
-            other => Err(format!("unknown HTML version `{other}`")),
+        let s = s.trim();
+        let s = match s.get(..4) {
+            Some(prefix) if prefix.eq_ignore_ascii_case("html") => &s[4..],
+            _ => s,
+        };
+        let s = s.trim_start_matches([' ', '-']);
+        let eq = |name: &str| s.eq_ignore_ascii_case(name);
+        if eq("2.0") || eq("20") {
+            Ok(HtmlVersion::Html20)
+        } else if eq("3.2") || eq("32") {
+            Ok(HtmlVersion::Html32)
+        } else if eq("4.0-strict") || eq("4.0strict") || eq("strict") {
+            Ok(HtmlVersion::Html40Strict)
+        } else if eq("4.0")
+            || eq("40")
+            || eq("4.0-transitional")
+            || eq("transitional")
+            || eq("loose")
+        {
+            Ok(HtmlVersion::Html40Transitional)
+        } else if eq("4.0-frameset") || eq("frameset") {
+            Ok(HtmlVersion::Html40Frameset)
+        } else {
+            Err(format!("unknown HTML version `{}`", s.to_ascii_lowercase()))
         }
     }
 }

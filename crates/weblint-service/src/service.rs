@@ -1,5 +1,6 @@
 //! The lint service: a worker pool in front of the engine.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
@@ -7,7 +8,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
-use weblint_core::{Diagnostic, LintConfig, Weblint};
+use weblint_core::{Diagnostic, LintConfig, LintSession, Weblint};
 
 use crate::cache::{config_fingerprint, CacheKey, ResultCache};
 use crate::fnv::fnv1a;
@@ -208,23 +209,27 @@ impl LintService {
     }
 
     /// Submit one document under the service's base configuration.
-    pub fn submit(&self, source: impl Into<String>) -> Result<JobHandle, SubmitError> {
-        self.submit_with(source.into(), None)
+    ///
+    /// Accepts either borrowed or owned sources. A borrowed source is only
+    /// copied if the job actually reaches the queue — cache hits and
+    /// coalesced joins are answered without allocating.
+    pub fn submit<'a>(&self, source: impl Into<Cow<'a, str>>) -> Result<JobHandle, SubmitError> {
+        self.submit_with(source, None)
     }
 
     /// Submit one document, optionally overriding the configuration (the
     /// CLI and site checker use this for pages carrying pragmas).
-    pub fn submit_with(
+    pub fn submit_with<'a>(
         &self,
-        source: String,
+        source: impl Into<Cow<'a, str>>,
         config: Option<LintConfig>,
     ) -> Result<JobHandle, SubmitError> {
-        self.submit_inner(source, config, self.policy)
+        self.submit_inner(source.into(), config, self.policy)
     }
 
     fn submit_inner(
         &self,
-        source: String,
+        source: Cow<'_, str>,
         config: Option<LintConfig>,
         policy: SubmitPolicy,
     ) -> Result<JobHandle, SubmitError> {
@@ -287,7 +292,9 @@ impl LintService {
 
         let (tx, rx) = mpsc::channel();
         let job = Job {
-            source,
+            // The only point the submit path takes ownership of the bytes:
+            // everything before here works on the borrowed form.
+            source: source.into_owned(),
             config,
             fingerprint,
             content_hash,
@@ -339,10 +346,10 @@ impl LintService {
     ///
     /// The batch always uses [`SubmitPolicy::Block`] internally so it
     /// cannot lose members to a full queue.
-    pub fn lint_batch<I>(&self, sources: I) -> Vec<JobResult>
+    pub fn lint_batch<'a, I>(&self, sources: I) -> Vec<JobResult>
     where
         I: IntoIterator,
-        I::Item: Into<String>,
+        I::Item: Into<Cow<'a, str>>,
     {
         let handles: Vec<Result<JobHandle, SubmitError>> = sources
             .into_iter()
@@ -528,11 +535,15 @@ impl Drop for JobGuard<'_> {
 }
 
 fn worker_loop(shared: &Shared, index: usize) {
-    // Each worker keeps one checker built from the base configuration and
-    // a tiny cache of checkers for pragma-override configurations.
-    let base_checker = Weblint::with_config(shared.base.as_ref().clone());
-    let mut override_checkers: Vec<(u64, Weblint)> = Vec::new();
-    const OVERRIDE_CHECKERS: usize = 4;
+    // Each worker owns one reusable session built from the base
+    // configuration and a tiny cache of sessions for pragma-override
+    // configurations. Sessions carry the engine's scratch buffers across
+    // jobs, so a steady-state worker lints without per-document allocation
+    // churn. Rebuilt on respawn after a panic, which also discards any
+    // scratch state the unwind left behind.
+    let mut base_session = LintSession::with_config(shared.base.as_ref().clone());
+    let mut override_sessions: Vec<(u64, LintSession)> = Vec::new();
+    const OVERRIDE_SESSIONS: usize = 4;
 
     while let Some(job) = shared.queue.pop() {
         shared.counters.add_queue_wait(job.enqueued.elapsed());
@@ -554,27 +565,27 @@ fn worker_loop(shared: &Shared, index: usize) {
 
         let started = Instant::now();
         let diags = if job.fingerprint == shared.base_fingerprint {
-            base_checker.check_string(&job.source)
+            base_session.check_string(&job.source)
         } else {
-            let checker = match override_checkers
+            let session = match override_sessions
                 .iter()
                 .position(|(fp, _)| *fp == job.fingerprint)
             {
-                Some(i) => &override_checkers[i].1,
+                Some(i) => &mut override_sessions[i].1,
                 None => {
                     let config = job
                         .config
                         .as_deref()
                         .cloned()
                         .unwrap_or_else(|| shared.base.as_ref().clone());
-                    if override_checkers.len() >= OVERRIDE_CHECKERS {
-                        override_checkers.remove(0);
+                    if override_sessions.len() >= OVERRIDE_SESSIONS {
+                        override_sessions.remove(0);
                     }
-                    override_checkers.push((job.fingerprint, Weblint::with_config(config)));
-                    &override_checkers.last().unwrap().1
+                    override_sessions.push((job.fingerprint, LintSession::with_config(config)));
+                    &mut override_sessions.last_mut().expect("just pushed").1
                 }
             };
-            checker.check_string(&job.source)
+            session.check_string(&job.source)
         };
         shared.counters.add_lint_time(started.elapsed());
         shared.counters.per_worker[index].fetch_add(1, Ordering::Relaxed);

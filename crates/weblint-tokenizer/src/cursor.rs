@@ -86,6 +86,21 @@ impl<'a> Cursor<'a> {
         &self.src[start..self.pos.offset]
     }
 
+    /// Consume up to (not including) the next occurrence of the ASCII byte
+    /// `stop`, or to end-of-file; return the consumed slice. The byte-level
+    /// fast path for long text runs: no character decoding at all.
+    pub(crate) fn eat_until_byte(&mut self, stop: u8) -> &'a str {
+        debug_assert!(
+            stop.is_ascii(),
+            "stop byte must be ASCII for boundary safety"
+        );
+        let rest = self.rest();
+        let idx = memchr(stop, rest.as_bytes()).unwrap_or(rest.len());
+        let content = &rest[..idx];
+        self.pos.advance_str(content);
+        content
+    }
+
     /// Consume ASCII whitespace; return true if any was consumed.
     pub(crate) fn eat_ws(&mut self) -> bool {
         !self.eat_while(|c| c.is_ascii_whitespace()).is_empty()
@@ -126,18 +141,59 @@ pub(crate) fn find_ci(haystack: &str, needle: &str) -> Option<usize> {
     if haystack.len() < n {
         return None;
     }
-    let first_lo = needle.as_bytes()[0].to_ascii_lowercase();
     let hay = haystack.as_bytes();
     let pat = needle.as_bytes();
+    let first = pat[0];
+    // Compare as bytes throughout: a candidate index may fall inside a
+    // multibyte character, and `&str` slicing there would panic. The needles
+    // are always ASCII (`</script` etc.), so a byte match is also a
+    // char-boundary match.
+    if !first.is_ascii_alphabetic() {
+        // Case-insensitivity is moot for the first byte: jump candidate to
+        // candidate with memchr instead of walking every byte.
+        let mut i = 0;
+        while let Some(j) = memchr(first, &hay[i..]) {
+            let at = i + j;
+            if at > hay.len() - n {
+                return None;
+            }
+            if hay[at..at + n].eq_ignore_ascii_case(pat) {
+                return Some(at);
+            }
+            i = at + 1;
+        }
+        return None;
+    }
+    let first_lo = first.to_ascii_lowercase();
     for i in 0..=hay.len() - n {
-        // Compare as bytes: `i` may fall inside a multibyte character, and
-        // `&str` slicing there would panic. The needles are always ASCII
-        // (`</script` etc.), so a byte match is also a char-boundary match.
         if hay[i].to_ascii_lowercase() == first_lo && hay[i..i + n].eq_ignore_ascii_case(pat) {
             return Some(i);
         }
     }
     None
+}
+
+/// Position of the first occurrence of `needle` in `hay` — a SWAR memchr.
+///
+/// Words are tested eight bytes at a time with the classic zero-byte trick
+/// (`(x - 0x01…01) & !x & 0x80…80` is non-zero iff some byte of `x` is
+/// zero); the byte loop only runs over the final partial word or the word
+/// containing the hit.
+pub(crate) fn memchr(needle: u8, hay: &[u8]) -> Option<usize> {
+    const LANES: usize = std::mem::size_of::<usize>();
+    const LO: usize = usize::from_ne_bytes([0x01; LANES]);
+    const HI: usize = usize::from_ne_bytes([0x80; LANES]);
+    let broadcast = usize::from_ne_bytes([needle; LANES]);
+    let mut i = 0;
+    while i + LANES <= hay.len() {
+        let chunk = usize::from_ne_bytes(hay[i..i + LANES].try_into().unwrap());
+        let x = chunk ^ broadcast;
+        if x.wrapping_sub(LO) & !x & HI != 0 {
+            break;
+        }
+        i += LANES;
+    }
+    hay[i..].iter().position(|&b| b == needle).map(|p| i + p)
 }
 
 #[cfg(test)]
@@ -208,6 +264,34 @@ mod tests {
         let hay = "鄨Q\u{202e}x</script>";
         assert_eq!(find_ci(hay, "</script"), Some("鄨Q\u{202e}x".len()));
         assert_eq!(find_ci("é鄨\u{202e}", "</script"), None);
+    }
+
+    #[test]
+    fn memchr_matches_naive_search() {
+        let hay = b"abcabc\x00xyz\xff\x80abc<tail<";
+        for len in 0..hay.len() {
+            for needle in [b'a', b'<', b'\x00', b'\xff', b'\x80', b'q'] {
+                let expected = hay[..len].iter().position(|&b| b == needle);
+                assert_eq!(memchr(needle, &hay[..len]), expected, "{needle} in {len}");
+            }
+        }
+        let long = [b'x'; 100];
+        assert_eq!(memchr(b'y', &long), None);
+        let mut long = long;
+        long[83] = b'y';
+        assert_eq!(memchr(b'y', &long), Some(83));
+    }
+
+    #[test]
+    fn eat_until_byte_stops_or_hits_eof() {
+        let mut c = Cursor::new("abé\ncd<ef");
+        assert_eq!(c.eat_until_byte(b'<'), "abé\ncd");
+        assert_eq!(c.pos().line, 2);
+        assert_eq!(c.pos().col, 3);
+        assert_eq!(c.rest(), "<ef");
+        c.bump();
+        assert_eq!(c.eat_until_byte(b'<'), "ef");
+        assert!(c.is_eof());
     }
 
     #[test]

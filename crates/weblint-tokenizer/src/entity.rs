@@ -57,32 +57,27 @@ pub fn scan_entities<'a>(text: &'a str, base: Pos) -> Vec<EntityRef<'a>> {
     let mut out = Vec::new();
     let mut pos = base;
     let bytes = text.as_bytes();
-    let mut chars = text.char_indices().peekable();
-    while let Some((i, ch)) = chars.next() {
-        if ch != '&' {
-            pos.advance(ch);
-            continue;
-        }
+    // Jump ampersand to ampersand; the text between them only needs its
+    // line/column accounting, which advance_str does byte-wise. Clean text
+    // costs one memchr miss and nothing else.
+    let mut i = 0;
+    while let Some(j) = crate::cursor::memchr(b'&', &bytes[i..]) {
+        let amp = i + j;
+        pos.advance_str(&text[i..amp]);
         let start = pos;
         // Decide whether this begins an entity reference.
-        let rest = &text[i + 1..];
-        let (name_len, numeric, hex) = entity_name_len(rest);
+        let (name_len, numeric, hex) = entity_name_len(&text[amp + 1..]);
         if name_len == 0 {
-            pos.advance(ch);
+            pos.advance('&');
+            i = amp + 1;
             continue;
         }
-        let name = &text[i + 1..i + 1 + name_len];
-        let terminated = bytes.get(i + 1 + name_len) == Some(&b';');
-        // Advance over '&', the name, and the optional ';'.
-        pos.advance('&');
-        for _ in 0..name.chars().count() {
-            let (_, c) = chars.next().expect("name chars present");
-            pos.advance(c);
-        }
-        if terminated {
-            let (_, c) = chars.next().expect("semicolon present");
-            pos.advance(c);
-        }
+        let name = &text[amp + 1..amp + 1 + name_len];
+        let terminated = bytes.get(amp + 1 + name_len) == Some(&b';');
+        // Advance over '&', the name, and the optional ';' (all ASCII).
+        let total = 1 + name_len + usize::from(terminated);
+        pos.advance_str(&text[amp..amp + total]);
+        i = amp + total;
         out.push(EntityRef {
             name,
             numeric,

@@ -67,21 +67,31 @@ pub fn scan_metachars(text: &str, base: Pos) -> Vec<MetaChar> {
     let mut out = Vec::new();
     let mut pos = base;
     let bytes = text.as_bytes();
-    for (i, ch) in text.char_indices() {
+    // Jump metacharacter to metacharacter; everything between them only
+    // needs line/column accounting, done byte-wise by advance_str. The
+    // candidate bytes are ASCII, so a byte hit is always a real character.
+    let mut i = 0;
+    while let Some(j) = bytes[i..]
+        .iter()
+        .position(|&b| matches!(b, b'<' | b'>' | b'&'))
+    {
+        let hit = i + j;
+        pos.advance_str(&text[i..hit]);
+        let ch = bytes[hit] as char;
         let kind = match ch {
             '<' => Some(MetaCharKind::Lt),
             '>' => Some(MetaCharKind::Gt),
-            '&' => {
+            _ => {
                 // '&' followed by a letter or '#'+digit scans as an entity
                 // reference; the entity checks own that case.
-                let next = bytes.get(i + 1).copied();
+                let next = bytes.get(hit + 1).copied();
                 let starts_entity = match next {
                     Some(b) if b.is_ascii_alphabetic() => true,
                     Some(b'#') => {
-                        let after = bytes.get(i + 2).copied();
+                        let after = bytes.get(hit + 2).copied();
                         matches!(after, Some(b) if b.is_ascii_digit())
                             || (matches!(after, Some(b'x') | Some(b'X'))
-                                && matches!(bytes.get(i + 3), Some(b) if b.is_ascii_hexdigit()))
+                                && matches!(bytes.get(hit + 3), Some(b) if b.is_ascii_hexdigit()))
                     }
                     _ => false,
                 };
@@ -91,7 +101,6 @@ pub fn scan_metachars(text: &str, base: Pos) -> Vec<MetaChar> {
                     Some(MetaCharKind::Amp)
                 }
             }
-            _ => None,
         };
         if let Some(kind) = kind {
             let start = pos;
@@ -103,6 +112,7 @@ pub fn scan_metachars(text: &str, base: Pos) -> Vec<MetaChar> {
             });
         }
         pos.advance(ch);
+        i = hit + 1;
     }
     out
 }

@@ -46,11 +46,30 @@ impl Pos {
     }
 
     /// Advance this position over every character in `s`.
+    ///
+    /// Equivalent to calling [`Pos::advance`] per character, but works on
+    /// bytes: count newlines, then count the characters after the last one
+    /// (a character per non-continuation byte). This is what makes skipping
+    /// a long text run cheap — the byte loops vectorize, where the per-char
+    /// decode loop cannot.
     pub fn advance_str(&mut self, s: &str) {
-        for ch in s.chars() {
-            self.advance(ch);
+        let bytes = s.as_bytes();
+        self.offset += bytes.len();
+        match bytes.iter().rposition(|&b| b == b'\n') {
+            Some(last_nl) => {
+                let newlines = 1 + bytes[..last_nl].iter().filter(|&&b| b == b'\n').count();
+                self.line += newlines as u32;
+                self.col = 1 + count_chars(&bytes[last_nl + 1..]) as u32;
+            }
+            None => self.col += count_chars(bytes) as u32,
         }
     }
+}
+
+/// Number of characters in a valid UTF-8 byte sequence: one per byte that
+/// is not a continuation byte (`0b10xx_xxxx`).
+fn count_chars(bytes: &[u8]) -> usize {
+    bytes.iter().filter(|&&b| (b & 0xC0) != 0x80).count()
 }
 
 impl Default for Pos {
@@ -143,6 +162,27 @@ mod tests {
         let mut p = Pos::START;
         p.advance_str("é"); // 2 bytes, 1 char
         assert_eq!(p, Pos::new(1, 2, 2));
+    }
+
+    #[test]
+    fn advance_str_matches_per_char_advance() {
+        for s in [
+            "",
+            "plain ascii",
+            "ends with newline\n",
+            "\n\nleading",
+            "mixé\nmulti—byte\n日本語 text",
+            "tab\tand\rcarriage",
+            "\n",
+        ] {
+            let mut fast = Pos::new(3, 9, 17);
+            fast.advance_str(s);
+            let mut slow = Pos::new(3, 9, 17);
+            for ch in s.chars() {
+                slow.advance(ch);
+            }
+            assert_eq!(fast, slow, "{s:?}");
+        }
     }
 
     #[test]

@@ -4,12 +4,18 @@ use crate::cursor::Cursor;
 use crate::pos::Span;
 use crate::token::{Attr, AttrValue, Comment, Decl, Quote, Tag, Text, Token, TokenKind};
 
-/// Elements whose content is raw text: markup inside them is not parsed.
+/// Elements whose content is raw text, paired with the close pattern that
+/// ends it — static, so recognizing one allocates nothing.
 ///
 /// The paper (§5.1): "Certain elements require special processing, such as
 /// comments, SCRIPT and STYLE." `XMP` and `LISTING` are the obsolete HTML 2
 /// raw-text elements; `PLAINTEXT` swallows everything to end-of-file.
-const RAW_TEXT_ELEMENTS: &[&str] = &["script", "style", "xmp", "listing"];
+const RAW_TEXT_ELEMENTS: &[(&str, &str)] = &[
+    ("script", "</script"),
+    ("style", "</style"),
+    ("xmp", "</xmp"),
+    ("listing", "</listing"),
+];
 
 /// Abort the quote-aware tag scan once a single quoted value exceeds this
 /// many bytes — at that point the quote is almost certainly unterminated and
@@ -33,9 +39,10 @@ const QUOTE_SCAN_CAP: usize = 32 * 1024;
 #[derive(Debug, Clone)]
 pub struct Tokenizer<'a> {
     cur: Cursor<'a>,
-    /// When set, the content of this just-opened raw-text element must be
-    /// consumed as text before normal tokenization resumes. Lower-case name.
-    raw_text_until: Option<String>,
+    /// When set, the content of a just-opened raw-text element must be
+    /// consumed as text before normal tokenization resumes. Holds the close
+    /// pattern (`"</script"` etc.) from [`RAW_TEXT_ELEMENTS`].
+    raw_text_until: Option<&'static str>,
     /// A `PLAINTEXT` start tag was seen: the rest of the file is text.
     plaintext: bool,
 }
@@ -62,11 +69,11 @@ impl<'a> Tokenizer<'a> {
         }
     }
 
-    /// Consume raw-text content up to (not including) `</name`.
-    fn scan_raw_text(&mut self, name: &str) -> Option<Token<'a>> {
+    /// Consume raw-text content up to (not including) `close` (`"</script"`
+    /// etc., matched case-insensitively).
+    fn scan_raw_text(&mut self, close: &str) -> Option<Token<'a>> {
         let start = self.cur.pos();
-        let close = format!("</{name}");
-        let raw = match self.cur.find_ci(&close) {
+        let raw = match self.cur.find_ci(close) {
             Some(0) => return None, // no content; parse the end tag normally
             Some(idx) => {
                 let raw = &self.cur.rest()[..idx];
@@ -81,7 +88,7 @@ impl<'a> Tokenizer<'a> {
     fn scan_text(&mut self) -> Token<'a> {
         let start = self.cur.pos();
         loop {
-            self.cur.eat_while(|c| c != '<');
+            self.cur.eat_until_byte(b'<');
             match self.cur.peek_nth(1) {
                 // A '<' that begins markup ends the text run.
                 Some(c) if c.is_ascii_alphabetic() || c == '!' || c == '?' || c == '/' => break,
@@ -346,8 +353,8 @@ impl<'a> Iterator for Tokenizer<'a> {
             let raw = self.cur.eat_to_eof();
             return Some(self.token(start, TokenKind::Text(Text { raw, is_raw: true })));
         }
-        if let Some(name) = self.raw_text_until.take() {
-            if let Some(tok) = self.scan_raw_text(&name) {
+        if let Some(close) = self.raw_text_until.take() {
+            if let Some(tok) = self.scan_raw_text(close) {
                 return Some(tok);
             }
         }
@@ -360,11 +367,13 @@ impl<'a> Iterator for Tokenizer<'a> {
             (None, _) => return None,
         };
         if let TokenKind::StartTag(tag) = &tok.kind {
-            let lc = tag.name_lc();
-            if lc == "plaintext" {
+            if tag.name.eq_ignore_ascii_case("plaintext") {
                 self.plaintext = true;
-            } else if RAW_TEXT_ELEMENTS.contains(&lc.as_str()) {
-                self.raw_text_until = Some(lc);
+            } else if let Some(&(_, close)) = RAW_TEXT_ELEMENTS
+                .iter()
+                .find(|(name, _)| tag.name.eq_ignore_ascii_case(name))
+            {
+                self.raw_text_until = Some(close);
             }
         }
         Some(tok)
@@ -393,29 +402,37 @@ enum BodyEnd {
 /// reports whether the quote count in that span is odd (the paper's §4.2
 /// "odd number of quotes in element" diagnostic).
 fn scan_tag_body(rest: &str) -> (usize, BodyEnd, bool) {
-    let mut in_quote: Option<char> = None;
+    // A byte walk, not a char walk: every byte that decides anything
+    // (`>` `<` `"` `'`) is ASCII and can never match inside a multibyte
+    // character. The cap check fires only at character starts so the abort
+    // point is identical to the old per-char scan.
+    let bytes = rest.as_bytes();
+    let mut in_quote: Option<u8> = None;
     let mut quote_start = 0usize;
     let mut aborted = false;
-    for (i, ch) in rest.char_indices() {
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
         match in_quote {
-            None => match ch {
-                '>' => return (i, BodyEnd::Gt, false),
-                '<' => return (i, BodyEnd::EarlyLt, false),
-                '"' | '\'' => {
-                    in_quote = Some(ch);
+            None => match b {
+                b'>' => return (i, BodyEnd::Gt, false),
+                b'<' => return (i, BodyEnd::EarlyLt, false),
+                b'"' | b'\'' => {
+                    in_quote = Some(b);
                     quote_start = i;
                 }
                 _ => {}
             },
             Some(q) => {
-                if ch == q {
+                if b == q {
                     in_quote = None;
-                } else if ch == '<' || i - quote_start > QUOTE_SCAN_CAP {
+                } else if b == b'<' || ((b & 0xC0) != 0x80 && i - quote_start > QUOTE_SCAN_CAP) {
                     aborted = true;
                     break;
                 }
             }
         }
+        i += 1;
     }
     if !aborted {
         return match in_quote {

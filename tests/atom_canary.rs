@@ -1,0 +1,108 @@
+//! Allocation-regression canary for the interned-atom hot path (E14).
+//!
+//! The engine's zero-allocation claim rests on every element and attribute
+//! name in ordinary HTML resolving to a static [`weblint_html::Atom`]; a
+//! name that misses the table falls back to a per-document side intern,
+//! which allocates. [`weblint_core::LintSession::fallback_interns`] counts
+//! those misses cumulatively, so linting a large clean corpus and asserting
+//! the counter stayed at zero catches two regressions at once:
+//!
+//! - a name dropped from (or never added to) the generated atom table, and
+//! - an engine change that starts interning names it used to look up
+//!   statically.
+//!
+//! `ci.sh` runs this alongside the golden byte-identity suite.
+
+use weblint_core::LintSession;
+
+/// Clean generated documents across seeds and sizes: the corpus generator
+/// only emits markup from the HTML 4.0 tables, so every name must hit the
+/// atom table.
+#[test]
+fn clean_corpus_never_falls_back_to_side_interning() {
+    let mut session = LintSession::new();
+    for seed in 0..16u64 {
+        for &bytes in &[1usize << 10, 8 << 10, 32 << 10] {
+            let doc = weblint_corpus::generate_document(seed, bytes);
+            session.check_string(&doc);
+            assert_eq!(
+                session.fallback_interns(),
+                0,
+                "seed {seed} size {bytes}: a generated name missed the atom table"
+            );
+        }
+    }
+    assert_eq!(session.documents_checked(), 48);
+}
+
+/// Defect injection rewrites structure (unclosed tags, bad nesting, rogue
+/// metacharacters) but mostly keeps table-backed names — so even the dirty
+/// corpus must stay fallback-free. The two classes that deliberately
+/// inject out-of-table names (`unknown-element`, `unknown-attribute`) are
+/// excluded here and covered by the live-counter assertion below.
+#[test]
+fn dirty_corpus_stays_fallback_free() {
+    use rand::SeedableRng;
+    let mut session = LintSession::new();
+    for seed in 0..8u64 {
+        let mut doc = weblint_corpus::generate_document(seed, 8 << 10);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xCA11A5);
+        for &class in weblint_corpus::all_defect_classes() {
+            if matches!(
+                class,
+                weblint_corpus::DefectClass::UnknownElement
+                    | weblint_corpus::DefectClass::UnknownAttribute
+            ) {
+                continue;
+            }
+            doc = class.inject(&doc, &mut rng);
+        }
+        session.check_string(&doc);
+        assert_eq!(
+            session.fallback_interns(),
+            0,
+            "seed {seed}: defect injection introduced an out-of-table name"
+        );
+    }
+}
+
+/// The counter is live: an actually-unknown name must trip it. Guards
+/// against the canary rotting into a tautology (e.g. the counter never
+/// incrementing at all).
+#[test]
+fn unknown_names_do_trip_the_counter() {
+    let mut session = LintSession::new();
+    session.check_string("<BLOCKQOUTE>typo</BLOCKQOUTE>");
+    assert!(session.fallback_interns() > 0);
+}
+
+/// Valid sample pages exercise the checker surface (vendor markup, frames,
+/// pragmas) using only table-backed names. The `bad_*` pages contain
+/// deliberate typos and the custom-markup page declares its own element,
+/// so only the other `valid_*` pages are held to zero fallbacks.
+#[test]
+fn valid_sample_pages_stay_fallback_free() {
+    let samples = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/samples");
+    let mut paths: Vec<_> = std::fs::read_dir(&samples)
+        .expect("tests/samples")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "html")
+                && p.file_name()
+                    .is_some_and(|n| n.to_string_lossy().starts_with("valid_"))
+                && p.file_stem().is_some_and(|n| n != "valid_custom_markup")
+        })
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty());
+    let mut session = LintSession::new();
+    for path in paths {
+        session.check_file(&path).unwrap();
+        assert_eq!(
+            session.fallback_interns(),
+            0,
+            "{}: a sample page name missed the atom table",
+            path.display()
+        );
+    }
+}

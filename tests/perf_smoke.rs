@@ -1,0 +1,82 @@
+//! Release-mode performance smoke for `ci.sh` (E14).
+//!
+//! Not a benchmark — a tripwire. The floors are set an order of magnitude
+//! below what the atom-interned hot path measures on the slowest dev host
+//! (hundreds of MiB/s on `big.html`, thousands of docs/s on the generated
+//! corpus), so an honest machine only fails if a change genuinely
+//! regresses the hot path back toward per-token allocation behavior.
+//! Timings take the best of three rounds to shrug off scheduler noise, and
+//! `ci.sh` wraps the run in `timeout` so a wedged engine fails CI rather
+//! than stalling it.
+//!
+//! The assertions only arm in release builds; a debug `cargo test` runs
+//! the same code purely as a smoke test.
+
+use std::time::Instant;
+
+use weblint_core::LintSession;
+
+/// Lowest acceptable single-thread throughput on `big.html`, in MiB/s.
+const BIG_FLOOR_MIB_S: f64 = 40.0;
+
+/// Lowest acceptable document rate over the generated corpus, in docs/s.
+const CORPUS_FLOOR_DOCS_S: f64 = 400.0;
+
+fn best_of<F: FnMut() -> f64>(rounds: usize, mut run: F) -> f64 {
+    (0..rounds).map(|_| run()).fold(0.0, f64::max)
+}
+
+#[test]
+fn big_html_throughput_floor() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("big.html");
+    let source = std::fs::read_to_string(&path).expect("big.html fixture");
+    let mib = source.len() as f64 / (1024.0 * 1024.0);
+    let mut session = LintSession::new();
+    session.check_string(&source); // warm the scratch buffers
+
+    let iters = 10;
+    let mib_per_s = best_of(3, || {
+        let started = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(session.check_string(&source));
+        }
+        mib * iters as f64 / started.elapsed().as_secs_f64()
+    });
+
+    if cfg!(debug_assertions) {
+        eprintln!("debug build: measured {mib_per_s:.1} MiB/s (floor not armed)");
+        return;
+    }
+    assert!(
+        mib_per_s >= BIG_FLOOR_MIB_S,
+        "big.html lint throughput {mib_per_s:.1} MiB/s fell below the {BIG_FLOOR_MIB_S} MiB/s floor"
+    );
+}
+
+#[test]
+fn corpus_document_rate_floor() {
+    let docs: Vec<String> = (0..32u64)
+        .map(|seed| weblint_corpus::generate_document(seed, 8 << 10))
+        .collect();
+    let mut session = LintSession::new();
+    for doc in &docs {
+        std::hint::black_box(session.check_string(doc)); // warm up
+    }
+
+    let docs_per_s = best_of(3, || {
+        let started = Instant::now();
+        for doc in &docs {
+            std::hint::black_box(session.check_string(doc));
+        }
+        docs.len() as f64 / started.elapsed().as_secs_f64()
+    });
+
+    if cfg!(debug_assertions) {
+        eprintln!("debug build: measured {docs_per_s:.0} docs/s (floor not armed)");
+        return;
+    }
+    assert!(
+        docs_per_s >= CORPUS_FLOOR_DOCS_S,
+        "corpus lint rate {docs_per_s:.0} docs/s fell below the {CORPUS_FLOOR_DOCS_S} docs/s floor"
+    );
+}
