@@ -15,12 +15,23 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo run --release -p weblint-cli --bin weblint-serve -- -smoke -jobs 2
 
 # Chaos gate: the end-to-end fault-injection suite (determinism, per-host
-# fault accounting, panic recovery) plus the smoke test with a 20% fault
-# schedule. Both run under a hard wall-clock cap so a wedged retry loop or
-# a hung worker fails CI instead of stalling it.
+# fault accounting, panic recovery, and the adaptive scheduler: AIMD
+# decay before the breaker opens, hedge budget/breaker suppression,
+# adaptive crawl determinism) plus the smoke test with a 20% fault
+# schedule, plain and adaptive. All run under a hard wall-clock cap so a
+# wedged retry loop, hung worker, or deadlocked fetch batch fails CI
+# instead of stalling it.
 timeout 120 cargo test -q --release --test chaos
 timeout 60 cargo run --release -p weblint-cli --bin weblint-serve -- \
     -smoke -jobs 2 -faults 20% -fault-seed 7
+timeout 60 cargo run --release -p weblint-cli --bin weblint-serve -- \
+    -smoke -jobs 2 -faults 20% -fault-seed 7 -adaptive
+
+# Adaptive scheduler perf smoke (E15): the bench's shape pass runs every
+# discipline (sequential / fixed / adaptive) once over the sleepy
+# transport; criterion --test mode skips measurement, so this is a
+# liveness-and-speed gate, not a timing assertion.
+timeout 180 cargo bench -p weblint-bench --bench adaptive -- --test
 
 # Perf gates for the zero-allocation hot path (E14):
 #  - golden byte-identity of lint output over the whole corpus,

@@ -53,12 +53,13 @@ fn crawl(web: &SharedWeb, rate: u8, workers: usize) -> (usize, u64, u64) {
         FaultyWeb::new(web.clone(), FaultSpec::all(rate), SEED),
         SEED,
     );
-    let robot = Robot::new(RobotOptions {
-        max_pages: PAGES + 1,
-        check_external: false,
-        lint: LintConfig::default(),
-        ..RobotOptions::default()
-    });
+    let robot = Robot::new(
+        RobotOptions::builder()
+            .max_pages(PAGES + 1)
+            .check_external(false)
+            .lint(LintConfig::default())
+            .build(),
+    );
     let service = LintService::new(ServiceConfig {
         workers,
         cache_capacity: 0,

@@ -18,9 +18,7 @@ use std::process::ExitCode;
 
 use weblint_core::{format_report, LintConfig, OutputFormat};
 use weblint_service::{LintService, ServiceConfig};
-use weblint_site::{
-    DirStore, FaultSpec, FaultyWeb, ResilientFetcher, Robot, RobotOptions, StoreFetcher,
-};
+use weblint_site::{DirStore, FaultSpec, FetchStack, Robot, RobotOptions, StoreFetcher};
 
 const USAGE: &str = "\
 usage: poacher [options] DIRECTORY
@@ -33,10 +31,17 @@ options:
   -s            short per-page messages (line N: ...)
   -max N        stop after N pages (default 1000)
   -jobs N       lint crawled pages on N worker threads
+  -fetchers N   keep up to N fetches in flight (default 1; the adaptive
+                per-host limit clamps each batch further)
+  -adaptive     pace the crawl: AIMD per-host in-flight limits plus
+                budget-capped hedged fetches
   -quiet        only dead links and the summary
+  -stats        print the fetch stack's telemetry (faults, resilience,
+                pacing) after the summary
   -faults SPEC  inject deterministic fetch faults and crawl through the
                 retrying fetcher; SPEC is RATE% or RATE%:KIND+KIND
-                (kinds: latency, timeout, 5xx, reset, truncate)
+                (kinds: latency, timeout, 5xx, reset, truncate),
+                optionally confined to one host with @HOST
   -fault-seed N seed for fault injection and retry jitter (default 0)
   -help         this message";
 
@@ -46,7 +51,10 @@ struct Options {
     format: OutputFormat,
     max_pages: usize,
     jobs: usize,
+    fetchers: usize,
+    adaptive: bool,
     quiet: bool,
+    stats: bool,
     faults: Option<FaultSpec>,
     fault_seed: u64,
 }
@@ -57,7 +65,10 @@ fn parse(argv: &[String]) -> Result<Options, String> {
         format: OutputFormat::Lint,
         max_pages: 1_000,
         jobs: 0,
+        fetchers: 1,
+        adaptive: false,
         quiet: false,
+        stats: false,
         faults: None,
         fault_seed: 0,
     };
@@ -77,7 +88,17 @@ fn parse(argv: &[String]) -> Result<Options, String> {
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("-jobs needs a positive number, got `{v}'"))?;
             }
+            "-fetchers" => {
+                let v = it.next().ok_or("-fetchers needs a number")?;
+                options.fetchers = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| (1..=64).contains(&n))
+                    .ok_or_else(|| format!("-fetchers needs a number in 1..=64, got `{v}'"))?;
+            }
+            "-adaptive" => options.adaptive = true,
             "-quiet" => options.quiet = true,
+            "-stats" => options.stats = true,
             "-faults" => {
                 let v = it
                     .next()
@@ -126,12 +147,14 @@ fn main() -> ExitCode {
     };
     let fetcher = StoreFetcher::new(&store, "local");
     let start = fetcher.start_url();
-    let robot = Robot::new(RobotOptions {
-        max_pages: options.max_pages,
-        check_external: false,
-        lint: LintConfig::default(),
-        ..RobotOptions::default()
-    });
+    let robot = Robot::new(
+        RobotOptions::builder()
+            .max_pages(options.max_pages.max(1))
+            .jobs(options.fetchers)
+            .check_external(false)
+            .lint(LintConfig::default())
+            .build(),
+    );
     let service = (options.jobs > 1).then(|| {
         LintService::new(ServiceConfig {
             workers: options.jobs,
@@ -139,29 +162,22 @@ fn main() -> ExitCode {
             ..ServiceConfig::default()
         })
     });
-    let mut chaos_stats = None;
-    let report = match options.faults.clone() {
-        // Chaos mode: every fetch passes through seeded fault injection,
-        // and the crawl survives it behind retries and per-host breakers.
-        Some(spec) => {
-            let chaotic = ResilientFetcher::with_defaults(
-                FaultyWeb::new(fetcher, spec, options.fault_seed),
-                options.fault_seed,
-            );
-            let report = match &service {
-                Some(service) => robot.crawl_with(&chaotic, &start, service),
-                None => robot.crawl(&chaotic, &start),
-            };
-            chaos_stats = Some((
-                chaotic.inner().stats().to_string(),
-                chaotic.stats().to_string(),
-            ));
-            report
-        }
-        None => match &service {
-            Some(service) => robot.crawl_with(&fetcher, &start, service),
-            None => robot.crawl(&fetcher, &start),
-        },
+    // Every crawl goes through one composed fetch stack: fault injection
+    // and the retrying, breaker-guarded fetcher under -faults, the
+    // adaptive pacer under -adaptive, a bare tower otherwise.
+    let mut builder = FetchStack::new(fetcher);
+    if let Some(spec) = options.faults.clone() {
+        builder = builder
+            .faults(spec, options.fault_seed)
+            .resilience_defaults();
+    }
+    if options.adaptive {
+        builder = builder.adaptive_defaults().hedging_defaults();
+    }
+    let stack = builder.build();
+    let report = match &service {
+        Some(service) => robot.crawl_stack_with(&stack, &start, service),
+        None => robot.crawl_stack(&stack, &start),
     };
 
     let mut messages = 0usize;
@@ -190,9 +206,11 @@ fn main() -> ExitCode {
     if report.truncated {
         println!("poacher: crawl truncated at {} pages", options.max_pages);
     }
-    if let Some((faults, resilience)) = chaos_stats {
-        println!("{faults}");
-        println!("{resilience}");
+    // One shared render path with the httpd /metrics endpoint: the
+    // stack's unified telemetry snapshot.
+    let telemetry = stack.telemetry();
+    if (options.stats || options.faults.is_some()) && !telemetry.is_empty() {
+        println!("{telemetry}");
     }
     if messages > 0 || !report.dead_links.is_empty() {
         ExitCode::from(1)
@@ -218,6 +236,27 @@ mod tests {
         }
         // No -jobs at all means the sequential crawl.
         assert_eq!(parse(&args(&["site"])).unwrap().jobs, 0);
+    }
+
+    #[test]
+    fn fetchers_and_adaptive_parse() {
+        let options = parse(&args(&["-fetchers", "8", "-adaptive", "-stats", "site"])).unwrap();
+        assert_eq!(options.fetchers, 8);
+        assert!(options.adaptive);
+        assert!(options.stats);
+        // Defaults: one fetch in flight, no pacing, no stats dump.
+        let plain = parse(&args(&["site"])).unwrap();
+        assert_eq!(plain.fetchers, 1);
+        assert!(!plain.adaptive && !plain.stats);
+        for bad in [
+            &["-fetchers", "0"][..],
+            &["-fetchers", "65"],
+            &["-fetchers", "many"],
+            &["-fetchers"],
+        ] {
+            let err = parse(&args(bad)).unwrap_err();
+            assert!(err.contains("-fetchers"), "{err}");
+        }
     }
 
     #[test]

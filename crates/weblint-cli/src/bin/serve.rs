@@ -38,8 +38,11 @@ options:
   -keep-alive on|off   persistent connections (default on)
   -faults SPEC  inject deterministic faults into the url= fetch path;
                 SPEC is RATE% or RATE%:KIND+KIND (kinds: latency,
-                timeout, 5xx, reset, truncate)
+                timeout, 5xx, reset, truncate), optionally confined to
+                one host with @HOST
   -fault-seed N seed for fault injection and retry jitter (default 0)
+  -adaptive     pace faulted fetches: AIMD per-host limits plus
+                budget-capped hedges (needs -faults)
   -smoke        bind an ephemeral port, self-check every route, exit
   -help         this message";
 
@@ -50,6 +53,7 @@ struct Options {
     keep_alive: bool,
     faults: Option<FaultSpec>,
     fault_seed: u64,
+    adaptive: bool,
     smoke: bool,
 }
 
@@ -61,6 +65,7 @@ fn parse(argv: &[String]) -> Result<Options, String> {
         keep_alive: true,
         faults: None,
         fault_seed: 0,
+        adaptive: false,
         smoke: false,
     };
     let mut it = argv.iter();
@@ -108,6 +113,7 @@ fn parse(argv: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("-fault-seed needs a number, got `{v}'"))?;
             }
+            "-adaptive" => options.adaptive = true,
             "-smoke" => options.smoke = true,
             "-help" | "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}'")),
@@ -147,6 +153,7 @@ fn server_config(options: &Options) -> ServerConfig {
         keep_alive: options.keep_alive,
         faults: options.faults.clone(),
         fault_seed: options.fault_seed,
+        adaptive: options.adaptive,
         ..ServerConfig::default()
     }
 }
@@ -312,9 +319,11 @@ mod tests {
 
     #[test]
     fn fault_flags_parse() {
-        let options = parse(&args(&["-faults", "20%", "-fault-seed", "7"])).unwrap();
+        let options = parse(&args(&["-faults", "20%", "-fault-seed", "7", "-adaptive"])).unwrap();
         assert_eq!(options.faults.unwrap().rate_percent, 20);
         assert_eq!(options.fault_seed, 7);
+        assert!(options.adaptive);
+        assert!(!parse(&args(&["-smoke"])).unwrap().adaptive);
         assert!(parse(&args(&["-faults", "huge%"])).is_err());
         assert!(parse(&args(&["-fault-seed", "soon"])).is_err());
     }

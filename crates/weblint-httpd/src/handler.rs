@@ -9,33 +9,20 @@ use std::sync::Arc;
 use weblint_core::{format_report, Diagnostic, OutputFormat};
 use weblint_gateway::{render_form, Gateway, GatewayError};
 use weblint_service::{JobError, LintService, SubmitError};
-use weblint_site::{FaultSpec, FaultyWeb, Fetcher, ResilientFetcher, SharedWeb};
+use weblint_site::{FaultSpec, FetchStack, SharedWeb};
 
 use crate::http::{Request, Response};
 use crate::metrics::HttpCounters;
 
-/// How `GET /lint?url=` reaches the simulated web: directly, or through
-/// the chaos stack (fault injection under the resilient fetcher) when the
-/// server was started with `-faults`.
-pub(crate) enum UrlFetch {
-    Plain(SharedWeb),
-    Chaos(Box<ResilientFetcher<FaultyWeb<SharedWeb>>>),
-}
-
-impl UrlFetch {
-    fn fetcher(&self) -> &dyn Fetcher {
-        match self {
-            UrlFetch::Plain(web) => web,
-            UrlFetch::Chaos(fetcher) => fetcher.as_ref(),
-        }
-    }
-}
-
-/// Shared state behind every connection thread.
+/// Shared state behind every connection thread. The `url=` fetch path
+/// always goes through a [`FetchStack`]: a bare tower in normal
+/// operation, fault injection under the retrying breaker-guarded
+/// fetcher when the server was started with `-faults`, and the adaptive
+/// pacer on top under `-adaptive`.
 pub(crate) struct App {
     pub(crate) service: LintService,
     pub(crate) gateway: Gateway,
-    pub(crate) fetch: UrlFetch,
+    pub(crate) stack: FetchStack<SharedWeb>,
     pub(crate) counters: Arc<HttpCounters>,
 }
 
@@ -49,13 +36,14 @@ impl App {
         App {
             service,
             gateway,
-            fetch: UrlFetch::Plain(web),
+            stack: FetchStack::new(web).build(),
             counters,
         }
     }
 
     /// [`App::new`], with URL fetches routed through seeded fault
-    /// injection and the retrying, breaker-guarded fetcher.
+    /// injection and the retrying, breaker-guarded fetcher; `adaptive`
+    /// adds the AIMD/hedging pacer so `/metrics` exposes its tables.
     pub(crate) fn with_chaos(
         service: LintService,
         gateway: Gateway,
@@ -63,15 +51,18 @@ impl App {
         counters: Arc<HttpCounters>,
         spec: FaultSpec,
         seed: u64,
+        adaptive: bool,
     ) -> App {
-        let fetch = UrlFetch::Chaos(Box::new(ResilientFetcher::with_defaults(
-            FaultyWeb::new(web, spec, seed),
-            seed,
-        )));
+        let mut builder = FetchStack::new(web)
+            .faults(spec, seed)
+            .resilience_defaults();
+        if adaptive {
+            builder = builder.adaptive_defaults().hedging_defaults();
+        }
         App {
             service,
             gateway,
-            fetch,
+            stack: builder.build(),
             counters,
         }
     }
@@ -161,10 +152,11 @@ pub(crate) fn handle(app: &App, req: &Request) -> Response {
             let service = app.service.metrics();
             let http = app.counters.snapshot();
             let mut text = format!("{service}\n\n{http}\n");
-            if let UrlFetch::Chaos(fetcher) = &app.fetch {
-                let faults = fetcher.inner().stats();
-                let resilience = fetcher.stats();
-                text.push_str(&format!("\n{faults}\n\n{resilience}\n"));
+            // One shared render path with poacher -stats: the stack's
+            // unified telemetry snapshot, section per enabled layer.
+            let telemetry = app.stack.telemetry();
+            if !telemetry.is_empty() {
+                text.push_str(&format!("\n{telemetry}\n"));
             }
             Response::text(200, text)
         }
@@ -210,7 +202,7 @@ fn handle_get_lint(app: &App, req: &Request) -> Response {
         Ok(style) => style,
         Err(response) => return response,
     };
-    let (resolved, body) = match app.gateway.resolve(app.fetch.fetcher(), url) {
+    let (resolved, body) = match app.gateway.resolve(&app.stack, url) {
         Ok(hit) => hit,
         Err(err) => {
             let status = match err {
@@ -443,6 +435,7 @@ mod tests {
             Arc::new(HttpCounters::default()),
             weblint_site::FaultSpec::parse("100:5xx").unwrap(),
             7,
+            true,
         );
         // Under 100% server errors with retries exhausted, the fetch
         // fails as a bad gateway rather than hanging or panicking.
@@ -455,5 +448,6 @@ mod tests {
         let text = String::from_utf8(metrics.body).unwrap();
         assert!(text.contains("fault injection:"), "{text}");
         assert!(text.contains("resilience:"), "{text}");
+        assert!(text.contains("pacing:"), "{text}");
     }
 }

@@ -49,6 +49,9 @@ pub struct ServerConfig {
     pub faults: Option<FaultSpec>,
     /// Seed for fault injection and retry jitter.
     pub fault_seed: u64,
+    /// Enable the adaptive pacer (AIMD limits + hedging telemetry) on
+    /// the chaos fetch stack; only meaningful with `faults` set.
+    pub adaptive: bool,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +67,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             faults: None,
             fault_seed: 0,
+            adaptive: false,
         }
     }
 }
@@ -109,7 +113,15 @@ impl HttpServer {
         let counters = Arc::new(HttpCounters::default());
         let app = Arc::new(match config.faults.clone() {
             None => App::new(service, gateway, web, counters),
-            Some(spec) => App::with_chaos(service, gateway, web, counters, spec, config.fault_seed),
+            Some(spec) => App::with_chaos(
+                service,
+                gateway,
+                web,
+                counters,
+                spec,
+                config.fault_seed,
+                config.adaptive,
+            ),
         });
         Ok(HttpServer {
             listener,

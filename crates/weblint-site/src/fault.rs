@@ -19,7 +19,7 @@
 //! for: a transient fault either burns a retry or becomes a final
 //! failure, and the chaos suite asserts exactly that balance.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Mutex;
 
@@ -71,7 +71,9 @@ impl FaultKind {
 ///
 /// Parsed from the CLI's `-faults` spec: `RATE%` or
 /// `RATE%:KIND+KIND+…`, e.g. `20%` (every kind at 20%) or
-/// `5%:timeout+5xx`.
+/// `5%:timeout+5xx`. A trailing `@HOST` confines injection to one host
+/// (`50%@flaky`, `50%:timeout@flaky`) so a multi-host workload can have
+/// exactly one struggling host.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultSpec {
     /// Percent of requests that receive a fault (0–100).
@@ -80,6 +82,8 @@ pub struct FaultSpec {
     pub kinds: Vec<FaultKind>,
     /// Simulated microseconds a [`FaultKind::Latency`] fault adds.
     pub added_latency_us: u64,
+    /// Only fault requests to this host (every host when `None`).
+    pub host: Option<String>,
 }
 
 impl FaultSpec {
@@ -89,11 +93,26 @@ impl FaultSpec {
             rate_percent: rate_percent.min(100),
             kinds: FaultKind::ALL.to_vec(),
             added_latency_us: 250_000,
+            host: None,
         }
     }
 
-    /// Parse a CLI spec: `20%`, `20`, or `20%:timeout+reset`.
+    /// [`FaultSpec::all`], confined to one host.
+    pub fn all_at(rate_percent: u8, host: &str) -> FaultSpec {
+        FaultSpec {
+            host: Some(host.to_ascii_lowercase()),
+            ..FaultSpec::all(rate_percent)
+        }
+    }
+
+    /// Parse a CLI spec: `20%`, `20`, `20%:timeout+reset`, or any of
+    /// those with a trailing `@HOST`.
     pub fn parse(spec: &str) -> Result<FaultSpec, String> {
+        let (spec, host) = match spec.rsplit_once('@') {
+            Some((s, h)) if !h.trim().is_empty() => (s, Some(h.trim().to_ascii_lowercase())),
+            Some(_) => return Err("fault spec names an empty @host".to_string()),
+            None => (spec, None),
+        };
         let (rate_part, kinds_part) = match spec.split_once(':') {
             Some((r, k)) => (r, Some(k)),
             None => (spec, None),
@@ -127,9 +146,15 @@ impl FaultSpec {
             }
             out.kinds = kinds;
         }
+        out.host = host;
         Ok(out)
     }
 }
+
+/// Simulated round-trip cost of one transport attempt, in microseconds.
+/// Matches the simulated web's wire model so virtual latencies estimated
+/// by the resilience layer line up with [`crate::WebStats::simulated_us`].
+pub const VIRTUAL_RTT_US: u64 = 20_000;
 
 /// SplitMix64: the fault schedule's deterministic hash-to-random step.
 fn splitmix64(mut x: u64) -> u64 {
@@ -222,7 +247,9 @@ struct FaultState {
     /// retry of the same URL rolls fresh dice while the overall schedule
     /// stays independent of cross-URL ordering.
     attempts: HashMap<String, u64>,
-    hosts: HashMap<String, HostFaults>,
+    /// Per-host counters, kept ordered so a stats snapshot is already
+    /// sorted and never needs a per-call sort.
+    hosts: BTreeMap<String, HostFaults>,
 }
 
 /// A [`Fetcher`] decorator that injects deterministic, seeded faults.
@@ -261,7 +288,7 @@ impl<F> FaultyWeb<F> {
             seed,
             state: Mutex::new(FaultState {
                 attempts: HashMap::new(),
-                hosts: HashMap::new(),
+                hosts: BTreeMap::new(),
             }),
         }
     }
@@ -271,13 +298,14 @@ impl<F> FaultyWeb<F> {
         &self.inner
     }
 
-    /// Per-host injection counters so far.
+    /// Per-host injection counters so far: a pre-sorted snapshot (the
+    /// counters live in an ordered map, so no per-call sort or re-sort
+    /// can drift between renders).
     pub fn stats(&self) -> FaultStats {
         let state = self.state.lock().unwrap();
-        let mut hosts: Vec<(String, HostFaults)> =
-            state.hosts.iter().map(|(h, c)| (h.clone(), *c)).collect();
-        hosts.sort_by(|a, b| a.0.cmp(&b.0));
-        FaultStats { hosts }
+        FaultStats {
+            hosts: state.hosts.iter().map(|(h, c)| (h.clone(), *c)).collect(),
+        }
     }
 
     /// Roll the dice for one request. Counts the request; counts the
@@ -295,6 +323,11 @@ impl<F> FaultyWeb<F> {
         host.requests += 1;
         if self.spec.rate_percent == 0 || self.spec.kinds.is_empty() {
             return None;
+        }
+        if let Some(only) = &self.spec.host {
+            if *only != url.host {
+                return None;
+            }
         }
         let roll = splitmix64(
             self.seed ^ fnv1a(key.as_bytes()) ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
@@ -413,6 +446,44 @@ enum Breaker {
     HalfOpen,
 }
 
+/// The externally visible circuit-breaker state of a host, for layers
+/// that modulate their behaviour on it (the pacing module suppresses
+/// hedges entirely unless a host's breaker is closed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BreakerState {
+    /// Requests flow normally (also the state of a never-seen host).
+    #[default]
+    Closed,
+    /// Requests are being shed without touching the transport.
+    Open,
+    /// The next request is (or just was) a recovery probe.
+    HalfOpen,
+}
+
+/// What one driven request cost the resilience layer: how many retries
+/// it burned and how much virtual backoff it accumulated. The pacing
+/// layer turns this into a latency observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestCost {
+    /// Retries performed after the first attempt.
+    pub retries: u32,
+    /// Virtual microseconds spent backing off between attempts.
+    pub backoff_us: u64,
+    /// The request never reached the transport (breaker open).
+    pub shed: bool,
+}
+
+impl RequestCost {
+    /// The request's total virtual latency: one RTT per attempt plus all
+    /// backoff — the feedback signal for per-host latency estimation.
+    pub fn virtual_us(&self) -> u64 {
+        if self.shed {
+            return 0;
+        }
+        self.backoff_us + u64::from(self.retries + 1) * VIRTUAL_RTT_US
+    }
+}
+
 /// Per-host resilience counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct HostResilience {
@@ -489,7 +560,7 @@ struct HostState {
 
 /// Whether a status is worth retrying: the host itself misbehaved, as
 /// opposed to answering definitively (2xx/3xx/404 are answers).
-fn transient(status: &Status) -> bool {
+pub(crate) fn transient(status: &Status) -> bool {
     matches!(
         status,
         Status::ServerError | Status::TimedOut | Status::Reset
@@ -525,7 +596,7 @@ pub struct ResilientFetcher<F> {
     retry: RetryPolicy,
     breaker: BreakerPolicy,
     seed: u64,
-    hosts: Mutex<HashMap<String, HostState>>,
+    hosts: Mutex<BTreeMap<String, HostState>>,
 }
 
 impl<F> ResilientFetcher<F> {
@@ -536,7 +607,7 @@ impl<F> ResilientFetcher<F> {
             retry,
             breaker,
             seed,
-            hosts: Mutex::new(HashMap::new()),
+            hosts: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -555,13 +626,29 @@ impl<F> ResilientFetcher<F> {
         &self.inner
     }
 
-    /// Per-host resilience counters so far.
+    /// Per-host resilience counters so far: a pre-sorted snapshot (the
+    /// counters live in an ordered map, so every render — `-stats`,
+    /// `/metrics` — sees the same host order without re-sorting).
     pub fn stats(&self) -> ResilienceStats {
         let hosts = self.hosts.lock().unwrap();
-        let mut out: Vec<(String, HostResilience)> =
-            hosts.iter().map(|(h, s)| (h.clone(), s.stats)).collect();
-        out.sort_by(|a, b| a.0.cmp(&b.0));
-        ResilienceStats { hosts: out }
+        ResilienceStats {
+            hosts: hosts.iter().map(|(h, s)| (h.clone(), s.stats)).collect(),
+        }
+    }
+
+    /// The current breaker state of `host` (a never-seen host is closed).
+    pub fn breaker_state(&self, host: &str) -> BreakerState {
+        let hosts = self.hosts.lock().unwrap();
+        match hosts.get(host).and_then(|s| s.breaker) {
+            None | Some(Breaker::Closed { .. }) => BreakerState::Closed,
+            // An open breaker whose cooldown has drained will admit the
+            // next request as a probe: report it half-open so hedging
+            // treats the probe window as fragile, not as capacity.
+            Some(Breaker::Open { remaining: 0 }) | Some(Breaker::HalfOpen) => {
+                BreakerState::HalfOpen
+            }
+            Some(Breaker::Open { .. }) => BreakerState::Open,
+        }
     }
 
     /// Admission check: count the request and, if the breaker is open,
@@ -642,37 +729,128 @@ impl<F> ResilientFetcher<F> {
     }
 
     /// Drive one request through admission, retries, and bookkeeping.
-    /// `op` performs an attempt, `failed` inspects its result.
+    /// `op` performs an attempt, `failed` inspects its result. Returns
+    /// the result plus what the request cost this layer.
     fn drive<R>(
         &self,
         url: &Url,
         shed: impl FnOnce() -> R,
         op: impl Fn(&F, &Url) -> R,
         failed: impl Fn(&R) -> bool,
-    ) -> R {
+    ) -> (R, RequestCost) {
         let host = url.host.clone();
         if !self.admit(&host) {
-            return shed();
+            return (
+                shed(),
+                RequestCost {
+                    shed: true,
+                    ..RequestCost::default()
+                },
+            );
         }
+        let mut cost = RequestCost::default();
         let mut attempt = 0u32;
         loop {
             let result = op(&self.inner, url);
             if !failed(&result) {
                 self.record_success(&host, attempt);
-                return result;
+                cost.retries = attempt;
+                return (result, cost);
             }
             if attempt >= self.retry.max_retries {
                 self.record_failure(&host, attempt);
-                return result;
+                cost.retries = attempt;
+                return (result, cost);
             }
-            self.add_backoff(&host, self.backoff(&host, attempt));
+            let wait = self.backoff(&host, attempt);
+            self.add_backoff(&host, wait);
+            cost.backoff_us += wait;
             attempt += 1;
         }
     }
 }
 
-impl<F: Fetcher> Fetcher for ResilientFetcher<F> {
-    fn head(&self, url: &Url) -> (Status, String) {
+/// What one scheduler-issued hop did to the resilience layer, recorded
+/// by a fetch worker and *settled* later by the crawl scheduler in issue
+/// order. Splitting the bookkeeping this way keeps parallel crawls
+/// deterministic: workers only read a frozen breaker snapshot and run
+/// retries (whose schedule depends solely on `(seed, url, attempt)`),
+/// while every order-sensitive breaker transition happens sequentially
+/// at settle time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum HopRecord {
+    /// The frozen breaker snapshot said open: the hop was shed without
+    /// touching the transport.
+    Shed,
+    /// The hop ran its retry loop to a conclusion.
+    Done {
+        /// The final status was still transient after every retry.
+        failed: bool,
+        /// Retries burned after the first attempt.
+        retries: u32,
+    },
+}
+
+impl<F: Fetcher> ResilientFetcher<F> {
+    /// Worker half of a scheduler-issued GET: the retry loop alone, with
+    /// no admission check and no breaker transition. Backoff is still
+    /// accounted (a commutative add, safe from any thread); the
+    /// order-sensitive bookkeeping is deferred to [`Self::settle_hop`].
+    pub(crate) fn attempt_get(&self, url: &Url) -> ((Status, String, String), RequestCost) {
+        let host = url.host.as_str();
+        let mut cost = RequestCost::default();
+        let mut attempt = 0u32;
+        loop {
+            let result = self.inner.get(url);
+            if !transient(&result.0) || attempt >= self.retry.max_retries {
+                cost.retries = attempt;
+                return (result, cost);
+            }
+            let wait = self.backoff(host, attempt);
+            self.add_backoff(host, wait);
+            cost.backoff_us += wait;
+            attempt += 1;
+        }
+    }
+
+    /// Scheduler half of a scheduler-issued GET: replay the admission
+    /// and outcome bookkeeping that [`Self::drive`] would have done,
+    /// strictly in issue order so breaker transitions are deterministic
+    /// no matter how the parallel workers interleaved.
+    pub(crate) fn settle_hop(&self, host: &str, record: &HopRecord) {
+        match record {
+            HopRecord::Shed => {
+                let mut hosts = self.hosts.lock().unwrap();
+                let state = hosts.entry(host.to_string()).or_default();
+                state.stats.requests += 1;
+                state.stats.fast_failures += 1;
+                if let Some(Breaker::Open { remaining }) = &mut state.breaker {
+                    *remaining = remaining.saturating_sub(1);
+                }
+            }
+            HopRecord::Done { failed, retries } => {
+                {
+                    let mut hosts = self.hosts.lock().unwrap();
+                    let state = hosts.entry(host.to_string()).or_default();
+                    state.stats.requests += 1;
+                    // A drained cooldown means this settled request was
+                    // the recovery probe.
+                    if state.breaker == Some(Breaker::Open { remaining: 0 }) {
+                        state.breaker = Some(Breaker::HalfOpen);
+                        state.stats.probes += 1;
+                    }
+                }
+                if *failed {
+                    self.record_failure(host, *retries);
+                } else {
+                    self.record_success(host, *retries);
+                }
+            }
+        }
+    }
+
+    /// [`Fetcher::head`], also reporting what the request cost.
+    pub fn head_cost(&self, url: &Url) -> ((Status, String), RequestCost) {
         self.drive(
             url,
             || (Status::ServerError, String::new()),
@@ -681,13 +859,24 @@ impl<F: Fetcher> Fetcher for ResilientFetcher<F> {
         )
     }
 
-    fn get(&self, url: &Url) -> (Status, String, String) {
+    /// [`Fetcher::get`], also reporting what the request cost.
+    pub fn get_cost(&self, url: &Url) -> ((Status, String, String), RequestCost) {
         self.drive(
             url,
             || (Status::ServerError, String::new(), String::new()),
             |inner, url| inner.get(url),
             |(status, _, _)| transient(status),
         )
+    }
+}
+
+impl<F: Fetcher> Fetcher for ResilientFetcher<F> {
+    fn head(&self, url: &Url) -> (Status, String) {
+        self.head_cost(url).0
+    }
+
+    fn get(&self, url: &Url) -> (Status, String, String) {
+        self.get_cost(url).0
     }
 }
 
@@ -717,9 +906,103 @@ mod tests {
         assert_eq!(spec.rate_percent, 5);
         assert_eq!(spec.kinds, vec![FaultKind::Timeout, FaultKind::ServerError]);
         assert_eq!(FaultSpec::parse("0%").unwrap().rate_percent, 0);
-        for bad in ["pony", "101%", "20%:gremlins", "20%:"] {
+        for bad in ["pony", "101%", "20%:gremlins", "20%:", "20%@", "20%@ "] {
             assert!(FaultSpec::parse(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn host_filter_parses_and_confines_faults() {
+        let spec = FaultSpec::parse("100%@Flaky").unwrap();
+        assert_eq!(spec.host.as_deref(), Some("flaky"));
+        assert_eq!(spec.rate_percent, 100);
+        let spec = FaultSpec::parse("50%:timeout@flaky").unwrap();
+        assert_eq!(spec.kinds, vec![FaultKind::Timeout]);
+        assert_eq!(spec.host.as_deref(), Some("flaky"));
+
+        let mut web = SimulatedWeb::new();
+        web.add_page("http://good/p.html", "<P>ok</P>");
+        web.add_page("http://flaky/p.html", "<P>ok</P>");
+        let faulty = FaultyWeb::new(WebFetcher::new(&web), FaultSpec::all_at(100, "flaky"), 3);
+        for _ in 0..10 {
+            let (status, _, _) = faulty.get(&url("http://good/p.html"));
+            assert_eq!(status, Status::Ok, "filtered host must stay clean");
+            let _ = faulty.get(&url("http://flaky/p.html"));
+        }
+        let stats = faulty.stats();
+        let good = &stats.hosts.iter().find(|(h, _)| h == "good").unwrap().1;
+        let flaky = &stats.hosts.iter().find(|(h, _)| h == "flaky").unwrap().1;
+        assert_eq!(good.injected(), 0, "{good:?}");
+        assert_eq!(good.requests, 10);
+        assert_eq!(flaky.injected(), 10, "{flaky:?}");
+    }
+
+    #[test]
+    fn request_cost_reports_retries_and_backoff() {
+        let web = page_web();
+        let spec = FaultSpec {
+            kinds: vec![FaultKind::Timeout],
+            ..FaultSpec::all(50)
+        };
+        let fetcher =
+            ResilientFetcher::with_defaults(FaultyWeb::new(WebFetcher::new(&web), spec, 5), 5);
+        let mut total_retries = 0u64;
+        let mut total_backoff = 0u64;
+        for i in 0..20 {
+            let ((status, _, _), cost) = fetcher.get_cost(&url(&format!("http://h/p{i}.html")));
+            assert_eq!(status, Status::Ok);
+            assert!(!cost.shed);
+            assert!(
+                cost.virtual_us() >= u64::from(cost.retries + 1) * VIRTUAL_RTT_US,
+                "{cost:?}"
+            );
+            assert_eq!(cost.backoff_us == 0, cost.retries == 0, "{cost:?}");
+            total_retries += u64::from(cost.retries);
+            total_backoff += cost.backoff_us;
+        }
+        let stats = fetcher.stats();
+        assert_eq!(total_retries, stats.retries_total(), "costs reconcile");
+        assert_eq!(total_backoff, stats.hosts[0].1.backoff_us);
+        assert!(total_retries > 0, "50% timeouts must cost retries");
+    }
+
+    #[test]
+    fn breaker_state_is_visible_per_host() {
+        let mut web = SimulatedWeb::new();
+        web.add(
+            "http://down/x.html",
+            Resource {
+                status: Status::ServerError,
+                content_type: "text/html".to_string(),
+                body: String::new(),
+            },
+        );
+        let fetcher = ResilientFetcher::new(
+            WebFetcher::new(&web),
+            RetryPolicy {
+                max_retries: 0,
+                ..RetryPolicy::default()
+            },
+            BreakerPolicy {
+                failure_threshold: 2,
+                cooldown_requests: 2,
+            },
+            1,
+        );
+        let target = url("http://down/x.html");
+        assert_eq!(fetcher.breaker_state("down"), BreakerState::Closed);
+        assert_eq!(fetcher.breaker_state("never-seen"), BreakerState::Closed);
+        for _ in 0..2 {
+            let _ = fetcher.head(&target); // two failures open it
+        }
+        assert_eq!(fetcher.breaker_state("down"), BreakerState::Open);
+        for _ in 0..2 {
+            let ((status, _), cost) = fetcher.head_cost(&target); // shed
+            assert_eq!(status, Status::ServerError);
+            assert!(cost.shed);
+        }
+        // Cooldown drained: the next request will be the half-open probe.
+        assert_eq!(fetcher.breaker_state("down"), BreakerState::HalfOpen);
     }
 
     #[test]

@@ -41,7 +41,9 @@
 mod checker;
 mod fault;
 mod links;
+mod pacing;
 mod robot;
+mod stack;
 mod store;
 mod url;
 mod web;
@@ -49,14 +51,18 @@ mod weight;
 
 pub use checker::{SiteChecker, SiteReport};
 pub use fault::{
-    BreakerPolicy, FaultKind, FaultSpec, FaultStats, FaultyWeb, HostFaults, HostResilience,
-    ResilienceStats, ResilientFetcher, RetryPolicy,
+    BreakerPolicy, BreakerState, FaultKind, FaultSpec, FaultStats, FaultyWeb, HostFaults,
+    HostResilience, RequestCost, ResilienceStats, ResilientFetcher, RetryPolicy, VIRTUAL_RTT_US,
 };
 pub use links::{extract_links, resolve_local, Link, LinkKind};
-pub use robot::{
-    check_url, CrawledPage, DeadLink, FetchError, Fetcher, Robot, RobotOptions, RobotReport,
-    StoreFetcher, WebFetcher,
+pub use pacing::{
+    AimdPolicy, HedgePolicy, HedgeToken, HostPacing, Observation, Pacer, PacingStats,
 };
+pub use robot::{
+    check_url, CrawledPage, DeadLink, FetchError, Fetcher, Robot, RobotOptions,
+    RobotOptionsBuilder, RobotReport, StoreFetcher, WebFetcher,
+};
+pub use stack::{FetchStack, FetchStackBuilder, StackTelemetry};
 pub use store::{DirStore, MemStore, PageStore};
 pub use url::Url;
 pub use web::{Resource, SharedWeb, SimulatedWeb, Status, WebStats};

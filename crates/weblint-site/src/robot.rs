@@ -13,7 +13,10 @@ use std::collections::{HashSet, VecDeque};
 use weblint_core::{Diagnostic, LintConfig, Weblint};
 use weblint_service::{JobHandle, LintService};
 
-use crate::links::{extract_links, LinkKind};
+use crate::fault::{transient, HopRecord, VIRTUAL_RTT_US};
+use crate::links::{extract_links, Link, LinkKind};
+use crate::pacing::{HedgeToken, Observation};
+use crate::stack::FetchStack;
 use crate::url::Url;
 use crate::web::{SimulatedWeb, Status};
 
@@ -52,13 +55,13 @@ impl Fetcher for WebFetcher<'_> {
 /// to the store's `path`. This is how *poacher* crawls a local directory
 /// tree — the same traversal code, with the filesystem as the transport.
 pub struct StoreFetcher<'a> {
-    store: &'a dyn crate::PageStore,
+    store: &'a (dyn crate::PageStore + Sync),
     host: String,
 }
 
 impl<'a> StoreFetcher<'a> {
     /// Serve `store` as `http://{host}/`.
-    pub fn new(store: &'a dyn crate::PageStore, host: &str) -> StoreFetcher<'a> {
+    pub fn new(store: &'a (dyn crate::PageStore + Sync), host: &str) -> StoreFetcher<'a> {
         StoreFetcher {
             store,
             host: host.to_ascii_lowercase(),
@@ -116,13 +119,22 @@ fn content_type_of(path: &str) -> String {
     ct.to_string()
 }
 
-/// Robot knobs.
+/// Robot knobs. Prefer [`RobotOptions::builder`] — its setters validate
+/// their inputs — over field-by-field struct construction; `Default` is
+/// kept for compatibility.
 #[derive(Debug, Clone)]
 pub struct RobotOptions {
     /// Stop after this many pages have been fetched and linted.
     pub max_pages: usize,
     /// Give up on a redirect chain after this many hops.
     pub max_redirects: usize,
+    /// Bound on click depth: links found on pages at this depth are
+    /// still validated, but not crawled. `None` crawls without bound.
+    pub max_depth: Option<usize>,
+    /// Fetches [`Robot::crawl_stack`] may keep in flight at once (the
+    /// adaptive per-host limit clamps each batch further). `1` crawls
+    /// sequentially; `crawl`/`crawl_with` are always sequential.
+    pub jobs: usize,
     /// HEAD-validate links that leave the start host.
     pub check_external: bool,
     /// Lint configuration applied to each fetched page.
@@ -134,9 +146,73 @@ impl Default for RobotOptions {
         RobotOptions {
             max_pages: 1_000,
             max_redirects: 5,
+            max_depth: None,
+            jobs: 1,
             check_external: true,
             lint: LintConfig::default(),
         }
+    }
+}
+
+impl RobotOptions {
+    /// A builder seeded with the defaults.
+    pub fn builder() -> RobotOptionsBuilder {
+        RobotOptionsBuilder {
+            options: RobotOptions::default(),
+        }
+    }
+}
+
+/// Validating builder for [`RobotOptions`]: every setter clamps its
+/// input to the option's sane range, so no combination of calls can
+/// produce a robot that fetches zero pages or spawns a thousand
+/// threads.
+#[derive(Debug, Clone)]
+pub struct RobotOptionsBuilder {
+    options: RobotOptions,
+}
+
+impl RobotOptionsBuilder {
+    /// Page budget; clamped to at least 1.
+    pub fn max_pages(mut self, pages: usize) -> Self {
+        self.options.max_pages = pages.max(1);
+        self
+    }
+
+    /// Redirect-chain hop limit; clamped to at most 64.
+    pub fn max_redirects(mut self, hops: usize) -> Self {
+        self.options.max_redirects = hops.min(64);
+        self
+    }
+
+    /// Click-depth bound (0 crawls only the start page).
+    pub fn max_depth(mut self, depth: usize) -> Self {
+        self.options.max_depth = Some(depth);
+        self
+    }
+
+    /// Parallel fetch slots for [`Robot::crawl_stack`]; clamped to
+    /// 1..=64.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.options.jobs = jobs.clamp(1, 64);
+        self
+    }
+
+    /// Whether to HEAD-validate off-site links.
+    pub fn check_external(mut self, yes: bool) -> Self {
+        self.options.check_external = yes;
+        self
+    }
+
+    /// Lint configuration applied to each page.
+    pub fn lint(mut self, config: LintConfig) -> Self {
+        self.options.lint = config;
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> RobotOptions {
+        self.options
     }
 }
 
@@ -242,182 +318,539 @@ impl Robot {
         self.crawl_impl(fetcher, start, Some(service))
     }
 
+    /// [`Robot::crawl`] over a composed [`FetchStack`], with the
+    /// adaptive scheduler engaged: each round issues a *batch* of
+    /// frontier URLs — at most `min(jobs, per-host AIMD limit)` — to
+    /// parallel fetch workers, then settles the results in issue order,
+    /// so the report (and every stats table) is byte-identical run to
+    /// run for a fixed stack seed. With `jobs = 1` the batches degrade
+    /// to the exact sequential crawl.
+    pub fn crawl_stack<F: Fetcher + Sync>(
+        &self,
+        stack: &FetchStack<F>,
+        start: &Url,
+    ) -> RobotReport {
+        self.crawl_stack_impl(stack, start, None)
+    }
+
+    /// [`Robot::crawl_stack`] with page linting handed to a
+    /// [`LintService`], overlapping fetching with linting.
+    pub fn crawl_stack_with<F: Fetcher + Sync>(
+        &self,
+        stack: &FetchStack<F>,
+        start: &Url,
+        service: &LintService,
+    ) -> RobotReport {
+        self.crawl_stack_impl(stack, start, Some(service))
+    }
+
+    /// The sequential frontier: batch size 1, no pacing — byte-identical
+    /// to the historical fetch-then-lint loop.
     fn crawl_impl(
         &self,
         fetcher: &dyn Fetcher,
         start: &Url,
         service: Option<&LintService>,
     ) -> RobotReport {
-        let mut report = RobotReport::default();
-        let mut pending: Vec<(usize, JobHandle)> = Vec::new();
-        let mut queue: VecDeque<(Url, usize)> = VecDeque::new();
-        let mut enqueued: HashSet<String> = HashSet::new();
-        let mut head_checked: HashSet<String> = HashSet::new();
-        queue.push_back((start.clone(), 0));
-        enqueued.insert(start.to_string());
-
-        while let Some((url, depth)) = queue.pop_front() {
-            if report.pages.len() >= self.options.max_pages {
-                report.truncated = true;
+        let mut state = CrawlState::begin(start);
+        while let Some((url, depth)) = state.queue.pop_front() {
+            if state.report.pages.len() >= self.options.max_pages {
+                state.report.truncated = true;
                 break;
             }
-            let Some((final_url, body)) =
-                self.fetch_following_redirects(fetcher, &url, &mut report)
-            else {
-                continue;
-            };
-            // With a service attached, hand the body to a worker and keep
-            // crawling; the diagnostics slot is filled in afterwards.
-            let diagnostics = match service {
-                Some(service) => {
-                    match service.submit_with(body.clone(), Some(self.options.lint.clone())) {
-                        Ok(handle) => {
-                            pending.push((report.pages.len(), handle));
-                            Vec::new()
-                        }
-                        Err(_) => self.weblint.check_string(&body),
-                    }
-                }
-                None => self.weblint.check_string(&body),
-            };
-            let links = extract_links(&body);
-            report.pages.push(CrawledPage {
-                url: final_url.clone(),
-                diagnostics,
-                link_count: links.len(),
+            let (outcome, redirects) =
+                follow_redirects(self.options.max_redirects, &url, |u| fetcher.get(u));
+            self.apply_outcome(
+                &FetcherProbe(fetcher),
+                start,
+                &url,
                 depth,
-            });
-            for link in links {
-                match link.kind {
-                    LinkKind::Fragment | LinkKind::Mailto => continue,
-                    LinkKind::Local | LinkKind::External => {}
-                }
-                let target = final_url.join(&link.href);
-                if target.same_site(start) {
-                    if enqueued.insert(target.to_string()) {
-                        // Cheap HEAD before committing to a GET: dead links
-                        // are reported here, non-HTML is HEAD-only.
-                        match fetcher.head(&target) {
-                            (Status::Ok, ct) if ct.starts_with("text/html") => {
-                                queue.push_back((target, depth + 1));
-                            }
-                            (Status::Ok, _) => {}
-                            (Status::Redirect(_), _) => queue.push_back((target, depth + 1)),
-                            (Status::NotFound, _) => report.dead_links.push(DeadLink {
-                                page: final_url.clone(),
-                                href: link.href.clone(),
-                                reason: "404 Not Found".to_string(),
-                            }),
-                            (Status::ServerError, _) => report.dead_links.push(DeadLink {
-                                page: final_url.clone(),
-                                href: link.href.clone(),
-                                reason: "server error".to_string(),
-                            }),
-                            (Status::TimedOut, _) => report.dead_links.push(DeadLink {
-                                page: final_url.clone(),
-                                href: link.href.clone(),
-                                reason: "timed out".to_string(),
-                            }),
-                            (Status::Reset, _) => report.dead_links.push(DeadLink {
-                                page: final_url.clone(),
-                                href: link.href.clone(),
-                                reason: "connection reset".to_string(),
-                            }),
-                        }
-                    }
-                } else if self.options.check_external && head_checked.insert(target.to_string()) {
-                    match fetcher.head(&target) {
-                        (Status::NotFound, _) => report.dead_links.push(DeadLink {
-                            page: final_url.clone(),
-                            href: link.href.clone(),
-                            reason: "404 Not Found (external)".to_string(),
-                        }),
-                        (Status::ServerError, _) => report.dead_links.push(DeadLink {
-                            page: final_url.clone(),
-                            href: link.href.clone(),
-                            reason: "server error (external)".to_string(),
-                        }),
-                        (Status::TimedOut, _) => report.dead_links.push(DeadLink {
-                            page: final_url.clone(),
-                            href: link.href.clone(),
-                            reason: "timed out (external)".to_string(),
-                        }),
-                        (Status::Reset, _) => report.dead_links.push(DeadLink {
-                            page: final_url.clone(),
-                            href: link.href.clone(),
-                            reason: "connection reset (external)".to_string(),
-                        }),
-                        _ => {}
-                    }
-                }
-            }
+                outcome,
+                redirects,
+                service,
+                &mut state,
+            );
         }
-        for (index, handle) in pending {
-            report.pages[index].diagnostics = handle.wait().unwrap_or_default();
-        }
-        report
+        state.finish()
     }
 
-    /// GET `url`, following redirects up to the limit. Returns the final
-    /// URL and HTML body, or `None` when the target is missing, non-HTML,
-    /// or loops.
-    fn fetch_following_redirects(
+    /// The adaptive frontier scheduler. Determinism contract: every
+    /// order-sensitive decision happens on this thread — hedge tokens
+    /// are authorized at issue time against a snapshot of the breaker
+    /// and budget, workers only read frozen state and run retry loops
+    /// whose fault schedule depends solely on `(seed, url, attempt)`,
+    /// and all breaker transitions plus AIMD feedback are settled here
+    /// in issue order after the batch joins.
+    fn crawl_stack_impl<F: Fetcher + Sync>(
         &self,
-        fetcher: &dyn Fetcher,
-        url: &Url,
-        report: &mut RobotReport,
-    ) -> Option<(Url, String)> {
-        let mut current = url.clone();
-        for _ in 0..=self.options.max_redirects {
-            match fetcher.get(&current) {
-                (Status::Ok, ct, body) if ct.starts_with("text/html") => {
-                    return Some((current, body));
+        stack: &FetchStack<F>,
+        start: &Url,
+        service: Option<&LintService>,
+    ) -> RobotReport {
+        let mut state = CrawlState::begin(start);
+        let host = start.host.clone();
+        loop {
+            if state.queue.is_empty() {
+                break;
+            }
+            if state.report.pages.len() >= self.options.max_pages {
+                state.report.truncated = true;
+                break;
+            }
+            // The batch never exceeds the page budget, so a fully
+            // successful batch cannot overshoot `max_pages`.
+            let remaining = self.options.max_pages - state.report.pages.len();
+            let width = self
+                .options
+                .jobs
+                .min(stack.pacer().limit(&host))
+                .min(remaining)
+                .min(state.queue.len())
+                .max(1);
+            let mut batch: Vec<FetchTask> = Vec::with_capacity(width);
+            for _ in 0..width {
+                let (url, depth) = state.queue.pop_front().expect("width <= queue.len()");
+                let token = stack
+                    .pacer()
+                    .authorize(&url.host, stack.breaker_state(&url.host));
+                batch.push(FetchTask::new(url, depth, token));
+            }
+            run_batch(self.options.max_redirects, stack, &mut batch);
+            for task in batch {
+                self.settle_task(stack, start, task, service, &mut state);
+            }
+        }
+        state.finish()
+    }
+
+    /// Settle one fetched task in issue order: resilience bookkeeping,
+    /// pacer feedback, then the same report/lint/link processing the
+    /// sequential crawl does.
+    fn settle_task<F: Fetcher>(
+        &self,
+        stack: &FetchStack<F>,
+        start: &Url,
+        task: FetchTask,
+        service: Option<&LintService>,
+        state: &mut CrawlState,
+    ) {
+        for (hop_host, record) in &task.hops {
+            stack.settle_hop(hop_host, record);
+        }
+        let host = task.url.host.as_str();
+        stack
+            .pacer()
+            .settle_hedge(host, task.token, task.hedge_fired, task.hedge_won);
+        stack.pacer().observe(
+            host,
+            Observation {
+                clean: !task.bad,
+                bad: task.bad,
+                latency_us: task.cost_us,
+            },
+        );
+        let (outcome, redirects) = task.outcome.expect("batch ran every task");
+        self.apply_outcome(
+            &StackProbe(stack),
+            start,
+            &task.url,
+            task.depth,
+            outcome,
+            redirects,
+            service,
+            state,
+        );
+    }
+
+    /// Fold one fetch outcome into the report: redirects, dead links,
+    /// and — for a page — lint submission plus link validation.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_outcome(
+        &self,
+        probe: &dyn HeadProbe,
+        start: &Url,
+        origin: &Url,
+        depth: usize,
+        outcome: FetchOutcome,
+        redirects: usize,
+        service: Option<&LintService>,
+        state: &mut CrawlState,
+    ) {
+        state.report.redirects_followed += redirects;
+        match outcome {
+            FetchOutcome::Skip => {}
+            FetchOutcome::Dead { href, reason } => state.report.dead_links.push(DeadLink {
+                page: origin.clone(),
+                href,
+                reason,
+            }),
+            FetchOutcome::Page {
+                url: final_url,
+                body,
+            } => {
+                // With a service attached, hand the body to a worker and
+                // keep crawling; the diagnostics slot is filled in
+                // afterwards.
+                let diagnostics = match service {
+                    Some(service) => {
+                        match service.submit_with(body.clone(), Some(self.options.lint.clone())) {
+                            Ok(handle) => {
+                                state.pending.push((state.report.pages.len(), handle));
+                                Vec::new()
+                            }
+                            Err(_) => self.weblint.check_string(&body),
+                        }
+                    }
+                    None => self.weblint.check_string(&body),
+                };
+                let links = extract_links(&body);
+                state.report.pages.push(CrawledPage {
+                    url: final_url.clone(),
+                    diagnostics,
+                    link_count: links.len(),
+                    depth,
+                });
+                self.validate_links(probe, start, &final_url, links, depth, state);
+            }
+        }
+    }
+
+    /// HEAD-validate a page's links, enqueueing crawlable same-site
+    /// targets (depth permitting) and reporting the dead.
+    fn validate_links(
+        &self,
+        probe: &dyn HeadProbe,
+        start: &Url,
+        final_url: &Url,
+        links: Vec<Link>,
+        depth: usize,
+        state: &mut CrawlState,
+    ) {
+        let within_depth = self.options.max_depth.is_none_or(|limit| depth < limit);
+        for link in links {
+            match link.kind {
+                LinkKind::Fragment | LinkKind::Mailto => continue,
+                LinkKind::Local | LinkKind::External => {}
+            }
+            let target = final_url.join(&link.href);
+            if target.same_site(start) {
+                if state.enqueued.insert(target.to_string()) {
+                    // Cheap HEAD before committing to a GET: dead links
+                    // are reported here, non-HTML is HEAD-only.
+                    match probe.probe(&target) {
+                        (Status::Ok, ct) if ct.starts_with("text/html") => {
+                            if within_depth {
+                                state.queue.push_back((target, depth + 1));
+                            }
+                        }
+                        (Status::Ok, _) => {}
+                        (Status::Redirect(_), _) => {
+                            if within_depth {
+                                state.queue.push_back((target, depth + 1));
+                            }
+                        }
+                        (Status::NotFound, _) => state.report.dead_links.push(DeadLink {
+                            page: final_url.clone(),
+                            href: link.href.clone(),
+                            reason: "404 Not Found".to_string(),
+                        }),
+                        (Status::ServerError, _) => state.report.dead_links.push(DeadLink {
+                            page: final_url.clone(),
+                            href: link.href.clone(),
+                            reason: "server error".to_string(),
+                        }),
+                        (Status::TimedOut, _) => state.report.dead_links.push(DeadLink {
+                            page: final_url.clone(),
+                            href: link.href.clone(),
+                            reason: "timed out".to_string(),
+                        }),
+                        (Status::Reset, _) => state.report.dead_links.push(DeadLink {
+                            page: final_url.clone(),
+                            href: link.href.clone(),
+                            reason: "connection reset".to_string(),
+                        }),
+                    }
                 }
-                (Status::Ok, _, _) => return None,
-                (Status::Redirect(location), _, _) => {
-                    report.redirects_followed += 1;
-                    current = current.join(&location);
-                }
-                (Status::NotFound, _, _) => {
-                    report.dead_links.push(DeadLink {
-                        page: url.clone(),
-                        href: current.to_string(),
-                        reason: "404 Not Found".to_string(),
-                    });
-                    return None;
-                }
-                (Status::ServerError, _, _) => {
-                    report.dead_links.push(DeadLink {
-                        page: url.clone(),
-                        href: current.to_string(),
-                        reason: "server error".to_string(),
-                    });
-                    return None;
-                }
-                (Status::TimedOut, _, _) => {
-                    report.dead_links.push(DeadLink {
-                        page: url.clone(),
-                        href: current.to_string(),
-                        reason: "timed out".to_string(),
-                    });
-                    return None;
-                }
-                (Status::Reset, _, _) => {
-                    report.dead_links.push(DeadLink {
-                        page: url.clone(),
-                        href: current.to_string(),
-                        reason: "connection reset".to_string(),
-                    });
-                    return None;
+            } else if self.options.check_external && state.head_checked.insert(target.to_string()) {
+                match probe.probe(&target) {
+                    (Status::NotFound, _) => state.report.dead_links.push(DeadLink {
+                        page: final_url.clone(),
+                        href: link.href.clone(),
+                        reason: "404 Not Found (external)".to_string(),
+                    }),
+                    (Status::ServerError, _) => state.report.dead_links.push(DeadLink {
+                        page: final_url.clone(),
+                        href: link.href.clone(),
+                        reason: "server error (external)".to_string(),
+                    }),
+                    (Status::TimedOut, _) => state.report.dead_links.push(DeadLink {
+                        page: final_url.clone(),
+                        href: link.href.clone(),
+                        reason: "timed out (external)".to_string(),
+                    }),
+                    (Status::Reset, _) => state.report.dead_links.push(DeadLink {
+                        page: final_url.clone(),
+                        href: link.href.clone(),
+                        reason: "connection reset (external)".to_string(),
+                    }),
+                    _ => {}
                 }
             }
         }
-        report.dead_links.push(DeadLink {
-            page: url.clone(),
+    }
+}
+
+/// Mutable crawl bookkeeping shared by the sequential and adaptive
+/// frontiers.
+struct CrawlState {
+    report: RobotReport,
+    pending: Vec<(usize, JobHandle)>,
+    queue: VecDeque<(Url, usize)>,
+    enqueued: HashSet<String>,
+    head_checked: HashSet<String>,
+}
+
+impl CrawlState {
+    fn begin(start: &Url) -> CrawlState {
+        let mut state = CrawlState {
+            report: RobotReport::default(),
+            pending: Vec::new(),
+            queue: VecDeque::new(),
+            enqueued: HashSet::new(),
+            head_checked: HashSet::new(),
+        };
+        state.queue.push_back((start.clone(), 0));
+        state.enqueued.insert(start.to_string());
+        state
+    }
+
+    fn finish(mut self) -> RobotReport {
+        for (index, handle) in self.pending {
+            self.report.pages[index].diagnostics = handle.wait().unwrap_or_default();
+        }
+        self.report
+    }
+}
+
+/// What following one queued URL produced, before any report
+/// bookkeeping — so fetch workers can compute it off-thread and the
+/// scheduler can apply it in issue order.
+enum FetchOutcome {
+    /// An HTML page to lint, at its post-redirect URL.
+    Page { url: Url, body: String },
+    /// The chain ended somewhere dead; `href` is the final URL tried.
+    Dead { href: String, reason: String },
+    /// A definitive non-HTML answer: nothing to lint, nothing dead.
+    Skip,
+}
+
+/// GET `url` following redirects up to the hop limit, classifying the
+/// result. Returns the outcome plus the redirect hops taken.
+fn follow_redirects(
+    max_redirects: usize,
+    url: &Url,
+    mut get: impl FnMut(&Url) -> (Status, String, String),
+) -> (FetchOutcome, usize) {
+    let mut redirects = 0usize;
+    let mut current = url.clone();
+    for _ in 0..=max_redirects {
+        match get(&current) {
+            (Status::Ok, ct, body) if ct.starts_with("text/html") => {
+                return (FetchOutcome::Page { url: current, body }, redirects);
+            }
+            (Status::Ok, _, _) => return (FetchOutcome::Skip, redirects),
+            (Status::Redirect(location), _, _) => {
+                redirects += 1;
+                current = current.join(&location);
+            }
+            (Status::NotFound, _, _) => {
+                return (
+                    FetchOutcome::Dead {
+                        href: current.to_string(),
+                        reason: "404 Not Found".to_string(),
+                    },
+                    redirects,
+                )
+            }
+            (Status::ServerError, _, _) => {
+                return (
+                    FetchOutcome::Dead {
+                        href: current.to_string(),
+                        reason: "server error".to_string(),
+                    },
+                    redirects,
+                )
+            }
+            (Status::TimedOut, _, _) => {
+                return (
+                    FetchOutcome::Dead {
+                        href: current.to_string(),
+                        reason: "timed out".to_string(),
+                    },
+                    redirects,
+                )
+            }
+            (Status::Reset, _, _) => {
+                return (
+                    FetchOutcome::Dead {
+                        href: current.to_string(),
+                        reason: "connection reset".to_string(),
+                    },
+                    redirects,
+                )
+            }
+        }
+    }
+    (
+        FetchOutcome::Dead {
             href: current.to_string(),
             reason: "too many redirects".to_string(),
-        });
-        None
+        },
+        redirects,
+    )
+}
+
+/// One frontier URL issued to a fetch worker, with everything the
+/// scheduler needs to settle it afterwards.
+struct FetchTask {
+    url: Url,
+    depth: usize,
+    token: HedgeToken,
+    outcome: Option<(FetchOutcome, usize)>,
+    /// Per-hop resilience records, settled in issue order.
+    hops: Vec<(String, HopRecord)>,
+    /// Total virtual latency across hops (including a fired hedge).
+    cost_us: u64,
+    /// The task burned retries, was shed, or ended transiently failed.
+    bad: bool,
+    hedge_fired: bool,
+    hedge_won: bool,
+}
+
+impl FetchTask {
+    fn new(url: Url, depth: usize, token: HedgeToken) -> FetchTask {
+        FetchTask {
+            url,
+            depth,
+            token,
+            outcome: None,
+            hops: Vec::new(),
+            cost_us: 0,
+            bad: false,
+            hedge_fired: false,
+            hedge_won: false,
+        }
+    }
+}
+
+/// Run a batch of fetch tasks — inline when it is one task, otherwise
+/// one scoped worker thread per task (the batch width is already capped
+/// by `jobs` and the per-host limit).
+fn run_batch<F: Fetcher + Sync>(
+    max_redirects: usize,
+    stack: &FetchStack<F>,
+    batch: &mut [FetchTask],
+) {
+    if let [task] = batch {
+        run_task(max_redirects, stack, task);
+        return;
+    }
+    std::thread::scope(|scope| {
+        for task in batch.iter_mut() {
+            scope.spawn(move || run_task(max_redirects, stack, task));
+        }
+    });
+}
+
+/// Execute one fetch task on a worker: follow redirects through the
+/// stack, recording per-hop resilience outcomes for deferred settling,
+/// and fire the hedge if the token allows and the primary attempt came
+/// back transiently failed *and* slow.
+fn run_task<F: Fetcher>(max_redirects: usize, stack: &FetchStack<F>, task: &mut FetchTask) {
+    let token = task.token;
+    let mut hops: Vec<(String, HopRecord)> = Vec::new();
+    let mut cost_us = 0u64;
+    let mut bad = false;
+    let mut fired = false;
+    let mut won = false;
+    let (outcome, redirects) = follow_redirects(max_redirects, &task.url, |current| {
+        if !stack.frozen_allows(&current.host) {
+            hops.push((current.host.clone(), HopRecord::Shed));
+            bad = true;
+            return (Status::ServerError, String::new(), String::new());
+        }
+        let (result, cost) = stack.attempt_get(current);
+        cost_us += cost.virtual_us();
+        let failed = transient(&result.0);
+        if failed || cost.retries > 0 {
+            bad = true;
+        }
+        if failed && token.granted && !fired && cost.virtual_us() >= token.threshold_us {
+            // The primary is both failed and slow: spend the hedge — one
+            // speculative attempt below the retry layer — and take its
+            // answer if it is definitive.
+            fired = true;
+            cost_us += VIRTUAL_RTT_US;
+            let hedge = stack.raw_get(current);
+            if !transient(&hedge.0) {
+                won = true;
+                hops.push((
+                    current.host.clone(),
+                    HopRecord::Done {
+                        failed: false,
+                        retries: cost.retries,
+                    },
+                ));
+                return hedge;
+            }
+        }
+        hops.push((
+            current.host.clone(),
+            HopRecord::Done {
+                failed,
+                retries: cost.retries,
+            },
+        ));
+        result
+    });
+    task.outcome = Some((outcome, redirects));
+    task.hops = hops;
+    task.cost_us = cost_us;
+    task.bad = bad;
+    task.hedge_fired = fired;
+    task.hedge_won = won;
+}
+
+/// HEAD transport used during link validation: the bare fetcher for the
+/// sequential crawl, or the stack — guarded drive plus a pacing
+/// observation — for the adaptive one.
+trait HeadProbe {
+    fn probe(&self, url: &Url) -> (Status, String);
+}
+
+struct FetcherProbe<'a>(&'a dyn Fetcher);
+
+impl HeadProbe for FetcherProbe<'_> {
+    fn probe(&self, url: &Url) -> (Status, String) {
+        self.0.head(url)
+    }
+}
+
+struct StackProbe<'a, F: Fetcher>(&'a FetchStack<F>);
+
+impl<F: Fetcher> HeadProbe for StackProbe<'_, F> {
+    fn probe(&self, url: &Url) -> (Status, String) {
+        let (result, cost) = self.0.head_cost(url);
+        let bad = cost.shed || cost.retries > 0 || transient(&result.0);
+        self.0.pacer().observe(
+            &url.host,
+            Observation {
+                clean: !bad,
+                bad,
+                latency_us: cost.virtual_us(),
+            },
+        );
+        result
     }
 }
 
@@ -755,6 +1188,105 @@ mod tests {
             check_url(&f, "::", &config),
             Err(FetchError::BadUrl(_))
         ));
+    }
+
+    #[test]
+    fn builder_validates_every_knob() {
+        let options = RobotOptions::builder()
+            .max_pages(0)
+            .max_redirects(1_000)
+            .max_depth(2)
+            .jobs(0)
+            .check_external(false)
+            .build();
+        assert_eq!(options.max_pages, 1, "zero pages clamps to one");
+        assert_eq!(options.max_redirects, 64, "hop limit is capped");
+        assert_eq!(options.max_depth, Some(2));
+        assert_eq!(options.jobs, 1, "zero jobs clamps to one");
+        assert!(!options.check_external);
+        let wide = RobotOptions::builder().jobs(10_000).build();
+        assert_eq!(wide.jobs, 64, "jobs are capped");
+        let default = RobotOptions::default();
+        assert_eq!(default.jobs, 1);
+        assert_eq!(default.max_depth, None);
+    }
+
+    #[test]
+    fn max_depth_bounds_the_crawl_but_still_validates_links() {
+        let mut web = SimulatedWeb::new();
+        web.add_page(
+            "http://site/index.html",
+            page("<P><A HREF=\"a.html\">a</A></P>"),
+        );
+        web.add_page(
+            "http://site/a.html",
+            page("<P><A HREF=\"b.html\">b</A> <A HREF=\"gone.html\">x</A></P>"),
+        );
+        web.add_page("http://site/b.html", page("<P>leaf</P>"));
+        let robot = Robot::new(RobotOptions::builder().max_depth(1).build());
+        let report = robot.crawl(&WebFetcher::new(&web), &start());
+        // Depth 0 and 1 are crawled; b.html (depth 2) is not — but the
+        // dead link on the depth-1 page is still reported.
+        assert_eq!(report.pages.len(), 2);
+        assert_eq!(report.max_depth(), 1);
+        assert_eq!(report.dead_links.len(), 1);
+        assert!(!report.truncated);
+    }
+
+    fn shared_site() -> crate::web::SharedWeb {
+        let mut web = SimulatedWeb::new();
+        web.add_page(
+            "http://site/index.html",
+            page(
+                "<P><A HREF=\"a.html\">a</A> <A HREF=\"b.html\">b</A> \
+                 <A HREF=\"gone.html\">x</A></P>",
+            ),
+        );
+        web.add_page(
+            "http://site/a.html",
+            page("<H1>oops</H2><P><A HREF=\"c.html\">c</A></P>"),
+        );
+        web.add_page("http://site/b.html", page("<P>leaf</P>"));
+        web.add_page("http://site/c.html", page("<P>deep</P>"));
+        crate::web::SharedWeb::new(web)
+    }
+
+    #[test]
+    fn crawl_stack_matches_sequential_crawl() {
+        let robot = Robot::new(RobotOptions::builder().jobs(4).build());
+        let sequential = {
+            let web = shared_site();
+            robot.crawl(&web, &start())
+        };
+        let stack = FetchStack::new(shared_site()).adaptive_defaults().build();
+        let adaptive = robot.crawl_stack(&stack, &start());
+        assert_eq!(adaptive.pages.len(), sequential.pages.len());
+        for (a, b) in adaptive.pages.iter().zip(&sequential.pages) {
+            assert_eq!(a.url, b.url, "page order must match BFS");
+            assert_eq!(a.diagnostics, b.diagnostics);
+            assert_eq!((a.link_count, a.depth), (b.link_count, b.depth));
+        }
+        assert_eq!(adaptive.dead_links.len(), sequential.dead_links.len());
+        assert_eq!(adaptive.redirects_followed, sequential.redirects_followed);
+        // The pacer saw the crawl: every GET was authorized and observed.
+        let pacing = stack.pacer().stats();
+        let (host, site) = &pacing.hosts[0];
+        assert_eq!(host, "site");
+        assert_eq!(site.authorized, 4, "index + a + b + c");
+        assert_eq!(site.clean + site.bad, 4 + 4, "4 GETs + 4 link HEADs");
+    }
+
+    #[test]
+    fn crawl_stack_with_service_matches_and_truncates() {
+        let robot = Robot::new(RobotOptions::builder().jobs(3).max_pages(2).build());
+        let stack = FetchStack::new(shared_site()).adaptive_defaults().build();
+        let service = LintService::with_config(LintConfig::default());
+        let report = robot.crawl_stack_with(&stack, &start(), &service);
+        assert_eq!(report.pages.len(), 2, "page budget holds under batching");
+        assert!(report.truncated);
+        assert!(report.pages.iter().all(|p| p.url.host == "site"));
+        // The service really linted: a.html's heading mismatch surfaced.
+        assert_eq!(report.total_diagnostics(), 1);
     }
 
     #[test]

@@ -19,8 +19,8 @@ use weblint_gateway::Gateway;
 use weblint_httpd::{client, HttpServer, ServerConfig};
 use weblint_service::{ServiceConfig, PANIC_MARKER};
 use weblint_site::{
-    FaultSpec, FaultyWeb, Fetcher, ResilientFetcher, Robot, RobotOptions, SharedWeb, SimulatedWeb,
-    Url,
+    AimdPolicy, BreakerState, FaultSpec, FaultyWeb, FetchStack, Fetcher, HedgePolicy, Observation,
+    Pacer, ResilientFetcher, Robot, RobotOptions, SharedWeb, SimulatedWeb, Status, Url,
 };
 
 const PAGES: usize = 24;
@@ -55,11 +55,12 @@ fn site() -> SharedWeb {
 fn chaotic_crawl(seed: u64, rate: u8) -> (String, String, usize, usize) {
     let fetcher =
         ResilientFetcher::with_defaults(FaultyWeb::new(site(), FaultSpec::all(rate), seed), seed);
-    let robot = Robot::new(RobotOptions {
-        max_pages: 100,
-        check_external: false,
-        ..RobotOptions::default()
-    });
+    let robot = Robot::new(
+        RobotOptions::builder()
+            .max_pages(100)
+            .check_external(false)
+            .build(),
+    );
     let report = robot.crawl(&fetcher, &Url::parse("http://chaos/index.html").unwrap());
     (
         fetcher.inner().stats().to_string(),
@@ -197,6 +198,174 @@ fn chaotic_server_run(seed: u64) -> (Vec<u16>, String) {
 
     handle.shutdown();
     (statuses, fault_section)
+}
+
+/// A two-host web: the same page set on `flaky` and `steady`, so fault
+/// injection confined to one host (`@flaky`) leaves a control group.
+fn two_host_site() -> SharedWeb {
+    let mut web = SimulatedWeb::new();
+    for host in ["flaky", "steady"] {
+        for i in 0..PAGES {
+            web.add_page(
+                &format!("http://{host}/p{i}.html"),
+                format!("<HTML><HEAD><TITLE>p{i}</TITLE></HEAD><BODY><P>x</P></BODY></HTML>"),
+            );
+        }
+    }
+    SharedWeb::new(web)
+}
+
+#[test]
+fn adaptive_limit_decays_on_the_flaky_host_before_its_breaker_opens() {
+    // 50% faults confined to one host of two. Drive both hosts through
+    // the stack exactly as the scheduler would: fetch, then feed the
+    // request's cost back to the pacer as an observation.
+    let stack = FetchStack::new(two_host_site())
+        .faults(FaultSpec::all_at(50, "flaky"), 11)
+        .resilience_defaults()
+        .adaptive_defaults()
+        .build();
+    let pacer = stack.pacer();
+    let initial = u32::try_from(pacer.limit("steady")).unwrap();
+    let mut floored_while_closed = false;
+    for i in 0..PAGES {
+        for host in ["flaky", "steady"] {
+            let url = Url::parse(&format!("http://{host}/p{i}.html")).unwrap();
+            let ((status, _, _), cost) = stack.get_cost(&url);
+            let failed = matches!(
+                status,
+                Status::ServerError | Status::TimedOut | Status::Reset
+            );
+            pacer.observe(
+                host,
+                Observation {
+                    clean: !failed && cost.retries == 0 && !cost.shed,
+                    bad: failed || cost.retries > 0 || cost.shed,
+                    latency_us: cost.virtual_us(),
+                },
+            );
+        }
+        // The acceptance bar: the limit bottoms out while the breaker is
+        // still closed — pacing throttles *before* the breaker trips.
+        if pacer.limit("flaky") == 1 && stack.breaker_state("flaky") == BreakerState::Closed {
+            floored_while_closed = true;
+        }
+    }
+    let stats = stack.telemetry().pacing.expect("pacing enabled");
+    let flaky = &stats.hosts.iter().find(|(h, _)| h == "flaky").unwrap().1;
+    let steady = &stats.hosts.iter().find(|(h, _)| h == "steady").unwrap().1;
+    assert!(
+        floored_while_closed,
+        "flaky limit never hit the floor under a closed breaker (limit {}, breaker {:?})",
+        flaky.limit,
+        stack.breaker_state("flaky")
+    );
+    assert!(flaky.decreases > 0, "{stats}");
+    assert!(flaky.limit < initial, "{stats}");
+    // The healthy host never throttled — its limit only ever grew.
+    assert_eq!(steady.decreases, 0, "{stats}");
+    assert!(steady.limit >= initial, "{stats}");
+
+    // Recovery: once the weather clears, clean completions climb the
+    // flaky host's limit back off the floor, one step per streak.
+    let before = pacer.limit("flaky");
+    for _ in 0..4 * usize::try_from(initial).unwrap() * 4 {
+        pacer.observe(
+            "flaky",
+            Observation {
+                clean: true,
+                bad: false,
+                latency_us: 20_000,
+            },
+        );
+    }
+    assert!(
+        pacer.limit("flaky") > before,
+        "limit stuck at {before} after the faults stopped"
+    );
+}
+
+#[test]
+fn hedges_respect_the_breaker_and_the_budget() {
+    let pacer = Pacer::new(Some(AimdPolicy::default()), Some(HedgePolicy::default()));
+    // A hedge is never authorized while the breaker is anything but
+    // closed — half-open probes and open windows are off limits.
+    for state in [BreakerState::Open, BreakerState::HalfOpen] {
+        let token = pacer.authorize("h", state);
+        assert!(!token.granted, "{state:?} granted a hedge");
+    }
+    // Under a closed breaker, grants are capped by the budget: never
+    // more than 5% of authorized requests, no matter how many ask.
+    let mut granted = 0u64;
+    for _ in 0..400 {
+        let token = pacer.authorize("h", BreakerState::Closed);
+        if token.granted {
+            granted += 1;
+            pacer.settle_hedge("h", token, true, false);
+        }
+    }
+    let stats = pacer.stats();
+    let host = &stats.hosts[0].1;
+    assert_eq!(host.suppressed_breaker, 2, "{stats}");
+    assert_eq!(host.hedges_fired, granted, "{stats}");
+    assert!(
+        host.hedges_fired * 100
+            <= u64::from(HedgePolicy::default().budget_percent) * host.authorized,
+        "budget overrun: {stats}"
+    );
+    assert!(host.suppressed_budget > 0, "{stats}");
+    // A granted-but-unfired hedge refunds its budget reservation.
+    let spent = pacer.stats().hosts[0].1.hedges_fired;
+    let token = pacer.authorize("h", BreakerState::Closed);
+    if token.granted {
+        pacer.settle_hedge("h", token, false, false);
+        assert_eq!(pacer.stats().hosts[0].1.hedges_fired, spent, "no refund");
+    }
+}
+
+/// One adaptive chaotic crawl — parallel fetches, AIMD pacing, hedging —
+/// reduced to a fingerprint: the full telemetry plus the crawl's shape.
+fn adaptive_crawl(seed: u64) -> (String, Vec<String>, usize) {
+    let stack = FetchStack::new(site())
+        .faults(FaultSpec::all(20), seed)
+        .resilience_defaults()
+        .adaptive_defaults()
+        .hedging_defaults()
+        .build();
+    let robot = Robot::new(
+        RobotOptions::builder()
+            .max_pages(100)
+            .jobs(4)
+            .check_external(false)
+            .build(),
+    );
+    let report = robot.crawl_stack(&stack, &Url::parse("http://chaos/index.html").unwrap());
+    let shape = report
+        .pages
+        .iter()
+        .map(|p| format!("{} d{} m{}", p.url, p.depth, p.diagnostics.len()))
+        .collect();
+    (
+        stack.telemetry().to_string(),
+        shape,
+        report.dead_links.len(),
+    )
+}
+
+#[test]
+fn adaptive_crawls_are_deterministic_for_a_fixed_seed() {
+    let first = adaptive_crawl(42);
+    // Parallel in-flight fetches, but every order-sensitive decision is
+    // made on the scheduler thread: three runs, byte-identical telemetry
+    // and page order.
+    for run in 0..2 {
+        assert_eq!(adaptive_crawl(42), first, "run {run} diverged");
+    }
+    assert_ne!(adaptive_crawl(43).0, first.0, "seed not load-bearing");
+    // The report shape matches the sequential chaotic crawl's contract:
+    // pages were actually fetched and linted.
+    assert!(!first.1.is_empty(), "adaptive crawl found no pages");
+    assert!(first.0.contains("pacing:"), "{}", first.0);
 }
 
 #[test]

@@ -137,10 +137,7 @@ fn robot_and_r_mode_agree_on_page_lint() {
             .iter()
             .map(|p| (p.path.as_str(), p.html.as_str())),
     );
-    let robot = Robot::new(RobotOptions {
-        check_external: false,
-        ..RobotOptions::default()
-    });
+    let robot = Robot::new(RobotOptions::builder().check_external(false).build());
     let start = Url::parse("http://site/index.html").unwrap();
     let crawl = robot.crawl(&WebFetcher::new(&web), &start);
 
