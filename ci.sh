@@ -40,3 +40,26 @@ timeout 180 cargo bench -p weblint-bench --bench adaptive -- --test
 #    under timeout so a wedged engine fails fast.
 cargo test -q --release --test golden_corpus --test atom_canary
 timeout 90 cargo test -q --release --test perf_smoke
+
+# Autofix gates (E16): the fix contract over the whole mutation corpus
+# (monotone / idempotent / surgical, fixable classes repair to clean,
+# unfixable classes round-trip byte-identical) plus the per-class golden
+# repair pairs; perf_smoke above already guards that fix emission stays
+# off the one-shot hot path.
+timeout 120 cargo test -q --release --test fix_properties --test golden_fixes
+
+# End-to-end -fix smoke: -diff prints the repair without writing, -fix
+# repairs in place behind a .orig backup, and the repaired page lints
+# clean (exit 0).
+fixdir="$(mktemp -d)"
+printf '%s\n' '<HTML><HEAD><TITLE>t</TITLE></HEAD>' '<BODY>' \
+    '<H1>My Example</H2>' '</BODY></HTML>' > "$fixdir/page.html"
+cp "$fixdir/page.html" "$fixdir/before.html"
+cargo run --release -p weblint-cli --bin weblint -- -fix -diff "$fixdir/page.html" \
+    | grep -q '^+<H1>My Example</H1>$'
+cmp "$fixdir/page.html" "$fixdir/before.html"
+cargo run --release -p weblint-cli --bin weblint -- -fix "$fixdir/page.html"
+test -f "$fixdir/page.html.orig"
+cmp "$fixdir/page.html.orig" "$fixdir/before.html"
+cargo run --release -p weblint-cli --bin weblint -- "$fixdir/page.html"
+rm -rf "$fixdir"

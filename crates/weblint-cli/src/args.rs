@@ -18,6 +18,10 @@ pub struct Args {
     pub directives: Vec<Directive>,
     /// `-R`: recurse into directories, enabling the site checks.
     pub recurse: bool,
+    /// `-fix`: repair what can be repaired, writing files in place.
+    pub fix: bool,
+    /// `-diff`: with `-fix`, print a unified diff instead of writing.
+    pub diff: bool,
     /// `-jobs N`: lint with N worker threads (0 or absent = sequential).
     pub jobs: usize,
     /// `-stats`: print lint-service statistics to stderr when done.
@@ -65,6 +69,11 @@ options:
   -fragment        treat input as an HTML fragment (skip structure checks)
   -R               recurse into directories; adds link, orphan, and
                    directory-index checking over the whole tree
+  -fix             repair everything with a mechanical remedy, rewriting
+                   each file in place (the original is kept as FILE.orig);
+                   with `-' the fixed page goes to standard output
+  -diff            with -fix: print a unified diff of what would change
+                   and write nothing
   -jobs N          lint with N worker threads; output order is unchanged
   -stats           print lint-service statistics to stderr when done
   -f FILE          use FILE as the user configuration file
@@ -121,6 +130,8 @@ pub fn parse_args(argv: &[String]) -> Result<Args, UsageError> {
             "-pedantic" | "--pedantic" => args.directives.push(Directive::Pedantic),
             "-fragment" | "--fragment" => args.directives.push(Directive::Fragment(true)),
             "-R" | "--recurse" => args.recurse = true,
+            "-fix" | "--fix" => args.fix = true,
+            "-diff" | "--diff" => args.diff = true,
             "-jobs" | "--jobs" | "-j" => {
                 let n = take_value("-jobs")?;
                 args.jobs = n.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
@@ -139,6 +150,9 @@ pub fn parse_args(argv: &[String]) -> Result<Args, UsageError> {
             }
             other => args.inputs.push(other.to_string()),
         }
+    }
+    if args.diff && !args.fix {
+        return Err(UsageError("-diff only makes sense with -fix".to_string()));
     }
     Ok(args)
 }
@@ -206,6 +220,16 @@ mod tests {
     fn stdin_dash() {
         let a = parse(&["-"]).unwrap();
         assert_eq!(a.inputs, ["-"]);
+    }
+
+    #[test]
+    fn fix_and_diff_flags() {
+        let a = parse(&["-fix", "x.html"]).unwrap();
+        assert!(a.fix && !a.diff);
+        let a = parse(&["-fix", "-diff", "x.html"]).unwrap();
+        assert!(a.fix && a.diff);
+        let e = parse(&["-diff", "x.html"]).unwrap_err();
+        assert!(e.to_string().contains("-fix"), "{e}");
     }
 
     #[test]

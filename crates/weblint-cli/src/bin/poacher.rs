@@ -35,6 +35,9 @@ options:
                 per-host limit clamps each batch further)
   -adaptive     pace the crawl: AIMD per-host in-flight limits plus
                 budget-capped hedged fetches
+  -fix          repair every crawled page in place (originals kept as
+                FILE.orig); messages and the exit status reflect what is
+                left over after fixing
   -quiet        only dead links and the summary
   -stats        print the fetch stack's telemetry (faults, resilience,
                 pacing) after the summary
@@ -53,6 +56,7 @@ struct Options {
     jobs: usize,
     fetchers: usize,
     adaptive: bool,
+    fix: bool,
     quiet: bool,
     stats: bool,
     faults: Option<FaultSpec>,
@@ -67,6 +71,7 @@ fn parse(argv: &[String]) -> Result<Options, String> {
         jobs: 0,
         fetchers: 1,
         adaptive: false,
+        fix: false,
         quiet: false,
         stats: false,
         faults: None,
@@ -97,6 +102,7 @@ fn parse(argv: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| format!("-fetchers needs a number in 1..=64, got `{v}'"))?;
             }
             "-adaptive" => options.adaptive = true,
+            "-fix" => options.fix = true,
             "-quiet" => options.quiet = true,
             "-stats" => options.stats = true,
             "-faults" => {
@@ -181,12 +187,35 @@ fn main() -> ExitCode {
     };
 
     let mut messages = 0usize;
+    let mut fixes_applied = 0usize;
+    let mut io_trouble = false;
+    let mut fixer = options.fix.then(weblint_fix::Fixer::new);
     for page in &report.pages {
-        messages += page.diagnostics.len();
-        if !options.quiet && !page.diagnostics.is_empty() {
+        // `-fix`: the crawled URL path is the file's path under the root
+        // (that is how StoreFetcher serves it), so repair it in place and
+        // let the *residue* drive the report and the exit status.
+        let diagnostics = match fixer.as_mut() {
+            Some(fixer) => {
+                let path = std::path::Path::new(&dir).join(page.url.path.trim_start_matches('/'));
+                match fix_file(fixer, &path) {
+                    Ok((applied, remaining)) => {
+                        fixes_applied += applied;
+                        remaining
+                    }
+                    Err(e) => {
+                        eprintln!("poacher: {}: {e}", path.display());
+                        io_trouble = true;
+                        continue;
+                    }
+                }
+            }
+            None => page.diagnostics.clone(),
+        };
+        messages += diagnostics.len();
+        if !options.quiet && !diagnostics.is_empty() {
             print!(
                 "{}",
-                format_report(&page.diagnostics, &page.url.to_string(), options.format)
+                format_report(&diagnostics, &page.url.to_string(), options.format)
             );
         }
     }
@@ -194,6 +223,12 @@ fn main() -> ExitCode {
         println!(
             "dead link on {}: \"{}\" ({})",
             dead.page, dead.href, dead.reason
+        );
+    }
+    if options.fix {
+        println!(
+            "poacher: {} fix(es) applied, {} message(s) remain",
+            fixes_applied, messages
         );
     }
     println!(
@@ -212,11 +247,31 @@ fn main() -> ExitCode {
     if (options.stats || options.faults.is_some()) && !telemetry.is_empty() {
         println!("{telemetry}");
     }
-    if messages > 0 || !report.dead_links.is_empty() {
+    if io_trouble {
+        ExitCode::from(2)
+    } else if messages > 0 || !report.dead_links.is_empty() {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Repair one crawled file in place, keeping the original as `.orig`.
+/// Returns (fixes applied, diagnostics remaining afterwards).
+fn fix_file(
+    fixer: &mut weblint_fix::Fixer,
+    path: &std::path::Path,
+) -> std::io::Result<(usize, Vec<weblint_core::Diagnostic>)> {
+    let bytes = std::fs::read(path)?;
+    let src = String::from_utf8_lossy(&bytes).into_owned();
+    let report = fixer.fix_until_stable(&src, 4);
+    if report.output != src {
+        let mut backup = path.as_os_str().to_owned();
+        backup.push(".orig");
+        std::fs::write(&backup, &src)?;
+        std::fs::write(path, &report.output)?;
+    }
+    Ok((report.fixes_applied, report.remaining))
 }
 
 #[cfg(test)]
@@ -257,6 +312,12 @@ mod tests {
             let err = parse(&args(bad)).unwrap_err();
             assert!(err.contains("-fetchers"), "{err}");
         }
+    }
+
+    #[test]
+    fn fix_flag_parses() {
+        assert!(parse(&args(&["-fix", "site"])).unwrap().fix);
+        assert!(!parse(&args(&["site"])).unwrap().fix);
     }
 
     #[test]

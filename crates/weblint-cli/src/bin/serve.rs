@@ -28,8 +28,10 @@ usage: weblint-serve [options]
 
 Serve weblint over HTTP. POST a document to /lint (pick the output with
 ?format=lint|short|terse|explain|json|html or an Accept header), or GET
-/lint?url=... to lint a page of the built-in demo site. /health answers
-liveness probes and /metrics reports pool and server counters.
+/lint?url=... to lint a page of the built-in demo site. POST a document
+to /fix to get it back repaired (the X-Weblint-Fixed-Count header counts
+the applied fixes). /health answers liveness probes and /metrics reports
+pool and server counters.
 
 options:
   -port N       listen port (default 8018, 0 picks an ephemeral port)
@@ -192,7 +194,7 @@ fn main() -> ExitCode {
         }
     };
     let addr = server.local_addr();
-    println!("weblint-serve: listening on http://{addr}/ (POST /lint, GET /lint?url=..., /health, /metrics)");
+    println!("weblint-serve: listening on http://{addr}/ (POST /lint, POST /fix, GET /lint?url=..., /health, /metrics)");
     server.start().join();
     ExitCode::SUCCESS
 }
@@ -244,14 +246,30 @@ fn smoke(options: &Options) -> Result<String, String> {
         } else if demo.status != 200 || !demo.body_text().contains("malformed heading") {
             return Err("GET /lint?url= missed the demo page's problems".to_string());
         }
+        // POST /fix must hand back a repaired document and say how much
+        // it repaired in the X-Weblint-Fixed-Count header.
+        let fixed = ask("POST", "/fix", fixture.as_bytes())?;
+        if fixed.status != 200 || !fixed.body_text().contains("</H1>") {
+            return Err(format!(
+                "POST /fix did not repair the heading: {}",
+                fixed.body_text().trim()
+            ));
+        }
+        match fixed.header("x-weblint-fixed-count") {
+            Some(n) if n.parse::<u64>().is_ok_and(|n| n >= 1) => {}
+            other => return Err(format!("bad X-Weblint-Fixed-Count: {other:?}")),
+        }
         let metrics = ask("GET", "/metrics", b"")?;
         if !metrics.body_text().contains("cache:") {
             return Err("GET /metrics lacks cache counters".to_string());
         }
+        if !metrics.body_text().contains("fix(es) applied") {
+            return Err("GET /metrics lacks fix counters".to_string());
+        }
         if options.faults.is_some() && !metrics.body_text().contains("fault injection:") {
             return Err("chaotic GET /metrics lacks fault injection counters".to_string());
         }
-        Ok(format!("{} request(s) on one connection", 5))
+        Ok(format!("{} request(s) on one connection", 6))
     };
     let outcome = run();
 
@@ -263,11 +281,14 @@ fn smoke(options: &Options) -> Result<String, String> {
             service.cache.hits
         ));
     }
-    if http.requests_served < 5 {
+    if http.requests_served < 6 {
         return Err(format!(
-            "expected 5 requests served, counted {}",
+            "expected 6 requests served, counted {}",
             http.requests_served
         ));
+    }
+    if http.fix_requests < 1 {
+        return Err("expected the POST /fix request in the fix counters".to_string());
     }
     Ok(format!(
         "{summary}, {} job(s) linted, {} cache hit(s)",

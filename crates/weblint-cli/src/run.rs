@@ -47,6 +47,13 @@ pub fn run(args: &Args, out: &mut impl std::io::Write, err: &mut impl std::io::W
         }
     };
 
+    // Fix mode rewrites files instead of reporting, one at a time — the
+    // service fan-out buys nothing when each file is read, repaired, and
+    // written back in sequence anyway.
+    if args.fix {
+        return run_fix(args, &config, out, err);
+    }
+
     // `-jobs N` (or `-stats`) routes the run through the lint service;
     // otherwise everything happens inline on this thread, as it always
     // did. Output is byte-identical either way.
@@ -175,6 +182,115 @@ enum InputStatus {
     Clean,
     Messages,
     Failed,
+}
+
+/// Fix passes before giving up on convergence. Every mechanical repair
+/// lands in one pass; a second pass picks up fixes that were skipped over
+/// a conflict; the rest is headroom.
+const MAX_FIX_PASSES: usize = 4;
+
+/// `-fix`: repair each input in place (or print a diff with `-diff`).
+/// Exit status reflects what is *left over* after fixing.
+fn run_fix(
+    args: &Args,
+    config: &LintConfig,
+    out: &mut impl std::io::Write,
+    err: &mut impl std::io::Write,
+) -> i32 {
+    let mut code = EXIT_CLEAN;
+    for input in &args.inputs {
+        code = code.max(fix_one(input, args, config, out, err));
+    }
+    code
+}
+
+fn fix_one(
+    input: &str,
+    args: &Args,
+    config: &LintConfig,
+    out: &mut impl std::io::Write,
+    err: &mut impl std::io::Write,
+) -> i32 {
+    let from_stdin = input == "-";
+    let (name, src) = if from_stdin {
+        let mut src = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut src) {
+            let _ = writeln!(err, "weblint: stdin: {e}");
+            return EXIT_ERROR;
+        }
+        ("stdin".to_string(), src)
+    } else {
+        let path = Path::new(input);
+        if path.is_dir() {
+            let _ = writeln!(
+                err,
+                "weblint: {input} is a directory (-fix takes files; use poacher -fix for a tree)"
+            );
+            return EXIT_ERROR;
+        }
+        match std::fs::read(path) {
+            Ok(bytes) => (
+                input.to_string(),
+                String::from_utf8_lossy(&bytes).into_owned(),
+            ),
+            Err(e) => {
+                let _ = writeln!(err, "weblint: {input}: {e}");
+                return EXIT_ERROR;
+            }
+        }
+    };
+
+    let mut page_config = config.clone();
+    if let Err(e) = apply_pragmas(&src, &mut page_config) {
+        let _ = writeln!(err, "weblint: {name}: {e}");
+        return EXIT_ERROR;
+    }
+    let mut fixer = weblint_fix::Fixer::with_config(page_config);
+    let report = fixer.fix_until_stable(&src, MAX_FIX_PASSES);
+
+    if args.diff {
+        let _ = write!(
+            out,
+            "{}",
+            weblint_fix::unified_diff(&src, &report.output, &name, &format!("{name} (fixed)"))
+        );
+    } else if from_stdin {
+        // The fixed page is the product: stdout carries it, leftovers go
+        // to stderr so pipelines stay clean.
+        let _ = write!(out, "{}", report.output);
+        let _ = write!(
+            err,
+            "{}",
+            format_report(&report.remaining, &name, args.format)
+        );
+    } else if report.output != src {
+        let backup = format!("{input}.orig");
+        if let Err(e) = std::fs::write(&backup, &src) {
+            let _ = writeln!(err, "weblint: {backup}: {e}");
+            return EXIT_ERROR;
+        }
+        if let Err(e) = std::fs::write(input, &report.output) {
+            let _ = writeln!(err, "weblint: {input}: {e}");
+            return EXIT_ERROR;
+        }
+        let _ = writeln!(
+            err,
+            "weblint: {input}: {} fix(es) applied (original saved as {backup})",
+            report.fixes_applied
+        );
+    }
+    if !args.diff && !from_stdin {
+        let _ = write!(
+            out,
+            "{}",
+            format_report(&report.remaining, &name, args.format)
+        );
+    }
+    if report.remaining.is_empty() {
+        EXIT_CLEAN
+    } else {
+        EXIT_MESSAGES
+    }
 }
 
 fn check_one(
@@ -565,6 +681,62 @@ mod tests {
             !out.contains("lint service statistics"),
             "stats stay off stdout"
         );
+    }
+
+    #[test]
+    fn fix_rewrites_in_place_with_backup() {
+        let page = write_temp(
+            "fixme.html",
+            "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><IMG SRC=\"x.gif\"></BODY></HTML>\n",
+        );
+        let (code, out, err) = run_args(&["-noglobals", "-fix", page.to_str().unwrap()]);
+        assert_eq!(code, EXIT_CLEAN, "out={out} err={err}");
+        let fixed = std::fs::read_to_string(&page).unwrap();
+        assert!(fixed.contains("ALT=\"\""), "{fixed}");
+        assert!(fixed.starts_with("<!DOCTYPE"), "{fixed}");
+        let orig = std::fs::read_to_string(format!("{}.orig", page.display())).unwrap();
+        assert!(!orig.contains("ALT"), "backup holds the original: {orig}");
+        assert!(err.contains("fix(es) applied"), "{err}");
+        // A second run finds nothing to do and leaves the file alone.
+        let (code, _, err) = run_args(&["-noglobals", "-fix", page.to_str().unwrap()]);
+        assert_eq!(code, EXIT_CLEAN);
+        assert!(!err.contains("fix(es) applied"), "{err}");
+    }
+
+    #[test]
+    fn fix_diff_prints_and_writes_nothing() {
+        let src = "<H1>My Example</H2>\n";
+        let page = write_temp("diffme.html", src);
+        let (code, out, _) = run_args(&["-noglobals", "-fix", "-diff", page.to_str().unwrap()]);
+        // The heading is repaired but the page still has no HTML/HEAD/BODY
+        // skeleton — unfixable residue, so the exit code stays 1.
+        assert_eq!(code, EXIT_MESSAGES, "{out}");
+        assert!(out.contains("-<H1>My Example</H2>"), "{out}");
+        assert!(out.contains("+"), "{out}");
+        assert_eq!(
+            std::fs::read_to_string(&page).unwrap(),
+            src,
+            "no writes in diff mode"
+        );
+        assert!(!Path::new(&format!("{}.orig", page.display())).exists());
+    }
+
+    #[test]
+    fn fix_leaves_unfixable_messages_and_exits_1() {
+        // odd-quotes has no mechanical remedy; the residue keeps exit 1.
+        let page = write_temp("unfixable.html", "<P ALIGN=\"x>text</P>\n");
+        let (code, out, _) = run_args(&["-noglobals", "-fix", "-s", page.to_str().unwrap()]);
+        assert_eq!(code, EXIT_MESSAGES, "{out}");
+        assert!(out.contains("odd number"), "{out}");
+    }
+
+    #[test]
+    fn fix_rejects_directories() {
+        let dir = std::env::temp_dir().join("weblint-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (code, _, err) = run_args(&["-noglobals", "-fix", dir.to_str().unwrap()]);
+        assert_eq!(code, EXIT_ERROR);
+        assert!(err.contains("poacher -fix"), "{err}");
     }
 
     #[test]

@@ -134,6 +134,51 @@ fn poacher_crawls_and_reports() {
 }
 
 #[test]
+fn poacher_fix_converges_site_to_exit_0() {
+    // The batch contract: a crawl where every page lints clean after -fix
+    // exits 0, even though the pre-fix pages were full of messages.
+    let dir = std::env::temp_dir().join("poacher-fix-proc-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("index.html"),
+        "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>\
+         <P><A HREF=\"a.html\">next</A></P><H1>Hi</H2></BODY></HTML>\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("a.html"),
+        "<HTML><HEAD><TITLE>a</TITLE></HEAD><BODY><P>IMG=<IMG SRC=\"index.html\"></P></BODY></HTML>\n",
+    )
+    .unwrap();
+    // Without -fix the site has messages → exit 1.
+    let out = poacher(&["-s", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+
+    let out = poacher(&["-s", "-fix", dir.to_str().unwrap()]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(out.status.code(), Some(0), "{stdout}\n{stderr}");
+    assert!(stdout.contains("fix(es) applied"), "{stdout}");
+    assert!(stdout.contains("0 message(s) remain"), "{stdout}");
+    let fixed = std::fs::read_to_string(dir.join("index.html")).unwrap();
+    assert!(fixed.starts_with("<!DOCTYPE"), "{fixed}");
+    assert!(fixed.contains("</H1>"), "{fixed}");
+    assert!(dir.join("index.html.orig").exists());
+    assert!(std::fs::read_to_string(dir.join("a.html"))
+        .unwrap()
+        .contains("ALT=\"\""));
+
+    // A second fixing crawl finds nothing left to do.
+    let out = poacher(&["-s", "-fix", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("0 fix(es) applied"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn poacher_usage() {
     let out = poacher(&["-help"]);
     assert_eq!(out.status.code(), Some(0));

@@ -3,32 +3,78 @@
 
 use weblint_tokenizer::{Span, Tag};
 
+use crate::fix::{Edit, Fix};
+
 use super::names::{heading_level, known, NameId};
+use super::open::{src_range, NO_FIX};
 use super::{Checker, Open};
+
+/// A fix that removes a stray end tag outright.
+fn delete_tag(span: Span) -> impl FnOnce() -> Option<Fix> {
+    move || {
+        if span.is_empty() {
+            return None;
+        }
+        Some(Fix::one(Edit::delete(span.start.offset, span.end.offset)))
+    }
+}
 
 impl Checker<'_> {
     pub(crate) fn on_end_tag(&mut self, tag: &Tag<'_>, span: Span) {
         self.check_first_tag(tag.name, span);
         if tag.name.is_empty() {
-            self.emit("unexpected-close", span, "empty end tag `</>'".to_string());
+            self.emit_fix(
+                "unexpected-close",
+                span,
+                span,
+                "empty end tag `</>'".to_string(),
+                delete_tag(span),
+            );
             return;
         }
         self.check_name_case(tag.name, span, "tag");
         if tag.space_before_name {
-            self.emit(
+            let (name_start, _) = src_range(self.src, tag.name);
+            self.emit_fix(
                 "leading-whitespace",
+                span,
                 span,
                 format!(
                     "whitespace not allowed between `</' and the tag name (</{}>)",
                     tag.name
                 ),
+                // Remove everything between `</` and the name.
+                move || {
+                    let from = span.start.offset + 2;
+                    let to = name_start as usize;
+                    if to <= from {
+                        return None;
+                    }
+                    Some(Fix::one(Edit::delete(from, to)))
+                },
             );
         }
         if !tag.attrs.is_empty() {
-            self.emit(
+            let (name_start, name_len) = src_range(self.src, tag.name);
+            let unterminated = tag.unterminated;
+            let src = self.src;
+            self.emit_fix(
                 "closing-attribute",
                 span,
+                span,
                 format!("end tag </{}> should not have attributes", tag.name),
+                // Remove everything between the name and the closing `>`.
+                move || {
+                    if unterminated {
+                        return None;
+                    }
+                    let from = (name_start + name_len) as usize;
+                    let to = span.end.offset.checked_sub(1)?;
+                    if to < from || src.as_bytes().get(to) != Some(&b'>') {
+                        return None;
+                    }
+                    Some(Fix::one(Edit::delete(from, to)))
+                },
             );
         }
 
@@ -37,13 +83,15 @@ impl Checker<'_> {
         // End tag for an empty element (</IMG>, </BR>): nothing to pop.
         if let Some(def) = id.atom().and_then(|atom| self.spec.element_any_atom(atom)) {
             if def.is_empty_element() {
-                self.emit(
+                self.emit_fix(
                     "unexpected-close",
+                    span,
                     span,
                     format!(
                         "</{orig}> is not legal - {orig} is an empty element",
                         orig = tag.name
                     ),
+                    delete_tag(span),
                 );
                 return;
             }
@@ -86,20 +134,62 @@ impl Checker<'_> {
                 // count as unmatched.
                 self.scratch.unresolved.push(open);
             } else {
-                self.emit(
+                let src = self.src;
+                self.emit_fix(
                     "unclosed-element",
                     span,
+                    open.name_span,
                     format!(
                         "no closing </{orig}> seen for <{orig}> on line {line}",
                         orig = open.orig(self.src),
                         line = open.line
                     ),
+                    // Insert the missing end tag just before the close that
+                    // forced this element off the stack. Same-offset
+                    // insertions keep emission (= innermost-first) order.
+                    move || {
+                        Some(Fix::one(Edit::insert(
+                            span.start.offset,
+                            format!("</{}>", open.orig(src)),
+                        )))
+                    },
                 );
                 self.close_bookkeeping(&open, span);
             }
         }
         let open = self.scratch.stack.pop().expect("matched element exists");
+        // Complete a rename deferred from the open tag (obsolete-element):
+        // now that the matching end tag is known, both names can be
+        // rewritten together.
+        if open.fix_diag != NO_FIX {
+            self.attach_rename_fix(&open, tag);
+        }
         self.close_bookkeeping(&open, span);
+    }
+
+    /// Attach the two-edit rename recorded in `open.fix_diag`: replace the
+    /// open tag's name and this end tag's name with the catalog's
+    /// replacement element.
+    fn attach_rename_fix(&mut self, open: &Open, tag: &Tag<'_>) {
+        let Some(diag) = self.diags.get_mut(open.fix_diag as usize) else {
+            return;
+        };
+        if diag.id != "obsolete-element" || diag.fix.is_some() {
+            return;
+        }
+        let Some(replacement) = open.def.and_then(|d| d.deprecated) else {
+            return;
+        };
+        let open_span = open.name_span;
+        let (close_start, close_len) = src_range(self.src, tag.name);
+        let (close_start, close_len) = (close_start as usize, close_len as usize);
+        if open_span.is_empty() || close_len == 0 || open_span.end.offset > close_start {
+            return;
+        }
+        diag.fix = Some(Box::new(Fix::new(vec![
+            Edit::replace(open_span.start.offset, open_span.end.offset, replacement),
+            Edit::replace(close_start, close_start + close_len, replacement),
+        ])));
     }
 
     /// The end tag matches nothing on the stack: resolve it against the
@@ -122,14 +212,31 @@ impl Checker<'_> {
         {
             if let Some(open_level) = heading_level(top.id) {
                 if open_level != close_level {
-                    self.emit(
+                    let (close_start, close_len) = src_range(self.src, tag.name);
+                    let src = self.src;
+                    self.emit_fix(
                         "heading-mismatch",
+                        span,
                         span,
                         format!(
                             "malformed heading - open tag is <{}>, but closing is </{}>",
                             top.orig(self.src),
                             tag.name
                         ),
+                        // Rewrite the close tag's name to match the heading
+                        // that is actually open, preserving its case.
+                        move || {
+                            let name = top.orig(src);
+                            if name.is_empty() {
+                                return None;
+                            }
+                            let start = close_start as usize;
+                            Some(Fix::one(Edit::replace(
+                                start,
+                                start + close_len as usize,
+                                name,
+                            )))
+                        },
                     );
                     let open = self.scratch.stack.pop().expect("heading on top");
                     self.close_bookkeeping(&open, span);
@@ -137,10 +244,12 @@ impl Checker<'_> {
                 }
             }
         }
-        self.emit(
+        self.emit_fix(
             "unexpected-close",
             span,
+            span,
             format!("unmatched </{orig}> (no <{orig}> seen)", orig = tag.name),
+            delete_tag(span),
         );
     }
 

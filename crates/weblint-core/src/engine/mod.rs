@@ -29,6 +29,7 @@ use weblint_html::HtmlSpec;
 use weblint_tokenizer::{Pos, Span, Token, TokenKind, Tokenizer};
 
 use crate::catalog::check_def;
+use crate::fix::{Edit, Fix};
 use crate::message::Diagnostic;
 use crate::options::LintConfig;
 
@@ -131,6 +132,49 @@ impl<'a> Checker<'a> {
             .push(Diagnostic::at(id, def.category, span, message));
     }
 
+    /// Emit a diagnostic that has a mechanical repair.
+    ///
+    /// `span` is where the message reports (line/column come from its
+    /// start, exactly as [`Checker::emit`]); `fix_span` is the full byte
+    /// range of the construct being repaired, recorded on the diagnostic
+    /// so downstream consumers never re-scan the source. The fix itself
+    /// is built lazily — `build` only runs in fix-collecting mode, so the
+    /// one-shot lint path pays a single branch for all of this. `build`
+    /// may return `None` for instances that are not mechanically
+    /// repairable (mangled quoting, out-of-range offsets).
+    pub(crate) fn emit_fix(
+        &mut self,
+        id: &'static str,
+        span: Span,
+        fix_span: Span,
+        message: String,
+        build: impl FnOnce() -> Option<Fix>,
+    ) {
+        if !self.config.is_enabled(id) {
+            return;
+        }
+        let def =
+            check_def(id).unwrap_or_else(|| unreachable!("emit_fix() called with unknown id {id}"));
+        let mut diag = Diagnostic::at(id, def.category, span, message);
+        diag.span = fix_span;
+        if self.config.emit_fixes {
+            if let Some(fix) = build() {
+                // The span audit: a diagnostic that carries a repair must
+                // also carry the full span of what it repairs.
+                debug_assert!(
+                    !fix_span.is_empty(),
+                    "fixable diagnostic `{id}` has an empty span"
+                );
+                debug_assert!(
+                    fix.is_well_formed() && !fix.edits.is_empty(),
+                    "fix for `{id}` is malformed: {fix:?}"
+                );
+                diag.fix = Some(Box::new(fix));
+            }
+        }
+        self.diags.push(diag);
+    }
+
     /// Whether a `<HEAD>` element is currently open.
     pub(crate) fn in_head(&self) -> bool {
         let head = known().head;
@@ -141,18 +185,30 @@ impl<'a> Checker<'a> {
     /// run the whole-document checks.
     fn finish(mut self) -> Vec<Diagnostic> {
         let eof = Span::empty(self.end_pos);
+        let end_offset = self.end_pos.offset;
         while let Some(open) = self.scratch.stack.pop() {
             let silent =
                 self.config.heuristics && open.def.map(|d| d.end_tag_optional()).unwrap_or(true);
             if !silent {
-                self.emit(
+                let src = self.src;
+                self.emit_fix(
                     "unclosed-element",
                     eof,
+                    open.name_span,
                     format!(
                         "no closing </{orig}> seen for <{orig}> on line {line}",
                         orig = open.orig(self.src),
                         line = open.line
                     ),
+                    // Append the missing end tag at end-of-file. The stack
+                    // pops innermost-first, and same-offset insertions keep
+                    // their emission order, so nesting comes out right.
+                    move || {
+                        Some(Fix::one(Edit::insert(
+                            end_offset,
+                            format!("</{}>", open.orig(src)),
+                        )))
+                    },
                 );
             }
             self.close_bookkeeping(&open, eof);

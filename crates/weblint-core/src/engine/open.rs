@@ -1,6 +1,7 @@
 //! An entry on the element stack.
 
 use weblint_html::ElementDef;
+use weblint_tokenizer::{Pos, Span};
 
 use super::names::NameId;
 
@@ -8,16 +9,14 @@ use super::names::NameId;
 /// secondary "unresolved" stack).
 ///
 /// Holds no strings: the name is a [`NameId`] and the as-written spelling
-/// is a byte range into the source, so pushing an element never allocates
-/// and the stacks can live in reusable session scratch.
+/// is a span into the source, so pushing an element never allocates and
+/// the stacks can live in reusable session scratch.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Open {
     /// Interned lower-case element name, for table lookups and matching.
     pub id: NameId,
-    /// Byte offset in the source of the name exactly as written.
-    pub orig_start: u32,
-    /// Byte length of the as-written name.
-    pub orig_len: u32,
+    /// Span of the name exactly as written in the source.
+    pub name_span: Span,
     /// Line the open tag appeared on — weblint's messages quote it
     /// ("for <TITLE> on line 3").
     pub line: u32,
@@ -26,13 +25,19 @@ pub(crate) struct Open {
     /// Whether any non-whitespace content (text or child elements) has been
     /// seen inside, for the `empty-container` check.
     pub has_content: bool,
+    /// Index into the diagnostics of a pending fix for this element
+    /// (currently: an `obsolete-element` rename that must also rewrite the
+    /// matching end tag), or [`NO_FIX`] when there is none.
+    pub fix_diag: u32,
 }
+
+/// Sentinel for [`Open::fix_diag`]: no deferred fix.
+pub(crate) const NO_FIX: u32 = u32::MAX;
 
 impl Open {
     /// The element name exactly as written in `src`, for messages.
     pub fn orig<'s>(&self, src: &'s str) -> &'s str {
-        src.get(self.orig_start as usize..(self.orig_start + self.orig_len) as usize)
-            .unwrap_or("")
+        self.name_span.slice(src)
     }
 
     /// Whether the §5.1 heuristics may close this element silently when a
@@ -66,6 +71,19 @@ pub(crate) fn src_range(src: &str, part: &str) -> (u32, u32) {
     (start as u32, part.len() as u32)
 }
 
+/// Full span of `part` — a subslice of `src` that sits on the same line as
+/// `outer.start` with only single-byte characters before it (tag names
+/// always do: they directly follow `<` or `</`). Column arithmetic under
+/// those conditions is plain offset arithmetic.
+pub(crate) fn sub_span(src: &str, outer: Span, part: &str) -> Span {
+    let (start, len) = src_range(src, part);
+    let start = start as usize;
+    let delta = start.saturating_sub(outer.start.offset) as u32;
+    let s = Pos::new(outer.start.line, outer.start.col + delta, start);
+    let e = Pos::new(outer.start.line, s.col + len, start + len as usize);
+    Span::new(s, e)
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::names::NameTable;
@@ -76,11 +94,11 @@ mod tests {
         let spec = HtmlSpec::default();
         Open {
             id: names.id(name),
-            orig_start: 0,
-            orig_len: 0,
+            name_span: Span::empty(Pos::START),
             line: 1,
             def: spec.element_any(name),
             has_content: false,
+            fix_diag: NO_FIX,
         }
     }
 
@@ -110,17 +128,20 @@ mod tests {
     }
 
     #[test]
-    fn src_range_round_trips() {
+    fn sub_span_round_trips() {
         let src = "<TITLE>x</TITLE>";
         let name = &src[1..6];
-        let (start, len) = src_range(src, name);
+        let outer = Span::new(Pos::new(1, 1, 0), Pos::new(1, 8, 7));
+        let span = sub_span(src, outer, name);
+        assert_eq!(span.slice(src), "TITLE");
+        assert_eq!(span.start, Pos::new(1, 2, 1));
         let o = Open {
             id: NameTable::default().id("title"),
-            orig_start: start,
-            orig_len: len,
+            name_span: span,
             line: 1,
             def: None,
             has_content: false,
+            fix_diag: NO_FIX,
         };
         assert_eq!(o.orig(src), "TITLE");
         assert_eq!(o.orig("short"), "");

@@ -3,10 +3,11 @@
 use weblint_html::{AttrStatus, ElementCategory, ElementDef, ElementStatus};
 use weblint_tokenizer::{Quote, Span, Tag};
 
+use crate::fix::{Edit, Fix};
 use crate::options::{edit_distance, CaseStyle};
 
 use super::names::{heading_level, known, NameId};
-use super::open::src_range;
+use super::open::{src_range, sub_span, NO_FIX};
 use super::{Checker, Open};
 
 /// Cap quoted source text in messages so one mangled tag cannot produce a
@@ -39,6 +40,10 @@ impl Checker<'_> {
 
         let def = self.classify_element(id, tag.name, span);
 
+        // A deferred rename fix: set when this element is obsolete and the
+        // replacement is a plain element name, completed at close time so
+        // both tags are rewritten together (see `close_matched`).
+        let mut fix_diag = NO_FIX;
         if let Some(d) = def {
             if let Some(replacement) = d.deprecated {
                 self.emit(
@@ -46,6 +51,18 @@ impl Checker<'_> {
                     span,
                     format!("<{}> is obsolete - use {}", tag.name, replacement),
                 );
+                // Only rename when the advice is a bare element name
+                // ("PRE", "OBJECT") — prose like "CSS instead" is not a
+                // mechanical remedy.
+                if self.config.emit_fixes
+                    && replacement.bytes().all(|b| b.is_ascii_alphanumeric())
+                    && self
+                        .diags
+                        .last()
+                        .is_some_and(|d| d.id == "obsolete-element")
+                {
+                    fix_diag = (self.diags.len() - 1) as u32;
+                }
             }
             if let Some(logical) = d.physical {
                 self.emit(
@@ -73,10 +90,21 @@ impl Checker<'_> {
             self.check_attrs_semantic(tag, d, span);
         }
         if tag.self_closing {
-            self.emit(
+            let src = self.src;
+            self.emit_fix(
                 "xml-self-close",
                 span,
+                span,
                 format!("XML-style `/>' is not HTML (<{}/>)", tag.name),
+                // Drop the `/` in `/>`; decline if the tag does not end in
+                // the plain two-byte form (whitespace, truncation).
+                move || {
+                    let slash = span.end.offset.checked_sub(2)?;
+                    if src.as_bytes().get(slash) != Some(&b'/') {
+                        return None;
+                    }
+                    Some(Fix::one(Edit::delete(slash, slash + 1)))
+                },
             );
         }
 
@@ -99,14 +127,13 @@ impl Checker<'_> {
                 self.scratch.title_buf.clear();
                 self.scratch.title_active = true;
             }
-            let (orig_start, orig_len) = src_range(self.src, tag.name);
             self.scratch.stack.push(Open {
                 id,
-                orig_start,
-                orig_len,
+                name_span: sub_span(self.src, span, tag.name),
                 line: span.start.line,
                 def,
                 has_content: false,
+                fix_diag,
             });
         }
     }
@@ -121,10 +148,20 @@ impl Checker<'_> {
             return;
         }
         if !self.seen_doctype {
-            self.emit(
+            let public_id = self.spec.version().public_id();
+            self.emit_fix(
                 "require-doctype",
                 span,
+                span,
                 "first element was not DOCTYPE specification".to_string(),
+                // Prepend the declaration for the version being checked
+                // against.
+                move || {
+                    Some(Fix::one(Edit::insert(
+                        0,
+                        format!("<!DOCTYPE HTML PUBLIC \"{public_id}\">\n"),
+                    )))
+                },
             );
         }
         if !name.eq_ignore_ascii_case("html") {
@@ -378,13 +415,38 @@ impl Checker<'_> {
             self.check_name_case(attr.name, attr.span, "attribute");
             let aid = self.scratch.names.id(attr.name);
             if self.scratch.attr_seen.contains(&aid) {
-                self.emit(
+                // Delete this whole repeated attribute (with the whitespace
+                // before it). Compute the end of what it wrote in the
+                // source; decline when quoting was mangled.
+                let del_end = match &attr.value {
+                    Some(v) if v.terminated => {
+                        Some(v.span.end.offset + usize::from(v.quote != Quote::None))
+                    }
+                    Some(_) => None,
+                    None if !attr.has_eq => Some(attr.span.end.offset),
+                    None => None,
+                };
+                let del_start = attr.span.start.offset;
+                let src = self.src;
+                self.emit_fix(
                     "duplicate-attribute",
+                    attr.span,
                     attr.span,
                     format!(
                         "attribute {} appears more than once in <{}>",
                         attr.name, tag.name
                     ),
+                    move || {
+                        let del_end = del_end?;
+                        if del_end > src.len() {
+                            return None;
+                        }
+                        let mut from = del_start;
+                        while from > 0 && src.as_bytes()[from - 1].is_ascii_whitespace() {
+                            from -= 1;
+                        }
+                        Some(Fix::one(Edit::delete(from, del_end)))
+                    },
                 );
             }
             self.scratch.attr_seen.push(aid);
@@ -402,20 +464,40 @@ impl Checker<'_> {
                 None => {}
                 Some(v) => match v.quote {
                     Quote::Single => {
-                        self.emit(
+                        let vspan = v.span;
+                        let terminated = v.terminated;
+                        let has_dquote = v.raw.contains('"');
+                        self.emit_fix(
                             "attribute-delimiter",
                             attr.span,
+                            Span::new(attr.span.start, vspan.end),
                             format!(
                                 "use of ' as delimiter for value of attribute {} of element {} \
                                  is not supported by all browsers",
                                 attr.name, tag.name
                             ),
+                            // Swap both single-quote delimiters (the bytes
+                            // just outside the value span) for double
+                            // quotes; decline if the value itself contains
+                            // one, or the closing quote never came.
+                            move || {
+                                if !terminated || has_dquote || vspan.start.offset == 0 {
+                                    return None;
+                                }
+                                Some(Fix::new(vec![
+                                    Edit::replace(vspan.start.offset - 1, vspan.start.offset, "\""),
+                                    Edit::replace(vspan.end.offset, vspan.end.offset + 1, "\""),
+                                ]))
+                            },
                         );
                     }
                     Quote::None if value_needs_quotes(v.raw) => {
-                        self.emit(
+                        let vspan = v.span;
+                        let has_dquote = v.raw.contains('"');
+                        self.emit_fix(
                             "quote-attribute-value",
                             attr.span,
+                            Span::new(attr.span.start, vspan.end),
                             format!(
                                 "value for attribute {name} ({value}) of element {el} should be \
                                  quoted (i.e. {name}=\"{value}\")",
@@ -423,6 +505,15 @@ impl Checker<'_> {
                                 value = clip(v.raw, MAX_QUOTED_SRC),
                                 el = tag.name
                             ),
+                            move || {
+                                if has_dquote {
+                                    return None;
+                                }
+                                Some(Fix::new(vec![
+                                    Edit::insert(vspan.start.offset, "\""),
+                                    Edit::insert(vspan.end.offset, "\""),
+                                ]))
+                            },
                         );
                     }
                     _ => {}
@@ -519,11 +610,27 @@ impl Checker<'_> {
         }
         if def.name == "img" {
             if !tag.has_attr("alt") {
-                self.emit(
+                let broken = tag.unterminated || tag.odd_quotes || tag.self_closing;
+                let src = self.src;
+                self.emit_fix(
                     "img-alt",
+                    span,
                     span,
                     "IMG element has no ALT attribute - ALT text helps non-graphical browsing"
                         .to_string(),
+                    // Insert an empty ALT just before the closing `>`. The
+                    // author still owes real ALT text, but the page now
+                    // degrades gracefully in text browsers.
+                    move || {
+                        if broken {
+                            return None;
+                        }
+                        let at = span.end.offset.checked_sub(1)?;
+                        if src.as_bytes().get(at) != Some(&b'>') {
+                            return None;
+                        }
+                        Some(Fix::one(Edit::insert(at, " ALT=\"\"")))
+                    },
                 );
             }
             if !tag.has_attr("width") || !tag.has_attr("height") {
@@ -551,34 +658,43 @@ impl Checker<'_> {
     }
 
     /// Style check for tag/attribute name case (`upper-case`/`lower-case`).
+    ///
+    /// `name` must be a subslice of the source (tag and attribute names
+    /// are), so the fix can rewrite exactly its bytes.
     pub(crate) fn check_name_case(&mut self, name: &str, span: Span, what: &str) {
-        match self.config.case_style() {
-            CaseStyle::Any => {}
-            CaseStyle::Upper => {
-                if name.bytes().any(|b| b.is_ascii_lowercase()) {
-                    self.emit(
-                        "upper-case",
-                        span,
-                        format!(
-                            "{what} name {name} should be in upper case ({})",
-                            name.to_ascii_uppercase()
-                        ),
-                    );
-                }
+        let (check, to_case): (_, fn(&str) -> String) = match self.config.case_style() {
+            CaseStyle::Any => return,
+            CaseStyle::Upper if name.bytes().any(|b| b.is_ascii_lowercase()) => {
+                ("upper-case", str::to_ascii_uppercase)
             }
-            CaseStyle::Lower => {
-                if name.bytes().any(|b| b.is_ascii_uppercase()) {
-                    self.emit(
-                        "lower-case",
-                        span,
-                        format!(
-                            "{what} name {name} should be in lower case ({})",
-                            name.to_ascii_lowercase()
-                        ),
-                    );
-                }
+            CaseStyle::Lower if name.bytes().any(|b| b.is_ascii_uppercase()) => {
+                ("lower-case", str::to_ascii_lowercase)
             }
-        }
+            _ => return,
+        };
+        let (start, len) = src_range(self.src, name);
+        let direction = if check == "upper-case" {
+            "upper"
+        } else {
+            "lower"
+        };
+        self.emit_fix(
+            check,
+            span,
+            span,
+            format!(
+                "{what} name {name} should be in {direction} case ({})",
+                to_case(name)
+            ),
+            move || {
+                let start = start as usize;
+                Some(Fix::one(Edit::replace(
+                    start,
+                    start + len as usize,
+                    to_case(name),
+                )))
+            },
+        );
     }
 }
 

@@ -2,7 +2,14 @@
 
 use weblint_tokenizer::{scan_entities, scan_metachars, Comment, Decl, MetaCharKind, Span, Text};
 
+use crate::fix::{Edit, Fix};
+
 use super::Checker;
+
+/// A fix that appends the missing `;` of an entity reference.
+fn terminate_entity(span: Span) -> impl FnOnce() -> Option<Fix> {
+    move || Some(Fix::one(Edit::insert(span.end.offset, ";")))
+}
 
 impl Checker<'_> {
     pub(crate) fn on_text(&mut self, text: &Text<'_>, span: Span) {
@@ -67,26 +74,30 @@ impl Checker<'_> {
                         ),
                     );
                 } else if !entity.terminated {
-                    self.emit(
+                    self.emit_fix(
                         "unterminated-entity",
+                        entity.span,
                         entity.span,
                         format!(
                             "entity reference &{} is missing the trailing `;'",
                             entity.name
                         ),
+                        terminate_entity(entity.span),
                     );
                 }
                 continue;
             }
             if self.spec.entity(entity.name).is_some() {
                 if !entity.terminated {
-                    self.emit(
+                    self.emit_fix(
                         "unterminated-entity",
+                        entity.span,
                         entity.span,
                         format!(
                             "entity reference &{} is missing the trailing `;'",
                             entity.name
                         ),
+                        terminate_entity(entity.span),
                     );
                 }
             } else if entity.terminated {
@@ -95,15 +106,42 @@ impl Checker<'_> {
                 // name *looks* like an entity). Only a terminated unknown
                 // reference is confidently a mistake.
                 let mut msg = format!("unknown entity reference &{};", entity.name);
-                if let Some(suggestion) = self.suggest_entity(entity.name) {
-                    msg.push_str(&format!(" (perhaps you meant &{suggestion};?)"));
+                let suggestion = self.suggest_entity(entity.name);
+                if let Some(s) = &suggestion {
+                    msg.push_str(&format!(" (perhaps you meant &{s};?)"));
                 }
-                self.emit("unknown-entity", entity.span, msg);
+                let espan = entity.span;
+                self.emit_fix(
+                    "unknown-entity",
+                    espan,
+                    espan,
+                    msg,
+                    // Only repairable when a correctly-cased form of the
+                    // name exists.
+                    move || {
+                        let s = suggestion?;
+                        Some(Fix::one(Edit::replace(
+                            espan.start.offset,
+                            espan.end.offset,
+                            format!("&{s};"),
+                        )))
+                    },
+                );
             } else {
-                self.emit(
+                let espan = entity.span;
+                self.emit_fix(
                     "literal-metacharacter",
-                    entity.span,
+                    espan,
+                    espan,
                     "literal `&' should be written as &amp;".to_string(),
+                    // Escape just the ampersand; what follows it is text.
+                    move || {
+                        Some(Fix::one(Edit::replace(
+                            espan.start.offset,
+                            espan.start.offset + 1,
+                            "&amp;",
+                        )))
+                    },
                 );
             }
         }
@@ -119,12 +157,25 @@ impl Checker<'_> {
 
     fn check_metachars(&mut self, raw: &str, span: Span) {
         for hit in scan_metachars(raw, span.start) {
-            let message = match hit.kind {
-                MetaCharKind::Lt => "literal `<' should be written as &lt;",
-                MetaCharKind::Gt => "literal `>' should be written as &gt;",
-                MetaCharKind::Amp => "literal `&' should be written as &amp;",
+            let (message, escaped) = match hit.kind {
+                MetaCharKind::Lt => ("literal `<' should be written as &lt;", "&lt;"),
+                MetaCharKind::Gt => ("literal `>' should be written as &gt;", "&gt;"),
+                MetaCharKind::Amp => ("literal `&' should be written as &amp;", "&amp;"),
             };
-            self.emit("literal-metacharacter", hit.span, message.to_string());
+            let hspan = hit.span;
+            self.emit_fix(
+                "literal-metacharacter",
+                hspan,
+                hspan,
+                message.to_string(),
+                move || {
+                    Some(Fix::one(Edit::replace(
+                        hspan.start.offset,
+                        hspan.end.offset,
+                        escaped,
+                    )))
+                },
+            );
         }
     }
 
@@ -156,13 +207,27 @@ impl Checker<'_> {
         self.seen_doctype = true;
         let expected = self.spec.version().public_id();
         if !decl.text.contains(expected) {
-            self.emit(
+            let unterminated = decl.unterminated;
+            self.emit_fix(
                 "doctype-version",
+                span,
                 span,
                 format!(
                     "DOCTYPE does not declare {} (expected \"{expected}\")",
                     self.spec.version().name()
                 ),
+                // Replace the whole declaration with the canonical one for
+                // the version being checked against.
+                move || {
+                    if unterminated || span.is_empty() {
+                        return None;
+                    }
+                    Some(Fix::one(Edit::replace(
+                        span.start.offset,
+                        span.end.offset,
+                        format!("<!DOCTYPE HTML PUBLIC \"{expected}\">"),
+                    )))
+                },
             );
         }
     }

@@ -1,0 +1,215 @@
+//! Machine-applicable repairs.
+//!
+//! A [`Fix`] is an ordered set of non-overlapping byte-span [`Edit`]s
+//! against the *original* source of a document. Fixes are attached to
+//! [`crate::Diagnostic`]s when a lint run is performed in fix-collecting
+//! mode ([`crate::LintConfig::emit_fixes`]); applying them is the job of
+//! the `weblint-fix` crate, which sorts, deduplicates and resolves
+//! conflicts across the fixes of a whole report.
+//!
+//! Every offset refers to the document the diagnostics were produced
+//! from. Edits never compose: applying a fix invalidates the offsets of
+//! every other fix that touches moved text, which is why conflict
+//! resolution happens in the applier rather than here.
+
+use std::fmt;
+
+use crate::message::json_string;
+
+/// One contiguous source rewrite: replace the half-open byte range
+/// `start..end` with `text`.
+///
+/// The three edit shapes share this representation: an *insert* has
+/// `start == end`, a *delete* has empty `text`, and a *replace* has both
+/// a non-empty range and replacement text.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Edit {
+    /// Byte offset of the first replaced byte.
+    pub start: usize,
+    /// Byte offset one past the last replaced byte (`== start` for an
+    /// insertion).
+    pub end: usize,
+    /// The bytes that replace the range (empty for a deletion).
+    pub text: String,
+}
+
+impl Edit {
+    /// An insertion of `text` at byte offset `at`.
+    pub fn insert(at: usize, text: impl Into<String>) -> Edit {
+        Edit {
+            start: at,
+            end: at,
+            text: text.into(),
+        }
+    }
+
+    /// A replacement of `start..end` with `text`.
+    pub fn replace(start: usize, end: usize, text: impl Into<String>) -> Edit {
+        Edit {
+            start,
+            end,
+            text: text.into(),
+        }
+    }
+
+    /// A deletion of `start..end`.
+    pub fn delete(start: usize, end: usize) -> Edit {
+        Edit {
+            start,
+            end,
+            text: String::new(),
+        }
+    }
+
+    /// Whether this edit inserts without removing anything.
+    pub fn is_insert(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Render as a compact JSON object (`{"start":…,"end":…,"text":…}`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"start\":{},\"end\":{},\"text\":{}}}",
+            self.start,
+            self.end,
+            json_string(&self.text)
+        )
+    }
+}
+
+impl fmt::Display for Edit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_insert() {
+            write!(f, "insert {:?} at {}", self.text, self.start)
+        } else if self.text.is_empty() {
+            write!(f, "delete {}..{}", self.start, self.end)
+        } else {
+            write!(
+                f,
+                "replace {}..{} with {:?}",
+                self.start, self.end, self.text
+            )
+        }
+    }
+}
+
+/// An ordered set of non-overlapping edits that together repair one
+/// diagnostic. All of a fix's edits apply or none do — a half-applied
+/// fix (say, renaming an open tag but not its close) would be worse than
+/// no fix at all.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fix {
+    /// The edits, sorted by `start`, mutually non-overlapping.
+    pub edits: Vec<Edit>,
+}
+
+impl Fix {
+    /// A fix made of a single edit.
+    pub fn one(edit: Edit) -> Fix {
+        Fix { edits: vec![edit] }
+    }
+
+    /// A fix from several edits; they are sorted by start offset.
+    pub fn new(mut edits: Vec<Edit>) -> Fix {
+        edits.sort_by_key(|e| (e.start, e.end));
+        let fix = Fix { edits };
+        debug_assert!(fix.is_well_formed(), "overlapping edits within one fix");
+        fix
+    }
+
+    /// Whether the edits are sorted, properly ranged, and non-overlapping.
+    pub fn is_well_formed(&self) -> bool {
+        let mut prev_end = 0usize;
+        for (i, e) in self.edits.iter().enumerate() {
+            if e.end < e.start {
+                return false;
+            }
+            if i > 0 && e.start < prev_end {
+                return false;
+            }
+            prev_end = e.end;
+        }
+        true
+    }
+
+    /// Byte range covered by the whole fix: from the first edit's start
+    /// to the last edit's end. `None` for an (invalid) empty fix.
+    pub fn bounds(&self) -> Option<(usize, usize)> {
+        let first = self.edits.first()?;
+        let last = self.edits.last()?;
+        Some((first.start, last.end))
+    }
+
+    /// Render as a compact JSON array of edit objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.edits.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&e.to_json());
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_shapes() {
+        assert!(Edit::insert(3, "x").is_insert());
+        assert!(!Edit::delete(3, 5).is_insert());
+        assert_eq!(Edit::delete(3, 5).text, "");
+        assert_eq!(Edit::replace(3, 5, "yy").text, "yy");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Edit::insert(3, "x").to_string(), "insert \"x\" at 3");
+        assert_eq!(Edit::delete(3, 5).to_string(), "delete 3..5");
+        assert_eq!(
+            Edit::replace(3, 5, "yy").to_string(),
+            "replace 3..5 with \"yy\""
+        );
+    }
+
+    #[test]
+    fn new_sorts_edits() {
+        let fix = Fix::new(vec![Edit::delete(10, 12), Edit::insert(2, "a")]);
+        assert_eq!(fix.edits[0].start, 2);
+        assert_eq!(fix.bounds(), Some((2, 12)));
+        assert!(fix.is_well_formed());
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let fix = Fix {
+            edits: vec![Edit::delete(3, 8), Edit::delete(5, 10)],
+        };
+        assert!(!fix.is_well_formed());
+        let touching = Fix {
+            edits: vec![Edit::delete(3, 5), Edit::delete(5, 8)],
+        };
+        assert!(touching.is_well_formed());
+        let backwards = Fix {
+            edits: vec![Edit {
+                start: 5,
+                end: 3,
+                text: String::new(),
+            }],
+        };
+        assert!(!backwards.is_well_formed());
+    }
+
+    #[test]
+    fn json_rendering() {
+        let fix = Fix::new(vec![Edit::replace(1, 2, "a\"b")]);
+        assert_eq!(
+            fix.to_json(),
+            "[{\"start\":1,\"end\":2,\"text\":\"a\\\"b\"}]"
+        );
+    }
+}

@@ -53,13 +53,13 @@ pub fn format_diagnostic(d: &Diagnostic, filename: &str, format: OutputFormat) -
 /// ```
 /// use weblint_core::{Diagnostic, Category, format_report, OutputFormat};
 ///
-/// let diags = vec![Diagnostic {
-///     id: "img-alt",
-///     category: Category::Warning,
-///     line: 3,
-///     col: 1,
-///     message: "IMG element has no ALT attribute".into(),
-/// }];
+/// let diags = vec![Diagnostic::new(
+///     "img-alt",
+///     Category::Warning,
+///     3,
+///     1,
+///     "IMG element has no ALT attribute".into(),
+/// )];
 /// let out = format_report(&diags, "page.html", OutputFormat::Lint);
 /// assert_eq!(out, "page.html(3): IMG element has no ALT attribute\n");
 /// ```
@@ -154,13 +154,13 @@ mod tests {
     use super::*;
 
     fn diag(category: Category) -> Diagnostic {
-        Diagnostic {
-            id: "unclosed-element",
+        Diagnostic::new(
+            "unclosed-element",
             category,
-            line: 4,
-            col: 2,
-            message: "no closing </TITLE> seen for <TITLE> on line 3".into(),
-        }
+            4,
+            2,
+            "no closing </TITLE> seen for <TITLE> on line 3".into(),
+        )
     }
 
     #[test]

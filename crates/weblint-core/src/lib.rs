@@ -32,6 +32,7 @@
 
 pub mod catalog;
 mod engine;
+mod fix;
 mod format;
 mod linter;
 mod message;
@@ -40,6 +41,7 @@ mod session;
 
 pub use catalog::{check_def, ids_in_category, CheckDef, CATALOG};
 pub use engine::check;
+pub use fix::{Edit, Fix};
 pub use format::{format_diagnostic, format_report, OutputFormat, Summary};
 pub use linter::Weblint;
 pub use message::{Category, Diagnostic};
@@ -48,3 +50,4 @@ pub use session::LintSession;
 
 // Re-export the types callers need to configure a checker.
 pub use weblint_html::{Extensions, HtmlSpec, HtmlVersion};
+pub use weblint_tokenizer::{Pos, Span};

@@ -1,7 +1,9 @@
 //! Diagnostics: what weblint tells the user.
 
 use std::fmt;
-use weblint_tokenizer::Span;
+use weblint_tokenizer::{Pos, Span};
+
+use crate::fix::Fix;
 
 /// The three categories of output message (§4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -63,9 +65,39 @@ pub struct Diagnostic {
     pub col: u32,
     /// The human-readable message text.
     pub message: String,
+    /// Byte range of the construct the message concerns. For fixable
+    /// diagnostics this is always a full, non-empty span (the span audit);
+    /// position-only messages carry an empty span at their report point.
+    pub span: Span,
+    /// A mechanical repair, present only when the lint run collected
+    /// fixes ([`crate::LintConfig::emit_fixes`]) and the check has one.
+    /// Boxed: most diagnostics have no fix and the hot path should not
+    /// pay for one.
+    pub fix: Option<Box<Fix>>,
 }
 
 impl Diagnostic {
+    /// Build a diagnostic from its report coordinates, with an empty span
+    /// at that position and no fix. This is the constructor for callers
+    /// outside the engine (site checks, tests) that have no source span.
+    pub fn new(
+        id: &'static str,
+        category: Category,
+        line: u32,
+        col: u32,
+        message: String,
+    ) -> Diagnostic {
+        Diagnostic {
+            id,
+            category,
+            line,
+            col,
+            message,
+            span: Span::empty(Pos::new(line, col, 0)),
+            fix: None,
+        }
+    }
+
     /// Build a diagnostic at the start of `span`.
     pub fn at(id: &'static str, category: Category, span: Span, message: String) -> Diagnostic {
         Diagnostic {
@@ -74,20 +106,28 @@ impl Diagnostic {
             line: span.start.line,
             col: span.start.col,
             message,
+            span,
+            fix: None,
         }
     }
 
     /// Render as a compact JSON object with the stable field order
-    /// `id, category, line, col, message`.
+    /// `id, category, line, col, message`, followed by `fix` when a
+    /// repair is attached.
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"id\":{},\"category\":{},\"line\":{},\"col\":{},\"message\":{}}}",
+        let mut out = format!(
+            "{{\"id\":{},\"category\":{},\"line\":{},\"col\":{},\"message\":{}",
             json_string(self.id),
             json_string(self.category.name()),
             self.line,
             self.col,
             json_string(&self.message)
-        )
+        );
+        if let Some(fix) = &self.fix {
+            out.push_str(&format!(",\"fix\":{}", fix.to_json()));
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -136,13 +176,13 @@ mod tests {
 
     #[test]
     fn display_uses_short_form() {
-        let d = Diagnostic {
-            id: "unclosed-element",
-            category: Category::Error,
-            line: 4,
-            col: 1,
-            message: "no closing </TITLE> seen for <TITLE> on line 3".to_string(),
-        };
+        let d = Diagnostic::new(
+            "unclosed-element",
+            Category::Error,
+            4,
+            1,
+            "no closing </TITLE> seen for <TITLE> on line 3".to_string(),
+        );
         assert_eq!(
             d.to_string(),
             "line 4: no closing </TITLE> seen for <TITLE> on line 3"
@@ -158,29 +198,35 @@ mod tests {
 
     #[test]
     fn serializes_to_json() {
-        let d = Diagnostic {
-            id: "img-alt",
-            category: Category::Warning,
-            line: 1,
-            col: 2,
-            message: "m".into(),
-        };
+        let d = Diagnostic::new("img-alt", Category::Warning, 1, 2, "m".into());
         let json = d.to_json();
         assert!(json.contains("\"id\":\"img-alt\""));
         assert!(json.contains("\"category\":\"warning\""));
+        assert!(!json.contains("\"fix\""));
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed.get("line").unwrap().as_u64(), Some(1));
     }
 
     #[test]
+    fn json_includes_fix_when_present() {
+        use crate::fix::{Edit, Fix};
+        let mut d = Diagnostic::new("img-alt", Category::Warning, 1, 2, "m".into());
+        d.fix = Some(Box::new(Fix::one(Edit::insert(7, " ALT=\"\""))));
+        let parsed: serde_json::Value = serde_json::from_str(&d.to_json()).unwrap();
+        let fix = parsed.get("fix").unwrap().as_array().unwrap();
+        assert_eq!(fix[0].get("start").unwrap().as_u64(), Some(7));
+        assert_eq!(fix[0].get("text").unwrap().as_str(), Some(" ALT=\"\""));
+    }
+
+    #[test]
     fn json_strings_escaped() {
-        let d = Diagnostic {
-            id: "img-alt",
-            category: Category::Warning,
-            line: 1,
-            col: 2,
-            message: "quote \" backslash \\ newline \n control \u{1}".into(),
-        };
+        let d = Diagnostic::new(
+            "img-alt",
+            Category::Warning,
+            1,
+            2,
+            "quote \" backslash \\ newline \n control \u{1}".into(),
+        );
         let parsed: serde_json::Value = serde_json::from_str(&d.to_json()).unwrap();
         assert_eq!(
             parsed.get("message").unwrap().as_str(),

@@ -80,6 +80,11 @@ pub struct LintConfig {
     /// without complaint. An element of `"*"` allows the attribute on any
     /// element.
     pub custom_attributes: Vec<(String, String)>,
+    /// Collect machine-applicable fixes: checks with a mechanical remedy
+    /// attach a [`crate::Fix`] to their diagnostics. Off by default — the
+    /// one-shot lint path pays nothing for the fix machinery beyond this
+    /// flag test.
+    pub emit_fixes: bool,
     enabled: HashMap<&'static str, bool>,
 }
 
@@ -107,6 +112,7 @@ impl Default for LintConfig {
             heuristics: true,
             custom_elements: Vec::new(),
             custom_attributes: Vec::new(),
+            emit_fixes: false,
             enabled: CATALOG.iter().map(|c| (c.id, c.default_enabled)).collect(),
         }
     }

@@ -1,0 +1,263 @@
+//! Applying a report's fixes to the source they were computed from.
+//!
+//! The engine attaches each [`Fix`] to its own diagnostic; nothing there
+//! guarantees that the fixes of one report are mutually compatible. Two
+//! checks can claim overlapping byte ranges (a duplicate attribute whose
+//! value also wants quoting), and a fix must apply all of its edits or
+//! none. This module selects a conflict-free subset by a deterministic
+//! priority rule and rewrites the document once, left to right.
+//!
+//! The priority rule (DESIGN.md §25): candidate fixes are ordered by the
+//! byte offset of their first edit, ties broken by diagnostic order (which
+//! is source order); identical fixes are collapsed first; each candidate
+//! is accepted iff none of its edits overlaps an edit of an
+//! already-accepted fix. Earlier wins — never "larger" or "later", so the
+//! outcome is independent of hash order or check registration order.
+
+use std::collections::HashSet;
+
+use weblint_core::{Diagnostic, Edit, Fix};
+
+/// The result of applying a report's fixes to a document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixOutcome {
+    /// The rewritten document.
+    pub output: String,
+    /// Number of fixes whose edits were all applied (after collapsing
+    /// duplicates).
+    pub fixes_applied: usize,
+    /// Number of candidate fixes dropped: they overlapped an accepted fix
+    /// or referenced invalid offsets.
+    pub fixes_skipped: usize,
+    /// The individual edits applied, sorted by start offset.
+    pub edits: Vec<Edit>,
+}
+
+impl FixOutcome {
+    /// Whether anything changed.
+    pub fn changed(&self) -> bool {
+        !self.edits.is_empty()
+    }
+}
+
+/// Apply every applicable fix attached to `diags` to `src`.
+///
+/// `src` must be the exact document the diagnostics were produced from;
+/// fixes with offsets that do not fit it (or split a UTF-8 character) are
+/// counted as skipped, never applied partially.
+pub fn apply_fixes(src: &str, diags: &[Diagnostic]) -> FixOutcome {
+    let mut seen: HashSet<&Fix> = HashSet::new();
+    let mut candidates: Vec<&Fix> = Vec::new();
+    for diag in diags {
+        if let Some(fix) = diag.fix.as_deref() {
+            if seen.insert(fix) {
+                candidates.push(fix);
+            }
+        }
+    }
+    // Order by first-edit offset; a stable sort keeps diagnostic order for
+    // ties (same-offset insertions must stay in emission order — nested
+    // missing end tags depend on it).
+    candidates.sort_by_key(|f| f.bounds().map(|(s, _)| s).unwrap_or(usize::MAX));
+
+    let mut accepted: Vec<(usize, usize)> = Vec::new();
+    let mut edits: Vec<Edit> = Vec::new();
+    let mut fixes_applied = 0;
+    let mut fixes_skipped = 0;
+    'fixes: for fix in candidates {
+        if fix.edits.is_empty() || !fix.is_well_formed() || !fits(src, fix) {
+            fixes_skipped += 1;
+            continue;
+        }
+        for edit in &fix.edits {
+            if accepted.iter().any(|&range| conflicts(edit, range)) {
+                fixes_skipped += 1;
+                continue 'fixes;
+            }
+        }
+        for edit in &fix.edits {
+            accepted.push((edit.start, edit.end));
+            edits.push(edit.clone());
+        }
+        fixes_applied += 1;
+    }
+
+    edits.sort_by_key(|e| e.start);
+    let output = rebuild(src, &edits);
+    FixOutcome {
+        output,
+        fixes_applied,
+        fixes_skipped,
+        edits,
+    }
+}
+
+/// Whether every edit of `fix` addresses a valid character boundary range
+/// of `src`.
+fn fits(src: &str, fix: &Fix) -> bool {
+    fix.edits
+        .iter()
+        .all(|e| e.end <= src.len() && src.is_char_boundary(e.start) && src.is_char_boundary(e.end))
+}
+
+/// Whether `edit` overlaps the accepted range. Insertions (zero-width)
+/// conflict only when they fall strictly inside a replaced range; two
+/// ranges conflict when they share any byte.
+fn conflicts(edit: &Edit, (start, end): (usize, usize)) -> bool {
+    if edit.is_insert() {
+        start < edit.start && edit.start < end
+    } else if start == end {
+        edit.start < start && start < edit.end
+    } else {
+        edit.start < end && start < edit.end
+    }
+}
+
+/// Rewrite `src` by the (sorted, non-overlapping) edits, left to right.
+fn rebuild(src: &str, edits: &[Edit]) -> String {
+    let grow: usize = edits.iter().map(|e| e.text.len()).sum();
+    let mut out = String::with_capacity(src.len() + grow);
+    let mut cursor = 0;
+    for e in edits {
+        out.push_str(&src[cursor..e.start]);
+        out.push_str(&e.text);
+        cursor = e.end;
+    }
+    out.push_str(&src[cursor..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weblint_core::Category;
+
+    fn diag_with(fix: Fix) -> Diagnostic {
+        let mut d = Diagnostic::new("img-alt", Category::Warning, 1, 1, "test".into());
+        d.fix = Some(Box::new(fix));
+        d
+    }
+
+    #[test]
+    fn applies_inserts_replaces_deletes() {
+        let src = "abcdef";
+        let diags = vec![
+            diag_with(Fix::one(Edit::insert(0, "<"))),
+            diag_with(Fix::one(Edit::replace(2, 3, "C"))),
+            diag_with(Fix::one(Edit::delete(4, 5))),
+        ];
+        let out = apply_fixes(src, &diags);
+        assert_eq!(out.output, "<abCdf");
+        assert_eq!(out.fixes_applied, 3);
+        assert_eq!(out.fixes_skipped, 0);
+        assert!(out.changed());
+    }
+
+    #[test]
+    fn earlier_fix_wins_conflicts() {
+        let src = "abcdef";
+        let diags = vec![
+            diag_with(Fix::one(Edit::delete(1, 4))),
+            diag_with(Fix::one(Edit::replace(3, 5, "X"))),
+        ];
+        let out = apply_fixes(src, &diags);
+        assert_eq!(out.output, "aef");
+        assert_eq!(out.fixes_applied, 1);
+        assert_eq!(out.fixes_skipped, 1);
+    }
+
+    #[test]
+    fn multi_edit_fix_is_all_or_nothing() {
+        let src = "abcdef";
+        let diags = vec![
+            // Same first-edit offset: the tie goes to diagnostic order, so
+            // the single-edit fix wins and the two-edit fix must drop BOTH
+            // of its edits — its second does not conflict with anything.
+            diag_with(Fix::one(Edit::delete(0, 1))),
+            diag_with(Fix::new(vec![
+                Edit::replace(0, 1, "A"),
+                Edit::replace(4, 5, "E"),
+            ])),
+        ];
+        let out = apply_fixes(src, &diags);
+        assert_eq!(out.output, "bcdef");
+        assert_eq!(out.fixes_applied, 1);
+        assert_eq!(out.fixes_skipped, 1);
+    }
+
+    #[test]
+    fn duplicate_fixes_collapse() {
+        let src = "abc";
+        let diags = vec![
+            diag_with(Fix::one(Edit::insert(1, "x"))),
+            diag_with(Fix::one(Edit::insert(1, "x"))),
+        ];
+        let out = apply_fixes(src, &diags);
+        assert_eq!(out.output, "axbc");
+        assert_eq!(out.fixes_applied, 1);
+        assert_eq!(out.fixes_skipped, 0);
+    }
+
+    #[test]
+    fn same_offset_inserts_keep_diag_order() {
+        let src = "ab";
+        let diags = vec![
+            diag_with(Fix::one(Edit::insert(1, "</I>"))),
+            diag_with(Fix::one(Edit::insert(1, "</B>"))),
+        ];
+        let out = apply_fixes(src, &diags);
+        assert_eq!(out.output, "a</I></B>b");
+        assert_eq!(out.fixes_applied, 2);
+    }
+
+    #[test]
+    fn insert_inside_deleted_range_conflicts() {
+        let src = "abcdef";
+        let diags = vec![
+            diag_with(Fix::one(Edit::delete(1, 4))),
+            diag_with(Fix::one(Edit::insert(2, "x"))),
+        ];
+        let out = apply_fixes(src, &diags);
+        assert_eq!(out.output, "aef");
+        assert_eq!(out.fixes_skipped, 1);
+    }
+
+    #[test]
+    fn insert_at_range_boundary_is_fine() {
+        let src = "abcdef";
+        let diags = vec![
+            diag_with(Fix::one(Edit::insert(1, "x"))),
+            diag_with(Fix::one(Edit::delete(1, 3))),
+        ];
+        let out = apply_fixes(src, &diags);
+        assert_eq!(out.output, "axdef");
+        assert_eq!(out.fixes_applied, 2);
+    }
+
+    #[test]
+    fn out_of_bounds_fix_is_skipped() {
+        let src = "ab";
+        let diags = vec![diag_with(Fix::one(Edit::delete(1, 99)))];
+        let out = apply_fixes(src, &diags);
+        assert_eq!(out.output, "ab");
+        assert_eq!(out.fixes_skipped, 1);
+        assert!(!out.changed());
+    }
+
+    #[test]
+    fn char_boundary_is_respected() {
+        let src = "aé b"; // é is two bytes at offsets 1..3
+        let diags = vec![diag_with(Fix::one(Edit::delete(2, 4)))];
+        let out = apply_fixes(src, &diags);
+        assert_eq!(out.output, src);
+        assert_eq!(out.fixes_skipped, 1);
+    }
+
+    #[test]
+    fn no_fixes_is_identity() {
+        let out = apply_fixes("abc", &[]);
+        assert_eq!(out.output, "abc");
+        assert_eq!(out.fixes_applied, 0);
+        assert!(!out.changed());
+    }
+}

@@ -1,0 +1,322 @@
+//! Minimal unified diff between the original and fixed documents.
+//!
+//! `weblint -fix -diff` shows the user what would change without writing
+//! anything, so the diff only needs to be readable and correct — not
+//! byte-minimal. The common prefix and suffix are trimmed line-wise, the
+//! middle goes through a longest-common-subsequence alignment, and hunks
+//! carry the conventional three lines of context. Inputs larger than the
+//! LCS cap fall back to one delete-all/insert-all hunk for the middle,
+//! which is still a valid patch.
+
+/// Line count above which the quadratic LCS table is not attempted.
+const LCS_CAP: usize = 2000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Keep,
+    Del,
+    Ins,
+}
+
+/// Render a unified diff of `old` → `new`, labelled `--- {old_label}` and
+/// `+++ {new_label}`. Returns an empty string when the texts are equal.
+pub fn unified_diff(old: &str, new: &str, old_label: &str, new_label: &str) -> String {
+    if old == new {
+        return String::new();
+    }
+    let old_lines: Vec<&str> = split_lines(old);
+    let new_lines: Vec<&str> = split_lines(new);
+
+    // Trim the common prefix and suffix so the LCS only sees the churn.
+    let mut prefix = 0;
+    while prefix < old_lines.len()
+        && prefix < new_lines.len()
+        && old_lines[prefix] == new_lines[prefix]
+    {
+        prefix += 1;
+    }
+    let mut suffix = 0;
+    while suffix < old_lines.len() - prefix
+        && suffix < new_lines.len() - prefix
+        && old_lines[old_lines.len() - 1 - suffix] == new_lines[new_lines.len() - 1 - suffix]
+    {
+        suffix += 1;
+    }
+    let old_mid = &old_lines[prefix..old_lines.len() - suffix];
+    let new_mid = &new_lines[prefix..new_lines.len() - suffix];
+
+    let mut ops: Vec<Op> = Vec::with_capacity(old_lines.len() + new_lines.len());
+    ops.extend(std::iter::repeat_n(Op::Keep, prefix));
+    ops.extend(align(old_mid, new_mid));
+    ops.extend(std::iter::repeat_n(Op::Keep, suffix));
+
+    let mut out = String::new();
+    out.push_str(&format!("--- {old_label}\n+++ {new_label}\n"));
+    render_hunks(&mut out, &ops, &old_lines, &new_lines, old, new);
+    out
+}
+
+/// Split keeping empty trailing lines distinguishable: `lines()` drops a
+/// final newline silently, which would make `"a\n"` and `"a"` diff equal.
+fn split_lines(text: &str) -> Vec<&str> {
+    if text.is_empty() {
+        return Vec::new();
+    }
+    let mut lines: Vec<&str> = text.split('\n').collect();
+    if text.ends_with('\n') {
+        lines.pop();
+    }
+    lines
+}
+
+/// Edit script for the trimmed middle: LCS when it fits, else replace-all.
+fn align(old: &[&str], new: &[&str]) -> Vec<Op> {
+    if old.len() > LCS_CAP || new.len() > LCS_CAP {
+        let mut ops = vec![Op::Del; old.len()];
+        ops.extend(std::iter::repeat_n(Op::Ins, new.len()));
+        return ops;
+    }
+    // Classic DP table of LCS lengths, then a backtrace. old/new here are
+    // already prefix/suffix-trimmed so the table stays small in practice.
+    let (n, m) = (old.len(), new.len());
+    let mut table = vec![0u32; (n + 1) * (m + 1)];
+    let at = |i: usize, j: usize| i * (m + 1) + j;
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            table[at(i, j)] = if old[i] == new[j] {
+                table[at(i + 1, j + 1)] + 1
+            } else {
+                table[at(i + 1, j)].max(table[at(i, j + 1)])
+            };
+        }
+    }
+    let mut ops = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if old[i] == new[j] {
+            ops.push(Op::Keep);
+            i += 1;
+            j += 1;
+        } else if table[at(i + 1, j)] >= table[at(i, j + 1)] {
+            ops.push(Op::Del);
+            i += 1;
+        } else {
+            ops.push(Op::Ins);
+            j += 1;
+        }
+    }
+    ops.extend(std::iter::repeat_n(Op::Del, n - i));
+    ops.extend(std::iter::repeat_n(Op::Ins, m - j));
+    ops
+}
+
+const CONTEXT: usize = 3;
+
+fn render_hunks(
+    out: &mut String,
+    ops: &[Op],
+    old_lines: &[&str],
+    new_lines: &[&str],
+    old: &str,
+    new: &str,
+) {
+    // Walk the op list grouping runs of changes (plus context) into hunks.
+    let mut idx = 0;
+    // Old/new line cursors (0-based) tracking how many lines each op
+    // consumed so far.
+    let mut old_at = 0;
+    let mut new_at = 0;
+    while idx < ops.len() {
+        if ops[idx] == Op::Keep {
+            idx += 1;
+            old_at += 1;
+            new_at += 1;
+            continue;
+        }
+        // Found a change at `idx`; open a hunk up to CONTEXT lines earlier.
+        let lead = back_keep(ops, idx);
+        let hunk_start = idx - lead;
+        let mut hunk_old_start = old_at - lead;
+        let mut hunk_new_start = new_at - lead;
+        // Extend until CONTEXT+1 consecutive keeps (or the end).
+        let mut end = idx;
+        let mut keeps = 0;
+        while end < ops.len() {
+            if ops[end] == Op::Keep {
+                keeps += 1;
+                if keeps > CONTEXT * 2 {
+                    // Enough quiet to close the hunk; trim back to CONTEXT.
+                    break;
+                }
+            } else {
+                keeps = 0;
+            }
+            end += 1;
+        }
+        let hunk_end = if end < ops.len() { end - CONTEXT } else { end };
+
+        // Count the hunk's old/new line spans.
+        let old_count = ops[hunk_start..hunk_end]
+            .iter()
+            .filter(|&&o| o != Op::Ins)
+            .count();
+        let new_count = ops[hunk_start..hunk_end]
+            .iter()
+            .filter(|&&o| o != Op::Del)
+            .count();
+        out.push_str(&format!(
+            "@@ -{},{} +{},{} @@\n",
+            if old_count == 0 {
+                hunk_old_start
+            } else {
+                hunk_old_start + 1
+            },
+            old_count,
+            if new_count == 0 {
+                hunk_new_start
+            } else {
+                hunk_new_start + 1
+            },
+            new_count,
+        ));
+        // Advance the global cursors to the hunk start before emitting.
+        while old_at > hunk_old_start {
+            old_at -= 1;
+        }
+        while new_at > hunk_new_start {
+            new_at -= 1;
+        }
+        for &op in &ops[hunk_start..hunk_end] {
+            match op {
+                Op::Keep => {
+                    push_line(
+                        out,
+                        ' ',
+                        old_lines[hunk_old_start],
+                        old_lines,
+                        hunk_old_start,
+                        old,
+                    );
+                    hunk_old_start += 1;
+                    hunk_new_start += 1;
+                }
+                Op::Del => {
+                    push_line(
+                        out,
+                        '-',
+                        old_lines[hunk_old_start],
+                        old_lines,
+                        hunk_old_start,
+                        old,
+                    );
+                    hunk_old_start += 1;
+                }
+                Op::Ins => {
+                    push_line(
+                        out,
+                        '+',
+                        new_lines[hunk_new_start],
+                        new_lines,
+                        hunk_new_start,
+                        new,
+                    );
+                    hunk_new_start += 1;
+                }
+            }
+        }
+        old_at = hunk_old_start;
+        new_at = hunk_new_start;
+        idx = hunk_end;
+    }
+}
+
+fn back_keep(ops: &[Op], idx: usize) -> usize {
+    // How many consecutive Keep ops immediately precede `idx`.
+    let mut n = 0;
+    while n < idx && ops[idx - 1 - n] == Op::Keep {
+        n += 1;
+    }
+    n.min(CONTEXT)
+}
+
+fn push_line(out: &mut String, sign: char, line: &str, lines: &[&str], index: usize, text: &str) {
+    out.push(sign);
+    out.push_str(line);
+    out.push('\n');
+    if index + 1 == lines.len() && !text.ends_with('\n') {
+        out.push_str("\\ No newline at end of file\n");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_texts_diff_empty() {
+        assert_eq!(unified_diff("a\nb\n", "a\nb\n", "x", "y"), "");
+    }
+
+    #[test]
+    fn single_line_change() {
+        let d = unified_diff("a\nb\nc\n", "a\nB\nc\n", "f", "f (fixed)");
+        assert!(d.starts_with("--- f\n+++ f (fixed)\n"), "{d}");
+        assert!(d.contains("@@ -1,3 +1,3 @@"), "{d}");
+        assert!(d.contains("\n-b\n+B\n"), "{d}");
+        assert!(d.contains(" a\n"), "{d}");
+        assert!(d.contains(" c\n"), "{d}");
+    }
+
+    fn body_lines(diff: &str, sign: char) -> usize {
+        diff.lines()
+            .filter(|l| l.starts_with(sign) && !l.starts_with("---") && !l.starts_with("+++"))
+            .count()
+    }
+
+    #[test]
+    fn pure_insertion() {
+        let d = unified_diff("a\nc\n", "a\nb\nc\n", "f", "g");
+        assert!(d.contains("+b\n"), "{d}");
+        assert_eq!(body_lines(&d, '-'), 0, "no deletions expected: {d}");
+    }
+
+    #[test]
+    fn pure_deletion() {
+        let d = unified_diff("a\nb\nc\n", "a\nc\n", "f", "g");
+        assert!(d.contains("-b\n"), "{d}");
+        assert_eq!(body_lines(&d, '+'), 0, "no insertions expected: {d}");
+    }
+
+    #[test]
+    fn distant_changes_get_separate_hunks() {
+        let mut old = String::new();
+        let mut new = String::new();
+        for i in 0..30 {
+            old.push_str(&format!("line {i}\n"));
+            if i == 2 || i == 25 {
+                new.push_str(&format!("CHANGED {i}\n"));
+            } else {
+                new.push_str(&format!("line {i}\n"));
+            }
+        }
+        let d = unified_diff(&old, &new, "f", "g");
+        assert_eq!(d.matches("@@ ").count(), 2, "{d}");
+        assert!(d.contains("+CHANGED 2\n"), "{d}");
+        assert!(d.contains("+CHANGED 25\n"), "{d}");
+        assert!(!d.contains("line 10"), "quiet middle must not appear: {d}");
+    }
+
+    #[test]
+    fn missing_trailing_newline_is_marked() {
+        let d = unified_diff("a\nb", "a\nB", "f", "g");
+        assert!(d.contains("-b\n\\ No newline at end of file\n"), "{d}");
+        assert!(d.contains("+B\n\\ No newline at end of file\n"), "{d}");
+    }
+
+    #[test]
+    fn insertion_into_empty_file() {
+        let d = unified_diff("", "hello\n", "f", "g");
+        assert!(d.contains("@@ -0,0 +1,1 @@"), "{d}");
+        assert!(d.contains("+hello\n"), "{d}");
+    }
+}

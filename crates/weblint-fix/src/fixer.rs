@@ -1,0 +1,195 @@
+//! The high-level fixer: lint, collect fixes, apply, report.
+//!
+//! A [`Fixer`] owns a [`LintSession`] with fix collection switched on, so
+//! batch callers (`weblint -fix`, the poacher, the HTTP `/fix` route) pay
+//! the session's amortized-zero allocation cost, not a fresh engine per
+//! document. One [`Fixer::fix`] call is one lint pass plus one rewrite;
+//! [`Fixer::fix_until_stable`] iterates until the document stops changing,
+//! which converges in one pass for every mechanical defect the engine can
+//! repair and is bounded for everything else.
+
+use weblint_core::{Diagnostic, Edit, LintConfig, LintSession};
+
+use crate::apply::apply_fixes;
+
+/// Result of one fix pass over a document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixReport {
+    /// The document after applying every accepted fix.
+    pub output: String,
+    /// The diagnostics of the *original* document (fixes still attached).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Fixes applied in full.
+    pub fixes_applied: usize,
+    /// Candidate fixes skipped (conflicting or invalid).
+    pub fixes_skipped: usize,
+    /// The individual edits applied, sorted by start offset.
+    pub edits: Vec<Edit>,
+}
+
+impl FixReport {
+    /// Whether the pass changed the document.
+    pub fn changed(&self) -> bool {
+        !self.edits.is_empty()
+    }
+}
+
+/// Result of iterating fix passes to a fixed point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvergenceReport {
+    /// The final document.
+    pub output: String,
+    /// Diagnostics remaining when linting the final document.
+    pub remaining: Vec<Diagnostic>,
+    /// Passes that changed the document (0 if the input needed nothing).
+    pub passes: usize,
+    /// Total fixes applied across all passes.
+    pub fixes_applied: usize,
+    /// Whether iteration stopped because the document stopped changing
+    /// (rather than hitting the pass limit).
+    pub converged: bool,
+}
+
+/// Lints documents and applies the engine's suggested repairs.
+#[derive(Debug, Clone)]
+pub struct Fixer {
+    session: LintSession,
+}
+
+impl Fixer {
+    /// A fixer with the default lint configuration.
+    pub fn new() -> Fixer {
+        Fixer::with_config(LintConfig::default())
+    }
+
+    /// A fixer linting under `config`. Fix collection is forced on — the
+    /// caller's `emit_fixes` setting is overridden.
+    pub fn with_config(mut config: LintConfig) -> Fixer {
+        config.emit_fixes = true;
+        Fixer {
+            session: LintSession::with_config(config),
+        }
+    }
+
+    /// The active configuration (`emit_fixes` always true).
+    pub fn config(&self) -> &LintConfig {
+        self.session.config()
+    }
+
+    /// Lint `src`, apply every non-conflicting fix, and report both the
+    /// rewritten document and the original diagnostics.
+    pub fn fix(&mut self, src: &str) -> FixReport {
+        let diagnostics = self.session.check_string(src);
+        let outcome = apply_fixes(src, &diagnostics);
+        FixReport {
+            output: outcome.output,
+            diagnostics,
+            fixes_applied: outcome.fixes_applied,
+            fixes_skipped: outcome.fixes_skipped,
+            edits: outcome.edits,
+        }
+    }
+
+    /// Run fix passes until the document stops changing or `max_passes`
+    /// is reached, then lint the result once more for the residue.
+    ///
+    /// Conflicting fixes make multiple passes useful: a fix skipped
+    /// because it overlapped an accepted one usually reappears — against
+    /// fresh offsets — on the next pass.
+    pub fn fix_until_stable(&mut self, src: &str, max_passes: usize) -> ConvergenceReport {
+        let mut current = src.to_string();
+        let mut passes = 0;
+        let mut fixes_applied = 0;
+        let mut converged = false;
+        for _ in 0..max_passes {
+            let report = self.fix(&current);
+            if !report.changed() {
+                converged = true;
+                break;
+            }
+            fixes_applied += report.fixes_applied;
+            passes += 1;
+            current = report.output;
+        }
+        let remaining = self.session.check_string(&current);
+        ConvergenceReport {
+            output: current,
+            remaining,
+            passes,
+            fixes_applied,
+            converged,
+        }
+    }
+}
+
+impl Default for Fixer {
+    fn default() -> Fixer {
+        Fixer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixes_missing_alt() {
+        let mut fixer = Fixer::new();
+        let report =
+            fixer.fix("<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><IMG SRC=\"x.gif\"></BODY></HTML>");
+        assert!(report.changed());
+        assert!(report.output.contains("ALT=\"\""), "{}", report.output);
+        // The original diagnostics are preserved, fix attached.
+        assert!(report.diagnostics.iter().any(|d| d.id == "img-alt"));
+    }
+
+    #[test]
+    fn fix_output_relints_cleaner() {
+        let mut fixer = Fixer::new();
+        let src = "<H1>My Example</H2>";
+        let before = fixer.fix(src);
+        let after_diags = fixer.fix(&before.output).diagnostics;
+        assert!(
+            after_diags.len() < before.diagnostics.len(),
+            "{} -> {}",
+            before.diagnostics.len(),
+            after_diags.len()
+        );
+    }
+
+    #[test]
+    fn converges_on_messy_document() {
+        let mut fixer = Fixer::new();
+        let src = "<body><p align='x'>text<img src=x>";
+        let report = fixer.fix_until_stable(src, 8);
+        assert!(report.converged);
+        assert!(report.passes >= 1);
+        assert!(report.fixes_applied >= 2);
+        // Converged output is stable under another pass.
+        let again = fixer.fix(&report.output);
+        assert!(!again.changed(), "{}", again.output);
+    }
+
+    #[test]
+    fn clean_document_is_untouched() {
+        let mut fixer = Fixer::new();
+        let src = "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0 Transitional//EN\">\n\
+                   <HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><P>hi</P></BODY></HTML>\n";
+        let report = fixer.fix_until_stable(src, 4);
+        assert_eq!(report.output, src);
+        assert_eq!(report.passes, 0);
+        assert!(report.converged);
+        assert_eq!(report.remaining, vec![]);
+    }
+
+    #[test]
+    fn respects_caller_config() {
+        let mut config = LintConfig::default();
+        config.disable("img-alt").unwrap();
+        let mut fixer = Fixer::with_config(config);
+        assert!(fixer.config().emit_fixes);
+        let report =
+            fixer.fix("<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><IMG SRC=\"x.gif\"></BODY></HTML>");
+        assert!(!report.output.contains("ALT"), "{}", report.output);
+    }
+}

@@ -1,0 +1,37 @@
+//! The weblint autofix engine.
+//!
+//! The lint engine (`weblint-core`) attaches a [`weblint_core::Fix`] — an
+//! ordered set of non-overlapping byte-span edits against the original
+//! source — to every diagnostic with a mechanical remedy: a missing `ALT`,
+//! an unclosed container, an uppercase tag name, an unquoted attribute
+//! value. This crate turns those per-diagnostic repairs into a rewritten
+//! document:
+//!
+//! * [`apply_fixes`] selects a conflict-free subset of a report's fixes by
+//!   a deterministic priority rule and rewrites the source once.
+//! * [`Fixer`] wraps a reusable [`weblint_core::LintSession`] in
+//!   fix-collecting mode: lint, apply, iterate to convergence.
+//! * [`unified_diff`] renders the before/after as a conventional unified
+//!   diff for `weblint -fix -diff`.
+//!
+//! # Examples
+//!
+//! ```
+//! use weblint_fix::Fixer;
+//!
+//! let mut fixer = Fixer::new();
+//! let report = fixer.fix("<H1>My Example</H2>");
+//! assert!(report.output.contains("</H1>"));
+//! assert!(report.fixes_applied >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apply;
+mod diff;
+mod fixer;
+
+pub use apply::{apply_fixes, FixOutcome};
+pub use diff::unified_diff;
+pub use fixer::{ConvergenceReport, FixReport, Fixer};

@@ -194,13 +194,7 @@ mod tests {
     use weblint_core::Weblint;
 
     fn diag(line: u32, id: &'static str, message: &str) -> Diagnostic {
-        Diagnostic {
-            id,
-            category: Category::Error,
-            line,
-            col: 1,
-            message: message.to_string(),
-        }
+        Diagnostic::new(id, Category::Error, line, 1, message.to_string())
     }
 
     #[test]

@@ -162,8 +162,10 @@ pub(crate) fn handle(app: &App, req: &Request) -> Response {
         }
         ("POST", "/lint") => handle_post_lint(app, req),
         ("GET", "/lint") => handle_get_lint(app, req),
+        ("POST", "/fix") => handle_post_fix(app, req),
         (_, "/" | "/health" | "/metrics") => method_not_allowed("GET, HEAD"),
         (_, "/lint") => method_not_allowed("GET, HEAD, POST"),
+        (_, "/fix") => method_not_allowed("POST"),
         _ => Response::text(404, format!("no such route: {}\n", req.path)),
     }
 }
@@ -187,6 +189,35 @@ fn handle_post_lint(app: &App, req: &Request) -> Response {
         Err(response) => return response,
     };
     render_lint(app, name, src, style)
+}
+
+/// `POST /fix`: the body is the document; the response is the repaired
+/// document, with the number of fixes applied in `X-Weblint-Fixed-Count`.
+///
+/// The lint pass runs through the same service pool as `/lint` — under
+/// overload fix jobs shed with the same 503 — but under a fix-collecting
+/// configuration, which fingerprints differently, so fix results and
+/// plain lint results never replay one another from the cache.
+fn handle_post_fix(app: &App, req: &Request) -> Response {
+    let src = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return Response::text(400, "document body must be UTF-8\n"),
+    };
+    let mut config = app.service.config().clone();
+    config.emit_fixes = true;
+    let diags = match app.lint(src, Some(config)) {
+        Ok(diags) => diags,
+        Err(refusal) => return refusal,
+    };
+    let outcome = weblint_fix::apply_fixes(src, &diags);
+    HttpCounters::bump(&app.counters.fix_requests);
+    HttpCounters::add(&app.counters.fixes_applied, outcome.fixes_applied as u64);
+    let mut response = Response::text(200, outcome.output);
+    response.content_type = "text/html; charset=utf-8";
+    response
+        .extra_headers
+        .push(("X-Weblint-Fixed-Count", outcome.fixes_applied.to_string()));
+    response
 }
 
 /// `GET /lint?url=…`: fetch through the simulated web, then lint.
@@ -364,6 +395,90 @@ mod tests {
         }
         let missing = handle(&app, &request("GET", "/lint", &[], b""));
         assert_eq!(missing.status, 400);
+    }
+
+    #[test]
+    fn post_fix_returns_repaired_document_and_count() {
+        let app = app();
+        let response = handle(
+            &app,
+            &request(
+                "POST",
+                "/fix",
+                &[],
+                b"<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><H1>Hi</H2></BODY></HTML>",
+            ),
+        );
+        assert_eq!(response.status, 200);
+        let body = String::from_utf8(response.body).unwrap();
+        assert!(body.starts_with("<!DOCTYPE"), "{body}");
+        assert!(body.contains("</H1>"), "{body}");
+        let count = response
+            .extra_headers
+            .iter()
+            .find(|(n, _)| *n == "X-Weblint-Fixed-Count")
+            .map(|(_, v)| v.clone())
+            .expect("count header");
+        assert_eq!(count, "2", "doctype + heading rename");
+        let snap = app.counters.snapshot();
+        assert_eq!(snap.fix_requests, 1);
+        assert_eq!(snap.fixes_applied, 2);
+        // The metrics page renders the new counters.
+        let metrics = handle(&app, &request("GET", "/metrics", &[], b""));
+        let text = String::from_utf8(metrics.body).unwrap();
+        assert!(text.contains("1 request(s), 2 fix(es) applied"), "{text}");
+    }
+
+    #[test]
+    fn post_fix_clean_document_round_trips() {
+        let app = app();
+        let doc = b"<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0 Transitional//EN\">\n\
+                    <HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><P>hi</P></BODY></HTML>\n";
+        let response = handle(&app, &request("POST", "/fix", &[], doc));
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, doc.to_vec());
+        assert!(response
+            .extra_headers
+            .iter()
+            .any(|(n, v)| *n == "X-Weblint-Fixed-Count" && v == "0"));
+    }
+
+    #[test]
+    fn fix_jobs_cache_separately_from_lint_jobs() {
+        let app = app();
+        let doc = b"<H1>x</H2>";
+        // Lint twice: second submission is a cache hit.
+        handle(&app, &request("POST", "/lint", &[], doc));
+        handle(&app, &request("POST", "/lint", &[], doc));
+        let after_lint = app.service.metrics().cache;
+        assert_eq!(after_lint.hits, 1, "{after_lint:?}");
+        // A fix job on the same bytes must MISS (different fingerprint) —
+        // a replayed lint result would carry no fixes at all.
+        let fixed = handle(&app, &request("POST", "/fix", &[], doc));
+        assert!(fixed
+            .extra_headers
+            .iter()
+            .any(|(n, v)| *n == "X-Weblint-Fixed-Count" && v != "0"));
+        let after_fix = app.service.metrics().cache;
+        assert_eq!(after_fix.hits, 1, "fix job must not replay a lint result");
+        assert_eq!(after_fix.misses, after_lint.misses + 1);
+        // But a second identical fix job replays the fix-mode entry.
+        let again = handle(&app, &request("POST", "/fix", &[], doc));
+        assert_eq!(again.extra_headers, fixed.extra_headers);
+        assert_eq!(app.service.metrics().cache.hits, 2);
+    }
+
+    #[test]
+    fn fix_rejects_non_post_and_bad_bodies() {
+        let app = app();
+        let response = handle(&app, &request("GET", "/fix", &[], b""));
+        assert_eq!(response.status, 405);
+        assert!(response
+            .extra_headers
+            .iter()
+            .any(|(n, v)| *n == "Allow" && v == "POST"));
+        let bad = handle(&app, &request("POST", "/fix", &[], &[0xff, 0xfe]));
+        assert_eq!(bad.status, 400);
     }
 
     #[test]

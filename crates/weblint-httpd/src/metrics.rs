@@ -14,6 +14,8 @@ pub(crate) struct HttpCounters {
     pub(crate) header_timeouts: AtomicU64,
     pub(crate) shed: AtomicU64,
     pub(crate) worker_errors: AtomicU64,
+    pub(crate) fix_requests: AtomicU64,
+    pub(crate) fixes_applied: AtomicU64,
     pub(crate) bytes_in: AtomicU64,
     pub(crate) bytes_out: AtomicU64,
 }
@@ -37,6 +39,8 @@ impl HttpCounters {
             header_timeouts: self.header_timeouts.load(Ordering::Relaxed),
             requests_shed: self.shed.load(Ordering::Relaxed),
             worker_errors: self.worker_errors.load(Ordering::Relaxed),
+            fix_requests: self.fix_requests.load(Ordering::Relaxed),
+            fixes_applied: self.fixes_applied.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
         }
@@ -66,6 +70,10 @@ pub struct HttpMetrics {
     pub requests_shed: u64,
     /// Requests answered 500 because the lint job panicked its worker.
     pub worker_errors: u64,
+    /// `POST /fix` requests answered 200.
+    pub fix_requests: u64,
+    /// Total fixes applied across every `/fix` response.
+    pub fixes_applied: u64,
     /// Request bytes read off the wire.
     pub bytes_in: u64,
     /// Response bytes written to the wire.
@@ -90,6 +98,11 @@ impl std::fmt::Display for HttpMetrics {
             "  load:  {} shed (503), {} worker error(s) (500)",
             self.requests_shed, self.worker_errors
         )?;
+        writeln!(
+            f,
+            "  fix:   {} request(s), {} fix(es) applied",
+            self.fix_requests, self.fixes_applied
+        )?;
         write!(
             f,
             "  wire:  {} byte(s) in, {} byte(s) out",
@@ -111,6 +124,8 @@ mod tests {
         HttpCounters::add(&counters.bytes_out, 4096);
         HttpCounters::bump(&counters.shed);
         HttpCounters::bump(&counters.header_timeouts);
+        HttpCounters::bump(&counters.fix_requests);
+        HttpCounters::add(&counters.fixes_applied, 7);
         let m = counters.snapshot();
         assert_eq!(m.connections_accepted, 1);
         assert_eq!(m.requests_served, 3);
@@ -124,6 +139,7 @@ mod tests {
             "4096 byte(s) out",
             "1 shed (503)",
             "1 header timeout(s)",
+            "1 request(s), 7 fix(es) applied",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in {text}");
         }

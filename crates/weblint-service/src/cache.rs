@@ -33,6 +33,9 @@ pub fn config_fingerprint(config: &LintConfig) -> u64 {
     h.write_bool(config.extensions.microsoft);
     h.write_bool(config.fragment);
     h.write_bool(config.heuristics);
+    // Fix-collecting runs attach Fix payloads to their diagnostics, so a
+    // fix job must never replay a plain lint result (or vice versa).
+    h.write_bool(config.emit_fixes);
     h.write_u64(config.max_title_length as u64);
     for text in &config.here_anchor_texts {
         h.write_str(text);
@@ -228,13 +231,13 @@ mod tests {
     use weblint_core::Category;
 
     fn diags(n: u32) -> Arc<Vec<Diagnostic>> {
-        Arc::new(vec![Diagnostic {
-            id: "img-alt",
-            category: Category::Warning,
-            line: n,
-            col: 1,
-            message: format!("diag {n}"),
-        }])
+        Arc::new(vec![Diagnostic::new(
+            "img-alt",
+            Category::Warning,
+            n,
+            1,
+            format!("diag {n}"),
+        )])
     }
 
     fn key(n: u64) -> CacheKey {
@@ -296,6 +299,11 @@ mod tests {
 
         let mut c = LintConfig::new();
         c.max_title_length = 10;
+        assert_ne!(fp, config_fingerprint(&c));
+
+        // Fix jobs cache separately from lint jobs.
+        let mut c = LintConfig::new();
+        c.emit_fixes = true;
         assert_ne!(fp, config_fingerprint(&c));
     }
 

@@ -135,17 +135,17 @@ impl SiteChecker {
                         {
                             report.site_diagnostics.push((
                                 page.clone(),
-                                Diagnostic {
-                                    id: "bad-link",
-                                    category: Category::Error,
-                                    line: link.line,
-                                    col: 1,
-                                    message: format!(
+                                Diagnostic::new(
+                                    "bad-link",
+                                    Category::Error,
+                                    link.line,
+                                    1,
+                                    format!(
                                         "no anchor \"{fragment}\" on this page \
                                          (target of {} \"{}\")",
                                         link.source, link.href
                                     ),
-                                },
+                                ),
                             ));
                         }
                     }
@@ -166,17 +166,17 @@ impl SiteChecker {
                                 {
                                     report.site_diagnostics.push((
                                         page.clone(),
-                                        Diagnostic {
-                                            id: "bad-link",
-                                            category: Category::Error,
-                                            line: link.line,
-                                            col: 1,
-                                            message: format!(
+                                        Diagnostic::new(
+                                            "bad-link",
+                                            Category::Error,
+                                            link.line,
+                                            1,
+                                            format!(
                                                 "no anchor \"{fragment}\" in {target} \
                                                  (target of {} \"{}\")",
                                                 link.source, link.href
                                             ),
-                                        },
+                                        ),
                                     ));
                                 }
                             }
@@ -184,16 +184,16 @@ impl SiteChecker {
                         if !store.exists(&target) && self.config.is_enabled("bad-link") {
                             report.site_diagnostics.push((
                                 page.clone(),
-                                Diagnostic {
-                                    id: "bad-link",
-                                    category: Category::Error,
-                                    line: link.line,
-                                    col: 1,
-                                    message: format!(
+                                Diagnostic::new(
+                                    "bad-link",
+                                    Category::Error,
+                                    link.line,
+                                    1,
+                                    format!(
                                         "target of {} \"{}\" does not exist ({})",
                                         link.source, link.href, target
                                     ),
-                                },
+                                ),
                             ));
                         }
                     }
@@ -201,16 +201,16 @@ impl SiteChecker {
                         if self.config.is_enabled("bad-link") {
                             report.site_diagnostics.push((
                                 page.clone(),
-                                Diagnostic {
-                                    id: "bad-link",
-                                    category: Category::Error,
-                                    line: link.line,
-                                    col: 1,
-                                    message: format!(
+                                Diagnostic::new(
+                                    "bad-link",
+                                    Category::Error,
+                                    link.line,
+                                    1,
+                                    format!(
                                         "{} \"{}\" points outside the site",
                                         link.source, link.href
                                     ),
-                                },
+                                ),
                             ));
                         }
                     }
@@ -245,15 +245,13 @@ impl SiteChecker {
                 if !is_index && !inbound.contains(page) {
                     report.site_diagnostics.push((
                         page.clone(),
-                        Diagnostic {
-                            id: "orphan-page",
-                            category: Category::Warning,
-                            line: 1,
-                            col: 1,
-                            message: format!(
-                                "{page} is not linked to by any other page checked (orphan)"
-                            ),
-                        },
+                        Diagnostic::new(
+                            "orphan-page",
+                            Category::Warning,
+                            1,
+                            1,
+                            format!("{page} is not linked to by any other page checked (orphan)"),
+                        ),
                     ));
                 }
             }
@@ -271,13 +269,13 @@ impl SiteChecker {
                     let shown = if dir.is_empty() { "." } else { dir.as_str() };
                     report.site_diagnostics.push((
                         dir.clone(),
-                        Diagnostic {
-                            id: "directory-index",
-                            category: Category::Warning,
-                            line: 1,
-                            col: 1,
-                            message: format!("directory {shown} has no index file"),
-                        },
+                        Diagnostic::new(
+                            "directory-index",
+                            Category::Warning,
+                            1,
+                            1,
+                            format!("directory {shown} has no index file"),
+                        ),
                     ));
                 }
             }

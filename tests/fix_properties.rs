@@ -1,0 +1,165 @@
+//! Property tests for the autofix engine, driven by the corpus mutation
+//! generator: inject one defect of every class into a clean generated
+//! document and check the fix contract.
+//!
+//! The contract (ISSUE/DESIGN S25):
+//!
+//! 1. *Monotonic*: applying fixes and re-linting yields a clean document
+//!    or strictly fewer diagnostics — never more.
+//! 2. *Idempotent*: once `fix_until_stable` converges, another pass
+//!    changes nothing.
+//! 3. *Surgical*: bytes outside the applied edit spans are untouched —
+//!    the output can be re-derived independently from the original text
+//!    plus the reported edits.
+//! 4. *Honest*: classes with a mechanical remedy repair to a clean
+//!    re-lint; classes without one leave the document byte-identical.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use weblint_corpus::{all_defect_classes, generate_document, DefectClass};
+use weblint_fix::Fixer;
+
+const SEEDS: &[u64] = &[3, 17, 42];
+const DOC_BYTES: usize = 4096;
+const MAX_PASSES: usize = 4;
+
+/// Classes the engine can mechanically repair: injecting one of these
+/// into a clean document must fix back to a clean document.
+const FIXABLE: &[DefectClass] = &[
+    DefectClass::MissingDoctype,
+    DefectClass::UnclosedElement,
+    DefectClass::UnexpectedClose,
+    DefectClass::HeadingMismatch,
+    DefectClass::UnquotedValue,
+    DefectClass::SingleQuoteDelimiter,
+    DefectClass::DuplicateAttribute,
+    DefectClass::MissingAlt,
+    DefectClass::EndTagAttribute,
+    DefectClass::ObsoleteElement,
+    DefectClass::LiteralMetachar,
+    DefectClass::UnterminatedEntity,
+];
+
+fn mutated_docs(class: DefectClass) -> Vec<String> {
+    SEEDS
+        .iter()
+        .map(|&seed| {
+            let doc = generate_document(seed, DOC_BYTES);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+            class.inject(&doc, &mut rng)
+        })
+        .collect()
+}
+
+#[test]
+fn fixes_never_add_diagnostics() {
+    let mut fixer = Fixer::new();
+    for &class in all_defect_classes() {
+        for mutated in mutated_docs(class) {
+            let before = fixer.fix(&mutated);
+            let n_before = before.diagnostics.len();
+            let after = fixer.fix(&before.output);
+            if before.changed() {
+                assert!(
+                    after.diagnostics.len() < n_before,
+                    "{}: {} diagnostics before fixing, {} after",
+                    class.name(),
+                    n_before,
+                    after.diagnostics.len()
+                );
+            } else {
+                assert_eq!(
+                    before.output,
+                    mutated,
+                    "{}: no edits but the document changed",
+                    class.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fixing_is_idempotent_at_the_fixed_point() {
+    let mut fixer = Fixer::new();
+    for &class in all_defect_classes() {
+        for mutated in mutated_docs(class) {
+            let report = fixer.fix_until_stable(&mutated, MAX_PASSES);
+            assert!(report.converged, "{}: did not converge", class.name());
+            let again = fixer.fix(&report.output);
+            assert!(
+                !again.changed(),
+                "{}: converged output changed again:\n{}",
+                class.name(),
+                again.output
+            );
+        }
+    }
+}
+
+#[test]
+fn bytes_outside_edit_spans_are_untouched() {
+    // Re-derive the output from (original, reported edits) with an
+    // independent little interpreter; any divergence means the applier
+    // touched bytes it did not report.
+    let mut fixer = Fixer::new();
+    for &class in all_defect_classes() {
+        for mutated in mutated_docs(class) {
+            let report = fixer.fix(&mutated);
+            let mut rebuilt = String::new();
+            let mut cursor = 0;
+            for edit in &report.edits {
+                assert!(cursor <= edit.start, "{}: overlapping edits", class.name());
+                rebuilt.push_str(&mutated[cursor..edit.start]);
+                rebuilt.push_str(&edit.text);
+                cursor = edit.end;
+            }
+            rebuilt.push_str(&mutated[cursor..]);
+            assert_eq!(rebuilt, report.output, "{}: output diverges", class.name());
+        }
+    }
+}
+
+#[test]
+fn fixable_classes_repair_to_clean() {
+    let mut fixer = Fixer::new();
+    for &class in FIXABLE {
+        for mutated in mutated_docs(class) {
+            let report = fixer.fix_until_stable(&mutated, MAX_PASSES);
+            assert!(
+                report.fixes_applied >= 1,
+                "{}: expected at least one fix",
+                class.name()
+            );
+            assert!(
+                report.remaining.is_empty(),
+                "{}: residue after fixing: {:?}",
+                class.name(),
+                report.remaining.iter().map(|d| d.id).collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[test]
+fn unfixable_classes_leave_the_document_alone() {
+    // Everything outside FIXABLE has no mechanical remedy — not even a
+    // cascade of some other, fixable diagnostic — so the document must
+    // come back byte-identical.
+    let mut fixer = Fixer::new();
+    for &class in all_defect_classes() {
+        if FIXABLE.contains(&class) {
+            continue;
+        }
+        for mutated in mutated_docs(class) {
+            let report = fixer.fix(&mutated);
+            assert!(
+                !report.changed(),
+                "{}: unexpected edits {:?}",
+                class.name(),
+                report.edits
+            );
+            assert_eq!(report.output, mutated);
+        }
+    }
+}

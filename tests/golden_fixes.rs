@@ -1,0 +1,81 @@
+//! Golden regression suite for the autofix engine.
+//!
+//! One input/expected pair per defect class under `tests/golden/fixes/`:
+//! the input is the class's canonical snippet, the expected file is what
+//! `Fixer::fix_until_stable` leaves behind. Fixable defects show their
+//! repair; snippets whose only remedy is the cascaded missing-doctype fix
+//! show exactly that and nothing else, pinning where the engine keeps its
+//! hands off as precisely as where it edits.
+//!
+//! Regenerate after an *intentional* fixer change with:
+//!
+//! ```sh
+//! WEBLINT_GOLDEN_REGEN=1 cargo test -q --test golden_fixes
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use weblint_fix::Fixer;
+
+const FIXES_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fixes");
+const MAX_PASSES: usize = 4;
+
+fn pair_paths(class: weblint_corpus::DefectClass) -> (PathBuf, PathBuf) {
+    let dir = Path::new(FIXES_DIR);
+    (
+        dir.join(format!("{}.input.html", class.name())),
+        dir.join(format!("{}.expected.html", class.name())),
+    )
+}
+
+#[test]
+fn every_defect_class_fixes_to_its_golden_output() {
+    let regen = std::env::var_os("WEBLINT_GOLDEN_REGEN").is_some();
+    if regen {
+        std::fs::create_dir_all(FIXES_DIR).unwrap();
+    }
+    let mut fixer = Fixer::new();
+    for &class in weblint_corpus::all_defect_classes() {
+        let (input_path, expected_path) = pair_paths(class);
+        let input = class.snippet();
+        let report = fixer.fix_until_stable(input, MAX_PASSES);
+        if regen {
+            std::fs::write(&input_path, input).unwrap();
+            std::fs::write(&expected_path, &report.output).unwrap();
+            continue;
+        }
+        let golden_input = std::fs::read_to_string(&input_path)
+            .expect("golden input missing — run with WEBLINT_GOLDEN_REGEN=1 to create it");
+        assert_eq!(
+            golden_input,
+            input,
+            "{}: snippet drifted from checked-in input; regenerate the pair",
+            class.name()
+        );
+        let expected = std::fs::read_to_string(&expected_path)
+            .expect("golden expected missing — run with WEBLINT_GOLDEN_REGEN=1 to create it");
+        assert_eq!(
+            report.output,
+            expected,
+            "{}: fixed output diverged from golden",
+            class.name()
+        );
+    }
+}
+
+#[test]
+fn golden_dir_holds_no_stale_pairs() {
+    // A renamed or removed defect class must take its golden files with it.
+    let mut expected_names: Vec<String> = Vec::new();
+    for &class in weblint_corpus::all_defect_classes() {
+        expected_names.push(format!("{}.input.html", class.name()));
+        expected_names.push(format!("{}.expected.html", class.name()));
+    }
+    for entry in std::fs::read_dir(FIXES_DIR).expect("tests/golden/fixes") {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        assert!(
+            expected_names.iter().any(|n| n == &name),
+            "stale golden file {name:?} has no matching defect class"
+        );
+    }
+}

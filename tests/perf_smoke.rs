@@ -27,6 +27,24 @@ fn best_of<F: FnMut() -> f64>(rounds: usize, mut run: F) -> f64 {
 }
 
 #[test]
+fn default_session_keeps_fix_emission_off_the_hot_path() {
+    // The throughput floors below measure the one-shot lint path with fix
+    // mode off. This guard pins that precondition: a default session must
+    // not pay for fix synthesis, and its diagnostics must carry no fix
+    // payloads. If `emit_fixes` ever defaults on, the floors would start
+    // gating the wrong path — fail loudly here instead.
+    let mut session = LintSession::new();
+    assert!(!session.config().emit_fixes, "emit_fixes must default off");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("big.html");
+    let source = std::fs::read_to_string(&path).expect("big.html fixture");
+    let diags = session.check_string(&source);
+    assert!(
+        diags.iter().all(|d| d.fix.is_none()),
+        "default session emitted fix payloads"
+    );
+}
+
+#[test]
 fn big_html_throughput_floor() {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("big.html");
     let source = std::fs::read_to_string(&path).expect("big.html fixture");
