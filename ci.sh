@@ -48,6 +48,27 @@ timeout 90 cargo test -q --release --test perf_smoke
 # off the one-shot hot path.
 timeout 120 cargo test -q --release --test fix_properties --test golden_fixes
 
+# Rules-as-data gates (E17): the registry audit (catalog == registry,
+# dispatch masks mirror the applies column, every fixable rule
+# demonstrates a mechanical fix and no other rule may attach one) and
+# the bootstrap rule-pack contract (fires under its own id in every
+# format, disables by id and by pragma, no-op packs leave output
+# byte-identical). perf_smoke above already guards the idle-custom-rule
+# throughput ratio and the interner canaries.
+timeout 90 cargo test -q --release --test registry --test custom_rules
+
+# Catalog smoke: every identifier the registry knows (plus the example
+# pack's custom rules) must render an -explain entry, and the registry
+# dump and id listing exit clean.
+timeout 60 sh -c '
+  set -eu
+  bin=target/release/weblint
+  "$bin" -noglobals -f examples/bootstrap.weblintrc -list > /dev/null
+  for id in $("$bin" -noglobals -f examples/bootstrap.weblintrc -ids); do
+    "$bin" -noglobals -f examples/bootstrap.weblintrc -explain "$id" > /dev/null
+  done
+'
+
 # End-to-end -fix smoke: -diff prints the repair without writing, -fix
 # repairs in place behind a .orig backup, and the repaired page lints
 # clean (exit 0).

@@ -32,6 +32,17 @@ pub struct Args {
     pub no_globals: bool,
     /// `-todo`: list the message catalog and exit.
     pub list_checks: bool,
+    /// `-explain ID` (or `weblint why ID`): render the catalog entry for
+    /// one message — built-in or custom — and exit.
+    pub explain: Option<String>,
+    /// `-list`: dump the full check registry (with the custom rules the
+    /// configuration adds) and exit.
+    pub list_rules: bool,
+    /// `-ids`: print every known message identifier, one per line.
+    pub ids: bool,
+    /// `-profile`: lint sequentially, gathering per-rule cost counters,
+    /// and print the table to stderr when done.
+    pub profile: bool,
     /// `-help`.
     pub help: bool,
     /// `-version`.
@@ -79,6 +90,13 @@ options:
   -f FILE          use FILE as the user configuration file
   -noglobals       do not read site or user configuration files
   -todo            list every supported message and its default
+  -explain ID      explain one message: category, documentation, example
+                   (`weblint why ID' is the same thing); custom rules from
+                   the configuration's [rules] sections are included
+  -list            dump the check registry as a table, custom rules included
+  -ids             print every known message identifier, one per line
+  -profile         lint sequentially and print a per-rule cost table
+                   (hits, attributed wall time) to stderr when done
   -help            this message
   -version         print the version
 
@@ -100,7 +118,16 @@ pub fn parse_args(argv: &[String]) -> Result<Args, UsageError> {
             "-s" | "--short" => args.format = OutputFormat::Short,
             "-t" | "--terse" => args.format = OutputFormat::Terse,
             "-json" | "--json" => args.format = OutputFormat::Json,
-            "-explain" | "--explain" => args.format = OutputFormat::Explain,
+            "-explain" | "--explain" => args.explain = Some(take_value("-explain")?),
+            // `weblint why img-alt` — the conversational spelling of
+            // -explain. Recognized only before any input file; a file
+            // that is literally named `why` can be checked as `./why`.
+            "why" if args.inputs.is_empty() && args.explain.is_none() => {
+                args.explain = Some(take_value("why")?);
+            }
+            "-list" | "--list" => args.list_rules = true,
+            "-ids" | "--ids" => args.ids = true,
+            "-profile" | "--profile" => args.profile = true,
             "-e" | "--enable" => {
                 for id in take_value("-e")?.split(',').filter(|s| !s.is_empty()) {
                     args.directives.push(Directive::Enable(id.to_string()));
@@ -230,6 +257,30 @@ mod tests {
         assert!(a.fix && a.diff);
         let e = parse(&["-diff", "x.html"]).unwrap_err();
         assert!(e.to_string().contains("-fix"), "{e}");
+    }
+
+    #[test]
+    fn explain_and_why() {
+        let a = parse(&["-explain", "img-alt"]).unwrap();
+        assert_eq!(a.explain.as_deref(), Some("img-alt"));
+        let a = parse(&["why", "img-alt"]).unwrap();
+        assert_eq!(a.explain.as_deref(), Some("img-alt"));
+        assert!(parse(&["-explain"]).is_err());
+        assert!(parse(&["why"]).is_err());
+        // After an input file, `why` is just another file.
+        let a = parse(&["x.html", "why"]).unwrap();
+        assert_eq!(a.inputs, ["x.html", "why"]);
+        assert_eq!(a.explain, None);
+    }
+
+    #[test]
+    fn registry_and_profile_switches() {
+        let a = parse(&["-list"]).unwrap();
+        assert!(a.list_rules);
+        let a = parse(&["-ids"]).unwrap();
+        assert!(a.ids);
+        let a = parse(&["-profile", "x.html"]).unwrap();
+        assert!(a.profile);
     }
 
     #[test]

@@ -39,8 +39,8 @@ options:
                 FILE.orig); messages and the exit status reflect what is
                 left over after fixing
   -quiet        only dead links and the summary
-  -stats        print the fetch stack's telemetry (faults, resilience,
-                pacing) after the summary
+  -stats        print a per-rule hit table and the fetch stack's
+                telemetry (faults, resilience, pacing) after the summary
   -faults SPEC  inject deterministic fetch faults and crawl through the
                 retrying fetcher; SPEC is RATE% or RATE%:KIND+KIND
                 (kinds: latency, timeout, 5xx, reset, truncate),
@@ -240,6 +240,23 @@ fn main() -> ExitCode {
     );
     if report.truncated {
         println!("poacher: crawl truncated at {} pages", options.max_pages);
+    }
+    // `-stats`: a per-rule hit table over everything the crawl linted,
+    // in the same shape the lint service's metrics and the httpd
+    // /metrics endpoint print.
+    if options.stats {
+        let mut counts: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+        for page in &report.pages {
+            for d in &page.diagnostics {
+                *counts.entry(d.id).or_insert(0) += 1;
+            }
+        }
+        if !counts.is_empty() {
+            let mut pairs: Vec<(&str, u64)> = counts.into_iter().collect();
+            pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+            println!("poacher lint statistics:");
+            print!("{}", weblint_core::render_hits(&pairs));
+        }
     }
     // One shared render path with the httpd /metrics endpoint: the
     // stack's unified telemetry snapshot.

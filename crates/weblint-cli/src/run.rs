@@ -3,9 +3,10 @@
 use std::io::Read;
 use std::path::{Path, PathBuf};
 
-use weblint_config::{apply_directive, apply_pragmas, load_config_file};
+use weblint_config::{apply_directive, apply_pragmas, load_config_file, ConfigWarning};
 use weblint_core::{
-    format_report, CheckDef, Diagnostic, LintConfig, OutputFormat, Summary, Weblint, CATALOG,
+    format_report, CheckDef, Diagnostic, LintConfig, LintSession, OutputFormat, Profile, Rule,
+    Summary, Weblint, CATALOG, REGISTRY,
 };
 use weblint_service::{JobHandle, LintService, ServiceConfig};
 use weblint_site::{DirStore, SiteChecker};
@@ -34,12 +35,16 @@ pub fn run(args: &Args, out: &mut impl std::io::Write, err: &mut impl std::io::W
         list_checks(out);
         return EXIT_CLEAN;
     }
-    if args.inputs.is_empty() {
+    // Catalog queries (-explain / -list / -ids) consult the resolved
+    // configuration — custom rules from [rules] sections are part of the
+    // catalog — but take no input files.
+    let catalog_query = args.explain.is_some() || args.list_rules || args.ids;
+    if !catalog_query && args.inputs.is_empty() {
         let _ = writeln!(err, "weblint: no files to check (try -help)");
         return EXIT_ERROR;
     }
 
-    let config = match build_config(args) {
+    let config = match build_config(args, err) {
         Ok(c) => c,
         Err(message) => {
             let _ = writeln!(err, "weblint: {message}");
@@ -47,11 +52,30 @@ pub fn run(args: &Args, out: &mut impl std::io::Write, err: &mut impl std::io::W
         }
     };
 
+    if let Some(id) = &args.explain {
+        return explain_rule(id, &config, out, err);
+    }
+    if args.ids {
+        print_ids(&config, out);
+        return EXIT_CLEAN;
+    }
+    if args.list_rules {
+        list_registry(&config, out);
+        return EXIT_CLEAN;
+    }
+
     // Fix mode rewrites files instead of reporting, one at a time — the
     // service fan-out buys nothing when each file is read, repaired, and
     // written back in sequence anyway.
     if args.fix {
         return run_fix(args, &config, out, err);
+    }
+
+    // `-profile` wants one set of counters over the whole batch, so it
+    // lints inline on this thread (any -jobs request is ignored) and
+    // prints the cost table to stderr once every input is done.
+    if args.profile {
+        return run_profile(args, &config, out, err);
     }
 
     // `-jobs N` (or `-stats`) routes the run through the lint service;
@@ -105,7 +129,7 @@ fn run_parallel(
     err: &mut impl std::io::Write,
 ) -> Vec<InputStatus> {
     enum Prepared {
-        Job(String, JobHandle),
+        Job(String, JobHandle, Vec<ConfigWarning>),
         Dir(PathBuf),
         Failed(String),
     }
@@ -139,8 +163,10 @@ fn run_parallel(
             Ok((name, src)) => {
                 let mut page_config = config.clone();
                 match apply_pragmas(&src, &mut page_config) {
-                    Ok(_) => match service.submit_with(src, Some(page_config)) {
-                        Ok(handle) => Prepared::Job(name, handle),
+                    // Warnings surface in phase two, next to the page's
+                    // report, so stderr reads the same as a sequential run.
+                    Ok((_, warnings)) => match service.submit_with(src, Some(page_config)) {
+                        Ok(handle) => Prepared::Job(name, handle, warnings),
                         Err(e) => Prepared::Failed(format!("weblint: {name}: {e}")),
                     },
                     Err(e) => Prepared::Failed(format!("weblint: {name}: {e}")),
@@ -153,20 +179,23 @@ fn run_parallel(
     prepared
         .into_iter()
         .map(|entry| match entry {
-            Prepared::Job(name, handle) => match handle.wait() {
-                Ok(diags) => {
-                    let _ = write!(out, "{}", format_report(&diags, &name, args.format));
-                    if diags.is_empty() {
-                        InputStatus::Clean
-                    } else {
-                        InputStatus::Messages
+            Prepared::Job(name, handle, warnings) => {
+                report_warnings(&name, &warnings, err);
+                match handle.wait() {
+                    Ok(diags) => {
+                        let _ = write!(out, "{}", format_report(&diags, &name, args.format));
+                        if diags.is_empty() {
+                            InputStatus::Clean
+                        } else {
+                            InputStatus::Messages
+                        }
+                    }
+                    Err(e) => {
+                        let _ = writeln!(err, "weblint: {name}: {e}");
+                        InputStatus::Failed
                     }
                 }
-                Err(e) => {
-                    let _ = writeln!(err, "weblint: {name}: {e}");
-                    InputStatus::Failed
-                }
-            },
+            }
             Prepared::Dir(path) => {
                 check_directory(&path, config, args.format, Some(service), out, err)
             }
@@ -241,9 +270,12 @@ fn fix_one(
     };
 
     let mut page_config = config.clone();
-    if let Err(e) = apply_pragmas(&src, &mut page_config) {
-        let _ = writeln!(err, "weblint: {name}: {e}");
-        return EXIT_ERROR;
+    match apply_pragmas(&src, &mut page_config) {
+        Ok((_, warnings)) => report_warnings(&name, &warnings, err),
+        Err(e) => {
+            let _ = writeln!(err, "weblint: {name}: {e}");
+            return EXIT_ERROR;
+        }
     }
     let mut fixer = weblint_fix::Fixer::with_config(page_config);
     let report = fixer.fix_until_stable(&src, MAX_FIX_PASSES);
@@ -342,9 +374,12 @@ fn lint_source(
 ) -> InputStatus {
     // Page pragmas (`<!-- weblint: disable ... -->`) adjust this page only.
     let mut page_config = config.clone();
-    if let Err(e) = apply_pragmas(src, &mut page_config) {
-        let _ = writeln!(err, "weblint: {name}: {e}");
-        return InputStatus::Failed;
+    match apply_pragmas(src, &mut page_config) {
+        Ok((_, warnings)) => report_warnings(name, &warnings, err),
+        Err(e) => {
+            let _ = writeln!(err, "weblint: {name}: {e}");
+            return InputStatus::Failed;
+        }
     }
     let weblint = Weblint::with_config(page_config);
     let diags = weblint.check_string(src);
@@ -403,11 +438,14 @@ fn check_directory(
 }
 
 /// Build the layered configuration: site file, user file, then switches.
-fn build_config(args: &Args) -> Result<LintConfig, String> {
+/// Non-fatal problems (an unknown check id in a file or a `-e`/`-d` list)
+/// are printed to `err` as warnings; they never affect the exit status.
+fn build_config(args: &Args, err: &mut impl std::io::Write) -> Result<LintConfig, String> {
     let mut config = LintConfig::default();
+    let mut warnings: Vec<ConfigWarning> = Vec::new();
     if !args.no_globals {
         if let Some(site) = site_config_path() {
-            load_config_file(&site, &mut config).map_err(|e| e.to_string())?;
+            warnings.extend(load_config_file(&site, &mut config).map_err(|e| e.to_string())?);
         }
         let user = args
             .user_config
@@ -415,15 +453,27 @@ fn build_config(args: &Args) -> Result<LintConfig, String> {
             .map(PathBuf::from)
             .or_else(user_config_path);
         if let Some(user) = user {
-            load_config_file(&user, &mut config).map_err(|e| e.to_string())?;
+            warnings.extend(load_config_file(&user, &mut config).map_err(|e| e.to_string())?);
         }
     } else if let Some(user) = &args.user_config {
-        load_config_file(Path::new(user), &mut config).map_err(|e| e.to_string())?;
+        warnings.extend(load_config_file(Path::new(user), &mut config).map_err(|e| e.to_string())?);
     }
     for directive in &args.directives {
-        apply_directive(directive, &mut config).map_err(|e| e.to_string())?;
+        if let Some(w) = apply_directive(directive, &mut config).map_err(|e| e.to_string())? {
+            warnings.push(w);
+        }
+    }
+    for w in &warnings {
+        let _ = writeln!(err, "weblint: warning: {w}");
     }
     Ok(config)
+}
+
+/// Print the non-fatal warnings a page's pragmas produced.
+fn report_warnings(name: &str, warnings: &[ConfigWarning], err: &mut impl std::io::Write) {
+    for w in warnings {
+        let _ = writeln!(err, "weblint: {name}: warning: {}", w.message);
+    }
 }
 
 /// `$WEBLINT_SITE_CONFIG`, for site-wide style guides.
@@ -459,6 +509,230 @@ fn list_checks(out: &mut impl std::io::Write) {
     }
     let enabled = CATALOG.iter().filter(|c| c.default_enabled).count();
     let _ = writeln!(out, "\n{enabled} enabled by default.");
+}
+
+/// `weblint -explain ID` / `weblint why ID`: render one catalog entry —
+/// built-in descriptor or custom rule — to stdout. Unknown identifiers are
+/// a usage error, with a nearest-id suggestion when one is close.
+fn explain_rule(
+    id: &str,
+    config: &LintConfig,
+    out: &mut impl std::io::Write,
+    err: &mut impl std::io::Write,
+) -> i32 {
+    if let Some(rule) = Rule::from_id(id) {
+        let d = rule.descriptor();
+        let _ = writeln!(
+            out,
+            "{} ({}, {} by default{})",
+            d.id,
+            d.category.name(),
+            if d.default_enabled {
+                "enabled"
+            } else {
+                "disabled"
+            },
+            if d.fixable {
+                ", mechanical fix available"
+            } else {
+                ""
+            },
+        );
+        let _ = writeln!(out, "  {}\n", d.summary);
+        for line in wrap(d.doc, 72) {
+            let _ = writeln!(out, "  {line}");
+        }
+        let _ = writeln!(
+            out,
+            "\n  applies to: {}",
+            weblint_core::applies::describe(d.applies)
+        );
+        if !d.example.is_empty() {
+            let _ = writeln!(out, "  example:");
+            for line in d.example.lines() {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
+        return EXIT_CLEAN;
+    }
+    if let Some(rule) = config.custom_rules.iter().find(|r| r.id == id) {
+        let _ = writeln!(
+            out,
+            "{} ({}, custom rule, {})",
+            rule.id,
+            rule.category.name(),
+            if config.is_enabled(rule.id) {
+                "enabled"
+            } else {
+                "disabled"
+            },
+        );
+        let _ = writeln!(out, "  {}\n", rule.message);
+        let _ = writeln!(out, "  declared by the configuration as:");
+        let _ = writeln!(out, "    {rule}");
+        return EXIT_CLEAN;
+    }
+    match config.suggest(id) {
+        Some(close) => {
+            let _ = writeln!(
+                err,
+                "weblint: unknown message identifier `{id}' (did you mean `{close}'?)"
+            );
+        }
+        None => {
+            let _ = writeln!(err, "weblint: unknown message identifier `{id}'");
+        }
+    }
+    EXIT_ERROR
+}
+
+/// `-ids`: every identifier this configuration knows, one per line — the
+/// machine-readable form scripts loop `-explain` over.
+fn print_ids(config: &LintConfig, out: &mut impl std::io::Write) {
+    for d in REGISTRY {
+        let _ = writeln!(out, "{}", d.id);
+    }
+    for r in &config.custom_rules {
+        let _ = writeln!(out, "{}", r.id);
+    }
+}
+
+/// `-list`: the check registry as a table — every built-in descriptor
+/// (with its applicability and fix capability) plus the custom rules the
+/// configuration declares.
+fn list_registry(config: &LintConfig, out: &mut impl std::io::Write) {
+    let _ = writeln!(
+        out,
+        "check registry: {} built-in message(s), {} custom rule(s)\n",
+        REGISTRY.len(),
+        config.custom_rules.len()
+    );
+    let row = |out: &mut dyn std::io::Write,
+               id: &str,
+               category: &str,
+               enabled: bool,
+               fix: &str,
+               applies: &str,
+               summary: &str| {
+        let _ = writeln!(
+            out,
+            "  {:<24} {:<8} {:<9} {:<4} {:<18} {}",
+            id,
+            category,
+            if enabled { "enabled" } else { "disabled" },
+            fix,
+            applies,
+            summary,
+        );
+    };
+    let _ = writeln!(
+        out,
+        "  {:<24} {:<8} {:<9} {:<4} {:<18} summary",
+        "id", "category", "state", "fix", "applies to"
+    );
+    for d in REGISTRY {
+        row(
+            out,
+            d.id,
+            d.category.name(),
+            config.is_enabled(d.id),
+            if d.fixable { "fix" } else { "-" },
+            &weblint_core::applies::describe(d.applies),
+            d.summary,
+        );
+    }
+    for r in &config.custom_rules {
+        row(
+            out,
+            r.id,
+            r.category.name(),
+            config.is_enabled(r.id),
+            "-",
+            "start-tag",
+            &r.message,
+        );
+    }
+}
+
+/// `-profile`: lint every input inline through one [`LintSession`],
+/// accumulating per-rule hit and wall-time counters, then print the cost
+/// table to stderr. Diagnostics on stdout are identical to a plain run.
+fn run_profile(
+    args: &Args,
+    config: &LintConfig,
+    out: &mut impl std::io::Write,
+    err: &mut impl std::io::Write,
+) -> i32 {
+    let mut profile = Profile::new();
+    let mut session = LintSession::with_config(config.clone());
+    let mut code = EXIT_CLEAN;
+    for input in &args.inputs {
+        let (name, src) = if input == "-" {
+            let mut src = String::new();
+            match std::io::stdin().read_to_string(&mut src) {
+                Ok(_) => ("stdin".to_string(), src),
+                Err(e) => {
+                    let _ = writeln!(err, "weblint: stdin: {e}");
+                    code = code.max(EXIT_ERROR);
+                    continue;
+                }
+            }
+        } else {
+            let path = Path::new(input);
+            if path.is_dir() {
+                let _ = writeln!(
+                    err,
+                    "weblint: {input} is a directory (-profile takes files)"
+                );
+                code = code.max(EXIT_ERROR);
+                continue;
+            }
+            match std::fs::read(path) {
+                Ok(bytes) => (input.clone(), String::from_utf8_lossy(&bytes).into_owned()),
+                Err(e) => {
+                    let _ = writeln!(err, "weblint: {input}: {e}");
+                    code = code.max(EXIT_ERROR);
+                    continue;
+                }
+            }
+        };
+        let mut page_config = config.clone();
+        match apply_pragmas(&src, &mut page_config) {
+            Ok((_, warnings)) => report_warnings(&name, &warnings, err),
+            Err(e) => {
+                let _ = writeln!(err, "weblint: {name}: {e}");
+                code = code.max(EXIT_ERROR);
+                continue;
+            }
+        }
+        session.set_config(page_config);
+        let diags = session.check_string_profiled(&src, &mut profile);
+        let _ = write!(out, "{}", format_report(&diags, &name, args.format));
+        if !diags.is_empty() {
+            code = code.max(EXIT_MESSAGES);
+        }
+    }
+    let _ = write!(err, "{}", profile.render());
+    code
+}
+
+/// Greedy word wrap for catalog documentation paragraphs.
+fn wrap(text: &str, width: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut line = String::new();
+    for word in text.split_whitespace() {
+        if !line.is_empty() && line.len() + 1 + word.len() > width {
+            lines.push(std::mem::take(&mut line));
+        }
+        if !line.is_empty() {
+            line.push(' ');
+        }
+        line.push_str(word);
+    }
+    if !line.is_empty() {
+        lines.push(line);
+    }
+    lines
 }
 
 #[cfg(test)]
@@ -737,6 +1011,134 @@ mod tests {
         let (code, _, err) = run_args(&["-noglobals", "-fix", dir.to_str().unwrap()]);
         assert_eq!(code, EXIT_ERROR);
         assert!(err.contains("poacher -fix"), "{err}");
+    }
+
+    #[test]
+    fn explain_built_in() {
+        let (code, out, _) = run_args(&["-noglobals", "-explain", "img-alt"]);
+        assert_eq!(code, EXIT_CLEAN);
+        assert!(out.contains("img-alt"), "{out}");
+        assert!(out.contains("applies to: start-tag"), "{out}");
+        assert!(out.contains("example:"), "{out}");
+        let (code2, out2, _) = run_args(&["-noglobals", "why", "img-alt"]);
+        assert_eq!(code2, EXIT_CLEAN);
+        assert_eq!(out, out2, "why is a spelling of -explain");
+    }
+
+    #[test]
+    fn explain_unknown_suggests_nearest() {
+        let (code, out, err) = run_args(&["-noglobals", "-explain", "img-atl"]);
+        assert_eq!(code, EXIT_ERROR);
+        assert!(out.is_empty());
+        assert!(err.contains("img-atl"), "{err}");
+        assert!(err.contains("did you mean `img-alt'"), "{err}");
+    }
+
+    #[test]
+    fn explain_custom_rule() {
+        let rc = write_temp(
+            "explain.rc",
+            "[rules]\nbtn-class warning element=button !attr=class \"button needs a class\"\n",
+        );
+        let (code, out, _) = run_args(&[
+            "-noglobals",
+            "-f",
+            rc.to_str().unwrap(),
+            "-explain",
+            "btn-class",
+        ]);
+        assert_eq!(code, EXIT_CLEAN);
+        assert!(out.contains("custom rule"), "{out}");
+        assert!(out.contains("element=button"), "{out}");
+        assert!(out.contains("button needs a class"), "{out}");
+    }
+
+    #[test]
+    fn ids_lists_every_identifier() {
+        let (code, out, _) = run_args(&["-noglobals", "-ids"]);
+        assert_eq!(code, EXIT_CLEAN);
+        let ids: Vec<&str> = out.lines().collect();
+        assert_eq!(ids.len(), 55);
+        assert!(ids.contains(&"img-alt"));
+        assert!(ids.contains(&"xml-self-close"));
+    }
+
+    #[test]
+    fn list_dumps_registry_with_custom_rules() {
+        let rc = write_temp(
+            "list.rc",
+            "[rules]\nlist-rule style element=marquee \"no marquee\"\n",
+        );
+        let (code, out, _) = run_args(&["-noglobals", "-f", rc.to_str().unwrap(), "-list"]);
+        assert_eq!(code, EXIT_CLEAN);
+        assert!(
+            out.contains("55 built-in message(s), 1 custom rule(s)"),
+            "{out}"
+        );
+        assert!(out.contains("list-rule"), "{out}");
+        assert!(out.contains("no marquee"), "{out}");
+        assert!(out.contains("start-tag"), "{out}");
+    }
+
+    #[test]
+    fn profile_prints_cost_table_to_stderr() {
+        let bad = write_temp("prof.html", "<H1>x</H2>");
+        let (code, out, err) = run_args(&["-noglobals", "-profile", bad.to_str().unwrap()]);
+        assert_eq!(code, EXIT_MESSAGES);
+        assert!(err.contains("per-rule cost"), "{err}");
+        assert!(err.contains("heading-mismatch"), "{err}");
+        assert!(err.contains("(engine)"), "{err}");
+        // stdout is byte-identical to an unprofiled run.
+        let (_, plain, _) = run_args(&["-noglobals", bad.to_str().unwrap()]);
+        assert_eq!(out, plain);
+    }
+
+    #[test]
+    fn unknown_id_in_config_warns_but_lints() {
+        let rc = write_temp("warny.rc", "disable no-such-check\n");
+        let bad = write_temp("warny.html", "<H1>x</H2>");
+        let (code, out, err) = run_args(&[
+            "-noglobals",
+            "-f",
+            rc.to_str().unwrap(),
+            bad.to_str().unwrap(),
+        ]);
+        assert_eq!(code, EXIT_MESSAGES, "warnings never change the exit code");
+        assert!(out.contains("malformed heading"), "{out}");
+        assert!(err.contains("warning:"), "{err}");
+        assert!(err.contains("no-such-check"), "{err}");
+    }
+
+    #[test]
+    fn unknown_id_in_pragma_warns_but_lints() {
+        let page = write_temp(
+            "warnp.html",
+            "<!-- weblint: disable no-such-check -->\n<H1>x</H2>\n",
+        );
+        let (code, _, err) = run_args(&["-noglobals", page.to_str().unwrap()]);
+        assert_eq!(code, EXIT_MESSAGES);
+        assert!(err.contains("pragma"), "{err}");
+        assert!(err.contains("no-such-check"), "{err}");
+    }
+
+    #[test]
+    fn custom_rule_fires_from_config_file() {
+        let rc = write_temp(
+            "fire.rc",
+            "[rules]\nbtn-needs-class warning element=button !attr=class \
+             \"every button needs a class\"\n",
+        );
+        let page = write_temp("fire.html", "<BUTTON>x</BUTTON>\n");
+        let (code, out, _) = run_args(&[
+            "-noglobals",
+            "-f",
+            rc.to_str().unwrap(),
+            "-t",
+            page.to_str().unwrap(),
+        ]);
+        assert_eq!(code, EXIT_MESSAGES);
+        assert!(out.contains(":btn-needs-class:"), "{out}");
+        assert!(out.contains("every button needs a class"), "{out}");
     }
 
     #[test]

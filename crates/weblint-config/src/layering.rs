@@ -5,7 +5,7 @@ use std::path::{Path, PathBuf};
 
 use weblint_core::LintConfig;
 
-use crate::directive::{apply_config_text, apply_directive, ConfigError, Directive};
+use crate::directive::{apply_config_text, apply_directive, ConfigError, ConfigWarning, Directive};
 
 /// Where the layers come from for one weblint run.
 ///
@@ -24,29 +24,38 @@ pub struct Layering {
 
 impl Layering {
     /// Resolve the layers into a configuration, starting from defaults.
-    pub fn resolve(&self) -> Result<LintConfig, ConfigError> {
+    /// Non-fatal problems (unknown check ids) come back as warnings, each
+    /// naming the file it came from.
+    pub fn resolve(&self) -> Result<(LintConfig, Vec<ConfigWarning>), ConfigError> {
         let mut config = LintConfig::default();
+        let mut warnings = Vec::new();
         if let Some(site) = &self.site_file {
-            load_config_file(site, &mut config)?;
+            warnings.extend(load_config_file(site, &mut config)?);
         }
         if let Some(user) = &self.user_file {
-            load_config_file(user, &mut config)?;
+            warnings.extend(load_config_file(user, &mut config)?);
         }
         for directive in &self.overrides {
-            apply_directive(directive, &mut config)?;
+            if let Some(w) = apply_directive(directive, &mut config)? {
+                warnings.push(w);
+            }
         }
-        Ok(config)
+        Ok((config, warnings))
     }
 }
 
-/// Read one configuration file and apply it onto `config`.
+/// Read one configuration file and apply it onto `config`, returning the
+/// non-fatal warnings (prefixed with the file's path).
 ///
 /// A missing user file is not an error — weblint runs fine without a
 /// `.weblintrc` — but an unreadable or malformed file is.
-pub fn load_config_file(path: &Path, config: &mut LintConfig) -> Result<(), ConfigError> {
+pub fn load_config_file(
+    path: &Path,
+    config: &mut LintConfig,
+) -> Result<Vec<ConfigWarning>, ConfigError> {
     let text = match fs::read_to_string(path) {
         Ok(t) => t,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
         Err(e) => {
             return Err(ConfigError {
                 line: 0,
@@ -54,10 +63,14 @@ pub fn load_config_file(path: &Path, config: &mut LintConfig) -> Result<(), Conf
             })
         }
     };
-    apply_config_text(&text, config).map_err(|mut e| {
+    let mut warnings = apply_config_text(&text, config).map_err(|mut e| {
         e.message = format!("{}: {}", path.display(), e.message);
         e
-    })
+    })?;
+    for w in &mut warnings {
+        w.message = format!("{}: {}", path.display(), w.message);
+    }
+    Ok(warnings)
 }
 
 /// Convenience: resolve a full layered configuration in one call.
@@ -65,7 +78,7 @@ pub fn load_layered(
     site_file: Option<&Path>,
     user_file: Option<&Path>,
     overrides: &[Directive],
-) -> Result<LintConfig, ConfigError> {
+) -> Result<(LintConfig, Vec<ConfigWarning>), ConfigError> {
     Layering {
         site_file: site_file.map(Path::to_path_buf),
         user_file: user_file.map(Path::to_path_buf),
@@ -90,20 +103,21 @@ mod tests {
 
     #[test]
     fn missing_files_are_fine() {
-        let config = load_layered(
+        let (config, warnings) = load_layered(
             Some(Path::new("/no/such/site.rc")),
             Some(Path::new("/no/such/user.rc")),
             &[],
         )
         .unwrap();
         assert_eq!(config.enabled_count(), 42);
+        assert_eq!(warnings, vec![]);
     }
 
     #[test]
     fn user_overrides_site() {
         let site = temp_file("site.rc", "disable img-alt\ndisable here-anchor\n");
         let user = temp_file("user.rc", "enable img-alt\n");
-        let config = load_layered(Some(&site), Some(&user), &[]).unwrap();
+        let (config, _) = load_layered(Some(&site), Some(&user), &[]).unwrap();
         assert!(config.is_enabled("img-alt"));
         assert!(!config.is_enabled("here-anchor"));
     }
@@ -116,9 +130,31 @@ mod tests {
             Directive::Enable("img-alt".into()),
             Directive::Enable("here-anchor".into()),
         ];
-        let config = load_layered(Some(&site), Some(&user), &overrides).unwrap();
+        let (config, _) = load_layered(Some(&site), Some(&user), &overrides).unwrap();
         assert!(config.is_enabled("img-alt"));
         assert!(config.is_enabled("here-anchor"));
+    }
+
+    #[test]
+    fn unknown_ids_warn_with_file_name() {
+        let site = temp_file("stale.rc", "disable no-such-check\ndisable img-alt\n");
+        let (config, warnings) = load_layered(Some(&site), None, &[]).unwrap();
+        assert!(!config.is_enabled("img-alt"));
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].message.contains("stale.rc"), "{:?}", warnings);
+        assert!(warnings[0].message.contains("no-such-check"));
+    }
+
+    #[test]
+    fn rules_survive_layering() {
+        let site = temp_file(
+            "rules.rc",
+            "[rules]\nsite-rule warning element=marquee \"no marquee\"\n",
+        );
+        let (config, warnings) = load_layered(Some(&site), None, &[]).unwrap();
+        assert_eq!(warnings, vec![]);
+        assert_eq!(config.custom_rules.len(), 1);
+        assert!(config.is_enabled("site-rule"));
     }
 
     #[test]

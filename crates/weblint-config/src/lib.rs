@@ -44,6 +44,9 @@ mod directive;
 mod layering;
 mod pragma;
 
-pub use directive::{apply_config_text, apply_directive, parse_config, ConfigError, Directive};
+pub use directive::{
+    apply_config_text, apply_directive, parse_config, parse_numbered, ConfigError, ConfigWarning,
+    Directive,
+};
 pub use layering::{load_config_file, load_layered, Layering};
 pub use pragma::{apply_pragmas, extract_pragmas};

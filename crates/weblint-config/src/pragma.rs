@@ -17,7 +17,7 @@
 use weblint_core::LintConfig;
 use weblint_tokenizer::{TokenKind, Tokenizer};
 
-use crate::directive::{apply_directive, parse_config, ConfigError, Directive};
+use crate::directive::{apply_directive, parse_config, ConfigError, ConfigWarning, Directive};
 
 /// The marker that introduces a weblint pragma comment.
 const PRAGMA_PREFIX: &str = "weblint:";
@@ -58,13 +58,22 @@ pub fn extract_pragmas(src: &str) -> Result<Vec<Directive>, ConfigError> {
 }
 
 /// Apply every pragma in `src` onto `config`, returning how many directives
-/// were applied.
-pub fn apply_pragmas(src: &str, config: &mut LintConfig) -> Result<usize, ConfigError> {
+/// were applied plus the non-fatal warnings (unknown check ids are skipped
+/// with a warning, not an error — a page pragma naming a check this weblint
+/// does not have should not kill the page's lint run).
+pub fn apply_pragmas(
+    src: &str,
+    config: &mut LintConfig,
+) -> Result<(usize, Vec<ConfigWarning>), ConfigError> {
     let directives = extract_pragmas(src)?;
+    let mut warnings = Vec::new();
     for d in &directives {
-        apply_directive(d, config)?;
+        if let Some(mut w) = apply_directive(d, config)? {
+            w.message = format!("in weblint pragma comment: {}", w.message);
+            warnings.push(w);
+        }
     }
-    Ok(directives.len())
+    Ok((directives.len(), warnings))
 }
 
 #[cfg(test)]
@@ -95,8 +104,9 @@ mod tests {
     #[test]
     fn applies_to_config() {
         let mut c = LintConfig::default();
-        let n = apply_pragmas("<!-- weblint: disable img-alt -->", &mut c).unwrap();
+        let (n, warnings) = apply_pragmas("<!-- weblint: disable img-alt -->", &mut c).unwrap();
         assert_eq!(n, 1);
+        assert_eq!(warnings, vec![]);
         assert!(!c.is_enabled("img-alt"));
     }
 
@@ -119,8 +129,22 @@ mod tests {
     }
 
     #[test]
-    fn unknown_id_in_pragma_is_an_error() {
+    fn unknown_id_in_pragma_warns() {
         let mut c = LintConfig::default();
-        assert!(apply_pragmas("<!-- weblint: enable nonsense-check -->", &mut c).is_err());
+        let (n, warnings) =
+            apply_pragmas("<!-- weblint: enable nonsense-check -->", &mut c).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].message.contains("pragma"), "{:?}", warnings);
+        assert!(warnings[0].message.contains("nonsense-check"));
+    }
+
+    #[test]
+    fn pragma_disables_custom_rule() {
+        let mut c = LintConfig::default();
+        crate::apply_config_text("[rules]\nmy-rule warning element=b \"m\"\n", &mut c).unwrap();
+        let (_, warnings) = apply_pragmas("<!-- weblint: disable my-rule -->", &mut c).unwrap();
+        assert_eq!(warnings, vec![]);
+        assert!(!c.is_enabled("my-rule"));
     }
 }

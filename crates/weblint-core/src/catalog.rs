@@ -1,157 +1,26 @@
-//! The message catalog.
+//! The message catalog — now a thin view over the check registry.
 //!
 //! "Weblint 1.020 supports 50 different output messages, 42 of which are
 //! enabled by default" (§4.3). This reconstruction defines 55 messages and
-//! keeps the default-enabled count at exactly 42. Messages that are
-//! "esoteric or overly pedantic" are disabled by default, as the paper
-//! prescribes.
+//! keeps the default-enabled count at exactly 42. The authoritative table
+//! is [`weblint_rules::REGISTRY`]; this module preserves the original
+//! catalog API (`CATALOG`, [`check_def`], [`ids_in_category`]) for every
+//! existing caller, with each entry now carrying applicability,
+//! fix-capability and documentation as data.
 
 use crate::message::Category;
 
-/// One entry in the catalog.
-#[derive(Debug, Clone, Copy)]
-pub struct CheckDef {
-    /// The stable identifier used by `enable`/`disable` configuration.
-    pub id: &'static str,
-    /// Error, warning, or style.
-    pub category: Category,
-    /// Enabled without any configuration?
-    pub default_enabled: bool,
-    /// One-line description, shown by `weblint -todo`-style listings.
-    pub summary: &'static str,
-}
-
-use Category::{Error, Style, Warning};
-
-macro_rules! checks {
-    ($(($id:literal, $cat:ident, $on:literal, $summary:literal),)*) => {
-        &[$(CheckDef {
-            id: $id,
-            category: $cat,
-            default_enabled: $on,
-            summary: $summary,
-        },)*]
-    };
-}
+/// One entry in the catalog. An alias of the registry's descriptor: the
+/// historical fields (`id`, `category`, `default_enabled`, `summary`) are
+/// unchanged, and `applies`, `fixable`, `doc` and `example` ride along.
+pub use weblint_rules::CheckDescriptor as CheckDef;
 
 /// Every message weblint can produce, sorted by identifier.
-pub static CATALOG: &[CheckDef] =
-    checks![
-    ("attribute-delimiter", Warning, true,
-     "attribute value delimited with single quotes, which not all browsers handle"),
-    ("attribute-value", Error, true,
-     "illegal value for an attribute (e.g. BGCOLOR=\"fffff\")"),
-    ("bad-link", Error, true,
-     "hyperlink target does not exist (site mode)"),
-    ("bad-text-context", Warning, false,
-     "text appears directly inside an element that should only hold structure (e.g. UL, TABLE)"),
-    ("body-no-head", Warning, true,
-     "<BODY> seen with no <HEAD> element before it"),
-    ("closing-attribute", Error, true,
-     "end tag carries attributes"),
-    ("comment-dashes", Warning, false,
-     "comment contains interior --, ill-formed under strict SGML rules"),
-    ("container-whitespace", Style, false,
-     "leading or trailing whitespace inside a container like <A>"),
-    ("deprecated-attribute", Warning, false,
-     "attribute is deprecated in the checked HTML version"),
-    ("directory-index", Warning, true,
-     "directory has no index file (site mode, -R)"),
-    ("doctype-version", Warning, false,
-     "DOCTYPE does not match the HTML version being checked against"),
-    ("duplicate-attribute", Error, true,
-     "the same attribute appears twice in one tag"),
-    ("element-overlap", Error, true,
-     "elements overlap instead of nesting (e.g. <B><A>..</B>..</A>)"),
-    ("empty-container", Warning, true,
-     "container element with no content (e.g. <TITLE></TITLE>)"),
-    ("extension-attribute", Warning, true,
-     "attribute only exists as a vendor extension which is not enabled"),
-    ("extension-markup", Warning, true,
-     "element only exists as a vendor extension which is not enabled"),
-    ("head-element", Error, true,
-     "element that belongs in <HEAD> used in the document body"),
-    ("heading-in-anchor", Style, false,
-     "heading inside an anchor; put the anchor inside the heading instead"),
-    ("heading-mismatch", Error, true,
-     "malformed heading: open tag level differs from close (e.g. <H1>..</H2>)"),
-    ("heading-order", Style, true,
-     "heading levels should not be skipped (e.g. <H3> directly after <H1>)"),
-    ("here-anchor", Style, true,
-     "content-free anchor text like \"here\" or \"click here\""),
-    ("html-outer", Warning, true,
-     "outer element of the document should be <HTML>"),
-    ("img-alt", Warning, true,
-     "IMG element without an ALT attribute"),
-    ("img-size", Warning, false,
-     "IMG element without WIDTH and HEIGHT attributes"),
-    ("leading-whitespace", Warning, true,
-     "whitespace between </ and the element name"),
-    ("literal-metacharacter", Warning, true,
-     "literal < or > in text should be &lt; or &gt;"),
-    ("lower-case", Style, false,
-     "element and attribute names should be lower case"),
-    ("mailto-link", Style, false,
-     "use of a mailto: hyperlink"),
-    ("markup-in-comment", Warning, true,
-     "markup embedded in a comment can confuse some browsers"),
-    ("missing-attribute-value", Error, true,
-     "attribute with = but no value"),
-    ("must-follow-head", Warning, true,
-     "content between </HEAD> and <BODY>"),
-    ("nested-element", Error, true,
-     "element that may not nest inside itself (e.g. <A> inside <A>)"),
-    ("obsolete-element", Warning, true,
-     "obsolete or deprecated element (e.g. <LISTING>; use <PRE>)"),
-    ("odd-quotes", Error, true,
-     "odd number of quotes in a tag"),
-    ("once-only", Error, true,
-     "element that may appear only once appears again (e.g. a second <TITLE>)"),
-    ("orphan-page", Warning, true,
-     "page not referred to by any other page (site mode, -R)"),
-    ("physical-font", Style, false,
-     "physical font markup used; logical markup conveys intent (e.g. <B> vs <STRONG>)"),
-    ("quote-attribute-value", Warning, true,
-     "attribute value should be quoted"),
-    ("require-doctype", Warning, true,
-     "first element is not a DOCTYPE specification"),
-    ("require-head", Warning, true,
-     "document has no HEAD element"),
-    ("require-title", Warning, true,
-     "document has no TITLE element"),
-    ("required-attribute", Error, true,
-     "a required attribute is missing (e.g. ROWS and COLS on TEXTAREA)"),
-    ("required-context", Error, true,
-     "element used outside its required context (e.g. <LI> outside a list)"),
-    ("title-length", Style, false,
-     "TITLE text longer than 64 characters"),
-    ("unclosed-comment", Error, true,
-     "comment never closed with -->"),
-    ("unclosed-element", Error, true,
-     "no closing tag seen for a container that requires one"),
-    ("unexpected-close", Error, true,
-     "close tag with no matching open tag"),
-    ("unknown-attribute", Error, true,
-     "attribute not defined for this element in any known HTML version"),
-    ("unknown-element", Error, true,
-     "element not defined in any known HTML version (probably a typo)"),
-    ("unknown-entity", Error, true,
-     "entity reference not defined in the checked HTML version"),
-    ("unterminated-entity", Warning, true,
-     "entity reference without the closing ;"),
-    ("unterminated-tag", Error, true,
-     "tag never closed with > before the next tag or end of file"),
-    ("upper-case", Style, false,
-     "element and attribute names should be upper case"),
-    ("version-markup", Warning, true,
-     "element defined in a different HTML version than the one being checked"),
-    ("xml-self-close", Warning, false,
-     "XML-style /> self-close is not HTML"),
-];
+pub use weblint_rules::REGISTRY as CATALOG;
 
 /// Look up a catalog entry by identifier.
 pub fn check_def(id: &str) -> Option<&'static CheckDef> {
-    CATALOG.iter().find(|c| c.id == id)
+    weblint_rules::descriptor(id)
 }
 
 /// Identifiers of every message in `category`.

@@ -1,6 +1,7 @@
 //! End-tag handling: stack popping, overlap resolution via the secondary
 //! stack, and the checks that run when an element closes.
 
+use weblint_rules::Rule;
 use weblint_tokenizer::{Span, Tag};
 
 use crate::fix::{Edit, Fix};
@@ -24,7 +25,7 @@ impl Checker<'_> {
         self.check_first_tag(tag.name, span);
         if tag.name.is_empty() {
             self.emit_fix(
-                "unexpected-close",
+                Rule::UnexpectedClose,
                 span,
                 span,
                 "empty end tag `</>'".to_string(),
@@ -36,7 +37,7 @@ impl Checker<'_> {
         if tag.space_before_name {
             let (name_start, _) = src_range(self.src, tag.name);
             self.emit_fix(
-                "leading-whitespace",
+                Rule::LeadingWhitespace,
                 span,
                 span,
                 format!(
@@ -59,7 +60,7 @@ impl Checker<'_> {
             let unterminated = tag.unterminated;
             let src = self.src;
             self.emit_fix(
-                "closing-attribute",
+                Rule::ClosingAttribute,
                 span,
                 span,
                 format!("end tag </{}> should not have attributes", tag.name),
@@ -84,7 +85,7 @@ impl Checker<'_> {
         if let Some(def) = id.atom().and_then(|atom| self.spec.element_any_atom(atom)) {
             if def.is_empty_element() {
                 self.emit_fix(
-                    "unexpected-close",
+                    Rule::UnexpectedClose,
                     span,
                     span,
                     format!(
@@ -119,7 +120,7 @@ impl Checker<'_> {
                 self.close_bookkeeping(&open, span);
             } else if self.config.heuristics && open.is_inline() {
                 self.emit(
-                    "element-overlap",
+                    Rule::ElementOverlap,
                     span,
                     format!(
                         "</{close}> on line {close_line} seems to overlap <{open}>, \
@@ -136,7 +137,7 @@ impl Checker<'_> {
             } else {
                 let src = self.src;
                 self.emit_fix(
-                    "unclosed-element",
+                    Rule::UnclosedElement,
                     span,
                     open.name_span,
                     format!(
@@ -215,7 +216,7 @@ impl Checker<'_> {
                     let (close_start, close_len) = src_range(self.src, tag.name);
                     let src = self.src;
                     self.emit_fix(
-                        "heading-mismatch",
+                        Rule::HeadingMismatch,
                         span,
                         span,
                         format!(
@@ -245,7 +246,7 @@ impl Checker<'_> {
             }
         }
         self.emit_fix(
-            "unexpected-close",
+            Rule::UnexpectedClose,
             span,
             span,
             format!("unmatched </{orig}> (no <{orig}> seen)", orig = tag.name),
@@ -259,7 +260,7 @@ impl Checker<'_> {
         let warn_if_empty = open.def.map(|d| d.warn_if_empty).unwrap_or(false);
         if warn_if_empty && !open.has_content {
             self.emit(
-                "empty-container",
+                Rule::EmptyContainer,
                 span,
                 format!("empty container element <{}>", open.orig(self.src)),
             );
@@ -271,7 +272,9 @@ impl Checker<'_> {
                 // Take the buffer out to check it, then put it back so its
                 // capacity carries over to the next anchor and document.
                 let text = std::mem::take(&mut self.scratch.anchor_buf);
+                let t0 = self.prof_start();
                 self.check_anchor_text(&text, span);
+                self.prof_end(Rule::HereAnchor, t0);
                 self.scratch.anchor_buf = text;
                 self.scratch.anchor_buf.clear();
             }
@@ -281,7 +284,7 @@ impl Checker<'_> {
                 let len = self.scratch.title_buf.trim().chars().count();
                 if len > self.config.max_title_length {
                     self.emit(
-                        "title-length",
+                        Rule::TitleLength,
                         span,
                         format!(
                             "TITLE text is {len} characters long - keep it under {}",
@@ -306,7 +309,7 @@ impl Checker<'_> {
             .any(|t| t.as_str() == lc)
         {
             self.emit(
-                "here-anchor",
+                Rule::HereAnchor,
                 span,
                 format!("anchor text `{trimmed}' is content-free - describe the link target"),
             );
@@ -315,7 +318,7 @@ impl Checker<'_> {
             && (text.starts_with(char::is_whitespace) || text.ends_with(char::is_whitespace))
         {
             self.emit(
-                "container-whitespace",
+                Rule::ContainerWhitespace,
                 span,
                 "whitespace at beginning or end of anchor text".to_string(),
             );

@@ -25,10 +25,14 @@ mod text;
 pub(crate) use open::Open;
 pub(crate) use scratch::Scratch;
 
+use std::time::Instant;
+
 use weblint_html::HtmlSpec;
+use weblint_rules::pattern::PatternRule;
+use weblint_rules::profile::Profile;
+use weblint_rules::{applies, kind_mask, Rule};
 use weblint_tokenizer::{Pos, Span, Token, TokenKind, Tokenizer};
 
-use crate::catalog::check_def;
 use crate::fix::{Edit, Fix};
 use crate::message::Diagnostic;
 use crate::options::LintConfig;
@@ -62,6 +66,28 @@ pub(crate) fn check_with(
     checker.finish()
 }
 
+/// [`check_with`], filling `profile` with per-rule hit and wall-time
+/// counters plus the document's total engine time.
+pub(crate) fn check_profiled(
+    spec: &HtmlSpec,
+    config: &LintConfig,
+    src: &str,
+    scratch: &mut Scratch,
+    profile: &mut Profile,
+) -> Vec<Diagnostic> {
+    scratch.reset();
+    let t0 = Instant::now();
+    let mut checker = Checker::new(spec, config, src, scratch);
+    checker.profile = Some(profile);
+    for token in Tokenizer::new(src) {
+        checker.on_token(&token);
+    }
+    let diags = checker.finish();
+    profile.total_nanos += t0.elapsed().as_nanos() as u64;
+    profile.documents += 1;
+    diags
+}
+
 /// Engine state for one document.
 pub(crate) struct Checker<'a> {
     pub(crate) spec: &'a HtmlSpec,
@@ -79,6 +105,17 @@ pub(crate) struct Checker<'a> {
     pub(crate) last_heading: Option<u8>,
     /// Position of the end of input, maintained as tokens stream past.
     pub(crate) end_pos: Pos,
+    /// Bitmask of enabled registry rules (bit position = `Rule as u16`),
+    /// computed once per document so every emission gates on a single AND.
+    pub(crate) mask: u64,
+    /// Enabled custom pattern rules, interpreted against each start tag
+    /// after the built-in checks.
+    pub(crate) custom: Vec<&'a PatternRule>,
+    /// Per-rule cost counters, present only when profiling was requested.
+    pub(crate) profile: Option<&'a mut Profile>,
+    /// Whether any enabled rule inspects comments. The comment handler is
+    /// pure emissions, so it can be skipped wholesale when this is false.
+    check_comments: bool,
 }
 
 impl<'a> Checker<'a> {
@@ -88,6 +125,14 @@ impl<'a> Checker<'a> {
         src: &'a str,
         scratch: &'a mut Scratch,
     ) -> Checker<'a> {
+        let mask = config.rule_mask();
+        // An empty iterator collects without allocating, so documents
+        // linted under a rule-free config pay nothing here.
+        let custom: Vec<&'a PatternRule> = config
+            .custom_rules
+            .iter()
+            .filter(|r| config.is_enabled(r.id))
+            .collect();
         Checker {
             spec,
             config,
@@ -101,6 +146,10 @@ impl<'a> Checker<'a> {
             after_head: false,
             last_heading: None,
             end_pos: Pos::START,
+            mask,
+            custom,
+            profile: None,
+            check_comments: mask & kind_mask(applies::COMMENT) != 0,
         }
     }
 
@@ -110,7 +159,11 @@ impl<'a> Checker<'a> {
             TokenKind::StartTag(tag) => self.on_start_tag(tag, token.span),
             TokenKind::EndTag(tag) => self.on_end_tag(tag, token.span),
             TokenKind::Text(t) => self.on_text(t, token.span),
-            TokenKind::Comment(c) => self.on_comment(c, token.span),
+            TokenKind::Comment(c) => {
+                if self.check_comments {
+                    self.on_comment(c, token.span)
+                }
+            }
             TokenKind::Doctype(d) => self.on_doctype(d, token.span),
             // Other markup declarations and PIs are passed through silently:
             // weblint checks HTML, not SGML prologues.
@@ -118,18 +171,17 @@ impl<'a> Checker<'a> {
         }
     }
 
-    /// Emit a diagnostic if its check is enabled.
-    pub(crate) fn emit(&mut self, id: &'static str, span: Span, message: String) {
-        if !self.config.is_enabled(id) {
+    /// Emit a diagnostic if its rule is enabled.
+    pub(crate) fn emit(&mut self, rule: Rule, span: Span, message: String) {
+        if self.mask & rule.bit() == 0 {
             return;
         }
-        let def = check_def(id).unwrap_or_else(|| {
-            // A check id not in the catalog is a programming error in this
-            // crate, caught by the catalog tests.
-            unreachable!("emit() called with unknown id {id}")
-        });
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.hit(rule);
+        }
+        let def = rule.descriptor();
         self.diags
-            .push(Diagnostic::at(id, def.category, span, message));
+            .push(Diagnostic::at(def.id, def.category, span, message));
     }
 
     /// Emit a diagnostic that has a mechanical repair.
@@ -144,18 +196,20 @@ impl<'a> Checker<'a> {
     /// repairable (mangled quoting, out-of-range offsets).
     pub(crate) fn emit_fix(
         &mut self,
-        id: &'static str,
+        rule: Rule,
         span: Span,
         fix_span: Span,
         message: String,
         build: impl FnOnce() -> Option<Fix>,
     ) {
-        if !self.config.is_enabled(id) {
+        if self.mask & rule.bit() == 0 {
             return;
         }
-        let def =
-            check_def(id).unwrap_or_else(|| unreachable!("emit_fix() called with unknown id {id}"));
-        let mut diag = Diagnostic::at(id, def.category, span, message);
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.hit(rule);
+        }
+        let def = rule.descriptor();
+        let mut diag = Diagnostic::at(def.id, def.category, span, message);
         diag.span = fix_span;
         if self.config.emit_fixes {
             if let Some(fix) = build() {
@@ -163,16 +217,35 @@ impl<'a> Checker<'a> {
                 // also carry the full span of what it repairs.
                 debug_assert!(
                     !fix_span.is_empty(),
-                    "fixable diagnostic `{id}` has an empty span"
+                    "fixable diagnostic `{}` has an empty span",
+                    def.id
                 );
                 debug_assert!(
                     fix.is_well_formed() && !fix.edits.is_empty(),
-                    "fix for `{id}` is malformed: {fix:?}"
+                    "fix for `{}` is malformed: {fix:?}",
+                    def.id
                 );
                 diag.fix = Some(Box::new(fix));
             }
         }
         self.diags.push(diag);
+    }
+
+    /// Open a profiling bracket: `Some(now)` only when profiling, so the
+    /// unprofiled hot path pays a single branch.
+    #[inline]
+    pub(crate) fn prof_start(&self) -> Option<Instant> {
+        self.profile.as_ref().map(|_| Instant::now())
+    }
+
+    /// Close a profiling bracket opened by [`Checker::prof_start`],
+    /// attributing the elapsed time to `rule`. Brackets cover whole check
+    /// sections; `rule` is the section's face (see DESIGN.md §26).
+    #[inline]
+    pub(crate) fn prof_end(&mut self, rule: Rule, t0: Option<Instant>) {
+        if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
+            p.add_time(rule, t0.elapsed());
+        }
     }
 
     /// Whether a `<HEAD>` element is currently open.
@@ -192,7 +265,7 @@ impl<'a> Checker<'a> {
             if !silent {
                 let src = self.src;
                 self.emit_fix(
-                    "unclosed-element",
+                    Rule::UnclosedElement,
                     eof,
                     open.name_span,
                     format!(
@@ -216,14 +289,14 @@ impl<'a> Checker<'a> {
         if self.first_tag_checked && !self.config.fragment {
             if !self.head_seen {
                 self.emit(
-                    "require-head",
+                    Rule::RequireHead,
                     eof,
                     "document should contain a HEAD element".to_string(),
                 );
             }
             if self.scratch.seen_line(known().title) == 0 {
                 self.emit(
-                    "require-title",
+                    Rule::RequireTitle,
                     eof,
                     "no <TITLE> in HEAD element".to_string(),
                 );

@@ -1,9 +1,11 @@
 //! Start-tag handling: element checks, attribute checks, stack pushes.
 
 use weblint_html::{AttrStatus, ElementCategory, ElementDef, ElementStatus};
+use weblint_rules::Rule;
 use weblint_tokenizer::{Quote, Span, Tag};
 
 use crate::fix::{Edit, Fix};
+use crate::message::Diagnostic;
 use crate::options::{edit_distance, CaseStyle};
 
 use super::names::{heading_level, known, NameId};
@@ -16,13 +18,15 @@ const MAX_QUOTED_SRC: usize = 60;
 
 impl Checker<'_> {
     pub(crate) fn on_start_tag(&mut self, tag: &Tag<'_>, span: Span) {
+        let t0 = self.prof_start();
         self.check_first_tag(tag.name, span);
+        self.prof_end(Rule::RequireDoctype, t0);
         let id = self.scratch.names.id(tag.name);
         self.check_name_case(tag.name, span, "tag");
 
         if tag.odd_quotes {
             self.emit(
-                "odd-quotes",
+                Rule::OddQuotes,
                 span,
                 format!(
                     "odd number of quotes in element {}",
@@ -32,13 +36,15 @@ impl Checker<'_> {
         }
         if tag.unterminated {
             self.emit(
-                "unterminated-tag",
+                Rule::UnterminatedTag,
                 span,
                 format!("<{}> tag is not closed with `>'", tag.name),
             );
         }
 
+        let t0 = self.prof_start();
         let def = self.classify_element(id, tag.name, span);
+        self.prof_end(Rule::UnknownElement, t0);
 
         // A deferred rename fix: set when this element is obsolete and the
         // replacement is a plain element name, completed at close time so
@@ -47,7 +53,7 @@ impl Checker<'_> {
         if let Some(d) = def {
             if let Some(replacement) = d.deprecated {
                 self.emit(
-                    "obsolete-element",
+                    Rule::ObsoleteElement,
                     span,
                     format!("<{}> is obsolete - use {}", tag.name, replacement),
                 );
@@ -66,7 +72,7 @@ impl Checker<'_> {
             }
             if let Some(logical) = d.physical {
                 self.emit(
-                    "physical-font",
+                    Rule::PhysicalFont,
                     span,
                     format!(
                         "<{}> is physical font markup - consider logical markup (e.g. {})",
@@ -77,13 +83,23 @@ impl Checker<'_> {
             if self.config.heuristics {
                 self.apply_implied_closes(d, span);
             }
+            let t0 = self.prof_start();
             self.check_required_context(d, tag.name, span);
+            self.prof_end(Rule::RequiredContext, t0);
         }
 
+        let t0 = self.prof_start();
         self.check_nesting(id, tag.name, span);
+        self.prof_end(Rule::NestedElement, t0);
+        let t0 = self.prof_start();
         self.check_once_only(id, tag.name, span);
+        self.prof_end(Rule::OnceOnly, t0);
+        let t0 = self.prof_start();
         self.check_structure_on_open(id, span);
+        self.prof_end(Rule::MustFollowHead, t0);
+        let t0 = self.prof_start();
         self.check_heading_on_open(id, tag.name, span);
+        self.prof_end(Rule::HeadingOrder, t0);
 
         self.check_attrs_lexical(tag, span);
         if let Some(d) = def {
@@ -92,7 +108,7 @@ impl Checker<'_> {
         if tag.self_closing {
             let src = self.src;
             self.emit_fix(
-                "xml-self-close",
+                Rule::XmlSelfClose,
                 span,
                 span,
                 format!("XML-style `/>' is not HTML (<{}/>)", tag.name),
@@ -106,6 +122,12 @@ impl Checker<'_> {
                     Some(Fix::one(Edit::delete(slash, slash + 1)))
                 },
             );
+        }
+
+        // Custom pattern rules run after every built-in check, so a
+        // configuration with no rules produces byte-identical output.
+        if !self.custom.is_empty() {
+            self.check_custom_rules(tag, span);
         }
 
         // Record the element in the history.
@@ -150,7 +172,7 @@ impl Checker<'_> {
         if !self.seen_doctype {
             let public_id = self.spec.version().public_id();
             self.emit_fix(
-                "require-doctype",
+                Rule::RequireDoctype,
                 span,
                 span,
                 "first element was not DOCTYPE specification".to_string(),
@@ -166,7 +188,7 @@ impl Checker<'_> {
         }
         if !name.eq_ignore_ascii_case("html") {
             self.emit(
-                "html-outer",
+                Rule::HtmlOuter,
                 span,
                 "outer tags should be <HTML> .. </HTML>".to_string(),
             );
@@ -189,7 +211,7 @@ impl Checker<'_> {
             ElementStatus::Active(d) => Some(d),
             ElementStatus::Extension(d) => {
                 self.emit(
-                    "extension-markup",
+                    Rule::ExtensionMarkup,
                     span,
                     format!(
                         "<{}> is {} extension markup (enable with the {} extension)",
@@ -205,7 +227,7 @@ impl Checker<'_> {
                 // (emitted by the caller) instead of a version complaint.
                 if d.deprecated.is_none() {
                     self.emit(
-                        "version-markup",
+                        Rule::VersionMarkup,
                         span,
                         format!(
                             "<{}> is not defined in {}",
@@ -232,7 +254,7 @@ impl Checker<'_> {
                     }
                 };
                 if let Some(msg) = msg {
-                    self.emit("unknown-element", span, msg);
+                    self.emit(Rule::UnknownElement, span, msg);
                 }
                 None
             }
@@ -278,7 +300,7 @@ impl Checker<'_> {
         if def.category == ElementCategory::Head {
             if !self.in_head() && !self.config.fragment {
                 self.emit(
-                    "head-element",
+                    Rule::HeadElement,
                     span,
                     format!("<{}> can only appear in the HEAD element", orig),
                 );
@@ -299,7 +321,7 @@ impl Checker<'_> {
                 .collect::<Vec<_>>()
                 .join("|");
             self.emit(
-                "required-context",
+                Rule::RequiredContext,
                 span,
                 format!(
                     "illegal context for <{}> - must appear in {} element",
@@ -318,7 +340,7 @@ impl Checker<'_> {
             None => return,
         };
         self.emit(
-            "nested-element",
+            Rule::NestedElement,
             span,
             format!("<{orig}> cannot be nested - <{orig}> opened on line {line}"),
         );
@@ -336,7 +358,7 @@ impl Checker<'_> {
         let first = self.scratch.seen_line(id);
         if first != 0 {
             self.emit(
-                "once-only",
+                Rule::OnceOnly,
                 span,
                 format!(
                     "<{orig}> may only appear once per document; it first appeared on line {first}"
@@ -357,7 +379,7 @@ impl Checker<'_> {
             && id != k.noframes
         {
             self.emit(
-                "must-follow-head",
+                Rule::MustFollowHead,
                 span,
                 "<BODY> must immediately follow </HEAD>".to_string(),
             );
@@ -371,7 +393,7 @@ impl Checker<'_> {
         } else if id == k.body {
             if !self.head_seen && !self.config.fragment {
                 self.emit(
-                    "body-no-head",
+                    Rule::BodyNoHead,
                     span,
                     "<BODY> seen with no <HEAD> element before it".to_string(),
                 );
@@ -388,7 +410,7 @@ impl Checker<'_> {
         if let Some(last) = self.last_heading {
             if level > last + 1 {
                 self.emit(
-                    "heading-order",
+                    Rule::HeadingOrder,
                     span,
                     format!("bad style - <H{level}> follows <H{last}>"),
                 );
@@ -398,7 +420,7 @@ impl Checker<'_> {
         let a = known().a;
         if self.scratch.stack.iter().any(|o| o.id == a) {
             self.emit(
-                "heading-in-anchor",
+                Rule::HeadingInAnchor,
                 span,
                 format!("heading <{orig}> inside anchor - put the <A> inside the heading"),
             );
@@ -429,7 +451,7 @@ impl Checker<'_> {
                 let del_start = attr.span.start.offset;
                 let src = self.src;
                 self.emit_fix(
-                    "duplicate-attribute",
+                    Rule::DuplicateAttribute,
                     attr.span,
                     attr.span,
                     format!(
@@ -453,7 +475,7 @@ impl Checker<'_> {
             match &attr.value {
                 None if attr.has_eq => {
                     self.emit(
-                        "missing-attribute-value",
+                        Rule::MissingAttributeValue,
                         attr.span,
                         format!(
                             "attribute {} of <{}> has `=' but no value",
@@ -468,7 +490,7 @@ impl Checker<'_> {
                         let terminated = v.terminated;
                         let has_dquote = v.raw.contains('"');
                         self.emit_fix(
-                            "attribute-delimiter",
+                            Rule::AttributeDelimiter,
                             attr.span,
                             Span::new(attr.span.start, vspan.end),
                             format!(
@@ -495,7 +517,7 @@ impl Checker<'_> {
                         let vspan = v.span;
                         let has_dquote = v.raw.contains('"');
                         self.emit_fix(
-                            "quote-attribute-value",
+                            Rule::QuoteAttributeValue,
                             attr.span,
                             Span::new(attr.span.start, vspan.end),
                             format!(
@@ -541,7 +563,7 @@ impl Checker<'_> {
                 AttrStatus::Active(adef) => {
                     if adef.deprecated {
                         self.emit(
-                            "deprecated-attribute",
+                            Rule::DeprecatedAttribute,
                             attr.span,
                             format!("attribute {} of <{}> is deprecated", attr.name, tag.name),
                         );
@@ -549,7 +571,7 @@ impl Checker<'_> {
                     if let Some(v) = &attr.value {
                         if !v.raw.is_empty() && !self.spec.validate_attr_value(adef, v.raw) {
                             self.emit(
-                                "attribute-value",
+                                Rule::AttributeValue,
                                 attr.span,
                                 format!(
                                     "illegal value for {} attribute of {} ({})",
@@ -564,7 +586,7 @@ impl Checker<'_> {
                 AttrStatus::Inactive(adef) => {
                     if adef.mask & weblint_html::mask::ANYSTD == 0 {
                         self.emit(
-                            "extension-attribute",
+                            Rule::ExtensionAttribute,
                             attr.span,
                             format!(
                                 "attribute {} of <{}> is {} extension markup",
@@ -575,7 +597,7 @@ impl Checker<'_> {
                         );
                     } else {
                         self.emit(
-                            "version-markup",
+                            Rule::VersionMarkup,
                             attr.span,
                             format!(
                                 "attribute {} of <{}> is not defined in {}",
@@ -588,7 +610,7 @@ impl Checker<'_> {
                 }
                 AttrStatus::Unknown => {
                     self.emit(
-                        "unknown-attribute",
+                        Rule::UnknownAttribute,
                         attr.span,
                         format!("unknown attribute {} for element <{}>", attr.name, tag.name),
                     );
@@ -598,7 +620,7 @@ impl Checker<'_> {
         for required in def.required_attrs {
             if !tag.has_attr(required) {
                 self.emit(
-                    "required-attribute",
+                    Rule::RequiredAttribute,
                     span,
                     format!(
                         "<{}> requires the {} attribute",
@@ -613,7 +635,7 @@ impl Checker<'_> {
                 let broken = tag.unterminated || tag.odd_quotes || tag.self_closing;
                 let src = self.src;
                 self.emit_fix(
-                    "img-alt",
+                    Rule::ImgAlt,
                     span,
                     span,
                     "IMG element has no ALT attribute - ALT text helps non-graphical browsing"
@@ -635,7 +657,7 @@ impl Checker<'_> {
             }
             if !tag.has_attr("width") || !tag.has_attr("height") {
                 self.emit(
-                    "img-size",
+                    Rule::ImgSize,
                     span,
                     "IMG element lacks WIDTH and HEIGHT attributes, which help browsers \
                      lay out the page sooner"
@@ -648,7 +670,7 @@ impl Checker<'_> {
                 let value = href.value_raw().as_bytes();
                 if value.len() >= 7 && value[..7].eq_ignore_ascii_case(b"mailto:") {
                     self.emit(
-                        "mailto-link",
+                        Rule::MailtoLink,
                         span,
                         "A HREF uses a mailto: link".to_string(),
                     );
@@ -665,15 +687,15 @@ impl Checker<'_> {
         let (check, to_case): (_, fn(&str) -> String) = match self.config.case_style() {
             CaseStyle::Any => return,
             CaseStyle::Upper if name.bytes().any(|b| b.is_ascii_lowercase()) => {
-                ("upper-case", str::to_ascii_uppercase)
+                (Rule::UpperCase, str::to_ascii_uppercase)
             }
             CaseStyle::Lower if name.bytes().any(|b| b.is_ascii_uppercase()) => {
-                ("lower-case", str::to_ascii_lowercase)
+                (Rule::LowerCase, str::to_ascii_lowercase)
             }
             _ => return,
         };
         let (start, len) = src_range(self.src, name);
-        let direction = if check == "upper-case" {
+        let direction = if check == Rule::UpperCase {
             "upper"
         } else {
             "lower"
@@ -695,6 +717,64 @@ impl Checker<'_> {
                 )))
             },
         );
+    }
+
+    /// Interpret the enabled custom pattern rules against this start tag.
+    ///
+    /// Each rule is a conjunction of predicates — element name, required
+    /// attributes (optionally value-matched), forbidden attributes — and a
+    /// message template. Matches bypass [`Checker::emit`]: custom ids are
+    /// not registry rules, so their diagnostics are built directly.
+    fn check_custom_rules(&mut self, tag: &Tag<'_>, span: Span) {
+        for i in 0..self.custom.len() {
+            // Copy the reference out so pushing diagnostics below does not
+            // alias the borrow of `self.custom`.
+            let rule = self.custom[i];
+            let t0 = self.prof_start();
+            let mut fired = false;
+            if rule.element_matches(tag.name) {
+                let mut ok = true;
+                // The first required attribute's value feeds `{value}`.
+                let mut value: Option<&str> = None;
+                for pred in &rule.require {
+                    match tag.attr(&pred.name) {
+                        Some(attr) => {
+                            let raw = attr.value_raw();
+                            if let Some(m) = &pred.matcher {
+                                if !m.matches(raw) {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            if value.is_none() {
+                                value = Some(raw);
+                            }
+                        }
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    ok = !rule.forbid.iter().any(|name| tag.has_attr(name));
+                }
+                if ok {
+                    let message = rule.render_message(tag.name, value);
+                    self.diags
+                        .push(Diagnostic::at(rule.id, rule.category, span, message));
+                    fired = true;
+                }
+            }
+            if let Some(p) = self.profile.as_deref_mut() {
+                if fired {
+                    p.hit_custom(rule.id);
+                }
+                if let Some(t0) = t0 {
+                    p.add_custom_time(rule.id, t0.elapsed());
+                }
+            }
+        }
     }
 }
 

@@ -1,5 +1,6 @@
 //! Text, comment and DOCTYPE handling.
 
+use weblint_rules::Rule;
 use weblint_tokenizer::{scan_entities, scan_metachars, Comment, Decl, MetaCharKind, Span, Text};
 
 use crate::fix::{Edit, Fix};
@@ -26,10 +27,12 @@ impl Checker<'_> {
             if let Some(top) = self.scratch.stack.last_mut() {
                 top.has_content = true;
             }
+            let t0 = self.prof_start();
             self.check_text_context(span);
+            self.prof_end(Rule::BadTextContext, t0);
             if self.after_head && !self.body_seen && !self.config.fragment {
                 self.emit(
-                    "must-follow-head",
+                    Rule::MustFollowHead,
                     span,
                     "<BODY> must immediately follow </HEAD>".to_string(),
                 );
@@ -42,8 +45,12 @@ impl Checker<'_> {
         if self.scratch.title_active {
             self.scratch.title_buf.push_str(text.raw);
         }
+        let t0 = self.prof_start();
         self.check_entities(text.raw, span);
+        self.prof_end(Rule::UnknownEntity, t0);
+        let t0 = self.prof_start();
         self.check_metachars(text.raw, span);
+        self.prof_end(Rule::LiteralMetacharacter, t0);
     }
 
     fn check_text_context(&mut self, span: Span) {
@@ -54,7 +61,7 @@ impl Checker<'_> {
         if no_text {
             let orig = top.orig(self.src);
             self.emit(
-                "bad-text-context",
+                Rule::BadTextContext,
                 span,
                 format!("text appears directly in <{orig}> - it belongs inside a child element"),
             );
@@ -66,7 +73,7 @@ impl Checker<'_> {
             if entity.numeric {
                 if entity.code_point().is_none() {
                     self.emit(
-                        "unknown-entity",
+                        Rule::UnknownEntity,
                         entity.span,
                         format!(
                             "numeric character reference &{}; is out of range",
@@ -75,7 +82,7 @@ impl Checker<'_> {
                     );
                 } else if !entity.terminated {
                     self.emit_fix(
-                        "unterminated-entity",
+                        Rule::UnterminatedEntity,
                         entity.span,
                         entity.span,
                         format!(
@@ -90,7 +97,7 @@ impl Checker<'_> {
             if self.spec.entity(entity.name).is_some() {
                 if !entity.terminated {
                     self.emit_fix(
-                        "unterminated-entity",
+                        Rule::UnterminatedEntity,
                         entity.span,
                         entity.span,
                         format!(
@@ -112,7 +119,7 @@ impl Checker<'_> {
                 }
                 let espan = entity.span;
                 self.emit_fix(
-                    "unknown-entity",
+                    Rule::UnknownEntity,
                     espan,
                     espan,
                     msg,
@@ -130,7 +137,7 @@ impl Checker<'_> {
             } else {
                 let espan = entity.span;
                 self.emit_fix(
-                    "literal-metacharacter",
+                    Rule::LiteralMetacharacter,
                     espan,
                     espan,
                     "literal `&' should be written as &amp;".to_string(),
@@ -164,7 +171,7 @@ impl Checker<'_> {
             };
             let hspan = hit.span;
             self.emit_fix(
-                "literal-metacharacter",
+                Rule::LiteralMetacharacter,
                 hspan,
                 hspan,
                 message.to_string(),
@@ -182,21 +189,21 @@ impl Checker<'_> {
     pub(crate) fn on_comment(&mut self, comment: &Comment<'_>, span: Span) {
         if comment.unterminated {
             self.emit(
-                "unclosed-comment",
+                Rule::UnclosedComment,
                 span,
                 "comment is never closed (no `-->' seen)".to_string(),
             );
         }
         if comment.contains_markup {
             self.emit(
-                "markup-in-comment",
+                Rule::MarkupInComment,
                 span,
                 "markup embedded in a comment can confuse some browsers".to_string(),
             );
         }
         if comment.interior_dashes {
             self.emit(
-                "comment-dashes",
+                Rule::CommentDashes,
                 span,
                 "comment contains `--', which is not legal inside an SGML comment".to_string(),
             );
@@ -204,12 +211,15 @@ impl Checker<'_> {
     }
 
     pub(crate) fn on_doctype(&mut self, decl: &Decl<'_>, span: Span) {
+        // The state update is unconditional — later checks depend on it
+        // even when doctype-version itself is disabled.
         self.seen_doctype = true;
+        let t0 = self.prof_start();
         let expected = self.spec.version().public_id();
         if !decl.text.contains(expected) {
             let unterminated = decl.unterminated;
             self.emit_fix(
-                "doctype-version",
+                Rule::DoctypeVersion,
                 span,
                 span,
                 format!(
@@ -230,6 +240,7 @@ impl Checker<'_> {
                 },
             );
         }
+        self.prof_end(Rule::DoctypeVersion, t0);
     }
 }
 

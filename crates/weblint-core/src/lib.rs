@@ -48,6 +48,12 @@ pub use message::{Category, Diagnostic};
 pub use options::{CaseStyle, LintConfig, UnknownCheck};
 pub use session::LintSession;
 
+// The registry this engine dispatches over, re-exported whole: descriptors,
+// custom pattern rules, and the profiling counters.
+pub use weblint_rules::pattern::{PatternRule, RuleParseError};
+pub use weblint_rules::profile::{render_hits, Profile, RuleStat};
+pub use weblint_rules::{applies, intern_id, kind_mask, Rule, REGISTRY};
+
 // Re-export the types callers need to configure a checker.
 pub use weblint_html::{Extensions, HtmlSpec, HtmlVersion};
 pub use weblint_tokenizer::{Pos, Span};

@@ -5,48 +5,10 @@ use weblint_tokenizer::{Pos, Span};
 
 use crate::fix::Fix;
 
-/// The three categories of output message (§4.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum Category {
-    /// "Errors, which identify things you should fix."
-    Error,
-    /// "Warnings, which identify things you should think about fixing."
-    Warning,
-    /// "Style comments, which can be configured to match your own
-    /// guidelines."
-    Style,
-}
-
-impl Category {
-    /// Short name as used in configuration (`enable error`).
-    pub fn name(self) -> &'static str {
-        match self {
-            Category::Error => "error",
-            Category::Warning => "warning",
-            Category::Style => "style",
-        }
-    }
-
-    /// Parse a category name (case-insensitive, without allocating).
-    pub fn parse(s: &str) -> Option<Category> {
-        let eq = |name: &str| s.eq_ignore_ascii_case(name);
-        if eq("error") || eq("errors") {
-            Some(Category::Error)
-        } else if eq("warning") || eq("warnings") {
-            Some(Category::Warning)
-        } else if eq("style") {
-            Some(Category::Style)
-        } else {
-            None
-        }
-    }
-}
-
-impl fmt::Display for Category {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
+// The category enum now lives in the registry crate, alongside the
+// descriptors that carry it; re-exported here so `weblint_core::Category`
+// keeps working everywhere.
+pub use weblint_rules::Category;
 
 /// One output message.
 ///
@@ -164,15 +126,6 @@ impl fmt::Display for Diagnostic {
 mod tests {
     use super::*;
     use weblint_tokenizer::{Pos, Span};
-
-    #[test]
-    fn category_names_round_trip() {
-        for c in [Category::Error, Category::Warning, Category::Style] {
-            assert_eq!(Category::parse(c.name()), Some(c));
-        }
-        assert_eq!(Category::parse("ERRORS"), Some(Category::Error));
-        assert_eq!(Category::parse("nope"), None);
-    }
 
     #[test]
     fn display_uses_short_form() {

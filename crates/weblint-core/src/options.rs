@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use weblint_html::{Extensions, HtmlVersion};
+use weblint_rules::pattern::PatternRule;
 
 use crate::catalog::{check_def, CATALOG};
 use crate::message::Category;
@@ -85,6 +86,11 @@ pub struct LintConfig {
     /// one-shot lint path pays nothing for the fix machinery beyond this
     /// flag test.
     pub emit_fixes: bool,
+    /// Custom pattern rules loaded from a `[rules]` configuration section,
+    /// interpreted against every start tag after the built-in checks. Each
+    /// rule's identifier participates in `enable`/`disable` exactly like a
+    /// built-in check. Load via [`LintConfig::add_custom_rule`].
+    pub custom_rules: Vec<PatternRule>,
     enabled: HashMap<&'static str, bool>,
 }
 
@@ -113,6 +119,7 @@ impl Default for LintConfig {
             custom_elements: Vec::new(),
             custom_attributes: Vec::new(),
             emit_fixes: false,
+            custom_rules: Vec::new(),
             enabled: CATALOG.iter().map(|c| (c.id, c.default_enabled)).collect(),
         }
     }
@@ -158,17 +165,50 @@ impl LintConfig {
     /// Enabling `upper-case` disables `lower-case` and vice versa — the two
     /// expectations contradict.
     pub fn set_enabled(&mut self, id: &str, on: bool) -> Result<(), UnknownCheck> {
-        let def = check_def(id).ok_or_else(|| UnknownCheck {
-            id: id.to_string(),
-            suggestion: suggest(id),
-        })?;
-        self.enabled.insert(def.id, on);
-        if on && def.id == "upper-case" {
+        let interned = match check_def(id) {
+            Some(def) => def.id,
+            None => match self.custom_rules.iter().find(|r| r.id == id) {
+                Some(rule) => rule.id,
+                None => {
+                    return Err(UnknownCheck {
+                        id: id.to_string(),
+                        suggestion: self.suggest(id),
+                    })
+                }
+            },
+        };
+        self.enabled.insert(interned, on);
+        if on && interned == "upper-case" {
             self.enabled.insert("lower-case", false);
-        } else if on && def.id == "lower-case" {
+        } else if on && interned == "lower-case" {
             self.enabled.insert("upper-case", false);
         }
         Ok(())
+    }
+
+    /// Install (or replace) a custom pattern rule. The rule starts enabled
+    /// unless its identifier was already configured off; layered
+    /// configuration can re-declare a rule, with the last declaration
+    /// winning.
+    pub fn add_custom_rule(&mut self, rule: PatternRule) {
+        self.enabled.entry(rule.id).or_insert(true);
+        match self.custom_rules.iter_mut().find(|r| r.id == rule.id) {
+            Some(existing) => *existing = rule,
+            None => self.custom_rules.push(rule),
+        }
+    }
+
+    /// The enabled-rule bitmask over the registry, bit = `Rule as u16`.
+    /// Computed once per check run so the engine gates each emission with
+    /// a single AND instead of a hash lookup.
+    pub(crate) fn rule_mask(&self) -> u64 {
+        let mut mask = 0u64;
+        for d in weblint_rules::REGISTRY {
+            if self.is_enabled(d.id) {
+                mask |= d.rule.bit();
+            }
+        }
+        mask
     }
 
     /// Enable or disable every message in a category — weblint 2 "will let
@@ -243,16 +283,19 @@ impl LintConfig {
             a.eq_ignore_ascii_case(attribute) && (e == "*" || e.eq_ignore_ascii_case(element))
         })
     }
-}
 
-/// Suggest a catalog identifier within edit distance 2 of `id`.
-fn suggest(id: &str) -> Option<&'static str> {
-    CATALOG
-        .iter()
-        .map(|c| (c.id, edit_distance(id, c.id)))
-        .filter(|&(_, d)| d <= 2)
-        .min_by_key(|&(_, d)| d)
-        .map(|(name, _)| name)
+    /// Suggest a known identifier (built-in or custom rule) within edit
+    /// distance 2 of `id`.
+    pub fn suggest(&self, id: &str) -> Option<&'static str> {
+        CATALOG
+            .iter()
+            .map(|c| c.id)
+            .chain(self.custom_rules.iter().map(|r| r.id))
+            .map(|known| (known, edit_distance(id, known)))
+            .filter(|&(_, d)| d <= 2)
+            .min_by_key(|&(_, d)| d)
+            .map(|(name, _)| name)
+    }
 }
 
 /// Levenshtein distance, small-string implementation.

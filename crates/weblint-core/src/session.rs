@@ -89,6 +89,19 @@ impl LintSession {
         engine::check_with(&self.spec, &self.config, src, &mut self.scratch)
     }
 
+    /// [`LintSession::check_string`], accumulating per-rule hit and
+    /// wall-time counters into `profile`. Diagnostics are identical to the
+    /// unprofiled path; the engine merely brackets its check sections with
+    /// timers. This is what `weblint -profile` runs.
+    pub fn check_string_profiled(
+        &mut self,
+        src: &str,
+        profile: &mut weblint_rules::profile::Profile,
+    ) -> Vec<Diagnostic> {
+        self.documents += 1;
+        engine::check_profiled(&self.spec, &self.config, src, &mut self.scratch, profile)
+    }
+
     /// Check a file on disk.
     ///
     /// Non-UTF-8 bytes are replaced rather than rejected — 1990s HTML is

@@ -327,6 +327,17 @@ mod tests {
     }
 
     #[test]
+    fn metrics_include_per_rule_hits_after_linting() {
+        let app = app();
+        let response = handle(&app, &request("POST", "/lint", &[], b"<H1>x</H2>"));
+        assert_eq!(response.status, 200);
+        let metrics = handle(&app, &request("GET", "/metrics", &[], b""));
+        let text = String::from_utf8(metrics.body).unwrap();
+        assert!(text.contains("rule hits:"), "{text}");
+        assert!(text.contains("heading-mismatch"), "{text}");
+    }
+
+    #[test]
     fn post_lint_default_is_lint_style() {
         let app = app();
         let response = handle(&app, &request("POST", "/lint", &[], b"<H1>x</H2>"));

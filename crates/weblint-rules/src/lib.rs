@@ -1,0 +1,1030 @@
+//! The check registry: rules as data.
+//!
+//! Weblint's 55 built-in messages used to exist only as string identifiers
+//! hard-wired into the engine. This crate makes each one a
+//! [`CheckDescriptor`] in a static [`REGISTRY`]: identifier, category,
+//! default-enabled flag, an applicability mask over token kinds, whether a
+//! mechanical fix exists, and documentation with an example — everything
+//! `weblint -explain`, `-list`, `-profile` and the engine's dispatch need,
+//! in one table.
+//!
+//! On top of the built-in table sits [`pattern`]: site-policy rules parsed
+//! from a `[rules]` section of `.weblintrc` and interpreted at lint time,
+//! no recompile required. [`profile`] holds the per-rule cost counters that
+//! `-profile`, `poacher -stats` and the httpd `/metrics` table render.
+//!
+//! The crate sits below `weblint-core` (which re-exports the types) and
+//! depends on nothing but std.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pattern;
+pub mod profile;
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// The three categories of output message (§4.3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// "Errors, which identify things you should fix."
+    Error,
+    /// "Warnings, which identify things you should think about fixing."
+    Warning,
+    /// "Style comments, which can be configured to match your own
+    /// guidelines."
+    Style,
+}
+
+impl Category {
+    /// Short name as used in configuration (`enable error`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Error => "error",
+            Category::Warning => "warning",
+            Category::Style => "style",
+        }
+    }
+
+    /// Parse a category name (case-insensitive, without allocating).
+    pub fn parse(s: &str) -> Option<Category> {
+        let eq = |name: &str| s.eq_ignore_ascii_case(name);
+        if eq("error") || eq("errors") {
+            Some(Category::Error)
+        } else if eq("warning") || eq("warnings") {
+            Some(Category::Warning)
+        } else if eq("style") {
+            Some(Category::Style)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Applicability bits: which parts of a document a check inspects. The
+/// engine derives its per-token-kind dispatch gates from these, and
+/// `-list` renders them so users can see *where* a rule looks.
+pub mod applies {
+    /// Start tags (element and attribute checks).
+    pub const START_TAG: u8 = 1 << 0;
+    /// End tags (close-time and container checks).
+    pub const END_TAG: u8 = 1 << 1;
+    /// Text content (entities, metacharacters, context).
+    pub const TEXT: u8 = 1 << 2;
+    /// Comments.
+    pub const COMMENT: u8 = 1 << 3;
+    /// The DOCTYPE declaration.
+    pub const DOCTYPE: u8 = 1 << 4;
+    /// Whole-document state, checked at end of input.
+    pub const DOCUMENT: u8 = 1 << 5;
+    /// Cross-page site structure (`-R` site mode).
+    pub const SITE: u8 = 1 << 6;
+
+    /// Human-readable rendering of a mask, e.g. `start-tag|text`.
+    pub fn describe(mask: u8) -> String {
+        let names = [
+            (START_TAG, "start-tag"),
+            (END_TAG, "end-tag"),
+            (TEXT, "text"),
+            (COMMENT, "comment"),
+            (DOCTYPE, "doctype"),
+            (DOCUMENT, "document"),
+            (SITE, "site"),
+        ];
+        let mut out = String::new();
+        for (bit, name) in names {
+            if mask & bit != 0 {
+                if !out.is_empty() {
+                    out.push('|');
+                }
+                out.push_str(name);
+            }
+        }
+        out
+    }
+}
+
+/// One entry in the registry: everything weblint knows about a built-in
+/// check, as data.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckDescriptor {
+    /// The registry handle for this entry (its index in [`REGISTRY`]).
+    pub rule: Rule,
+    /// The stable identifier used by `enable`/`disable` configuration.
+    pub id: &'static str,
+    /// Error, warning, or style.
+    pub category: Category,
+    /// Enabled without any configuration?
+    pub default_enabled: bool,
+    /// Which token kinds the check inspects ([`applies`] bits).
+    pub applies: u8,
+    /// Whether the check can attach a mechanical [`Fix`] to its
+    /// diagnostics when fixes are collected.
+    ///
+    /// [`Fix`]: https://docs.rs/weblint-core
+    pub fixable: bool,
+    /// One-line description, shown by `weblint -todo`-style listings.
+    pub summary: &'static str,
+    /// Longer explanation rendered by `weblint -explain <id>`.
+    pub doc: &'static str,
+    /// A small offending snippet, rendered under the explanation.
+    pub example: &'static str,
+}
+
+use applies::{COMMENT, DOCTYPE, DOCUMENT, END_TAG, SITE, START_TAG, TEXT};
+use Category::{Error, Style, Warning};
+
+macro_rules! registry {
+    ($(($variant:ident, $id:literal, $cat:ident, $on:literal, $applies:expr, $fix:literal,
+        $summary:literal, $doc:literal, $example:literal),)*) => {
+        /// A handle to one registry entry: a dense index into [`REGISTRY`].
+        ///
+        /// The engine's emit sites, the enabled-rule bitmask and the
+        /// profiler all use this index, so identifying a rule is O(1)
+        /// everywhere past configuration parsing.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[repr(u16)]
+        pub enum Rule {
+            $(
+                #[doc = concat!("`", $id, "`: ", $summary)]
+                $variant,
+            )*
+        }
+
+        /// Every built-in message weblint can produce, sorted by identifier.
+        pub static REGISTRY: &[CheckDescriptor] = &[$(CheckDescriptor {
+            rule: Rule::$variant,
+            id: $id,
+            category: $cat,
+            default_enabled: $on,
+            applies: $applies,
+            fixable: $fix,
+            summary: $summary,
+            doc: $doc,
+            example: $example,
+        },)*];
+
+        impl Rule {
+            /// Number of built-in rules.
+            pub const COUNT: usize = [$(Rule::$variant),*].len();
+        }
+    };
+}
+
+registry![
+    (
+        AttributeDelimiter,
+        "attribute-delimiter",
+        Warning,
+        true,
+        START_TAG,
+        true,
+        "attribute value delimited with single quotes, which not all browsers handle",
+        "Early browsers only understood double quotes around attribute values; \
+      single quotes were a later addition that some user agents of the era \
+      mishandled. The fix swaps the delimiters for double quotes.",
+        "<A HREF='foo.html'>"
+    ),
+    (
+        AttributeValue,
+        "attribute-value",
+        Error,
+        true,
+        START_TAG,
+        false,
+        "illegal value for an attribute (e.g. BGCOLOR=\"fffff\")",
+        "The attribute's value does not match what the HTML version tables \
+      allow for it — a malformed color, a non-numeric size, an unknown \
+      keyword. The classic example is a BGCOLOR missing its `#`.",
+        "<BODY BGCOLOR=\"fffff\">"
+    ),
+    (
+        BadLink,
+        "bad-link",
+        Error,
+        true,
+        SITE,
+        false,
+        "hyperlink target does not exist (site mode)",
+        "In site mode (-R) every relative hyperlink is resolved against the \
+      site tree; a link whose target file is missing is reported here, \
+      before a reader finds the 404.",
+        "<A HREF=\"no-such-page.html\">"
+    ),
+    (
+        BadTextContext,
+        "bad-text-context",
+        Warning,
+        false,
+        TEXT,
+        false,
+        "text appears directly inside an element that should only hold structure (e.g. UL, TABLE)",
+        "Elements like UL, OL, TABLE and SELECT hold child elements, not prose; \
+      text written directly inside them renders unpredictably. Move the text \
+      into the appropriate child (LI, TD, OPTION).",
+        "<UL>loose text<LI>item</UL>"
+    ),
+    (
+        BodyNoHead,
+        "body-no-head",
+        Warning,
+        true,
+        START_TAG,
+        false,
+        "<BODY> seen with no <HEAD> element before it",
+        "A well-formed document is <HEAD> then <BODY>. Seeing <BODY> without \
+      any preceding <HEAD> usually means the head (and with it the TITLE) \
+      was forgotten entirely.",
+        "<HTML><BODY>no head here"
+    ),
+    (
+        ClosingAttribute,
+        "closing-attribute",
+        Error,
+        true,
+        END_TAG,
+        true,
+        "end tag carries attributes",
+        "Attributes belong on the opening tag only; an end tag is just \
+      `</NAME>`. The fix deletes everything between the name and the `>`.",
+        "</A HREF=\"x\">"
+    ),
+    (
+        CommentDashes,
+        "comment-dashes",
+        Warning,
+        false,
+        COMMENT,
+        false,
+        "comment contains interior --, ill-formed under strict SGML rules",
+        "Under SGML rules `--` toggles the comment open and closed, so interior \
+      double dashes make strict parsers end the comment early. Use a \
+      different separator inside comments.",
+        "<!-- bad -- separator -->"
+    ),
+    (
+        ContainerWhitespace,
+        "container-whitespace",
+        Style,
+        false,
+        END_TAG,
+        false,
+        "leading or trailing whitespace inside a container like <A>",
+        "Whitespace just inside an anchor is rendered as part of the link text \
+      and underlined by most browsers; put the spaces outside the tags.",
+        "<A HREF=\"x\"> padded </A>"
+    ),
+    (
+        DeprecatedAttribute,
+        "deprecated-attribute",
+        Warning,
+        false,
+        START_TAG,
+        false,
+        "attribute is deprecated in the checked HTML version",
+        "The attribute still works but the version being checked against marks \
+      it deprecated, usually in favour of style sheets.",
+        "<UL COMPACT>"
+    ),
+    (
+        DirectoryIndex,
+        "directory-index",
+        Warning,
+        true,
+        SITE,
+        false,
+        "directory has no index file (site mode, -R)",
+        "A directory without an index file exposes a server-generated listing. \
+      Site mode reports each directory in the tree that lacks one.",
+        "site/dir/ with no index.html"
+    ),
+    (
+        DoctypeVersion,
+        "doctype-version",
+        Warning,
+        false,
+        DOCTYPE,
+        true,
+        "DOCTYPE does not match the HTML version being checked",
+        "The document declares one HTML version while weblint is checking \
+      another; either pass the matching version or update the declaration. \
+      The fix rewrites the DOCTYPE to the checked version's public id.",
+        "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 3.2//EN\"> checked as 4.0"
+    ),
+    (
+        DuplicateAttribute,
+        "duplicate-attribute",
+        Error,
+        true,
+        START_TAG,
+        true,
+        "the same attribute appears twice in one tag",
+        "Browsers keep one of the copies — which one is anyone's guess. The \
+      fix deletes the repeated attribute.",
+        "<IMG SRC=\"a.gif\" SRC=\"b.gif\">"
+    ),
+    (
+        ElementOverlap,
+        "element-overlap",
+        Error,
+        true,
+        END_TAG,
+        false,
+        "elements overlap instead of nesting (e.g. <B><A>..</B>..</A>)",
+        "HTML elements must nest; overlapping pairs render differently across \
+      browsers. Weblint reports the overlap once and then tracks the \
+      displaced element so its eventual end tag stays quiet.",
+        "<B><A HREF=\"x\">bold link</B></A>"
+    ),
+    (
+        EmptyContainer,
+        "empty-container",
+        Warning,
+        true,
+        END_TAG,
+        false,
+        "container element with no content (e.g. <TITLE></TITLE>)",
+        "A container that closes without any content usually marks an editing \
+      accident — an empty TITLE, an empty A NAME anchor.",
+        "<TITLE></TITLE>"
+    ),
+    (
+        ExtensionAttribute,
+        "extension-attribute",
+        Warning,
+        true,
+        START_TAG,
+        false,
+        "attribute only exists as a vendor extension which is not enabled",
+        "The attribute is Netscape- or Microsoft-only markup and the matching \
+      `-x` extension is not enabled, so portable HTML should not rely on it.",
+        "<TABLE BORDERCOLOR=\"red\">"
+    ),
+    (
+        ExtensionMarkup,
+        "extension-markup",
+        Warning,
+        true,
+        START_TAG,
+        false,
+        "element only exists as a vendor extension which is not enabled",
+        "The element is vendor extension markup (BLINK, MARQUEE) and the \
+      matching `-x` extension is not enabled.",
+        "<BLINK>portable?</BLINK>"
+    ),
+    (
+        HeadElement,
+        "head-element",
+        Error,
+        true,
+        START_TAG,
+        false,
+        "element that belongs in <HEAD> used in the document body",
+        "TITLE, BASE, META and friends only mean something inside <HEAD>; in \
+      the body they are ignored or misrendered.",
+        "<BODY><TITLE>too late</TITLE>"
+    ),
+    (
+        HeadingInAnchor,
+        "heading-in-anchor",
+        Style,
+        false,
+        START_TAG,
+        false,
+        "heading inside an anchor; put the anchor inside the heading instead",
+        "An anchor wrapping a heading renders the whole heading as link text. \
+      The conventional nesting is the anchor inside the heading.",
+        "<A HREF=\"x\"><H2>title</H2></A>"
+    ),
+    (
+        HeadingMismatch,
+        "heading-mismatch",
+        Error,
+        true,
+        END_TAG,
+        true,
+        "malformed heading: open tag level differs from close (e.g. <H1>..</H2>)",
+        "A heading opened at one level and closed at another is almost always \
+      a typo. The fix rewrites the close tag to the open level.",
+        "<H1>Title</H2>"
+    ),
+    (
+        HeadingOrder,
+        "heading-order",
+        Style,
+        true,
+        START_TAG,
+        false,
+        "heading levels should not be skipped (e.g. <H3> directly after <H1>)",
+        "Document outlines read best when heading levels descend one step at a \
+      time; jumping from H1 to H3 skips a level of structure.",
+        "<H1>Top</H1><H3>skipped H2</H3>"
+    ),
+    (
+        HereAnchor,
+        "here-anchor",
+        Style,
+        true,
+        END_TAG,
+        false,
+        "content-free anchor text like \"here\" or \"click here\"",
+        "Link text should describe the target; \"click here\" describes the \
+      mouse. The offending phrases are configurable \
+      (`here_anchor_texts`).",
+        "<A HREF=\"paper.ps\">click here</A>"
+    ),
+    (
+        HtmlOuter,
+        "html-outer",
+        Warning,
+        true,
+        START_TAG,
+        false,
+        "outer element of the document should be <HTML>",
+        "The first element of a complete document should be <HTML> wrapping \
+      everything else.",
+        "<BODY>no HTML element"
+    ),
+    (
+        ImgAlt,
+        "img-alt",
+        Warning,
+        true,
+        START_TAG,
+        true,
+        "IMG element without an ALT attribute",
+        "ALT text is what text browsers, screen readers and slow links show \
+      instead of the image. The fix inserts an empty ALT=\"\" as a \
+      placeholder; write real text.",
+        "<IMG SRC=\"logo.gif\">"
+    ),
+    (
+        ImgSize,
+        "img-size",
+        Warning,
+        false,
+        START_TAG,
+        false,
+        "IMG element without WIDTH and HEIGHT attributes",
+        "WIDTH and HEIGHT let the browser lay out the page before the image \
+      arrives, which mattered a great deal on 1998 links and still does.",
+        "<IMG SRC=\"logo.gif\" ALT=\"logo\">"
+    ),
+    (
+        LeadingWhitespace,
+        "leading-whitespace",
+        Warning,
+        true,
+        END_TAG,
+        true,
+        "whitespace between </ and the element name",
+        "`</ NAME>` is not recognised as an end tag by all parsers. The fix \
+      removes the stray whitespace.",
+        "</ B>"
+    ),
+    (
+        LiteralMetacharacter,
+        "literal-metacharacter",
+        Warning,
+        true,
+        TEXT,
+        true,
+        "literal < or > in text should be &lt; or &gt;",
+        "Bare `<`, `>` and `&` in text are markup metacharacters: parsers may \
+      eat them or everything after them. The fix replaces each with its \
+      entity.",
+        "if (a < b) ..."
+    ),
+    (
+        LowerCase,
+        "lower-case",
+        Style,
+        false,
+        START_TAG | END_TAG,
+        true,
+        "element and attribute names should be lower case",
+        "A style preference: report any element or attribute name that is not \
+      lower case. Mutually exclusive with `upper-case`. The fix rewrites \
+      the name.",
+        "<B>should be <b>"
+    ),
+    (
+        MailtoLink,
+        "mailto-link",
+        Style,
+        false,
+        START_TAG,
+        false,
+        "use of a mailto: hyperlink",
+        "Some sites prefer contact forms over harvestable mailto: links; \
+      enable this to find them all.",
+        "<A HREF=\"mailto:x@y.org\">"
+    ),
+    (
+        MarkupInComment,
+        "markup-in-comment",
+        Warning,
+        true,
+        COMMENT,
+        false,
+        "markup embedded in a comment can confuse some browsers",
+        "Era browsers with sloppy comment parsing could end the comment at the \
+      embedded tag and render the rest of it as content.",
+        "<!-- <B>commented out</B> -->"
+    ),
+    (
+        MissingAttributeValue,
+        "missing-attribute-value",
+        Error,
+        true,
+        START_TAG,
+        false,
+        "attribute with = but no value",
+        "An `=` promises a value; nothing follows it. Either supply the value \
+      or drop the `=`.",
+        "<TD WIDTH=>"
+    ),
+    (
+        MustFollowHead,
+        "must-follow-head",
+        Warning,
+        true,
+        START_TAG | TEXT,
+        false,
+        "content between </HEAD> and <BODY>",
+        "Nothing may appear between the end of the head and the start of the \
+      body; such content is outside both and renders unpredictably.",
+        "</HEAD>stray text<BODY>"
+    ),
+    (
+        NestedElement,
+        "nested-element",
+        Error,
+        true,
+        START_TAG,
+        false,
+        "element that may not nest inside itself (e.g. <A> inside <A>)",
+        "Some elements must not contain themselves — an anchor inside an \
+      anchor, a form inside a form.",
+        "<A HREF=\"x\"><A HREF=\"y\">inner</A></A>"
+    ),
+    (
+        ObsoleteElement,
+        "obsolete-element",
+        Warning,
+        true,
+        START_TAG,
+        true,
+        "obsolete or deprecated element (e.g. <LISTING>; use <PRE>)",
+        "The element survives from an earlier HTML but has a modern \
+      replacement. When the replacement is a plain element the fix renames \
+      both tags.",
+        "<LISTING>old school</LISTING>"
+    ),
+    (
+        OddQuotes,
+        "odd-quotes",
+        Error,
+        true,
+        START_TAG,
+        false,
+        "odd number of quotes in a tag",
+        "An unbalanced quote makes the parser swallow markup until the next \
+      quote; everything in between silently disappears from the page.",
+        "<IMG SRC=\"a.gif ALT=\"x\">"
+    ),
+    (
+        OnceOnly,
+        "once-only",
+        Error,
+        true,
+        START_TAG,
+        false,
+        "element that may appear only once appears again (e.g. a second <TITLE>)",
+        "TITLE, HEAD, BODY and friends may appear once per document; the \
+      message names the line of the first appearance.",
+        "<TITLE>one</TITLE><TITLE>two</TITLE>"
+    ),
+    (
+        OrphanPage,
+        "orphan-page",
+        Warning,
+        true,
+        SITE,
+        false,
+        "page not referred to by any other page (site mode, -R)",
+        "In site mode every page should be reachable; an orphan has no \
+      incoming links from the rest of the site.",
+        "lonely.html with no inbound links"
+    ),
+    (
+        PhysicalFont,
+        "physical-font",
+        Style,
+        false,
+        START_TAG,
+        false,
+        "physical font markup used; logical markup conveys intent (e.g. <B> vs <STRONG>)",
+        "Physical markup (B, I, TT) describes glyphs; logical markup (STRONG, \
+      EM, CODE) describes meaning and lets browsers and readers choose the \
+      rendering.",
+        "<B>important</B>"
+    ),
+    (
+        QuoteAttributeValue,
+        "quote-attribute-value",
+        Warning,
+        true,
+        START_TAG,
+        true,
+        "attribute value should be quoted",
+        "SGML only allows unquoted values made of name characters; anything \
+      with `/`, `#`, spaces or other punctuation needs quotes. The fix adds \
+      them.",
+        "<A HREF=a/b.html>"
+    ),
+    (
+        RequireDoctype,
+        "require-doctype",
+        Warning,
+        true,
+        START_TAG,
+        true,
+        "first element is not a DOCTYPE specification",
+        "A document should open by declaring what HTML it is written in. The \
+      fix prepends the declaration for the version being checked against.",
+        "<HTML> with no <!DOCTYPE ...> first"
+    ),
+    (
+        RequireHead,
+        "require-head",
+        Warning,
+        true,
+        DOCUMENT,
+        false,
+        "document has no HEAD element",
+        "Checked at end of input: a complete document should contain a HEAD \
+      element holding its TITLE.",
+        "<HTML><BODY>body only</BODY></HTML>"
+    ),
+    (
+        RequireTitle,
+        "require-title",
+        Warning,
+        true,
+        DOCUMENT,
+        false,
+        "document has no TITLE element",
+        "Checked at end of input: every document should carry a TITLE — it is \
+      what bookmarks, window bars and search results show.",
+        "<HEAD></HEAD> with no <TITLE>"
+    ),
+    (
+        RequiredAttribute,
+        "required-attribute",
+        Error,
+        true,
+        START_TAG,
+        false,
+        "a required attribute is missing (e.g. ROWS and COLS on TEXTAREA)",
+        "The element's definition marks some attributes required; the tag \
+      omits one.",
+        "<TEXTAREA NAME=\"t\"> without ROWS/COLS"
+    ),
+    (
+        RequiredContext,
+        "required-context",
+        Error,
+        true,
+        START_TAG,
+        false,
+        "element used outside its required context (e.g. <LI> outside a list)",
+        "Some elements only mean something inside a specific parent: LI inside \
+      a list, TD inside a row, OPTION inside SELECT.",
+        "<BODY><LI>floating item"
+    ),
+    (
+        TitleLength,
+        "title-length",
+        Style,
+        false,
+        END_TAG,
+        false,
+        "TITLE text longer than 64 characters",
+        "Long titles are truncated by window bars and bookmark lists; the \
+      limit is configurable (`max_title_length`).",
+        "<TITLE>a title much longer than sixty-four characters...</TITLE>"
+    ),
+    (
+        UnclosedComment,
+        "unclosed-comment",
+        Error,
+        true,
+        COMMENT,
+        false,
+        "comment never closed with -->",
+        "An unterminated comment swallows the rest of the document in most \
+      browsers — usually a mistyped `-->`.",
+        "<!-- forgot to close"
+    ),
+    (
+        UnclosedElement,
+        "unclosed-element",
+        Error,
+        true,
+        END_TAG | DOCUMENT,
+        true,
+        "no closing tag seen for a container that requires one",
+        "A container whose end tag is required was still open when something \
+      that must enclose it closed, or at end of input. The fix inserts the \
+      missing end tag at the point that forced the close.",
+        "<TITLE>no close</HEAD>"
+    ),
+    (
+        UnexpectedClose,
+        "unexpected-close",
+        Error,
+        true,
+        END_TAG,
+        true,
+        "close tag with no matching open tag",
+        "An end tag arrived with nothing matching open — a stray `</>`, an end \
+      tag for an empty element like IMG, or a close whose open was never \
+      written. The fix deletes the stray tag.",
+        "</B> with no <B> open"
+    ),
+    (
+        UnknownAttribute,
+        "unknown-attribute",
+        Error,
+        true,
+        START_TAG,
+        false,
+        "attribute not defined for this element in any known HTML version",
+        "No HTML version or enabled extension defines this attribute for this \
+      element — usually a typo. Tool-generated attributes can be declared \
+      with `attribute` configuration to silence this.",
+        "<IMG SRC=\"x\" SOURCE=\"y\">"
+    ),
+    (
+        UnknownElement,
+        "unknown-element",
+        Error,
+        true,
+        START_TAG,
+        false,
+        "element not defined in any known HTML version (probably a typo)",
+        "No HTML version or enabled extension defines this element. The \
+      message suggests a near-miss when one exists (the paper's \
+      <BLOCKQOUTE> case); tool-generated elements can be declared with \
+      `element` configuration.",
+        "<BLOCKQOUTE>typo</BLOCKQOUTE>"
+    ),
+    (
+        UnknownEntity,
+        "unknown-entity",
+        Error,
+        true,
+        TEXT,
+        true,
+        "entity reference not defined in the checked HTML version",
+        "The named or numeric character reference is not defined — usually a \
+      case typo like &EACUTE;. The fix applies the correctly-cased form \
+      when one exists.",
+        "caf&EACUTE;"
+    ),
+    (
+        UnterminatedEntity,
+        "unterminated-entity",
+        Warning,
+        true,
+        TEXT,
+        true,
+        "entity reference without the closing ;",
+        "The entity name is recognised but the trailing `;` is missing; some \
+      parsers accept it, others render the name literally. The fix appends \
+      the semicolon.",
+        "caf&eacute latte"
+    ),
+    (
+        UnterminatedTag,
+        "unterminated-tag",
+        Error,
+        true,
+        START_TAG,
+        false,
+        "tag never closed with > before the next tag or end of file",
+        "The `>` closing this tag never arrived; the parser resynchronised at \
+      the next `<`. Whatever sat between is lost.",
+        "<IMG SRC=\"x\" <P>next"
+    ),
+    (
+        UpperCase,
+        "upper-case",
+        Style,
+        false,
+        START_TAG | END_TAG,
+        true,
+        "element and attribute names should be upper case",
+        "A style preference: report any element or attribute name that is not \
+      upper case, the convention of the era. Mutually exclusive with \
+      `lower-case`. The fix rewrites the name.",
+        "<b>should be <B>"
+    ),
+    (
+        VersionMarkup,
+        "version-markup",
+        Warning,
+        true,
+        START_TAG,
+        false,
+        "element defined in a different HTML version than the one being checked",
+        "The element (or attribute) exists, but not in the HTML version being \
+      checked against — either check against the version the document is \
+      written in, or stop using the newer markup.",
+        "<ACRONYM> checked as HTML 3.2"
+    ),
+    (
+        XmlSelfClose,
+        "xml-self-close",
+        Warning,
+        false,
+        START_TAG,
+        true,
+        "XML-style /> self-close is not HTML",
+        "`<BR/>` is XML (and later XHTML) syntax; HTML of this era does not \
+      self-close. The fix drops the slash.",
+        "<BR/>"
+    ),
+];
+
+// The enabled-rule set is a u64 bitmask; the registry must fit.
+const _: () = assert!(Rule::COUNT <= 64);
+
+impl Rule {
+    /// This rule's descriptor.
+    pub fn descriptor(self) -> &'static CheckDescriptor {
+        &REGISTRY[self as usize]
+    }
+
+    /// This rule's stable identifier.
+    pub fn id(self) -> &'static str {
+        self.descriptor().id
+    }
+
+    /// The bit this rule occupies in an enabled-set mask.
+    pub fn bit(self) -> u64 {
+        1u64 << (self as u16)
+    }
+
+    /// Look a rule up by identifier. O(log n): the registry is sorted by id.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        REGISTRY
+            .binary_search_by(|d| d.id.cmp(id))
+            .ok()
+            .map(|i| REGISTRY[i].rule)
+    }
+}
+
+/// Look up a descriptor by identifier.
+pub fn descriptor(id: &str) -> Option<&'static CheckDescriptor> {
+    Rule::from_id(id).map(Rule::descriptor)
+}
+
+/// The combined applicability-derived mask of every *enabled* rule that
+/// inspects `kind`, given an enabled-set mask. The engine uses this to skip
+/// whole token-kind handlers whose rules are all disabled.
+pub fn kind_mask(kind: u8) -> u64 {
+    let mut mask = 0u64;
+    let mut i = 0;
+    while i < REGISTRY.len() {
+        if REGISTRY[i].applies & kind != 0 {
+            mask |= 1u64 << i;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Intern a rule identifier, returning a `'static` string.
+///
+/// Built-in identifiers come back as their registry entry; custom-rule
+/// identifiers are leaked once into a global pool and deduplicated after
+/// that. Diagnostics carry `&'static str` identifiers on the hot path, and
+/// the set of distinct custom ids a process loads is small and bounded by
+/// configuration, so the leak is a sound trade.
+pub fn intern_id(id: &str) -> &'static str {
+    if let Some(d) = descriptor(id) {
+        return d.id;
+    }
+    static POOL: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut pool = POOL
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("intern pool poisoned");
+    if let Some(s) = pool.get(id) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(id.to_string().into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_paper_design() {
+        // DESIGN.md §2: 55 messages, exactly 42 enabled by default.
+        assert_eq!(REGISTRY.len(), 55);
+        assert_eq!(Rule::COUNT, 55);
+        let on = REGISTRY.iter().filter(|d| d.default_enabled).count();
+        assert_eq!(on, 42);
+    }
+
+    #[test]
+    fn ids_sorted_unique_kebab() {
+        for pair in REGISTRY.windows(2) {
+            assert!(pair[0].id < pair[1].id, "{} !< {}", pair[0].id, pair[1].id);
+        }
+        for d in REGISTRY {
+            assert!(
+                d.id.bytes().all(|b| b.is_ascii_lowercase() || b == b'-'),
+                "{}",
+                d.id
+            );
+        }
+    }
+
+    #[test]
+    fn rule_handles_are_their_indices() {
+        for (i, d) in REGISTRY.iter().enumerate() {
+            assert_eq!(d.rule as usize, i, "{}", d.id);
+            assert_eq!(d.rule.descriptor().id, d.id);
+            assert_eq!(Rule::from_id(d.id), Some(d.rule));
+        }
+        assert_eq!(Rule::from_id("no-such-rule"), None);
+    }
+
+    #[test]
+    fn every_rule_documented_with_example() {
+        for d in REGISTRY {
+            assert!(!d.summary.is_empty(), "{}", d.id);
+            assert!(!d.doc.is_empty(), "{}", d.id);
+            assert!(!d.example.is_empty(), "{}", d.id);
+            assert!(d.applies != 0, "{} has no applicability", d.id);
+        }
+    }
+
+    #[test]
+    fn kind_masks_partition_sensibly() {
+        // Every rule appears in at least one kind mask, and the start-tag
+        // mask contains the attribute checks.
+        let all = kind_mask(0x7f);
+        assert_eq!(all.count_ones() as usize, Rule::COUNT);
+        let start = kind_mask(applies::START_TAG);
+        assert!(start & Rule::ImgAlt.bit() != 0);
+        assert!(start & Rule::UnclosedComment.bit() == 0);
+        let site = kind_mask(applies::SITE);
+        assert_eq!(site.count_ones(), 3); // bad-link, directory-index, orphan-page
+    }
+
+    #[test]
+    fn interning_dedups_and_passes_through() {
+        // Built-in ids come back as the registry's static string.
+        let a = intern_id("img-alt");
+        assert_eq!(a, "img-alt");
+        // Custom ids intern to one stable address.
+        let c1 = intern_id("my-custom-rule");
+        let c2 = intern_id("my-custom-rule");
+        assert_eq!(c1, c2);
+        assert!(std::ptr::eq(c1, c2));
+    }
+
+    #[test]
+    fn category_names_round_trip() {
+        for c in [Category::Error, Category::Warning, Category::Style] {
+            assert_eq!(Category::parse(c.name()), Some(c));
+        }
+        assert_eq!(Category::parse("ERRORS"), Some(Category::Error));
+        assert_eq!(Category::parse("nope"), None);
+    }
+
+    #[test]
+    fn applies_describe_renders_bits() {
+        assert_eq!(
+            applies::describe(applies::START_TAG | applies::TEXT),
+            "start-tag|text"
+        );
+        assert_eq!(applies::describe(applies::SITE), "site");
+    }
+}

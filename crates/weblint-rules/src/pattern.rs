@@ -1,0 +1,386 @@
+//! Custom pattern rules: site-policy checks loaded from configuration.
+//!
+//! A `[rules]` section in `.weblintrc` declares checks that run without
+//! recompiling weblint, one rule per line:
+//!
+//! ```text
+//! [rules]
+//! # id         severity  predicates...              "message"
+//! button-class warning   element=button !attr=class "every <button> needs a class"
+//! toggle-target warning  attr=data-toggle !attr=data-target "{element} has data-toggle but no data-target"
+//! nav-href     error     element=a attr=class*=nav-link !attr=href "nav links need an href"
+//! ```
+//!
+//! Predicates, all of which must hold for the rule to fire on a start tag:
+//!
+//! * `element=NAME` — the element is `NAME` (case-insensitive); omit for
+//!   any element.
+//! * `attr=NAME` — the attribute is present.
+//! * `attr=NAME=VALUE` / `attr=NAME^=PREFIX` / `attr=NAME*=SUBSTR` — the
+//!   attribute is present and its value matches literally / by prefix / by
+//!   substring (ASCII case-insensitive, like HTML itself).
+//! * `!attr=NAME` — the attribute is absent.
+//!
+//! The quoted message may use `{element}`, `{attr}` and `{value}`
+//! placeholders. Rules are validated at load time: identifier shape,
+//! severity, collisions with built-in ids, and at least one predicate.
+
+use crate::{descriptor, intern_id, Category};
+
+/// How a required attribute's value must match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueMatcher {
+    /// The whole value equals the pattern.
+    Literal(String),
+    /// The value starts with the pattern.
+    Prefix(String),
+    /// The value contains the pattern.
+    Substring(String),
+}
+
+impl ValueMatcher {
+    /// Whether `value` matches, ASCII case-insensitively.
+    pub fn matches(&self, value: &str) -> bool {
+        match self {
+            ValueMatcher::Literal(p) => value.eq_ignore_ascii_case(p),
+            ValueMatcher::Prefix(p) => {
+                value.len() >= p.len() && value[..p.len()].eq_ignore_ascii_case(p)
+            }
+            ValueMatcher::Substring(p) => {
+                if p.is_empty() {
+                    return true;
+                }
+                if value.len() < p.len() {
+                    return false;
+                }
+                (0..=value.len() - p.len()).any(|i| {
+                    value.is_char_boundary(i)
+                        && value.is_char_boundary(i + p.len())
+                        && value[i..i + p.len()].eq_ignore_ascii_case(p)
+                })
+            }
+        }
+    }
+}
+
+/// An attribute that must be present, optionally with a matching value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrPred {
+    /// Attribute name, lower-case.
+    pub name: String,
+    /// Optional value constraint.
+    pub matcher: Option<ValueMatcher>,
+}
+
+/// One custom rule: predicates over a start tag plus a message template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternRule {
+    /// The rule's identifier, interned so diagnostics can carry it as
+    /// `&'static str` like every built-in id.
+    pub id: &'static str,
+    /// Severity of the diagnostics this rule emits.
+    pub category: Category,
+    /// Element name the rule applies to (lower-case), or `None` for any.
+    pub element: Option<String>,
+    /// Attributes that must be present (with optional value matchers).
+    pub require: Vec<AttrPred>,
+    /// Attributes that must be absent (lower-case names).
+    pub forbid: Vec<String>,
+    /// Message template; `{element}`, `{attr}` and `{value}` are expanded.
+    pub message: String,
+}
+
+/// Error from parsing or validating one rule line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleParseError(pub String);
+
+impl std::fmt::Display for RuleParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for RuleParseError {}
+
+fn err(msg: impl Into<String>) -> RuleParseError {
+    RuleParseError(msg.into())
+}
+
+fn valid_id(id: &str) -> bool {
+    !id.is_empty()
+        && !id.starts_with('-')
+        && !id.ends_with('-')
+        && !id.contains("--")
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+}
+
+impl PatternRule {
+    /// Parse one `[rules]` line: `<id> <severity> <predicates...> "<message>"`.
+    pub fn parse_line(line: &str) -> Result<PatternRule, RuleParseError> {
+        let line = line.trim();
+        let (head, message) = match line.find('"') {
+            Some(q) => {
+                let msg = &line[q + 1..];
+                let Some(end) = msg.rfind('"') else {
+                    return Err(err("rule message is missing its closing quote"));
+                };
+                if !msg[end + 1..].trim().is_empty() {
+                    return Err(err("unexpected text after the rule message"));
+                }
+                (&line[..q], &msg[..end])
+            }
+            None => return Err(err("rule is missing its quoted message")),
+        };
+        if message.trim().is_empty() {
+            return Err(err("rule message is empty"));
+        }
+        let mut words = head.split_ascii_whitespace();
+        let Some(id) = words.next() else {
+            return Err(err("rule is missing its identifier"));
+        };
+        if !valid_id(id) {
+            return Err(err(format!(
+                "rule identifier `{id}` must be kebab-case (lower-case letters, digits, `-`)"
+            )));
+        }
+        if descriptor(id).is_some() {
+            return Err(err(format!(
+                "rule identifier `{id}` collides with a built-in check"
+            )));
+        }
+        let Some(severity) = words.next() else {
+            return Err(err(format!("rule `{id}` is missing its severity")));
+        };
+        let Some(category) = Category::parse(severity) else {
+            return Err(err(format!(
+                "rule `{id}`: unknown severity `{severity}` (use error, warning or style)"
+            )));
+        };
+        let mut rule = PatternRule {
+            id: intern_id(id),
+            category,
+            element: None,
+            require: Vec::new(),
+            forbid: Vec::new(),
+            message: message.to_string(),
+        };
+        for word in words {
+            if let Some(rest) = word.strip_prefix("element=") {
+                if rule.element.is_some() {
+                    return Err(err(format!("rule `{id}` declares element= twice")));
+                }
+                if rest.is_empty() {
+                    return Err(err(format!("rule `{id}`: element= needs a name")));
+                }
+                rule.element = Some(rest.to_ascii_lowercase());
+            } else if let Some(rest) = word.strip_prefix("!attr=") {
+                if rest.is_empty() || rest.contains('=') {
+                    return Err(err(format!("rule `{id}`: !attr= takes a bare name")));
+                }
+                rule.forbid.push(rest.to_ascii_lowercase());
+            } else if let Some(rest) = word.strip_prefix("attr=") {
+                rule.require.push(parse_attr_pred(id, rest)?);
+            } else {
+                return Err(err(format!("rule `{id}`: unknown predicate `{word}`")));
+            }
+        }
+        if rule.element.is_none() && rule.require.is_empty() && rule.forbid.is_empty() {
+            return Err(err(format!("rule `{id}` has no predicates")));
+        }
+        Ok(rule)
+    }
+
+    /// Whether the rule applies to an element with this name.
+    pub fn element_matches(&self, name: &str) -> bool {
+        match &self.element {
+            Some(e) => e.eq_ignore_ascii_case(name),
+            None => true,
+        }
+    }
+
+    /// The attribute name the `{attr}` placeholder expands to.
+    pub fn subject_attr(&self) -> Option<&str> {
+        self.require
+            .first()
+            .map(|p| p.name.as_str())
+            .or_else(|| self.forbid.first().map(String::as_str))
+    }
+
+    /// Expand the message template for a concrete match.
+    pub fn render_message(&self, element: &str, value: Option<&str>) -> String {
+        let mut out = self.message.clone();
+        if out.contains("{element}") {
+            out = out.replace("{element}", element);
+        }
+        if out.contains("{attr}") {
+            out = out.replace("{attr}", self.subject_attr().unwrap_or(""));
+        }
+        if out.contains("{value}") {
+            out = out.replace("{value}", value.unwrap_or(""));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for PatternRule {
+    /// Render the rule back in its `[rules]` line syntax, so listings can
+    /// show exactly what the configuration declared.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.id, self.category)?;
+        if let Some(e) = &self.element {
+            write!(f, " element={e}")?;
+        }
+        for p in &self.require {
+            match &p.matcher {
+                None => write!(f, " attr={}", p.name)?,
+                Some(ValueMatcher::Literal(v)) => write!(f, " attr={}={v}", p.name)?,
+                Some(ValueMatcher::Prefix(v)) => write!(f, " attr={}^={v}", p.name)?,
+                Some(ValueMatcher::Substring(v)) => write!(f, " attr={}*={v}", p.name)?,
+            }
+        }
+        for a in &self.forbid {
+            write!(f, " !attr={a}")?;
+        }
+        write!(f, " \"{}\"", self.message)
+    }
+}
+
+fn parse_attr_pred(id: &str, rest: &str) -> Result<AttrPred, RuleParseError> {
+    if rest.is_empty() {
+        return Err(err(format!("rule `{id}`: attr= needs a name")));
+    }
+    // Operator search: `NAME`, `NAME=VALUE`, `NAME^=PREFIX`, `NAME*=SUBSTR`.
+    let (name, matcher) = if let Some(pos) = rest.find("^=") {
+        (
+            &rest[..pos],
+            Some(ValueMatcher::Prefix(rest[pos + 2..].to_string())),
+        )
+    } else if let Some(pos) = rest.find("*=") {
+        (
+            &rest[..pos],
+            Some(ValueMatcher::Substring(rest[pos + 2..].to_string())),
+        )
+    } else if let Some(pos) = rest.find('=') {
+        (
+            &rest[..pos],
+            Some(ValueMatcher::Literal(rest[pos + 1..].to_string())),
+        )
+    } else {
+        (rest, None)
+    };
+    if name.is_empty() {
+        return Err(err(format!("rule `{id}`: attr= needs a name")));
+    }
+    Ok(AttrPred {
+        name: name.to_ascii_lowercase(),
+        matcher,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_bootstrap_shape() {
+        let r = PatternRule::parse_line(
+            "button-class warning element=button !attr=class \"every <button> needs a class\"",
+        )
+        .unwrap();
+        assert_eq!(r.id, "button-class");
+        assert_eq!(r.category, Category::Warning);
+        assert_eq!(r.element.as_deref(), Some("button"));
+        assert_eq!(r.forbid, vec!["class"]);
+        assert!(r.require.is_empty());
+        assert_eq!(r.subject_attr(), Some("class"));
+    }
+
+    #[test]
+    fn parses_value_matchers() {
+        let r = PatternRule::parse_line(
+            "nav-href error element=a attr=class*=nav-link attr=target=_blank \
+             attr=href^=http \"m\"",
+        )
+        .unwrap();
+        assert_eq!(r.require.len(), 3);
+        assert_eq!(
+            r.require[0].matcher,
+            Some(ValueMatcher::Substring("nav-link".into()))
+        );
+        assert_eq!(
+            r.require[1].matcher,
+            Some(ValueMatcher::Literal("_blank".into()))
+        );
+        assert_eq!(
+            r.require[2].matcher,
+            Some(ValueMatcher::Prefix("http".into()))
+        );
+    }
+
+    #[test]
+    fn value_matching_is_case_insensitive() {
+        assert!(ValueMatcher::Literal("Modal".into()).matches("modal"));
+        assert!(ValueMatcher::Prefix("HTTP".into()).matches("https://x"));
+        assert!(ValueMatcher::Substring("nav-LINK".into()).matches("btn nav-link active"));
+        assert!(!ValueMatcher::Substring("nav-link".into()).matches("navlink"));
+        assert!(!ValueMatcher::Prefix("https".into()).matches("http"));
+        assert!(ValueMatcher::Substring("".into()).matches("anything"));
+    }
+
+    #[test]
+    fn rejects_malformed_rules() {
+        for (line, needle) in [
+            ("", "quoted message"),
+            ("\"m\"", "missing its identifier"),
+            ("id-only warning \"m\"", "no predicates"),
+            ("Bad_Id warning element=a \"m\"", "kebab-case"),
+            ("img-alt warning element=img \"m\"", "collides"),
+            ("r warning element=a no-message", "quoted message"),
+            ("r warning element=a \"unclosed", "closing quote"),
+            ("r bogus element=a \"m\"", "unknown severity"),
+            ("r warning wat=a \"m\"", "unknown predicate"),
+            ("r warning element=a \"\"", "message is empty"),
+            ("r warning element=a element=b \"m\"", "twice"),
+            ("r warning !attr=a=b \"m\"", "bare name"),
+        ] {
+            let e = PatternRule::parse_line(line).unwrap_err();
+            assert!(e.0.contains(needle), "{line:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn message_template_expands() {
+        let r = PatternRule::parse_line(
+            "toggle warning attr=data-toggle !attr=data-target \
+             \"{element} has data-toggle={value} but no {attr}\"",
+        )
+        .unwrap();
+        // {attr} names the first required attribute.
+        assert_eq!(
+            r.render_message("div", Some("modal")),
+            "div has data-toggle=modal but no data-toggle"
+        );
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for line in [
+            "button-class warning element=button !attr=class \"every <button> needs a class\"",
+            "nav-href error element=a attr=class*=nav-link attr=target=_blank \
+             attr=href^=http \"m\"",
+            "any-rule style attr=data-x \"{element} has {attr}={value}\"",
+        ] {
+            let r = PatternRule::parse_line(line).unwrap();
+            assert_eq!(PatternRule::parse_line(&r.to_string()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn element_any_matches_everything() {
+        let r = PatternRule::parse_line("r warning !attr=id \"m\"").unwrap();
+        assert!(r.element_matches("div"));
+        assert!(r.element_matches("SPAN"));
+    }
+}

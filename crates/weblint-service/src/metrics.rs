@@ -1,7 +1,11 @@
 //! Service observability.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
+
+use weblint_core::{Diagnostic, Rule, REGISTRY};
 
 use crate::cache::CacheStats;
 
@@ -19,6 +23,14 @@ pub(crate) struct Counters {
     pub(crate) lint_nanos: AtomicU64,
     /// One slot per worker thread: jobs that worker actually linted.
     pub(crate) per_worker: Vec<AtomicU64>,
+    /// One slot per registry rule: diagnostics carrying that rule's id,
+    /// counted once per fresh lint (cache hits and coalesced joins reuse
+    /// the original lint's counts).
+    pub(crate) rule_hits: Vec<AtomicU64>,
+    /// Hit counts for custom pattern rules, keyed by interned id. Custom
+    /// ids are open-ended so this is a locked map, not a dense array; it
+    /// is touched once per diagnostic from a custom rule, which is rare.
+    pub(crate) custom_hits: Mutex<BTreeMap<&'static str, u64>>,
 }
 
 impl Counters {
@@ -35,6 +47,8 @@ impl Counters {
             queue_wait_nanos: AtomicU64::new(0),
             lint_nanos: AtomicU64::new(0),
             per_worker: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            rule_hits: (0..Rule::COUNT).map(|_| AtomicU64::new(0)).collect(),
+            custom_hits: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -46,6 +60,39 @@ impl Counters {
     pub(crate) fn add_lint_time(&self, d: Duration) {
         self.lint_nanos
             .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Tally one fresh lint's diagnostics into the per-rule counters.
+    pub(crate) fn count_rule_hits(&self, diags: &[Diagnostic]) {
+        for d in diags {
+            match Rule::from_id(d.id) {
+                Some(rule) => {
+                    self.rule_hits[rule as usize].fetch_add(1, Ordering::Relaxed);
+                }
+                None => {
+                    *self.custom_hits.lock().unwrap().entry(d.id).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    /// Snapshot the per-rule counters as `(id, hits)` pairs, most-hit
+    /// first (ties by id), silent rules omitted.
+    pub(crate) fn rule_hit_pairs(&self) -> Vec<(&'static str, u64)> {
+        let mut pairs: Vec<(&'static str, u64)> = Vec::new();
+        for (i, n) in self.rule_hits.iter().enumerate() {
+            let n = n.load(Ordering::Relaxed);
+            if n > 0 {
+                pairs.push((REGISTRY[i].id, n));
+            }
+        }
+        for (id, n) in self.custom_hits.lock().unwrap().iter() {
+            if *n > 0 {
+                pairs.push((id, *n));
+            }
+        }
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        pairs
     }
 }
 
@@ -87,6 +134,10 @@ pub struct ServiceMetrics {
     pub queue_wait: Duration,
     /// Total wall time workers spent linting, summed over jobs.
     pub lint_time: Duration,
+    /// Diagnostics per rule id, most-hit first, silent rules omitted.
+    /// Counted once per fresh lint; cache-served and coalesced submissions
+    /// reuse the original lint's counts.
+    pub rule_hits: Vec<(&'static str, u64)>,
 }
 
 impl ServiceMetrics {
@@ -141,7 +192,15 @@ impl std::fmt::Display for ServiceMetrics {
             "  time:  {:.1}ms queued, {:.1}ms linting",
             self.queue_wait.as_secs_f64() * 1000.0,
             self.lint_time.as_secs_f64() * 1000.0
-        )
+        )?;
+        if !self.rule_hits.is_empty() {
+            write!(
+                f,
+                "\n{}",
+                weblint_core::render_hits(&self.rule_hits).trim_end()
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -173,6 +232,7 @@ mod tests {
             },
             queue_wait: Duration::from_millis(12),
             lint_time: Duration::from_millis(48),
+            rule_hits: vec![("img-alt", 5), ("button-class", 2)],
         };
         let text = m.to_string();
         for needle in [
@@ -184,9 +244,38 @@ mod tests {
             "2 coalesced",
             "1 worker panic(s)",
             "1 respawn(s)",
+            "rule hits: 7 across 2 rules",
+            "img-alt",
+            "button-class",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in {text}");
         }
         assert_eq!(m.jobs_in_flight(), 0);
+    }
+
+    #[test]
+    fn no_rule_hits_means_no_section() {
+        let m = ServiceMetrics::default();
+        assert!(!m.to_string().contains("rule hits"), "{m}");
+    }
+
+    #[test]
+    fn counters_tally_and_sort_rule_hits() {
+        use weblint_core::Category;
+        let c = Counters::new(1);
+        let diag = |id: &'static str| Diagnostic::new(id, Category::Warning, 1, 1, "m".into());
+        c.count_rule_hits(&[
+            diag("img-alt"),
+            diag("img-alt"),
+            diag(weblint_core::intern_id("button-class")),
+            diag("odd-quotes"),
+            diag("odd-quotes"),
+            diag("odd-quotes"),
+        ]);
+        let pairs = c.rule_hit_pairs();
+        assert_eq!(
+            pairs,
+            vec![("odd-quotes", 3), ("img-alt", 2), ("button-class", 1)]
+        );
     }
 }

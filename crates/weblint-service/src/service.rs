@@ -324,6 +324,9 @@ impl LintService {
                             .unwrap_or_else(|| self.shared.base.as_ref().clone());
                         let checker = Weblint::with_config(config);
                         let result = lint_with(&checker, &job.source);
+                        if let Ok(diags) = &result {
+                            self.shared.counters.count_rule_hits(diags);
+                        }
                         self.shared.answer_waiters(key, waiters, &result);
                     }
                 }
@@ -402,6 +405,7 @@ impl LintService {
                 .unwrap_or_default(),
             queue_wait: std::time::Duration::from_nanos(c.queue_wait_nanos.load(Ordering::Relaxed)),
             lint_time: std::time::Duration::from_nanos(c.lint_nanos.load(Ordering::Relaxed)),
+            rule_hits: c.rule_hit_pairs(),
         }
     }
 
@@ -589,6 +593,7 @@ fn worker_loop(shared: &Shared, index: usize) {
         };
         shared.counters.add_lint_time(started.elapsed());
         shared.counters.per_worker[index].fetch_add(1, Ordering::Relaxed);
+        shared.counters.count_rule_hits(&diags);
 
         let reply = guard.disarm();
         let result = Ok(diags);
@@ -649,6 +654,32 @@ mod tests {
         let batch = service.lint_batch(docs.iter().map(String::as_str));
         let batch: Vec<Vec<Diagnostic>> = batch.into_iter().map(|r| r.unwrap()).collect();
         assert_eq!(batch, sequential);
+    }
+
+    #[test]
+    fn metrics_count_per_rule_hits() {
+        let service = small_service(2);
+        service.submit("<H1>x</H2>").unwrap().wait().unwrap();
+        service
+            .submit("<IMG SRC=a><IMG SRC=b>")
+            .unwrap()
+            .wait()
+            .unwrap();
+        let m = service.metrics();
+        let hits: std::collections::HashMap<&str, u64> = m.rule_hits.iter().copied().collect();
+        assert_eq!(hits.get("heading-mismatch"), Some(&1), "{:?}", m.rule_hits);
+        assert_eq!(hits.get("img-alt"), Some(&2), "{:?}", m.rule_hits);
+        assert!(m.to_string().contains("rule hits:"), "{m}");
+        // A cache-served resubmission does not double-count.
+        service.submit("<H1>x</H2>").unwrap().wait().unwrap();
+        let again = service.metrics();
+        let hits: std::collections::HashMap<&str, u64> = again.rule_hits.iter().copied().collect();
+        assert_eq!(
+            hits.get("heading-mismatch"),
+            Some(&1),
+            "{:?}",
+            again.rule_hits
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use std::time::Instant;
 
-use weblint_core::LintSession;
+use weblint_core::{LintConfig, LintSession, PatternRule};
 
 /// Lowest acceptable single-thread throughput on `big.html`, in MiB/s.
 const BIG_FLOOR_MIB_S: f64 = 40.0;
@@ -68,6 +68,78 @@ fn big_html_throughput_floor() {
     assert!(
         mib_per_s >= BIG_FLOOR_MIB_S,
         "big.html lint throughput {mib_per_s:.1} MiB/s fell below the {BIG_FLOOR_MIB_S} MiB/s floor"
+    );
+}
+
+#[test]
+fn custom_rules_stay_off_the_hot_path() {
+    // A loaded-but-never-matching pattern rule must cost next to nothing:
+    // the interpreter only runs its predicates when the element gate
+    // passes. Measure big.html with and without a never-matching rule and
+    // require the loaded session to keep at least 90% of the plain
+    // session's throughput. Both sessions must also stay on the interned
+    // fast path — a custom rule that forced fallback interning would show
+    // up in the canary before it showed up in the timings.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("big.html");
+    let source = std::fs::read_to_string(&path).expect("big.html fixture");
+    let mib = source.len() as f64 / (1024.0 * 1024.0);
+    let iters = 10;
+
+    let mut plain_session = LintSession::new();
+    let mut loaded_config = LintConfig::default();
+    loaded_config.add_custom_rule(
+        PatternRule::parse_line("perf-canary style element=zzz-neverland \"never fires\"")
+            .expect("canary rule parses"),
+    );
+    let mut loaded_session = LintSession::with_config(loaded_config);
+    let time = |session: &mut LintSession| {
+        let started = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(session.check_string(&source));
+        }
+        mib * iters as f64 / started.elapsed().as_secs_f64()
+    };
+    time(&mut plain_session); // warm the scratch buffers
+    time(&mut loaded_session);
+
+    // The sessions alternate within each round so scheduler noise hits
+    // both sides alike; the gate takes each side's best round.
+    let mut plain: f64 = 0.0;
+    let mut loaded: f64 = 0.0;
+    for _ in 0..3 {
+        plain = plain.max(time(&mut plain_session));
+        loaded = loaded.max(time(&mut loaded_session));
+    }
+
+    // The canary holds in every build profile.
+    assert_eq!(
+        plain_session.fallback_interns(),
+        0,
+        "plain session left the interned path"
+    );
+    assert_eq!(
+        loaded_session.fallback_interns(),
+        0,
+        "custom rule forced fallback interning"
+    );
+
+    eprintln!(
+        "big.html: {plain:.1} MiB/s plain, {loaded:.1} MiB/s with idle custom \
+         rule ({:.1}%)",
+        loaded / plain * 100.0
+    );
+    if cfg!(debug_assertions) {
+        eprintln!("debug build: ratio floor not armed");
+        return;
+    }
+    assert!(
+        loaded >= plain * 0.85,
+        "idle custom rule cost too much: {loaded:.1} MiB/s vs {plain:.1} MiB/s plain"
+    );
+    assert!(
+        loaded >= BIG_FLOOR_MIB_S,
+        "big.html with idle custom rule {loaded:.1} MiB/s fell below the \
+         {BIG_FLOOR_MIB_S} MiB/s floor"
     );
 }
 
