@@ -84,3 +84,51 @@ test -f "$fixdir/page.html.orig"
 cmp "$fixdir/page.html.orig" "$fixdir/before.html"
 cargo run --release -p weblint-cli --bin weblint -- "$fixdir/page.html"
 rm -rf "$fixdir"
+
+# Crash-safe crawling gates (E18). The torture suite proves the
+# checkpoint decoder refuses every truncation offset and bit flip
+# cleanly; the shell gates prove the CLI contract: a paused or
+# hard-killed crawl, resumed at the same flags, reproduces the
+# uninterrupted run's stdout byte for byte. (The chaos suite above
+# already covers shard death, checkpoint corruption fallback, and
+# fingerprint refusal in-process.)
+timeout 120 cargo test -q --release --test checkpoint_torture
+
+poacher=target/release/poacher
+ckroot="$(mktemp -d)"
+crawl="-mega 8x100 -shards 4 -jobs 4 -stats -faults 10% -fault-seed 7 -adaptive -quiet"
+
+# Golden uninterrupted run: exit 1 because the mega-site plants lint
+# defects and dead links on purpose.
+rc=0; "$poacher" $crawl > "$ckroot/golden.out" || rc=$?
+test "$rc" -eq 1
+
+# Graceful pause + resume: raise the stop sentinel so the crawl flushes
+# a checkpoint and exits 0 almost immediately; clear it and resume —
+# the completed run's stdout must equal the golden bytes.
+touch "$ckroot/stop"
+rc=0; "$poacher" $crawl -checkpoint-dir "$ckroot/pause" -checkpoint-every 8 \
+    -stop-file "$ckroot/stop" > /dev/null || rc=$?
+test "$rc" -eq 0 -o "$rc" -eq 1
+rm -f "$ckroot/stop"
+rc=0; "$poacher" $crawl -checkpoint-dir "$ckroot/pause" -checkpoint-every 8 \
+    -resume > "$ckroot/resumed.out" || rc=$?
+test "$rc" -eq 1
+cmp "$ckroot/resumed.out" "$ckroot/golden.out"
+
+# Hard kill + resume: SIGKILL the crawl mid-flight (137) — or, on a
+# fast box, let it finish (1); either way resuming at the same flags
+# must reproduce the golden stdout byte for byte.
+rc=0; timeout -s KILL 0.08 "$poacher" $crawl -checkpoint-dir "$ckroot/kill" \
+    -checkpoint-every 8 > /dev/null 2>&1 || rc=$?
+test "$rc" -eq 137 -o "$rc" -eq 1
+rc=0; "$poacher" $crawl -checkpoint-dir "$ckroot/kill" -checkpoint-every 8 \
+    -resume > "$ckroot/killed.out" || rc=$?
+test "$rc" -eq 1
+cmp "$ckroot/killed.out" "$ckroot/golden.out"
+rm -rf "$ckroot"
+
+# Shard-scaling perf smoke (E18): the bench's shape pass crawls the
+# sleepy federation at 1/2/4/8 shards and asserts the merged report is
+# identical at every width; criterion --test mode skips measurement.
+timeout 180 cargo bench -p weblint-bench --bench shards -- --test

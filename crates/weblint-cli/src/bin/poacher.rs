@@ -4,7 +4,8 @@
 //! site. I have written one, called poacher, which is included with the
 //! robot module for Perl. Poacher also performs basic link validation"
 //! (§4.5). This poacher crawls a local directory tree served through the
-//! store fetcher, starting at its `index.html`.
+//! store fetcher, starting at its `index.html` — or, with `-mega`, a
+//! generated federation of hosts for the sharded-crawl experiments.
 //!
 //! ```text
 //! usage: poacher [options] DIRECTORY
@@ -14,11 +15,18 @@
 //!   -help
 //! ```
 
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use weblint_core::{format_report, LintConfig, OutputFormat};
+use weblint_corpus::{MegaSite, MegaSiteOptions};
 use weblint_service::{LintService, ServiceConfig};
-use weblint_site::{DirStore, FaultSpec, FetchStack, Robot, RobotOptions, StoreFetcher};
+use weblint_site::{
+    CheckpointConfig, CrawledPage, DirStore, FaultSpec, FetchStack, Fetcher, FnFetcher, Robot,
+    RobotOptions, ShardedOptions, ShardedOutcome, StoreFetcher, Url,
+};
 
 const USAGE: &str = "\
 usage: poacher [options] DIRECTORY
@@ -35,6 +43,16 @@ options:
                 per-host limit clamps each batch further)
   -adaptive     pace the crawl: AIMD per-host in-flight limits plus
                 budget-capped hedged fetches
+  -shards N     partition the crawl across N robot shards by host hash;
+                shards crawl in lockstep waves and the merged report is
+                byte-identical for a fixed seed
+  -mega HxP     crawl a generated federation of H hosts with P pages
+                each instead of DIRECTORY (seeded by -fault-seed)
+  -checkpoint-dir DIR  write crash-safe crawl checkpoints into DIR
+  -checkpoint-every N  checkpoint every N crawled pages (default 64)
+  -resume       resume an interrupted crawl from -checkpoint-dir
+  -stop-file F  stop gracefully — flush a final checkpoint, exit 0 — as
+                soon as the file F exists
   -fix          repair every crawled page in place (originals kept as
                 FILE.orig); messages and the exit status reflect what is
                 left over after fixing
@@ -44,7 +62,8 @@ options:
   -faults SPEC  inject deterministic fetch faults and crawl through the
                 retrying fetcher; SPEC is RATE% or RATE%:KIND+KIND
                 (kinds: latency, timeout, 5xx, reset, truncate),
-                optionally confined to one host with @HOST
+                optionally confined to one host with @HOST; unknown
+                kinds are ignored with a warning
   -fault-seed N seed for fault injection and retry jitter (default 0)
   -help         this message";
 
@@ -60,7 +79,44 @@ struct Options {
     quiet: bool,
     stats: bool,
     faults: Option<FaultSpec>,
+    faults_raw: String,
+    fault_warnings: Vec<String>,
     fault_seed: u64,
+    shards: Option<usize>,
+    mega: Option<(usize, usize)>,
+    checkpoint_dir: Option<String>,
+    checkpoint_every: usize,
+    resume: bool,
+    stop_file: Option<String>,
+}
+
+impl Options {
+    /// Any of the crash-safe-crawl flags selects the sharded wave
+    /// scheduler instead of the classic single-frontier crawl.
+    fn sharded(&self) -> bool {
+        self.shards.is_some()
+            || self.mega.is_some()
+            || self.checkpoint_dir.is_some()
+            || self.resume
+            || self.stop_file.is_some()
+    }
+}
+
+fn parse_mega(v: &str) -> Result<(usize, usize), String> {
+    let (h, p) = v
+        .split_once('x')
+        .ok_or_else(|| format!("-mega needs HOSTSxPAGES, got `{v}'"))?;
+    let hosts = h
+        .parse()
+        .ok()
+        .filter(|&n| (1..=64).contains(&n))
+        .ok_or_else(|| format!("-mega needs 1..=64 hosts, got `{h}'"))?;
+    let pages = p
+        .parse()
+        .ok()
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| format!("-mega needs at least one page per host, got `{p}'"))?;
+    Ok((hosts, pages))
 }
 
 fn parse(argv: &[String]) -> Result<Options, String> {
@@ -75,7 +131,15 @@ fn parse(argv: &[String]) -> Result<Options, String> {
         quiet: false,
         stats: false,
         faults: None,
+        faults_raw: String::new(),
+        fault_warnings: Vec::new(),
         fault_seed: 0,
+        shards: None,
+        mega: None,
+        checkpoint_dir: None,
+        checkpoint_every: 64,
+        resume: false,
+        stop_file: None,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -102,6 +166,34 @@ fn parse(argv: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| format!("-fetchers needs a number in 1..=64, got `{v}'"))?;
             }
             "-adaptive" => options.adaptive = true,
+            "-shards" => {
+                let v = it.next().ok_or("-shards needs a number")?;
+                options.shards = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n| (1..=64).contains(&n))
+                        .ok_or_else(|| format!("-shards needs a number in 1..=64, got `{v}'"))?,
+                );
+            }
+            "-mega" => {
+                let v = it.next().ok_or("-mega needs HOSTSxPAGES, e.g. 4x50")?;
+                options.mega = Some(parse_mega(v)?);
+            }
+            "-checkpoint-dir" => {
+                let v = it.next().ok_or("-checkpoint-dir needs a directory")?;
+                options.checkpoint_dir = Some(v.to_string());
+            }
+            "-checkpoint-every" => {
+                let v = it.next().ok_or("-checkpoint-every needs a number")?;
+                options.checkpoint_every = v.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    format!("-checkpoint-every needs a positive number, got `{v}'")
+                })?;
+            }
+            "-resume" => options.resume = true,
+            "-stop-file" => {
+                let v = it.next().ok_or("-stop-file needs a path")?;
+                options.stop_file = Some(v.to_string());
+            }
             "-fix" => options.fix = true,
             "-quiet" => options.quiet = true,
             "-stats" => options.stats = true,
@@ -109,7 +201,13 @@ fn parse(argv: &[String]) -> Result<Options, String> {
                 let v = it
                     .next()
                     .ok_or("-faults needs a spec, e.g. 20% or 5%:timeout+5xx")?;
-                options.faults = Some(FaultSpec::parse(v).map_err(|e| format!("-faults: {e}"))?);
+                let (spec, warnings) =
+                    FaultSpec::parse_lenient(v).map_err(|e| format!("-faults: {e}"))?;
+                options.faults = Some(spec);
+                options.faults_raw = v.to_string();
+                options
+                    .fault_warnings
+                    .extend(warnings.into_iter().map(|w| format!("-faults: {w}")));
             }
             "-fault-seed" => {
                 let v = it.next().ok_or("-fault-seed needs a number")?;
@@ -124,7 +222,151 @@ fn parse(argv: &[String]) -> Result<Options, String> {
             dir => options.dir = Some(dir.to_string()),
         }
     }
+    if options.resume && options.checkpoint_dir.is_none() {
+        return Err("-resume needs -checkpoint-dir".to_string());
+    }
+    if options.mega.is_some() && options.dir.is_some() {
+        return Err("give DIRECTORY or -mega, not both".to_string());
+    }
+    if options.fix && options.sharded() {
+        return Err("-fix is not supported with the sharded crawl".to_string());
+    }
     Ok(options)
+}
+
+/// Per-shard fault/jitter seed: a stable function of the crawl seed and
+/// the shard index, so resumes and respawns replay the same schedule.
+fn shard_seed(seed: u64, shard: usize) -> u64 {
+    seed ^ (shard as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The `-stats` per-rule hit table over everything the crawl linted, in
+/// the same shape the lint service's metrics endpoint prints.
+fn print_rule_stats(pages: &[CrawledPage]) {
+    let mut counts: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for page in pages {
+        for d in &page.diagnostics {
+            *counts.entry(d.id).or_insert(0) += 1;
+        }
+    }
+    if !counts.is_empty() {
+        let mut pairs: Vec<(&str, u64)> = counts.into_iter().collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        println!("poacher lint statistics:");
+        print!("{}", weblint_core::render_hits(&pairs));
+    }
+}
+
+/// The crash-safe crawl: sharded wave scheduler, optional checkpoints,
+/// graceful stop. Everything on stdout is the report; notices (resume,
+/// shard deaths, pause) go to stderr so a resumed crawl's stdout is
+/// byte-identical to an uninterrupted run's.
+fn run_sharded<F, M>(options: &Options, starts: &[Url], make_stack: M) -> ExitCode
+where
+    F: Fetcher + Sync,
+    M: Fn(usize) -> FetchStack<F> + Sync,
+{
+    let robot = Robot::new(
+        RobotOptions::builder()
+            .max_pages(options.max_pages.max(1))
+            .jobs(options.fetchers)
+            .check_external(false)
+            .lint(LintConfig::default())
+            .build(),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    if let Some(path) = options.stop_file.clone() {
+        let flag = Arc::clone(&stop);
+        std::thread::spawn(move || loop {
+            if Path::new(&path).exists() {
+                flag.store(true, Ordering::SeqCst);
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        });
+    }
+    let sharded_options = ShardedOptions {
+        shards: options.shards.unwrap_or(1),
+        seed: options.fault_seed,
+        checkpoint: options.checkpoint_dir.as_ref().map(|dir| CheckpointConfig {
+            dir: dir.into(),
+            every_pages: options.checkpoint_every,
+            config_token: format!(
+                "faults={};adaptive={};mega={:?}",
+                options.faults_raw, options.adaptive, options.mega
+            ),
+        }),
+        resume: options.resume,
+        stop: Some(Arc::clone(&stop)),
+        chaos: Default::default(),
+    };
+    let outcome = match robot.crawl_sharded(starts, make_stack, &sharded_options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("poacher: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(wave) = outcome.resumed_from_wave {
+        eprintln!("poacher: resumed from checkpoint at wave {wave}");
+    }
+    if outcome.shard_deaths > 0 {
+        eprintln!("poacher: survived {} shard death(s)", outcome.shard_deaths);
+    }
+
+    let report = &outcome.report;
+    let mut messages = 0usize;
+    for page in &report.pages {
+        messages += page.diagnostics.len();
+        if !options.quiet && !page.diagnostics.is_empty() {
+            print!(
+                "{}",
+                format_report(&page.diagnostics, &page.url.to_string(), options.format)
+            );
+        }
+    }
+    for dead in &report.dead_links {
+        println!(
+            "dead link on {}: \"{}\" ({})",
+            dead.page, dead.href, dead.reason
+        );
+    }
+    println!(
+        "poacher: {} page(s) crawled, {} message(s), {} dead link(s), max depth {}",
+        report.pages.len(),
+        messages,
+        report.dead_links.len(),
+        report.max_depth()
+    );
+    if report.truncated {
+        println!("poacher: crawl truncated at {} pages", options.max_pages);
+    }
+    if options.stats {
+        print_rule_stats(&report.pages);
+    }
+    if options.stats || options.faults.is_some() {
+        for (i, telemetry) in &outcome.telemetry {
+            if !telemetry.is_empty() {
+                println!("shard {i} telemetry:");
+                println!("{telemetry}");
+            }
+        }
+    }
+    match outcome.outcome {
+        ShardedOutcome::Complete => {
+            if messages > 0 || !report.dead_links.is_empty() {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        // Graceful stop (budget or stop file): the checkpoint holds the
+        // rest of the crawl; this run did its job.
+        ShardedOutcome::Paused | ShardedOutcome::Killed => {
+            eprintln!("poacher: crawl stopped; resume with -resume");
+            ExitCode::SUCCESS
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -140,7 +382,49 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let Some(dir) = options.dir else {
+    for warning in &options.fault_warnings {
+        eprintln!("poacher: {warning}");
+    }
+
+    if options.sharded() {
+        if let Some((hosts, pages)) = options.mega {
+            let site = MegaSite::new(
+                options.fault_seed,
+                &MegaSiteOptions {
+                    hosts,
+                    pages_per_host: pages,
+                    ..MegaSiteOptions::default()
+                },
+            );
+            let starts: Vec<Url> = site
+                .start_urls()
+                .iter()
+                .map(|u| Url::parse(u).expect("generated start URL"))
+                .collect();
+            let make_stack = |shard: usize| {
+                let fetcher = FnFetcher::new(|url: &Url| site.resolve(&url.host, &url.path));
+                build_stack(&options, fetcher, shard)
+            };
+            return run_sharded(&options, &starts, make_stack);
+        }
+        let Some(dir) = options.dir.clone() else {
+            eprintln!("poacher: no directory given (try -help)");
+            return ExitCode::from(2);
+        };
+        let store = match DirStore::open(&dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("poacher: {dir}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let starts = vec![StoreFetcher::new(&store, "local").start_url()];
+        let make_stack =
+            |shard: usize| build_stack(&options, StoreFetcher::new(&store, "local"), shard);
+        return run_sharded(&options, &starts, make_stack);
+    }
+
+    let Some(dir) = options.dir.clone() else {
         eprintln!("poacher: no directory given (try -help)");
         return ExitCode::from(2);
     };
@@ -171,16 +455,7 @@ fn main() -> ExitCode {
     // Every crawl goes through one composed fetch stack: fault injection
     // and the retrying, breaker-guarded fetcher under -faults, the
     // adaptive pacer under -adaptive, a bare tower otherwise.
-    let mut builder = FetchStack::new(fetcher);
-    if let Some(spec) = options.faults.clone() {
-        builder = builder
-            .faults(spec, options.fault_seed)
-            .resilience_defaults();
-    }
-    if options.adaptive {
-        builder = builder.adaptive_defaults().hedging_defaults();
-    }
-    let stack = builder.build();
+    let stack = build_stack(&options, fetcher, 0);
     let report = match &service {
         Some(service) => robot.crawl_stack_with(&stack, &start, service),
         None => robot.crawl_stack(&stack, &start),
@@ -241,22 +516,8 @@ fn main() -> ExitCode {
     if report.truncated {
         println!("poacher: crawl truncated at {} pages", options.max_pages);
     }
-    // `-stats`: a per-rule hit table over everything the crawl linted,
-    // in the same shape the lint service's metrics and the httpd
-    // /metrics endpoint print.
     if options.stats {
-        let mut counts: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
-        for page in &report.pages {
-            for d in &page.diagnostics {
-                *counts.entry(d.id).or_insert(0) += 1;
-            }
-        }
-        if !counts.is_empty() {
-            let mut pairs: Vec<(&str, u64)> = counts.into_iter().collect();
-            pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
-            println!("poacher lint statistics:");
-            print!("{}", weblint_core::render_hits(&pairs));
-        }
+        print_rule_stats(&report.pages);
     }
     // One shared render path with the httpd /metrics endpoint: the
     // stack's unified telemetry snapshot.
@@ -271,6 +532,21 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Compose the fetch stack for one shard (shard 0 for the classic
+/// crawl): faults + resilience under `-faults`, pacing under
+/// `-adaptive`, a bare tower otherwise.
+fn build_stack<F: Fetcher>(options: &Options, fetcher: F, shard: usize) -> FetchStack<F> {
+    let seed = shard_seed(options.fault_seed, shard);
+    let mut builder = FetchStack::new(fetcher);
+    if let Some(spec) = options.faults.clone() {
+        builder = builder.faults(spec, seed).resilience_defaults();
+    }
+    if options.adaptive {
+        builder = builder.adaptive_defaults().hedging_defaults();
+    }
+    builder.build()
 }
 
 /// Repair one crawled file in place, keeping the original as `.orig`.
@@ -360,16 +636,75 @@ mod tests {
         let spec = options.faults.unwrap();
         assert_eq!(spec.rate_percent, 20);
         assert_eq!(spec.kinds.len(), 2);
+        assert!(options.fault_warnings.is_empty());
         assert_eq!(options.fault_seed, 42);
         // No flag means no injection at all, not a 0% spec.
         assert!(parse(&args(&["site"])).unwrap().faults.is_none());
         for bad in [
             &["-faults"][..],
             &["-faults", "150%"],
-            &["-faults", "20%:gremlins"],
             &["-fault-seed", "soon"],
         ] {
             assert!(parse(&args(bad)).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn unknown_fault_kinds_degrade_to_a_warning() {
+        // PR 7's unknown-check-id convention: unknown names warn and are
+        // dropped, the known remainder still applies.
+        let options = parse(&args(&["-faults", "20%:timeout+gremlins", "site"])).unwrap();
+        let spec = options.faults.unwrap();
+        assert_eq!(spec.kinds.len(), 1);
+        assert_eq!(options.fault_warnings.len(), 1);
+        assert!(
+            options.fault_warnings[0].contains("gremlins")
+                && options.fault_warnings[0].contains("valid kinds"),
+            "{:?}",
+            options.fault_warnings
+        );
+    }
+
+    #[test]
+    fn sharded_flags_parse() {
+        let options = parse(&args(&[
+            "-shards",
+            "4",
+            "-checkpoint-dir",
+            "/tmp/ckpt",
+            "-checkpoint-every",
+            "8",
+            "-stop-file",
+            "/tmp/stop",
+            "-mega",
+            "4x50",
+        ]))
+        .unwrap();
+        assert_eq!(options.shards, Some(4));
+        assert_eq!(options.checkpoint_dir.as_deref(), Some("/tmp/ckpt"));
+        assert_eq!(options.checkpoint_every, 8);
+        assert_eq!(options.stop_file.as_deref(), Some("/tmp/stop"));
+        assert_eq!(options.mega, Some((4, 50)));
+        assert!(options.sharded());
+        assert!(!parse(&args(&["site"])).unwrap().sharded());
+        for bad in [
+            &["-shards", "0"][..],
+            &["-shards", "65"],
+            &["-mega", "4"],
+            &["-mega", "0x5"],
+            &["-mega", "4x0"],
+            &["-checkpoint-every", "0"],
+            &["-resume"],                      // needs -checkpoint-dir
+            &["-mega", "2x2", "site"],         // both inputs
+            &["-fix", "-shards", "2", "site"], // fix is classic-only
+        ] {
+            assert!(parse(&args(bad)).is_err(), "{bad:?}");
+        }
+        // -resume with a dir parses; a bare -shards run does too.
+        assert!(
+            parse(&args(&["-resume", "-checkpoint-dir", "d", "site"]))
+                .unwrap()
+                .resume
+        );
     }
 }

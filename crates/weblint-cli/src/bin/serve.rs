@@ -107,7 +107,14 @@ fn parse(argv: &[String]) -> Result<Options, String> {
                 let v = it
                     .next()
                     .ok_or("-faults needs a spec, e.g. 20% or 5%:timeout+5xx")?;
-                options.faults = Some(FaultSpec::parse(v).map_err(|e| format!("-faults: {e}"))?);
+                // Unknown fault kinds degrade to a warning (the same
+                // convention as unknown check ids): warn, keep going.
+                let (spec, warnings) =
+                    FaultSpec::parse_lenient(v).map_err(|e| format!("-faults: {e}"))?;
+                for warning in warnings {
+                    eprintln!("weblint-serve: -faults: {warning}");
+                }
+                options.faults = Some(spec);
             }
             "-fault-seed" => {
                 let v = it.next().ok_or("-fault-seed needs a number")?;

@@ -29,10 +29,12 @@
 
 mod defect;
 mod gen;
+mod mega;
 mod site;
 mod words;
 
 pub use defect::{all_defect_classes, DefectClass};
 pub use gen::{generate_document, generate_document_with, GenOptions};
+pub use mega::{MegaSite, MegaSiteOptions};
 pub use site::{generate_site, GeneratedPage, SiteOptions, SiteSpec};
 pub(crate) use words::{sentence, word, words};

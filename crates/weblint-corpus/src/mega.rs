@@ -1,0 +1,232 @@
+//! Federated mega-site generation for the sharded crawl experiments.
+//!
+//! The E18 shard-scaling experiment needs a web that is too big for one
+//! polite scheduler: many hosts, each with its own page population, and a
+//! dense cross-host link graph so shards genuinely exchange work. This
+//! module generates one deterministically from a seed — same seed, same
+//! bytes — with tunable defect and dead-link rates so the crawl has
+//! something to lint and something to report.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::words;
+
+/// Knobs for mega-site generation.
+#[derive(Debug, Clone)]
+pub struct MegaSiteOptions {
+    /// Number of hosts (`mega0`, `mega1`, …).
+    pub hosts: usize,
+    /// Pages per host (`index.html` plus `p1.html`…).
+    pub pages_per_host: usize,
+    /// Extra random links per page, on top of the two structural links
+    /// (same-host ring, next-host ring) that keep every page reachable.
+    pub links_per_page: usize,
+    /// Out of 100: probability a page carries a lintable defect.
+    pub defect_percent: u8,
+    /// Out of 100: probability a page links to a missing target.
+    pub dead_percent: u8,
+}
+
+impl Default for MegaSiteOptions {
+    fn default() -> MegaSiteOptions {
+        MegaSiteOptions {
+            hosts: 4,
+            pages_per_host: 25,
+            links_per_page: 3,
+            defect_percent: 30,
+            dead_percent: 10,
+        }
+    }
+}
+
+/// A generated federation of hosts, resolvable page by page.
+///
+/// Every page is reachable from the per-host index seeds: page `i` links
+/// to page `i+1` on the same host (a ring), and to page `i` on the next
+/// host (a second ring across the federation), so a crawl seeded with
+/// each host's `index.html` visits all `hosts * pages_per_host` pages.
+#[derive(Debug, Clone)]
+pub struct MegaSite {
+    hosts: Vec<String>,
+    pages: BTreeMap<(String, String), String>,
+}
+
+impl MegaSite {
+    /// Generate the federation, deterministically from `seed`.
+    pub fn new(seed: u64, options: &MegaSiteOptions) -> MegaSite {
+        let host_count = options.hosts.max(1);
+        let page_count = options.pages_per_host.max(1);
+        let hosts: Vec<String> = (0..host_count).map(|h| format!("mega{h}")).collect();
+        let mut pages = BTreeMap::new();
+        for (hi, host) in hosts.iter().enumerate() {
+            for pi in 0..page_count {
+                let mut rng = StdRng::seed_from_u64(
+                    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add((hi as u64) << 32)
+                        .wrapping_add(pi as u64),
+                );
+                let path = page_path(pi);
+                let mut body = format!("<HTML><HEAD><TITLE>{host} {path}</TITLE></HEAD><BODY>\n");
+                if rng.random_range(0..100u8) < options.defect_percent {
+                    // The paper's signature mistake class: mismatched
+                    // heading close (§4.2).
+                    body.push_str(&format!("<H1>{}</H2>\n", words(&mut rng, 3)));
+                } else {
+                    body.push_str(&format!("<H1>{}</H1>\n", words(&mut rng, 3)));
+                }
+                body.push_str(&format!("<P>{}</P>\n", words(&mut rng, 12)));
+                // Structural ring links: same host, then next host.
+                push_link(&mut body, &page_path((pi + 1) % page_count), &mut rng);
+                if host_count > 1 {
+                    let next = &hosts[(hi + 1) % host_count];
+                    push_link(
+                        &mut body,
+                        &format!("http://{next}{}", page_path(pi)),
+                        &mut rng,
+                    );
+                }
+                for _ in 0..options.links_per_page {
+                    if rng.random_range(0..100u8) < options.dead_percent {
+                        let n: u32 = rng.random_range(0..1000);
+                        push_link(&mut body, &format!("/missing{n}.html"), &mut rng);
+                    } else {
+                        let th = rng.random_range(0..host_count);
+                        let tp = page_path(rng.random_range(0..page_count));
+                        if th == hi {
+                            push_link(&mut body, &tp, &mut rng);
+                        } else {
+                            push_link(&mut body, &format!("http://{}{tp}", hosts[th]), &mut rng);
+                        }
+                    }
+                }
+                body.push_str("</BODY></HTML>\n");
+                pages.insert((host.clone(), path), body);
+            }
+        }
+        MegaSite { hosts, pages }
+    }
+
+    /// The federation's host names, in order.
+    pub fn hosts(&self) -> &[String] {
+        &self.hosts
+    }
+
+    /// Crawl seeds: each host's index page URL.
+    pub fn start_urls(&self) -> Vec<String> {
+        self.hosts
+            .iter()
+            .map(|h| format!("http://{h}/index.html"))
+            .collect()
+    }
+
+    /// Total generated pages across the federation.
+    pub fn total_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Serve one request: `Some((content_type, body))` for a generated
+    /// page, `None` (a 404) for everything else — including the
+    /// deliberately dead `missingN.html` targets.
+    pub fn resolve(&self, host: &str, path: &str) -> Option<(String, String)> {
+        self.pages
+            .get(&(host.to_string(), path.to_string()))
+            .map(|body| ("text/html".to_string(), body.clone()))
+    }
+}
+
+fn page_path(i: usize) -> String {
+    if i == 0 {
+        "/index.html".to_string()
+    } else {
+        format!("/p{i}.html")
+    }
+}
+
+fn push_link(body: &mut String, href: &str, rng: &mut StdRng) {
+    body.push_str(&format!(
+        "<P><A HREF=\"{href}\">{}</A></P>\n",
+        words(rng, 2)
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MegaSite {
+        MegaSite::new(
+            42,
+            &MegaSiteOptions {
+                hosts: 3,
+                pages_per_host: 5,
+                links_per_page: 2,
+                defect_percent: 50,
+                dead_percent: 30,
+            },
+        )
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.pages, b.pages);
+        assert_ne!(
+            MegaSite::new(43, &MegaSiteOptions::default()).pages,
+            MegaSite::new(42, &MegaSiteOptions::default()).pages
+        );
+    }
+
+    #[test]
+    fn every_page_resolves_and_missing_paths_do_not() {
+        let site = small();
+        assert_eq!(site.total_pages(), 15);
+        for host in site.hosts() {
+            for i in 0..5 {
+                let (ct, body) = site.resolve(host, &page_path(i)).expect("page exists");
+                assert_eq!(ct, "text/html");
+                assert!(body.contains("<TITLE>"), "{body}");
+            }
+        }
+        assert!(site.resolve("mega0", "/missing1.html").is_none());
+        assert!(site.resolve("nothere", "/index.html").is_none());
+    }
+
+    #[test]
+    fn ring_links_keep_every_page_reachable() {
+        // Page i links to page i+1 on its own host, so following the
+        // same-host ring from index.html covers the host; the seeds
+        // cover every host.
+        let site = small();
+        for host in site.hosts() {
+            for i in 0..5 {
+                let (_, body) = site.resolve(host, &page_path(i)).unwrap();
+                let next = page_path((i + 1) % 5);
+                assert!(body.contains(&format!("HREF=\"{next}\"")), "{host} {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_host_links_exist() {
+        let site = small();
+        let (_, body) = site.resolve("mega0", "/index.html").unwrap();
+        assert!(body.contains("http://mega1/index.html"), "{body}");
+    }
+
+    #[test]
+    fn start_urls_cover_every_host() {
+        let site = small();
+        assert_eq!(
+            site.start_urls(),
+            vec![
+                "http://mega0/index.html",
+                "http://mega1/index.html",
+                "http://mega2/index.html"
+            ]
+        );
+    }
+}

@@ -149,6 +149,61 @@ impl FaultSpec {
         out.host = host;
         Ok(out)
     }
+
+    /// [`FaultSpec::parse`] for the CLIs: unknown fault-kind tokens
+    /// degrade to warnings (matching the unknown-check-id convention)
+    /// instead of aborting the whole invocation. Structural errors — a
+    /// bad rate, an empty `@host` — still fail. If *every* named kind is
+    /// unknown the spec falls back to all kinds, with a warning saying
+    /// so.
+    pub fn parse_lenient(spec: &str) -> Result<(FaultSpec, Vec<String>), String> {
+        if let Ok(parsed) = FaultSpec::parse(spec) {
+            return Ok((parsed, Vec::new()));
+        }
+        let (body, host) = match spec.rsplit_once('@') {
+            Some((s, h)) if !h.trim().is_empty() => (s, Some(h.trim().to_ascii_lowercase())),
+            Some(_) => return Err("fault spec names an empty @host".to_string()),
+            None => (spec, None),
+        };
+        let (rate_part, kinds_part) = match body.split_once(':') {
+            Some((r, k)) => (r, Some(k)),
+            None => (body, None),
+        };
+        let rate = rate_part.trim().trim_end_matches('%');
+        let rate_percent: u8 = rate
+            .parse()
+            .ok()
+            .filter(|&r| r <= 100)
+            .ok_or_else(|| format!("bad fault rate `{rate_part}' (want 0-100, e.g. 20%)"))?;
+        let valid = FaultKind::ALL.map(FaultKind::name).join(", ");
+        let mut out = FaultSpec::all(rate_percent);
+        let mut warnings = Vec::new();
+        if let Some(kinds_part) = kinds_part {
+            let mut kinds = Vec::new();
+            for name in kinds_part.split('+') {
+                let name = name.trim();
+                match FaultKind::ALL.into_iter().find(|k| k.name() == name) {
+                    Some(kind) => {
+                        if !kinds.contains(&kind) {
+                            kinds.push(kind);
+                        }
+                    }
+                    None => warnings.push(format!(
+                        "ignoring unknown fault kind `{name}' (valid kinds: {valid})"
+                    )),
+                }
+            }
+            if kinds.is_empty() {
+                warnings.push(format!(
+                    "no valid fault kinds in `{kinds_part}'; injecting every kind ({valid})"
+                ));
+            } else {
+                out.kinds = kinds;
+            }
+        }
+        out.host = host;
+        Ok((out, warnings))
+    }
 }
 
 /// Simulated round-trip cost of one transport attempt, in microseconds.
@@ -355,6 +410,41 @@ impl<F> FaultyWeb<F> {
         let mut state = self.state.lock().unwrap();
         state.hosts.entry(host.to_string()).or_default().truncated += 1;
     }
+
+    /// Snapshot the layer's mutable state — per-URL attempt counters and
+    /// per-host fault counters — for checkpointing. Restoring this into a
+    /// fresh layer with the same spec and seed resumes the exact fault
+    /// schedule, because every decision is a pure function of
+    /// `(seed, url, attempt)`.
+    pub fn export_state(&self) -> FaultLayerState {
+        let state = self.state.lock().unwrap();
+        let mut attempts: Vec<(String, u64)> = state
+            .attempts
+            .iter()
+            .map(|(u, n)| (u.clone(), *n))
+            .collect();
+        attempts.sort();
+        FaultLayerState {
+            attempts,
+            hosts: state.hosts.iter().map(|(h, c)| (h.clone(), *c)).collect(),
+        }
+    }
+
+    /// Overwrite the layer's mutable state from a checkpoint snapshot.
+    pub fn restore_state(&self, snapshot: &FaultLayerState) {
+        let mut state = self.state.lock().unwrap();
+        state.attempts = snapshot.attempts.iter().cloned().collect();
+        state.hosts = snapshot.hosts.iter().cloned().collect();
+    }
+}
+
+/// Checkpointable state of a [`FaultyWeb`] layer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultLayerState {
+    /// Per-URL request counters, sorted by URL.
+    pub attempts: Vec<(String, u64)>,
+    /// Per-host fault counters, sorted by host.
+    pub hosts: Vec<(String, HostFaults)>,
 }
 
 /// Cut `body` roughly in half on a character boundary.
@@ -558,6 +648,47 @@ struct HostState {
     stats: HostResilience,
 }
 
+/// A host's breaker position, flattened for checkpointing (the internal
+/// state machine carries its counters along).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BreakerSnapshot {
+    /// The host has never been driven (no breaker allocated yet).
+    #[default]
+    Unset,
+    /// Closed, with the current consecutive-failure count.
+    Closed {
+        /// Consecutive request failures so far.
+        failures: u32,
+    },
+    /// Open, shedding requests.
+    Open {
+        /// Requests left to shed before the half-open probe.
+        remaining: u32,
+    },
+    /// Waiting on (or just admitted) the recovery probe.
+    HalfOpen,
+}
+
+/// Checkpointable state of a [`ResilientFetcher`] layer: one entry per
+/// host, sorted by host.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResilienceLayerState {
+    /// Per-host counters and breaker positions.
+    pub hosts: Vec<ResilienceHostState>,
+}
+
+/// One host's checkpointed resilience state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilienceHostState {
+    /// The host — stored alongside the counters so the vector is
+    /// self-contained.
+    pub host: String,
+    /// The host's counters.
+    pub stats: HostResilience,
+    /// The host's breaker position.
+    pub breaker: BreakerSnapshot,
+}
+
 /// Whether a status is worth retrying: the host itself misbehaved, as
 /// opposed to answering definitively (2xx/3xx/404 are answers).
 pub(crate) fn transient(status: &Status) -> bool {
@@ -648,6 +779,48 @@ impl<F> ResilientFetcher<F> {
                 BreakerState::HalfOpen
             }
             Some(Breaker::Open { .. }) => BreakerState::Open,
+        }
+    }
+
+    /// Snapshot every host's counters and breaker position for
+    /// checkpointing.
+    pub fn export_state(&self) -> ResilienceLayerState {
+        let hosts = self.hosts.lock().unwrap();
+        ResilienceLayerState {
+            hosts: hosts
+                .iter()
+                .map(|(h, s)| ResilienceHostState {
+                    host: h.clone(),
+                    stats: s.stats,
+                    breaker: match s.breaker {
+                        None => BreakerSnapshot::Unset,
+                        Some(Breaker::Closed { failures }) => BreakerSnapshot::Closed { failures },
+                        Some(Breaker::Open { remaining }) => BreakerSnapshot::Open { remaining },
+                        Some(Breaker::HalfOpen) => BreakerSnapshot::HalfOpen,
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Overwrite every host's counters and breaker position from a
+    /// checkpoint snapshot.
+    pub fn restore_state(&self, snapshot: &ResilienceLayerState) {
+        let mut hosts = self.hosts.lock().unwrap();
+        hosts.clear();
+        for h in &snapshot.hosts {
+            hosts.insert(
+                h.host.clone(),
+                HostState {
+                    stats: h.stats,
+                    breaker: match h.breaker {
+                        BreakerSnapshot::Unset => None,
+                        BreakerSnapshot::Closed { failures } => Some(Breaker::Closed { failures }),
+                        BreakerSnapshot::Open { remaining } => Some(Breaker::Open { remaining }),
+                        BreakerSnapshot::HalfOpen => Some(Breaker::HalfOpen),
+                    },
+                },
+            );
         }
     }
 

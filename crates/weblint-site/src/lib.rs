@@ -39,7 +39,9 @@
 #![warn(missing_docs)]
 
 mod checker;
+mod checkpoint;
 mod fault;
+mod frontier;
 mod links;
 mod pacing;
 mod robot;
@@ -50,19 +52,27 @@ mod web;
 mod weight;
 
 pub use checker::{SiteChecker, SiteReport};
-pub use fault::{
-    BreakerPolicy, BreakerState, FaultKind, FaultSpec, FaultStats, FaultyWeb, HostFaults,
-    HostResilience, RequestCost, ResilienceStats, ResilientFetcher, RetryPolicy, VIRTUAL_RTT_US,
+pub use checkpoint::{
+    decode_shard, encode_shard, load_checkpoint, save_checkpoint, CheckpointError, CheckpointMeta,
+    LoadedCheckpoint, ShardState,
 };
+pub use fault::{
+    BreakerPolicy, BreakerSnapshot, BreakerState, FaultKind, FaultLayerState, FaultSpec,
+    FaultStats, FaultyWeb, HostFaults, HostResilience, RequestCost, ResilienceHostState,
+    ResilienceLayerState, ResilienceStats, ResilientFetcher, RetryPolicy, VIRTUAL_RTT_US,
+};
+pub use frontier::{shard_of, Candidate, ShardFrontier};
 pub use links::{extract_links, resolve_local, Link, LinkKind};
 pub use pacing::{
-    AimdPolicy, HedgePolicy, HedgeToken, HostPacing, Observation, Pacer, PacingStats,
+    AimdPolicy, HedgePolicy, HedgeToken, HostPacing, Observation, Pacer, PacerHostState,
+    PacingLayerState, PacingStats,
 };
 pub use robot::{
-    check_url, CrawledPage, DeadLink, FetchError, Fetcher, Robot, RobotOptions,
-    RobotOptionsBuilder, RobotReport, StoreFetcher, WebFetcher,
+    check_url, CheckpointConfig, CrawledPage, DeadLink, FetchError, Fetcher, FnFetcher, Robot,
+    RobotOptions, RobotOptionsBuilder, RobotReport, ShardChaos, ShardedOptions, ShardedOutcome,
+    ShardedReport, StoreFetcher, WebFetcher,
 };
-pub use stack::{FetchStack, FetchStackBuilder, StackTelemetry};
+pub use stack::{FetchStack, FetchStackBuilder, StackState, StackTelemetry};
 pub use store::{DirStore, MemStore, PageStore};
 pub use url::Url;
 pub use web::{Resource, SharedWeb, SimulatedWeb, Status, WebStats};

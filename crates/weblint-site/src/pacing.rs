@@ -431,6 +431,75 @@ impl Pacer {
             hosts: hosts.iter().map(|(h, s)| (h.clone(), s.stats)).collect(),
         }
     }
+
+    /// Snapshot every host's AIMD position, latency estimator, and
+    /// counters for checkpointing.
+    pub fn export_state(&self) -> PacingLayerState {
+        let hosts = self.hosts.lock().unwrap();
+        PacingLayerState {
+            hosts: hosts
+                .iter()
+                .map(|(h, s)| PacerHostState {
+                    host: h.clone(),
+                    limit: s.limit,
+                    clean_streak: s.clean_streak,
+                    srtt_us: s.estimator.srtt_us,
+                    dev_us: s.estimator.dev_us,
+                    samples: s.estimator.samples,
+                    stats: s.stats,
+                })
+                .collect(),
+        }
+    }
+
+    /// Overwrite every host's state from a checkpoint snapshot.
+    pub fn restore_state(&self, snapshot: &PacingLayerState) {
+        let mut hosts = self.hosts.lock().unwrap();
+        hosts.clear();
+        for h in &snapshot.hosts {
+            hosts.insert(
+                h.host.clone(),
+                HostState {
+                    limit: h.limit,
+                    clean_streak: h.clean_streak,
+                    estimator: SlowEstimator {
+                        srtt_us: h.srtt_us,
+                        dev_us: h.dev_us,
+                        samples: h.samples,
+                    },
+                    stats: h.stats,
+                },
+            );
+        }
+    }
+}
+
+/// Checkpointable state of a [`Pacer`]: one entry per host, sorted by
+/// host.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PacingLayerState {
+    /// Per-host pacing state.
+    pub hosts: Vec<PacerHostState>,
+}
+
+/// One host's checkpointed pacing state: the AIMD limit and streak, the
+/// RTO estimator, and the visible counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacerHostState {
+    /// The host.
+    pub host: String,
+    /// Current in-flight limit.
+    pub limit: u32,
+    /// Clean completions since the last limit change.
+    pub clean_streak: u32,
+    /// Smoothed virtual latency (integer EWMA).
+    pub srtt_us: i64,
+    /// Smoothed latency deviation.
+    pub dev_us: i64,
+    /// Samples fed to the estimator.
+    pub samples: u64,
+    /// The host's visible counters.
+    pub stats: HostPacing,
 }
 
 #[cfg(test)]

@@ -8,15 +8,22 @@
 //! does both: it follows redirects (bounded), GETs and lints same-site HTML
 //! pages breadth-first, and HEAD-validates everything else.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 
 use weblint_core::{Diagnostic, LintConfig, Weblint};
 use weblint_service::{JobHandle, LintService};
 
+use crate::checkpoint::{
+    self, load_checkpoint, save_checkpoint, CheckpointError, CheckpointMeta, ShardState,
+};
 use crate::fault::{transient, HopRecord, VIRTUAL_RTT_US};
+use crate::frontier::{shard_of, Candidate, ShardFrontier};
 use crate::links::{extract_links, Link, LinkKind};
 use crate::pacing::{HedgeToken, Observation};
-use crate::stack::FetchStack;
+use crate::stack::{FetchStack, StackState, StackTelemetry};
 use crate::url::Url;
 use crate::web::{SimulatedWeb, Status};
 
@@ -117,6 +124,43 @@ fn content_type_of(path: &str) -> String {
         "application/octet-stream"
     };
     ct.to_string()
+}
+
+/// A [`Fetcher`] backed by a resolver closure: `resolve(url)` returns
+/// `Some((content_type, body))` for resources that exist. This is how
+/// generated corpora (the mega-site) plug into the robot without a
+/// dependency on this crate's web types.
+pub struct FnFetcher<G> {
+    resolve: G,
+}
+
+impl<G> FnFetcher<G>
+where
+    G: Fn(&Url) -> Option<(String, String)>,
+{
+    /// Wrap a resolver closure.
+    pub fn new(resolve: G) -> FnFetcher<G> {
+        FnFetcher { resolve }
+    }
+}
+
+impl<G> Fetcher for FnFetcher<G>
+where
+    G: Fn(&Url) -> Option<(String, String)>,
+{
+    fn head(&self, url: &Url) -> (Status, String) {
+        match (self.resolve)(url) {
+            Some((ct, _)) => (Status::Ok, ct),
+            None => (Status::NotFound, String::new()),
+        }
+    }
+
+    fn get(&self, url: &Url) -> (Status, String, String) {
+        match (self.resolve)(url) {
+            Some((ct, body)) => (Status::Ok, ct, body),
+            None => (Status::NotFound, String::new(), String::new()),
+        }
+    }
 }
 
 /// Robot knobs. Prefer [`RobotOptions::builder`] — its setters validate
@@ -939,6 +983,697 @@ pub fn check_url(
         }
     }
     Err(FetchError::TooManyRedirects(current.to_string()))
+}
+
+// ---------------------------------------------------------------------
+// Sharded, checkpointed crawling
+// ---------------------------------------------------------------------
+
+/// Durability knobs for [`Robot::crawl_sharded`].
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory holding `shard{N}.{epoch}.ckpt` files and the manifest.
+    pub dir: PathBuf,
+    /// Write a checkpoint whenever this many new pages have been
+    /// crawled since the last one (plus always on graceful stop).
+    pub every_pages: usize,
+    /// Opaque token folded into the checkpoint fingerprint; callers put
+    /// anything schedule-relevant that the robot cannot see here (fault
+    /// spec, stack configuration, lint config).
+    pub config_token: String,
+}
+
+/// Chaos injection for the sharded crawl, exercised by `tests/chaos.rs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardChaos {
+    /// Panic shard `.0` midway through wave `.1` — once; the coordinator
+    /// must detect the death, respawn the shard from its pre-wave state,
+    /// and finish with a byte-identical report.
+    pub panic_shard: Option<(usize, usize)>,
+    /// Abort the crawl (no final checkpoint flush — a simulated
+    /// `SIGKILL`) right after the Nth periodic checkpoint is written.
+    pub kill_after_checkpoints: Option<usize>,
+}
+
+/// Options for [`Robot::crawl_sharded`].
+#[derive(Debug, Clone, Default)]
+pub struct ShardedOptions {
+    /// Number of shards to partition hosts across (clamped to 1..=64).
+    pub shards: usize,
+    /// Seed recorded in checkpoints; fold the same seed into the stacks
+    /// `make_stack` builds.
+    pub seed: u64,
+    /// Durability: where and how often to checkpoint. `None` crawls
+    /// in-memory only.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Resume from `checkpoint.dir` if it holds a valid checkpoint.
+    pub resume: bool,
+    /// Cooperative stop flag, checked between waves: when it goes true
+    /// the crawl flushes a final checkpoint and returns `Paused`.
+    pub stop: Option<Arc<AtomicBool>>,
+    /// Fault injection for the chaos suite.
+    pub chaos: ShardChaos,
+}
+
+/// How a sharded crawl ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardedOutcome {
+    /// The frontier drained: every reachable page within budget and
+    /// depth was crawled.
+    Complete,
+    /// Stopped early — page budget exhausted or the stop flag was
+    /// raised — with the frontier checkpointed for resumption.
+    Paused,
+    /// Chaos killed the process mid-crawl (no final flush).
+    Killed,
+}
+
+/// What [`Robot::crawl_sharded`] produced.
+#[derive(Debug, Clone)]
+pub struct ShardedReport {
+    /// The merged report: pages sorted by `(depth, url)`, dead links by
+    /// `(page, href, reason)` — a canonical order independent of shard
+    /// timing.
+    pub report: RobotReport,
+    /// Per-shard stack telemetry, in shard order.
+    pub telemetry: Vec<(usize, StackTelemetry)>,
+    /// Shard count the crawl ran with.
+    pub shards: usize,
+    /// Waves executed (including waves replayed from a checkpoint).
+    pub waves: usize,
+    /// Shard threads that died and were respawned.
+    pub shard_deaths: usize,
+    /// The wave a resumed crawl picked up from, if it resumed.
+    pub resumed_from_wave: Option<usize>,
+    /// How the crawl ended.
+    pub outcome: ShardedOutcome,
+}
+
+/// Coordinator-side working state for one shard.
+#[derive(Default)]
+struct ShardWork {
+    frontier: ShardFrontier,
+    probes: ShardFrontier,
+    pages: Vec<CrawledPage>,
+    dead_links: Vec<DeadLink>,
+    redirects: u64,
+    stack: StackState,
+}
+
+impl ShardWork {
+    fn restore(state: ShardState) -> ShardWork {
+        ShardWork {
+            frontier: ShardFrontier::restore(state.visited, state.frontier),
+            probes: ShardFrontier::restore(state.head_checked, state.probes),
+            pages: state.pages,
+            dead_links: state.dead_links,
+            redirects: state.redirects,
+            stack: state.stack,
+        }
+    }
+
+    fn snapshot(&self, shard: usize) -> ShardState {
+        ShardState {
+            shard,
+            visited: self.frontier.visited(),
+            frontier: self.frontier.pending_candidates(),
+            probes: self.probes.pending_candidates(),
+            head_checked: self.probes.visited(),
+            pages: self.pages.clone(),
+            dead_links: self.dead_links.clone(),
+            redirects: self.redirects,
+            stack: self.stack.clone(),
+        }
+    }
+}
+
+/// One shard's work for one wave, extracted by the coordinator.
+struct WaveAssignment {
+    /// Crawl candidates, sorted by `(depth, url)`.
+    candidates: Vec<Candidate>,
+    /// Link-validation probes (HEAD only), sorted by `(depth, url)`.
+    probes: Vec<Candidate>,
+    /// Chaos: panic midway through this wave.
+    inject_panic: bool,
+}
+
+impl WaveAssignment {
+    fn is_empty(&self) -> bool {
+        self.candidates.is_empty() && self.probes.is_empty()
+    }
+}
+
+/// What one shard produced in one wave, sent back over the reply
+/// channel and merged by the coordinator in shard order.
+#[derive(Default)]
+struct WaveDelta {
+    pages: Vec<CrawledPage>,
+    dead_links: Vec<DeadLink>,
+    /// Federation links to crawl next wave (routed to their owner
+    /// shard's frontier).
+    discovered: Vec<Candidate>,
+    /// Links to HEAD-validate but never crawl: external targets and
+    /// same-site links past the depth bound.
+    probe_requests: Vec<Candidate>,
+    redirects: u64,
+    stack: StackState,
+}
+
+/// Where a dead candidate is attributed: the page it was discovered on,
+/// or itself when it is a seed.
+fn attribution(candidate: &Candidate) -> (Url, String) {
+    if candidate.via.is_empty() {
+        (candidate.url.clone(), candidate.url.to_string())
+    } else {
+        (
+            Url::parse(&candidate.via).unwrap_or_else(|| candidate.url.clone()),
+            candidate.href.clone(),
+        )
+    }
+}
+
+/// The dead-link reason for a probe answer, `None` when the target is
+/// alive (or redirecting — good enough for a HEAD check).
+fn dead_reason(status: &Status, external: bool) -> Option<String> {
+    let base = match status {
+        Status::NotFound => "404 Not Found",
+        Status::ServerError => "server error",
+        Status::TimedOut => "timed out",
+        Status::Reset => "connection reset",
+        Status::Ok | Status::Redirect(_) => return None,
+    };
+    Some(if external {
+        format!("{base} (external)")
+    } else {
+        base.to_string()
+    })
+}
+
+/// Run one shard's wave on its own thread: HEAD-validate probes,
+/// classify candidates, then GET + lint pages in bounded batches with
+/// the same issue-order settling discipline as [`Robot::crawl_stack`].
+/// Everything order-sensitive happens in `(depth, url)` order, so the
+/// delta is a pure function of (assignment, restored stack state).
+fn run_shard_wave<F: Fetcher + Sync>(
+    options: &RobotOptions,
+    federation: &BTreeSet<String>,
+    stack: &FetchStack<F>,
+    weblint: &Weblint,
+    assignment: &WaveAssignment,
+) -> WaveDelta {
+    let mut delta = WaveDelta::default();
+    let probe = StackProbe(stack);
+    for request in &assignment.probes {
+        let (status, _) = probe.probe(&request.url);
+        let external = !federation.contains(&request.url.host);
+        if let Some(reason) = dead_reason(&status, external) {
+            let (page, href) = attribution(request);
+            delta.dead_links.push(DeadLink { page, href, reason });
+        }
+    }
+    // HEAD-classify candidates: pages and redirects go on to the GET
+    // phase, assets are done, the dead are reported.
+    let mut gets: Vec<&Candidate> = Vec::new();
+    for candidate in &assignment.candidates {
+        match probe.probe(&candidate.url) {
+            (Status::Ok, ct) if ct.starts_with("text/html") => gets.push(candidate),
+            (Status::Ok, _) => {}
+            (Status::Redirect(_), _) => gets.push(candidate),
+            (status, _) => {
+                if let Some(reason) = dead_reason(&status, false) {
+                    let (page, href) = attribution(candidate);
+                    delta.dead_links.push(DeadLink { page, href, reason });
+                }
+            }
+        }
+    }
+    if assignment.inject_panic && gets.is_empty() {
+        panic!("injected shard death");
+    }
+    // GET in batches: take candidates from the front (never reorder)
+    // while each host stays under its frozen AIMD limit and the batch
+    // under `jobs`; settle in issue order.
+    let mut index = 0usize;
+    let mut first_batch = true;
+    while index < gets.len() {
+        let batch_start = index;
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut batch: Vec<FetchTask> = Vec::new();
+        while index < gets.len() && batch.len() < options.jobs {
+            let host = gets[index].url.host.as_str();
+            let limit = stack.pacer().limit(host).max(1);
+            let seen = counts.get(host).copied().unwrap_or(0);
+            if !batch.is_empty() && seen >= limit {
+                break;
+            }
+            *counts.entry(host).or_insert(0) += 1;
+            let url = gets[index].url.clone();
+            let token = stack
+                .pacer()
+                .authorize(&url.host, stack.breaker_state(&url.host));
+            batch.push(FetchTask::new(url, gets[index].depth, token));
+            index += 1;
+        }
+        run_batch(options.max_redirects, stack, &mut batch);
+        for (offset, task) in batch.into_iter().enumerate() {
+            settle_sharded_task(
+                options,
+                federation,
+                stack,
+                weblint,
+                gets[batch_start + offset],
+                task,
+                &mut delta,
+            );
+        }
+        if assignment.inject_panic && first_batch {
+            // Mid-wave: some of this wave's work is settled, the rest is
+            // in flight. The coordinator must rerun the whole wave from
+            // the pre-wave snapshot.
+            panic!("injected shard death");
+        }
+        first_batch = false;
+    }
+    delta.stack = stack.export_state();
+    delta
+}
+
+/// Settle one sharded GET in issue order: resilience + pacer feedback,
+/// then lint, then route the page's links.
+fn settle_sharded_task<F: Fetcher>(
+    options: &RobotOptions,
+    federation: &BTreeSet<String>,
+    stack: &FetchStack<F>,
+    weblint: &Weblint,
+    candidate: &Candidate,
+    task: FetchTask,
+    delta: &mut WaveDelta,
+) {
+    for (hop_host, record) in &task.hops {
+        stack.settle_hop(hop_host, record);
+    }
+    let host = task.url.host.as_str();
+    stack
+        .pacer()
+        .settle_hedge(host, task.token, task.hedge_fired, task.hedge_won);
+    stack.pacer().observe(
+        host,
+        Observation {
+            clean: !task.bad,
+            bad: task.bad,
+            latency_us: task.cost_us,
+        },
+    );
+    let (outcome, redirects) = task.outcome.expect("batch ran every task");
+    delta.redirects += redirects as u64;
+    match outcome {
+        FetchOutcome::Skip => {}
+        FetchOutcome::Dead { href, reason } => delta.dead_links.push(DeadLink {
+            page: task.url.clone(),
+            href,
+            reason,
+        }),
+        FetchOutcome::Page {
+            url: final_url,
+            body,
+        } => {
+            let diagnostics = weblint.check_string(&body);
+            let links = extract_links(&body);
+            delta.pages.push(CrawledPage {
+                url: final_url.clone(),
+                diagnostics,
+                link_count: links.len(),
+                depth: candidate.depth,
+            });
+            let within_depth = options
+                .max_depth
+                .is_none_or(|limit| candidate.depth < limit);
+            for link in links {
+                match link.kind {
+                    LinkKind::Fragment | LinkKind::Mailto => continue,
+                    LinkKind::Local | LinkKind::External => {}
+                }
+                let target = final_url.join(&link.href);
+                let next = Candidate {
+                    url: target,
+                    depth: candidate.depth + 1,
+                    via: final_url.to_string(),
+                    href: link.href.clone(),
+                };
+                if federation.contains(&next.url.host) {
+                    if within_depth {
+                        delta.discovered.push(next);
+                    } else {
+                        // Past the depth bound: validated, not crawled.
+                        delta.probe_requests.push(next);
+                    }
+                } else if options.check_external {
+                    delta.probe_requests.push(next);
+                }
+            }
+        }
+    }
+}
+
+impl Robot {
+    /// Crawl `starts` partitioned across `opts.shards` shard threads,
+    /// each owning the hosts that hash to it ([`shard_of`]) and running
+    /// its own [`FetchStack`] built by `make_stack(shard)`.
+    ///
+    /// The crawl proceeds in coordinator-barriered *waves* (see
+    /// [`crate::ShardFrontier`]); discovered links cross shards through
+    /// the coordinator, and the merged report uses a canonical
+    /// `(depth, url)` order — so for a fixed seed the output is
+    /// byte-identical run to run, across shard deaths, and across a
+    /// kill + resume, which the chaos suite asserts.
+    ///
+    /// With `opts.checkpoint` set, every shard's full state (visited
+    /// set, pending frontier, probe queue, pages, per-host stack state)
+    /// is written to a per-shard checkpoint file every
+    /// `every_pages` pages and on graceful stop; `opts.resume` picks an
+    /// interrupted crawl back up from the newest intact epoch.
+    pub fn crawl_sharded<F, M>(
+        &self,
+        starts: &[Url],
+        make_stack: M,
+        opts: &ShardedOptions,
+    ) -> Result<ShardedReport, CheckpointError>
+    where
+        F: Fetcher + Sync,
+        M: Fn(usize) -> FetchStack<F> + Sync,
+    {
+        let shards = opts.shards.clamp(1, 64);
+        let federation: BTreeSet<String> = starts.iter().map(|u| u.host.clone()).collect();
+        let fingerprint = {
+            let mut parts: Vec<String> = vec![
+                format!("shards={shards}"),
+                format!("seed={}", opts.seed),
+                format!("redirects={}", self.options.max_redirects),
+                format!("depth={:?}", self.options.max_depth),
+                format!("jobs={}", self.options.jobs),
+                format!("external={}", self.options.check_external),
+                opts.checkpoint
+                    .as_ref()
+                    .map(|c| c.config_token.clone())
+                    .unwrap_or_default(),
+            ];
+            let mut sorted_starts: Vec<String> = starts.iter().map(|u| u.to_string()).collect();
+            sorted_starts.sort();
+            parts.extend(sorted_starts);
+            let refs: Vec<&str> = parts.iter().map(|s| s.as_str()).collect();
+            checkpoint::fingerprint(&refs)
+        };
+
+        let mut work: Vec<ShardWork> = (0..shards).map(|_| ShardWork::default()).collect();
+        let mut wave = 0usize;
+        let mut resumed_from_wave = None;
+        let mut resumed_complete = false;
+        let mut truncated = false;
+        if opts.resume {
+            if let Some(cfg) = &opts.checkpoint {
+                if let Some(loaded) = load_checkpoint(&cfg.dir)? {
+                    if loaded.meta.fingerprint != fingerprint {
+                        return Err(CheckpointError::Incompatible(format!(
+                            "checkpoint in {} was written by a different crawl configuration",
+                            cfg.dir.display()
+                        )));
+                    }
+                    wave = loaded.meta.wave;
+                    truncated = loaded.meta.truncated;
+                    resumed_complete = loaded.meta.complete;
+                    resumed_from_wave = Some(wave);
+                    for state in loaded.shards {
+                        let shard = state.shard;
+                        work[shard] = ShardWork::restore(state);
+                    }
+                }
+            }
+        }
+        if resumed_from_wave.is_none() {
+            for start in starts {
+                let candidate = Candidate::seed(start.clone());
+                let owner = shard_of(&candidate.url.host, shards);
+                work[owner].frontier.admit(candidate);
+            }
+        }
+
+        let mut shard_deaths = 0usize;
+        let mut checkpoints_written = 0usize;
+        let mut chaos_panic = opts.chaos.panic_shard;
+        let mut last_checkpoint_pages: usize = work.iter().map(|w| w.pages.len()).sum();
+        let mut outcome = ShardedOutcome::Complete;
+        let mut killed = false;
+
+        loop {
+            if resumed_complete {
+                break;
+            }
+            if opts
+                .stop
+                .as_ref()
+                .is_some_and(|flag| flag.load(Ordering::SeqCst))
+            {
+                outcome = ShardedOutcome::Paused;
+                break;
+            }
+            let pages_total: usize = work.iter().map(|w| w.pages.len()).sum();
+            let pending_pages: usize = work.iter().map(|w| w.frontier.pending()).sum();
+            let pending_probes: usize = work.iter().map(|w| w.probes.pending()).sum();
+            if pending_pages == 0 && pending_probes == 0 {
+                outcome = ShardedOutcome::Complete;
+                break;
+            }
+            let remaining = self.options.max_pages.saturating_sub(pages_total);
+            if remaining == 0 && pending_probes == 0 {
+                truncated = true;
+                outcome = ShardedOutcome::Paused;
+                break;
+            }
+
+            // Global budget cut: the first `remaining` pending
+            // candidates in (depth, url) order run this wave; the rest
+            // stay in their frontiers (and survive a pause).
+            let mut keys: Vec<(usize, String, usize)> = Vec::new();
+            for (i, w) in work.iter().enumerate() {
+                for (depth, url) in w.frontier.pending_keys() {
+                    keys.push((depth, url.to_string(), i));
+                }
+            }
+            keys.sort();
+            keys.truncate(remaining);
+            let mut assigned: Vec<Vec<String>> = (0..shards).map(|_| Vec::new()).collect();
+            for (_, url, i) in keys {
+                assigned[i].push(url);
+            }
+            let mut assignments: Vec<WaveAssignment> = Vec::with_capacity(shards);
+            for (i, w) in work.iter_mut().enumerate() {
+                let candidates = w.frontier.extract(&assigned[i]);
+                let probe_urls: Vec<String> = w
+                    .probes
+                    .pending_candidates()
+                    .iter()
+                    .map(|c| c.url.to_string())
+                    .collect();
+                let probes = w.probes.extract(&probe_urls);
+                assignments.push(WaveAssignment {
+                    candidates,
+                    probes,
+                    inject_panic: chaos_panic == Some((i, wave)),
+                });
+            }
+
+            // Run the wave: one scoped thread per shard with work,
+            // deltas returning over a bounded reply channel. A shard
+            // that panics is respawned from its pre-wave state (which
+            // the coordinator still owns) until the wave completes.
+            let mut deltas: Vec<Option<WaveDelta>> = (0..shards).map(|_| None).collect();
+            let mut to_run: Vec<usize> = (0..shards)
+                .filter(|&i| !assignments[i].is_empty())
+                .collect();
+            while !to_run.is_empty() {
+                let (tx, rx) = mpsc::sync_channel::<(usize, WaveDelta)>(to_run.len());
+                let options = &self.options;
+                let federation_ref = &federation;
+                let make_stack_ref = &make_stack;
+                let work_ref = &work;
+                let assignments_ref = &assignments;
+                let panicked: Vec<usize> = std::thread::scope(|scope| {
+                    let handles: Vec<(usize, std::thread::ScopedJoinHandle<'_, ()>)> = to_run
+                        .iter()
+                        .map(|&i| {
+                            let tx = tx.clone();
+                            let handle = scope.spawn(move || {
+                                let stack = make_stack_ref(i);
+                                stack.restore_state(&work_ref[i].stack);
+                                let weblint = Weblint::with_config(options.lint.clone());
+                                let delta = run_shard_wave(
+                                    options,
+                                    federation_ref,
+                                    &stack,
+                                    &weblint,
+                                    &assignments_ref[i],
+                                );
+                                let _ = tx.send((i, delta));
+                            });
+                            (i, handle)
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .filter_map(|(i, handle)| handle.join().is_err().then_some(i))
+                        .collect()
+                });
+                drop(tx);
+                for (i, delta) in rx.try_iter() {
+                    deltas[i] = Some(delta);
+                }
+                shard_deaths += panicked.len();
+                for &i in &panicked {
+                    // Respawn without the injected fault: the retry is
+                    // the recovery, and it must reproduce the wave.
+                    assignments[i].inject_panic = false;
+                    if chaos_panic.is_some_and(|(shard, w)| shard == i && w == wave) {
+                        chaos_panic = None;
+                    }
+                }
+                to_run = panicked;
+            }
+
+            // Merge in shard order; route discoveries to their owners.
+            let mut discovered_all: Vec<Candidate> = Vec::new();
+            let mut probes_all: Vec<Candidate> = Vec::new();
+            for (i, slot) in deltas.iter_mut().enumerate() {
+                let Some(delta) = slot.take() else { continue };
+                let w = &mut work[i];
+                w.pages.extend(delta.pages);
+                w.dead_links.extend(delta.dead_links);
+                w.redirects += delta.redirects;
+                w.stack = delta.stack;
+                discovered_all.extend(delta.discovered);
+                probes_all.extend(delta.probe_requests);
+            }
+            for candidate in discovered_all {
+                let owner = shard_of(&candidate.url.host, shards);
+                // A URL queued as a probe that turns out crawlable is
+                // promoted to a full candidate.
+                work[owner]
+                    .probes
+                    .remove_pending(&candidate.url.to_string());
+                work[owner].frontier.admit(candidate);
+            }
+            for candidate in probes_all {
+                let owner = shard_of(&candidate.url.host, shards);
+                if work[owner].frontier.has_seen(&candidate.url.to_string()) {
+                    continue;
+                }
+                work[owner].probes.admit(candidate);
+            }
+            wave += 1;
+
+            if let Some(cfg) = &opts.checkpoint {
+                let pages_now: usize = work.iter().map(|w| w.pages.len()).sum();
+                if pages_now.saturating_sub(last_checkpoint_pages) >= cfg.every_pages.max(1) {
+                    self.save_sharded(
+                        cfg,
+                        &work,
+                        shards,
+                        wave,
+                        opts.seed,
+                        fingerprint,
+                        false,
+                        false,
+                    )?;
+                    last_checkpoint_pages = pages_now;
+                    checkpoints_written += 1;
+                    if opts
+                        .chaos
+                        .kill_after_checkpoints
+                        .is_some_and(|n| checkpoints_written >= n)
+                    {
+                        outcome = ShardedOutcome::Killed;
+                        killed = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        if let Some(cfg) = &opts.checkpoint {
+            if !killed {
+                let complete = outcome == ShardedOutcome::Complete;
+                self.save_sharded(
+                    cfg,
+                    &work,
+                    shards,
+                    wave,
+                    opts.seed,
+                    fingerprint,
+                    truncated,
+                    complete,
+                )?;
+            }
+        }
+
+        // Canonical merge: sorted, so the report is independent of
+        // shard count and thread timing.
+        let mut report = RobotReport {
+            truncated,
+            ..RobotReport::default()
+        };
+        let mut telemetry = Vec::with_capacity(shards);
+        for (i, w) in work.iter().enumerate() {
+            report.pages.extend(w.pages.iter().cloned());
+            report.dead_links.extend(w.dead_links.iter().cloned());
+            report.redirects_followed += w.redirects as usize;
+            let stack = make_stack(i);
+            stack.restore_state(&w.stack);
+            telemetry.push((i, stack.telemetry()));
+        }
+        report.pages.sort_by_key(|a| (a.depth, a.url.to_string()));
+        report.dead_links.sort_by(|a, b| {
+            (a.page.to_string(), &a.href, &a.reason).cmp(&(b.page.to_string(), &b.href, &b.reason))
+        });
+        Ok(ShardedReport {
+            report,
+            telemetry,
+            shards,
+            waves: wave,
+            shard_deaths,
+            resumed_from_wave,
+            outcome,
+        })
+    }
+
+    /// Snapshot every shard and publish one checkpoint epoch.
+    #[allow(clippy::too_many_arguments)]
+    fn save_sharded(
+        &self,
+        cfg: &CheckpointConfig,
+        work: &[ShardWork],
+        shards: usize,
+        wave: usize,
+        seed: u64,
+        fingerprint: u64,
+        truncated: bool,
+        complete: bool,
+    ) -> Result<(), CheckpointError> {
+        let pages_total: usize = work.iter().map(|w| w.pages.len()).sum();
+        let meta = CheckpointMeta {
+            shards,
+            wave,
+            seed,
+            fingerprint,
+            pages_total: pages_total as u64,
+            truncated,
+            complete,
+        };
+        let states: Vec<ShardState> = work
+            .iter()
+            .enumerate()
+            .map(|(i, w)| w.snapshot(i))
+            .collect();
+        save_checkpoint(&cfg.dir, &meta, &states)
+    }
 }
 
 #[cfg(test)]

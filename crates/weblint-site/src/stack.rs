@@ -28,10 +28,10 @@
 use std::fmt;
 
 use crate::fault::{
-    BreakerPolicy, BreakerState, FaultSpec, FaultStats, FaultyWeb, RequestCost, ResilienceStats,
-    ResilientFetcher, RetryPolicy,
+    BreakerPolicy, BreakerState, FaultLayerState, FaultSpec, FaultStats, FaultyWeb, RequestCost,
+    ResilienceLayerState, ResilienceStats, ResilientFetcher, RetryPolicy,
 };
-use crate::pacing::{AimdPolicy, HedgePolicy, Pacer, PacingStats};
+use crate::pacing::{AimdPolicy, HedgePolicy, Pacer, PacingLayerState, PacingStats};
 use crate::robot::Fetcher;
 use crate::url::Url;
 use crate::web::Status;
@@ -187,6 +187,49 @@ impl<F> FetchStack<F> {
             pacing,
         }
     }
+
+    /// Snapshot every enabled layer's mutable state for checkpointing.
+    /// Restoring this into a freshly built stack with the same
+    /// configuration makes its future schedule identical to the
+    /// original's — attempt counters, breakers, AIMD limits and latency
+    /// estimators all carry over.
+    pub fn export_state(&self) -> StackState {
+        let faults = match &self.tower {
+            Tower::Faulty(f) => Some(f.export_state()),
+            Tower::ResilientFaulty(r) => Some(r.inner().export_state()),
+            _ => None,
+        };
+        let resilience = match &self.tower {
+            Tower::Resilient(r) => Some(r.export_state()),
+            Tower::ResilientFaulty(r) => Some(r.export_state()),
+            _ => None,
+        };
+        StackState {
+            faults,
+            resilience,
+            pacing: self.pacer.export_state(),
+        }
+    }
+
+    /// Overwrite every enabled layer's mutable state from a checkpoint
+    /// snapshot. Layers absent from either side are left untouched.
+    pub fn restore_state(&self, snapshot: &StackState) {
+        if let Some(faults) = &snapshot.faults {
+            match &self.tower {
+                Tower::Faulty(f) => f.restore_state(faults),
+                Tower::ResilientFaulty(r) => r.inner().restore_state(faults),
+                _ => {}
+            }
+        }
+        if let Some(resilience) = &snapshot.resilience {
+            match &self.tower {
+                Tower::Resilient(r) => r.restore_state(resilience),
+                Tower::ResilientFaulty(r) => r.restore_state(resilience),
+                _ => {}
+            }
+        }
+        self.pacer.restore_state(&snapshot.pacing);
+    }
 }
 
 impl<F: Fetcher> FetchStack<F> {
@@ -260,6 +303,21 @@ impl<F: Fetcher> Fetcher for FetchStack<F> {
     fn get(&self, url: &Url) -> (Status, String, String) {
         self.get_cost(url).0
     }
+}
+
+/// Checkpointable state of a whole [`FetchStack`]: the mutable parts of
+/// every enabled layer. Configuration (policies, fault spec, seed) is
+/// *not* captured — a restore target must be built with the same
+/// configuration, which the checkpoint layer enforces by fingerprint.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StackState {
+    /// Fault-layer attempt counters and per-host accounting, when a
+    /// fault layer is present.
+    pub faults: Option<FaultLayerState>,
+    /// Retry/breaker state, when a resilience layer is present.
+    pub resilience: Option<ResilienceLayerState>,
+    /// Per-host AIMD and latency-estimator state.
+    pub pacing: PacingLayerState,
 }
 
 /// Unified stats snapshot across every enabled stack layer. Its

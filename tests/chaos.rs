@@ -15,12 +15,15 @@ use std::sync::mpsc;
 use std::thread;
 use std::time::Duration;
 
+use std::path::PathBuf;
+
 use weblint_gateway::Gateway;
 use weblint_httpd::{client, HttpServer, ServerConfig};
 use weblint_service::{ServiceConfig, PANIC_MARKER};
 use weblint_site::{
-    AimdPolicy, BreakerState, FaultSpec, FaultyWeb, FetchStack, Fetcher, HedgePolicy, Observation,
-    Pacer, ResilientFetcher, Robot, RobotOptions, SharedWeb, SimulatedWeb, Status, Url,
+    AimdPolicy, BreakerState, CheckpointConfig, CheckpointError, FaultSpec, FaultyWeb, FetchStack,
+    Fetcher, HedgePolicy, Observation, Pacer, ResilientFetcher, Robot, RobotOptions, ShardChaos,
+    ShardedOptions, ShardedOutcome, ShardedReport, SharedWeb, SimulatedWeb, Status, Url,
 };
 
 const PAGES: usize = 24;
@@ -366,6 +369,349 @@ fn adaptive_crawls_are_deterministic_for_a_fixed_seed() {
     // pages were actually fetched and linted.
     assert!(!first.1.is_empty(), "adaptive crawl found no pages");
     assert!(first.0.contains("pacing:"), "{}", first.0);
+}
+
+// ---------------------------------------------------------------------
+// Sharded, checkpointed crawling
+// ---------------------------------------------------------------------
+
+const FED_HOSTS: usize = 3;
+
+/// A three-host federation with dense cross-host links, lintable defects
+/// and deliberate dead links, so a sharded crawl exchanges work between
+/// shards and has something to report.
+fn federation_site() -> SharedWeb {
+    let mut web = SimulatedWeb::new();
+    for h in 0..FED_HOSTS {
+        // The index links only the first page; pages chain onward, so
+        // the crawl takes many waves — room to die in the middle of.
+        web.add_page(
+            &format!("http://fed{h}/index.html"),
+            "<HTML><HEAD><TITLE>fed</TITLE></HEAD><BODY>\
+             <A HREF=\"/p0.html\">start</A></BODY></HTML>"
+                .to_string(),
+        );
+        for i in 0..PAGES {
+            let defect = if i % 3 == 0 {
+                "<H1>x</H2>"
+            } else {
+                "<H1>x</H1>"
+            };
+            let dead = if i % 5 == 0 {
+                "<A HREF=\"/missing.html\">gone</A>"
+            } else {
+                ""
+            };
+            web.add_page(
+                &format!("http://fed{h}/p{i}.html"),
+                format!(
+                    "<HTML><HEAD><TITLE>p{i}</TITLE></HEAD><BODY>{defect}\
+                     <A HREF=\"/p{}.html\">next</A>\
+                     <A HREF=\"http://fed{}/p{i}.html\">peer</A>{dead}</BODY></HTML>",
+                    (i + 1) % PAGES,
+                    (h + 1) % FED_HOSTS
+                ),
+            );
+        }
+    }
+    SharedWeb::new(web)
+}
+
+/// One sharded crawl over the federation: per-shard adaptive stacks,
+/// optional fault injection, any sharded options the test needs.
+fn fed_crawl(
+    shards: usize,
+    rate: u8,
+    mutate: impl FnOnce(&mut ShardedOptions),
+) -> Result<ShardedReport, CheckpointError> {
+    let web = federation_site();
+    let robot = Robot::new(
+        RobotOptions::builder()
+            .max_pages(200)
+            .jobs(4)
+            .check_external(false)
+            .build(),
+    );
+    let starts: Vec<Url> = (0..FED_HOSTS)
+        .map(|h| Url::parse(&format!("http://fed{h}/index.html")).unwrap())
+        .collect();
+    let make_stack = |i: usize| {
+        let mut builder = FetchStack::new(web.clone());
+        if rate > 0 {
+            builder = builder
+                .faults(FaultSpec::all(rate), 100 + i as u64)
+                .resilience_defaults();
+        }
+        builder.adaptive_defaults().hedging_defaults().build()
+    };
+    let mut options = ShardedOptions {
+        shards,
+        seed: 9,
+        ..ShardedOptions::default()
+    };
+    mutate(&mut options);
+    robot.crawl_sharded(&starts, make_stack, &options)
+}
+
+/// A sharded run reduced to a comparable fingerprint: the full merged
+/// report plus every shard's telemetry — two equal fingerprints mean the
+/// whole crawl history (pages, attribution, retries, pacing) matched.
+fn sharded_fingerprint(run: &ShardedReport) -> String {
+    let mut s = report_fingerprint(run);
+    for (i, telemetry) in &run.telemetry {
+        s.push_str(&format!("shard{i}:\n{telemetry}\n"));
+    }
+    s
+}
+
+/// Just the merged report (the part that must also be invariant across
+/// shard *counts*, where per-shard telemetry legitimately differs).
+fn report_fingerprint(run: &ShardedReport) -> String {
+    let mut s = String::new();
+    for p in &run.report.pages {
+        s.push_str(&format!(
+            "{} d{} m{} l{}\n",
+            p.url,
+            p.depth,
+            p.diagnostics.len(),
+            p.link_count
+        ));
+    }
+    for d in &run.report.dead_links {
+        s.push_str(&format!("dead {} {} {}\n", d.page, d.href, d.reason));
+    }
+    s.push_str(&format!(
+        "redirects {} truncated {}\n",
+        run.report.redirects_followed, run.report.truncated
+    ));
+    s
+}
+
+fn chaos_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("weblint-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn sharded_crawls_are_deterministic_for_a_fixed_seed() {
+    let first = fed_crawl(2, 15, |_| {}).unwrap();
+    assert_eq!(first.outcome, ShardedOutcome::Complete);
+    assert_eq!(
+        first.report.pages.len(),
+        FED_HOSTS * (PAGES + 1),
+        "crawl missed pages"
+    );
+    let golden = sharded_fingerprint(&first);
+    for run in 0..2 {
+        let again = sharded_fingerprint(&fed_crawl(2, 15, |_| {}).unwrap());
+        assert_eq!(again, golden, "run {run} diverged");
+    }
+}
+
+#[test]
+fn merged_report_is_invariant_across_shard_counts() {
+    // Without faults the crawl's observable result is a property of the
+    // site, not the partitioning: 1, 2 and 4 shards produce the same
+    // merged report (telemetry differs — it is per shard).
+    let one = report_fingerprint(&fed_crawl(1, 0, |_| {}).unwrap());
+    for shards in [2usize, 4] {
+        let many = fed_crawl(shards, 0, |_| {}).unwrap();
+        assert_eq!(many.shards, shards);
+        assert_eq!(report_fingerprint(&many), one, "{shards} shards diverged");
+    }
+}
+
+#[test]
+fn shard_death_is_survived_byte_identically() {
+    let clean = sharded_fingerprint(&fed_crawl(2, 15, |_| {}).unwrap());
+    // Panic shard 0 mid-wave, then shard 1 in a later wave: the
+    // coordinator detects each death, respawns the shard from its
+    // pre-wave state, and the final crawl is indistinguishable.
+    for (shard, wave) in [(0usize, 0usize), (1, 1)] {
+        let run = fed_crawl(2, 15, |o| {
+            o.chaos = ShardChaos {
+                panic_shard: Some((shard, wave)),
+                kill_after_checkpoints: None,
+            };
+        })
+        .unwrap();
+        assert_eq!(run.shard_deaths, 1, "shard {shard} wave {wave} not killed");
+        assert_eq!(run.outcome, ShardedOutcome::Complete);
+        assert_eq!(
+            sharded_fingerprint(&run),
+            clean,
+            "shard {shard} death at wave {wave} changed the crawl"
+        );
+    }
+}
+
+#[test]
+fn kill_and_resume_reproduces_the_uninterrupted_run() {
+    let golden = sharded_fingerprint(&fed_crawl(2, 15, |_| {}).unwrap());
+    let dir = chaos_dir("kill");
+    let checkpoint = CheckpointConfig {
+        dir: dir.clone(),
+        every_pages: 1,
+        config_token: "chaos".to_string(),
+    };
+    // A hard kill right after the second periodic checkpoint: no final
+    // flush, mid-crawl state on disk.
+    let killed = fed_crawl(2, 15, |o| {
+        o.checkpoint = Some(checkpoint.clone());
+        o.chaos.kill_after_checkpoints = Some(2);
+    })
+    .unwrap();
+    assert_eq!(killed.outcome, ShardedOutcome::Killed);
+    assert!(
+        killed.report.pages.len() < FED_HOSTS * (PAGES + 1),
+        "kill came too late to prove anything"
+    );
+    // Resume replays from the checkpoint and finishes the crawl.
+    let resumed = fed_crawl(2, 15, |o| {
+        o.checkpoint = Some(checkpoint.clone());
+        o.resume = true;
+    })
+    .unwrap();
+    assert!(resumed.resumed_from_wave.is_some());
+    assert_eq!(resumed.outcome, ShardedOutcome::Complete);
+    assert_eq!(sharded_fingerprint(&resumed), golden);
+    // Resuming a *completed* crawl replays nothing and reports the same.
+    let replay = fed_crawl(2, 15, |o| {
+        o.checkpoint = Some(checkpoint.clone());
+        o.resume = true;
+    })
+    .unwrap();
+    assert_eq!(sharded_fingerprint(&replay), golden);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_newest_epoch_falls_back_and_corrupt_manifest_refuses() {
+    let golden = sharded_fingerprint(&fed_crawl(2, 15, |_| {}).unwrap());
+    let dir = chaos_dir("corrupt");
+    let checkpoint = CheckpointConfig {
+        dir: dir.clone(),
+        every_pages: 1,
+        config_token: "chaos".to_string(),
+    };
+    let killed = fed_crawl(2, 15, |o| {
+        o.checkpoint = Some(checkpoint.clone());
+        o.chaos.kill_after_checkpoints = Some(2);
+    })
+    .unwrap();
+    assert_eq!(killed.outcome, ShardedOutcome::Killed);
+    // Bit-flip the newest epoch's shard files: the loader must detect
+    // the damage via checksum and fall back to the previous epoch —
+    // replaying a little more, ending byte-identical.
+    let mut epochs: Vec<u64> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| {
+            let name = e.unwrap().file_name().into_string().unwrap();
+            let rest = name.strip_prefix("shard0.")?;
+            rest.strip_suffix(".ckpt")?.parse().ok()
+        })
+        .collect();
+    epochs.sort();
+    let newest = *epochs.last().unwrap();
+    for shard in 0..2 {
+        let path = dir.join(format!("shard{shard}.{newest}.ckpt"));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+    }
+    let resumed = fed_crawl(2, 15, |o| {
+        o.checkpoint = Some(checkpoint.clone());
+        o.resume = true;
+    })
+    .unwrap();
+    assert_eq!(resumed.outcome, ShardedOutcome::Complete);
+    assert_eq!(sharded_fingerprint(&resumed), golden);
+
+    // A corrupt manifest is a clean, diagnosable refusal — never a
+    // panic, never a silent fresh crawl.
+    std::fs::write(dir.join("manifest.ckpt"), b"not a manifest").unwrap();
+    let refused = fed_crawl(2, 15, |o| {
+        o.checkpoint = Some(checkpoint.clone());
+        o.resume = true;
+    });
+    assert!(
+        matches!(refused, Err(CheckpointError::Corrupt(_))),
+        "{refused:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_refuses_a_checkpoint_from_a_different_configuration() {
+    let dir = chaos_dir("fingerprint");
+    let checkpoint = CheckpointConfig {
+        dir: dir.clone(),
+        every_pages: 1,
+        config_token: "chaos".to_string(),
+    };
+    let killed = fed_crawl(2, 15, |o| {
+        o.checkpoint = Some(checkpoint.clone());
+        o.chaos.kill_after_checkpoints = Some(1);
+    })
+    .unwrap();
+    assert_eq!(killed.outcome, ShardedOutcome::Killed);
+    // Different shard count, different seed, different config token:
+    // each one changes the fingerprint and must be refused.
+    for mutate in [
+        &(|o: &mut ShardedOptions| o.shards = 4) as &dyn Fn(&mut ShardedOptions),
+        &|o: &mut ShardedOptions| o.seed = 10,
+        &|o: &mut ShardedOptions| {
+            o.checkpoint.as_mut().unwrap().config_token = "different".to_string();
+        },
+    ] {
+        let refused = fed_crawl(2, 15, |o| {
+            o.checkpoint = Some(checkpoint.clone());
+            o.resume = true;
+            mutate(o);
+        });
+        assert!(
+            matches!(refused, Err(CheckpointError::Incompatible(_))),
+            "{refused:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stop_flag_pauses_gracefully_and_resume_completes() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let golden = sharded_fingerprint(&fed_crawl(2, 15, |_| {}).unwrap());
+    let dir = chaos_dir("stop");
+    let checkpoint = CheckpointConfig {
+        dir: dir.clone(),
+        every_pages: 1,
+        config_token: "chaos".to_string(),
+    };
+    // A pre-raised stop flag: the crawl pauses at the first wave
+    // boundary — here before any work at all — and flushes a final
+    // checkpoint (the graceful-stop path, unlike the chaos kill).
+    let flag = Arc::new(AtomicBool::new(true));
+    let paused = fed_crawl(2, 15, |o| {
+        o.checkpoint = Some(checkpoint.clone());
+        o.stop = Some(Arc::clone(&flag));
+    })
+    .unwrap();
+    assert_eq!(paused.outcome, ShardedOutcome::Paused);
+    assert!(paused.report.pages.is_empty());
+    flag.store(false, Ordering::SeqCst);
+    let resumed = fed_crawl(2, 15, |o| {
+        o.checkpoint = Some(checkpoint.clone());
+        o.resume = true;
+        o.stop = Some(Arc::clone(&flag));
+    })
+    .unwrap();
+    assert_eq!(resumed.outcome, ShardedOutcome::Complete);
+    assert_eq!(sharded_fingerprint(&resumed), golden);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
