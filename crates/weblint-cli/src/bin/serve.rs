@@ -17,9 +17,10 @@
 use std::io::BufReader;
 use std::net::TcpStream;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use weblint_gateway::Gateway;
-use weblint_httpd::{client, HttpServer, ServerConfig};
+use weblint_httpd::{client, HttpServer, ServerConfig, ServerMode};
 use weblint_service::ServiceConfig;
 use weblint_site::{FaultSpec, SharedWeb, SimulatedWeb};
 
@@ -38,6 +39,14 @@ options:
   -jobs N       lint worker threads (default: one per CPU, capped at 8)
   -max-body N   largest accepted POST body in bytes (default 1048576)
   -keep-alive on|off   persistent connections (default on)
+  -event-loop   serve every connection from one readiness loop (the
+                default; scales to tens of thousands of idle keep-alive
+                connections without a thread per connection)
+  -threaded     serve each connection on its own OS thread instead
+  -idle-timeout SECS   drop idle or stalled connections after this many
+                seconds (default 5)
+  -max-requests N   close a keep-alive connection after serving this
+                many requests (default 100)
   -faults SPEC  inject deterministic faults into the url= fetch path;
                 SPEC is RATE% or RATE%:KIND+KIND (kinds: latency,
                 timeout, 5xx, reset, truncate), optionally confined to
@@ -53,7 +62,14 @@ struct Options {
     jobs: usize,
     max_body: usize,
     keep_alive: bool,
+    mode: ServerMode,
+    idle_timeout: Option<Duration>,
+    max_requests: Option<usize>,
     faults: Option<FaultSpec>,
+    /// Non-fatal `-faults` parse warnings (unknown kinds), collected so
+    /// `main` prints them — the same convention as poacher, down to the
+    /// valid-kinds list in the message.
+    fault_warnings: Vec<String>,
     fault_seed: u64,
     adaptive: bool,
     smoke: bool,
@@ -65,7 +81,11 @@ fn parse(argv: &[String]) -> Result<Options, String> {
         jobs: 0,
         max_body: 1 << 20,
         keep_alive: true,
+        mode: ServerMode::EventLoop,
+        idle_timeout: None,
+        max_requests: None,
         faults: None,
+        fault_warnings: Vec::new(),
         fault_seed: 0,
         adaptive: false,
         smoke: false,
@@ -103,6 +123,27 @@ fn parse(argv: &[String]) -> Result<Options, String> {
                     _ => return Err(format!("-keep-alive needs on or off, got `{v}'")),
                 };
             }
+            "-event-loop" => options.mode = ServerMode::EventLoop,
+            "-threaded" => options.mode = ServerMode::Threaded,
+            "-idle-timeout" => {
+                let v = it.next().ok_or("-idle-timeout needs seconds")?;
+                options.idle_timeout = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n: &u64| n >= 1)
+                        .map(Duration::from_secs)
+                        .ok_or_else(|| {
+                            format!("-idle-timeout needs a positive number of seconds, got `{v}'")
+                        })?,
+                );
+            }
+            "-max-requests" => {
+                let v = it.next().ok_or("-max-requests needs a number")?;
+                options.max_requests =
+                    Some(v.parse().ok().filter(|&n: &usize| n >= 1).ok_or_else(|| {
+                        format!("-max-requests needs a positive number, got `{v}'")
+                    })?);
+            }
             "-faults" => {
                 let v = it
                     .next()
@@ -111,10 +152,10 @@ fn parse(argv: &[String]) -> Result<Options, String> {
                 // convention as unknown check ids): warn, keep going.
                 let (spec, warnings) =
                     FaultSpec::parse_lenient(v).map_err(|e| format!("-faults: {e}"))?;
-                for warning in warnings {
-                    eprintln!("weblint-serve: -faults: {warning}");
-                }
                 options.faults = Some(spec);
+                options
+                    .fault_warnings
+                    .extend(warnings.into_iter().map(|w| format!("-faults: {w}")));
             }
             "-fault-seed" => {
                 let v = it.next().ok_or("-fault-seed needs a number")?;
@@ -155,16 +196,24 @@ fn server_config(options: &Options) -> ServerConfig {
     if options.jobs >= 1 {
         service.workers = options.jobs;
     }
-    ServerConfig {
+    let mut config = ServerConfig {
         addr: format!("127.0.0.1:{}", options.port),
         service,
         max_body: options.max_body,
         keep_alive: options.keep_alive,
+        mode: options.mode,
         faults: options.faults.clone(),
         fault_seed: options.fault_seed,
         adaptive: options.adaptive,
         ..ServerConfig::default()
+    };
+    if let Some(idle) = options.idle_timeout {
+        config.read_timeout = idle;
     }
+    if let Some(max) = options.max_requests {
+        config.max_requests_per_connection = max;
+    }
+    config
 }
 
 fn main() -> ExitCode {
@@ -180,6 +229,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    for warning in &options.fault_warnings {
+        eprintln!("weblint-serve: {warning}");
+    }
     if options.smoke {
         return match smoke(&options) {
             Ok(summary) => {
@@ -201,7 +253,11 @@ fn main() -> ExitCode {
         }
     };
     let addr = server.local_addr();
-    println!("weblint-serve: listening on http://{addr}/ (POST /lint, POST /fix, GET /lint?url=..., /health, /metrics)");
+    let mode = match options.mode {
+        ServerMode::EventLoop => "event-loop",
+        ServerMode::Threaded => "threaded",
+    };
+    println!("weblint-serve: listening on http://{addr}/ [{mode}] (POST /lint, POST /fix, GET /lint?url=..., /health, /metrics)");
     server.start().join();
     ExitCode::SUCCESS
 }
@@ -332,6 +388,36 @@ mod tests {
     }
 
     #[test]
+    fn mode_flags_parse() {
+        assert_eq!(parse(&args(&[])).unwrap().mode, ServerMode::EventLoop);
+        assert_eq!(
+            parse(&args(&["-event-loop"])).unwrap().mode,
+            ServerMode::EventLoop
+        );
+        assert_eq!(
+            parse(&args(&["-threaded"])).unwrap().mode,
+            ServerMode::Threaded
+        );
+        // Last flag wins, like every other repeatable option.
+        assert_eq!(
+            parse(&args(&["-threaded", "-event-loop"])).unwrap().mode,
+            ServerMode::EventLoop
+        );
+        let options = parse(&args(&["-idle-timeout", "300"])).unwrap();
+        assert_eq!(options.idle_timeout, Some(Duration::from_secs(300)));
+        assert_eq!(
+            server_config(&options).read_timeout,
+            Duration::from_secs(300)
+        );
+        let options = parse(&args(&["-max-requests", "1000000"])).unwrap();
+        assert_eq!(options.max_requests, Some(1_000_000));
+        assert_eq!(
+            server_config(&options).max_requests_per_connection,
+            1_000_000
+        );
+    }
+
+    #[test]
     fn bad_flags_error() {
         for bad in [
             &["-port", "pony"][..],
@@ -339,6 +425,10 @@ mod tests {
             &["-jobs", "four"],
             &["-max-body", "0"],
             &["-keep-alive", "maybe"],
+            &["-idle-timeout", "0"],
+            &["-idle-timeout", "soon"],
+            &["-max-requests", "0"],
+            &["-max-requests", "lots"],
             &["-wat"],
         ] {
             assert!(parse(&args(bad)).is_err(), "{bad:?}");
@@ -349,6 +439,7 @@ mod tests {
     fn fault_flags_parse() {
         let options = parse(&args(&["-faults", "20%", "-fault-seed", "7", "-adaptive"])).unwrap();
         assert_eq!(options.faults.unwrap().rate_percent, 20);
+        assert!(options.fault_warnings.is_empty());
         assert_eq!(options.fault_seed, 7);
         assert!(options.adaptive);
         assert!(!parse(&args(&["-smoke"])).unwrap().adaptive);
@@ -357,8 +448,31 @@ mod tests {
     }
 
     #[test]
+    fn unknown_fault_kind_warns_with_the_valid_kinds() {
+        // The same leniency (and the same message, valid-kinds list
+        // included) as poacher: the unknown kind is dropped with a
+        // warning, the known remainder still applies.
+        let options = parse(&args(&["-faults", "20%:timeout+gremlins"])).unwrap();
+        assert_eq!(options.faults.unwrap().kinds.len(), 1);
+        assert_eq!(options.fault_warnings.len(), 1);
+        assert!(
+            options.fault_warnings[0].contains("gremlins")
+                && options.fault_warnings[0].contains("valid kinds"),
+            "{:?}",
+            options.fault_warnings
+        );
+    }
+
+    #[test]
     fn smoke_passes_end_to_end() {
         let options = parse(&args(&["-smoke", "-jobs", "2"])).unwrap();
+        let summary = smoke(&options).unwrap();
+        assert!(summary.contains("cache hit"), "{summary}");
+    }
+
+    #[test]
+    fn smoke_passes_threaded() {
+        let options = parse(&args(&["-smoke", "-jobs", "2", "-threaded"])).unwrap();
         let summary = smoke(&options).unwrap();
         assert!(summary.contains("cache hit"), "{summary}");
     }

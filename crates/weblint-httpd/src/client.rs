@@ -30,17 +30,16 @@ impl ClientResponse {
     }
 }
 
-/// Write one HTTP/1.1 request. A `Content-Length` header is always sent
-/// so empty-bodied POSTs stay unambiguous. Head and body go out in one
-/// `write` — two small writes on a keep-alive connection trip the
-/// Nagle/delayed-ACK interaction and cost ~40ms per request.
-pub fn write_request(
-    out: &mut impl Write,
+/// Serialize one HTTP/1.1 request to its wire bytes. A `Content-Length`
+/// header is always included so empty-bodied POSTs stay unambiguous.
+/// When the same request goes down thousands of connections (the C10k
+/// bench), serialize once and write the slice everywhere.
+pub fn request_bytes(
     method: &str,
     target: &str,
     extra_headers: &[(&str, &str)],
     body: &[u8],
-) -> io::Result<()> {
+) -> Vec<u8> {
     let mut head = format!(
         "{method} {target} HTTP/1.1\r\nHost: weblint\r\nContent-Length: {}\r\n",
         body.len()
@@ -54,7 +53,20 @@ pub fn write_request(
     head.push_str("\r\n");
     let mut wire = head.into_bytes();
     wire.extend_from_slice(body);
-    out.write_all(&wire)?;
+    wire
+}
+
+/// Write one HTTP/1.1 request. Head and body go out in one `write` —
+/// two small writes on a keep-alive connection trip the
+/// Nagle/delayed-ACK interaction and cost ~40ms per request.
+pub fn write_request(
+    out: &mut impl Write,
+    method: &str,
+    target: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    out.write_all(&request_bytes(method, target, extra_headers, body))?;
     out.flush()
 }
 

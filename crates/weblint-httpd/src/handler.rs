@@ -90,14 +90,21 @@ impl App {
             },
             Err(SubmitError::QueueFull | SubmitError::ShutDown) => {
                 HttpCounters::bump(&self.counters.shed);
-                let mut response = Response::text(503, "lint queue is full; retry in a moment\n");
-                response
-                    .extra_headers
-                    .push(("Retry-After", "1".to_string()));
-                Err(response)
+                Err(shed_response())
             }
         }
     }
+}
+
+/// The 503 every overloaded path answers with — the service pool's full
+/// queue and the event loop's full dispatch queue shed identically, so
+/// clients and `/metrics` cannot tell which tier refused.
+pub(crate) fn shed_response() -> Response {
+    let mut response = Response::text(503, "lint queue is full; retry in a moment\n");
+    response
+        .extra_headers
+        .push(("Retry-After", "1".to_string()));
+    response
 }
 
 /// How the client wants the report rendered.

@@ -239,6 +239,50 @@ pub fn read_body(reader: &mut impl BufRead, content_length: usize) -> Result<Vec
     Ok(body)
 }
 
+/// Where a buffered request head ends: the index just past the first
+/// empty line (CRLF or bare-LF terminated, matching [`read_line`]'s
+/// tolerance), or `None` if the head has not fully arrived yet.
+///
+/// The event loop's incremental framing: it only hands bytes to
+/// [`parse_head`] once this (or [`head_overflow`]) says parsing can
+/// reach a verdict, so partial arrivals are never misread as truncation.
+pub(crate) fn find_head_end(buf: &[u8]) -> Option<usize> {
+    for (i, &b) in buf.iter().enumerate() {
+        if b != b'\n' {
+            continue;
+        }
+        match (buf.get(i + 1), buf.get(i + 2)) {
+            (Some(b'\n'), _) => return Some(i + 2),
+            (Some(b'\r'), Some(b'\n')) => return Some(i + 3),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Whether a still-unterminated head already violates a hard limit —
+/// a line beyond [`MAX_LINE`] or more lines than a request line plus
+/// [`MAX_HEADERS`] headers could fill. Once true, [`parse_head`] reaches
+/// the same refusal on the buffered bytes alone, so the server need not
+/// (and must not) wait for the terminator a hostile client will never
+/// send.
+pub(crate) fn head_overflow(buf: &[u8]) -> bool {
+    let mut lines = 0usize;
+    let mut line_start = 0usize;
+    for (i, &b) in buf.iter().enumerate() {
+        if b == b'\n' {
+            lines += 1;
+            if lines > MAX_HEADERS + 1 {
+                return true;
+            }
+            line_start = i + 1;
+        } else if i - line_start >= MAX_LINE {
+            return true;
+        }
+    }
+    false
+}
+
 /// Split a request target into decoded path and query pairs.
 fn parse_target(target: &str) -> Result<(String, Vec<(String, String)>), ParseError> {
     if !target.starts_with('/') {
@@ -518,6 +562,47 @@ mod tests {
     fn bare_lf_is_tolerated() {
         let (req, _) = parse("GET /health HTTP/1.1\nHost: x\n\n").unwrap();
         assert_eq!(req.path, "/health");
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\n"), Some(18));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\n\n"), Some(16));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\nrest"), Some(17));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\nHost: x\r\n"), None);
+        assert_eq!(find_head_end(b"GET / HT"), None);
+        assert_eq!(find_head_end(b""), None);
+        // The head ends where the FIRST empty line is, pipelined data after.
+        let two = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        assert_eq!(find_head_end(two), Some(19));
+    }
+
+    #[test]
+    fn head_overflow_matches_parser_limits() {
+        assert!(!head_overflow(b"GET / HTTP/1.1\r\nHost: x\r\n"));
+        // A single line past MAX_LINE can never parse; the parser agrees.
+        let long = vec![b'a'; MAX_LINE + 1];
+        assert!(head_overflow(&long));
+        assert!(matches!(
+            parse_head(&mut Cursor::new(long), 1 << 20),
+            Err(ParseError::BadRequest("header line too long"))
+        ));
+        // More lines than a request line + MAX_HEADERS headers can fill.
+        let mut many = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..=MAX_HEADERS {
+            many.extend_from_slice(format!("h{i}: v\r\n").as_bytes());
+        }
+        assert!(head_overflow(&many));
+        assert!(matches!(
+            parse_head(&mut Cursor::new(many), 1 << 20),
+            Err(ParseError::BadRequest("too many headers"))
+        ));
+        // Right at the limits is not an overflow.
+        let mut full = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..MAX_HEADERS {
+            full.extend_from_slice(format!("h{i}: v\r\n").as_bytes());
+        }
+        assert!(!head_overflow(&full));
     }
 
     #[test]

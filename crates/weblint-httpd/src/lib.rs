@@ -19,9 +19,13 @@
 //!   bytes in/out.
 //!
 //! No TLS, no chunked encoding, no external dependencies: `TcpListener`,
-//! threads, and the existing service crate. Shutdown is graceful — the
-//! accept loop stops, every in-flight request completes and is answered,
-//! all threads are joined.
+//! a hand-declared readiness shim, and the existing service crate. Two
+//! serving modes share every byte of protocol behavior
+//! ([`ServerMode`]): the default event loop multiplexes all connections
+//! onto one thread (10k idle keep-alive connections cost a buffer each,
+//! not a stack each), while the threaded fallback spends a thread per
+//! connection. Shutdown is graceful in both — accepting stops, every
+//! in-flight request completes and is answered, all threads are joined.
 //!
 //! # Examples
 //!
@@ -40,21 +44,27 @@
 //! handle.shutdown();
 //! ```
 
-#![forbid(unsafe_code)]
+// `sys` is the single carve-out: the readiness loop needs raw poll/epoll
+// and self-pipe syscalls, declared by hand to honour the no-dependency
+// rule. Everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+mod event;
 mod handler;
 mod http;
 mod metrics;
 mod server;
+#[allow(unsafe_code)]
+mod sys;
 
 pub use http::{
     parse_request, percent_decode, write_response, ParseError, Request, Response, MAX_HEADERS,
     MAX_LINE,
 };
 pub use metrics::HttpMetrics;
-pub use server::{HttpServer, ServerConfig, ServerHandle};
+pub use server::{HttpServer, ServerConfig, ServerHandle, ServerMode};
 
 // Re-exported so callers configuring a server see one coherent surface.
 pub use weblint_service::ServiceMetrics;

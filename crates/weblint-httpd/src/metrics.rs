@@ -7,6 +7,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Default)]
 pub(crate) struct HttpCounters {
     pub(crate) connections: AtomicU64,
+    pub(crate) connections_closed: AtomicU64,
+    pub(crate) epoll_wakeups: AtomicU64,
+    pub(crate) keepalive_reuse: AtomicU64,
     pub(crate) requests: AtomicU64,
     pub(crate) parse_errors: AtomicU64,
     pub(crate) body_rejections: AtomicU64,
@@ -30,8 +33,13 @@ impl HttpCounters {
     }
 
     pub(crate) fn snapshot(&self) -> HttpMetrics {
+        let accepted = self.connections.load(Ordering::Relaxed);
+        let closed = self.connections_closed.load(Ordering::Relaxed);
         HttpMetrics {
-            connections_accepted: self.connections.load(Ordering::Relaxed),
+            connections_accepted: accepted,
+            open_connections: accepted.saturating_sub(closed),
+            epoll_wakeups: self.epoll_wakeups.load(Ordering::Relaxed),
+            keepalive_reuse: self.keepalive_reuse.load(Ordering::Relaxed),
             requests_served: self.requests.load(Ordering::Relaxed),
             parse_errors: self.parse_errors.load(Ordering::Relaxed),
             body_rejections: self.body_rejections.load(Ordering::Relaxed),
@@ -54,6 +62,15 @@ impl HttpCounters {
 pub struct HttpMetrics {
     /// TCP connections accepted.
     pub connections_accepted: u64,
+    /// Connections currently open (accepted minus closed) — a gauge,
+    /// not a counter.
+    pub open_connections: u64,
+    /// Times the readiness loop's `epoll_wait`/`poll` returned. Zero in
+    /// threaded mode, where there is no loop to wake.
+    pub epoll_wakeups: u64,
+    /// Requests served on a connection beyond its first — how much work
+    /// keep-alive actually carried.
+    pub keepalive_reuse: u64,
     /// Requests answered with a response (any status).
     pub requests_served: u64,
     /// Connections dropped over malformed input (400s).
@@ -90,6 +107,11 @@ impl std::fmt::Display for HttpMetrics {
         )?;
         writeln!(
             f,
+            "  loop:  {} open, {} readiness wakeup(s), {} keep-alive reuse(s)",
+            self.open_connections, self.epoll_wakeups, self.keepalive_reuse
+        )?;
+        writeln!(
+            f,
             "  reqs:  {} served, {} parse error(s), {} body rejection(s)",
             self.requests_served, self.parse_errors, self.body_rejections
         )?;
@@ -119,6 +141,8 @@ mod tests {
     fn snapshot_and_display() {
         let counters = HttpCounters::default();
         HttpCounters::bump(&counters.connections);
+        HttpCounters::add(&counters.epoll_wakeups, 9);
+        HttpCounters::add(&counters.keepalive_reuse, 2);
         HttpCounters::add(&counters.requests, 3);
         HttpCounters::add(&counters.bytes_in, 120);
         HttpCounters::add(&counters.bytes_out, 4096);
@@ -128,12 +152,18 @@ mod tests {
         HttpCounters::add(&counters.fixes_applied, 7);
         let m = counters.snapshot();
         assert_eq!(m.connections_accepted, 1);
+        assert_eq!(m.open_connections, 1, "nothing closed yet");
+        assert_eq!(m.epoll_wakeups, 9);
+        assert_eq!(m.keepalive_reuse, 2);
         assert_eq!(m.requests_served, 3);
         assert_eq!(m.requests_shed, 1);
         assert_eq!(m.header_timeouts, 1);
+        HttpCounters::bump(&counters.connections_closed);
+        assert_eq!(counters.snapshot().open_connections, 0);
         let text = m.to_string();
         for needle in [
             "1 accepted",
+            "1 open, 9 readiness wakeup(s), 2 keep-alive reuse(s)",
             "3 served",
             "120 byte(s) in",
             "4096 byte(s) out",

@@ -1,9 +1,13 @@
 //! The TCP front end: accept loop, connection lifecycle, graceful
 //! shutdown.
 //!
-//! One OS thread per live connection, a polling accept loop, and a stop
-//! flag checked between requests — in-flight requests always finish and
-//! get their response before the connection closes.
+//! Two interchangeable serving modes share this module's configuration
+//! and counters. [`ServerMode::EventLoop`] (the default) runs every
+//! connection on one readiness-driven thread — see [`crate::event`].
+//! [`ServerMode::Threaded`] is the original design: one OS thread per
+//! live connection, a polling accept loop, and a stop flag checked
+//! between requests. In both modes, in-flight requests always finish
+//! and get their response before the connection closes.
 
 use std::io::{self, BufRead, BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -20,11 +24,32 @@ use crate::handler::{handle, App};
 use crate::http::{parse_head, read_body, write_response, ParseError, Response};
 use crate::metrics::{HttpCounters, HttpMetrics};
 
+/// How connections are multiplexed onto threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerMode {
+    /// One readiness loop drives every connection as a nonblocking state
+    /// machine; lint work runs on a small dispatcher pool. Scales to
+    /// tens of thousands of idle keep-alive connections with flat
+    /// memory.
+    #[default]
+    EventLoop,
+    /// One OS thread (and stack) per live connection. Simpler to reason
+    /// about under a debugger; kept as the fallback path.
+    Threaded,
+}
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; port `0` picks an ephemeral port.
     pub addr: String,
+    /// Connection multiplexing strategy; see [`ServerMode`].
+    pub mode: ServerMode,
+    /// Dispatcher threads the event loop hands parsed requests to
+    /// (`0` = auto: lint workers + 2, so the pool can keep every worker
+    /// fed and still answer `/health` while all workers are busy).
+    /// Ignored in threaded mode.
+    pub dispatchers: usize,
     /// Lint pool configuration.
     pub service: ServiceConfig,
     /// Largest accepted request body, in bytes; larger POSTs get a 413.
@@ -58,6 +83,8 @@ impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
+            mode: ServerMode::default(),
+            dispatchers: 0,
             service: ServiceConfig::default(),
             max_body: 1 << 20,
             keep_alive: true,
@@ -72,15 +99,16 @@ impl Default for ServerConfig {
     }
 }
 
-/// The per-connection subset of [`ServerConfig`].
+/// The per-connection subset of [`ServerConfig`], shared with the event
+/// loop.
 #[derive(Debug, Clone)]
-struct ConnLimits {
-    max_body: usize,
-    keep_alive: bool,
-    max_requests: usize,
-    header_timeout: Duration,
-    read_timeout: Duration,
-    write_timeout: Duration,
+pub(crate) struct ConnLimits {
+    pub(crate) max_body: usize,
+    pub(crate) keep_alive: bool,
+    pub(crate) max_requests: usize,
+    pub(crate) header_timeout: Duration,
+    pub(crate) read_timeout: Duration,
+    pub(crate) write_timeout: Duration,
 }
 
 /// A bound-but-not-yet-serving server. [`HttpServer::start`] begins
@@ -90,6 +118,8 @@ pub struct HttpServer {
     addr: SocketAddr,
     app: Arc<App>,
     limits: ConnLimits,
+    mode: ServerMode,
+    dispatchers: usize,
 }
 
 impl HttpServer {
@@ -123,6 +153,11 @@ impl HttpServer {
                 config.adaptive,
             ),
         });
+        let dispatchers = if config.dispatchers == 0 {
+            config.service.workers + 2
+        } else {
+            config.dispatchers
+        };
         Ok(HttpServer {
             listener,
             addr,
@@ -135,6 +170,8 @@ impl HttpServer {
                 read_timeout: config.read_timeout,
                 write_timeout: config.write_timeout,
             },
+            mode: config.mode,
+            dispatchers,
         })
     }
 
@@ -146,18 +183,42 @@ impl HttpServer {
     /// Start accepting connections on a background thread.
     pub fn start(self) -> ServerHandle {
         let stop = Arc::new(AtomicBool::new(false));
+        // The event loop needs a self-pipe so shutdown (and completed
+        // lint jobs) can interrupt its wait; if one cannot be created,
+        // the threaded path still serves correctly.
+        let waker = match self.mode {
+            ServerMode::EventLoop => crate::sys::WakePipe::new().ok().map(Arc::new),
+            ServerMode::Threaded => None,
+        };
         let thread = {
             let app = Arc::clone(&self.app);
             let stop = Arc::clone(&stop);
-            thread::Builder::new()
-                .name("httpd-accept".to_string())
-                .spawn(move || accept_loop(self.listener, app, self.limits, stop))
-                .expect("spawn accept thread")
+            let dispatchers = self.dispatchers;
+            match waker.as_ref().map(Arc::clone) {
+                Some(wake) => thread::Builder::new()
+                    .name("httpd-loop".to_string())
+                    .spawn(move || {
+                        crate::event::event_loop(
+                            self.listener,
+                            app,
+                            self.limits,
+                            stop,
+                            wake,
+                            dispatchers,
+                        );
+                    })
+                    .expect("spawn event-loop thread"),
+                None => thread::Builder::new()
+                    .name("httpd-accept".to_string())
+                    .spawn(move || accept_loop(self.listener, app, self.limits, stop))
+                    .expect("spawn accept thread"),
+            }
         };
         ServerHandle {
             addr: self.addr,
             app: self.app,
             stop,
+            waker,
             thread: Some(thread),
         }
     }
@@ -168,6 +229,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     app: Arc<App>,
     stop: Arc<AtomicBool>,
+    waker: Option<Arc<crate::sys::WakePipe>>,
     thread: Option<thread::JoinHandle<()>>,
 }
 
@@ -205,6 +267,11 @@ impl ServerHandle {
 
     fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::Release);
+        // An idle event loop blocks in its wait; the self-pipe gets it to
+        // notice the flag now rather than at its next deadline.
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }
@@ -217,7 +284,12 @@ impl Drop for ServerHandle {
     }
 }
 
-fn accept_loop(listener: TcpListener, app: Arc<App>, limits: ConnLimits, stop: Arc<AtomicBool>) {
+pub(crate) fn accept_loop(
+    listener: TcpListener,
+    app: Arc<App>,
+    limits: ConnLimits,
+    stop: Arc<AtomicBool>,
+) {
     let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
@@ -291,7 +363,18 @@ impl Read for DeadlineStream {
     }
 }
 
+/// Bumps `connections_closed` when dropped, so the `open_connections`
+/// gauge survives every exit path a connection thread can take.
+struct ClosedGuard<'a>(&'a HttpCounters);
+
+impl Drop for ClosedGuard<'_> {
+    fn drop(&mut self) {
+        HttpCounters::bump(&self.0.connections_closed);
+    }
+}
+
 fn serve_connection(app: &App, limits: &ConnLimits, stream: TcpStream, stop: &AtomicBool) {
+    let _closed = ClosedGuard(&app.counters);
     // Accepted sockets can inherit the listener's nonblocking flag on
     // some platforms; insist on blocking reads with timeouts.
     if stream.set_nonblocking(false).is_err()
@@ -393,6 +476,9 @@ fn serve_connection(app: &App, limits: &ConnLimits, stream: TcpStream, stop: &At
             }
         };
         served += 1;
+        if served > 1 {
+            HttpCounters::bump(&app.counters.keepalive_reuse);
+        }
         if served >= limits.max_requests || stop.load(Ordering::Acquire) {
             keep = false;
         }
@@ -414,74 +500,110 @@ mod tests {
     use super::*;
     use std::io::{Read, Write};
 
+    /// Every lifecycle test runs in both modes: the event loop is the
+    /// default, and the threaded path must keep behaving identically.
+    const BOTH_MODES: [ServerMode; 2] = [ServerMode::EventLoop, ServerMode::Threaded];
+
     #[test]
     fn serves_health_over_tcp_and_shuts_down() {
-        let server = HttpServer::bind(ServerConfig::default()).unwrap();
-        let handle = server.start();
-        let mut stream = TcpStream::connect(handle.addr()).unwrap();
-        stream
-            .write_all(b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n")
-            .unwrap();
-        let mut response = String::new();
-        stream.read_to_string(&mut response).unwrap();
-        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
-        assert!(response.ends_with("\r\n\r\nok\n"), "{response}");
-        let (http, _service) = handle.shutdown();
-        assert_eq!(http.connections_accepted, 1);
-        assert_eq!(http.requests_served, 1);
-        assert!(http.bytes_out > 0);
+        for mode in BOTH_MODES {
+            let config = ServerConfig {
+                mode,
+                ..ServerConfig::default()
+            };
+            let handle = HttpServer::bind(config).unwrap().start();
+            let mut stream = TcpStream::connect(handle.addr()).unwrap();
+            stream
+                .write_all(b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            assert!(
+                response.starts_with("HTTP/1.1 200 OK\r\n"),
+                "{mode:?}: {response}"
+            );
+            assert!(response.ends_with("\r\n\r\nok\n"), "{mode:?}: {response}");
+            let (http, _service) = handle.shutdown();
+            assert_eq!(http.connections_accepted, 1, "{mode:?}");
+            assert_eq!(http.requests_served, 1, "{mode:?}");
+            assert_eq!(http.open_connections, 0, "{mode:?}");
+            assert!(http.bytes_out > 0, "{mode:?}");
+        }
     }
 
     #[test]
     fn keep_alive_serves_multiple_requests_up_to_cap() {
-        let config = ServerConfig {
-            max_requests_per_connection: 3,
-            ..ServerConfig::default()
-        };
-        let handle = HttpServer::bind(config).unwrap().start();
-        let mut stream = TcpStream::connect(handle.addr()).unwrap();
-        let mut reader = BufReader::new(stream.try_clone().unwrap());
-        for i in 0..3 {
-            crate::client::write_request(&mut stream, "GET", "/health", &[], b"").unwrap();
-            let response = crate::client::read_response(&mut reader).unwrap();
-            assert_eq!(response.status, 200);
-            let expected = if i < 2 { "keep-alive" } else { "close" };
-            assert_eq!(response.header("connection"), Some(expected), "request {i}");
-            assert_eq!(response.body_text(), "ok\n");
+        for mode in BOTH_MODES {
+            let config = ServerConfig {
+                mode,
+                max_requests_per_connection: 3,
+                ..ServerConfig::default()
+            };
+            let handle = HttpServer::bind(config).unwrap().start();
+            let mut stream = TcpStream::connect(handle.addr()).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            for i in 0..3 {
+                crate::client::write_request(&mut stream, "GET", "/health", &[], b"").unwrap();
+                let response = crate::client::read_response(&mut reader).unwrap();
+                assert_eq!(response.status, 200);
+                let expected = if i < 2 { "keep-alive" } else { "close" };
+                assert_eq!(
+                    response.header("connection"),
+                    Some(expected),
+                    "{mode:?} request {i}"
+                );
+                assert_eq!(response.body_text(), "ok\n");
+            }
+            // The cap closed the connection after the third response.
+            assert_eq!(reader.read(&mut [0u8; 1]).unwrap(), 0);
+            let (http, _) = handle.shutdown();
+            assert_eq!(http.connections_accepted, 1, "{mode:?}");
+            assert_eq!(http.requests_served, 3, "{mode:?}");
+            assert_eq!(http.keepalive_reuse, 2, "{mode:?}");
         }
-        // The cap closed the connection after the third response.
-        assert_eq!(reader.read(&mut [0u8; 1]).unwrap(), 0);
-        let (http, _) = handle.shutdown();
-        assert_eq!(http.connections_accepted, 1);
-        assert_eq!(http.requests_served, 3);
     }
 
     #[test]
     fn keep_alive_disabled_closes_after_one_request() {
-        let config = ServerConfig {
-            keep_alive: false,
-            ..ServerConfig::default()
-        };
-        let handle = HttpServer::bind(config).unwrap().start();
-        let mut stream = TcpStream::connect(handle.addr()).unwrap();
-        stream
-            .write_all(b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n")
-            .unwrap();
-        let mut response = String::new();
-        stream.read_to_string(&mut response).unwrap();
-        assert!(response.contains("Connection: close\r\n"), "{response}");
-        handle.shutdown();
+        for mode in BOTH_MODES {
+            let config = ServerConfig {
+                mode,
+                keep_alive: false,
+                ..ServerConfig::default()
+            };
+            let handle = HttpServer::bind(config).unwrap().start();
+            let mut stream = TcpStream::connect(handle.addr()).unwrap();
+            stream
+                .write_all(b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            assert!(
+                response.contains("Connection: close\r\n"),
+                "{mode:?}: {response}"
+            );
+            handle.shutdown();
+        }
     }
 
     #[test]
     fn malformed_request_is_answered_then_closed() {
-        let handle = HttpServer::bind(ServerConfig::default()).unwrap().start();
-        let mut stream = TcpStream::connect(handle.addr()).unwrap();
-        stream.write_all(b"NOT-EVEN-HTTP\r\n\r\n").unwrap();
-        let mut response = String::new();
-        stream.read_to_string(&mut response).unwrap();
-        assert!(response.starts_with("HTTP/1.1 400 "), "{response}");
-        let (http, _) = handle.shutdown();
-        assert_eq!(http.parse_errors, 1);
+        for mode in BOTH_MODES {
+            let config = ServerConfig {
+                mode,
+                ..ServerConfig::default()
+            };
+            let handle = HttpServer::bind(config).unwrap().start();
+            let mut stream = TcpStream::connect(handle.addr()).unwrap();
+            stream.write_all(b"NOT-EVEN-HTTP\r\n\r\n").unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            assert!(
+                response.starts_with("HTTP/1.1 400 "),
+                "{mode:?}: {response}"
+            );
+            let (http, _) = handle.shutdown();
+            assert_eq!(http.parse_errors, 1, "{mode:?}");
+        }
     }
 }
