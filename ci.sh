@@ -151,3 +151,18 @@ timeout 300 cargo bench -p weblint-bench --bench c10k -- --test
 # The serve smoke must pass in the threaded fallback too.
 timeout 60 cargo run --release -p weblint-cli --bin weblint-serve -- \
     -smoke -jobs 2 -threaded
+
+# Streaming session gates (E20). The chunk-boundary equivalence suite
+# proves diagnostics are byte-identical no matter where feed boundaries
+# fall (every corpus document at every offset of a sliding window,
+# big.html windows, seeded random partitions, splits inside multi-byte
+# characters); the bench shape pass gates time-to-first-finding flatness
+# across a 100x size range and the one-shot throughput toll. The serve
+# smoke above already exercises the chunked-upload wire path end to end.
+timeout 120 cargo test -q --release --test streaming_parity
+timeout 180 cargo bench -p weblint-bench --bench streaming -- --test
+
+# weblint - must lint an unbuffered stdin stream like the file path.
+printf '<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><H1>x</H2></BODY></HTML>' \
+    | cargo run --release -p weblint-cli --bin weblint -- - \
+    | grep -q 'malformed heading'

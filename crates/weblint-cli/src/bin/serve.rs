@@ -38,10 +38,14 @@ options:
   -port N       listen port (default 8018, 0 picks an ephemeral port)
   -jobs N       lint worker threads (default: one per CPU, capped at 8)
   -max-body N   largest accepted POST body in bytes (default 1048576)
+  -max-findings N   stop a streamed lint after N findings; the truncated
+                response carries an X-Weblint-Truncated header (event
+                loop only; default 0 = report everything)
   -keep-alive on|off   persistent connections (default on)
   -event-loop   serve every connection from one readiness loop (the
                 default; scales to tens of thousands of idle keep-alive
-                connections without a thread per connection)
+                connections without a thread per connection); POST /lint
+                bodies are linted incrementally as their bytes arrive
   -threaded     serve each connection on its own OS thread instead
   -idle-timeout SECS   drop idle or stalled connections after this many
                 seconds (default 5)
@@ -61,6 +65,7 @@ struct Options {
     port: u16,
     jobs: usize,
     max_body: usize,
+    max_findings: usize,
     keep_alive: bool,
     mode: ServerMode,
     idle_timeout: Option<Duration>,
@@ -80,6 +85,7 @@ fn parse(argv: &[String]) -> Result<Options, String> {
         port: 8018,
         jobs: 0,
         max_body: 1 << 20,
+        max_findings: 0,
         keep_alive: true,
         mode: ServerMode::EventLoop,
         idle_timeout: None,
@@ -114,6 +120,13 @@ fn parse(argv: &[String]) -> Result<Options, String> {
                     .ok()
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("-max-body needs a positive number, got `{v}'"))?;
+            }
+            "-max-findings" => {
+                let v = it.next().ok_or("-max-findings needs a number")?;
+                options.max_findings =
+                    v.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("-max-findings needs a positive number, got `{v}'")
+                    })?;
             }
             "-keep-alive" => {
                 let v = it.next().ok_or("-keep-alive needs on or off")?;
@@ -200,6 +213,7 @@ fn server_config(options: &Options) -> ServerConfig {
         addr: format!("127.0.0.1:{}", options.port),
         service,
         max_body: options.max_body,
+        max_findings: options.max_findings,
         keep_alive: options.keep_alive,
         mode: options.mode,
         faults: options.faults.clone(),
@@ -286,8 +300,9 @@ fn smoke(options: &Options) -> Result<String, String> {
         if health.status != 200 || health.body_text() != "ok\n" {
             return Err(format!("/health answered {}", health.status));
         }
-        // Lint the fixture twice: same diagnostics, and the repeat must be
-        // answered from the service's result cache.
+        // Lint the fixture twice: the repeat must be byte-identical —
+        // whether it streamed through a fresh session on the event loop
+        // or replayed from the threaded path's result cache.
         let first = ask("POST", "/lint?name=smoke.html", fixture.as_bytes())?;
         if first.status != 200 || !first.body_text().contains("malformed heading") {
             return Err(format!(
@@ -322,6 +337,12 @@ fn smoke(options: &Options) -> Result<String, String> {
             Some(n) if n.parse::<u64>().is_ok_and(|n| n >= 1) => {}
             other => return Err(format!("bad X-Weblint-Fixed-Count: {other:?}")),
         }
+        // Fix jobs always ride the worker pool (in either serving mode),
+        // so repeating the POST /fix exercises the result cache.
+        let refixed = ask("POST", "/fix", fixture.as_bytes())?;
+        if refixed.body != fixed.body {
+            return Err("repeated POST /fix was not byte-identical".to_string());
+        }
         let metrics = ask("GET", "/metrics", b"")?;
         if !metrics.body_text().contains("cache:") {
             return Err("GET /metrics lacks cache counters".to_string());
@@ -332,7 +353,7 @@ fn smoke(options: &Options) -> Result<String, String> {
         if options.faults.is_some() && !metrics.body_text().contains("fault injection:") {
             return Err("chaotic GET /metrics lacks fault injection counters".to_string());
         }
-        Ok(format!("{} request(s) on one connection", 6))
+        Ok(format!("{} request(s) on one connection", 7))
     };
     let outcome = run();
 
@@ -340,13 +361,13 @@ fn smoke(options: &Options) -> Result<String, String> {
     let summary = outcome?;
     if service.cache.hits < 1 {
         return Err(format!(
-            "expected a cache hit from the duplicate POST, saw {}",
+            "expected a cache hit from the duplicate POST /fix, saw {}",
             service.cache.hits
         ));
     }
-    if http.requests_served < 6 {
+    if http.requests_served < 7 {
         return Err(format!(
-            "expected 6 requests served, counted {}",
+            "expected 7 requests served, counted {}",
             http.requests_served
         ));
     }
@@ -385,6 +406,14 @@ mod tests {
         assert_eq!(options.max_body, 4096);
         assert!(!options.keep_alive);
         assert!(parse(&args(&["-smoke"])).unwrap().smoke);
+        let options = parse(&args(&["-max-findings", "25"])).unwrap();
+        assert_eq!(options.max_findings, 25);
+        assert_eq!(server_config(&options).max_findings, 25);
+        assert_eq!(
+            parse(&args(&[])).unwrap().max_findings,
+            0,
+            "default: report everything"
+        );
     }
 
     #[test]
@@ -424,6 +453,8 @@ mod tests {
             &["-jobs", "0"],
             &["-jobs", "four"],
             &["-max-body", "0"],
+            &["-max-findings", "0"],
+            &["-max-findings", "some"],
             &["-keep-alive", "maybe"],
             &["-idle-timeout", "0"],
             &["-idle-timeout", "soon"],

@@ -207,6 +207,7 @@ fn run_parallel(
         .collect()
 }
 
+#[derive(Debug, PartialEq, Eq)]
 enum InputStatus {
     Clean,
     Messages,
@@ -334,12 +335,8 @@ fn check_one(
     err: &mut impl std::io::Write,
 ) -> InputStatus {
     if input == "-" {
-        let mut src = String::new();
-        if let Err(e) = std::io::stdin().read_to_string(&mut src) {
-            let _ = writeln!(err, "weblint: stdin: {e}");
-            return InputStatus::Failed;
-        }
-        return lint_source("stdin", &src, config, args.format, out, err);
+        let stdin = std::io::stdin();
+        return lint_stream("stdin", stdin.lock(), config, args.format, out, err);
     }
     let path = Path::new(input);
     if path.is_dir() {
@@ -361,6 +358,76 @@ fn check_one(
             let _ = writeln!(err, "weblint: {input}: {e}");
             InputStatus::Failed
         }
+    }
+}
+
+/// How much of the front of a stream is scanned for `<!-- weblint: … -->`
+/// pragmas before linting starts. With a whole document in hand pragmas
+/// apply page-wide regardless of position; a stream is linted as its
+/// bytes arrive, so only pragmas inside this prelude can take effect.
+/// 64 KiB covers any document head in practice without holding the body.
+const PRAGMA_PRELUDE: usize = 64 * 1024;
+
+/// Lint an input stream (stdin) without buffering the document: after the
+/// pragma prelude, bytes feed a [`LintSession`] as they are read and are
+/// never held — memory stays at the tokenizer's partial-token carry plus
+/// the findings themselves, whatever the pipe's length. A document that
+/// fits the prelude lints exactly like a file; invalid UTF-8 is replaced
+/// as it would be for a file read.
+fn lint_stream(
+    name: &str,
+    mut input: impl std::io::Read,
+    config: &LintConfig,
+    format: OutputFormat,
+    out: &mut impl std::io::Write,
+    err: &mut impl std::io::Write,
+) -> InputStatus {
+    let mut prelude = Vec::new();
+    let mut buf = [0u8; 8192];
+    let mut eof = false;
+    while prelude.len() < PRAGMA_PRELUDE {
+        match input.read(&mut buf) {
+            Ok(0) => {
+                eof = true;
+                break;
+            }
+            Ok(n) => prelude.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                let _ = writeln!(err, "weblint: {name}: {e}");
+                return InputStatus::Failed;
+            }
+        }
+    }
+    let mut page_config = config.clone();
+    match apply_pragmas(&String::from_utf8_lossy(&prelude), &mut page_config) {
+        Ok((_, warnings)) => report_warnings(name, &warnings, err),
+        Err(e) => {
+            let _ = writeln!(err, "weblint: {name}: {e}");
+            return InputStatus::Failed;
+        }
+    }
+    let mut session = LintSession::with_config(page_config);
+    let mut diags: Vec<Diagnostic> = session.feed(&prelude).collect();
+    drop(prelude);
+    while !eof {
+        match input.read(&mut buf) {
+            Ok(0) => eof = true,
+            Ok(n) => diags.extend(session.feed(&buf[..n])),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                let _ = writeln!(err, "weblint: {name}: {e}");
+                session.abort();
+                return InputStatus::Failed;
+            }
+        }
+    }
+    diags.extend(session.finish());
+    let _ = write!(out, "{}", format_report(&diags, name, format));
+    if diags.is_empty() {
+        InputStatus::Clean
+    } else {
+        InputStatus::Messages
     }
 }
 
@@ -706,7 +773,13 @@ fn run_profile(
             }
         }
         session.set_config(page_config);
-        let diags = session.check_string_profiled(&src, &mut profile);
+        let diags = session.lint(
+            &src,
+            weblint_core::LintRequest {
+                profile: Some(&mut profile),
+                ..Default::default()
+            },
+        );
         let _ = write!(out, "{}", format_report(&diags, &name, args.format));
         if !diags.is_empty() {
             code = code.max(EXIT_MESSAGES);
@@ -759,6 +832,66 @@ mod tests {
         let path = dir.join(name);
         std::fs::write(&path, contents).unwrap();
         path
+    }
+
+    #[test]
+    fn streamed_stdin_matches_the_file_path_byte_for_byte() {
+        // A head pragma, a body past one read-buffer length, and enough
+        // problems to exercise several checks: the streamed lint must
+        // produce the same report the buffered file path would.
+        let src = format!(
+            "<!-- weblint: disable img-alt -->\n\
+             <HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>{}\
+             <H1>x</H2><IMG SRC=\"a.gif\"></BODY></HTML>\n",
+            "<P>padding</P>\n".repeat(1500)
+        );
+        let config = LintConfig::new();
+        let mut expected_out = Vec::new();
+        let mut expected_err = Vec::new();
+        let expected = lint_source(
+            "stdin",
+            &src,
+            &config,
+            OutputFormat::Lint,
+            &mut expected_out,
+            &mut expected_err,
+        );
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let status = lint_stream(
+            "stdin",
+            std::io::Cursor::new(src.into_bytes()),
+            &config,
+            OutputFormat::Lint,
+            &mut out,
+            &mut err,
+        );
+        assert_eq!(status, expected);
+        assert_eq!(out, expected_out);
+        assert_eq!(err, expected_err);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("malformed heading"), "{text}");
+        assert!(!text.contains("img-alt"), "the pragma must hold: {text}");
+    }
+
+    #[test]
+    fn streamed_stdin_reports_a_bad_pragma_like_a_file() {
+        let src = "<!-- weblint: frobnicate everything -->\n<P>x</P>";
+        let config = LintConfig::new();
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let status = lint_stream(
+            "stdin",
+            std::io::Cursor::new(src.as_bytes().to_vec()),
+            &config,
+            OutputFormat::Lint,
+            &mut out,
+            &mut err,
+        );
+        assert_eq!(status, InputStatus::Failed);
+        assert!(out.is_empty());
+        let text = String::from_utf8(err).unwrap();
+        assert!(text.contains("pragma"), "{text}");
     }
 
     #[test]

@@ -7,7 +7,7 @@ use weblint_tokenizer::{Span, Tag};
 use crate::fix::{Edit, Fix};
 
 use super::names::{heading_level, known, NameId};
-use super::open::{src_range, NO_FIX};
+use super::open::NO_FIX;
 use super::{Checker, Open};
 
 /// A fix that removes a stray end tag outright.
@@ -35,7 +35,7 @@ impl Checker<'_> {
         }
         self.check_name_case(tag.name, span, "tag");
         if tag.space_before_name {
-            let (name_start, _) = src_range(self.src, tag.name);
+            let (name_start, _) = self.src.range_of(tag.name);
             self.emit_fix(
                 Rule::LeadingWhitespace,
                 span,
@@ -56,7 +56,7 @@ impl Checker<'_> {
             );
         }
         if !tag.attrs.is_empty() {
-            let (name_start, name_len) = src_range(self.src, tag.name);
+            let (name_start, name_len) = self.src.range_of(tag.name);
             let unterminated = tag.unterminated;
             let src = self.src;
             self.emit_fix(
@@ -71,7 +71,7 @@ impl Checker<'_> {
                     }
                     let from = (name_start + name_len) as usize;
                     let to = span.end.offset.checked_sub(1)?;
-                    if to < from || src.as_bytes().get(to) != Some(&b'>') {
+                    if to < from || src.byte(to) != Some(b'>') {
                         return None;
                     }
                     Some(Fix::one(Edit::delete(from, to)))
@@ -118,6 +118,7 @@ impl Checker<'_> {
                 .expect("intervening element exists");
             if self.config.heuristics && open.silently_closable() {
                 self.close_bookkeeping(&open, span);
+                self.scratch.release_orig(&open);
             } else if self.config.heuristics && open.is_inline() {
                 self.emit(
                     Rule::ElementOverlap,
@@ -127,22 +128,21 @@ impl Checker<'_> {
                          opened on line {open_line}",
                         close = tag.name,
                         close_line = span.start.line,
-                        open = open.orig(self.src),
+                        open = open.orig(&self.scratch.origs),
                         open_line = open.line
                     ),
                 );
                 // Park it: its own end tag will arrive later and must not
-                // count as unmatched.
+                // count as unmatched. Its arena slot stays live with it.
                 self.scratch.unresolved.push(open);
             } else {
-                let src = self.src;
+                let orig = open.orig(&self.scratch.origs).to_string();
                 self.emit_fix(
                     Rule::UnclosedElement,
                     span,
                     open.name_span,
                     format!(
                         "no closing </{orig}> seen for <{orig}> on line {line}",
-                        orig = open.orig(self.src),
                         line = open.line
                     ),
                     // Insert the missing end tag just before the close that
@@ -151,11 +151,12 @@ impl Checker<'_> {
                     move || {
                         Some(Fix::one(Edit::insert(
                             span.start.offset,
-                            format!("</{}>", open.orig(src)),
+                            format!("</{orig}>"),
                         )))
                     },
                 );
                 self.close_bookkeeping(&open, span);
+                self.scratch.release_orig(&open);
             }
         }
         let open = self.scratch.stack.pop().expect("matched element exists");
@@ -166,6 +167,7 @@ impl Checker<'_> {
             self.attach_rename_fix(&open, tag);
         }
         self.close_bookkeeping(&open, span);
+        self.scratch.release_orig(&open);
     }
 
     /// Attach the two-edit rename recorded in `open.fix_diag`: replace the
@@ -182,7 +184,7 @@ impl Checker<'_> {
             return;
         };
         let open_span = open.name_span;
-        let (close_start, close_len) = src_range(self.src, tag.name);
+        let (close_start, close_len) = self.src.range_of(tag.name);
         let (close_start, close_len) = (close_start as usize, close_len as usize);
         if open_span.is_empty() || close_len == 0 || open_span.end.offset > close_start {
             return;
@@ -201,7 +203,8 @@ impl Checker<'_> {
             if let Some(pos) = self.scratch.unresolved.iter().rposition(|o| o.id == id) {
                 // The element was displaced by an earlier overlap and has
                 // already been reported; its close resolves silently.
-                self.scratch.unresolved.remove(pos);
+                let open = self.scratch.unresolved.remove(pos);
+                self.scratch.release_orig(&open);
                 return;
             }
         }
@@ -213,34 +216,33 @@ impl Checker<'_> {
         {
             if let Some(open_level) = heading_level(top.id) {
                 if open_level != close_level {
-                    let (close_start, close_len) = src_range(self.src, tag.name);
-                    let src = self.src;
+                    let (close_start, close_len) = self.src.range_of(tag.name);
+                    let orig = top.orig(&self.scratch.origs).to_string();
                     self.emit_fix(
                         Rule::HeadingMismatch,
                         span,
                         span,
                         format!(
                             "malformed heading - open tag is <{}>, but closing is </{}>",
-                            top.orig(self.src),
-                            tag.name
+                            orig, tag.name
                         ),
                         // Rewrite the close tag's name to match the heading
                         // that is actually open, preserving its case.
                         move || {
-                            let name = top.orig(src);
-                            if name.is_empty() {
+                            if orig.is_empty() {
                                 return None;
                             }
                             let start = close_start as usize;
                             Some(Fix::one(Edit::replace(
                                 start,
                                 start + close_len as usize,
-                                name,
+                                orig,
                             )))
                         },
                     );
                     let open = self.scratch.stack.pop().expect("heading on top");
                     self.close_bookkeeping(&open, span);
+                    self.scratch.release_orig(&open);
                     return;
                 }
             }
@@ -262,7 +264,10 @@ impl Checker<'_> {
             self.emit(
                 Rule::EmptyContainer,
                 span,
-                format!("empty container element <{}>", open.orig(self.src)),
+                format!(
+                    "empty container element <{}>",
+                    open.orig(&self.scratch.origs)
+                ),
             );
         }
         let k = known();

@@ -21,9 +21,11 @@ mod open;
 mod scratch;
 mod start;
 mod text;
+mod view;
 
-pub(crate) use open::Open;
+pub(crate) use open::{Open, NO_FIX};
 pub(crate) use scratch::Scratch;
+pub(crate) use view::SrcView;
 
 use std::time::Instant;
 
@@ -31,7 +33,7 @@ use weblint_html::HtmlSpec;
 use weblint_rules::pattern::PatternRule;
 use weblint_rules::profile::Profile;
 use weblint_rules::{applies, kind_mask, Rule};
-use weblint_tokenizer::{Pos, Span, Token, TokenKind, Tokenizer};
+use weblint_tokenizer::{Pos, Span, Step, Token, TokenKind, Tokenizer};
 
 use crate::fix::{Edit, Fix};
 use crate::message::Diagnostic;
@@ -59,11 +61,20 @@ pub(crate) fn check_with(
     scratch: &mut Scratch,
 ) -> Vec<Diagnostic> {
     scratch.reset();
-    let mut checker = Checker::new(spec, config, src, scratch);
-    for token in Tokenizer::new(src) {
+    let mut checker = Checker::new(spec, config, SrcView::new(src), scratch);
+    drive(&mut checker, src);
+    checker.finish()
+}
+
+/// Pump every token of an in-memory document through the checker, via the
+/// same eof-aware [`Tokenizer::step`] the streaming session uses —
+/// `step(true)` is the whole-input case of the one engine path, with none
+/// of the stream path's copying or prefix-stability checks.
+fn drive(checker: &mut Checker<'_>, src: &str) {
+    let mut tokens = Tokenizer::new(src);
+    while let Step::Token(token) = tokens.step(true) {
         checker.on_token(&token);
     }
-    checker.finish()
 }
 
 /// [`check_with`], filling `profile` with per-rule hit and wall-time
@@ -77,22 +88,60 @@ pub(crate) fn check_profiled(
 ) -> Vec<Diagnostic> {
     scratch.reset();
     let t0 = Instant::now();
-    let mut checker = Checker::new(spec, config, src, scratch);
+    let mut checker = Checker::new(spec, config, SrcView::new(src), scratch);
     checker.profile = Some(profile);
-    for token in Tokenizer::new(src) {
-        checker.on_token(&token);
-    }
+    drive(&mut checker, src);
     let diags = checker.finish();
     profile.total_nanos += t0.elapsed().as_nanos() as u64;
     profile.documents += 1;
     diags
 }
 
+/// The per-document engine state that must survive between feeds of a
+/// streamed document: everything in [`Checker`] that is not borrowed from
+/// the session or derivable from the config. A [`crate::LintSession`]
+/// holds one of these per in-flight document; [`Checker::resume`] loads it
+/// for the duration of a feed and [`Checker::suspend`] stores it back.
+/// (The element stacks and text accumulators also cross feeds, but they
+/// live in [`Scratch`], which the session owns directly.)
+#[derive(Debug, Clone)]
+pub(crate) struct DocState {
+    pub(crate) diags: Vec<Diagnostic>,
+    pub(crate) seen_doctype: bool,
+    pub(crate) first_tag_checked: bool,
+    pub(crate) head_seen: bool,
+    pub(crate) body_seen: bool,
+    pub(crate) after_head: bool,
+    pub(crate) last_heading: Option<u8>,
+    pub(crate) end_pos: Pos,
+    /// The enabled-rule mask, computed from the config on the first
+    /// resume and reused for every later one. A streamed document is
+    /// resumed once per token, and recomputing the mask (a registry walk
+    /// with a hash lookup per rule) there would dominate the feed path.
+    pub(crate) mask: Option<u64>,
+}
+
+impl Default for DocState {
+    fn default() -> DocState {
+        DocState {
+            diags: Vec::new(),
+            seen_doctype: false,
+            first_tag_checked: false,
+            head_seen: false,
+            body_seen: false,
+            after_head: false,
+            last_heading: None,
+            end_pos: Pos::START,
+            mask: None,
+        }
+    }
+}
+
 /// Engine state for one document.
 pub(crate) struct Checker<'a> {
     pub(crate) spec: &'a HtmlSpec,
     pub(crate) config: &'a LintConfig,
-    pub(crate) src: &'a str,
+    pub(crate) src: SrcView<'a>,
     /// Reusable stacks, buffers and name tables.
     pub(crate) scratch: &'a mut Scratch,
     pub(crate) diags: Vec<Diagnostic>,
@@ -122,10 +171,21 @@ impl<'a> Checker<'a> {
     pub(crate) fn new(
         spec: &'a HtmlSpec,
         config: &'a LintConfig,
-        src: &'a str,
+        src: SrcView<'a>,
         scratch: &'a mut Scratch,
     ) -> Checker<'a> {
-        let mask = config.rule_mask();
+        Checker::with_mask(spec, config, src, scratch, config.rule_mask())
+    }
+
+    /// [`Checker::new`] with the rule mask supplied by the caller, for
+    /// resume paths that computed it once and cached it.
+    fn with_mask(
+        spec: &'a HtmlSpec,
+        config: &'a LintConfig,
+        src: SrcView<'a>,
+        scratch: &'a mut Scratch,
+        mask: u64,
+    ) -> Checker<'a> {
         // An empty iterator collects without allocating, so documents
         // linted under a rule-free config pay nothing here.
         let custom: Vec<&'a PatternRule> = config
@@ -153,7 +213,51 @@ impl<'a> Checker<'a> {
         }
     }
 
-    fn on_token(&mut self, token: &Token<'_>) {
+    /// Rebuild a checker mid-document from suspended state, for the next
+    /// feed of a streamed document. The borrowed fields (spec, config,
+    /// scratch) come fresh from the session; everything else is moved or
+    /// copied out of `state`.
+    pub(crate) fn resume(
+        spec: &'a HtmlSpec,
+        config: &'a LintConfig,
+        src: SrcView<'a>,
+        scratch: &'a mut Scratch,
+        state: &mut DocState,
+    ) -> Checker<'a> {
+        let mask = match state.mask {
+            Some(mask) => mask,
+            None => {
+                let mask = config.rule_mask();
+                state.mask = Some(mask);
+                mask
+            }
+        };
+        let mut checker = Checker::with_mask(spec, config, src, scratch, mask);
+        checker.diags = std::mem::take(&mut state.diags);
+        checker.seen_doctype = state.seen_doctype;
+        checker.first_tag_checked = state.first_tag_checked;
+        checker.head_seen = state.head_seen;
+        checker.body_seen = state.body_seen;
+        checker.after_head = state.after_head;
+        checker.last_heading = state.last_heading;
+        checker.end_pos = state.end_pos;
+        checker
+    }
+
+    /// Store the surviving per-document state back into `state` at the end
+    /// of a feed, releasing the borrows of the session's buffers.
+    pub(crate) fn suspend(self, state: &mut DocState) {
+        state.diags = self.diags;
+        state.seen_doctype = self.seen_doctype;
+        state.first_tag_checked = self.first_tag_checked;
+        state.head_seen = self.head_seen;
+        state.body_seen = self.body_seen;
+        state.after_head = self.after_head;
+        state.last_heading = self.last_heading;
+        state.end_pos = self.end_pos;
+    }
+
+    pub(crate) fn on_token(&mut self, token: &Token<'_>) {
         self.end_pos = token.span.end;
         match &token.kind {
             TokenKind::StartTag(tag) => self.on_start_tag(tag, token.span),
@@ -255,36 +359,33 @@ impl<'a> Checker<'a> {
     }
 
     /// End-of-document processing: force-close whatever is still open and
-    /// run the whole-document checks.
-    fn finish(mut self) -> Vec<Diagnostic> {
+    /// run the whole-document checks. Split out of [`Checker::finish`] so a
+    /// streaming session, which keeps the checker only for the duration of
+    /// one feed, can run it on the final feed without consuming self.
+    pub(crate) fn run_eof_checks(&mut self) {
         let eof = Span::empty(self.end_pos);
         let end_offset = self.end_pos.offset;
         while let Some(open) = self.scratch.stack.pop() {
             let silent =
                 self.config.heuristics && open.def.map(|d| d.end_tag_optional()).unwrap_or(true);
             if !silent {
-                let src = self.src;
+                let orig = open.orig(&self.scratch.origs).to_string();
                 self.emit_fix(
                     Rule::UnclosedElement,
                     eof,
                     open.name_span,
                     format!(
                         "no closing </{orig}> seen for <{orig}> on line {line}",
-                        orig = open.orig(self.src),
                         line = open.line
                     ),
                     // Append the missing end tag at end-of-file. The stack
                     // pops innermost-first, and same-offset insertions keep
                     // their emission order, so nesting comes out right.
-                    move || {
-                        Some(Fix::one(Edit::insert(
-                            end_offset,
-                            format!("</{}>", open.orig(src)),
-                        )))
-                    },
+                    move || Some(Fix::one(Edit::insert(end_offset, format!("</{orig}>")))),
                 );
             }
             self.close_bookkeeping(&open, eof);
+            self.scratch.release_orig(&open);
         }
         if self.first_tag_checked && !self.config.fragment {
             if !self.head_seen {
@@ -302,6 +403,12 @@ impl<'a> Checker<'a> {
                 );
             }
         }
+    }
+
+    /// One-shot end of document: run the EOF checks and yield the
+    /// accumulated diagnostics.
+    fn finish(mut self) -> Vec<Diagnostic> {
+        self.run_eof_checks();
         self.diags
     }
 }

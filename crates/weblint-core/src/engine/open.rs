@@ -1,7 +1,7 @@
 //! An entry on the element stack.
 
 use weblint_html::ElementDef;
-use weblint_tokenizer::{Pos, Span};
+use weblint_tokenizer::Span;
 
 use super::names::NameId;
 
@@ -9,14 +9,23 @@ use super::names::NameId;
 /// secondary "unresolved" stack).
 ///
 /// Holds no strings: the name is a [`NameId`] and the as-written spelling
-/// is a span into the source, so pushing an element never allocates and
-/// the stacks can live in reusable session scratch.
+/// is a range into the [`super::Scratch`] orig-name arena, so pushing an
+/// element never allocates (beyond the arena's amortized growth) and the
+/// stacks can live in reusable session scratch. The arena — not the source
+/// — carries the spelling because in streaming mode the source window may
+/// have scrolled past the open tag by the time its close is seen.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Open {
     /// Interned lower-case element name, for table lookups and matching.
     pub id: NameId,
-    /// Span of the name exactly as written in the source.
+    /// Span of the name exactly as written, in whole-document coordinates.
+    /// Used only for fix edit offsets; the text it covers may no longer be
+    /// in the visible source window.
     pub name_span: Span,
+    /// Range of the as-written name in the scratch orig-name arena.
+    pub orig_start: u32,
+    /// Length of the as-written name in the arena.
+    pub orig_len: u32,
     /// Line the open tag appeared on — weblint's messages quote it
     /// ("for <TITLE> on line 3").
     pub line: u32,
@@ -35,9 +44,13 @@ pub(crate) struct Open {
 pub(crate) const NO_FIX: u32 = u32::MAX;
 
 impl Open {
-    /// The element name exactly as written in `src`, for messages.
-    pub fn orig<'s>(&self, src: &'s str) -> &'s str {
-        self.name_span.slice(src)
+    /// The element name exactly as written, resolved from the scratch
+    /// orig-name arena.
+    pub fn orig<'s>(&self, origs: &'s str) -> &'s str {
+        let start = self.orig_start as usize;
+        origs
+            .get(start..start + self.orig_len as usize)
+            .unwrap_or("")
     }
 
     /// Whether the §5.1 heuristics may close this element silently when a
@@ -57,44 +70,20 @@ impl Open {
     }
 }
 
-/// Byte range of `part` within `src`, for storing an as-written name
-/// without its string. `part` must be a subslice of `src` (tokenizer tag
-/// names always are); a non-subslice yields a range `Open::orig` resolves
-/// to `""`, never a panic.
-pub(crate) fn src_range(src: &str, part: &str) -> (u32, u32) {
-    let start = (part.as_ptr() as usize).wrapping_sub(src.as_ptr() as usize);
-    debug_assert_eq!(
-        src.get(start..start.wrapping_add(part.len())),
-        Some(part),
-        "name is not a subslice of the source"
-    );
-    (start as u32, part.len() as u32)
-}
-
-/// Full span of `part` — a subslice of `src` that sits on the same line as
-/// `outer.start` with only single-byte characters before it (tag names
-/// always do: they directly follow `<` or `</`). Column arithmetic under
-/// those conditions is plain offset arithmetic.
-pub(crate) fn sub_span(src: &str, outer: Span, part: &str) -> Span {
-    let (start, len) = src_range(src, part);
-    let start = start as usize;
-    let delta = start.saturating_sub(outer.start.offset) as u32;
-    let s = Pos::new(outer.start.line, outer.start.col + delta, start);
-    let e = Pos::new(outer.start.line, s.col + len, start + len as usize);
-    Span::new(s, e)
-}
-
 #[cfg(test)]
 mod tests {
     use super::super::names::NameTable;
     use super::*;
     use weblint_html::HtmlSpec;
+    use weblint_tokenizer::Pos;
 
     fn open(names: &mut NameTable, name: &str) -> Open {
         let spec = HtmlSpec::default();
         Open {
             id: names.id(name),
             name_span: Span::empty(Pos::START),
+            orig_start: 0,
+            orig_len: 0,
             line: 1,
             def: spec.element_any(name),
             has_content: false,
@@ -128,22 +117,19 @@ mod tests {
     }
 
     #[test]
-    fn sub_span_round_trips() {
-        let src = "<TITLE>x</TITLE>";
-        let name = &src[1..6];
-        let outer = Span::new(Pos::new(1, 1, 0), Pos::new(1, 8, 7));
-        let span = sub_span(src, outer, name);
-        assert_eq!(span.slice(src), "TITLE");
-        assert_eq!(span.start, Pos::new(1, 2, 1));
+    fn orig_resolves_from_arena() {
+        let origs = "HTMLTITLE";
         let o = Open {
             id: NameTable::default().id("title"),
-            name_span: span,
+            name_span: Span::empty(Pos::START),
+            orig_start: 4,
+            orig_len: 5,
             line: 1,
             def: None,
             has_content: false,
             fix_diag: NO_FIX,
         };
-        assert_eq!(o.orig(src), "TITLE");
-        assert_eq!(o.orig("short"), "");
+        assert_eq!(o.orig(origs), "TITLE");
+        assert_eq!(o.orig("short"), "", "out-of-range range resolves empty");
     }
 }

@@ -34,6 +34,11 @@ pub(crate) struct Scratch {
     pub(crate) title_active: bool,
     /// Attribute names seen so far in the current tag, for duplicates.
     pub(crate) attr_seen: Vec<NameId>,
+    /// As-written spellings of the elements on the two stacks, packed
+    /// end-to-end. [`Open`] entries index into this arena instead of the
+    /// source because in streaming mode the source window may scroll past
+    /// an open tag before its close arrives.
+    pub(crate) origs: String,
 }
 
 impl Default for Scratch {
@@ -48,6 +53,7 @@ impl Default for Scratch {
             title_buf: String::new(),
             title_active: false,
             attr_seen: Vec::new(),
+            origs: String::new(),
         }
     }
 }
@@ -66,6 +72,28 @@ impl Scratch {
         self.title_buf.clear();
         self.title_active = false;
         self.attr_seen.clear();
+        self.origs.clear();
+    }
+
+    /// Copy an as-written element name into the orig-name arena, returning
+    /// its (start, len) for an [`Open`] entry.
+    pub(crate) fn intern_orig(&mut self, name: &str) -> (u32, u32) {
+        let start = self.origs.len() as u32;
+        self.origs.push_str(name);
+        (start, name.len() as u32)
+    }
+
+    /// Return an element's arena slot after it permanently leaves both
+    /// stacks. Reclaims the bytes when they sit at the arena top (the
+    /// common LIFO case); out-of-order releases (overlap parking) leave a
+    /// hole that is swept once both stacks drain.
+    pub(crate) fn release_orig(&mut self, open: &Open) {
+        if open.orig_start as usize + open.orig_len as usize == self.origs.len() {
+            self.origs.truncate(open.orig_start as usize);
+        }
+        if self.stack.is_empty() && self.unresolved.is_empty() {
+            self.origs.clear();
+        }
     }
 
     /// First line `id` was seen on, or 0 if unseen.

@@ -9,7 +9,7 @@ use crate::message::Diagnostic;
 use crate::options::{edit_distance, CaseStyle};
 
 use super::names::{heading_level, known, NameId};
-use super::open::{src_range, sub_span, NO_FIX};
+use super::open::NO_FIX;
 use super::{Checker, Open};
 
 /// Cap quoted source text in messages so one mangled tag cannot produce a
@@ -30,7 +30,7 @@ impl Checker<'_> {
                 span,
                 format!(
                     "odd number of quotes in element {}",
-                    clip(span.slice(self.src), MAX_QUOTED_SRC)
+                    clip(self.src.slice(span), MAX_QUOTED_SRC)
                 ),
             );
         }
@@ -116,7 +116,7 @@ impl Checker<'_> {
                 // the plain two-byte form (whitespace, truncation).
                 move || {
                     let slash = span.end.offset.checked_sub(2)?;
-                    if src.as_bytes().get(slash) != Some(&b'/') {
+                    if src.byte(slash) != Some(b'/') {
                         return None;
                     }
                     Some(Fix::one(Edit::delete(slash, slash + 1)))
@@ -149,9 +149,12 @@ impl Checker<'_> {
                 self.scratch.title_buf.clear();
                 self.scratch.title_active = true;
             }
+            let (orig_start, orig_len) = self.scratch.intern_orig(tag.name);
             self.scratch.stack.push(Open {
                 id,
-                name_span: sub_span(self.src, span, tag.name),
+                name_span: self.src.sub_span(span, tag.name),
+                orig_start,
+                orig_len,
                 line: span.start.line,
                 def,
                 has_content: false,
@@ -292,6 +295,7 @@ impl Checker<'_> {
             }
             let open = self.scratch.stack.pop().expect("stack top exists");
             self.close_bookkeeping(&open, span);
+            self.scratch.release_orig(&open);
         }
     }
 
@@ -460,11 +464,13 @@ impl Checker<'_> {
                     ),
                     move || {
                         let del_end = del_end?;
-                        if del_end > src.len() {
+                        if del_end > src.end_offset() {
                             return None;
                         }
                         let mut from = del_start;
-                        while from > 0 && src.as_bytes()[from - 1].is_ascii_whitespace() {
+                        while from > 0
+                            && src.byte(from - 1).is_some_and(|b| b.is_ascii_whitespace())
+                        {
                             from -= 1;
                         }
                         Some(Fix::one(Edit::delete(from, del_end)))
@@ -648,7 +654,7 @@ impl Checker<'_> {
                             return None;
                         }
                         let at = span.end.offset.checked_sub(1)?;
-                        if src.as_bytes().get(at) != Some(&b'>') {
+                        if src.byte(at) != Some(b'>') {
                             return None;
                         }
                         Some(Fix::one(Edit::insert(at, " ALT=\"\"")))
@@ -694,7 +700,7 @@ impl Checker<'_> {
             }
             _ => return,
         };
-        let (start, len) = src_range(self.src, name);
+        let (start, len) = self.src.range_of(name);
         let direction = if check == Rule::UpperCase {
             "upper"
         } else {

@@ -59,7 +59,7 @@ impl Checker<'_> {
         };
         let no_text = top.def.map(|d| d.no_direct_text).unwrap_or(false);
         if no_text {
-            let orig = top.orig(self.src);
+            let orig = top.orig(&self.scratch.origs);
             self.emit(
                 Rule::BadTextContext,
                 span,

@@ -46,7 +46,7 @@ pub use format::{format_diagnostic, format_report, OutputFormat, Summary};
 pub use linter::Weblint;
 pub use message::{Category, Diagnostic};
 pub use options::{CaseStyle, LintConfig, UnknownCheck};
-pub use session::LintSession;
+pub use session::{LintRequest, LintSession};
 
 // The registry this engine dispatches over, re-exported whole: descriptors,
 // custom pattern rules, and the profiling counters.

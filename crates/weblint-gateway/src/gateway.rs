@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use weblint_core::{LintConfig, Weblint};
+use weblint_core::{LintConfig, LintSession, Weblint};
 use weblint_service::LintService;
 use weblint_site::{Fetcher, Status, Url};
 
@@ -118,8 +118,38 @@ impl Gateway {
     /// using a dedicated retrieval program" (§4.5) — here, any
     /// [`Fetcher`], in practice the simulated web.
     pub fn check_url(&self, fetcher: &dyn Fetcher, url: &str) -> Result<String, GatewayError> {
-        let (resolved, body) = self.resolve(fetcher, url)?;
-        Ok(self.check_and_render(&resolved.to_string(), &body))
+        let parsed = Url::parse(url).ok_or_else(|| GatewayError::BadUrl(url.to_string()))?;
+        let mut current = parsed;
+        // Lint during the fetch: each hop's bytes feed an incremental
+        // session as they arrive, so by the time the final hop completes
+        // only the report rendering remains.
+        let mut session = LintSession::with_config(self.weblint.config().clone());
+        for _ in 0..=self.max_redirects {
+            let mut body = Vec::new();
+            let mut diags = Vec::new();
+            let (status, ct) = fetcher.get_streamed(&current, &mut |chunk| {
+                diags.extend(session.feed(chunk));
+                body.extend_from_slice(chunk);
+            });
+            match status {
+                Status::Ok if ct.starts_with("text/html") => {
+                    diags.extend(session.finish());
+                    let body = String::from_utf8_lossy(&body);
+                    return Ok(self.render(&current.to_string(), &body, &diags));
+                }
+                Status::Ok => return Err(GatewayError::NotHtml(current.to_string())),
+                Status::Redirect(location) => {
+                    session.abort();
+                    current = current.join(&location);
+                }
+                Status::NotFound => return Err(GatewayError::NotFound(current.to_string())),
+                Status::ServerError => return Err(GatewayError::ServerError(current.to_string())),
+                Status::TimedOut | Status::Reset => {
+                    return Err(GatewayError::Unreachable(current.to_string()))
+                }
+            }
+        }
+        Err(GatewayError::TooManyRedirects(current.to_string()))
     }
 
     /// [`Gateway::check_url`] with the lint routed through a shared

@@ -47,8 +47,11 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Instant;
 
-use crate::handler::{handle, App};
-use crate::http::{find_head_end, head_overflow, parse_head, write_response, ParseError, Response};
+use crate::handler::{handle, stream_plan, App, LintStream};
+use crate::http::{
+    find_head_end, head_overflow, parse_head, write_response, BodyFraming, ChunkDecoder,
+    ParseError, Response,
+};
 use crate::metrics::HttpCounters;
 use crate::server::ConnLimits;
 use crate::sys::{self, Poller, WakePipe, READABLE, WRITABLE};
@@ -78,11 +81,17 @@ enum State {
     /// yet) — the moment the first byte lands, the idle deadline is
     /// traded for the header budget.
     ReadHead { started: bool },
-    /// Head parsed; waiting for `content_length` body bytes.
+    /// Head parsed; consuming the body per its framing. Arrived bytes are
+    /// pulled out of the connection buffer immediately and pushed into
+    /// the sink — either a plain buffer for ordinary dispatch, or a live
+    /// lint session for the streaming `POST /lint` path, which never
+    /// retains the body at all.
     ReadBody {
         request: Box<crate::http::Request>,
-        content_length: usize,
+        progress: BodyProgress,
+        sink: BodySink,
         head_bytes: u64,
+        body_bytes: u64,
     },
     /// In a dispatcher's hands. The fd is deregistered from the poller —
     /// no readiness can touch it, no deadline runs, and the connection
@@ -92,6 +101,42 @@ enum State {
     Dispatched,
     /// Flushing the response; `keep` decides what follows the last byte.
     Write { keep: bool },
+}
+
+/// How much of a request body's framing remains.
+enum BodyProgress {
+    /// Fixed-length body: this many bytes still owed.
+    Length { remaining: usize },
+    /// `Transfer-Encoding: chunked`, mid-decode.
+    Chunked(ChunkDecoder),
+}
+
+/// Where decoded body bytes land as they are consumed.
+enum BodySink {
+    /// Collect the whole body, then dispatch the request as usual.
+    Buffer(Vec<u8>),
+    /// Lint on the fly; only diagnostics accumulate.
+    Stream(Box<LintStream>),
+}
+
+impl BodySink {
+    fn accept(&mut self, chunk: &[u8], max_findings: usize) {
+        match self {
+            BodySink::Buffer(body) => body.extend_from_slice(chunk),
+            BodySink::Stream(lint) => lint.feed(chunk, max_findings),
+        }
+    }
+}
+
+/// What one pump of the body phase concluded.
+enum BodyVerdict {
+    /// More bytes must arrive.
+    Wait,
+    /// The body is fully consumed.
+    Complete,
+    /// Refuse the request; `true` counts it as a body rejection (413)
+    /// rather than a parse error (400).
+    Refuse(Response, bool),
 }
 
 /// One nonblocking connection and its state machine.
@@ -416,44 +461,131 @@ impl EventLoop {
                     }
                 }
                 State::ReadBody {
-                    content_length,
-                    head_bytes,
+                    progress,
+                    sink,
+                    body_bytes,
                     ..
                 } => {
-                    let content_length = *content_length;
-                    let head_bytes = *head_bytes;
-                    if conn.buf.len() < content_length {
-                        if conn.eof {
-                            // The threaded path's read_body maps this
-                            // UnexpectedEof to the same 400.
-                            HttpCounters::bump(&self.app.counters.parse_errors);
-                            let body = "bad request: body shorter than content-length\n";
-                            self.respond(fd, Response::text(400, body), false, false);
+                    let max_findings = self.limits.max_findings;
+                    let verdict = match progress {
+                        BodyProgress::Length { remaining } => {
+                            let take = (*remaining).min(conn.buf.len());
+                            if take > 0 {
+                                sink.accept(&conn.buf[..take], max_findings);
+                                conn.buf.drain(..take);
+                                *remaining -= take;
+                                *body_bytes += take as u64;
+                            }
+                            if *remaining == 0 {
+                                BodyVerdict::Complete
+                            } else if conn.eof {
+                                // The threaded path's read_body maps this
+                                // UnexpectedEof to the same 400.
+                                BodyVerdict::Refuse(
+                                    Response::text(
+                                        400,
+                                        "bad request: body shorter than content-length\n",
+                                    ),
+                                    false,
+                                )
+                            } else {
+                                BodyVerdict::Wait
+                            }
                         }
-                        return;
+                        BodyProgress::Chunked(decoder) => {
+                            let pushed =
+                                decoder.push(&conn.buf, self.limits.max_body, &mut |chunk| {
+                                    sink.accept(chunk, max_findings)
+                                });
+                            match pushed {
+                                Ok((consumed, done)) => {
+                                    conn.buf.drain(..consumed);
+                                    *body_bytes += consumed as u64;
+                                    if done {
+                                        BodyVerdict::Complete
+                                    } else if conn.eof {
+                                        BodyVerdict::Refuse(
+                                            Response::text(
+                                                400,
+                                                "bad request: truncated chunked body\n",
+                                            ),
+                                            false,
+                                        )
+                                    } else {
+                                        BodyVerdict::Wait
+                                    }
+                                }
+                                Err(ParseError::BodyTooLarge { declared, limit }) => {
+                                    BodyVerdict::Refuse(
+                                        Response::text(
+                                            413,
+                                            format!(
+                                        "document of {declared} byte(s) exceeds the {limit} byte limit\n"
+                                    ),
+                                        ),
+                                        true,
+                                    )
+                                }
+                                Err(ParseError::BadRequest(reason)) => BodyVerdict::Refuse(
+                                    Response::text(400, format!("bad request: {reason}\n")),
+                                    false,
+                                ),
+                                // The decoder only raises the two above.
+                                Err(_) => BodyVerdict::Refuse(
+                                    Response::text(400, "bad request\n"),
+                                    false,
+                                ),
+                            }
+                        }
+                    };
+                    match verdict {
+                        BodyVerdict::Wait => return,
+                        BodyVerdict::Refuse(response, rejection) => {
+                            HttpCounters::bump(if rejection {
+                                &self.app.counters.body_rejections
+                            } else {
+                                &self.app.counters.parse_errors
+                            });
+                            self.respond(fd, response, false, false);
+                            return;
+                        }
+                        BodyVerdict::Complete => {}
                     }
-                    let State::ReadBody { request, .. } =
-                        std::mem::replace(&mut conn.state, State::Dispatched)
+                    let State::ReadBody {
+                        request,
+                        sink,
+                        head_bytes,
+                        body_bytes,
+                        ..
+                    } = std::mem::replace(&mut conn.state, State::Dispatched)
                     else {
                         unreachable!();
                     };
                     let mut request = *request;
-                    request.body = conn.buf.drain(..content_length).collect();
                     conn.deadline = None;
-                    HttpCounters::add(
-                        &self.app.counters.bytes_in,
-                        head_bytes + content_length as u64,
-                    );
+                    HttpCounters::add(&self.app.counters.bytes_in, head_bytes + body_bytes);
                     let keep = self.limits.keep_alive && !request.wants_close();
                     let head_only = request.method == "HEAD";
-                    self.set_interest(fd, 0);
-                    self.pending += 1;
-                    let _ = self.jobs.send(Job {
-                        fd,
-                        request,
-                        head_only,
-                        keep,
-                    });
+                    match sink {
+                        BodySink::Buffer(body) => {
+                            request.body = body;
+                            self.set_interest(fd, 0);
+                            self.pending += 1;
+                            let _ = self.jobs.send(Job {
+                                fd,
+                                request,
+                                head_only,
+                                keep,
+                            });
+                        }
+                        BodySink::Stream(lint) => {
+                            // The lint already ran as the body streamed in;
+                            // finish and answer from the loop — no
+                            // dispatcher, no job, no buffered body.
+                            let response = lint.into_response(&self.app, max_findings);
+                            self.respond(fd, response, head_only, keep);
+                        }
+                    }
                     return;
                 }
                 State::Dispatched => return,
@@ -516,12 +648,24 @@ impl EventLoop {
         }
         let mut cursor = Cursor::new(conn.buf.as_slice());
         match parse_head(&mut cursor, self.limits.max_body) {
-            Ok((request, content_length, consumed)) => {
+            Ok((request, framing, consumed)) => {
                 conn.buf.drain(..consumed as usize);
+                let progress = match framing {
+                    BodyFraming::Length(n) => BodyProgress::Length { remaining: n },
+                    BodyFraming::Chunked => BodyProgress::Chunked(ChunkDecoder::default()),
+                };
+                // Lintable POSTs stream through a session as bytes land;
+                // everything else buffers for the dispatcher, as before.
+                let sink = match stream_plan(&self.app, &request) {
+                    Some(lint) => BodySink::Stream(Box::new(lint)),
+                    None => BodySink::Buffer(Vec::new()),
+                };
                 conn.state = State::ReadBody {
                     request: Box::new(request),
-                    content_length,
+                    progress,
+                    sink,
                     head_bytes: consumed,
+                    body_bytes: 0,
                 };
                 let deadline = Instant::now() + self.limits.read_timeout;
                 conn.deadline = Some(deadline);
@@ -888,6 +1032,59 @@ mod tests {
             );
             assert_eq!(http.open_connections, 0, "{}", case.name);
         }
+    }
+
+    /// The parity claim at the socket level: the event loop streams the
+    /// body through a `LintSession` while threaded mode buffers it and
+    /// dispatches to the pool — and a client cannot tell them apart.
+    #[test]
+    fn streamed_and_pooled_responses_are_byte_identical() {
+        let body = "<HTML><BODY><H1>x</H2><IMG SRC=a.gif>&bogus;</BODY></HTML>";
+        let mut responses = Vec::new();
+        for mode in [ServerMode::EventLoop, ServerMode::Threaded] {
+            let config = ServerConfig {
+                mode,
+                ..ServerConfig::default()
+            };
+            let handle = HttpServer::bind(config).unwrap().start();
+            let mut stream = TcpStream::connect(handle.addr()).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            crate::client::write_request(
+                &mut stream,
+                "POST",
+                "/lint?name=same&format=json",
+                &[],
+                body.as_bytes(),
+            )
+            .unwrap();
+            let response = crate::client::read_response(&mut reader).unwrap();
+            assert_eq!(response.status, 200, "{mode:?}");
+            let (http, _) = handle.shutdown();
+            let streamed = matches!(mode, ServerMode::EventLoop);
+            assert_eq!(http.streamed_lints, u64::from(streamed), "{mode:?}");
+            let content_type = response.header("content-type").map(str::to_string);
+            responses.push((response.body, content_type));
+        }
+        assert_eq!(responses[0], responses[1]);
+    }
+
+    #[test]
+    fn streamed_non_utf8_body_is_refused_mid_flight() {
+        let handle = HttpServer::bind(event_config()).unwrap().start();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        crate::client::write_request(
+            &mut stream,
+            "POST",
+            "/lint",
+            &[],
+            b"<P>ok so far\xff\xfe then junk</P>",
+        )
+        .unwrap();
+        let response = crate::client::read_response(&mut reader).unwrap();
+        assert_eq!(response.status, 400);
+        assert_eq!(response.body_text(), "document body must be UTF-8\n");
+        handle.shutdown();
     }
 
     #[test]

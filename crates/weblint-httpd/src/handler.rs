@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use weblint_core::{format_report, Diagnostic, OutputFormat};
+use weblint_core::{format_report, Diagnostic, LintSession, OutputFormat};
 use weblint_gateway::{render_form, Gateway, GatewayError};
 use weblint_service::{JobError, LintService, SubmitError};
 use weblint_site::{FaultSpec, FetchStack, SharedWeb};
@@ -142,6 +142,166 @@ fn negotiate(req: &Request, default: ReportStyle) -> Result<ReportStyle, Respons
         }
     }
     Ok(default)
+}
+
+/// A `POST /lint` being linted as its body arrives off the socket — the
+/// event loop's streaming path. The engine's incremental session replaces
+/// the buffered body: bytes are fed as they land and never retained, so a
+/// connection mid-upload costs O(engine state), not O(document).
+///
+/// Streaming changes *where* the lint runs — on the loop thread, token by
+/// token, instead of as one job on the worker pool — so streamed lints
+/// are never cached, never shed, and never wait on a dispatcher. The
+/// diagnostics (and thus the rendered report) are byte-identical to the
+/// buffered path: both drive the same engine.
+pub(crate) struct LintStream {
+    session: LintSession,
+    format: OutputFormat,
+    name: String,
+    diags: Vec<Diagnostic>,
+    utf8: Utf8Checker,
+    /// The findings budget tripped: the session is abandoned and later
+    /// body bytes only matter for framing.
+    truncated: bool,
+}
+
+/// Decide whether a parsed head can be linted as its body streams in:
+/// `POST /lint`, rendered as one of the text formats. The HTML report
+/// page and `POST /fix` embed the full source in their response, so they
+/// keep buffering; an invalid `format=` also buffers, so the ordinary
+/// handler can refuse it with the usual 400.
+pub(crate) fn stream_plan(app: &App, req: &Request) -> Option<LintStream> {
+    if req.method != "POST" || req.path != "/lint" {
+        return None;
+    }
+    let style = negotiate(req, ReportStyle::Text(OutputFormat::Lint)).ok()?;
+    let ReportStyle::Text(format) = style else {
+        return None;
+    };
+    Some(LintStream {
+        session: LintSession::with_config(app.service.config().clone()),
+        format,
+        name: req.query_param("name").unwrap_or("posted").to_string(),
+        diags: Vec::new(),
+        utf8: Utf8Checker::default(),
+        truncated: false,
+    })
+}
+
+impl LintStream {
+    /// Feed the next decoded body bytes. `max_findings` (0 = unlimited)
+    /// is the early-abort budget: once tripped, the engine stops but the
+    /// stream keeps accepting bytes so the connection's framing survives
+    /// for keep-alive.
+    pub(crate) fn feed(&mut self, chunk: &[u8], max_findings: usize) {
+        self.utf8.push(chunk);
+        if self.truncated {
+            return;
+        }
+        self.diags.extend(self.session.feed(chunk));
+        self.enforce(max_findings);
+    }
+
+    fn enforce(&mut self, max_findings: usize) {
+        if max_findings > 0 && self.diags.len() >= max_findings {
+            self.diags.truncate(max_findings);
+            self.session.abort();
+            self.truncated = true;
+        }
+    }
+
+    /// End of body: run the end-of-document checks and render the report,
+    /// exactly as the buffered path would have.
+    pub(crate) fn into_response(mut self, app: &App, max_findings: usize) -> Response {
+        if !self.utf8.is_valid() {
+            // The whole body was validated as it streamed; the refusal is
+            // the same one the buffered path issues.
+            return Response::text(400, "document body must be UTF-8\n");
+        }
+        if !self.truncated {
+            self.diags.extend(self.session.finish());
+            self.enforce(max_findings);
+        }
+        HttpCounters::bump(&app.counters.streamed_lints);
+        let report = format_report(&self.diags, &self.name, self.format);
+        let mut response = Response::text(200, report);
+        if self.format == OutputFormat::Json {
+            response.content_type = "application/json";
+        }
+        if self.truncated {
+            response.extra_headers.push((
+                "X-Weblint-Truncated",
+                format!("stopped after {} finding(s)", self.diags.len()),
+            ));
+        }
+        response
+    }
+}
+
+/// Incremental UTF-8 validation across arbitrary chunk boundaries. The
+/// buffered path refuses non-UTF-8 documents outright while the lint
+/// session replaces bad sequences, so the streaming path validates every
+/// byte on the side to reach the buffered path's verdict.
+#[derive(Debug, Default)]
+struct Utf8Checker {
+    /// An incomplete trailing sequence carried to the next chunk.
+    pending: [u8; 4],
+    pending_len: u8,
+    invalid: bool,
+}
+
+impl Utf8Checker {
+    fn push(&mut self, mut chunk: &[u8]) {
+        if self.invalid {
+            return;
+        }
+        if self.pending_len > 0 {
+            // Top up the carried sequence to its declared length, then
+            // judge it whole.
+            let need = utf8_len(self.pending[0]) - self.pending_len as usize;
+            let take = need.min(chunk.len());
+            self.pending[self.pending_len as usize..self.pending_len as usize + take]
+                .copy_from_slice(&chunk[..take]);
+            self.pending_len += take as u8;
+            chunk = &chunk[take..];
+            if (self.pending_len as usize) < utf8_len(self.pending[0]) {
+                return; // chunk exhausted mid-sequence; keep carrying
+            }
+            if std::str::from_utf8(&self.pending[..self.pending_len as usize]).is_err() {
+                self.invalid = true;
+                return;
+            }
+            self.pending_len = 0;
+        }
+        if let Err(e) = std::str::from_utf8(chunk) {
+            if e.error_len().is_some() {
+                self.invalid = true;
+            } else {
+                // A valid prefix of a multi-byte character ends the chunk.
+                let tail = &chunk[e.valid_up_to()..];
+                self.pending[..tail.len()].copy_from_slice(tail);
+                self.pending_len = tail.len() as u8;
+            }
+        }
+    }
+
+    /// Whether the bytes seen so far form complete, valid UTF-8 (called
+    /// at end of body — a dangling partial sequence is invalid).
+    fn is_valid(&self) -> bool {
+        !self.invalid && self.pending_len == 0
+    }
+}
+
+/// Declared length of a UTF-8 sequence from its lead byte. Only called
+/// on bytes `from_utf8` classified as the valid-prefix start of an
+/// incomplete sequence, so the lead is always well-formed.
+fn utf8_len(lead: u8) -> usize {
+    match lead {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
 }
 
 /// Dispatch one request. HEAD routes like GET; the server omits the body
@@ -527,6 +687,102 @@ mod tests {
         let app = app();
         let response = handle(&app, &request("POST", "/lint", &[], &[0xff, 0xfe]));
         assert_eq!(response.status, 400);
+    }
+
+    #[test]
+    fn utf8_checker_matches_whole_buffer_validation() {
+        let cases: &[&[u8]] = &[
+            b"plain ascii",
+            "caf\u{e9} and \u{4e2d}\u{6587}".as_bytes(),
+            b"<TITLE>caf\xe9</TITLE>",
+            b"dangling \xe4\xb8",
+            b"\xff\xfe",
+            b"",
+        ];
+        for bytes in cases {
+            let expected = std::str::from_utf8(bytes).is_ok();
+            for split in 0..=bytes.len() {
+                let mut checker = Utf8Checker::default();
+                checker.push(&bytes[..split]);
+                checker.push(&bytes[split..]);
+                assert_eq!(checker.is_valid(), expected, "{bytes:?} split at {split}");
+            }
+            let mut checker = Utf8Checker::default();
+            for b in *bytes {
+                checker.push(std::slice::from_ref(b));
+            }
+            assert_eq!(checker.is_valid(), expected, "{bytes:?} byte-at-a-time");
+        }
+    }
+
+    #[test]
+    fn stream_plan_covers_exactly_the_text_lint_routes() {
+        let app = app();
+        assert!(stream_plan(&app, &request("POST", "/lint", &[], b"")).is_some());
+        assert!(stream_plan(&app, &request("POST", "/lint", &[("format", "json")], b"")).is_some());
+        // The HTML report needs the whole source; an unknown format must
+        // reach the ordinary handler's 400; /fix returns the repaired
+        // document; GET has no body to stream.
+        assert!(stream_plan(&app, &request("POST", "/lint", &[("format", "html")], b"")).is_none());
+        assert!(stream_plan(&app, &request("POST", "/lint", &[("format", "yaml")], b"")).is_none());
+        assert!(stream_plan(&app, &request("POST", "/fix", &[], b"")).is_none());
+        assert!(stream_plan(&app, &request("GET", "/lint", &[], b"")).is_none());
+    }
+
+    #[test]
+    fn streamed_lint_matches_the_buffered_response_byte_for_byte() {
+        let app = app();
+        let doc =
+            b"<HTML><HEAD><TITLE>t</TITLE></HEAD>\n<BODY><H1>x</H2><IMG SRC=a.gif></BODY></HTML>";
+        for format in ["lint", "short", "terse", "explain", "json"] {
+            let req = request("POST", "/lint", &[("format", format)], doc);
+            let buffered = handle(&app, &req);
+            assert_eq!(buffered.status, 200, "{format}");
+            let mut lint = stream_plan(&app, &req).expect("eligible");
+            for chunk in doc.chunks(7) {
+                lint.feed(chunk, 0);
+            }
+            let streamed = lint.into_response(&app, 0);
+            assert_eq!(streamed.status, 200, "{format}");
+            assert_eq!(streamed.body, buffered.body, "{format}");
+            assert_eq!(streamed.content_type, buffered.content_type, "{format}");
+        }
+        assert_eq!(app.counters.snapshot().streamed_lints, 5);
+    }
+
+    #[test]
+    fn streamed_lint_stops_at_the_findings_budget() {
+        let app = app();
+        let req = request("POST", "/lint", &[("format", "terse")], b"");
+        let mut lint = stream_plan(&app, &req).unwrap();
+        let doc = "<NOSUCHTAG>x</NOSUCHTAG>".repeat(50);
+        for chunk in doc.as_bytes().chunks(16) {
+            lint.feed(chunk, 3);
+        }
+        let response = lint.into_response(&app, 3);
+        assert_eq!(response.status, 200);
+        assert!(
+            response
+                .extra_headers
+                .iter()
+                .any(|(n, v)| *n == "X-Weblint-Truncated" && v.contains("3 finding(s)")),
+            "{:?}",
+            response.extra_headers
+        );
+        let text = String::from_utf8(response.body).unwrap();
+        assert_eq!(text.lines().count(), 3, "{text}");
+    }
+
+    #[test]
+    fn streamed_non_utf8_is_refused_like_buffered() {
+        let app = app();
+        let req = request("POST", "/lint", &[], b"");
+        let mut lint = stream_plan(&app, &req).unwrap();
+        lint.feed(b"<P>ok \xff\xfe rest", 0);
+        let response = lint.into_response(&app, 0);
+        assert_eq!(response.status, 400);
+        let buffered = handle(&app, &request("POST", "/lint", &[], b"<P>ok \xff\xfe rest"));
+        assert_eq!(response.body, buffered.body);
     }
 
     #[test]

@@ -18,14 +18,19 @@
 //!   own [`HttpMetrics`]: connections, requests, parse errors, timeouts,
 //!   bytes in/out.
 //!
-//! No TLS, no chunked encoding, no external dependencies: `TcpListener`,
-//! a hand-declared readiness shim, and the existing service crate. Two
-//! serving modes share every byte of protocol behavior
+//! No TLS, no external dependencies: `TcpListener`, a hand-declared
+//! readiness shim, and the existing service crate. Bodies arrive either
+//! `Content-Length`-framed or `Transfer-Encoding: chunked`. Two serving
+//! modes share every byte of protocol behavior
 //! ([`ServerMode`]): the default event loop multiplexes all connections
 //! onto one thread (10k idle keep-alive connections cost a buffer each,
 //! not a stack each), while the threaded fallback spends a thread per
-//! connection. Shutdown is graceful in both — accepting stops, every
-//! in-flight request completes and is answered, all threads are joined.
+//! connection. In event mode, `POST /lint` bodies are fed straight into
+//! an incremental [`weblint_core::LintSession`] as their bytes land —
+//! per-connection memory stays O(tokenizer state), not O(body), and a
+//! `max_findings` budget can cut the read short. Shutdown is graceful in
+//! both modes — accepting stops, every in-flight request completes and
+//! is answered, all threads are joined.
 //!
 //! # Examples
 //!

@@ -11,6 +11,7 @@ pub(crate) struct HttpCounters {
     pub(crate) epoll_wakeups: AtomicU64,
     pub(crate) keepalive_reuse: AtomicU64,
     pub(crate) requests: AtomicU64,
+    pub(crate) streamed_lints: AtomicU64,
     pub(crate) parse_errors: AtomicU64,
     pub(crate) body_rejections: AtomicU64,
     pub(crate) timeouts: AtomicU64,
@@ -41,6 +42,7 @@ impl HttpCounters {
             epoll_wakeups: self.epoll_wakeups.load(Ordering::Relaxed),
             keepalive_reuse: self.keepalive_reuse.load(Ordering::Relaxed),
             requests_served: self.requests.load(Ordering::Relaxed),
+            streamed_lints: self.streamed_lints.load(Ordering::Relaxed),
             parse_errors: self.parse_errors.load(Ordering::Relaxed),
             body_rejections: self.body_rejections.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
@@ -73,6 +75,9 @@ pub struct HttpMetrics {
     pub keepalive_reuse: u64,
     /// Requests answered with a response (any status).
     pub requests_served: u64,
+    /// `POST /lint` bodies linted incrementally on the event loop as
+    /// their bytes arrived, never passing through the worker pool.
+    pub streamed_lints: u64,
     /// Connections dropped over malformed input (400s).
     pub parse_errors: u64,
     /// Requests refused for an over-limit body (413s).
@@ -112,8 +117,8 @@ impl std::fmt::Display for HttpMetrics {
         )?;
         writeln!(
             f,
-            "  reqs:  {} served, {} parse error(s), {} body rejection(s)",
-            self.requests_served, self.parse_errors, self.body_rejections
+            "  reqs:  {} served ({} streamed), {} parse error(s), {} body rejection(s)",
+            self.requests_served, self.streamed_lints, self.parse_errors, self.body_rejections
         )?;
         writeln!(
             f,
@@ -164,7 +169,7 @@ mod tests {
         for needle in [
             "1 accepted",
             "1 open, 9 readiness wakeup(s), 2 keep-alive reuse(s)",
-            "3 served",
+            "3 served (0 streamed)",
             "120 byte(s) in",
             "4096 byte(s) out",
             "1 shed (503)",

@@ -21,7 +21,9 @@ use weblint_service::{LintService, ServiceConfig, ServiceMetrics};
 use weblint_site::{FaultSpec, SharedWeb};
 
 use crate::handler::{handle, App};
-use crate::http::{parse_head, read_body, write_response, ParseError, Response};
+use crate::http::{
+    parse_head, read_body, read_chunked_body, write_response, BodyFraming, ParseError, Response,
+};
 use crate::metrics::{HttpCounters, HttpMetrics};
 
 /// How connections are multiplexed onto threads.
@@ -54,6 +56,12 @@ pub struct ServerConfig {
     pub service: ServiceConfig,
     /// Largest accepted request body, in bytes; larger POSTs get a 413.
     pub max_body: usize,
+    /// On the event loop's streaming lint path, stop linting a `POST
+    /// /lint` body once this many diagnostics have been collected: the
+    /// session is abandoned, remaining body bytes are consumed for
+    /// framing only, and the truncated report is flagged with an
+    /// `X-Weblint-Truncated` header. `0` means no limit.
+    pub max_findings: usize,
     /// Whether to honour persistent connections at all.
     pub keep_alive: bool,
     /// Most requests served over one connection before it is closed.
@@ -87,6 +95,7 @@ impl Default for ServerConfig {
             dispatchers: 0,
             service: ServiceConfig::default(),
             max_body: 1 << 20,
+            max_findings: 0,
             keep_alive: true,
             max_requests_per_connection: 100,
             header_timeout: Duration::from_secs(2),
@@ -104,6 +113,7 @@ impl Default for ServerConfig {
 #[derive(Debug, Clone)]
 pub(crate) struct ConnLimits {
     pub(crate) max_body: usize,
+    pub(crate) max_findings: usize,
     pub(crate) keep_alive: bool,
     pub(crate) max_requests: usize,
     pub(crate) header_timeout: Duration,
@@ -164,6 +174,7 @@ impl HttpServer {
             app,
             limits: ConnLimits {
                 max_body: config.max_body,
+                max_findings: config.max_findings,
                 keep_alive: config.keep_alive,
                 max_requests: config.max_requests_per_connection.max(1),
                 header_timeout: config.header_timeout,
@@ -437,10 +448,20 @@ fn serve_connection(app: &App, limits: &ConnLimits, stream: TcpStream, stop: &At
             }
             Err(other) => Err(other),
         };
-        let parsed = head.and_then(|(mut req, content_length, head_bytes)| {
+        let parsed = head.and_then(|(mut req, framing, head_bytes)| {
             reader.get_mut().arm(limits.read_timeout);
-            req.body = read_body(&mut reader, content_length)?;
-            Ok((req, head_bytes + content_length as u64))
+            let body_bytes = match framing {
+                BodyFraming::Length(content_length) => {
+                    req.body = read_body(&mut reader, content_length)?;
+                    content_length as u64
+                }
+                BodyFraming::Chunked => {
+                    let (body, wire) = read_chunked_body(&mut reader, limits.max_body)?;
+                    req.body = body;
+                    wire
+                }
+            };
+            Ok((req, head_bytes + body_bytes))
         });
         reader.get_mut().disarm();
         let (response, head_only, mut keep) = match parsed {

@@ -10,7 +10,7 @@ use std::thread;
 use std::time::Duration;
 
 use weblint_core::{format_report, OutputFormat, Weblint};
-use weblint_httpd::{client, HttpServer, ServerConfig};
+use weblint_httpd::{client, HttpServer, ServerConfig, ServerMode};
 use weblint_service::ServiceConfig;
 
 /// A document whose diagnostics depend on `i` (the blank lines shift the
@@ -22,8 +22,9 @@ fn doc(i: usize) -> String {
     )
 }
 
-fn server(workers: usize) -> weblint_httpd::ServerHandle {
+fn server(workers: usize, mode: ServerMode) -> weblint_httpd::ServerHandle {
     let config = ServerConfig {
+        mode,
         service: ServiceConfig {
             workers,
             ..ServiceConfig::default()
@@ -39,7 +40,11 @@ fn server(workers: usize) -> weblint_httpd::ServerHandle {
 fn concurrent_clients_get_deterministic_responses_and_share_the_cache() {
     const CLIENTS: usize = 12;
     const DOCS: usize = 4;
-    let handle = server(4);
+    // Threaded mode: lint bodies buffer and dispatch through the worker
+    // pool, so this test keeps exercising duplicate coalescing and the
+    // result cache. (The event loop streams `POST /lint` past the pool;
+    // its determinism is covered separately.)
+    let handle = server(4, ServerMode::Threaded);
     let addr = handle.addr();
 
     // 12 concurrent clients over 4 distinct documents: every document is
@@ -128,7 +133,7 @@ fn concurrent_clients_get_deterministic_responses_and_share_the_cache() {
 
 #[test]
 fn graceful_shutdown_answers_the_in_flight_request() {
-    let handle = server(2);
+    let handle = server(2, ServerMode::EventLoop);
     let addr: SocketAddr = handle.addr();
 
     // The client sends the headers and half the body, then stalls — the
@@ -177,7 +182,10 @@ fn graceful_shutdown_answers_the_in_flight_request() {
     assert_eq!(status, 200, "in-flight request was dropped");
     assert_eq!(text, expected);
     assert_eq!(http.requests_served, 1);
-    assert_eq!(service.jobs_completed, 1);
+    // The event loop linted the body incrementally as it dribbled in —
+    // the worker pool never saw a job.
+    assert_eq!(http.streamed_lints, 1);
+    assert_eq!(service.jobs_completed, 0);
 }
 
 #[test]
@@ -331,7 +339,7 @@ fn unread_response_hits_the_write_timeout() {
 
 #[test]
 fn malformed_content_length_mid_keep_alive_closes_the_connection() {
-    let handle = server(1);
+    let handle = server(1, ServerMode::EventLoop);
     let mut stream = TcpStream::connect(handle.addr()).unwrap();
     let mut reader = BufReader::new(stream.try_clone().unwrap());
 
@@ -378,9 +386,89 @@ fn malformed_content_length_mid_keep_alive_closes_the_connection() {
 }
 
 #[test]
+fn chunked_lint_dribbled_over_the_wire_matches_the_one_shot_report() {
+    let handle = server(1, ServerMode::EventLoop);
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    // Hand-framed chunked upload, written a few bytes at a time with
+    // pauses, so the event loop sees the body in many fragments and the
+    // session genuinely lints across feed boundaries.
+    let body = doc(3);
+    let mut wire =
+        b"POST /lint?name=doc&format=lint HTTP/1.1\r\nHost: weblint\r\nTransfer-Encoding: chunked\r\n\r\n"
+            .to_vec();
+    for chunk in body.as_bytes().chunks(7) {
+        wire.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+        wire.extend_from_slice(chunk);
+        wire.extend_from_slice(b"\r\n");
+    }
+    wire.extend_from_slice(b"0\r\n\r\n");
+    for piece in wire.chunks(11) {
+        stream.write_all(piece).unwrap();
+        stream.flush().unwrap();
+        thread::sleep(Duration::from_millis(1));
+    }
+
+    let response = client::read_response(&mut reader).unwrap();
+    assert_eq!(response.status, 200);
+    let expected = format_report(
+        &Weblint::new().check_string(&body),
+        "doc",
+        OutputFormat::Lint,
+    );
+    assert_eq!(response.body_text(), expected);
+
+    let (http, service) = handle.shutdown();
+    assert_eq!(http.streamed_lints, 1, "{http:?}");
+    assert_eq!(service.jobs_submitted, 0, "{service:?}");
+}
+
+#[test]
+fn max_findings_cuts_a_streamed_lint_short() {
+    let config = ServerConfig {
+        max_findings: 2,
+        ..ServerConfig::default()
+    };
+    let handle = HttpServer::bind(config).unwrap().start();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    // Plenty of findings: each <B> opened-but-unclosed plus the bare
+    // heading yields well past the budget of 2.
+    let body = format!("<H1>x</H2>{}", "<B>y".repeat(40));
+    client::write_request(
+        &mut stream,
+        "POST",
+        "/lint?format=terse",
+        &[],
+        body.as_bytes(),
+    )
+    .unwrap();
+    let response = client::read_response(&mut reader).unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(
+        response.header("x-weblint-truncated"),
+        Some("stopped after 2 finding(s)"),
+        "{response:?}"
+    );
+    assert_eq!(response.body_text().lines().count(), 2);
+
+    // The budget ends the lint, not the connection: keep-alive still
+    // works and the next request is answered in full.
+    client::write_request(&mut stream, "GET", "/health", &[], b"").unwrap();
+    assert_eq!(client::read_response(&mut reader).unwrap().status, 200);
+    handle.shutdown();
+}
+
+#[test]
 fn overload_sheds_with_503_and_retry_after() {
     const CLIENTS: usize = 8;
+    // Threaded mode keeps lint jobs on the worker pool, whose queue is
+    // what sheds. (Event-mode streamed lints never queue: they run
+    // incrementally on the loop and cannot be refused for load.)
     let config = ServerConfig {
+        mode: ServerMode::Threaded,
         service: ServiceConfig {
             workers: 1,
             queue_capacity: 1,
@@ -443,7 +531,10 @@ fn overload_sheds_with_503_and_retry_after() {
 
 #[test]
 fn panicking_job_returns_500_and_the_pool_recovers() {
+    // Threaded mode routes the poisoned body through a pool worker; the
+    // event loop would lint it inline without consulting the marker.
     let config = ServerConfig {
+        mode: ServerMode::Threaded,
         service: ServiceConfig {
             workers: 1,
             enable_panic_marker: true,

@@ -13,7 +13,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 
-use weblint_core::{Diagnostic, LintConfig, Weblint};
+use weblint_core::{Diagnostic, LintConfig, LintSession, Weblint};
 use weblint_service::{JobHandle, LintService};
 
 use crate::checkpoint::{
@@ -27,6 +27,11 @@ use crate::stack::{FetchStack, StackState, StackTelemetry};
 use crate::url::Url;
 use crate::web::{SimulatedWeb, Status};
 
+/// Bytes per transport delivery when a buffered body is replayed as a
+/// stream — the packet size the default [`Fetcher::get_streamed`]
+/// simulates, and the feed granularity for linting on a fetch worker.
+const FETCH_CHUNK: usize = 4096;
+
 /// Transport abstraction so the robot can crawl the simulated web today
 /// and a real HTTP client if one is ever wired in.
 pub trait Fetcher {
@@ -34,6 +39,18 @@ pub trait Fetcher {
     fn head(&self, url: &Url) -> (Status, String);
     /// GET: status, content type, body.
     fn get(&self, url: &Url) -> (Status, String, String);
+    /// GET, delivering the body through `sink` as it arrives; returns
+    /// status and content type. This is what lets the robot lint a page
+    /// *during* its fetch. The default buffers via [`Fetcher::get`] and
+    /// replays the body in [`FETCH_CHUNK`]-byte pieces; a transport with
+    /// a real wire overrides it to call `sink` as bytes land.
+    fn get_streamed(&self, url: &Url, sink: &mut dyn FnMut(&[u8])) -> (Status, String) {
+        let (status, content_type, body) = self.get(url);
+        for chunk in body.as_bytes().chunks(FETCH_CHUNK) {
+            sink(chunk);
+        }
+        (status, content_type)
+    }
 }
 
 /// [`SimulatedWeb`] as a [`Fetcher`].
@@ -397,13 +414,23 @@ impl Robot {
         service: Option<&LintService>,
     ) -> RobotReport {
         let mut state = CrawlState::begin(start);
+        // Without a service, pages lint as their bytes arrive off the
+        // transport (one session, reused page to page); with one, whole
+        // bodies still go to the worker pool.
+        let mut session = service
+            .is_none()
+            .then(|| LintSession::with_config(self.options.lint.clone()));
         while let Some((url, depth)) = state.queue.pop_front() {
             if state.report.pages.len() >= self.options.max_pages {
                 state.report.truncated = true;
                 break;
             }
-            let (outcome, redirects) =
-                follow_redirects(self.options.max_redirects, &url, |u| fetcher.get(u));
+            let (outcome, redirects) = match session.as_mut() {
+                Some(session) => {
+                    follow_redirects_streaming(self.options.max_redirects, &url, fetcher, session)
+                }
+                None => follow_redirects(self.options.max_redirects, &url, |u| fetcher.get(u)),
+            };
             self.apply_outcome(
                 &FetcherProbe(fetcher),
                 start,
@@ -459,7 +486,10 @@ impl Robot {
                     .authorize(&url.host, stack.breaker_state(&url.host));
                 batch.push(FetchTask::new(url, depth, token));
             }
-            run_batch(self.options.max_redirects, stack, &mut batch);
+            // Without a service, fetch workers lint their page before
+            // the batch joins; the service path keeps pool submission.
+            let lint = service.is_none().then_some(&self.options.lint);
+            run_batch(self.options.max_redirects, stack, lint, &mut batch);
             for task in batch {
                 self.settle_task(stack, start, task, service, &mut state);
             }
@@ -531,12 +561,15 @@ impl Robot {
             FetchOutcome::Page {
                 url: final_url,
                 body,
+                diagnostics,
             } => {
-                // With a service attached, hand the body to a worker and
-                // keep crawling; the diagnostics slot is filled in
-                // afterwards.
-                let diagnostics = match service {
-                    Some(service) => {
+                let diagnostics = match (diagnostics, service) {
+                    // Already linted while the body streamed in.
+                    (Some(diags), _) => diags,
+                    // With a service attached, hand the body to a worker
+                    // and keep crawling; the diagnostics slot is filled
+                    // in afterwards.
+                    (None, Some(service)) => {
                         match service.submit_with(body.clone(), Some(self.options.lint.clone())) {
                             Ok(handle) => {
                                 state.pending.push((state.report.pages.len(), handle));
@@ -545,7 +578,7 @@ impl Robot {
                             Err(_) => self.weblint.check_string(&body),
                         }
                     }
-                    None => self.weblint.check_string(&body),
+                    (None, None) => self.weblint.check_string(&body),
                 };
                 let links = extract_links(&body);
                 state.report.pages.push(CrawledPage {
@@ -680,8 +713,15 @@ impl CrawlState {
 /// bookkeeping — so fetch workers can compute it off-thread and the
 /// scheduler can apply it in issue order.
 enum FetchOutcome {
-    /// An HTML page to lint, at its post-redirect URL.
-    Page { url: Url, body: String },
+    /// An HTML page at its post-redirect URL. `diagnostics` is filled
+    /// when the fetch path already linted the body as it arrived (the
+    /// streaming crawl and the fetch workers); `None` leaves linting to
+    /// the settle side (service submission, or the fallback one-shot).
+    Page {
+        url: Url,
+        body: String,
+        diagnostics: Option<Vec<Diagnostic>>,
+    },
     /// The chain ended somewhere dead; `href` is the final URL tried.
     Dead { href: String, reason: String },
     /// A definitive non-HTML answer: nothing to lint, nothing dead.
@@ -700,7 +740,14 @@ fn follow_redirects(
     for _ in 0..=max_redirects {
         match get(&current) {
             (Status::Ok, ct, body) if ct.starts_with("text/html") => {
-                return (FetchOutcome::Page { url: current, body }, redirects);
+                return (
+                    FetchOutcome::Page {
+                        url: current,
+                        body,
+                        diagnostics: None,
+                    },
+                    redirects,
+                );
             }
             (Status::Ok, _, _) => return (FetchOutcome::Skip, redirects),
             (Status::Redirect(location), _, _) => {
@@ -754,6 +801,41 @@ fn follow_redirects(
     )
 }
 
+/// [`follow_redirects`], but each hop's body streams through `session`
+/// as the transport delivers it, so the final page's lint finishes with
+/// its fetch. A hop that turns out to be a redirect or a non-HTML answer
+/// discards its partial stream.
+fn follow_redirects_streaming(
+    max_redirects: usize,
+    url: &Url,
+    fetcher: &dyn Fetcher,
+    session: &mut LintSession,
+) -> (FetchOutcome, usize) {
+    let mut hop_diags: Vec<Diagnostic> = Vec::new();
+    let (mut outcome, redirects) = follow_redirects(max_redirects, url, |current| {
+        session.abort();
+        hop_diags.clear();
+        let mut body = Vec::new();
+        let (status, content_type) = fetcher.get_streamed(current, &mut |chunk| {
+            hop_diags.extend(session.feed(chunk));
+            body.extend_from_slice(chunk);
+        });
+        (
+            status,
+            content_type,
+            String::from_utf8_lossy(&body).into_owned(),
+        )
+    });
+    match &mut outcome {
+        FetchOutcome::Page { diagnostics, .. } => {
+            hop_diags.extend(session.finish());
+            *diagnostics = Some(std::mem::take(&mut hop_diags));
+        }
+        _ => session.abort(),
+    }
+    (outcome, redirects)
+}
+
 /// One frontier URL issued to a fetch worker, with everything the
 /// scheduler needs to settle it afterwards.
 struct FetchTask {
@@ -793,15 +875,16 @@ impl FetchTask {
 fn run_batch<F: Fetcher + Sync>(
     max_redirects: usize,
     stack: &FetchStack<F>,
+    lint: Option<&LintConfig>,
     batch: &mut [FetchTask],
 ) {
     if let [task] = batch {
-        run_task(max_redirects, stack, task);
+        run_task(max_redirects, stack, lint, task);
         return;
     }
     std::thread::scope(|scope| {
         for task in batch.iter_mut() {
-            scope.spawn(move || run_task(max_redirects, stack, task));
+            scope.spawn(move || run_task(max_redirects, stack, lint, task));
         }
     });
 }
@@ -810,7 +893,12 @@ fn run_batch<F: Fetcher + Sync>(
 /// stack, recording per-hop resilience outcomes for deferred settling,
 /// and fire the hedge if the token allows and the primary attempt came
 /// back transiently failed *and* slow.
-fn run_task<F: Fetcher>(max_redirects: usize, stack: &FetchStack<F>, task: &mut FetchTask) {
+fn run_task<F: Fetcher>(
+    max_redirects: usize,
+    stack: &FetchStack<F>,
+    lint: Option<&LintConfig>,
+    task: &mut FetchTask,
+) {
     let token = task.token;
     let mut hops: Vec<(String, HopRecord)> = Vec::new();
     let mut cost_us = 0u64;
@@ -857,6 +945,24 @@ fn run_task<F: Fetcher>(max_redirects: usize, stack: &FetchStack<F>, task: &mut 
         ));
         result
     });
+    let mut outcome = outcome;
+    if let (
+        Some(config),
+        FetchOutcome::Page {
+            body, diagnostics, ..
+        },
+    ) = (lint, &mut outcome)
+    {
+        // Lint on the fetch worker, overlapping the rest of the batch:
+        // the settle loop then just copies the result into the report.
+        let mut session = LintSession::with_config(config.clone());
+        let mut diags: Vec<Diagnostic> = Vec::new();
+        for chunk in body.as_bytes().chunks(FETCH_CHUNK) {
+            diags.extend(session.feed(chunk));
+        }
+        diags.extend(session.finish());
+        *diagnostics = Some(diags);
+    }
     task.outcome = Some((outcome, redirects));
     task.hops = hops;
     task.cost_us = cost_us;
@@ -965,19 +1071,27 @@ pub fn check_url(
 ) -> Result<Vec<Diagnostic>, FetchError> {
     let parsed = Url::parse(url).ok_or_else(|| FetchError::BadUrl(url.to_string()))?;
     let mut current = parsed;
+    // Lint while the body arrives: each hop's bytes stream into the
+    // session as the transport delivers them, so the final hop's
+    // diagnostics are ready the moment the fetch completes.
+    let mut session = LintSession::with_config(config.clone());
     for _ in 0..=5 {
-        match fetcher.get(&current) {
-            (Status::Ok, ct, body) if ct.starts_with("text/html") => {
-                let weblint = Weblint::with_config(config.clone());
-                return Ok(weblint.check_string(&body));
+        let mut diags: Vec<Diagnostic> = Vec::new();
+        let (status, ct) =
+            fetcher.get_streamed(&current, &mut |chunk| diags.extend(session.feed(chunk)));
+        match status {
+            Status::Ok if ct.starts_with("text/html") => {
+                diags.extend(session.finish());
+                return Ok(diags);
             }
-            (Status::Ok, _, _) => return Err(FetchError::NotHtml(current.to_string())),
-            (Status::Redirect(location), _, _) => current = current.join(&location),
-            (Status::NotFound, _, _) => return Err(FetchError::NotFound(current.to_string())),
-            (Status::ServerError, _, _) => {
-                return Err(FetchError::ServerError(current.to_string()))
+            Status::Ok => return Err(FetchError::NotHtml(current.to_string())),
+            Status::Redirect(location) => {
+                session.abort();
+                current = current.join(&location);
             }
-            (Status::TimedOut, _, _) | (Status::Reset, _, _) => {
+            Status::NotFound => return Err(FetchError::NotFound(current.to_string())),
+            Status::ServerError => return Err(FetchError::ServerError(current.to_string())),
+            Status::TimedOut | Status::Reset => {
                 return Err(FetchError::Unreachable(current.to_string()))
             }
         }
@@ -1234,7 +1348,12 @@ fn run_shard_wave<F: Fetcher + Sync>(
             batch.push(FetchTask::new(url, gets[index].depth, token));
             index += 1;
         }
-        run_batch(options.max_redirects, stack, &mut batch);
+        run_batch(
+            options.max_redirects,
+            stack,
+            Some(&options.lint),
+            &mut batch,
+        );
         for (offset, task) in batch.into_iter().enumerate() {
             settle_sharded_task(
                 options,
@@ -1296,8 +1415,9 @@ fn settle_sharded_task<F: Fetcher>(
         FetchOutcome::Page {
             url: final_url,
             body,
+            diagnostics,
         } => {
-            let diagnostics = weblint.check_string(&body);
+            let diagnostics = diagnostics.unwrap_or_else(|| weblint.check_string(&body));
             let links = extract_links(&body);
             delta.pages.push(CrawledPage {
                 url: final_url.clone(),
@@ -1923,6 +2043,51 @@ mod tests {
             check_url(&f, "::", &config),
             Err(FetchError::BadUrl(_))
         ));
+    }
+
+    #[test]
+    fn check_url_streams_across_chunk_boundaries() {
+        // A body several FETCH_CHUNK windows wide, with findings in the
+        // middle and at the end, so tags straddle feed boundaries. The
+        // streamed result must be byte-identical to the one-shot check.
+        let mut body = String::from("<H1>top</H2>");
+        for i in 0..600 {
+            body.push_str(&format!("<P>paragraph number {i} for padding</P>\n"));
+        }
+        body.push_str("<IMG SRC=\"x.gif\"><B>tail");
+        assert!(body.len() > 2 * FETCH_CHUNK, "body must span chunks");
+        let mut web = SimulatedWeb::new();
+        web.add_page("http://h/big.html", body.clone());
+        let config = LintConfig::default();
+        let streamed = check_url(&WebFetcher::new(&web), "http://h/big.html", &config).unwrap();
+        let one_shot = Weblint::with_config(config).check_string(&body);
+        assert_eq!(streamed, one_shot);
+        assert!(streamed.iter().any(|d| d.id == "img-alt"));
+    }
+
+    #[test]
+    fn crawl_lints_during_fetch_and_matches_one_shot() {
+        // The sequential crawl lints pages as their bytes stream in; the
+        // report must match linting each page after the fact.
+        let mut web = SimulatedWeb::new();
+        web.add_page(
+            "http://site/index.html",
+            page("<H1>x</H2><P><A HREF=\"a.html\">a</A></P>"),
+        );
+        web.add_redirect("http://site/a.html", "http://site/b.html");
+        web.add_page("http://site/b.html", page("<IMG SRC=\"p.gif\">"));
+        let robot = Robot::default();
+        let report = robot.crawl(&WebFetcher::new(&web), &start());
+        assert_eq!(report.pages.len(), 2);
+        let weblint = Weblint::with_config(RobotOptions::default().lint.clone());
+        for crawled in &report.pages {
+            let (_, _, body) = WebFetcher::new(&web).get(&crawled.url);
+            assert_eq!(crawled.diagnostics, weblint.check_string(&body));
+        }
+        assert!(report.pages[0]
+            .diagnostics
+            .iter()
+            .any(|d| d.id == "heading-mismatch"));
     }
 
     #[test]

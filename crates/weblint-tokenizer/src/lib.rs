@@ -38,14 +38,16 @@ mod cursor;
 mod entity;
 mod meta;
 mod pos;
+mod stream;
 mod token;
 mod tokenizer;
 
 pub use entity::{scan_entities, EntityRef};
 pub use meta::{scan_metachars, MetaChar, MetaCharKind};
 pub use pos::{Pos, Span};
+pub use stream::StreamTokenizer;
 pub use token::{Attr, AttrValue, Comment, Decl, Quote, Tag, Text, Token, TokenKind};
-pub use tokenizer::Tokenizer;
+pub use tokenizer::{Step, Tokenizer};
 
 /// Tokenize an entire document into a vector.
 ///

@@ -22,10 +22,29 @@ const RAW_TEXT_ELEMENTS: &[(&str, &str)] = &[
 /// the quote-parity fallback produces far better diagnostics.
 const QUOTE_SCAN_CAP: usize = 32 * 1024;
 
+/// One move of an incremental tokenization — what [`Tokenizer::step`]
+/// returns when the source may still be growing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step<'a> {
+    /// A complete token whose extent can never change, no matter what bytes
+    /// are appended after the current buffer.
+    Token(Token<'a>),
+    /// The next token's extent (or even its kind) depends on bytes that have
+    /// not arrived yet. Nothing was consumed; feed more input and retry.
+    NeedMore,
+    /// All input has been consumed.
+    Done,
+}
+
 /// A streaming HTML tokenizer.
 ///
 /// Iterate it to receive [`Token`]s. The tokenizer never fails: any input,
 /// however mangled, produces a token stream covering the whole document.
+///
+/// For incremental input, [`Tokenizer::step`] reports [`Step::NeedMore`]
+/// instead of committing to a token that later bytes could change; the
+/// [`StreamTokenizer`](crate::StreamTokenizer) wrapper carries the
+/// in-between state across buffers.
 ///
 /// # Examples
 ///
@@ -57,9 +76,85 @@ impl<'a> Tokenizer<'a> {
         }
     }
 
+    /// Create a tokenizer over `src` that resumes mid-document: `src` is a
+    /// suffix of some larger document and the mode flags were captured (via
+    /// [`Tokenizer::mode`]) from the tokenizer that consumed the prefix.
+    pub fn resume(src: &'a str, raw_text_until: Option<&'static str>, plaintext: bool) -> Self {
+        Tokenizer {
+            cur: Cursor::new(src),
+            raw_text_until,
+            plaintext,
+        }
+    }
+
+    /// The cross-token mode flags — everything (besides the cursor) that a
+    /// resumed tokenizer needs to continue where this one stopped: the
+    /// pending raw-text close pattern and the `PLAINTEXT` latch.
+    pub fn mode(&self) -> (Option<&'static str>, bool) {
+        (self.raw_text_until, self.plaintext)
+    }
+
     /// The full source this tokenizer reads from.
     pub fn source(&self) -> &'a str {
         self.cur.src()
+    }
+
+    /// Produce the next token, treating the end of the buffer as the end of
+    /// the document only when `eof` is true.
+    ///
+    /// With `eof == false`, a token is returned only when its extent is
+    /// *prefix-stable*: no bytes appended after the current buffer could
+    /// change it. A scan that terminates on a delimiter found *inside* the
+    /// buffer (a closing `>`, a `-->`, a markup-starting `<`) is stable; a
+    /// scan that ran to the end of the buffer is not, and yields
+    /// [`Step::NeedMore`] without consuming anything.
+    ///
+    /// `step(true)` is exactly the [`Iterator`] implementation.
+    pub fn step(&mut self, eof: bool) -> Step<'a> {
+        if self.cur.is_eof() {
+            return if eof { Step::Done } else { Step::NeedMore };
+        }
+        if !eof && !self.next_token_stable() {
+            return Step::NeedMore;
+        }
+        match self.next_token() {
+            Some(tok) => Step::Token(tok),
+            None => Step::Done,
+        }
+    }
+
+    /// Whether the next token's extent and kind are already fully determined
+    /// by the bytes in the buffer (see [`Tokenizer::step`]). Read-only: a
+    /// `false` answer must leave the tokenizer untouched for the retry.
+    fn next_token_stable(&self) -> bool {
+        let rest = self.cur.rest();
+        if self.plaintext {
+            // PLAINTEXT swallows everything to end-of-file.
+            return false;
+        }
+        if let Some(close) = self.raw_text_until {
+            // Raw text runs to the close pattern; finding it in the buffer
+            // pins the text token (an earlier match can never appear). A
+            // match at offset 0 means the end tag parses next instead.
+            return match crate::cursor::find_ci(rest, close) {
+                Some(0) => tag_stable(rest),
+                Some(_) => true,
+                None => false,
+            };
+        }
+        let bytes = rest.as_bytes();
+        match (bytes.first(), bytes.get(1)) {
+            (Some(b'<'), Some(b'!')) => markup_decl_stable(rest),
+            (Some(b'<'), Some(b'?')) => decl_stable(&rest[2..]),
+            (Some(b'<'), Some(b'/')) => tag_stable(rest),
+            (Some(b'<'), Some(c)) if c.is_ascii_alphabetic() => tag_stable(rest),
+            // A `<` as the buffer's last byte: could become any markup class.
+            (Some(b'<'), None) => false,
+            // Bare `<` followed by a non-markup byte, or any other first
+            // byte: a text run.
+            (Some(_), _) => text_stable(rest),
+            (None, _) => false,
+        }
     }
 
     fn token(&self, start: crate::pos::Pos, kind: TokenKind<'a>) -> Token<'a> {
@@ -341,10 +436,10 @@ impl<'a> Tokenizer<'a> {
     }
 }
 
-impl<'a> Iterator for Tokenizer<'a> {
-    type Item = Token<'a>;
-
-    fn next(&mut self) -> Option<Token<'a>> {
+impl<'a> Tokenizer<'a> {
+    /// The one token-producing path, shared by [`Iterator::next`] (eof
+    /// semantics) and [`Tokenizer::step`] (which gates it on stability).
+    fn next_token(&mut self) -> Option<Token<'a>> {
         if self.cur.is_eof() {
             return None;
         }
@@ -378,6 +473,135 @@ impl<'a> Iterator for Tokenizer<'a> {
         }
         Some(tok)
     }
+}
+
+impl<'a> Iterator for Tokenizer<'a> {
+    type Item = Token<'a>;
+
+    fn next(&mut self) -> Option<Token<'a>> {
+        self.next_token()
+    }
+}
+
+/// Stability of a text run: [`Tokenizer::scan_text`] ends only at a `<` that
+/// begins markup, so the run is pinned once such a `<` is in the buffer. A
+/// run that consumed to the buffer's end (no `<`, a trailing bare `<`, or
+/// only non-markup `<`s) could still grow.
+fn text_stable(rest: &str) -> bool {
+    let bytes = rest.as_bytes();
+    let mut i = 0;
+    while let Some(k) = crate::cursor::memchr(b'<', &bytes[i..]) {
+        let at = i + k;
+        match bytes.get(at + 1) {
+            Some(&n) if n.is_ascii_alphabetic() || n == b'!' || n == b'?' || n == b'/' => {
+                return true
+            }
+            Some(_) => i = at + 1,
+            None => return false,
+        }
+    }
+    false
+}
+
+/// Stability of a `<!…>` markup declaration. Classification between comment,
+/// DOCTYPE and other declarations is itself buffer-dependent, but every
+/// ambiguous spelling (a proper prefix of `<!--` or `<!doctype`) contains no
+/// terminator, so the per-class terminator checks below already refuse it.
+fn markup_decl_stable(rest: &str) -> bool {
+    if let Some(after_opener) = rest.strip_prefix("<!--") {
+        // A comment ends at `-->`, searched past the 4-byte opener.
+        return after_opener.contains("-->");
+    }
+    decl_stable(&rest[2..])
+}
+
+/// Stability of a declaration/PI body (`after` starts past the `<!`/`<?`
+/// opener): CDATA sections are pinned by `]]>`, everything else by a
+/// quote-aware `>`. A walk that ends inside the buffer — or inside an open
+/// quote — is not stable; a later byte could close the quote and move the
+/// real terminator.
+fn decl_stable(after: &str) -> bool {
+    // Byte-wise prefix compare: slicing the str at 7 could split a
+    // multibyte character.
+    let bytes = after.as_bytes();
+    if bytes.len() >= 7 && bytes[..7].eq_ignore_ascii_case(b"[CDATA[") {
+        return after[7..].contains("]]>");
+    }
+    let mut in_quote: Option<u8> = None;
+    for &b in after.as_bytes() {
+        match in_quote {
+            None => match b {
+                b'>' => return true,
+                b'"' | b'\'' => in_quote = Some(b),
+                _ => {}
+            },
+            Some(q) if b == q => in_quote = None,
+            Some(_) => {}
+        }
+    }
+    false
+}
+
+/// Stability of a start or end tag (`rest` starts at the `<`). The name must
+/// terminate inside the buffer (a name running to the buffer's end could
+/// continue), then the body must reach a stable verdict under the same
+/// quote-aware rules as [`scan_tag_body`].
+fn tag_stable(rest: &str) -> bool {
+    let bytes = rest.as_bytes();
+    let mut i = 1; // '<'
+    if bytes.get(1) == Some(&b'/') {
+        i = 2;
+        // End tags tolerate whitespace before the name (`</ HEAD>`).
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+    }
+    while i < bytes.len() && is_name_byte(bytes[i]) {
+        i += 1;
+    }
+    if i == bytes.len() {
+        return false;
+    }
+    tag_body_stable(&rest[i..])
+}
+
+/// Stability of a tag body, mirroring [`scan_tag_body`]: a quote-aware `>`
+/// or an unquoted `<` in the buffer pins the tag. An abort (a `<` inside a
+/// quote, or a quote run past [`QUOTE_SCAN_CAP`]) is itself stable and falls
+/// to the quote-parity heuristic, which cuts at the first `>` anywhere — so
+/// it is stable only once some `>` is in the buffer. Running off the end of
+/// the buffer (in or out of a quote) is never stable.
+fn tag_body_stable(rest: &str) -> bool {
+    let bytes = rest.as_bytes();
+    let mut in_quote: Option<u8> = None;
+    let mut quote_start = 0usize;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match in_quote {
+            None => match b {
+                b'>' | b'<' => return true,
+                b'"' | b'\'' => {
+                    in_quote = Some(b);
+                    quote_start = i;
+                }
+                _ => {}
+            },
+            Some(q) => {
+                if b == q {
+                    in_quote = None;
+                } else if b == b'<' || ((b & 0xC0) != 0x80 && i - quote_start > QUOTE_SCAN_CAP) {
+                    return rest.contains('>');
+                }
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'.' | b'-' | b'_' | b':')
 }
 
 /// How a tag body scan ended.

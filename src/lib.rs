@@ -44,6 +44,7 @@ pub use weblint_validator as validator;
 
 // The most-used types, at the top level.
 pub use weblint_core::{
-    format_report, Category, Diagnostic, LintConfig, OutputFormat, Summary, Weblint,
+    format_report, Category, Diagnostic, LintConfig, LintRequest, LintSession, OutputFormat,
+    Summary, Weblint,
 };
 pub use weblint_service::{LintService, ServiceConfig, ServiceMetrics};

@@ -18,7 +18,7 @@ use std::time::Duration;
 use std::path::PathBuf;
 
 use weblint_gateway::Gateway;
-use weblint_httpd::{client, HttpServer, ServerConfig};
+use weblint_httpd::{client, HttpServer, ServerConfig, ServerMode};
 use weblint_service::{ServiceConfig, PANIC_MARKER};
 use weblint_site::{
     AimdPolicy, BreakerState, CheckpointConfig, CheckpointError, FaultSpec, FaultyWeb, FetchStack,
@@ -155,6 +155,10 @@ fn chaotic_server_run(seed: u64) -> (Vec<u16>, String) {
         },
         faults: Some(FaultSpec::all(20)),
         fault_seed: seed,
+        // Threaded mode: this script asserts worker-pool semantics (the
+        // panic marker must 500 and respawn). In event mode a POST /lint
+        // streams on the loop thread and never reaches the pool.
+        mode: ServerMode::Threaded,
         ..ServerConfig::default()
     };
     let handle = HttpServer::bind_with(config, Gateway::default(), site())
